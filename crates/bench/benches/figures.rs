@@ -1,0 +1,45 @@
+//! One benchmark per paper figure, plus the two active experiments
+//! (DNS AAAA probing and the port scan).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::OnceLock;
+use v6brick_devices::registry;
+use v6brick_experiments::portscan::{scan, ScanPlan};
+use v6brick_experiments::suite::ExperimentSuite;
+use v6brick_experiments::{active_dns, figures, scenario, tracking};
+
+fn suite() -> &'static ExperimentSuite {
+    static SUITE: OnceLock<ExperimentSuite> = OnceLock::new();
+    SUITE.get_or_init(ExperimentSuite::run_all)
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let s = suite();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(20);
+    g.bench_function("figure2", |b| b.iter(|| black_box(figures::figure2(s))));
+    g.bench_function("figure3", |b| b.iter(|| black_box(figures::figure3(s))));
+    g.bench_function("figure4", |b| b.iter(|| black_box(figures::figure4(s))));
+    g.bench_function("figure5", |b| b.iter(|| black_box(figures::figure5(s))));
+    g.bench_function("tracking_5_4_3", |b| {
+        b.iter(|| black_box(tracking::tracking_report(s)))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("active_experiments");
+    g.sample_size(10);
+    g.bench_function("dns_probe_all_observed_domains", |b| {
+        b.iter(|| {
+            let zones = scenario::build_zones(&s.profiles);
+            black_box(active_dns::probe(s.observed_domains(), zones).names.len())
+        })
+    });
+    g.bench_function("portscan_fridge_quick", |b| {
+        let profiles = vec![registry::by_id("samsung_fridge")];
+        b.iter(|| black_box(scan(&profiles, &ScanPlan::quick()).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Analysis-pipeline benchmarks: what it costs to turn a capture into
+//! the paper's observations.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use v6brick_core::flows::FlowTable;
+use v6brick_core::observe;
+use v6brick_devices::registry;
+use v6brick_devices::stack::IotDevice;
+use v6brick_experiments::{scenario, NetworkConfig};
+use v6brick_net::Mac;
+use v6brick_pcap::stats::CaptureStats;
+use v6brick_pcap::{format, Capture};
+use v6brick_sim::{Internet, Router, SimTime, SimulationBuilder};
+
+/// A realistic dual-stack capture from an 8-device household.
+fn household_capture() -> (Capture, Vec<(Mac, String)>) {
+    let ids = [
+        "echo_show_5",
+        "nest_camera",
+        "google_home_mini",
+        "aqara_hub",
+        "homepod_mini",
+        "apple_tv",
+        "samsung_fridge",
+        "hue_hub",
+    ];
+    let profiles: Vec<_> = ids.iter().map(|id| registry::by_id(id)).collect();
+    let zones = scenario::build_zones(&profiles);
+    let mut b = SimulationBuilder::new(
+        Router::new(NetworkConfig::DualStack.router_config()),
+        Internet::new(zones),
+    );
+    let macs: Vec<_> = profiles
+        .iter()
+        .map(|p| {
+            b.add_host(Box::new(IotDevice::new(p.clone())));
+            (p.mac, p.id.clone())
+        })
+        .collect();
+    let mut sim = b.build();
+    sim.run_until(SimTime::from_secs(240));
+    (sim.take_capture(), macs)
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let (capture, macs) = household_capture();
+    let bytes = capture.total_bytes();
+
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("analyze_household", |b| {
+        b.iter(|| observe::analyze(black_box(&capture), &macs, scenario::lan_prefix()))
+    });
+    g.bench_function("flow_table", |b| {
+        b.iter(|| {
+            let mut t = FlowTable::new();
+            for (ts, p) in capture.parsed() {
+                t.record(ts, &p);
+            }
+            t.len()
+        })
+    });
+    g.bench_function("capture_stats", |b| b.iter(|| CaptureStats::of(black_box(&capture))));
+    g.finish();
+
+    let mut g = c.benchmark_group("pcap_io");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("write", |b| b.iter(|| format::to_bytes(black_box(&capture))));
+    let on_disk = format::to_bytes(&capture);
+    g.bench_function("read", |b| b.iter(|| format::from_bytes(black_box(&on_disk)).unwrap()));
+    g.finish();
+
+    // The full simulate-and-capture path for one experiment config.
+    let mut g = c.benchmark_group("simulate");
+    g.sample_size(10);
+    g.bench_function("household_dual_stack_240s", |b| {
+        b.iter(|| {
+            let ids = ["echo_show_5", "nest_camera", "google_home_mini"];
+            let profiles: Vec<_> = ids.iter().map(|id| registry::by_id(id)).collect();
+            let run = scenario::run_with_profiles(NetworkConfig::DualStack, &profiles);
+            black_box(run.frames)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Wire-format micro-benchmarks: the per-packet costs the whole pipeline
+//! is built on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::net::Ipv6Addr;
+use v6brick_net::dns::{Message, Name, Rcode, Rdata, Record, RecordType};
+use v6brick_net::ipv4::Protocol;
+use v6brick_net::parse::ParsedPacket;
+use v6brick_net::udp::PseudoHeader;
+use v6brick_net::{checksum, ethernet, ipv6, tls, udp, Mac};
+
+fn sample_frame() -> Vec<u8> {
+    let src: Ipv6Addr = "2001:db8:10:1::10".parse().unwrap();
+    let dst: Ipv6Addr = "2001:4860:4860::8888".parse().unwrap();
+    let u = udp::Repr {
+        src_port: 40001,
+        dst_port: 53,
+        payload: Message::query(7, Name::new("svc3.acme.example").unwrap(), RecordType::Aaaa)
+            .build(),
+    }
+    .build(PseudoHeader::V6 { src, dst });
+    let ip = ipv6::Repr {
+        src,
+        dst,
+        next_header: Protocol::Udp,
+        hop_limit: 64,
+        payload_len: u.len(),
+    }
+    .build(&u);
+    ethernet::Repr {
+        src: Mac::new(2, 0, 0, 0, 0, 1),
+        dst: Mac::new(2, 0, 0, 0, 0, 2),
+        ethertype: ethernet::EtherType::Ipv6,
+    }
+    .build(&ip)
+}
+
+fn sample_response() -> Vec<u8> {
+    let name = Name::new("edge7.cdn.acme.example").unwrap();
+    let q = Message::query(9, name.clone(), RecordType::Aaaa);
+    let mut r = q.response(Rcode::NoError);
+    for i in 0..4u16 {
+        r.answers.push(Record::new(
+            name.clone(),
+            300,
+            Rdata::Aaaa(Ipv6Addr::new(0x2001, 0xdb8, 0xffff, i, 0, 0, 0, 1)),
+        ));
+    }
+    r.build()
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let frame = sample_frame();
+    let mut g = c.benchmark_group("wire");
+    g.throughput(Throughput::Bytes(frame.len() as u64));
+    g.bench_function("parse_full_stack", |b| {
+        b.iter(|| ParsedPacket::parse(black_box(&frame)).unwrap())
+    });
+    g.finish();
+
+    let resp = sample_response();
+    let mut g = c.benchmark_group("dns");
+    g.bench_function("parse_response", |b| {
+        b.iter(|| Message::parse_bytes(black_box(&resp)).unwrap())
+    });
+    let msg = Message::parse_bytes(&resp).unwrap();
+    g.bench_function("build_response_compressed", |b| b.iter(|| black_box(&msg).build()));
+    g.finish();
+
+    let mut g = c.benchmark_group("tls");
+    let name = Name::new("unagi-na.amazon.com").unwrap();
+    g.bench_function("client_hello_1k", |b| {
+        b.iter(|| tls::client_hello(black_box(&name), 1024))
+    });
+    let hello = tls::client_hello(&name, 1024);
+    g.bench_function("parse_sni", |b| b.iter(|| tls::parse_sni(black_box(&hello)).unwrap()));
+    g.finish();
+
+    let payload = vec![0xa5u8; 1460];
+    let mut g = c.benchmark_group("checksum");
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    g.bench_function("rfc1071_1460B", |b| b.iter(|| checksum::checksum(black_box(&payload))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Benchmark harness crate. The actual benchmarks live in `benches/`:
+//!
+//! * `tables` — regenerates every paper table end-to-end (Criterion timing
+//!   the full simulate-capture-analyze path per table);
+//! * `figures` — same for every figure;
+//! * `pipeline` — analysis-pipeline micro-benches (flow table, DNS
+//!   transaction pairing, address classification);
+//! * `wire` — parse/emit micro-benches for the wire formats;
+//! * `ablations` — the design-choice ablations called out in DESIGN.md.

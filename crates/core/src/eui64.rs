@@ -1,0 +1,247 @@
+//! EUI-64 exposure analysis (§5.4.1 / Fig. 5).
+//!
+//! Given per-device observations, measure the funnel the paper reports:
+//! devices that *assign* global EUI-64 addresses, those that *use* them
+//! for any traffic, those exposing them through DNS resolution, and those
+//! transmitting Internet data from them — plus the party mix of the
+//! domains the addresses leak to.
+
+use crate::observe::{DeviceObservation, ExperimentAnalysis};
+use crate::party::{classify, Party};
+use serde::Serialize;
+use std::collections::BTreeSet;
+use v6brick_net::dns::Name;
+use v6brick_net::ipv6::Ipv6AddrExt;
+use v6brick_net::Mac;
+
+/// One device's EUI-64 exposure.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Eui64Exposure {
+    /// Assigned (announced or used) global EUI-64 addresses.
+    pub assigned_gua: BTreeSet<std::net::Ipv6Addr>,
+    /// Did any traffic source from a global EUI-64 address?
+    pub used: bool,
+    /// Was DNS resolution performed from one?
+    pub used_for_dns: bool,
+    /// Was Internet data transmitted from one?
+    pub used_for_data: bool,
+    /// Did the EUI-64 address actually embed the device's own MAC (the
+    /// leak is real, not coincidental bytes)?
+    pub mac_verified: bool,
+    /// Domains the address was exposed to (resolved or contacted).
+    pub exposed_domains: BTreeSet<Name>,
+}
+
+/// Compute the exposure for one device.
+pub fn exposure(mac: Mac, o: &DeviceObservation) -> Eui64Exposure {
+    let mut e = Eui64Exposure::default();
+    for a in o.all_addrs() {
+        if a.is_global_unicast() && a.is_eui64() {
+            e.assigned_gua.insert(a);
+            if a.eui64_mac() == Some(mac) {
+                e.mac_verified = true;
+            }
+        }
+    }
+    e.used = o
+        .active_v6
+        .iter()
+        .any(|a| a.is_global_unicast() && a.is_eui64());
+    e.used_for_dns = o
+        .dns_src_v6
+        .iter()
+        .any(|a| a.is_global_unicast() && a.is_eui64());
+    e.used_for_data = o
+        .data_src_v6
+        .iter()
+        .any(|a| a.is_global_unicast() && a.is_eui64());
+    e.exposed_domains = o
+        .domains_from_eui64
+        .union(&o.dns_names_from_eui64)
+        .cloned()
+        .collect();
+    e
+}
+
+/// The aggregate Fig. 5 funnel.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Eui64Funnel {
+    /// Devices that assigned at least one global EUI-64 address.
+    pub assign: usize,
+    /// Devices that sourced any traffic from an EUI-64 GUA.
+    pub use_any: usize,
+    /// Devices that resolved DNS from an EUI-64 GUA.
+    pub use_dns: usize,
+    /// Devices that sent Internet data from an EUI-64 GUA.
+    pub use_internet_data: usize,
+    /// Exposed-domain counts by party, split by whether the exposing
+    /// devices transmit data or only resolve DNS from the address.
+    pub data_domains_by_party: PartyCounts,
+    /// DNS only domains by party.
+    pub dns_only_domains_by_party: PartyCounts,
+}
+
+/// Domain counts per party.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct PartyCounts {
+    /// First-party (device-vendor) domains.
+    pub first: usize,
+    /// Support-party (cloud/CDN/NTP) domains.
+    pub support: usize,
+    /// Third-party (analytics/tracking) domains.
+    pub third: usize,
+}
+
+impl PartyCounts {
+    fn add(&mut self, p: Party) {
+        match p {
+            Party::First => self.first += 1,
+            Party::Support => self.support += 1,
+            Party::Third => self.third += 1,
+        }
+    }
+
+    /// Total domains across all parties.
+    pub fn total(&self) -> usize {
+        self.first + self.support + self.third
+    }
+}
+
+/// Compute the funnel over an analysis; `vendors` maps device label →
+/// manufacturer for party classification.
+pub fn funnel(
+    analysis: &ExperimentAnalysis,
+    macs: &[(String, Mac)],
+    vendors: &[(String, String)],
+) -> Eui64Funnel {
+    let mut f = Eui64Funnel::default();
+    let mut data_domains: BTreeSet<(Name, String)> = BTreeSet::new();
+    let mut dns_domains: BTreeSet<(Name, String)> = BTreeSet::new();
+    for (label, o) in &analysis.devices {
+        let Some(mac) = macs.iter().find(|(l, _)| l == label).map(|(_, m)| *m) else {
+            continue;
+        };
+        let vendor = vendors
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_default();
+        let e = exposure(mac, o);
+        if !e.assigned_gua.is_empty() {
+            f.assign += 1;
+        }
+        if e.used {
+            f.use_any += 1;
+        }
+        if e.used_for_dns {
+            f.use_dns += 1;
+        }
+        if e.used_for_data {
+            f.use_internet_data += 1;
+        }
+        if e.used_for_data {
+            for d in &e.exposed_domains {
+                data_domains.insert((d.clone(), vendor.clone()));
+            }
+        } else if e.used_for_dns {
+            for d in &e.exposed_domains {
+                dns_domains.insert((d.clone(), vendor.clone()));
+            }
+        }
+    }
+    for (d, vendor) in &data_domains {
+        f.data_domains_by_party.add(classify(d, vendor));
+    }
+    for (d, vendor) in &dns_domains {
+        f.dns_only_domains_by_party.add(classify(d, vendor));
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::DeviceObservation;
+
+    fn mac() -> Mac {
+        Mac::new(0x02, 0x10, 0x20, 0x30, 0x40, 0x50)
+    }
+
+    fn eui_gua() -> std::net::Ipv6Addr {
+        mac().slaac_address("2001:db8:10:1::".parse().unwrap())
+    }
+
+    #[test]
+    fn exposure_funnel_stages() {
+        let mut o = DeviceObservation::default();
+        // Assigned only.
+        o.announced_v6.insert(eui_gua());
+        let e = exposure(mac(), &o);
+        assert_eq!(e.assigned_gua.len(), 1);
+        assert!(e.mac_verified);
+        assert!(!e.used && !e.used_for_dns && !e.used_for_data);
+
+        // Used for DNS.
+        o.active_v6.insert(eui_gua());
+        o.dns_src_v6.insert(eui_gua());
+        o.dns_names_from_eui64.insert(Name::new("svc.acme.example").unwrap());
+        let e = exposure(mac(), &o);
+        assert!(e.used && e.used_for_dns && !e.used_for_data);
+        assert_eq!(e.exposed_domains.len(), 1);
+
+        // Used for data too.
+        o.data_src_v6.insert(eui_gua());
+        let e = exposure(mac(), &o);
+        assert!(e.used_for_data);
+    }
+
+    #[test]
+    fn privacy_addresses_do_not_count() {
+        let mut o = DeviceObservation::default();
+        let priv_gua: std::net::Ipv6Addr = "2001:db8:10:1:1234:aabb:5:6".parse().unwrap();
+        o.announced_v6.insert(priv_gua);
+        o.active_v6.insert(priv_gua);
+        o.data_src_v6.insert(priv_gua);
+        let e = exposure(mac(), &o);
+        assert!(e.assigned_gua.is_empty());
+        assert!(!e.used && !e.used_for_data);
+    }
+
+    #[test]
+    fn lla_eui64_is_not_a_global_exposure() {
+        let mut o = DeviceObservation::default();
+        let lla = mac().slaac_address("fe80::".parse().unwrap());
+        o.announced_v6.insert(lla);
+        o.active_v6.insert(lla);
+        let e = exposure(mac(), &o);
+        assert!(e.assigned_gua.is_empty(), "LLAs never leave the link");
+        assert!(!e.used);
+    }
+
+    #[test]
+    fn funnel_aggregation_and_party_split() {
+        let mut a = ExperimentAnalysis::default();
+        let mut o = DeviceObservation::default();
+        o.announced_v6.insert(eui_gua());
+        o.active_v6.insert(eui_gua());
+        o.dns_src_v6.insert(eui_gua());
+        o.data_src_v6.insert(eui_gua());
+        o.domains_from_eui64.insert(Name::new("svc.acme.example").unwrap());
+        o.domains_from_eui64.insert(Name::new("app-measurement.com").unwrap());
+        o.domains_from_eui64.insert(Name::new("time.pool-ntp.example").unwrap());
+        a.devices.insert("dev".into(), o);
+        let f = funnel(
+            &a,
+            &[("dev".into(), mac())],
+            &[("dev".into(), "Acme".into())],
+        );
+        assert_eq!(f.assign, 1);
+        assert_eq!(f.use_any, 1);
+        assert_eq!(f.use_dns, 1);
+        assert_eq!(f.use_internet_data, 1);
+        assert_eq!(
+            f.data_domains_by_party,
+            PartyCounts { first: 1, support: 1, third: 1 }
+        );
+    }
+}

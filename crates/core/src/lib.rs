@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! # v6brick-core — the measurement pipeline
+//!
+//! The paper's contribution, as reusable library code: everything needed
+//! to turn raw packet captures from a smart-home LAN into the IPv6
+//! adoption, DNS, traffic, and privacy characterizations of §5.
+//!
+//! The pipeline deliberately sees **only what tcpdump saw**: Ethernet
+//! frames plus (for the port-scan target list) the router's neighbor
+//! table. Device ground truth never leaks in; the reproduction tests
+//! assert that the *measured* values land on the paper's numbers.
+//!
+//! * [`flows`] — 5-tuple flow reassembly with per-direction accounting.
+//! * [`observe`] — the single-pass capture walker producing one
+//!   [`observe::DeviceObservation`] per device MAC.
+//! * [`party`] — first / support / third party classification (§5.4).
+//! * [`transitions`] — per-domain IP-version transition analysis between
+//!   experiment configurations (Table 9).
+//! * [`eui64`] — EUI-64 exposure analysis (Fig. 5).
+//! * [`ports`] — port-scan result types and v4/v6 diffing (§5.4.2).
+
+pub mod eui64;
+pub mod flows;
+pub mod observe;
+pub mod party;
+pub mod ports;
+pub mod transitions;
+
+pub use observe::{analyze, DeviceObservation, ExperimentAnalysis};

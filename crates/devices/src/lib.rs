@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! # v6brick-devices — the 93-device testbed
+//!
+//! Behavioural models of every consumer IoT device in the paper's
+//! Mon(IoT)r testbed. The substitution argument (DESIGN.md): the
+//! measurement pipeline only ever sees packets, so devices that emit the
+//! same addressing, DNS, and data traffic as the real hardware exercise
+//! the identical analysis code paths. Capability profiles are transcribed
+//! per-device from the paper's own Table 10 (which publishes all six
+//! headline feature flags for each of the 93 devices) and the §5
+//! findings.
+//!
+//! * [`profile`] — the capability model.
+//! * [`registry`] — Table 10 verbatim + auxiliary fact sets + marginal
+//!   checks.
+//! * [`domains`] — per-device destination synthesis (Table 7 budgets).
+//! * [`stack`] — the generic device network stack ([`stack::IotDevice`]),
+//!   one state machine driven by the profile.
+//! * [`phone`] — the Pixel 7 / iPhone X verification phones.
+
+pub mod domains;
+pub mod phone;
+pub mod profile;
+pub mod registry;
+pub mod stack;
+
+pub use profile::{Category, DeviceProfile, Os, Party};
+pub use stack::IotDevice;

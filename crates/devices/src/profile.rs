@@ -1,0 +1,455 @@
+//! Capability profiles: everything the paper's Table 10 and §5 findings
+//! tell us about how each of the 93 devices behaves on the wire.
+//!
+//! The behavioural device model ([`crate::stack::IotDevice`]) is one
+//! generic state machine driven entirely by a [`DeviceProfile`]; no device
+//! has bespoke code. The registry ([`crate::registry`]) constructs the 93
+//! profiles and carries tests pinning every paper marginal the profiles
+//! must reproduce.
+
+use serde::{Deserialize, Serialize};
+use v6brick_net::dns::Name;
+use v6brick_net::Mac;
+
+/// The seven device categories of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Category {
+    /// Smart appliances (fridges, kettles, microwaves, ...).
+    Appliance,
+    /// Cameras and video doorbells.
+    Camera,
+    /// Tv Entertainment.
+    TvEntertainment,
+    /// Hubs and bridges (SmartThings, Hue, Matter, ...).
+    Gateway,
+    /// Health and air-quality devices.
+    Health,
+    /// Plugs, bulbs, light strips, locks, thermostats.
+    HomeAuto,
+    /// Smart speakers and displays.
+    Speaker,
+}
+
+impl Category {
+    /// All categories, in the paper's column order.
+    pub const ALL: [Category; 7] = [
+        Category::Appliance,
+        Category::Camera,
+        Category::TvEntertainment,
+        Category::Gateway,
+        Category::Health,
+        Category::HomeAuto,
+        Category::Speaker,
+    ];
+
+    /// The paper's column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::Appliance => "Appliance",
+            Category::Camera => "Camera",
+            Category::TvEntertainment => "TV/Ent.",
+            Category::Gateway => "Gateway",
+            Category::Health => "Health",
+            Category::HomeAuto => "Home Auto",
+            Category::Speaker => "Speaker",
+        }
+    }
+}
+
+/// Operating system / platform families the paper distinguishes (Table 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Os {
+    /// Samsung's Tizen (the Fridge and TV).
+    Tizen,
+    /// Amazon's Android-derived Fire OS (Echo family, Fire TV).
+    FireOs,
+    /// Android or Android-derived (Google TV, TiVo, Meta Portal, ...).
+    AndroidBased,
+    /// Google's Fuchsia (the Nest Hubs).
+    Fuchsia,
+    /// Apple's iOS/tvOS family (Apple TV, HomePod).
+    IosTvos,
+    /// Embedded RTOS firmware (the bulk of simple IoT).
+    Embedded,
+    /// Embedded Linux firmware.
+    EmbeddedLinux,
+    /// Unidentified firmware.
+    Unknown,
+}
+
+impl Os {
+    /// The paper's column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Os::Tizen => "Tizen",
+            Os::FireOs => "FireOS (Android)",
+            Os::AndroidBased => "Android-based",
+            Os::Fuchsia => "Fuchsia",
+            Os::IosTvos => "iOS/tvOS",
+            Os::Embedded => "Embedded RTOS",
+            Os::EmbeddedLinux => "Embedded Linux",
+            Os::Unknown => "Unknown",
+        }
+    }
+}
+
+/// How thoroughly a device performs Duplicate Address Detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DadBehavior {
+    /// DAD before every address (RFC 4862 compliant).
+    Full,
+    /// DAD only for the link-local address; global addresses skip it (the
+    /// pre-2007 shortcut RFC 4862 now forbids).
+    LinkLocalOnly,
+    /// Never performs DAD (the paper's 2 Aqara hubs + 2 home-automation
+    /// devices).
+    Never,
+}
+
+/// How a device transports DNS AAAA queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AaaaTransport {
+    /// Never queries AAAA.
+    None,
+    /// Queries AAAA only over IPv4 (so, only in dual-stack networks) — the
+    /// Table 4 "+15 devices" effect.
+    V4Only,
+    /// Queries AAAA over IPv6 when an IPv6 resolver is configured, over
+    /// IPv4 otherwise.
+    V6Capable,
+}
+
+/// The party a destination belongs to (§5.4 definitions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Party {
+    /// Device-vendor infrastructure (plus YouTube for TVs).
+    First,
+    /// Cloud/CDN/NTP support services.
+    Support,
+    /// Everything else — analytics, trackers.
+    Third,
+}
+
+/// One destination the device talks to.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Destination {
+    /// The destination's DNS name.
+    pub domain: Name,
+    /// Does the domain publish an AAAA record (Table 7 readiness)?
+    pub aaaa_ready: bool,
+    /// Is this destination required for the device's primary function
+    /// (§5.1.3)? All required destinations must be reachable for the
+    /// functionality test to pass.
+    pub required: bool,
+    /// First/support/third party, per the §5.4 definitions.
+    pub party: Party,
+    /// Relative telemetry weight: bytes-per-period multiplier.
+    pub volume_weight: u16,
+    /// Queried A-only even over IPv6 transport (the 19-device/114-name
+    /// limitation of §5.2.2)?
+    pub a_only: bool,
+    /// Does the device issue an AAAA query for this destination at all?
+    /// Real stacks only resolve AAAA for names their HTTP layer touches
+    /// via dual-family lookups; Table 6's 1077 distinct AAAA names are a
+    /// subset of all 2083 destination names.
+    pub wants_aaaa: bool,
+    /// The AAAA query for this destination only ever rides IPv4 transport
+    /// (the Aeotec/SmartLife gateways resolve their v6-ready CDNs through
+    /// the v4 resolver only, which is why they gain AAAA responses — and
+    /// IPv6 data — exclusively in dual-stack).
+    pub aaaa_v4_transport_only: bool,
+    /// In a dual-stack network, does the device reach this destination
+    /// over IPv6 where possible (RFC 6724 preference), over IPv4 despite
+    /// an AAAA record, or over both?
+    pub dual_stack: DualStackChoice,
+}
+
+/// Per-destination dual-stack family preference (drives Table 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DualStackChoice {
+    /// RFC 6724 style: IPv6 whenever an AAAA answer exists.
+    PreferV6,
+    /// Sticks to IPv4 despite available AAAA records.
+    PreferV4,
+    /// Keeps sessions on both families in dual-stack.
+    Both,
+}
+
+/// IPv6 stack capabilities (Tables 3/5 features).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ipv6Caps {
+    /// Emits NDP traffic at all. Devices without this are the "No IPv6"
+    /// 36.6% of Table 3.
+    pub ndp: bool,
+    /// Configures addresses only when IPv4 is also available (ThermoPro,
+    /// Gosund, Meross Plug — the Table 4 "+2 addresses" delta).
+    pub addr_requires_v4: bool,
+    /// Skips IPv6 entirely when IPv4 is available (ThirdReality — the
+    /// Table 4 "−1 NDP" delta).
+    pub skip_v6_if_v4: bool,
+    /// Emits NDP from `::` but never completes address assignment (the 8
+    /// "NDP traffic, no address" devices).
+    pub addressless: bool,
+    /// Configures a link-local address.
+    pub lla: bool,
+    /// Configures a SLAAC GUA from Router Advertisement prefixes.
+    pub slaac_gua: bool,
+    /// GUA only when IPv4 present (Echo Dot 2nd/5th gen).
+    pub gua_requires_v4: bool,
+    /// The link-local interface identifier uses EUI-64 format. 31 devices
+    /// have at least one active EUI-64 address (Table 5).
+    pub lla_eui64: bool,
+    /// The *active* SLAAC GUA uses EUI-64 format (no privacy extensions) —
+    /// the §5.4.1 tracking exposure; 15 devices use such addresses.
+    pub gua_eui64: bool,
+    /// Additionally assigns an EUI-64 GUA that is never used for traffic
+    /// (privacy-extension devices that still bring up the stable address,
+    /// plus the Aqara hubs) — with the 15 users this makes Fig. 5's 33
+    /// assigners.
+    pub unused_eui64_gua: bool,
+    /// Despite forming an EUI-64 GUA, DNS and data traffic are sourced
+    /// from a privacy GUA (Samsung TV, Vizio TV, IKEA gateway — their
+    /// EUI-64 address only ever sources NTP).
+    pub privacy_gua_for_traffic: bool,
+    /// Data (but not DNS) comes from a privacy GUA (SmartLife hub: DNS
+    /// from the EUI-64 address, cloud fallback data from a privacy one).
+    pub data_from_privacy_gua: bool,
+    /// DNS and data are sourced from the stateful DHCPv6 address (Samsung
+    /// Fridge — one of the four stateful-address users).
+    pub traffic_from_stateful: bool,
+    /// Sends periodic ICMPv6 echo connectivity probes from its GUA.
+    /// For EUI-64 devices this is the "misc" use completing Fig. 5's
+    /// funnel (the address is *used* without DNS or TCP/UDP data); for
+    /// three privacy-GUA devices (ThermoPro, Meross/Tapo Matter) it is
+    /// the only thing that ever activates their GUA.
+    pub v6_echo_probe: bool,
+    /// Self-assigns a ULA (Matter / HomeKit fabric membership).
+    pub ula: bool,
+    /// Duplicate address detection compliance.
+    pub dad: DadBehavior,
+    /// Supports stateful DHCPv6 (requests an IA_NA when the RA M flag is
+    /// set).
+    pub dhcpv6_stateful: bool,
+    /// Actually sends traffic from the stateful address (only 4 devices).
+    pub dhcpv6_stateful_use: bool,
+    /// Supports stateless DHCPv6 (Information-Request for DNS).
+    pub dhcpv6_stateless: bool,
+    /// Can consume the RDNSS RA option (Vizio TV cannot).
+    pub rdnss: bool,
+    /// Rotates its link-local address during the experiment (Samsung
+    /// Fridge/TV, HomePod Mini, Apple TV).
+    pub rotates_lla: bool,
+    /// Number of extra GUA/ULA regenerations over the experiment — the 10
+    /// churny devices produce 80% of all GUAs (Fig. 3).
+    pub addr_churn: u8,
+    /// Assigns at least one additional address it never uses (25 devices).
+    pub assigns_unused_addr: bool,
+}
+
+impl Ipv6Caps {
+    /// A device with no IPv6 activity whatsoever.
+    pub fn none() -> Ipv6Caps {
+        Ipv6Caps {
+            ndp: false,
+            addr_requires_v4: false,
+            skip_v6_if_v4: false,
+            addressless: false,
+            lla: false,
+            slaac_gua: false,
+            gua_requires_v4: false,
+            lla_eui64: false,
+            gua_eui64: false,
+            unused_eui64_gua: false,
+            privacy_gua_for_traffic: false,
+            data_from_privacy_gua: false,
+            traffic_from_stateful: false,
+            v6_echo_probe: false,
+            ula: false,
+            dad: DadBehavior::Full,
+            dhcpv6_stateful: false,
+            dhcpv6_stateful_use: false,
+            dhcpv6_stateless: false,
+            rdnss: false,
+            rotates_lla: false,
+            addr_churn: 0,
+            assigns_unused_addr: false,
+        }
+    }
+}
+
+/// DNS client capabilities.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DnsCaps {
+    /// How AAAA lookups are transported, if at all.
+    pub aaaa: AaaaTransport,
+    /// Uses an IPv6 resolver address when one was learned (RDNSS or
+    /// DHCPv6) — the "DNS over IPv6" column.
+    pub v6_transport: bool,
+    /// Queries HTTPS resource records (HTTP/3 probing — 5 devices).
+    pub https_records: bool,
+    /// Queries SVCB records (2 Apple devices).
+    pub svcb_records: bool,
+    /// In dual-stack, additionally retries AAAA over IPv4 transport for
+    /// destinations its IPv6-transport queries could not resolve (Aeotec
+    /// and SmartLife hubs — the gateway "+2 AAAA responses" of Table 4).
+    pub dual_v4_extra: bool,
+}
+
+impl DnsCaps {
+    /// A v4-only resolver client that never asks for AAAA.
+    pub fn v4_a_only() -> DnsCaps {
+        DnsCaps {
+            aaaa: AaaaTransport::None,
+            v6_transport: false,
+            https_records: false,
+            svcb_records: false,
+            dual_v4_extra: false,
+        }
+    }
+}
+
+/// Application-level behaviour: destinations, local protocols, services.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppCaps {
+    /// Every destination the device contacts.
+    pub destinations: Vec<Destination>,
+    /// Speaks a local IPv6 protocol (mDNS announcements, Matter-style
+    /// exchanges) — drives "Local Trans" and ULA usage.
+    pub local_ipv6: bool,
+    /// Connects to a hard-coded IPv6 literal (no DNS) for its cloud — the
+    /// IKEA-gateway behaviour that yields data-without-DNS.
+    pub hardcoded_v6_endpoint: Option<Name>,
+    /// TCP ports the device listens on over IPv4.
+    pub open_tcp_v4: Vec<u16>,
+    /// TCP ports open over IPv6 (the Samsung Fridge's extra 37993/46525/
+    /// 46757 live here).
+    pub open_tcp_v6: Vec<u16>,
+    /// UDP services over IPv4.
+    pub open_udp_v4: Vec<u16>,
+    /// UDP services over IPv6.
+    pub open_udp_v6: Vec<u16>,
+    /// Seconds between telemetry rounds.
+    pub telemetry_period_s: u32,
+    /// Relative traffic volume multiplier: streaming TVs move an order of
+    /// magnitude more data than a smart plug, which is what makes the
+    /// testbed-wide dual-stack IPv6 fraction land at the paper's ~22 %
+    /// despite most devices being v4-heavy (Table 6 bottom row).
+    pub telemetry_scale: u8,
+    /// Fig. 4 target: percent of dual-stack Internet volume carried over
+    /// IPv6. The stack splits each telemetry round's byte budget between
+    /// its v6 and v4 connections accordingly.
+    pub v6_volume_share_pct: u8,
+    /// The device's TCP client is effectively v4-bound (Echo Spot: it
+    /// resolves AAAA over IPv6 but never opens an IPv6 connection —
+    /// Table 10's "DNS over IPv6 ✓, Global Data ✗" row).
+    pub no_v6_data: bool,
+    /// Telemetry only starts once every required destination connected
+    /// (Fire TV: its cloud session gates all other traffic, which is why
+    /// it transmits no IPv6 data in an IPv6-only network despite resolving
+    /// AAAA records).
+    pub data_requires_required: bool,
+}
+
+/// The complete profile of one testbed device.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Stable snake_case identifier.
+    pub id: String,
+    /// Human-readable name as printed in Table 10.
+    pub name: String,
+    /// Table 3 category.
+    pub category: Category,
+    /// Manufacturer / platform name.
+    pub manufacturer: String,
+    /// Operating-system family (Table 8).
+    pub os: Os,
+    /// Purchase year (Table 12 grouping).
+    pub purchase_year: u16,
+    /// Layer-2 identity (also the EUI-64 leak source).
+    pub mac: Mac,
+    /// IPv6 stack capabilities.
+    pub ipv6: Ipv6Caps,
+    /// DNS client capabilities.
+    pub dns: DnsCaps,
+    /// Application behaviour: destinations, services, volumes.
+    pub app: AppCaps,
+    /// Ground truth from Table 10: functional in an IPv6-only network.
+    /// (The simulation must *reproduce* this; the functionality tester
+    /// never reads it. It exists for registry self-checks.)
+    pub expect_functional_v6only: bool,
+}
+
+impl DeviceProfile {
+    /// All destination domains (deduplicated set is the caller's job).
+    pub fn domains(&self) -> impl Iterator<Item = &Name> {
+        self.app.destinations.iter().map(|d| &d.domain)
+    }
+
+    /// The destinations the functionality test hinges on.
+    pub fn required_destinations(&self) -> impl Iterator<Item = &Destination> {
+        self.app.destinations.iter().filter(|d| d.required)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_labels_match_paper_columns() {
+        assert_eq!(Category::ALL.len(), 7);
+        assert_eq!(Category::TvEntertainment.label(), "TV/Ent.");
+        assert_eq!(Category::HomeAuto.label(), "Home Auto");
+    }
+
+    #[test]
+    fn empty_caps_have_no_ipv6() {
+        let c = Ipv6Caps::none();
+        assert!(!c.ndp && !c.lla && !c.slaac_gua && !c.ula);
+        assert_eq!(c.dad, DadBehavior::Full);
+    }
+
+    #[test]
+    fn profile_serde_roundtrip() {
+        let p = DeviceProfile {
+            id: "test_device".into(),
+            name: "Test Device".into(),
+            category: Category::Speaker,
+            manufacturer: "Acme".into(),
+            os: Os::Embedded,
+            purchase_year: 2023,
+            mac: Mac::new(2, 0, 0, 0, 0, 1),
+            ipv6: Ipv6Caps::none(),
+            dns: DnsCaps::v4_a_only(),
+            app: AppCaps {
+                destinations: vec![Destination {
+                    domain: Name::new("cloud.acme.com").unwrap(),
+                    aaaa_ready: true,
+                    required: true,
+                    party: Party::First,
+                    volume_weight: 3,
+                    a_only: false,
+                    wants_aaaa: true,
+                    aaaa_v4_transport_only: false,
+                    dual_stack: DualStackChoice::PreferV6,
+                }],
+                local_ipv6: false,
+                hardcoded_v6_endpoint: None,
+                open_tcp_v4: vec![80],
+                open_tcp_v6: vec![],
+                open_udp_v4: vec![],
+                open_udp_v6: vec![],
+                telemetry_period_s: 60,
+                telemetry_scale: 1,
+                v6_volume_share_pct: 0,
+                no_v6_data: false,
+                data_requires_required: false,
+            },
+            expect_functional_v6only: false,
+        };
+        let json = serde_json::to_string(&p).unwrap();
+        let back: DeviceProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(p.required_destinations().count(), 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro all                 # everything (tables 2-13, figures 2-5, scans)
+//! repro table3              # one artifact
+//! repro figure4
+//! repro portscan [--full]   # §5.4.2 (full = TCP 1-65535 like the paper)
+//! repro tracking            # §5.4.3
+//! repro dad                 # §5.2.1 DAD compliance
+//! ```
+
+use std::env;
+use v6brick_core::ports;
+use v6brick_experiments::portscan::{scan, ScanPlan};
+use v6brick_experiments::render::TextTable;
+use v6brick_experiments::suite::ExperimentSuite;
+use v6brick_experiments::{
+    active_dns, config, enterprise, figures, reachability, scenario, tables, tracking,
+};
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let full_scan = args.iter().any(|a| a == "--full");
+
+    if what == "table2" {
+        println!("{}", config::table2());
+        return;
+    }
+    if what == "portscan" {
+        run_portscan(full_scan);
+        return;
+    }
+    if what == "enterprise" {
+        println!("{}", enterprise::report());
+        return;
+    }
+    if what == "reachability" {
+        println!("{}", reachability::report());
+        return;
+    }
+    const KNOWN: &[&str] = &[
+        "all", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
+        "table10", "table11", "table12", "table13", "figure2", "figure3", "figure4",
+        "figure5", "dad", "variants", "tracking", "json",
+    ];
+    if !KNOWN.contains(&what) {
+        // Reject unknown artifacts *before* paying for the 6-experiment
+        // suite.
+        eprintln!(
+            "unknown artifact {what:?}; try: all, table2..table13, figure2..figure5, \
+             portscan, dad, variants, tracking, enterprise, reachability, json"
+        );
+        std::process::exit(2);
+    }
+
+    eprintln!("Running the six connectivity experiments over 93 devices...");
+    let t0 = std::time::Instant::now();
+    let suite = ExperimentSuite::run_all();
+    eprintln!("   done in {:?} ({} frames captured)", t0.elapsed(), suite
+        .runs()
+        .iter()
+        .map(|r| r.frames)
+        .sum::<u64>());
+
+    let active = || {
+        eprintln!("Running the active DNS experiment over all observed domains...");
+        let zones = scenario::build_zones(&suite.profiles);
+        active_dns::probe(suite.observed_domains(), zones)
+    };
+
+    let print = |t: TextTable| println!("{t}\n");
+    match what {
+        "all" => {
+            println!("{}", config::table2());
+            print(tables::table3(&suite));
+            print(figures::figure2(&suite));
+            print(tables::table4(&suite));
+            print(tables::table5(&suite));
+            print(tables::table6(&suite));
+            let a = active();
+            print(tables::table7(&suite, &a));
+            print(tables::table8(&suite));
+            print(tables::table9(&suite, &a));
+            print(tables::table10(&suite));
+            print(tables::table11(&suite));
+            print(tables::table12(&suite));
+            print(tables::table13(&suite));
+            print(figures::figure3(&suite));
+            print(figures::figure4(&suite));
+            print(figures::figure5(&suite));
+            print(tables::variants(&suite));
+            print(tables::dad_report(&suite));
+            print(tracking::tracking_table(&suite));
+            run_portscan(full_scan);
+        }
+        "table3" => print(tables::table3(&suite)),
+        "table4" => print(tables::table4(&suite)),
+        "table5" => print(tables::table5(&suite)),
+        "table6" => print(tables::table6(&suite)),
+        "table7" => print(tables::table7(&suite, &active())),
+        "table8" => print(tables::table8(&suite)),
+        "table9" => print(tables::table9(&suite, &active())),
+        "table10" => print(tables::table10(&suite)),
+        "table11" => print(tables::table11(&suite)),
+        "table12" => print(tables::table12(&suite)),
+        "table13" => print(tables::table13(&suite)),
+        "figure2" => print(figures::figure2(&suite)),
+        "figure3" => print(figures::figure3(&suite)),
+        "figure4" => print(figures::figure4(&suite)),
+        "figure5" => print(figures::figure5(&suite)),
+        "dad" => print(tables::dad_report(&suite)),
+        "variants" => print(tables::variants(&suite)),
+        "tracking" => print(tracking::tracking_table(&suite)),
+        "json" => {
+            // Machine-readable dump: headline numbers + per-device
+            // observations across the IPv6-capable union.
+            let mut per_device = std::collections::BTreeMap::new();
+            for id in suite.device_ids() {
+                per_device.insert(id.to_string(), suite.v6_and_dual_observation(id));
+            }
+            let out = serde_json::json!({
+                "headline": tables::headline_numbers(&suite),
+                "functional_v6only": suite
+                    .device_ids()
+                    .filter(|id| suite.functional_v6only(id))
+                    .collect::<Vec<_>>(),
+                "devices": per_device,
+            });
+            println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+        }
+        other => {
+            eprintln!(
+                "unknown artifact {other:?}; try: all, table2..table13, figure2..figure5, \
+                 portscan, dad, tracking, enterprise, reachability, json"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_portscan(full: bool) {
+    let plan = if full { ScanPlan::full() } else { ScanPlan::quick() };
+    eprintln!(
+        "Running the active port scans ({} TCP + {} UDP ports per address)...",
+        plan.tcp.len(),
+        plan.udp.len()
+    );
+    let profiles = v6brick_devices::registry::build();
+    let t0 = std::time::Instant::now();
+    let results = scan(&profiles, &plan);
+    eprintln!("   done in {:?}", t0.elapsed());
+    let mut t = TextTable::new("Port scans (§5.4.2): devices with asymmetric v4/v6 exposure")
+        .headers(["Device", "v4-only TCP", "v6-only TCP", "both"]);
+    for p in &profiles {
+        let r = &results[&p.id];
+        let d = ports::diff(&r.v4, &r.v6);
+        if d.is_asymmetric() {
+            let fmt = |s: &std::collections::BTreeSet<u16>| {
+                s.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(",")
+            };
+            t.row([
+                p.name.clone(),
+                fmt(&d.tcp_v4_only),
+                fmt(&d.tcp_v6_only),
+                fmt(&d.tcp_both),
+            ]);
+        }
+    }
+    println!("{t}");
+}

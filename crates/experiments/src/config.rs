@@ -1,0 +1,131 @@
+//! The six network configurations of Table 2.
+
+use serde::Serialize;
+use v6brick_sim::RouterConfig;
+
+/// Which of the six connectivity experiments to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub enum NetworkConfig {
+    /// Table 2 row 1: IPv4 enabled, IPv6 disabled.
+    Ipv4Only,
+    /// Table 2 row 2: SLAAC + RDNSS + stateless DHCPv6, no IPv4.
+    Ipv6Only,
+    /// Table 2 row 3: RDNSS is the only DNS-configuration channel.
+    Ipv6OnlyRdnssOnly,
+    /// Table 2 row 4: stateful DHCPv6 added to the baseline.
+    Ipv6OnlyStateful,
+    /// Table 2 row 5: IPv4 alongside the IPv6 baseline.
+    DualStack,
+    /// Table 2 row 6: dual-stack plus stateful DHCPv6.
+    DualStackStateful,
+    /// Extension beyond Table 2 (the paper's §7 future work): an
+    /// enterprise-style IPv6-only network where the RA prefix carries
+    /// `A=0`, making stateful DHCPv6 the only path to a global address.
+    /// Not part of [`NetworkConfig::ALL`]; run via `repro enterprise`.
+    Ipv6OnlyEnterprise,
+}
+
+impl NetworkConfig {
+    /// All six, in Table 2 order.
+    pub const ALL: [NetworkConfig; 6] = [
+        NetworkConfig::Ipv4Only,
+        NetworkConfig::Ipv6Only,
+        NetworkConfig::Ipv6OnlyRdnssOnly,
+        NetworkConfig::Ipv6OnlyStateful,
+        NetworkConfig::DualStack,
+        NetworkConfig::DualStackStateful,
+    ];
+
+    /// The three IPv6-only variants (Table 3's scope).
+    pub const IPV6_ONLY: [NetworkConfig; 3] = [
+        NetworkConfig::Ipv6Only,
+        NetworkConfig::Ipv6OnlyRdnssOnly,
+        NetworkConfig::Ipv6OnlyStateful,
+    ];
+
+    /// The two dual-stack variants (Table 4's scope).
+    pub const DUAL_STACK: [NetworkConfig; 2] =
+        [NetworkConfig::DualStack, NetworkConfig::DualStackStateful];
+
+    /// The router service set for this experiment.
+    pub fn router_config(self) -> RouterConfig {
+        match self {
+            NetworkConfig::Ipv4Only => RouterConfig::ipv4_only(),
+            NetworkConfig::Ipv6Only => RouterConfig::ipv6_only(),
+            NetworkConfig::Ipv6OnlyRdnssOnly => RouterConfig::ipv6_only_rdnss_only(),
+            NetworkConfig::Ipv6OnlyStateful => RouterConfig::ipv6_only_stateful(),
+            NetworkConfig::DualStack => RouterConfig::dual_stack(),
+            NetworkConfig::DualStackStateful => RouterConfig::dual_stack_stateful(),
+            NetworkConfig::Ipv6OnlyEnterprise => RouterConfig::ipv6_only_enterprise(),
+        }
+    }
+
+    /// The paper's row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            NetworkConfig::Ipv4Only => "IPv4-only",
+            NetworkConfig::Ipv6Only => "IPv6-only",
+            NetworkConfig::Ipv6OnlyRdnssOnly => "IPv6-only (RDNSS-only)",
+            NetworkConfig::Ipv6OnlyStateful => "IPv6-only (stateful)",
+            NetworkConfig::DualStack => "Dual-stack",
+            NetworkConfig::DualStackStateful => "Dual-stack (stateful)",
+            NetworkConfig::Ipv6OnlyEnterprise => "IPv6-only (enterprise, no SLAAC)",
+        }
+    }
+
+    /// A convenient alias used throughout the examples.
+    pub fn ipv6_only() -> NetworkConfig {
+        NetworkConfig::Ipv6Only
+    }
+}
+
+/// Render Table 2 (the configuration matrix) as text.
+pub fn table2() -> String {
+    let mut out = String::from(
+        "Table 2: Connectivity experiments configuration\n\
+         Experiment              | IPv4 | SLAAC+RDNSS | Stateless DHCPv6 | Stateful DHCPv6\n",
+    );
+    for c in NetworkConfig::ALL {
+        let r = c.router_config();
+        let check = |b: bool| if b { "yes" } else { " - " };
+        out.push_str(&format!(
+            "{:<24}|  {}  |     {}     |       {}        |       {}\n",
+            c.label(),
+            check(r.ipv4),
+            check(r.ipv6 && r.rdnss),
+            check(r.stateless_dhcpv6),
+            check(r.stateful_dhcpv6),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_configurations_match_table2() {
+        assert_eq!(NetworkConfig::ALL.len(), 6);
+        let r = NetworkConfig::Ipv4Only.router_config();
+        assert!(r.ipv4 && !r.ipv6);
+        let r = NetworkConfig::Ipv6Only.router_config();
+        assert!(!r.ipv4 && r.ipv6 && r.rdnss && r.stateless_dhcpv6 && !r.stateful_dhcpv6);
+        let r = NetworkConfig::Ipv6OnlyRdnssOnly.router_config();
+        assert!(r.rdnss && !r.stateless_dhcpv6);
+        let r = NetworkConfig::Ipv6OnlyStateful.router_config();
+        assert!(r.stateful_dhcpv6 && r.stateless_dhcpv6);
+        let r = NetworkConfig::DualStack.router_config();
+        assert!(r.ipv4 && r.ipv6 && !r.stateful_dhcpv6);
+        let r = NetworkConfig::DualStackStateful.router_config();
+        assert!(r.ipv4 && r.stateful_dhcpv6);
+    }
+
+    #[test]
+    fn table2_renders_all_rows() {
+        let t = table2();
+        for c in NetworkConfig::ALL {
+            assert!(t.contains(c.label()), "missing {}", c.label());
+        }
+    }
+}

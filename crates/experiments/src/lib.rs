@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! # v6brick-experiments — experiment orchestration
+//!
+//! Drives the six connectivity experiments of Table 2 over the full
+//! 93-device testbed, runs the functionality tests and the two active
+//! experiments (DNS AAAA probing and port scans), and regenerates every
+//! table and figure of the paper's evaluation.
+//!
+//! ```no_run
+//! use v6brick_experiments::suite::ExperimentSuite;
+//!
+//! let suite = ExperimentSuite::run_all();
+//! println!("{}", v6brick_experiments::tables::table3(&suite));
+//! ```
+
+pub mod active_dns;
+pub mod config;
+pub mod enterprise;
+pub mod figures;
+pub mod portscan;
+pub mod reachability;
+pub mod render;
+pub mod scenario;
+pub mod suite;
+pub mod tables;
+pub mod tracking;
+
+pub use config::NetworkConfig;
+pub use scenario::ExperimentRun;
+pub use suite::ExperimentSuite;

@@ -1,0 +1,153 @@
+//! Plain-text table rendering for the `repro` binary and EXPERIMENTS.md.
+
+use std::fmt;
+
+/// A rendered table: a title, a header row, and data rows.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    /// Title.
+    pub title: String,
+    /// Headers.
+    pub headers: Vec<String>,
+    /// Rows.
+    pub rows: Vec<Vec<String>>,
+    /// Denominator for the percentage column of [`TextTable::count_row`]
+    /// and [`TextTable::delta_row`] (the testbed population).
+    pub percent_base: usize,
+}
+
+impl TextTable {
+    /// Start a table. The percentage denominator defaults to the paper's
+    /// 93-device testbed; override with [`TextTable::percent_base`] when
+    /// generating over a subset.
+    pub fn new(title: impl Into<String>) -> TextTable {
+        TextTable {
+            title: title.into(),
+            percent_base: 93,
+            ..TextTable::default()
+        }
+    }
+
+    /// Set the denominator used by the percentage columns.
+    pub fn percent_base(mut self, population: usize) -> TextTable {
+        self.percent_base = population.max(1);
+        self
+    }
+
+    /// Set the header row.
+    pub fn headers<I: IntoIterator<Item = S>, S: Into<String>>(mut self, h: I) -> TextTable {
+        self.headers = h.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Append a row.
+    pub fn row<I: IntoIterator<Item = S>, S: Into<String>>(&mut self, r: I) {
+        self.rows.push(r.into_iter().map(Into::into).collect());
+    }
+
+    /// Append a row from a label plus per-category counts and a total.
+    pub fn count_row(&mut self, label: &str, counts: &[usize]) {
+        let mut r = vec![label.to_string()];
+        r.extend(counts.iter().map(|c| c.to_string()));
+        let total: usize = counts.iter().sum();
+        r.push(total.to_string());
+        let pct = 100.0 * total as f64 / self.percent_base as f64;
+        r.push(format!("{pct:.1}%"));
+        self.rows.push(r);
+    }
+
+    /// Append a signed-delta row.
+    pub fn delta_row(&mut self, label: &str, deltas: &[i64]) {
+        let mut r = vec![label.to_string()];
+        r.extend(deltas.iter().map(|d| format!("{d:+}")));
+        let total: i64 = deltas.iter().sum();
+        r.push(format!("{total:+}"));
+        let pct = 100.0 * total as f64 / self.percent_base as f64;
+        r.push(format!("{pct:+.1}%"));
+        self.rows.push(r);
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Column widths.
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "{}", self.title)?;
+        if !self.headers.is_empty() {
+            let line: Vec<String> = self
+                .headers
+                .iter()
+                .enumerate()
+                .map(|(i, h)| format!("{h:<w$}", w = widths[i]))
+                .collect();
+            writeln!(f, "{}", line.join("  "))?;
+            writeln!(
+                f,
+                "{}",
+                widths
+                    .iter()
+                    .map(|w| "-".repeat(*w))
+                    .collect::<Vec<_>>()
+                    .join("  ")
+            )?;
+        }
+        for r in &self.rows {
+            let line: Vec<String> = r
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:<w$}", w = widths.get(i).copied().unwrap_or(0)))
+                .collect();
+            writeln!(f, "{}", line.join("  ").trim_end())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new("Demo").headers(["name", "count"]);
+        t.row(["alpha", "1"]);
+        t.row(["beta-longer", "22"]);
+        let s = t.to_string();
+        assert!(s.starts_with("Demo\n"));
+        assert!(s.contains("alpha        1"));
+        assert!(s.contains("beta-longer  22"));
+    }
+
+    #[test]
+    fn count_row_totals_and_percent() {
+        let mut t = TextTable::new("T");
+        t.count_row("x", &[1, 2, 3]);
+        let s = t.to_string();
+        assert!(s.contains("6"));
+        assert!(s.contains("6.5%"), "default base is the 93-device testbed");
+
+        let mut t = TextTable::new("T").percent_base(12);
+        t.count_row("x", &[1, 2, 3]);
+        assert!(t.to_string().contains("50.0%"), "subset base respected");
+    }
+
+    #[test]
+    fn delta_row_signs() {
+        let mut t = TextTable::new("T");
+        t.delta_row("d", &[1, -2, 0]);
+        let s = t.to_string();
+        assert!(s.contains("+1") && s.contains("-2") && s.contains("-1"));
+    }
+}

@@ -1,0 +1,232 @@
+//! The six-experiment suite with union/delta helpers.
+
+use crate::config::NetworkConfig;
+use crate::scenario::{self, ExperimentRun};
+use parking_lot::Mutex;
+use std::collections::{BTreeSet, HashMap};
+use v6brick_core::observe::DeviceObservation;
+use v6brick_devices::profile::DeviceProfile;
+use v6brick_devices::registry;
+
+/// All experiment runs plus the device registry they ran over.
+pub struct ExperimentSuite {
+    /// The device profiles the runs were built from.
+    pub profiles: Vec<DeviceProfile>,
+    /// One run per configuration. Private so the memoized unions below
+    /// can never go stale; read through [`ExperimentSuite::runs`].
+    runs: Vec<ExperimentRun>,
+    /// Memoized scope-union observations (the table generators hit the
+    /// same unions hundreds of times).
+    union_cache: Mutex<HashMap<(u8, String), DeviceObservation>>,
+}
+
+impl ExperimentSuite {
+    /// Run all six configurations over the full 93-device registry.
+    pub fn run_all() -> ExperimentSuite {
+        let profiles = registry::build();
+        let runs = NetworkConfig::ALL
+            .iter()
+            .map(|c| scenario::run_with_profiles(*c, &profiles))
+            .collect();
+        ExperimentSuite {
+            profiles,
+            runs,
+            union_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Run a single configuration (examples use this).
+    pub fn run_config(config: NetworkConfig) -> ExperimentSuite {
+        let profiles = registry::build();
+        let runs = vec![scenario::run_with_profiles(config, &profiles)];
+        ExperimentSuite {
+            profiles,
+            runs,
+            union_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Every run, in the order they were executed.
+    pub fn runs(&self) -> &[ExperimentRun] {
+        &self.runs
+    }
+
+    /// The run for one configuration.
+    pub fn run(&self, config: NetworkConfig) -> &ExperimentRun {
+        self.runs
+            .iter()
+            .find(|r| r.config == config)
+            .unwrap_or_else(|| panic!("suite does not contain {config:?}"))
+    }
+
+    /// Device ids in registry order.
+    pub fn device_ids(&self) -> impl Iterator<Item = &str> {
+        self.profiles.iter().map(|p| p.id.as_str())
+    }
+
+    /// The profile for a device id.
+    pub fn profile(&self, id: &str) -> &DeviceProfile {
+        self.profiles
+            .iter()
+            .find(|p| p.id == id)
+            .unwrap_or_else(|| panic!("unknown device {id}"))
+    }
+
+    /// Merge a device's observations across a set of configurations
+    /// (set-union semantics; byte counters summed).
+    pub fn union_observation(&self, id: &str, configs: &[NetworkConfig]) -> DeviceObservation {
+        let mut merged = DeviceObservation::default();
+        for c in configs {
+            let Some(run) = self.runs.iter().find(|r| r.config == *c) else {
+                continue;
+            };
+            let Some(o) = run.analysis.device(id) else {
+                continue;
+            };
+            merge_into(&mut merged, o);
+        }
+        merged
+    }
+
+    fn cached_union(
+        &self,
+        scope: u8,
+        id: &str,
+        configs: &[NetworkConfig],
+    ) -> DeviceObservation {
+        let key = (scope, id.to_string());
+        if let Some(hit) = self.union_cache.lock().get(&key) {
+            return hit.clone();
+        }
+        let merged = self.union_observation(id, configs);
+        self.union_cache.lock().insert(key, merged.clone());
+        merged
+    }
+
+    /// Union across the three IPv6-only configurations (Table 3 scope).
+    pub fn v6only_observation(&self, id: &str) -> DeviceObservation {
+        self.cached_union(0, id, &NetworkConfig::IPV6_ONLY)
+    }
+
+    /// Union across the two dual-stack configurations (Table 4 scope).
+    pub fn dual_observation(&self, id: &str) -> DeviceObservation {
+        self.cached_union(1, id, &NetworkConfig::DUAL_STACK)
+    }
+
+    /// Union across all IPv6-capable configurations (Table 5 scope:
+    /// "IPv6-only and dual-stack experiments").
+    pub fn v6_and_dual_observation(&self, id: &str) -> DeviceObservation {
+        let mut configs: Vec<NetworkConfig> = NetworkConfig::IPV6_ONLY.to_vec();
+        configs.extend(NetworkConfig::DUAL_STACK);
+        self.cached_union(2, id, &configs)
+    }
+
+    /// Functional in the given configuration?
+    pub fn functional_in(&self, id: &str, config: NetworkConfig) -> bool {
+        self.runs
+            .iter()
+            .find(|r| r.config == config)
+            .and_then(|r| r.functional.get(id))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Functional in *any* IPv6-only configuration (the paper's Table 3
+    /// criterion).
+    pub fn functional_v6only(&self, id: &str) -> bool {
+        NetworkConfig::IPV6_ONLY
+            .iter()
+            .any(|c| self.runs.iter().any(|r| r.config == *c) && self.functional_in(id, *c))
+    }
+
+    /// The functional device ids under the first configuration in the
+    /// suite (convenience for single-config suites).
+    pub fn functional_devices(&self) -> Vec<&str> {
+        let run = &self.runs[0];
+        self.profiles
+            .iter()
+            .filter(|p| run.functional.get(&p.id).copied().unwrap_or(false))
+            .map(|p| p.id.as_str())
+            .collect()
+    }
+
+    /// Every destination domain observed (DNS + SNI) across all runs,
+    /// excluding local names — the input to the active DNS experiment.
+    pub fn observed_domains(&self) -> BTreeSet<v6brick_net::dns::Name> {
+        let mut out = BTreeSet::new();
+        for run in &self.runs {
+            for o in run.analysis.devices.values() {
+                for n in o
+                    .a_q_v4
+                    .iter()
+                    .chain(&o.a_q_v6)
+                    .chain(&o.aaaa_q_v4)
+                    .chain(&o.aaaa_q_v6)
+                    .chain(&o.sni_domains)
+                {
+                    if !n.as_str().ends_with(".local") {
+                        out.insert(n.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Set-union merge of one observation into another.
+pub fn merge_into(dst: &mut DeviceObservation, src: &DeviceObservation) {
+    dst.ndp_traffic |= src.ndp_traffic;
+    dst.announced_v6.extend(src.announced_v6.iter().copied());
+    dst.active_v6.extend(src.active_v6.iter().copied());
+    dst.dad_probed.extend(src.dad_probed.iter().copied());
+    dst.dhcpv4_used |= src.dhcpv4_used;
+    dst.dhcpv6_stateless |= src.dhcpv6_stateless;
+    dst.dhcpv6_stateful |= src.dhcpv6_stateful;
+    dst.dhcpv6_addrs.extend(src.dhcpv6_addrs.iter().copied());
+    dst.aaaa_q_v6.extend(src.aaaa_q_v6.iter().cloned());
+    dst.aaaa_q_v4.extend(src.aaaa_q_v4.iter().cloned());
+    dst.a_q_v6.extend(src.a_q_v6.iter().cloned());
+    dst.a_q_v4.extend(src.a_q_v4.iter().cloned());
+    dst.https_q.extend(src.https_q.iter().cloned());
+    dst.svcb_q.extend(src.svcb_q.iter().cloned());
+    dst.aaaa_pos_v6.extend(src.aaaa_pos_v6.iter().cloned());
+    dst.aaaa_pos_v4.extend(src.aaaa_pos_v4.iter().cloned());
+    dst.aaaa_neg.extend(src.aaaa_neg.iter().cloned());
+    dst.dns_src_v6.extend(src.dns_src_v6.iter().copied());
+    dst.v6_internet_bytes += src.v6_internet_bytes;
+    dst.v4_internet_bytes += src.v4_internet_bytes;
+    dst.v6_local_bytes += src.v6_local_bytes;
+    dst.v6_internet_peers.extend(src.v6_internet_peers.iter().copied());
+    dst.data_src_v6.extend(src.data_src_v6.iter().copied());
+    dst.ntp_src_v6.extend(src.ntp_src_v6.iter().copied());
+    dst.domains_v6.extend(src.domains_v6.iter().cloned());
+    dst.domains_v4.extend(src.domains_v4.iter().cloned());
+    dst.sni_domains.extend(src.sni_domains.iter().cloned());
+    dst.domains_from_eui64.extend(src.domains_from_eui64.iter().cloned());
+    dst.dns_names_from_eui64.extend(src.dns_names_from_eui64.iter().cloned());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_unions_sets_and_sums_bytes() {
+        let mut a = DeviceObservation {
+            v6_internet_bytes: 10,
+            ..DeviceObservation::default()
+        };
+        a.aaaa_q_v6.insert("x.example".parse().unwrap());
+        let mut b = DeviceObservation {
+            v6_internet_bytes: 5,
+            ndp_traffic: true,
+            ..DeviceObservation::default()
+        };
+        b.aaaa_q_v6.insert("y.example".parse().unwrap());
+        merge_into(&mut a, &b);
+        assert_eq!(a.v6_internet_bytes, 15);
+        assert!(a.ndp_traffic);
+        assert_eq!(a.aaaa_q_v6.len(), 2);
+    }
+}

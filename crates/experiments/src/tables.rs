@@ -1,0 +1,875 @@
+//! One generator per paper table. Every number here is *measured* from
+//! the captures (or the device models for the functionality column); the
+//! registry's ground truth is never consulted.
+
+use crate::active_dns::ActiveDnsReport;
+use crate::render::TextTable;
+use crate::suite::ExperimentSuite;
+use crate::NetworkConfig;
+use std::collections::{BTreeMap, BTreeSet};
+use v6brick_core::observe::DeviceObservation;
+use v6brick_core::transitions;
+use v6brick_devices::profile::{Category, Os};
+use v6brick_net::dns::Name;
+use v6brick_net::ipv6::{AddressKind, Ipv6AddrExt};
+
+/// Count devices per category satisfying `pred`.
+pub fn count_by_category(
+    suite: &ExperimentSuite,
+    mut pred: impl FnMut(&str) -> bool,
+) -> Vec<usize> {
+    Category::ALL
+        .iter()
+        .map(|c| {
+            suite
+                .profiles
+                .iter()
+                .filter(|p| p.category == *c && pred(&p.id))
+                .count()
+        })
+        .collect()
+}
+
+// --- shared measurement predicates -----------------------------------------
+
+/// Active GUA (sourced traffic from a global address)?
+pub fn active_gua(o: &DeviceObservation) -> bool {
+    o.active_v6.iter().any(|a| a.is_global_unicast())
+}
+
+/// Holds an active EUI-64 address: an (inherently link-used) EUI-64 LLA,
+/// or an EUI-64 global that sourced traffic.
+pub fn has_eui64_addr(o: &DeviceObservation) -> bool {
+    o.all_addrs().iter().any(|a| a.is_link_local() && a.is_eui64())
+        || o.active_v6.iter().any(|a| !a.is_link_local() && a.is_eui64())
+}
+
+/// Assigned any ULA?
+pub fn has_ula(o: &DeviceObservation) -> bool {
+    o.all_addrs().iter().any(|a| a.is_unique_local())
+}
+
+/// Assigned any LLA?
+pub fn has_lla(o: &DeviceObservation) -> bool {
+    o.all_addrs().iter().any(|a| a.is_link_local())
+}
+
+/// Any v4-only AAAA query name?
+pub fn aaaa_v4_only(o: &DeviceObservation) -> bool {
+    o.aaaa_q_v4.difference(&o.aaaa_q_v6).next().is_some()
+}
+
+// --- Table 3 -----------------------------------------------------------------
+
+/// Table 3: IPv6-only experiments, the feature funnel per category.
+pub fn table3(suite: &ExperimentSuite) -> TextTable {
+    let o = |id: &str| suite.v6only_observation(id);
+    let mut t = TextTable::new(
+        "Table 3: IPv6-only experiments — IPv6 feature support per category",
+    )
+    .percent_base(suite.profiles.len())
+    .headers([
+        "Feature", "Appliance", "Camera", "TV/Ent.", "Gateway", "Health", "Home Auto",
+        "Speaker", "Total", "%",
+    ]);
+    t.count_row("Total # of Device", &count_by_category(suite, |_| true));
+    t.count_row("- No IPv6", &count_by_category(suite, |id| !o(id).ndp_traffic));
+    t.count_row("IPv6 NDP Traffic", &count_by_category(suite, |id| o(id).ndp_traffic));
+    t.count_row(
+        "- NDP Traffic No Addr",
+        &count_by_category(suite, |id| o(id).ndp_traffic && !o(id).has_v6_addr()),
+    );
+    t.count_row("IPv6 Address", &count_by_category(suite, |id| o(id).has_v6_addr()));
+    t.count_row(
+        "^ Global Unique Address",
+        &count_by_category(suite, |id| active_gua(&o(id))),
+    );
+    t.count_row(
+        "- IPv6 Address but No IPv6 DNS",
+        &count_by_category(suite, |id| o(id).has_v6_addr() && !o(id).dns_over_v6()),
+    );
+    t.count_row(
+        "IPv6 DNS (AAAA Req)",
+        &count_by_category(suite, |id| !o(id).aaaa_q_v6.is_empty()),
+    );
+    t.count_row(
+        "^ AAAA DNS Response",
+        &count_by_category(suite, |id| !o(id).aaaa_pos_v6.is_empty()),
+    );
+    t.count_row(
+        "- IPv6 DNS but No Data",
+        &count_by_category(suite, |id| {
+            !o(id).aaaa_q_v6.is_empty() && !o(id).v6_internet_data()
+        }),
+    );
+    t.count_row(
+        "Internet TCP/UDP Data Comm.",
+        &count_by_category(suite, |id| o(id).v6_internet_data()),
+    );
+    t.count_row(
+        "- IPv6 Data but Not Func",
+        &count_by_category(suite, |id| {
+            o(id).v6_internet_data() && !suite.functional_v6only(id)
+        }),
+    );
+    t.count_row(
+        "Functional over IPv6-only",
+        &count_by_category(suite, |id| suite.functional_v6only(id)),
+    );
+    t
+}
+
+// --- Table 4 -----------------------------------------------------------------
+
+/// Table 4: per-category deltas, dual-stack minus IPv6-only.
+pub fn table4(suite: &ExperimentSuite) -> TextTable {
+    let mut t = TextTable::new(
+        "Table 4: Dual-stack experiments — feature-support deltas vs IPv6-only",
+    )
+    .percent_base(suite.profiles.len())
+    .headers([
+        "Feature", "Appliance", "Camera", "TV/Ent.", "Gateway", "Health", "Home Auto",
+        "Speaker", "Total", "%",
+    ]);
+    let mut delta = |label: &str, f: &dyn Fn(&DeviceObservation) -> bool| {
+        let dual = count_by_category(suite, |id| f(&suite.dual_observation(id)));
+        let v6 = count_by_category(suite, |id| f(&suite.v6only_observation(id)));
+        let d: Vec<i64> = dual
+            .iter()
+            .zip(&v6)
+            .map(|(a, b)| *a as i64 - *b as i64)
+            .collect();
+        t.delta_row(label, &d);
+    };
+    delta("IPv6 NDP Traffic", &|o| o.ndp_traffic);
+    delta("IPv6 Address", &|o| o.has_v6_addr());
+    delta("^ Global Unique Address", &active_gua);
+    delta("AAAA DNS Request", &|o| !o.aaaa_q_any().is_empty());
+    delta("^ AAAA DNS Response", &|o| !o.aaaa_pos_any().is_empty());
+    delta("Internet TCP/UDP Data Comm.", &|o| o.v6_internet_data());
+    t
+}
+
+// --- Table 5 -----------------------------------------------------------------
+
+/// Table 5: feature support, IPv6-only and dual-stack experiments united.
+pub fn table5(suite: &ExperimentSuite) -> TextTable {
+    let o = |id: &str| suite.v6_and_dual_observation(id);
+    let mut t = TextTable::new(
+        "Table 5: IPv6-only and dual-stack experiments — IPv6 feature support",
+    )
+    .percent_base(suite.profiles.len())
+    .headers([
+        "Feature", "Appliance", "Camera", "TV/Ent.", "Gateway", "Health", "Home Auto",
+        "Speaker", "Total", "%",
+    ]);
+    t.count_row("IPv6 Addr", &count_by_category(suite, |id| o(id).has_v6_addr()));
+    t.count_row(
+        "Stateful DHCPv6",
+        &count_by_category(suite, |id| o(id).dhcpv6_stateful),
+    );
+    t.count_row("GUA", &count_by_category(suite, |id| active_gua(&o(id))));
+    t.count_row("ULA", &count_by_category(suite, |id| has_ula(&o(id))));
+    t.count_row("LLA", &count_by_category(suite, |id| has_lla(&o(id))));
+    t.count_row(
+        "EUI-64 Addr",
+        &count_by_category(suite, |id| has_eui64_addr(&o(id))),
+    );
+    t.count_row(
+        "DNS Over IPv6",
+        &count_by_category(suite, |id| o(id).dns_over_v6()),
+    );
+    t.count_row(
+        "A-only Request in IPv6",
+        &count_by_category(suite, |id| !o(id).a_only_v6_names().is_empty()),
+    );
+    t.count_row(
+        "AAAA Request (v4 or v6)",
+        &count_by_category(suite, |id| !o(id).aaaa_q_any().is_empty()),
+    );
+    t.count_row(
+        "IPv4-only AAAA Request",
+        &count_by_category(suite, |id| aaaa_v4_only(&o(id))),
+    );
+    t.count_row(
+        "AAAA Response",
+        &count_by_category(suite, |id| !o(id).aaaa_pos_any().is_empty()),
+    );
+    t.count_row(
+        "AAAA Req No AAAA Res",
+        &count_by_category(suite, |id| !o(id).aaaa_neg.is_empty()),
+    );
+    t.count_row(
+        "Stateless DHCPv6",
+        &count_by_category(suite, |id| o(id).dhcpv6_stateless),
+    );
+    t.count_row(
+        "IPv6 TCP/UDP Trans",
+        &count_by_category(suite, |id| {
+            o(id).v6_internet_bytes + o(id).v6_local_bytes > 0
+        }),
+    );
+    t.count_row(
+        "Internet Trans",
+        &count_by_category(suite, |id| o(id).v6_internet_data()),
+    );
+    t.count_row(
+        "Local Trans",
+        &count_by_category(suite, |id| o(id).v6_local_bytes > 0),
+    );
+    t
+}
+
+// --- Table 6 -----------------------------------------------------------------
+
+/// Table 6: address counts, distinct query names, dual-stack volume
+/// fractions — per category.
+pub fn table6(suite: &ExperimentSuite) -> TextTable {
+    let o = |id: &str| suite.v6_and_dual_observation(id);
+    let mut t = TextTable::new(
+        "Table 6: number of IPv6 addresses, DNS query names, and the dual-stack IPv6 volume fraction",
+    )
+    .headers([
+        "Metric", "Appliance", "Camera", "TV/Ent.", "Gateway", "Health", "Home Auto",
+        "Speaker", "Total",
+    ]);
+    let sum_by_cat = |f: &dyn Fn(&DeviceObservation) -> usize| -> Vec<usize> {
+        Category::ALL
+            .iter()
+            .map(|c| {
+                suite
+                    .profiles
+                    .iter()
+                    .filter(|p| p.category == *c)
+                    .map(|p| f(&o(&p.id)))
+                    .sum()
+            })
+            .collect()
+    };
+    let sum_row = |t: &mut TextTable, label: &str, f: &dyn Fn(&DeviceObservation) -> usize| {
+        let counts = sum_by_cat(f);
+        let mut r = vec![label.to_string()];
+        r.extend(counts.iter().map(|c| c.to_string()));
+        r.push(counts.iter().sum::<usize>().to_string());
+        t.rows.push(r);
+    };
+    sum_row(&mut t, "# of IPv6 Addr", &|ob| ob.all_addrs().len());
+    sum_row(&mut t, "# of GUA Addr", &|ob| {
+        ob.all_addrs().iter().filter(|a| a.kind() == AddressKind::Global).count()
+    });
+    sum_row(&mut t, "# of ULA Addr", &|ob| {
+        ob.all_addrs().iter().filter(|a| a.kind() == AddressKind::UniqueLocal).count()
+    });
+    sum_row(&mut t, "# of LLA Addr", &|ob| {
+        ob.all_addrs().iter().filter(|a| a.kind() == AddressKind::LinkLocal).count()
+    });
+    sum_row(&mut t, "# of AAAA DNS Req", &|ob| ob.aaaa_q_any().len());
+    sum_row(&mut t, "# of A-only Req in IPv6", &|ob| ob.a_only_v6_names().len());
+    sum_row(&mut t, "# of IPv4-only AAAA Req", &|ob| {
+        ob.aaaa_q_v4.difference(&ob.aaaa_q_v6).count()
+    });
+    sum_row(&mut t, "# of AAAA DNS Res", &|ob| ob.aaaa_pos_any().len());
+
+    // Volume fraction per category, dual-stack only.
+    let mut r = vec!["IPv6 Fraction of Total Volume (%)".to_string()];
+    let (mut tot6, mut tot) = (0u64, 0u64);
+    for c in Category::ALL {
+        let (mut v6, mut all) = (0u64, 0u64);
+        for p in suite.profiles.iter().filter(|p| p.category == c) {
+            let ob = suite.dual_observation(&p.id);
+            v6 += ob.v6_internet_bytes;
+            all += ob.v6_internet_bytes + ob.v4_internet_bytes;
+        }
+        tot6 += v6;
+        tot += all;
+        r.push(if all == 0 {
+            "0.0%".into()
+        } else {
+            format!("{:.1}%", 100.0 * v6 as f64 / all as f64)
+        });
+    }
+    r.push(format!("{:.1}%", 100.0 * tot6 as f64 / tot.max(1) as f64));
+    t.rows.push(r);
+    t
+}
+
+// --- Table 7 -----------------------------------------------------------------
+
+/// Table 7: destination AAAA readiness, measured by the active DNS
+/// experiment, split functional / non-functional and grouped by category
+/// and by manufacturer.
+pub fn table7(suite: &ExperimentSuite, active: &ActiveDnsReport) -> TextTable {
+    let ready = active.aaaa_ready();
+    let mut t = TextTable::new(
+        "Table 7: DNS AAAA readiness across destinations (active queries)",
+    )
+    .headers(["Group", "Device #", "Domain #", "AAAA Res. #", "AAAA Res. %"]);
+
+    // Per-device observed domains (DNS + SNI, all runs).
+    let device_domains = |id: &str| -> BTreeSet<Name> {
+        let mut out = BTreeSet::new();
+        for run in suite.runs() {
+            if let Some(o) = run.analysis.device(id) {
+                for n in o
+                    .a_q_v4
+                    .iter()
+                    .chain(&o.a_q_v6)
+                    .chain(&o.aaaa_q_v4)
+                    .chain(&o.aaaa_q_v6)
+                    .chain(&o.sni_domains)
+                {
+                    if !n.as_str().ends_with(".local") {
+                        out.insert(n.clone());
+                    }
+                }
+            }
+        }
+        out
+    };
+
+    let group_row = |t: &mut TextTable, label: String, ids: Vec<&str>| {
+        let mut domains = BTreeSet::new();
+        for id in &ids {
+            domains.extend(device_domains(id));
+        }
+        let ready_count = domains.iter().filter(|d| ready.contains(*d)).count();
+        let pct = if domains.is_empty() {
+            0.0
+        } else {
+            100.0 * ready_count as f64 / domains.len() as f64
+        };
+        t.row([
+            label,
+            ids.len().to_string(),
+            domains.len().to_string(),
+            ready_count.to_string(),
+            format!("{pct:.1}%"),
+        ]);
+    };
+
+    t.row(["— Functional devices in IPv6-only network —", "", "", "", ""]);
+    for c in Category::ALL {
+        let ids: Vec<&str> = suite
+            .profiles
+            .iter()
+            .filter(|p| p.category == c && suite.functional_v6only(&p.id))
+            .map(|p| p.id.as_str())
+            .collect();
+        if !ids.is_empty() {
+            group_row(&mut t, c.label().to_string(), ids);
+        }
+    }
+    let func: Vec<&str> = suite
+        .profiles
+        .iter()
+        .filter(|p| suite.functional_v6only(&p.id))
+        .map(|p| p.id.as_str())
+        .collect();
+    group_row(&mut t, "Total (functional)".into(), func);
+
+    t.row(["— Non-functional devices in IPv6-only network —", "", "", "", ""]);
+    for c in Category::ALL {
+        let ids: Vec<&str> = suite
+            .profiles
+            .iter()
+            .filter(|p| p.category == c && !suite.functional_v6only(&p.id))
+            .map(|p| p.id.as_str())
+            .collect();
+        if !ids.is_empty() {
+            group_row(&mut t, c.label().to_string(), ids);
+        }
+    }
+    let nonfunc: Vec<&str> = suite
+        .profiles
+        .iter()
+        .filter(|p| !suite.functional_v6only(&p.id))
+        .map(|p| p.id.as_str())
+        .collect();
+    group_row(&mut t, "Total (non-functional)".into(), nonfunc);
+
+    // By manufacturer (>= 3 devices), non-functional side like the paper.
+    t.row(["— Non-functional, by manufacturer (>= 3 devices) —", "", "", "", ""]);
+    let mut mans: Vec<&String> = suite.profiles.iter().map(|p| &p.manufacturer).collect();
+    mans.sort();
+    mans.dedup();
+    for man in mans {
+        let ids: Vec<&str> = suite
+            .profiles
+            .iter()
+            .filter(|p| &p.manufacturer == man && !suite.functional_v6only(&p.id))
+            .map(|p| p.id.as_str())
+            .collect();
+        if ids.len() >= 3 {
+            group_row(&mut t, man.clone(), ids);
+        }
+    }
+    t
+}
+
+// --- Table 8 -----------------------------------------------------------------
+
+/// Table 8: feature support by manufacturer/platform (≥3 devices) and OS
+/// (≥2 devices).
+pub fn table8(suite: &ExperimentSuite) -> TextTable {
+    let o = |id: &str| suite.v6_and_dual_observation(id);
+    // Column groups.
+    let mut mans: Vec<String> = suite
+        .profiles
+        .iter()
+        .map(|p| p.manufacturer.clone())
+        .collect();
+    mans.sort();
+    mans.dedup();
+    let mans: Vec<String> = mans
+        .into_iter()
+        .filter(|m| suite.profiles.iter().filter(|p| &p.manufacturer == m).count() >= 3)
+        .collect();
+    let oses: Vec<Os> = [Os::Tizen, Os::FireOs, Os::AndroidBased, Os::Fuchsia, Os::IosTvos]
+        .into_iter()
+        .filter(|os| suite.profiles.iter().filter(|p| p.os == *os).count() >= 2)
+        .collect();
+
+    let mut headers = vec!["Feature".to_string(), "Total".to_string()];
+    headers.extend(mans.iter().cloned());
+    headers.extend(oses.iter().map(|os| os.label().to_string()));
+    let mut t = TextTable::new(
+        "Table 8: IPv6 feature support per manufacturer/platform (>=3 devices) and OS (>=2 devices)",
+    );
+    t.headers = headers;
+
+    let feature_row = |t: &mut TextTable, label: &str, f: &dyn Fn(&str) -> bool| {
+        let mut r = vec![label.to_string()];
+        let total = suite.profiles.iter().filter(|p| f(&p.id)).count();
+        r.push(total.to_string());
+        for m in &mans {
+            let n = suite
+                .profiles
+                .iter()
+                .filter(|p| &p.manufacturer == m && f(&p.id))
+                .count();
+            r.push(n.to_string());
+        }
+        for os in &oses {
+            let n = suite
+                .profiles
+                .iter()
+                .filter(|p| p.os == *os && f(&p.id))
+                .count();
+            r.push(n.to_string());
+        }
+        t.rows.push(r);
+    };
+
+    feature_row(&mut t, "Device #", &|_| true);
+    feature_row(&mut t, "Functional over IPv6-only", &|id| {
+        suite.functional_v6only(id)
+    });
+    feature_row(&mut t, "IPv6 Address", &|id| o(id).has_v6_addr());
+    feature_row(&mut t, "Stateful DHCPv6", &|id| o(id).dhcpv6_stateful);
+    feature_row(&mut t, "GUA", &|id| active_gua(&o(id)));
+    feature_row(&mut t, "ULA", &|id| has_ula(&o(id)));
+    feature_row(&mut t, "LLA", &|id| has_lla(&o(id)));
+    feature_row(&mut t, "GUA EUI-64 Address", &|id| {
+        o(id).active_v6.iter().any(|a| a.is_global_unicast() && a.is_eui64())
+    });
+    feature_row(&mut t, "DNS over IPv6", &|id| o(id).dns_over_v6());
+    feature_row(&mut t, "A-only Req in IPv6", &|id| {
+        !o(id).a_only_v6_names().is_empty()
+    });
+    feature_row(&mut t, "AAAA Req (v4 or v6)", &|id| {
+        !o(id).aaaa_q_any().is_empty()
+    });
+    feature_row(&mut t, "IPv4-only AAAA Req", &|id| aaaa_v4_only(&o(id)));
+    feature_row(&mut t, "EUI-64 Addr DNS Req", &|id| {
+        o(id).dns_src_v6.iter().any(|a| a.is_global_unicast() && a.is_eui64())
+    });
+    feature_row(&mut t, "AAAA Response", &|id| !o(id).aaaa_pos_any().is_empty());
+    feature_row(&mut t, "Stateless DHCPv6", &|id| o(id).dhcpv6_stateless);
+    feature_row(&mut t, "IPv6 TCP/UDP Trans", &|id| {
+        o(id).v6_internet_bytes + o(id).v6_local_bytes > 0
+    });
+    feature_row(&mut t, "Internet Trans", &|id| o(id).v6_internet_data());
+    feature_row(&mut t, "Local Data Trans", &|id| o(id).v6_local_bytes > 0);
+    feature_row(&mut t, "EUI-64 Internet Trans", &|id| {
+        o(id).data_src_v6.iter().any(|a| a.is_global_unicast() && a.is_eui64())
+    });
+    t
+}
+
+// --- Table 9 -----------------------------------------------------------------
+
+/// Table 9: destination domains switching between IPv4 and IPv6.
+pub fn table9(suite: &ExperimentSuite, active: &ActiveDnsReport) -> TextTable {
+    let mut t = TextTable::new(
+        "Table 9: destination domains switching between IPv4 and IPv6 (dual-stack)",
+    )
+    .headers(["Metric", "Value", "% of common"]);
+
+    // Per-family domain footprints across the whole testbed.
+    let union_of = |configs: &[NetworkConfig]| {
+        let (mut v4, mut v6) = (BTreeSet::new(), BTreeSet::new());
+        for c in configs {
+            let run = suite.run(*c);
+            let (a, b) = transitions::domains_by_family(&run.analysis);
+            v4.extend(a);
+            v6.extend(b);
+        }
+        (v4, v6)
+    };
+    let (all_v4, all_v6) = union_of(&NetworkConfig::ALL);
+    let all: BTreeSet<Name> = all_v4.union(&all_v6).cloned().collect();
+    t.row([
+        "# of Dest. Domain".to_string(),
+        all.len().to_string(),
+        String::new(),
+    ]);
+    t.row([
+        "# IPv6 Dest. Domain".to_string(),
+        all_v6.len().to_string(),
+        format!("{:.1}%", 100.0 * all_v6.len() as f64 / all.len().max(1) as f64),
+    ]);
+    t.row([
+        "# IPv4 Dest. Domain".to_string(),
+        all_v4.len().to_string(),
+        format!("{:.1}%", 100.0 * all_v4.len() as f64 / all.len().max(1) as f64),
+    ]);
+
+    let v4_run = suite.run(NetworkConfig::Ipv4Only);
+    let v6_run = suite.run(NetworkConfig::Ipv6Only);
+    let dual_run = suite.run(NetworkConfig::DualStack);
+
+    let r = transitions::v4_to_v6(&v4_run.analysis, &dual_run.analysis);
+    let pct = |n: usize| format!("{:.1}%", 100.0 * n as f64 / r.common.max(1) as f64);
+    t.row([
+        "# IPv4 dest. partially extending to IPv6".to_string(),
+        r.partial_extension.to_string(),
+        pct(r.partial_extension),
+    ]);
+    t.row([
+        "# IPv4 dest. fully switching to IPv6".to_string(),
+        r.full_switch.to_string(),
+        pct(r.full_switch),
+    ]);
+
+    let r6 = transitions::v6_to_v4(&v6_run.analysis, &dual_run.analysis);
+    let pct6 = |n: usize| format!("{:.1}%", 100.0 * n as f64 / r6.common.max(1) as f64);
+    t.row([
+        "# IPv6 dest. partially extending to IPv4".to_string(),
+        r6.partial_extension.to_string(),
+        pct6(r6.partial_extension),
+    ]);
+    t.row([
+        "# IPv6 dest. fully switching to IPv4".to_string(),
+        r6.full_switch.to_string(),
+        pct6(r6.full_switch),
+    ]);
+
+    let ready = active.aaaa_ready();
+    let unswitched = transitions::v4_only_with_aaaa(&dual_run.analysis, &ready);
+    let (dual_v4, dual_v6) = transitions::domains_by_family(&dual_run.analysis);
+    let v4_only_in_dual = dual_v4.difference(&dual_v6).count();
+    t.row([
+        "# IPv4-only Dest. w/ AAAA".to_string(),
+        unswitched.len().to_string(),
+        format!(
+            "{:.1}%",
+            100.0 * unswitched.len() as f64 / v4_only_in_dual.max(1) as f64
+        ),
+    ]);
+    t
+}
+
+// --- Table 10 ----------------------------------------------------------------
+
+/// Table 10: the measured per-device feature flags (the paper's
+/// appendix inventory), from the captures.
+pub fn table10(suite: &ExperimentSuite) -> TextTable {
+    let mut t = TextTable::new("Table 10: devices, categories, and measured IPv6 features")
+        .headers([
+            "Device", "Category", "Func v6-only", "NDP", "IPv6 Addr", "GUA", "DNS/IPv6",
+            "Global Data",
+        ]);
+    for p in &suite.profiles {
+        let o = suite.v6_and_dual_observation(&p.id);
+        let y = |b: bool| if b { "yes" } else { "-" };
+        t.row([
+            p.name.clone(),
+            p.category.label().to_string(),
+            y(suite.functional_v6only(&p.id)).to_string(),
+            y(o.ndp_traffic).to_string(),
+            y(o.has_v6_addr()).to_string(),
+            y(active_gua(&o)).to_string(),
+            y(o.dns_over_v6()).to_string(),
+            y(o.v6_internet_data()).to_string(),
+        ]);
+    }
+    t
+}
+
+// --- Table 11 ----------------------------------------------------------------
+
+/// Table 11: firmware versions of select devices (appendix C).
+pub fn table11(suite: &ExperimentSuite) -> TextTable {
+    let mut t = TextTable::new("Table 11: firmware versions of select devices")
+        .headers(["Device", "Version"]);
+    for p in &suite.profiles {
+        if let Some(v) = v6brick_devices::registry::firmware(&p.id) {
+            t.row([p.name.clone(), v.to_string()]);
+        }
+    }
+    t
+}
+
+// --- Table 12 ----------------------------------------------------------------
+
+/// Table 12: feature support by purchase year.
+pub fn table12(suite: &ExperimentSuite) -> TextTable {
+    let years: Vec<u16> = {
+        let mut y: Vec<u16> = suite.profiles.iter().map(|p| p.purchase_year).collect();
+        y.sort();
+        y.dedup();
+        y
+    };
+    let mut headers = vec!["Feature".to_string()];
+    headers.extend(years.iter().map(|y| y.to_string()));
+    let mut t = TextTable::new("Table 12: IPv6 feature support by purchase year");
+    t.headers = headers;
+
+    let o = |id: &str| suite.v6_and_dual_observation(id);
+    let row = |t: &mut TextTable, label: &str, f: &dyn Fn(&str) -> bool| {
+        let mut r = vec![label.to_string()];
+        for y in &years {
+            let n = suite
+                .profiles
+                .iter()
+                .filter(|p| p.purchase_year == *y && f(&p.id))
+                .count();
+            r.push(n.to_string());
+        }
+        t.rows.push(r);
+    };
+    row(&mut t, "# of Devices", &|_| true);
+    row(&mut t, "IPv6 NDP Traffic", &|id| o(id).ndp_traffic);
+    row(&mut t, "IPv6 Address", &|id| o(id).has_v6_addr());
+    row(&mut t, "GUA", &|id| active_gua(&o(id)));
+    row(&mut t, "AAAA DNS Request", &|id| !o(id).aaaa_q_any().is_empty());
+    row(&mut t, "AAAA Response", &|id| !o(id).aaaa_pos_any().is_empty());
+    row(&mut t, "Internet TCP/UDP IPv6 Data", &|id| o(id).v6_internet_data());
+    row(&mut t, "Functional over IPv6-only", &|id| {
+        suite.functional_v6only(id)
+    });
+    t
+}
+
+// --- Table 13 ----------------------------------------------------------------
+
+/// Table 13: address and distinct-query counts by manufacturer and OS.
+pub fn table13(suite: &ExperimentSuite) -> TextTable {
+    let o = |id: &str| suite.v6_and_dual_observation(id);
+    let mut mans: Vec<String> = suite.profiles.iter().map(|p| p.manufacturer.clone()).collect();
+    mans.sort();
+    mans.dedup();
+    let mans: Vec<String> = mans
+        .into_iter()
+        .filter(|m| suite.profiles.iter().filter(|p| &p.manufacturer == m).count() >= 3)
+        .collect();
+    let oses = [Os::Tizen, Os::FireOs, Os::AndroidBased, Os::Fuchsia, Os::IosTvos];
+
+    let mut headers = vec!["Metric".to_string(), "Total".to_string()];
+    headers.extend(mans.iter().cloned());
+    headers.extend(oses.iter().map(|os| os.label().to_string()));
+    let mut t =
+        TextTable::new("Table 13: IPv6 addresses and distinct DNS queries per manufacturer and OS");
+    t.headers = headers;
+
+    let row = |t: &mut TextTable, label: &str, f: &dyn Fn(&DeviceObservation) -> usize| {
+        let mut r = vec![label.to_string()];
+        let total: usize = suite.profiles.iter().map(|p| f(&o(&p.id))).sum();
+        r.push(total.to_string());
+        for m in &mans {
+            let n: usize = suite
+                .profiles
+                .iter()
+                .filter(|p| &p.manufacturer == m)
+                .map(|p| f(&o(&p.id)))
+                .sum();
+            r.push(n.to_string());
+        }
+        for os in oses {
+            let n: usize = suite
+                .profiles
+                .iter()
+                .filter(|p| p.os == os)
+                .map(|p| f(&o(&p.id)))
+                .sum();
+            r.push(n.to_string());
+        }
+        t.rows.push(r);
+    };
+    row(&mut t, "IPv6 Address", &|ob| ob.all_addrs().len());
+    row(&mut t, "GUA", &|ob| {
+        ob.all_addrs().iter().filter(|a| a.kind() == AddressKind::Global).count()
+    });
+    row(&mut t, "ULA", &|ob| {
+        ob.all_addrs().iter().filter(|a| a.kind() == AddressKind::UniqueLocal).count()
+    });
+    row(&mut t, "LLA", &|ob| {
+        ob.all_addrs().iter().filter(|a| a.kind() == AddressKind::LinkLocal).count()
+    });
+    row(&mut t, "AAAA Req", &|ob| ob.aaaa_q_any().len());
+    row(&mut t, "A only Req in IPv6", &|ob| ob.a_only_v6_names().len());
+    row(&mut t, "IPv4-only AAAA Req", &|ob| {
+        ob.aaaa_q_v4.difference(&ob.aaaa_q_v6).count()
+    });
+    row(&mut t, "AAAA Res", &|ob| ob.aaaa_pos_any().len());
+    t
+}
+
+// --- IPv6-only variant comparison ---------------------------------------------
+
+/// Side-by-side comparison of the three IPv6-only variants (the paper
+/// discusses these differences in §5.2.1 but never tabulates them).
+pub fn variants(suite: &ExperimentSuite) -> TextTable {
+    let mut t = TextTable::new(
+        "IPv6-only variants: baseline vs RDNSS-only vs stateful (devices)",
+    )
+    .headers(["Feature", "Baseline", "RDNSS-only", "Stateful"]);
+    let configs = [
+        NetworkConfig::Ipv6Only,
+        NetworkConfig::Ipv6OnlyRdnssOnly,
+        NetworkConfig::Ipv6OnlyStateful,
+    ];
+    let row = |t: &mut TextTable, label: &str, f: &dyn Fn(&DeviceObservation) -> bool| {
+        let mut r = vec![label.to_string()];
+        for c in configs {
+            let run = suite.run(c);
+            r.push(run.analysis.count(|o| f(o)).to_string());
+        }
+        t.rows.push(r);
+    };
+    row(&mut t, "NDP traffic", &|o| o.ndp_traffic);
+    row(&mut t, "IPv6 address", &|o| o.has_v6_addr());
+    row(&mut t, "DNS over IPv6", &|o| o.dns_over_v6());
+    row(&mut t, "Stateless DHCPv6 exchange", &|o| o.dhcpv6_stateless);
+    row(&mut t, "Stateful DHCPv6 exchange", &|o| o.dhcpv6_stateful);
+    row(&mut t, "Got a DHCPv6 address", &|o| !o.dhcpv6_addrs.is_empty());
+    row(&mut t, "Internet IPv6 data", &|o| o.v6_internet_data());
+    // Functionality per variant.
+    let mut r = vec!["Functional".to_string()];
+    for c in configs {
+        let run = suite.run(c);
+        r.push(run.functional.values().filter(|x| **x).count().to_string());
+    }
+    t.rows.push(r);
+    t
+}
+
+// --- DAD compliance (§5.2.1) ---------------------------------------------------
+
+/// The DAD compliance report: devices that skipped DAD for at least one
+/// used address, and devices that never DAD at all.
+pub fn dad_report(suite: &ExperimentSuite) -> TextTable {
+    let mut t = TextTable::new("DAD compliance (RFC 4862 §5.4): devices skipping duplicate address detection")
+        .headers(["Device", "Addresses used", "DAD-probed", "Never DAD"]);
+    let mut skip_some = 0usize;
+    let mut never = 0usize;
+    for p in &suite.profiles {
+        let o = suite.v6_and_dual_observation(&p.id);
+        // Unicast addresses that sourced traffic or were announced.
+        let used: BTreeSet<_> = o
+            .all_addrs()
+            .into_iter()
+            .filter(|a| !a.is_multicast() && !a.is_unspecified())
+            .collect();
+        if used.is_empty() {
+            continue;
+        }
+        let probed = &o.dad_probed;
+        let missing = used.iter().filter(|a| !probed.contains(*a)).count();
+        if missing == 0 {
+            continue;
+        }
+        let never_dad = probed.is_empty();
+        skip_some += 1;
+        if never_dad {
+            never += 1;
+        }
+        t.row([
+            p.name.clone(),
+            used.len().to_string(),
+            probed.len().to_string(),
+            if never_dad { "yes".into() } else { "-".to_string() },
+        ]);
+    }
+    t.row([
+        format!("TOTAL: {skip_some} devices skip DAD for >=1 address"),
+        String::new(),
+        String::new(),
+        format!("{never} never perform DAD"),
+    ]);
+    t
+}
+
+/// Measured (skip-some, never) DAD counts, for tests.
+pub fn dad_counts(suite: &ExperimentSuite) -> (usize, usize) {
+    let mut skip_some = 0usize;
+    let mut never = 0usize;
+    for p in &suite.profiles {
+        let o = suite.v6_and_dual_observation(&p.id);
+        let used: BTreeSet<_> = o
+            .all_addrs()
+            .into_iter()
+            .filter(|a| !a.is_multicast() && !a.is_unspecified())
+            .collect();
+        if used.is_empty() {
+            continue;
+        }
+        let missing = used.iter().filter(|a| !o.dad_probed.contains(*a)).count();
+        if missing > 0 {
+            skip_some += 1;
+            if o.dad_probed.is_empty() {
+                never += 1;
+            }
+        }
+    }
+    (skip_some, never)
+}
+
+/// A compact map of measured headline numbers used by the integration
+/// tests and EXPERIMENTS.md.
+pub fn headline_numbers(suite: &ExperimentSuite) -> BTreeMap<&'static str, i64> {
+    let v6 = |id: &str| suite.v6only_observation(id);
+    let u = |id: &str| suite.v6_and_dual_observation(id);
+    let ids: Vec<&str> = suite.device_ids().collect();
+    let count = |f: &dyn Fn(&str) -> bool| ids.iter().filter(|id| f(id)).count() as i64;
+    let mut m = BTreeMap::new();
+    m.insert("t3_ndp", count(&|id| v6(id).ndp_traffic));
+    m.insert("t3_addr", count(&|id| v6(id).has_v6_addr()));
+    m.insert("t3_gua", count(&|id| active_gua(&v6(id))));
+    m.insert("t3_aaaa_v6", count(&|id| !v6(id).aaaa_q_v6.is_empty()));
+    m.insert("t3_aaaa_pos", count(&|id| !v6(id).aaaa_pos_v6.is_empty()));
+    m.insert("t3_data", count(&|id| v6(id).v6_internet_data()));
+    m.insert("t3_functional", count(&|id| suite.functional_v6only(id)));
+    m.insert("t5_addr", count(&|id| u(id).has_v6_addr()));
+    m.insert("t5_stateful", count(&|id| u(id).dhcpv6_stateful));
+    m.insert("t5_gua", count(&|id| active_gua(&u(id))));
+    m.insert("t5_ula", count(&|id| has_ula(&u(id))));
+    m.insert("t5_lla", count(&|id| has_lla(&u(id))));
+    m.insert("t5_eui64", count(&|id| has_eui64_addr(&u(id))));
+    m.insert("t5_dns6", count(&|id| u(id).dns_over_v6()));
+    m.insert("t5_a_only", count(&|id| !u(id).a_only_v6_names().is_empty()));
+    m.insert("t5_aaaa_any", count(&|id| !u(id).aaaa_q_any().is_empty()));
+    m.insert("t5_aaaa_v4only", count(&|id| aaaa_v4_only(&u(id))));
+    m.insert("t5_aaaa_pos", count(&|id| !u(id).aaaa_pos_any().is_empty()));
+    m.insert("t5_stateless", count(&|id| u(id).dhcpv6_stateless));
+    m.insert(
+        "t5_trans",
+        count(&|id| u(id).v6_internet_bytes + u(id).v6_local_bytes > 0),
+    );
+    m.insert("t5_internet", count(&|id| u(id).v6_internet_data()));
+    m.insert("t5_local", count(&|id| u(id).v6_local_bytes > 0));
+    let (dad_some, dad_never) = dad_counts(suite);
+    m.insert("dad_skip_some", dad_some as i64);
+    m.insert("dad_never", dad_never as i64);
+    m
+}

@@ -1,0 +1,96 @@
+//! §5.4.3 — tracking domains: which domains (and second-level domains)
+//! do the eight IPv6-only-functional devices contact in the IPv4-only
+//! network that never appear in the IPv6-only network?
+
+use crate::render::TextTable;
+use crate::suite::ExperimentSuite;
+use crate::NetworkConfig;
+use std::collections::BTreeSet;
+use v6brick_core::party;
+use v6brick_net::dns::Name;
+
+/// The measured §5.4.3 comparison.
+#[derive(Debug, Default)]
+pub struct TrackingReport {
+    /// Domains used by the functional devices in IPv4-only but not in
+    /// IPv6-only.
+    pub v4_only_domains: BTreeSet<Name>,
+    /// Their second-level domains.
+    pub v4_only_slds: BTreeSet<Name>,
+    /// The third-party (tracking/analytics) subset of those SLDs.
+    pub third_party_slds: BTreeSet<Name>,
+}
+
+/// Domains a device used in one configuration (DNS + SNI).
+fn domains_in(suite: &ExperimentSuite, id: &str, config: NetworkConfig) -> BTreeSet<Name> {
+    let run = suite.run(config);
+    let mut out = BTreeSet::new();
+    if let Some(o) = run.analysis.device(id) {
+        for n in o
+            .a_q_v4
+            .iter()
+            .chain(&o.a_q_v6)
+            .chain(&o.aaaa_q_v4)
+            .chain(&o.aaaa_q_v6)
+            .chain(&o.sni_domains)
+        {
+            if !n.as_str().ends_with(".local") {
+                out.insert(n.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Compute the report over the functional devices.
+pub fn tracking_report(suite: &ExperimentSuite) -> TrackingReport {
+    let mut report = TrackingReport::default();
+    let functional: Vec<String> = suite
+        .profiles
+        .iter()
+        .filter(|p| suite.functional_v6only(&p.id))
+        .map(|p| p.id.clone())
+        .collect();
+    for id in &functional {
+        let v4 = domains_in(suite, id, NetworkConfig::Ipv4Only);
+        let mut v6 = BTreeSet::new();
+        for c in NetworkConfig::IPV6_ONLY {
+            v6.extend(domains_in(suite, id, c));
+        }
+        for d in v4.difference(&v6) {
+            report.v4_only_domains.insert(d.clone());
+            report.v4_only_slds.insert(d.second_level());
+        }
+    }
+    for sld in &report.v4_only_slds {
+        if party::is_tracking_sld(sld) {
+            report.third_party_slds.insert(sld.clone());
+        }
+    }
+    report
+}
+
+/// Render the report.
+pub fn tracking_table(suite: &ExperimentSuite) -> TextTable {
+    let r = tracking_report(suite);
+    let mut t = TextTable::new(
+        "Tracking domains (§5.4.3): functional devices' IPv4-only destinations absent from IPv6-only",
+    )
+    .headers(["Metric", "Count"]);
+    t.row([
+        "Domains used only in IPv4".to_string(),
+        r.v4_only_domains.len().to_string(),
+    ]);
+    t.row([
+        "Second-level domains (SLDs)".to_string(),
+        r.v4_only_slds.len().to_string(),
+    ]);
+    t.row([
+        "Third-party / tracking SLDs".to_string(),
+        r.third_party_slds.len().to_string(),
+    ]);
+    for sld in &r.third_party_slds {
+        t.row([format!("  tracker: {sld}"), String::new()]);
+    }
+    t
+}

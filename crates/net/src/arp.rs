@@ -1,0 +1,206 @@
+//! ARP for IPv4-over-Ethernet (RFC 826).
+//!
+//! The paper contrasts ARP with its IPv6 replacement, NDP; the testbed's
+//! IPv4-only and dual-stack experiments are full of ARP resolution traffic.
+
+use crate::error::{Error, Result};
+use crate::mac::Mac;
+use std::net::Ipv4Addr;
+
+/// ARP operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operation {
+    /// Request.
+    Request,
+    /// Reply.
+    Reply,
+}
+
+/// Fixed length of an Ethernet/IPv4 ARP packet.
+pub const PACKET_LEN: usize = 28;
+
+/// A view over an ARP packet.
+#[derive(Debug)]
+pub struct Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Packet<T> {
+    /// Wrap a buffer after validating length and the fixed hardware /
+    /// protocol type fields (we only speak Ethernet + IPv4 ARP).
+    pub fn new_checked(buffer: T) -> Result<Packet<T>> {
+        let b = buffer.as_ref();
+        if b.len() < PACKET_LEN {
+            return Err(Error::Truncated);
+        }
+        if b[0..2] != [0, 1] || b[2..4] != [0x08, 0x00] || b[4] != 6 || b[5] != 4 {
+            return Err(Error::Unsupported);
+        }
+        Ok(Packet { buffer })
+    }
+
+    /// Wrap without checking.
+    pub fn new_unchecked(buffer: T) -> Packet<T> {
+        Packet { buffer }
+    }
+
+    /// Operation code.
+    pub fn operation(&self) -> Result<Operation> {
+        let b = self.buffer.as_ref();
+        match u16::from_be_bytes([b[6], b[7]]) {
+            1 => Ok(Operation::Request),
+            2 => Ok(Operation::Reply),
+            _ => Err(Error::Malformed),
+        }
+    }
+
+    /// Sender hardware address.
+    pub fn sender_mac(&self) -> Mac {
+        Mac::from_slice(&self.buffer.as_ref()[8..14]).unwrap()
+    }
+
+    /// Sender protocol address.
+    pub fn sender_ip(&self) -> Ipv4Addr {
+        let b = &self.buffer.as_ref()[14..18];
+        Ipv4Addr::new(b[0], b[1], b[2], b[3])
+    }
+
+    /// Target hardware address.
+    pub fn target_mac(&self) -> Mac {
+        Mac::from_slice(&self.buffer.as_ref()[18..24]).unwrap()
+    }
+
+    /// Target protocol address.
+    pub fn target_ip(&self) -> Ipv4Addr {
+        let b = &self.buffer.as_ref()[24..28];
+        Ipv4Addr::new(b[0], b[1], b[2], b[3])
+    }
+}
+
+/// Owned representation of an Ethernet/IPv4 ARP packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    /// Operation.
+    pub operation: Operation,
+    /// Sender MAC.
+    pub sender_mac: Mac,
+    /// Sender IP.
+    pub sender_ip: Ipv4Addr,
+    /// Target MAC.
+    pub target_mac: Mac,
+    /// Target IP.
+    pub target_ip: Ipv4Addr,
+}
+
+impl Repr {
+    /// Parse from a checked view.
+    pub fn parse<T: AsRef<[u8]>>(packet: &Packet<T>) -> Result<Repr> {
+        Ok(Repr {
+            operation: packet.operation()?,
+            sender_mac: packet.sender_mac(),
+            sender_ip: packet.sender_ip(),
+            target_mac: packet.target_mac(),
+            target_ip: packet.target_ip(),
+        })
+    }
+
+    /// Parse straight from bytes.
+    pub fn parse_bytes(bytes: &[u8]) -> Result<Repr> {
+        Repr::parse(&Packet::new_checked(bytes)?)
+    }
+
+    /// Serialize to a fresh buffer.
+    pub fn build(&self) -> Vec<u8> {
+        let mut b = vec![0u8; PACKET_LEN];
+        b[0..2].copy_from_slice(&[0, 1]); // htype: ethernet
+        b[2..4].copy_from_slice(&[0x08, 0x00]); // ptype: ipv4
+        b[4] = 6;
+        b[5] = 4;
+        let op: u16 = match self.operation {
+            Operation::Request => 1,
+            Operation::Reply => 2,
+        };
+        b[6..8].copy_from_slice(&op.to_be_bytes());
+        b[8..14].copy_from_slice(self.sender_mac.as_bytes());
+        b[14..18].copy_from_slice(&self.sender_ip.octets());
+        b[18..24].copy_from_slice(self.target_mac.as_bytes());
+        b[24..28].copy_from_slice(&self.target_ip.octets());
+        b
+    }
+
+    /// The standard who-has request for `target_ip`.
+    pub fn request(sender_mac: Mac, sender_ip: Ipv4Addr, target_ip: Ipv4Addr) -> Repr {
+        Repr {
+            operation: Operation::Request,
+            sender_mac,
+            sender_ip,
+            target_mac: Mac::UNSPECIFIED,
+            target_ip,
+        }
+    }
+
+    /// The matching is-at reply.
+    pub fn reply_to(&self, my_mac: Mac) -> Repr {
+        Repr {
+            operation: Operation::Reply,
+            sender_mac: my_mac,
+            sender_ip: self.target_ip,
+            target_mac: self.sender_mac,
+            target_ip: self.sender_ip,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_reply_roundtrip() {
+        let req = Repr::request(
+            Mac::new(2, 0, 0, 0, 0, 1),
+            Ipv4Addr::new(192, 168, 1, 10),
+            Ipv4Addr::new(192, 168, 1, 1),
+        );
+        let bytes = req.build();
+        let parsed = Repr::parse_bytes(&bytes).unwrap();
+        assert_eq!(parsed, req);
+
+        let rep = parsed.reply_to(Mac::new(2, 0, 0, 0, 0, 0xfe));
+        assert_eq!(rep.operation, Operation::Reply);
+        assert_eq!(rep.target_ip, req.sender_ip);
+        assert_eq!(rep.sender_ip, req.target_ip);
+        assert_eq!(rep.target_mac, req.sender_mac);
+        let parsed2 = Repr::parse_bytes(&rep.build()).unwrap();
+        assert_eq!(parsed2, rep);
+    }
+
+    #[test]
+    fn rejects_non_ethernet_arp() {
+        let mut bytes = Repr::request(
+            Mac::UNSPECIFIED,
+            Ipv4Addr::UNSPECIFIED,
+            Ipv4Addr::new(1, 2, 3, 4),
+        )
+        .build();
+        bytes[1] = 6; // htype: IEEE 802
+        assert_eq!(Repr::parse_bytes(&bytes).unwrap_err(), Error::Unsupported);
+    }
+
+    #[test]
+    fn rejects_truncation_and_bad_opcode() {
+        let bytes = Repr::request(
+            Mac::UNSPECIFIED,
+            Ipv4Addr::UNSPECIFIED,
+            Ipv4Addr::new(1, 2, 3, 4),
+        )
+        .build();
+        assert_eq!(
+            Repr::parse_bytes(&bytes[..20]).unwrap_err(),
+            Error::Truncated
+        );
+        let mut bad = bytes.clone();
+        bad[7] = 9;
+        assert_eq!(Repr::parse_bytes(&bad).unwrap_err(), Error::Malformed);
+    }
+}

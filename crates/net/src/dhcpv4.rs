@@ -1,0 +1,292 @@
+//! DHCPv4 (RFC 2131/2132) — the addressing workhorse of the IPv4-only and
+//! dual-stack experiments, served on the testbed router by dnsmasq.
+
+use crate::error::{Error, Result};
+use crate::mac::Mac;
+use std::net::Ipv4Addr;
+
+/// DHCP message type (option 53).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageType {
+    /// Discover.
+    Discover,
+    /// Offer.
+    Offer,
+    /// Request.
+    Request,
+    /// Ack.
+    Ack,
+    /// Nak.
+    Nak,
+    /// Release.
+    Release,
+}
+
+impl MessageType {
+    fn to_u8(self) -> u8 {
+        match self {
+            MessageType::Discover => 1,
+            MessageType::Offer => 2,
+            MessageType::Request => 3,
+            MessageType::Ack => 5,
+            MessageType::Nak => 6,
+            MessageType::Release => 7,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<MessageType> {
+        Ok(match v {
+            1 => MessageType::Discover,
+            2 => MessageType::Offer,
+            3 => MessageType::Request,
+            5 => MessageType::Ack,
+            6 => MessageType::Nak,
+            7 => MessageType::Release,
+            _ => return Err(Error::Unsupported),
+        })
+    }
+}
+
+/// Fixed BOOTP portion length (up to and including the magic cookie).
+const FIXED_LEN: usize = 240;
+const MAGIC: [u8; 4] = [99, 130, 83, 99];
+
+/// Owned representation of a DHCPv4 message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Repr {
+    /// Message type.
+    pub message_type: MessageType,
+    /// Xid.
+    pub xid: u32,
+    /// Client's current address (`ciaddr`).
+    pub client_addr: Ipv4Addr,
+    /// "Your" address being offered/assigned (`yiaddr`).
+    pub your_addr: Ipv4Addr,
+    /// Client MAC.
+    pub client_mac: Mac,
+    /// Option 50.
+    pub requested_ip: Option<Ipv4Addr>,
+    /// Option 54.
+    pub server_id: Option<Ipv4Addr>,
+    /// Option 51, seconds.
+    pub lease_time: Option<u32>,
+    /// Option 1.
+    pub subnet_mask: Option<Ipv4Addr>,
+    /// Option 3.
+    pub router: Option<Ipv4Addr>,
+    /// Option 6.
+    pub dns_servers: Vec<Ipv4Addr>,
+    /// Option 12.
+    pub hostname: Option<String>,
+}
+
+impl Repr {
+    /// A minimal client message of the given type.
+    pub fn client(message_type: MessageType, xid: u32, client_mac: Mac) -> Repr {
+        Repr {
+            message_type,
+            xid,
+            client_addr: Ipv4Addr::UNSPECIFIED,
+            your_addr: Ipv4Addr::UNSPECIFIED,
+            client_mac,
+            requested_ip: None,
+            server_id: None,
+            lease_time: None,
+            subnet_mask: None,
+            router: None,
+            dns_servers: Vec::new(),
+            hostname: None,
+        }
+    }
+
+    /// Serialize to wire format.
+    pub fn build(&self) -> Vec<u8> {
+        let mut b = vec![0u8; FIXED_LEN];
+        b[0] = match self.message_type {
+            MessageType::Offer | MessageType::Ack | MessageType::Nak => 2, // BOOTREPLY
+            _ => 1,                                                        // BOOTREQUEST
+        };
+        b[1] = 1; // htype ethernet
+        b[2] = 6; // hlen
+        b[4..8].copy_from_slice(&self.xid.to_be_bytes());
+        b[12..16].copy_from_slice(&self.client_addr.octets());
+        b[16..20].copy_from_slice(&self.your_addr.octets());
+        b[28..34].copy_from_slice(self.client_mac.as_bytes());
+        b[236..240].copy_from_slice(&MAGIC);
+
+        b.extend_from_slice(&[53, 1, self.message_type.to_u8()]);
+        if let Some(ip) = self.requested_ip {
+            b.extend_from_slice(&[50, 4]);
+            b.extend_from_slice(&ip.octets());
+        }
+        if let Some(ip) = self.server_id {
+            b.extend_from_slice(&[54, 4]);
+            b.extend_from_slice(&ip.octets());
+        }
+        if let Some(t) = self.lease_time {
+            b.extend_from_slice(&[51, 4]);
+            b.extend_from_slice(&t.to_be_bytes());
+        }
+        if let Some(m) = self.subnet_mask {
+            b.extend_from_slice(&[1, 4]);
+            b.extend_from_slice(&m.octets());
+        }
+        if let Some(r) = self.router {
+            b.extend_from_slice(&[3, 4]);
+            b.extend_from_slice(&r.octets());
+        }
+        if !self.dns_servers.is_empty() {
+            b.extend_from_slice(&[6, (self.dns_servers.len() * 4) as u8]);
+            for d in &self.dns_servers {
+                b.extend_from_slice(&d.octets());
+            }
+        }
+        if let Some(h) = &self.hostname {
+            b.extend_from_slice(&[12, h.len() as u8]);
+            b.extend_from_slice(h.as_bytes());
+        }
+        b.push(255);
+        b
+    }
+
+    /// Parse from wire format.
+    pub fn parse_bytes(b: &[u8]) -> Result<Repr> {
+        if b.len() < FIXED_LEN + 1 {
+            return Err(Error::Truncated);
+        }
+        if b[236..240] != MAGIC {
+            return Err(Error::Malformed);
+        }
+        if b[1] != 1 || b[2] != 6 {
+            return Err(Error::Unsupported);
+        }
+        let xid = u32::from_be_bytes(b[4..8].try_into().unwrap());
+        let client_addr = ipv4_at(b, 12);
+        let your_addr = ipv4_at(b, 16);
+        let client_mac = Mac::from_slice(&b[28..34])?;
+
+        let mut message_type = None;
+        let mut requested_ip = None;
+        let mut server_id = None;
+        let mut lease_time = None;
+        let mut subnet_mask = None;
+        let mut router = None;
+        let mut dns_servers = Vec::new();
+        let mut hostname = None;
+
+        let mut opts = &b[FIXED_LEN..];
+        loop {
+            match opts.first() {
+                None => break,
+                Some(255) => break,
+                Some(0) => {
+                    opts = &opts[1..];
+                    continue;
+                }
+                Some(&code) => {
+                    if opts.len() < 2 {
+                        return Err(Error::Truncated);
+                    }
+                    let len = usize::from(opts[1]);
+                    if opts.len() < 2 + len {
+                        return Err(Error::Truncated);
+                    }
+                    let body = &opts[2..2 + len];
+                    match code {
+                        53 if len == 1 => message_type = Some(MessageType::from_u8(body[0])?),
+                        50 if len == 4 => requested_ip = Some(ipv4_at(body, 0)),
+                        54 if len == 4 => server_id = Some(ipv4_at(body, 0)),
+                        51 if len == 4 => {
+                            lease_time = Some(u32::from_be_bytes(body.try_into().unwrap()))
+                        }
+                        1 if len == 4 => subnet_mask = Some(ipv4_at(body, 0)),
+                        3 if len == 4 => router = Some(ipv4_at(body, 0)),
+                        6 if len % 4 == 0 => {
+                            dns_servers = body.chunks_exact(4).map(|c| ipv4_at(c, 0)).collect()
+                        }
+                        12 => {
+                            hostname =
+                                Some(String::from_utf8(body.to_vec()).map_err(|_| Error::Malformed)?)
+                        }
+                        _ => {} // ignore unknown options
+                    }
+                    opts = &opts[2 + len..];
+                }
+            }
+        }
+
+        Ok(Repr {
+            message_type: message_type.ok_or(Error::Malformed)?,
+            xid,
+            client_addr,
+            your_addr,
+            client_mac,
+            requested_ip,
+            server_id,
+            lease_time,
+            subnet_mask,
+            router,
+            dns_servers,
+            hostname,
+        })
+    }
+}
+
+fn ipv4_at(b: &[u8], off: usize) -> Ipv4Addr {
+    Ipv4Addr::new(b[off], b[off + 1], b[off + 2], b[off + 3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discover_offer_roundtrip() {
+        let mut d = Repr::client(MessageType::Discover, 0xdeadbeef, Mac::new(2, 0, 0, 0, 0, 7));
+        d.hostname = Some("echo-show-5".into());
+        assert_eq!(Repr::parse_bytes(&d.build()).unwrap(), d);
+
+        let mut o = Repr::client(MessageType::Offer, 0xdeadbeef, Mac::new(2, 0, 0, 0, 0, 7));
+        o.your_addr = Ipv4Addr::new(192, 168, 1, 23);
+        o.server_id = Some(Ipv4Addr::new(192, 168, 1, 1));
+        o.lease_time = Some(86400);
+        o.subnet_mask = Some(Ipv4Addr::new(255, 255, 255, 0));
+        o.router = Some(Ipv4Addr::new(192, 168, 1, 1));
+        o.dns_servers = vec![Ipv4Addr::new(8, 8, 8, 8), Ipv4Addr::new(8, 8, 4, 4)];
+        assert_eq!(Repr::parse_bytes(&o.build()).unwrap(), o);
+    }
+
+    #[test]
+    fn request_with_requested_ip() {
+        let mut r = Repr::client(MessageType::Request, 1, Mac::new(2, 0, 0, 0, 0, 8));
+        r.requested_ip = Some(Ipv4Addr::new(192, 168, 1, 55));
+        r.server_id = Some(Ipv4Addr::new(192, 168, 1, 1));
+        assert_eq!(Repr::parse_bytes(&r.build()).unwrap(), r);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = Repr::client(MessageType::Discover, 1, Mac::UNSPECIFIED).build();
+        bytes[236] = 0;
+        assert_eq!(Repr::parse_bytes(&bytes).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn missing_message_type_rejected() {
+        let mut bytes = Repr::client(MessageType::Discover, 1, Mac::UNSPECIFIED).build();
+        // Blank out option 53 (first option after the cookie) with pad bytes.
+        bytes[240] = 0;
+        bytes[241] = 0;
+        bytes[242] = 0;
+        assert_eq!(Repr::parse_bytes(&bytes).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn truncated_option_rejected() {
+        let mut bytes = Repr::client(MessageType::Discover, 1, Mac::UNSPECIFIED).build();
+        let n = bytes.len();
+        bytes.truncate(n - 1); // drop END, leaving option 53 truncated? no: drop END only
+        bytes.push(50); // option 50 with no length byte
+        assert_eq!(Repr::parse_bytes(&bytes).unwrap_err(), Error::Truncated);
+    }
+}

@@ -1,0 +1,352 @@
+//! DHCPv6 (RFC 8415).
+//!
+//! The study distinguishes *stateless* DHCPv6 (Information-Request /
+//! Reply carrying only DNS configuration, option 23) from *stateful*
+//! DHCPv6 (the Solicit / Advertise / Request / Reply exchange assigning
+//! addresses via IA_NA) — Table 2's experiment variations toggle exactly
+//! this, and Table 5 counts device support for each mode.
+
+use crate::error::{Error, Result};
+use std::net::Ipv6Addr;
+
+/// DHCPv6 message type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageType {
+    /// Solicit.
+    Solicit,
+    /// Advertise.
+    Advertise,
+    /// Request.
+    Request,
+    /// Reply.
+    Reply,
+    /// Release.
+    Release,
+    /// Information Request.
+    InformationRequest,
+}
+
+impl MessageType {
+    fn to_u8(self) -> u8 {
+        match self {
+            MessageType::Solicit => 1,
+            MessageType::Advertise => 2,
+            MessageType::Request => 3,
+            MessageType::Reply => 7,
+            MessageType::Release => 8,
+            MessageType::InformationRequest => 11,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<MessageType> {
+        Ok(match v {
+            1 => MessageType::Solicit,
+            2 => MessageType::Advertise,
+            3 => MessageType::Request,
+            7 => MessageType::Reply,
+            8 => MessageType::Release,
+            11 => MessageType::InformationRequest,
+            _ => return Err(Error::Unsupported),
+        })
+    }
+
+    /// Is this message part of the *stateful* (address-assigning) exchange?
+    pub fn is_stateful(self) -> bool {
+        matches!(
+            self,
+            MessageType::Solicit | MessageType::Advertise | MessageType::Request | MessageType::Release
+        )
+    }
+}
+
+/// An address inside an IA_NA (option 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IaAddr {
+    /// Address.
+    pub addr: Ipv6Addr,
+    /// Preferred.
+    pub preferred: u32,
+    /// Valid.
+    pub valid: u32,
+}
+
+/// Identity Association for Non-temporary Addresses (option 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IaNa {
+    /// Iaid.
+    pub iaid: u32,
+    /// T1.
+    pub t1: u32,
+    /// T2.
+    pub t2: u32,
+    /// Addresses.
+    pub addresses: Vec<IaAddr>,
+}
+
+/// Owned representation of a DHCPv6 message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Repr {
+    /// Message type.
+    pub message_type: MessageType,
+    /// 24-bit transaction id.
+    pub transaction_id: u32,
+    /// Option 1 — client DUID, opaque bytes.
+    pub client_id: Option<Vec<u8>>,
+    /// Option 2 — server DUID.
+    pub server_id: Option<Vec<u8>>,
+    /// Option 3 — present on stateful exchanges.
+    pub ia_na: Option<IaNa>,
+    /// Option 6 — option request list. Requesting 23 asks for DNS servers.
+    pub oro: Vec<u16>,
+    /// Option 23 — DNS recursive name servers.
+    pub dns_servers: Vec<Ipv6Addr>,
+    /// Option 8 — elapsed time, hundredths of a second.
+    pub elapsed_time: Option<u16>,
+}
+
+/// Option code for DNS recursive name servers, the one the IoT clients ask
+/// for in their ORO.
+pub const OPTION_DNS_SERVERS: u16 = 23;
+
+impl Repr {
+    /// A bare message of the given type.
+    pub fn new(message_type: MessageType, transaction_id: u32) -> Repr {
+        Repr {
+            message_type,
+            transaction_id: transaction_id & 0x00ff_ffff,
+            client_id: None,
+            server_id: None,
+            ia_na: None,
+            oro: Vec::new(),
+            dns_servers: Vec::new(),
+            elapsed_time: None,
+        }
+    }
+
+    /// Serialize to wire format.
+    pub fn build(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(64);
+        b.push(self.message_type.to_u8());
+        b.extend_from_slice(&self.transaction_id.to_be_bytes()[1..]);
+
+        fn option(out: &mut Vec<u8>, code: u16, body: &[u8]) {
+            out.extend_from_slice(&code.to_be_bytes());
+            out.extend_from_slice(&(body.len() as u16).to_be_bytes());
+            out.extend_from_slice(body);
+        }
+
+        if let Some(cid) = &self.client_id {
+            option(&mut b, 1, cid);
+        }
+        if let Some(sid) = &self.server_id {
+            option(&mut b, 2, sid);
+        }
+        if let Some(ia) = &self.ia_na {
+            let mut body = Vec::with_capacity(12 + ia.addresses.len() * 28);
+            body.extend_from_slice(&ia.iaid.to_be_bytes());
+            body.extend_from_slice(&ia.t1.to_be_bytes());
+            body.extend_from_slice(&ia.t2.to_be_bytes());
+            for a in &ia.addresses {
+                let mut ab = Vec::with_capacity(24);
+                ab.extend_from_slice(&a.addr.octets());
+                ab.extend_from_slice(&a.preferred.to_be_bytes());
+                ab.extend_from_slice(&a.valid.to_be_bytes());
+                option(&mut body, 5, &ab);
+            }
+            option(&mut b, 3, &body);
+        }
+        if !self.oro.is_empty() {
+            let mut body = Vec::with_capacity(self.oro.len() * 2);
+            for o in &self.oro {
+                body.extend_from_slice(&o.to_be_bytes());
+            }
+            option(&mut b, 6, &body);
+        }
+        if let Some(t) = self.elapsed_time {
+            option(&mut b, 8, &t.to_be_bytes());
+        }
+        if !self.dns_servers.is_empty() {
+            let mut body = Vec::with_capacity(self.dns_servers.len() * 16);
+            for s in &self.dns_servers {
+                body.extend_from_slice(&s.octets());
+            }
+            option(&mut b, OPTION_DNS_SERVERS, &body);
+        }
+        b
+    }
+
+    /// Parse from wire format.
+    pub fn parse_bytes(b: &[u8]) -> Result<Repr> {
+        if b.len() < 4 {
+            return Err(Error::Truncated);
+        }
+        let mut r = Repr::new(
+            MessageType::from_u8(b[0])?,
+            u32::from_be_bytes([0, b[1], b[2], b[3]]),
+        );
+        let mut opts = &b[4..];
+        while !opts.is_empty() {
+            if opts.len() < 4 {
+                return Err(Error::Truncated);
+            }
+            let code = u16::from_be_bytes([opts[0], opts[1]]);
+            let len = usize::from(u16::from_be_bytes([opts[2], opts[3]]));
+            if opts.len() < 4 + len {
+                return Err(Error::Truncated);
+            }
+            let body = &opts[4..4 + len];
+            match code {
+                1 => r.client_id = Some(body.to_vec()),
+                2 => r.server_id = Some(body.to_vec()),
+                3 => r.ia_na = Some(parse_ia_na(body)?),
+                6 => {
+                    if len % 2 != 0 {
+                        return Err(Error::Malformed);
+                    }
+                    r.oro = body
+                        .chunks_exact(2)
+                        .map(|c| u16::from_be_bytes([c[0], c[1]]))
+                        .collect();
+                }
+                8 if len == 2 => r.elapsed_time = Some(u16::from_be_bytes([body[0], body[1]])),
+                23 => {
+                    if len % 16 != 0 {
+                        return Err(Error::Malformed);
+                    }
+                    r.dns_servers = body
+                        .chunks_exact(16)
+                        .map(|c| {
+                            let mut o = [0u8; 16];
+                            o.copy_from_slice(c);
+                            Ipv6Addr::from(o)
+                        })
+                        .collect();
+                }
+                _ => {} // ignore unknown options
+            }
+            opts = &opts[4 + len..];
+        }
+        Ok(r)
+    }
+}
+
+fn parse_ia_na(body: &[u8]) -> Result<IaNa> {
+    if body.len() < 12 {
+        return Err(Error::Truncated);
+    }
+    let mut ia = IaNa {
+        iaid: u32::from_be_bytes(body[0..4].try_into().unwrap()),
+        t1: u32::from_be_bytes(body[4..8].try_into().unwrap()),
+        t2: u32::from_be_bytes(body[8..12].try_into().unwrap()),
+        addresses: Vec::new(),
+    };
+    let mut opts = &body[12..];
+    while !opts.is_empty() {
+        if opts.len() < 4 {
+            return Err(Error::Truncated);
+        }
+        let code = u16::from_be_bytes([opts[0], opts[1]]);
+        let len = usize::from(u16::from_be_bytes([opts[2], opts[3]]));
+        if opts.len() < 4 + len {
+            return Err(Error::Truncated);
+        }
+        if code == 5 {
+            if len < 24 {
+                return Err(Error::Malformed);
+            }
+            let b = &opts[4..4 + len];
+            let mut o = [0u8; 16];
+            o.copy_from_slice(&b[0..16]);
+            ia.addresses.push(IaAddr {
+                addr: Ipv6Addr::from(o),
+                preferred: u32::from_be_bytes(b[16..20].try_into().unwrap()),
+                valid: u32::from_be_bytes(b[20..24].try_into().unwrap()),
+            });
+        }
+        opts = &opts[4 + len..];
+    }
+    Ok(ia)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn information_request_roundtrip() {
+        // The stateless exchange: Information-Request asking for DNS.
+        let mut r = Repr::new(MessageType::InformationRequest, 0xabcdef);
+        r.client_id = Some(vec![0, 1, 0, 1, 1, 2, 3, 4]);
+        r.oro = vec![OPTION_DNS_SERVERS];
+        r.elapsed_time = Some(0);
+        assert_eq!(Repr::parse_bytes(&r.build()).unwrap(), r);
+    }
+
+    #[test]
+    fn stateful_solicit_reply_roundtrip() {
+        let mut sol = Repr::new(MessageType::Solicit, 0x123456);
+        sol.client_id = Some(vec![0, 3, 0, 1, 2, 0, 0, 0, 0, 9]);
+        sol.ia_na = Some(IaNa {
+            iaid: 1,
+            t1: 0,
+            t2: 0,
+            addresses: vec![],
+        });
+        sol.oro = vec![23];
+        assert!(sol.message_type.is_stateful());
+        assert_eq!(Repr::parse_bytes(&sol.build()).unwrap(), sol);
+
+        let mut rep = Repr::new(MessageType::Reply, 0x123456);
+        rep.server_id = Some(vec![0, 1, 0, 1, 9, 9, 9, 9]);
+        rep.client_id = sol.client_id.clone();
+        rep.ia_na = Some(IaNa {
+            iaid: 1,
+            t1: 1800,
+            t2: 2880,
+            addresses: vec![IaAddr {
+                addr: "2001:db8:1::1000".parse().unwrap(),
+                preferred: 3600,
+                valid: 7200,
+            }],
+        });
+        rep.dns_servers = vec!["2001:4860:4860::8888".parse().unwrap()];
+        assert_eq!(Repr::parse_bytes(&rep.build()).unwrap(), rep);
+    }
+
+    #[test]
+    fn transaction_id_is_24_bit() {
+        let r = Repr::new(MessageType::Solicit, 0xff123456);
+        assert_eq!(r.transaction_id, 0x123456);
+        assert_eq!(
+            Repr::parse_bytes(&r.build()).unwrap().transaction_id,
+            0x123456
+        );
+    }
+
+    #[test]
+    fn information_request_is_stateless() {
+        assert!(!MessageType::InformationRequest.is_stateful());
+        assert!(!MessageType::Reply.is_stateful());
+    }
+
+    #[test]
+    fn truncated_and_malformed_rejected() {
+        assert_eq!(Repr::parse_bytes(&[1, 0]).unwrap_err(), Error::Truncated);
+        let mut r = Repr::new(MessageType::Reply, 1);
+        r.dns_servers = vec!["::1".parse().unwrap()];
+        let mut bytes = r.build();
+        // Corrupt the option-23 length to a non-multiple of 16.
+        let n = bytes.len();
+        bytes[n - 17] = 15;
+        bytes.truncate(n - 1);
+        assert_eq!(Repr::parse_bytes(&bytes).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn unknown_message_type_rejected() {
+        assert_eq!(
+            Repr::parse_bytes(&[99, 0, 0, 1]).unwrap_err(),
+            Error::Unsupported
+        );
+    }
+}

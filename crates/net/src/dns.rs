@@ -1,0 +1,884 @@
+//! DNS messages (RFC 1035, RFC 3596 for AAAA, RFC 9460 for SVCB/HTTPS).
+//!
+//! DNS is where the paper's IPv6-readiness story is decided: devices that
+//! cannot send AAAA queries — or can only send them over IPv4 transport —
+//! never learn the IPv6 addresses of their clouds, and brick in an
+//! IPv6-only network even when their own stack is v6-capable (§5.1.3).
+//! Negative answers arrive as NXDOMAIN or NOERROR with an SOA in the
+//! authority section; both appear in the testbed captures.
+
+use crate::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+use std::str::FromStr;
+
+/// Maximum encoded name length (RFC 1035 §2.3.4).
+const MAX_NAME_LEN: usize = 255;
+/// Maximum label length.
+const MAX_LABEL_LEN: usize = 63;
+
+/// A fully-qualified, case-normalized domain name (no trailing dot).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Name(String);
+
+impl Name {
+    /// The DNS root.
+    pub fn root() -> Name {
+        Name(String::new())
+    }
+
+    /// Validate and normalize (lowercase, strip one trailing dot).
+    pub fn new(s: &str) -> Result<Name> {
+        let s = s.strip_suffix('.').unwrap_or(s);
+        if s.is_empty() {
+            return Ok(Name::root());
+        }
+        if s.len() + 2 > MAX_NAME_LEN {
+            return Err(Error::BadName);
+        }
+        for label in s.split('.') {
+            if label.is_empty() || label.len() > MAX_LABEL_LEN {
+                return Err(Error::BadName);
+            }
+            if !label
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+            {
+                return Err(Error::BadName);
+            }
+        }
+        Ok(Name(s.to_ascii_lowercase()))
+    }
+
+    /// The textual form.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Labels, most-specific first.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.0.split('.').filter(|l| !l.is_empty())
+    }
+
+    /// The registrable-ish second-level domain, e.g. `amazon.com` for
+    /// `unagi-na.amazon.com`. (The paper counts "SLDs" this way for its
+    /// tracking analysis; we use the last two labels, which matches all the
+    /// domains in the study.)
+    pub fn second_level(&self) -> Name {
+        let labels: Vec<&str> = self.labels().collect();
+        if labels.len() <= 2 {
+            return self.clone();
+        }
+        Name(labels[labels.len() - 2..].join("."))
+    }
+
+    /// Is `self` equal to or a subdomain of `other`?
+    pub fn is_subdomain_of(&self, other: &Name) -> bool {
+        if other.0.is_empty() {
+            return true;
+        }
+        self.0 == other.0
+            || (self.0.len() > other.0.len()
+                && self.0.ends_with(&other.0)
+                && self.0.as_bytes()[self.0.len() - other.0.len() - 1] == b'.')
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            f.write_str(".")
+        } else {
+            f.write_str(&self.0)
+        }
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Name({self})")
+    }
+}
+
+impl FromStr for Name {
+    type Err = Error;
+    fn from_str(s: &str) -> Result<Name> {
+        Name::new(s)
+    }
+}
+
+/// Record / query type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RecordType {
+    /// A.
+    A,
+    /// Ns.
+    Ns,
+    /// Cname.
+    Cname,
+    /// Soa.
+    Soa,
+    /// Ptr.
+    Ptr,
+    /// Txt.
+    Txt,
+    /// Aaaa.
+    Aaaa,
+    /// Svcb.
+    Svcb,
+    /// Https.
+    Https,
+    /// Other.
+    Other(u16),
+}
+
+impl From<u16> for RecordType {
+    fn from(v: u16) -> RecordType {
+        match v {
+            1 => RecordType::A,
+            2 => RecordType::Ns,
+            5 => RecordType::Cname,
+            6 => RecordType::Soa,
+            12 => RecordType::Ptr,
+            16 => RecordType::Txt,
+            28 => RecordType::Aaaa,
+            64 => RecordType::Svcb,
+            65 => RecordType::Https,
+            other => RecordType::Other(other),
+        }
+    }
+}
+
+impl From<RecordType> for u16 {
+    fn from(v: RecordType) -> u16 {
+        match v {
+            RecordType::A => 1,
+            RecordType::Ns => 2,
+            RecordType::Cname => 5,
+            RecordType::Soa => 6,
+            RecordType::Ptr => 12,
+            RecordType::Txt => 16,
+            RecordType::Aaaa => 28,
+            RecordType::Svcb => 64,
+            RecordType::Https => 65,
+            RecordType::Other(o) => o,
+        }
+    }
+}
+
+/// Response code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rcode {
+    /// No Error.
+    NoError,
+    /// Form Err.
+    FormErr,
+    /// Serv Fail.
+    ServFail,
+    /// "no such name" in the paper's wording.
+    NxDomain,
+    /// Other.
+    Other(u8),
+}
+
+impl From<u8> for Rcode {
+    fn from(v: u8) -> Rcode {
+        match v {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            other => Rcode::Other(other & 0x0f),
+        }
+    }
+}
+
+impl From<Rcode> for u8 {
+    fn from(v: Rcode) -> u8 {
+        match v {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::Other(o) => o,
+        }
+    }
+}
+
+/// A question.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Question {
+    /// Name.
+    pub name: Name,
+    /// Record type.
+    pub rtype: RecordType,
+}
+
+/// Typed record data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rdata {
+    /// A.
+    A(Ipv4Addr),
+    /// Aaaa.
+    Aaaa(Ipv6Addr),
+    /// Cname.
+    Cname(Name),
+    /// Ptr.
+    Ptr(Name),
+    /// Txt.
+    Txt(Vec<u8>),
+    /// Soa.
+    Soa {
+        /// Mname.
+        mname: Name,
+        /// Rname.
+        rname: Name,
+        /// Serial.
+        serial: u32,
+        /// Refresh.
+        refresh: u32,
+        /// Retry.
+        retry: u32,
+        /// Expire.
+        expire: u32,
+        /// Minimum.
+        minimum: u32,
+    },
+    /// SVCB/HTTPS, simplified to priority + target (no SvcParams); enough
+    /// to observe the HTTP/3 probing the paper notes on Apple/Android
+    /// devices (§5.2.2).
+    Svcb {
+        /// Priority.
+        priority: u16,
+        /// Target.
+        target: Name,
+    },
+    /// Unknown.
+    Unknown {
+        /// Record type.
+        rtype: u16,
+        /// Data.
+        data: Vec<u8>,
+    },
+}
+
+impl Rdata {
+    /// The record type this data belongs to. SVCB data is used for both
+    /// SVCB and HTTPS; [`Record::rtype`] stores the actual type.
+    fn natural_type(&self) -> RecordType {
+        match self {
+            Rdata::A(_) => RecordType::A,
+            Rdata::Aaaa(_) => RecordType::Aaaa,
+            Rdata::Cname(_) => RecordType::Cname,
+            Rdata::Ptr(_) => RecordType::Ptr,
+            Rdata::Txt(_) => RecordType::Txt,
+            Rdata::Soa { .. } => RecordType::Soa,
+            Rdata::Svcb { .. } => RecordType::Svcb,
+            Rdata::Unknown { rtype, .. } => RecordType::Other(*rtype),
+        }
+    }
+}
+
+/// A resource record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Name.
+    pub name: Name,
+    /// Record type.
+    pub rtype: RecordType,
+    /// TTL.
+    pub ttl: u32,
+    /// Record data.
+    pub rdata: Rdata,
+}
+
+impl Record {
+    /// Build a record whose type matches its data.
+    pub fn new(name: Name, ttl: u32, rdata: Rdata) -> Record {
+        Record {
+            rtype: rdata.natural_type(),
+            name,
+            ttl,
+            rdata,
+        }
+    }
+}
+
+/// A whole DNS message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Identifier.
+    pub id: u16,
+    /// Is response.
+    pub is_response: bool,
+    /// Recursion desired.
+    pub recursion_desired: bool,
+    /// Recursion available.
+    pub recursion_available: bool,
+    /// Authoritative.
+    pub authoritative: bool,
+    /// Response code.
+    pub rcode: Rcode,
+    /// Questions.
+    pub questions: Vec<Question>,
+    /// Answers.
+    pub answers: Vec<Record>,
+    /// Authorities.
+    pub authorities: Vec<Record>,
+    /// Additionals.
+    pub additionals: Vec<Record>,
+}
+
+impl Message {
+    /// A recursive query for `name`/`rtype`.
+    pub fn query(id: u16, name: Name, rtype: RecordType) -> Message {
+        Message {
+            id,
+            is_response: false,
+            recursion_desired: true,
+            recursion_available: false,
+            authoritative: false,
+            rcode: Rcode::NoError,
+            questions: vec![Question { name, rtype }],
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// The response skeleton for this query.
+    pub fn response(&self, rcode: Rcode) -> Message {
+        Message {
+            id: self.id,
+            is_response: true,
+            recursion_desired: self.recursion_desired,
+            recursion_available: true,
+            authoritative: false,
+            rcode,
+            questions: self.questions.clone(),
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// The first question, if any — the common case for stub resolvers.
+    pub fn question(&self) -> Option<&Question> {
+        self.questions.first()
+    }
+
+    /// Every AAAA address in the answer section.
+    pub fn aaaa_answers(&self) -> impl Iterator<Item = Ipv6Addr> + '_ {
+        self.answers.iter().filter_map(|r| match r.rdata {
+            Rdata::Aaaa(a) => Some(a),
+            _ => None,
+        })
+    }
+
+    /// Every A address in the answer section.
+    pub fn a_answers(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        self.answers.iter().filter_map(|r| match r.rdata {
+            Rdata::A(a) => Some(a),
+            _ => None,
+        })
+    }
+
+    /// A negative answer: NXDOMAIN, or NOERROR with zero answers (often
+    /// with an SOA in the authority section). This is the condition the
+    /// paper describes as "'no such name' error and/or SOA records".
+    pub fn is_negative(&self) -> bool {
+        self.is_response && (self.rcode == Rcode::NxDomain || self.answers.is_empty())
+    }
+
+    /// Serialize to wire format with name compression.
+    pub fn build(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.out.extend_from_slice(&self.id.to_be_bytes());
+        let mut flags = 0u16;
+        if self.is_response {
+            flags |= 0x8000;
+        }
+        if self.authoritative {
+            flags |= 0x0400;
+        }
+        if self.recursion_desired {
+            flags |= 0x0100;
+        }
+        if self.recursion_available {
+            flags |= 0x0080;
+        }
+        flags |= u16::from(u8::from(self.rcode));
+        w.out.extend_from_slice(&flags.to_be_bytes());
+        for count in [
+            self.questions.len(),
+            self.answers.len(),
+            self.authorities.len(),
+            self.additionals.len(),
+        ] {
+            w.out.extend_from_slice(&(count as u16).to_be_bytes());
+        }
+        for q in &self.questions {
+            w.write_name(&q.name);
+            w.out.extend_from_slice(&u16::from(q.rtype).to_be_bytes());
+            w.out.extend_from_slice(&1u16.to_be_bytes()); // IN
+        }
+        for r in self
+            .answers
+            .iter()
+            .chain(&self.authorities)
+            .chain(&self.additionals)
+        {
+            w.write_record(r);
+        }
+        w.out
+    }
+
+    /// Parse from wire format.
+    pub fn parse_bytes(b: &[u8]) -> Result<Message> {
+        let mut r = Reader { buf: b, pos: 0 };
+        if b.len() < 12 {
+            return Err(Error::Truncated);
+        }
+        let id = r.u16()?;
+        let flags = r.u16()?;
+        let qd = r.u16()?;
+        let an = r.u16()?;
+        let ns = r.u16()?;
+        let ar = r.u16()?;
+        let mut msg = Message {
+            id,
+            is_response: flags & 0x8000 != 0,
+            authoritative: flags & 0x0400 != 0,
+            recursion_desired: flags & 0x0100 != 0,
+            recursion_available: flags & 0x0080 != 0,
+            rcode: Rcode::from((flags & 0x000f) as u8),
+            questions: Vec::with_capacity(usize::from(qd)),
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        };
+        for _ in 0..qd {
+            let name = r.read_name()?;
+            let rtype = RecordType::from(r.u16()?);
+            let _class = r.u16()?;
+            msg.questions.push(Question { name, rtype });
+        }
+        for _ in 0..an {
+            let rec = r.read_record()?;
+            msg.answers.push(rec);
+        }
+        for _ in 0..ns {
+            let rec = r.read_record()?;
+            msg.authorities.push(rec);
+        }
+        for _ in 0..ar {
+            let rec = r.read_record()?;
+            msg.additionals.push(rec);
+        }
+        Ok(msg)
+    }
+}
+
+/// Serializer with RFC 1035 §4.1.4 name compression.
+struct Writer {
+    out: Vec<u8>,
+    /// suffix (textual) → offset of its encoding.
+    seen: HashMap<String, u16>,
+}
+
+impl Writer {
+    fn new() -> Writer {
+        Writer {
+            out: Vec::with_capacity(128),
+            seen: HashMap::new(),
+        }
+    }
+
+    fn write_name(&mut self, name: &Name) {
+        let labels: Vec<&str> = name.labels().collect();
+        for i in 0..labels.len() {
+            let suffix = labels[i..].join(".");
+            if let Some(&off) = self.seen.get(&suffix) {
+                self.out
+                    .extend_from_slice(&(0xc000u16 | off).to_be_bytes());
+                return;
+            }
+            if self.out.len() <= 0x3fff {
+                self.seen.insert(suffix, self.out.len() as u16);
+            }
+            self.out.push(labels[i].len() as u8);
+            self.out.extend_from_slice(labels[i].as_bytes());
+        }
+        self.out.push(0);
+    }
+
+    fn write_record(&mut self, r: &Record) {
+        self.write_name(&r.name);
+        self.out
+            .extend_from_slice(&u16::from(r.rtype).to_be_bytes());
+        self.out.extend_from_slice(&1u16.to_be_bytes()); // IN
+        self.out.extend_from_slice(&r.ttl.to_be_bytes());
+        let len_pos = self.out.len();
+        self.out.extend_from_slice(&[0, 0]);
+        match &r.rdata {
+            Rdata::A(a) => self.out.extend_from_slice(&a.octets()),
+            Rdata::Aaaa(a) => self.out.extend_from_slice(&a.octets()),
+            Rdata::Cname(n) | Rdata::Ptr(n) => self.write_name(n),
+            Rdata::Txt(t) => {
+                // Single character-string; the study never needs more.
+                self.out.push(t.len().min(255) as u8);
+                self.out.extend_from_slice(&t[..t.len().min(255)]);
+            }
+            Rdata::Soa {
+                mname,
+                rname,
+                serial,
+                refresh,
+                retry,
+                expire,
+                minimum,
+            } => {
+                self.write_name(mname);
+                self.write_name(rname);
+                for v in [serial, refresh, retry, expire, minimum] {
+                    self.out.extend_from_slice(&v.to_be_bytes());
+                }
+            }
+            Rdata::Svcb { priority, target } => {
+                self.out.extend_from_slice(&priority.to_be_bytes());
+                // RFC 9460: target is NOT compressed.
+                for label in target.labels() {
+                    self.out.push(label.len() as u8);
+                    self.out.extend_from_slice(label.as_bytes());
+                }
+                self.out.push(0);
+            }
+            Rdata::Unknown { data, .. } => self.out.extend_from_slice(data),
+        }
+        let rdlen = (self.out.len() - len_pos - 2) as u16;
+        self.out[len_pos..len_pos + 2].copy_from_slice(&rdlen.to_be_bytes());
+    }
+}
+
+/// Cursor-based parser with compression-pointer loop protection.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u8(&mut self) -> Result<u8> {
+        let v = *self.buf.get(self.pos).ok_or(Error::Truncated)?;
+        self.pos += 1;
+        Ok(v)
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_be_bytes([self.u8()?, self.u8()?]))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_be_bytes([
+            self.u8()?,
+            self.u8()?,
+            self.u8()?,
+            self.u8()?,
+        ]))
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.buf.len() < self.pos + n {
+            return Err(Error::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn read_name(&mut self) -> Result<Name> {
+        let mut out = String::new();
+        let mut pos = self.pos;
+        let mut jumped = false;
+        let mut jumps = 0usize;
+        loop {
+            let len = *self.buf.get(pos).ok_or(Error::Truncated)?;
+            if len & 0xc0 == 0xc0 {
+                let lo = *self.buf.get(pos + 1).ok_or(Error::Truncated)?;
+                let target = usize::from(u16::from_be_bytes([len & 0x3f, lo]));
+                if !jumped {
+                    self.pos = pos + 2;
+                    jumped = true;
+                }
+                jumps += 1;
+                if jumps > 32 || target >= pos {
+                    // Forward or excessive pointers => loop or garbage.
+                    return Err(Error::BadName);
+                }
+                pos = target;
+                continue;
+            }
+            if len & 0xc0 != 0 {
+                return Err(Error::BadName);
+            }
+            if len == 0 {
+                if !jumped {
+                    self.pos = pos + 1;
+                }
+                break;
+            }
+            let start = pos + 1;
+            let end = start + usize::from(len);
+            let label = self.buf.get(start..end).ok_or(Error::Truncated)?;
+            if !out.is_empty() {
+                out.push('.');
+            }
+            out.push_str(std::str::from_utf8(label).map_err(|_| Error::BadName)?);
+            if out.len() > MAX_NAME_LEN {
+                return Err(Error::BadName);
+            }
+            pos = end;
+        }
+        Name::new(&out)
+    }
+
+    fn read_record(&mut self) -> Result<Record> {
+        let name = self.read_name()?;
+        let rtype_raw = self.u16()?;
+        let rtype = RecordType::from(rtype_raw);
+        let _class = self.u16()?;
+        let ttl = self.u32()?;
+        let rdlen = usize::from(self.u16()?);
+        let rdata_end = self.pos + rdlen;
+        if self.buf.len() < rdata_end {
+            return Err(Error::Truncated);
+        }
+        let rdata = match rtype {
+            RecordType::A if rdlen == 4 => {
+                let b = self.take(4)?;
+                Rdata::A(Ipv4Addr::new(b[0], b[1], b[2], b[3]))
+            }
+            RecordType::Aaaa if rdlen == 16 => {
+                let b = self.take(16)?;
+                let mut o = [0u8; 16];
+                o.copy_from_slice(b);
+                Rdata::Aaaa(Ipv6Addr::from(o))
+            }
+            RecordType::Cname => Rdata::Cname(self.read_name()?),
+            RecordType::Ptr => Rdata::Ptr(self.read_name()?),
+            RecordType::Txt => {
+                let b = self.take(rdlen)?;
+                if b.is_empty() {
+                    Rdata::Txt(Vec::new())
+                } else {
+                    let slen = usize::from(b[0]);
+                    if b.len() < 1 + slen {
+                        return Err(Error::Truncated);
+                    }
+                    Rdata::Txt(b[1..1 + slen].to_vec())
+                }
+            }
+            RecordType::Soa => {
+                let mname = self.read_name()?;
+                let rname = self.read_name()?;
+                Rdata::Soa {
+                    mname,
+                    rname,
+                    serial: self.u32()?,
+                    refresh: self.u32()?,
+                    retry: self.u32()?,
+                    expire: self.u32()?,
+                    minimum: self.u32()?,
+                }
+            }
+            RecordType::Svcb | RecordType::Https => {
+                let priority = self.u16()?;
+                let target = self.read_name()?;
+                // Skip SvcParams, if any.
+                self.pos = rdata_end;
+                Rdata::Svcb { priority, target }
+            }
+            _ => Rdata::Unknown {
+                rtype: rtype_raw,
+                data: self.take(rdlen)?.to_vec(),
+            },
+        };
+        if self.pos != rdata_end {
+            return Err(Error::Malformed);
+        }
+        Ok(Record { name, rtype, ttl, rdata })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> Name {
+        Name::new(s).unwrap()
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(Name::new("api.amazon.com").is_ok());
+        assert!(Name::new("API.Amazon.COM.").is_ok());
+        assert_eq!(name("API.Amazon.COM.").as_str(), "api.amazon.com");
+        assert!(Name::new("has space.com").is_err());
+        assert!(Name::new("a..b").is_err());
+        assert!(Name::new(&"x".repeat(64)).is_err());
+        assert!(Name::new(&format!("{}.com", "long-label.".repeat(30))).is_err());
+        assert_eq!(Name::new("").unwrap(), Name::root());
+    }
+
+    #[test]
+    fn second_level_extraction() {
+        assert_eq!(name("unagi-na.amazon.com").second_level(), name("amazon.com"));
+        assert_eq!(name("a2.tuyaus.com").second_level(), name("tuyaus.com"));
+        assert_eq!(name("amazon.com").second_level(), name("amazon.com"));
+        assert_eq!(name("com").second_level(), name("com"));
+    }
+
+    #[test]
+    fn subdomain_check() {
+        assert!(name("a2.tuyaus.com").is_subdomain_of(&name("tuyaus.com")));
+        assert!(name("tuyaus.com").is_subdomain_of(&name("tuyaus.com")));
+        assert!(!name("nottuyaus.com").is_subdomain_of(&name("tuyaus.com")));
+        assert!(name("x.y").is_subdomain_of(&Name::root()));
+    }
+
+    #[test]
+    fn query_roundtrip() {
+        let q = Message::query(0x7777, name("clients3.google.com"), RecordType::Aaaa);
+        let parsed = Message::parse_bytes(&q.build()).unwrap();
+        assert_eq!(parsed, q);
+        assert!(!parsed.is_response);
+        assert_eq!(parsed.question().unwrap().rtype, RecordType::Aaaa);
+    }
+
+    #[test]
+    fn positive_aaaa_response_roundtrip() {
+        let q = Message::query(1, name("example.com"), RecordType::Aaaa);
+        let mut resp = q.response(Rcode::NoError);
+        resp.answers.push(Record::new(
+            name("example.com"),
+            300,
+            Rdata::Aaaa("2606:2800:220:1::1".parse().unwrap()),
+        ));
+        resp.answers.push(Record::new(
+            name("example.com"),
+            300,
+            Rdata::Aaaa("2606:2800:220:1::2".parse().unwrap()),
+        ));
+        let parsed = Message::parse_bytes(&resp.build()).unwrap();
+        assert_eq!(parsed, resp);
+        assert_eq!(parsed.aaaa_answers().count(), 2);
+        assert!(!parsed.is_negative());
+    }
+
+    #[test]
+    fn negative_response_with_soa() {
+        let q = Message::query(2, name("api.amazon.com"), RecordType::Aaaa);
+        let mut resp = q.response(Rcode::NoError);
+        resp.authorities.push(Record::new(
+            name("amazon.com"),
+            900,
+            Rdata::Soa {
+                mname: name("dns-external-master.amazon.com"),
+                rname: name("root.amazon.com"),
+                serial: 2010122200,
+                refresh: 180,
+                retry: 60,
+                expire: 3024000,
+                minimum: 60,
+            },
+        ));
+        let parsed = Message::parse_bytes(&resp.build()).unwrap();
+        assert_eq!(parsed, resp);
+        assert!(parsed.is_negative());
+
+        let nx = q.response(Rcode::NxDomain);
+        assert!(Message::parse_bytes(&nx.build()).unwrap().is_negative());
+    }
+
+    #[test]
+    fn cname_chain_roundtrip() {
+        let q = Message::query(3, name("www.vendor.com"), RecordType::A);
+        let mut resp = q.response(Rcode::NoError);
+        resp.answers.push(Record::new(
+            name("www.vendor.com"),
+            60,
+            Rdata::Cname(name("edge.cdn.vendor.com")),
+        ));
+        resp.answers.push(Record::new(
+            name("edge.cdn.vendor.com"),
+            60,
+            Rdata::A(Ipv4Addr::new(151, 101, 1, 6)),
+        ));
+        assert_eq!(Message::parse_bytes(&resp.build()).unwrap(), resp);
+    }
+
+    #[test]
+    fn https_record_roundtrip() {
+        let q = Message::query(4, name("gateway.icloud.com"), RecordType::Https);
+        let mut resp = q.response(Rcode::NoError);
+        resp.answers.push(Record {
+            name: name("gateway.icloud.com"),
+            rtype: RecordType::Https,
+            ttl: 300,
+            rdata: Rdata::Svcb {
+                priority: 1,
+                target: Name::root(),
+            },
+        });
+        assert_eq!(Message::parse_bytes(&resp.build()).unwrap(), resp);
+    }
+
+    #[test]
+    fn compression_shrinks_and_roundtrips() {
+        let mut resp = Message::query(5, name("a.b.example.net"), RecordType::A)
+            .response(Rcode::NoError);
+        for i in 0..4u8 {
+            resp.answers.push(Record::new(
+                name("a.b.example.net"),
+                60,
+                Rdata::A(Ipv4Addr::new(10, 0, 0, i)),
+            ));
+        }
+        let compressed = resp.build();
+        assert_eq!(Message::parse_bytes(&compressed).unwrap(), resp);
+        // The repeated owner name must have been compressed to pointers:
+        // 4 answers * full name (17 bytes) would dominate otherwise.
+        assert!(compressed.len() < 12 + 21 + 4 * (2 + 10 + 4) + 10);
+    }
+
+    #[test]
+    fn pointer_loop_rejected() {
+        // Header + a name that points at itself.
+        let mut b = vec![0u8; 12];
+        b[4..6].copy_from_slice(&1u16.to_be_bytes()); // qdcount = 1
+        b.extend_from_slice(&[0xc0, 12]); // pointer to itself
+        b.extend_from_slice(&[0, 1, 0, 1]);
+        assert_eq!(Message::parse_bytes(&b).unwrap_err(), Error::BadName);
+    }
+
+    #[test]
+    fn truncated_message_rejected() {
+        let q = Message::query(6, name("x.com"), RecordType::A).build();
+        for cut in [2, 11, q.len() - 1] {
+            assert!(Message::parse_bytes(&q[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn txt_roundtrip() {
+        let mut resp = Message::query(7, name("t.example"), RecordType::Txt)
+            .response(Rcode::NoError);
+        resp.answers.push(Record::new(
+            name("t.example"),
+            60,
+            Rdata::Txt(b"v=spf1 -all".to_vec()),
+        ));
+        assert_eq!(Message::parse_bytes(&resp.build()).unwrap(), resp);
+    }
+}

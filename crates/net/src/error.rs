@@ -1,0 +1,40 @@
+//! Parse and emit errors shared by every wire format in this crate.
+
+use std::fmt;
+
+/// Why a buffer could not be interpreted as (or serialized into) a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// The buffer ends before the fixed header or a declared length.
+    Truncated,
+    /// A field holds a structurally impossible value (bad version nibble,
+    /// reserved opcode, zero-length option, ...).
+    Malformed,
+    /// A verified checksum did not match.
+    BadChecksum,
+    /// The output buffer is too small for the representation being emitted.
+    BufferTooSmall,
+    /// A DNS name exceeded length limits or contained a compression loop.
+    BadName,
+    /// The value is legal on the wire but not supported by this crate.
+    Unsupported,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Error::Truncated => "buffer truncated",
+            Error::Malformed => "malformed field",
+            Error::BadChecksum => "checksum mismatch",
+            Error::BufferTooSmall => "output buffer too small",
+            Error::BadName => "invalid dns name",
+            Error::Unsupported => "unsupported value",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,125 @@
+//! ICMPv4 (RFC 792): echo and destination-unreachable, which is all the
+//! testbed traffic contains.
+
+use crate::checksum;
+use crate::error::{Error, Result};
+
+/// Owned representation of the ICMPv4 messages we model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Repr {
+    /// Echo Request.
+    EchoRequest {
+        /// Ident.
+        ident: u16,
+        /// Sequence number.
+        seq: u16,
+        /// Payload.
+        payload: Vec<u8>,
+    },
+    /// Echo Reply.
+    EchoReply {
+        /// Ident.
+        ident: u16,
+        /// Sequence number.
+        seq: u16,
+        /// Payload.
+        payload: Vec<u8>,
+    },
+    /// Type 3; `code` 3 is port-unreachable, the UDP scan signal.
+    /// Dst Unreachable.
+    DstUnreachable {
+        /// ICMP code; 3 is port-unreachable.
+        code: u8,
+    },
+}
+
+impl Repr {
+    /// Parse from raw ICMPv4 bytes, verifying the checksum.
+    pub fn parse_bytes(b: &[u8]) -> Result<Repr> {
+        if b.len() < 8 {
+            return Err(Error::Truncated);
+        }
+        if !checksum::verify(b) {
+            return Err(Error::BadChecksum);
+        }
+        let ident = u16::from_be_bytes([b[4], b[5]]);
+        let seq = u16::from_be_bytes([b[6], b[7]]);
+        match (b[0], b[1]) {
+            (8, 0) => Ok(Repr::EchoRequest {
+                ident,
+                seq,
+                payload: b[8..].to_vec(),
+            }),
+            (0, 0) => Ok(Repr::EchoReply {
+                ident,
+                seq,
+                payload: b[8..].to_vec(),
+            }),
+            (3, code) => Ok(Repr::DstUnreachable { code }),
+            _ => Err(Error::Unsupported),
+        }
+    }
+
+    /// Serialize, computing the checksum.
+    pub fn build(&self) -> Vec<u8> {
+        let mut b = match self {
+            Repr::EchoRequest { ident, seq, payload } => {
+                let mut b = vec![8, 0, 0, 0];
+                b.extend_from_slice(&ident.to_be_bytes());
+                b.extend_from_slice(&seq.to_be_bytes());
+                b.extend_from_slice(payload);
+                b
+            }
+            Repr::EchoReply { ident, seq, payload } => {
+                let mut b = vec![0, 0, 0, 0];
+                b.extend_from_slice(&ident.to_be_bytes());
+                b.extend_from_slice(&seq.to_be_bytes());
+                b.extend_from_slice(payload);
+                b
+            }
+            Repr::DstUnreachable { code } => vec![3, *code, 0, 0, 0, 0, 0, 0],
+        };
+        let c = checksum::checksum(&b);
+        b[2..4].copy_from_slice(&c.to_be_bytes());
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_roundtrip() {
+        let r = Repr::EchoRequest {
+            ident: 0x1234,
+            seq: 7,
+            payload: b"ping".to_vec(),
+        };
+        assert_eq!(Repr::parse_bytes(&r.build()).unwrap(), r);
+        let r = Repr::EchoReply {
+            ident: 0x1234,
+            seq: 7,
+            payload: b"ping".to_vec(),
+        };
+        assert_eq!(Repr::parse_bytes(&r.build()).unwrap(), r);
+    }
+
+    #[test]
+    fn unreachable_roundtrip() {
+        let r = Repr::DstUnreachable { code: 3 };
+        assert_eq!(Repr::parse_bytes(&r.build()).unwrap(), r);
+    }
+
+    #[test]
+    fn checksum_enforced() {
+        let mut b = Repr::DstUnreachable { code: 3 }.build();
+        b[1] = 1;
+        assert_eq!(Repr::parse_bytes(&b).unwrap_err(), Error::BadChecksum);
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert_eq!(Repr::parse_bytes(&[8, 0, 0]).unwrap_err(), Error::Truncated);
+    }
+}

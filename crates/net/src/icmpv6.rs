@@ -1,0 +1,259 @@
+//! ICMPv6 (RFC 4443), carrying echo, errors, and — via [`crate::ndp`] —
+//! the Neighbor Discovery messages.
+//!
+//! Every ICMPv6 message is checksummed over the IPv6 pseudo-header, so both
+//! parse and emit need the enclosing source and destination addresses.
+
+use crate::checksum::Checksum;
+use crate::error::{Error, Result};
+use crate::ndp;
+use std::net::Ipv6Addr;
+
+/// Owned representation of an ICMPv6 message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Repr {
+    /// Type 128. The active port-scan pipeline pings ff02::1 with this to
+    /// harvest the neighbor table, exactly as the paper does (§4.3).
+    EchoRequest {
+        /// Ident.
+        ident: u16,
+        /// Sequence number.
+        seq: u16,
+        /// Payload.
+        payload: Vec<u8>,
+    },
+    /// Type 129.
+    EchoReply {
+        /// Ident.
+        ident: u16,
+        /// Sequence number.
+        seq: u16,
+        /// Payload.
+        payload: Vec<u8>,
+    },
+    /// Type 1; code 4 is port-unreachable — the UDP scan "closed" signal.
+    /// Dst Unreachable.
+    DstUnreachable {
+        /// ICMPv6 code; 4 is port-unreachable.
+        code: u8,
+    },
+    /// Types 133–136.
+    Ndp(ndp::Repr),
+    /// Type 143 — MLDv2 Multicast Listener Report (RFC 3810). Real IPv6
+    /// stacks emit these when joining the solicited-node groups of their
+    /// addresses; the records are (record type, multicast address) pairs
+    /// (type 4 = CHANGE_TO_EXCLUDE, i.e. "join").
+    Mldv2Report {
+        /// (record type, multicast group) pairs; source lists unsupported.
+        records: Vec<(u8, Ipv6Addr)>,
+    },
+}
+
+impl Repr {
+    /// Parse raw ICMPv6 bytes, verifying the pseudo-header checksum.
+    pub fn parse_bytes(src: Ipv6Addr, dst: Ipv6Addr, b: &[u8]) -> Result<Repr> {
+        if b.len() < 8 {
+            return Err(Error::Truncated);
+        }
+        let mut c = Checksum::new();
+        c.add_ipv6_pseudo(src, dst, 58, b.len() as u32);
+        c.add(b);
+        if c.finish() != 0 {
+            return Err(Error::BadChecksum);
+        }
+        let ident = u16::from_be_bytes([b[4], b[5]]);
+        let seq = u16::from_be_bytes([b[6], b[7]]);
+        match (b[0], b[1]) {
+            (128, 0) => Ok(Repr::EchoRequest {
+                ident,
+                seq,
+                payload: b[8..].to_vec(),
+            }),
+            (129, 0) => Ok(Repr::EchoReply {
+                ident,
+                seq,
+                payload: b[8..].to_vec(),
+            }),
+            (1, code) => Ok(Repr::DstUnreachable { code }),
+            (ty @ 133..=136, 0) => Ok(Repr::Ndp(ndp::Repr::parse_body(ty, &b[4..])?)),
+            (143, 0) => {
+                let n = usize::from(u16::from_be_bytes([b[6], b[7]]));
+                let mut records = Vec::with_capacity(n);
+                let mut off = 8;
+                for _ in 0..n {
+                    if b.len() < off + 20 {
+                        return Err(Error::Truncated);
+                    }
+                    let rec_type = b[off];
+                    let aux = usize::from(b[off + 1]) * 4;
+                    let n_src = usize::from(u16::from_be_bytes([b[off + 2], b[off + 3]]));
+                    let mut o = [0u8; 16];
+                    o.copy_from_slice(&b[off + 4..off + 20]);
+                    records.push((rec_type, Ipv6Addr::from(o)));
+                    off += 20 + aux + 16 * n_src;
+                    if b.len() < off {
+                        return Err(Error::Truncated);
+                    }
+                }
+                Ok(Repr::Mldv2Report { records })
+            }
+            _ => Err(Error::Unsupported),
+        }
+    }
+
+    /// Serialize, computing the pseudo-header checksum.
+    pub fn build(&self, src: Ipv6Addr, dst: Ipv6Addr) -> Vec<u8> {
+        let mut b = Vec::with_capacity(64);
+        match self {
+            Repr::EchoRequest { ident, seq, payload } => {
+                b.extend_from_slice(&[128, 0, 0, 0]);
+                b.extend_from_slice(&ident.to_be_bytes());
+                b.extend_from_slice(&seq.to_be_bytes());
+                b.extend_from_slice(payload);
+            }
+            Repr::EchoReply { ident, seq, payload } => {
+                b.extend_from_slice(&[129, 0, 0, 0]);
+                b.extend_from_slice(&ident.to_be_bytes());
+                b.extend_from_slice(&seq.to_be_bytes());
+                b.extend_from_slice(payload);
+            }
+            Repr::DstUnreachable { code } => {
+                b.extend_from_slice(&[1, *code, 0, 0, 0, 0, 0, 0]);
+            }
+            Repr::Ndp(n) => {
+                b.extend_from_slice(&[n.icmp_type(), 0, 0, 0]);
+                n.emit_body(&mut b);
+            }
+            Repr::Mldv2Report { records } => {
+                b.extend_from_slice(&[143, 0, 0, 0, 0, 0]);
+                b.extend_from_slice(&(records.len() as u16).to_be_bytes());
+                for (rec_type, group) in records {
+                    b.push(*rec_type);
+                    b.push(0); // aux data len
+                    b.extend_from_slice(&0u16.to_be_bytes()); // no sources
+                    b.extend_from_slice(&group.octets());
+                }
+            }
+        }
+        let mut c = Checksum::new();
+        c.add_ipv6_pseudo(src, dst, 58, b.len() as u32);
+        c.add(&b);
+        let sum = c.finish();
+        b[2..4].copy_from_slice(&sum.to_be_bytes());
+        b
+    }
+
+    /// If this is an NDP message, borrow it.
+    pub fn as_ndp(&self) -> Option<&ndp::Repr> {
+        match self {
+            Repr::Ndp(n) => Some(n),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipv6::mcast;
+    use crate::mac::Mac;
+    use crate::ndp::NdpOption;
+
+    fn lla() -> Ipv6Addr {
+        "fe80::1".parse().unwrap()
+    }
+
+    #[test]
+    fn echo_roundtrip_checksummed() {
+        let r = Repr::EchoRequest {
+            ident: 42,
+            seq: 1,
+            payload: b"discover".to_vec(),
+        };
+        let bytes = r.build(lla(), mcast::ALL_NODES);
+        assert_eq!(Repr::parse_bytes(lla(), mcast::ALL_NODES, &bytes).unwrap(), r);
+        // Wrong pseudo-header => checksum failure.
+        assert_eq!(
+            Repr::parse_bytes(lla(), mcast::ALL_ROUTERS, &bytes).unwrap_err(),
+            Error::BadChecksum
+        );
+    }
+
+    #[test]
+    fn ndp_ra_through_icmpv6() {
+        let ra = Repr::Ndp(ndp::Repr::RouterAdvert {
+            hop_limit: 64,
+            managed: false,
+            other_config: true,
+            router_lifetime: 1800,
+            reachable_time: 0,
+            retrans_time: 0,
+            options: vec![NdpOption::SourceLinkLayerAddr(Mac::new(2, 0, 0, 0, 0, 1))],
+        });
+        let bytes = ra.build(lla(), mcast::ALL_NODES);
+        let parsed = Repr::parse_bytes(lla(), mcast::ALL_NODES, &bytes).unwrap();
+        assert_eq!(parsed, ra);
+        assert!(parsed.as_ndp().is_some());
+    }
+
+    #[test]
+    fn dad_ns_from_unspecified() {
+        let ns = Repr::Ndp(ndp::Repr::NeighborSolicit {
+            target: "fe80::c2ff:4dff:fe2e:1a2b".parse().unwrap(),
+            options: vec![],
+        });
+        let src: Ipv6Addr = "::".parse().unwrap();
+        let dst: Ipv6Addr = "ff02::1:ff2e:1a2b".parse().unwrap();
+        let bytes = ns.build(src, dst);
+        assert_eq!(Repr::parse_bytes(src, dst, &bytes).unwrap(), ns);
+    }
+
+    #[test]
+    fn port_unreachable_roundtrip() {
+        let r = Repr::DstUnreachable { code: 4 };
+        let bytes = r.build(lla(), lla());
+        assert_eq!(Repr::parse_bytes(lla(), lla(), &bytes).unwrap(), r);
+    }
+
+    #[test]
+    fn mldv2_report_roundtrip() {
+        use crate::ipv6::Ipv6AddrExt;
+        let a: Ipv6Addr = "fe80::c2ff:4dff:fe2e:1a2b".parse().unwrap();
+        let r = Repr::Mldv2Report {
+            records: vec![(4, a.solicited_node()), (4, mcast::MDNS)],
+        };
+        let src: Ipv6Addr = "::".parse().unwrap();
+        let dst: Ipv6Addr = "ff02::16".parse().unwrap();
+        let bytes = r.build(src, dst);
+        assert_eq!(Repr::parse_bytes(src, dst, &bytes).unwrap(), r);
+    }
+
+    #[test]
+    fn mldv2_truncation_rejected() {
+        let r = Repr::Mldv2Report {
+            records: vec![(4, mcast::ALL_NODES)],
+        };
+        let src: Ipv6Addr = "::".parse().unwrap();
+        let dst: Ipv6Addr = "ff02::16".parse().unwrap();
+        let bytes = r.build(src, dst);
+        // Claim two records but provide one.
+        let mut bad = bytes.clone();
+        bad[7] = 2;
+        // (checksum now wrong, so fix it: rebuild via raw checksum calc)
+        bad[2] = 0; bad[3] = 0;
+        let mut c = crate::checksum::Checksum::new();
+        c.add_ipv6_pseudo(src, dst, 58, bad.len() as u32);
+        c.add(&bad);
+        let sum = c.finish();
+        bad[2..4].copy_from_slice(&sum.to_be_bytes());
+        assert_eq!(Repr::parse_bytes(src, dst, &bad).unwrap_err(), Error::Truncated);
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert_eq!(
+            Repr::parse_bytes(lla(), lla(), &[128, 0, 0]).unwrap_err(),
+            Error::Truncated
+        );
+    }
+}

@@ -1,0 +1,274 @@
+//! Property-based round-trip and robustness tests for every wire format.
+
+use proptest::prelude::*;
+use v6brick_net::dns::{Message, Name, Rcode, Rdata, Record, RecordType};
+use v6brick_net::ipv4::Protocol;
+use v6brick_net::udp::PseudoHeader;
+use v6brick_net::{arp, checksum, dhcpv4, dhcpv6, dns, ethernet, icmpv4, icmpv6, ipv4, ipv6, ndp, tcp, tls, udp, Mac};
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+fn arb_mac() -> impl Strategy<Value = Mac> {
+    any::<[u8; 6]>().prop_map(Mac::from)
+}
+
+fn arb_v4() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+fn arb_v6() -> impl Strategy<Value = Ipv6Addr> {
+    any::<u128>().prop_map(Ipv6Addr::from)
+}
+
+fn arb_label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9]([a-z0-9-]{0,14}[a-z0-9])?").unwrap()
+}
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    proptest::collection::vec(arb_label(), 1..5)
+        .prop_map(|labels| Name::new(&labels.join(".")).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn checksum_verifies_after_insertion(data in proptest::collection::vec(any::<u8>(), 2..256)) {
+        // Insert a checksum over the buffer at a fixed (even) offset, then
+        // verify the whole buffer folds to zero.
+        let mut buf = data.clone();
+        if buf.len() % 2 == 1 { buf.push(0); }
+        buf[0] = 0; buf[1] = 0;
+        let c = checksum::checksum(&buf);
+        buf[0..2].copy_from_slice(&c.to_be_bytes());
+        prop_assert!(checksum::verify(&buf));
+    }
+
+    #[test]
+    fn ethernet_roundtrip(src in arb_mac(), dst in arb_mac(), et in any::<u16>(),
+                          payload in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let r = ethernet::Repr { src, dst, ethertype: et.into() };
+        let bytes = r.build(&payload);
+        let f = ethernet::Frame::new_checked(&bytes[..]).unwrap();
+        prop_assert_eq!(ethernet::Repr::parse(&f), r);
+        prop_assert_eq!(f.payload(), &payload[..]);
+    }
+
+    #[test]
+    fn arp_roundtrip(smac in arb_mac(), sip in arb_v4(), tmac in arb_mac(), tip in arb_v4(), op in 1u8..=2) {
+        let r = arp::Repr {
+            operation: if op == 1 { arp::Operation::Request } else { arp::Operation::Reply },
+            sender_mac: smac, sender_ip: sip, target_mac: tmac, target_ip: tip,
+        };
+        prop_assert_eq!(arp::Repr::parse_bytes(&r.build()).unwrap(), r);
+    }
+
+    #[test]
+    fn ipv4_roundtrip(src in arb_v4(), dst in arb_v4(), proto in any::<u8>(), ttl in any::<u8>(),
+                      payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let r = ipv4::Repr { src, dst, protocol: proto.into(), ttl, payload_len: payload.len() };
+        let bytes = r.build(&payload);
+        let p = ipv4::Packet::new_checked(&bytes[..]).unwrap();
+        prop_assert_eq!(ipv4::Repr::parse(&p), r);
+        prop_assert_eq!(p.payload(), &payload[..]);
+    }
+
+    #[test]
+    fn ipv4_corruption_never_panics(src in arb_v4(), dst in arb_v4(),
+                                    payload in proptest::collection::vec(any::<u8>(), 0..64),
+                                    flip in any::<(usize, u8)>()) {
+        let r = ipv4::Repr { src, dst, protocol: Protocol::Udp, ttl: 64, payload_len: payload.len() };
+        let mut bytes = r.build(&payload);
+        let idx = flip.0 % bytes.len();
+        bytes[idx] ^= flip.1;
+        let _ = ipv4::Packet::new_checked(&bytes[..]); // must not panic
+    }
+
+    #[test]
+    fn ipv6_roundtrip(src in arb_v6(), dst in arb_v6(), nh in any::<u8>(), hl in any::<u8>(),
+                      payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let r = ipv6::Repr { src, dst, next_header: nh.into(), hop_limit: hl, payload_len: payload.len() };
+        let bytes = r.build(&payload);
+        let p = ipv6::Packet::new_checked(&bytes[..]).unwrap();
+        prop_assert_eq!(ipv6::Repr::parse(&p), r);
+    }
+
+    #[test]
+    fn eui64_embed_extract(mac in arb_mac(), prefix in arb_v6()) {
+        use v6brick_net::ipv6::Ipv6AddrExt;
+        let prefix = Ipv6Addr::from(u128::from(prefix) & !0xffff_ffff_ffff_ffffu128);
+        let a = mac.slaac_address(prefix);
+        // The embedded MAC always comes back out.
+        prop_assert_eq!(Mac::from_eui64(&a.octets()[8..16].try_into().unwrap()), Some(mac));
+        // And for unicast-classified prefixes the trait agrees.
+        if a.is_eui64() {
+            prop_assert_eq!(a.eui64_mac(), Some(mac));
+        }
+    }
+
+    #[test]
+    fn udp_roundtrip_v6(src in arb_v6(), dst in arb_v6(), sp in any::<u16>(), dp in any::<u16>(),
+                        payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let r = udp::Repr { src_port: sp, dst_port: dp, payload };
+        let bytes = r.build(PseudoHeader::V6 { src, dst });
+        let p = udp::Packet::new_checked(&bytes[..]).unwrap();
+        prop_assert!(p.verify_checksum_v6(src, dst));
+        prop_assert_eq!(udp::Repr::parse(&p), r);
+    }
+
+    #[test]
+    fn tcp_roundtrip_v4(src in arb_v4(), dst in arb_v4(), sp in any::<u16>(), dp in any::<u16>(),
+                        seq in any::<u32>(), ack in any::<u32>(), flags in 0u8..32,
+                        payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let r = tcp::Repr {
+            src_port: sp, dst_port: dp, seq, ack,
+            flags: tcp::Flags(flags), window: 1024, payload,
+        };
+        let bytes = r.build(PseudoHeader::V4 { src, dst });
+        let p = tcp::Packet::new_checked(&bytes[..]).unwrap();
+        prop_assert!(p.verify_checksum_v4(src, dst));
+        prop_assert_eq!(tcp::Repr::parse(&p), r);
+    }
+
+    #[test]
+    fn icmpv4_roundtrip(ident in any::<u16>(), seq in any::<u16>(),
+                        payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let r = icmpv4::Repr::EchoRequest { ident, seq, payload };
+        prop_assert_eq!(icmpv4::Repr::parse_bytes(&r.build()).unwrap(), r);
+    }
+
+    #[test]
+    fn icmpv6_echo_roundtrip(src in arb_v6(), dst in arb_v6(), ident in any::<u16>(), seq in any::<u16>(),
+                             payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let r = icmpv6::Repr::EchoRequest { ident, seq, payload };
+        let bytes = r.build(src, dst);
+        prop_assert_eq!(icmpv6::Repr::parse_bytes(src, dst, &bytes).unwrap(), r);
+    }
+
+    #[test]
+    fn ndp_ra_roundtrip(hop in any::<u8>(), m in any::<bool>(), o in any::<bool>(),
+                        lifetime in any::<u16>(), prefix in arb_v6(), mac in arb_mac(),
+                        rdnss in proptest::collection::vec(arb_v6(), 0..4)) {
+        let ra = ndp::Repr::RouterAdvert {
+            hop_limit: hop, managed: m, other_config: o,
+            router_lifetime: lifetime, reachable_time: 0, retrans_time: 0,
+            options: vec![
+                ndp::NdpOption::SourceLinkLayerAddr(mac),
+                ndp::NdpOption::PrefixInfo {
+                    prefix_len: 64, on_link: true, autonomous: true,
+                    valid_lifetime: 86400, preferred_lifetime: 14400, prefix,
+                },
+                ndp::NdpOption::Rdnss { lifetime: 1800, servers: rdnss },
+            ],
+        };
+        let mut body = Vec::new();
+        ra.emit_body(&mut body);
+        prop_assert_eq!(ndp::Repr::parse_body(134, &body).unwrap(), ra);
+    }
+
+    #[test]
+    fn dhcpv4_roundtrip(xid in any::<u32>(), mac in arb_mac(), your in arb_v4(),
+                        lease in any::<u32>(), dns_servers in proptest::collection::vec(arb_v4(), 0..4)) {
+        let mut r = dhcpv4::Repr::client(dhcpv4::MessageType::Ack, xid, mac);
+        r.your_addr = your;
+        r.lease_time = Some(lease);
+        r.dns_servers = dns_servers;
+        prop_assert_eq!(dhcpv4::Repr::parse_bytes(&r.build()).unwrap(), r);
+    }
+
+    #[test]
+    fn dhcpv6_roundtrip(xid in any::<u32>(), duid in proptest::collection::vec(any::<u8>(), 1..20),
+                        addr in arb_v6(), dns_servers in proptest::collection::vec(arb_v6(), 0..4)) {
+        let mut r = dhcpv6::Repr::new(dhcpv6::MessageType::Reply, xid);
+        r.client_id = Some(duid);
+        r.ia_na = Some(dhcpv6::IaNa {
+            iaid: 1, t1: 100, t2: 200,
+            addresses: vec![dhcpv6::IaAddr { addr, preferred: 3600, valid: 7200 }],
+        });
+        r.dns_servers = dns_servers;
+        prop_assert_eq!(dhcpv6::Repr::parse_bytes(&r.build()).unwrap(), r);
+    }
+
+    #[test]
+    fn dns_query_roundtrip(id in any::<u16>(), name in arb_name()) {
+        let q = Message::query(id, name, RecordType::Aaaa);
+        prop_assert_eq!(Message::parse_bytes(&q.build()).unwrap(), q);
+    }
+
+    #[test]
+    fn dns_response_roundtrip(id in any::<u16>(), name in arb_name(),
+                              answers in proptest::collection::vec(arb_v6(), 0..6),
+                              ttl in any::<u32>()) {
+        let q = Message::query(id, name.clone(), RecordType::Aaaa);
+        let mut resp = q.response(Rcode::NoError);
+        for a in &answers {
+            resp.answers.push(Record::new(name.clone(), ttl, Rdata::Aaaa(*a)));
+        }
+        let parsed = Message::parse_bytes(&resp.build()).unwrap();
+        prop_assert_eq!(&parsed, &resp);
+        prop_assert_eq!(parsed.aaaa_answers().count(), answers.len());
+        // Compression must never grow past the naive encoding.
+        let naive = 12 + (name.as_str().len() + 6) * (answers.len() + 1) + answers.len() * 26 + 16;
+        prop_assert!(resp.build().len() <= naive + 16);
+    }
+
+    #[test]
+    fn dns_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = Message::parse_bytes(&data);
+    }
+
+    #[test]
+    fn dns_name_subdomain_reflexive(name in arb_name()) {
+        prop_assert!(name.is_subdomain_of(&name));
+        prop_assert!(name.is_subdomain_of(&dns::Name::root()));
+        prop_assert!(name.second_level().labels().count() <= 2);
+    }
+
+    #[test]
+    fn tls_sni_roundtrip(name in arb_name(), pad in 0usize..4096) {
+        let hello = tls::client_hello(&name, pad);
+        prop_assert_eq!(tls::parse_sni(&hello).unwrap(), name);
+        prop_assert!(hello.len() >= pad);
+    }
+
+    #[test]
+    fn tls_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = tls::parse_sni(&data);
+    }
+
+    #[test]
+    fn full_stack_parse_roundtrip(src_mac in arb_mac(), dst_mac in arb_mac(),
+                                  src in arb_v6(), dst in arb_v6(),
+                                  sp in any::<u16>(), dp in any::<u16>(),
+                                  payload in proptest::collection::vec(any::<u8>(), 0..128)) {
+        use v6brick_net::parse::{L4, ParsedPacket};
+        let u = udp::Repr { src_port: sp, dst_port: dp, payload: payload.clone() }
+            .build(PseudoHeader::V6 { src, dst });
+        let ip = ipv6::Repr { src, dst, next_header: Protocol::Udp, hop_limit: 64, payload_len: u.len() }
+            .build(&u);
+        let frame = ethernet::Repr { src: src_mac, dst: dst_mac, ethertype: ethernet::EtherType::Ipv6 }
+            .build(&ip);
+        let p = ParsedPacket::parse(&frame).unwrap();
+        prop_assert_eq!(p.src_mac(), src_mac);
+        prop_assert_eq!(p.ports(), Some((sp, dp)));
+        match p.l4 {
+            L4::Udp { payload: got, .. } => prop_assert_eq!(got, payload),
+            other => prop_assert!(false, "expected udp, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn frame_truncation_never_panics(src_mac in arb_mac(), dst_mac in arb_mac(),
+                                     src in arb_v6(), dst in arb_v6(),
+                                     cut in any::<usize>()) {
+        use v6brick_net::parse::ParsedPacket;
+        let u = udp::Repr { src_port: 1, dst_port: 2, payload: vec![0; 32] }
+            .build(PseudoHeader::V6 { src, dst });
+        let ip = ipv6::Repr { src, dst, next_header: Protocol::Udp, hop_limit: 64, payload_len: u.len() }
+            .build(&u);
+        let frame = ethernet::Repr { src: src_mac, dst: dst_mac, ethertype: ethernet::EtherType::Ipv6 }
+            .build(&ip);
+        let cut = cut % (frame.len() + 1);
+        let _ = ParsedPacket::parse(&frame[..cut]);
+        let _ = v6brick_net::parse::parse_lenient(&frame[..cut]);
+    }
+}

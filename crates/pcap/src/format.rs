@@ -1,0 +1,233 @@
+//! Classic pcap file format (the `tcpdump` on-disk format).
+//!
+//! Written files use the little-endian, microsecond-resolution magic
+//! `0xa1b2c3d4` with linktype 1 (Ethernet), which any tcpdump or wireshark
+//! can open. Reading accepts both endiannesses and the nanosecond-magic
+//! variant `0xa1b23c4d`.
+
+use crate::{Capture, CapturedPacket};
+use bytes::Bytes;
+use std::io::{self, Read, Write};
+
+const MAGIC_USEC: u32 = 0xa1b2_c3d4;
+const MAGIC_NSEC: u32 = 0xa1b2_3c4d;
+const LINKTYPE_ETHERNET: u32 = 1;
+/// tcpdump's default snap length.
+const SNAPLEN: u32 = 262_144;
+
+/// Errors arising from pcap (de)serialization.
+#[derive(Debug)]
+pub enum PcapError {
+    /// Io.
+    Io(io::Error),
+    /// Not a pcap file (unknown magic).
+    BadMagic(u32),
+    /// Linktype other than Ethernet.
+    UnsupportedLinkType(u32),
+    /// A record header declares more bytes than remain.
+    TruncatedRecord,
+}
+
+impl std::fmt::Display for PcapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PcapError::Io(e) => write!(f, "io error: {e}"),
+            PcapError::BadMagic(m) => write!(f, "unknown pcap magic 0x{m:08x}"),
+            PcapError::UnsupportedLinkType(l) => write!(f, "unsupported linktype {l}"),
+            PcapError::TruncatedRecord => write!(f, "truncated pcap record"),
+        }
+    }
+}
+
+impl std::error::Error for PcapError {}
+
+impl From<io::Error> for PcapError {
+    fn from(e: io::Error) -> PcapError {
+        PcapError::Io(e)
+    }
+}
+
+/// Serialize a capture as a classic pcap stream.
+pub fn write_pcap<W: Write>(capture: &Capture, mut w: W) -> Result<(), PcapError> {
+    // Global header.
+    w.write_all(&MAGIC_USEC.to_le_bytes())?;
+    w.write_all(&2u16.to_le_bytes())?; // version major
+    w.write_all(&4u16.to_le_bytes())?; // version minor
+    w.write_all(&0i32.to_le_bytes())?; // thiszone
+    w.write_all(&0u32.to_le_bytes())?; // sigfigs
+    w.write_all(&SNAPLEN.to_le_bytes())?;
+    w.write_all(&LINKTYPE_ETHERNET.to_le_bytes())?;
+    for p in capture.iter() {
+        let sec = (p.timestamp_us / 1_000_000) as u32;
+        let usec = (p.timestamp_us % 1_000_000) as u32;
+        let len = p.data.len() as u32;
+        w.write_all(&sec.to_le_bytes())?;
+        w.write_all(&usec.to_le_bytes())?;
+        w.write_all(&len.to_le_bytes())?; // incl_len
+        w.write_all(&len.to_le_bytes())?; // orig_len
+        w.write_all(&p.data)?;
+    }
+    Ok(())
+}
+
+/// Serialize to an in-memory byte vector.
+pub fn to_bytes(capture: &Capture) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24 + capture.len() * 80);
+    write_pcap(capture, &mut out).expect("in-memory write cannot fail");
+    out
+}
+
+/// Deserialize a classic pcap stream.
+pub fn read_pcap<R: Read>(mut r: R) -> Result<Capture, PcapError> {
+    let mut buf = Vec::new();
+    r.read_to_end(&mut buf)?;
+    from_bytes(&buf)
+}
+
+/// Deserialize from an in-memory byte slice.
+pub fn from_bytes(buf: &[u8]) -> Result<Capture, PcapError> {
+    if buf.len() < 24 {
+        return Err(PcapError::TruncatedRecord);
+    }
+    let magic_le = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+    let magic_be = u32::from_be_bytes(buf[0..4].try_into().unwrap());
+    let (big_endian, nsec) = match (magic_le, magic_be) {
+        (MAGIC_USEC, _) => (false, false),
+        (MAGIC_NSEC, _) => (false, true),
+        (_, MAGIC_USEC) => (true, false),
+        (_, MAGIC_NSEC) => (true, true),
+        _ => return Err(PcapError::BadMagic(magic_le)),
+    };
+    let u32_at = |off: usize| -> u32 {
+        let b: [u8; 4] = buf[off..off + 4].try_into().unwrap();
+        if big_endian {
+            u32::from_be_bytes(b)
+        } else {
+            u32::from_le_bytes(b)
+        }
+    };
+    let linktype = u32_at(20);
+    if linktype != LINKTYPE_ETHERNET {
+        return Err(PcapError::UnsupportedLinkType(linktype));
+    }
+    let mut packets = Vec::new();
+    let mut pos = 24;
+    while pos + 16 <= buf.len() {
+        let sec = u64::from(u32_at(pos));
+        let sub = u64::from(u32_at(pos + 4));
+        let incl = u32_at(pos + 8) as usize;
+        pos += 16;
+        if pos + incl > buf.len() {
+            return Err(PcapError::TruncatedRecord);
+        }
+        let usec = if nsec { sub / 1000 } else { sub };
+        packets.push(CapturedPacket {
+            timestamp_us: sec * 1_000_000 + usec,
+            data: Bytes::copy_from_slice(&buf[pos..pos + incl]),
+        });
+        pos += incl;
+    }
+    if pos != buf.len() {
+        return Err(PcapError::TruncatedRecord);
+    }
+    packets.sort_by_key(|p| p.timestamp_us);
+    Ok(packets.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_capture() -> Capture {
+        let mut c = Capture::new();
+        c.push(1_500_000, &[0xAAu8; 20]);
+        c.push(2_000_001, &[0xBBu8; 60]);
+        c
+    }
+
+    #[test]
+    fn roundtrip() {
+        let c = sample_capture();
+        let bytes = to_bytes(&c);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn header_is_tcpdump_compatible() {
+        let bytes = to_bytes(&sample_capture());
+        assert_eq!(&bytes[0..4], &MAGIC_USEC.to_le_bytes());
+        assert_eq!(u32::from_le_bytes(bytes[20..24].try_into().unwrap()), 1);
+        // First record: ts 1.5s, 20 bytes.
+        assert_eq!(u32::from_le_bytes(bytes[24..28].try_into().unwrap()), 1);
+        assert_eq!(
+            u32::from_le_bytes(bytes[28..32].try_into().unwrap()),
+            500_000
+        );
+        assert_eq!(u32::from_le_bytes(bytes[32..36].try_into().unwrap()), 20);
+    }
+
+    #[test]
+    fn reads_big_endian() {
+        // Hand-build a big-endian file with one 4-byte record.
+        let mut b = Vec::new();
+        b.extend_from_slice(&MAGIC_USEC.to_be_bytes());
+        b.extend_from_slice(&2u16.to_be_bytes());
+        b.extend_from_slice(&4u16.to_be_bytes());
+        b.extend_from_slice(&[0; 8]);
+        b.extend_from_slice(&0u32.to_be_bytes());
+        b.extend_from_slice(&1u32.to_be_bytes()); // linktype
+        b.extend_from_slice(&3u32.to_be_bytes()); // sec
+        b.extend_from_slice(&7u32.to_be_bytes()); // usec
+        b.extend_from_slice(&4u32.to_be_bytes()); // incl
+        b.extend_from_slice(&4u32.to_be_bytes()); // orig
+        b.extend_from_slice(&[1, 2, 3, 4]);
+        let c = from_bytes(&b).unwrap();
+        assert_eq!(c.len(), 1);
+        let p = c.iter().next().unwrap();
+        assert_eq!(p.timestamp_us, 3_000_007);
+        assert_eq!(&p.data[..], &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn reads_nanosecond_magic() {
+        let mut b = Vec::new();
+        b.extend_from_slice(&MAGIC_NSEC.to_le_bytes());
+        b.extend_from_slice(&2u16.to_le_bytes());
+        b.extend_from_slice(&4u16.to_le_bytes());
+        b.extend_from_slice(&[0; 8]);
+        b.extend_from_slice(&0u32.to_le_bytes());
+        b.extend_from_slice(&1u32.to_le_bytes());
+        b.extend_from_slice(&1u32.to_le_bytes()); // sec
+        b.extend_from_slice(&500_000_000u32.to_le_bytes()); // nsec
+        b.extend_from_slice(&1u32.to_le_bytes());
+        b.extend_from_slice(&1u32.to_le_bytes());
+        b.push(0xCC);
+        let c = from_bytes(&b).unwrap();
+        assert_eq!(c.iter().next().unwrap().timestamp_us, 1_500_000);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_linktype() {
+        assert!(matches!(
+            from_bytes(&[0u8; 24]),
+            Err(PcapError::BadMagic(_))
+        ));
+        let mut bytes = to_bytes(&Capture::new());
+        bytes[20] = 101; // LINKTYPE_RAW
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(PcapError::UnsupportedLinkType(101))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_record() {
+        let mut bytes = to_bytes(&sample_capture());
+        bytes.truncate(bytes.len() - 3);
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(PcapError::TruncatedRecord)
+        ));
+    }
+}

@@ -1,0 +1,219 @@
+//! pcapng (the modern capture format, RFC draft-ietf-opsawg-pcapng).
+//!
+//! Wireshark defaults to pcapng; supporting it alongside classic pcap
+//! makes the simulator's captures drop-in for either toolchain. We write
+//! little-endian files with one section, one Ethernet interface at
+//! microsecond resolution, and one Enhanced Packet Block per frame; the
+//! reader accepts both endiannesses and skips unknown blocks.
+
+use crate::format::PcapError;
+use crate::{Capture, CapturedPacket};
+use bytes::Bytes;
+
+const BLOCK_SHB: u32 = 0x0A0D_0D0A;
+const BLOCK_IDB: u32 = 0x0000_0001;
+const BLOCK_EPB: u32 = 0x0000_0006;
+const BYTE_ORDER_MAGIC: u32 = 0x1A2B_3C4D;
+const LINKTYPE_ETHERNET: u16 = 1;
+
+fn pad4(n: usize) -> usize {
+    (4 - n % 4) % 4
+}
+
+fn push_block(out: &mut Vec<u8>, block_type: u32, body: &[u8]) {
+    let total = 12 + body.len() + pad4(body.len());
+    out.extend_from_slice(&block_type.to_le_bytes());
+    out.extend_from_slice(&(total as u32).to_le_bytes());
+    out.extend_from_slice(body);
+    out.extend(std::iter::repeat_n(0u8, pad4(body.len())));
+    out.extend_from_slice(&(total as u32).to_le_bytes());
+}
+
+/// Serialize a capture as a pcapng stream.
+pub fn to_bytes(capture: &Capture) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + capture.len() * 96);
+
+    // Section Header Block.
+    let mut shb = Vec::with_capacity(16);
+    shb.extend_from_slice(&BYTE_ORDER_MAGIC.to_le_bytes());
+    shb.extend_from_slice(&1u16.to_le_bytes()); // major
+    shb.extend_from_slice(&0u16.to_le_bytes()); // minor
+    shb.extend_from_slice(&(-1i64).to_le_bytes()); // section length: unknown
+    push_block(&mut out, BLOCK_SHB, &shb);
+
+    // Interface Description Block: Ethernet, default (µs) resolution.
+    let mut idb = Vec::with_capacity(8);
+    idb.extend_from_slice(&LINKTYPE_ETHERNET.to_le_bytes());
+    idb.extend_from_slice(&0u16.to_le_bytes()); // reserved
+    idb.extend_from_slice(&262_144u32.to_le_bytes()); // snaplen
+    push_block(&mut out, BLOCK_IDB, &idb);
+
+    // One Enhanced Packet Block per frame.
+    for p in capture.iter() {
+        let mut epb = Vec::with_capacity(20 + p.data.len());
+        epb.extend_from_slice(&0u32.to_le_bytes()); // interface id
+        epb.extend_from_slice(&((p.timestamp_us >> 32) as u32).to_le_bytes());
+        epb.extend_from_slice(&(p.timestamp_us as u32).to_le_bytes());
+        epb.extend_from_slice(&(p.data.len() as u32).to_le_bytes()); // captured
+        epb.extend_from_slice(&(p.data.len() as u32).to_le_bytes()); // original
+        epb.extend_from_slice(&p.data);
+        epb.extend(std::iter::repeat_n(0u8, pad4(p.data.len())));
+        push_block(&mut out, BLOCK_EPB, &epb);
+    }
+    out
+}
+
+/// Deserialize a pcapng stream (single or multi-section; unknown block
+/// types are skipped, as the format requires).
+pub fn from_bytes(buf: &[u8]) -> Result<Capture, PcapError> {
+    if buf.len() < 12 {
+        return Err(PcapError::TruncatedRecord);
+    }
+    // The SHB carries the byte-order magic at offset 8.
+    let first_type = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+    if first_type != BLOCK_SHB {
+        return Err(PcapError::BadMagic(first_type));
+    }
+    let magic_le = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+    let big_endian = match magic_le {
+        BYTE_ORDER_MAGIC => false,
+        m if m.swap_bytes() == BYTE_ORDER_MAGIC => true,
+        m => return Err(PcapError::BadMagic(m)),
+    };
+    let u32_at = |off: usize| -> Result<u32, PcapError> {
+        let b: [u8; 4] = buf
+            .get(off..off + 4)
+            .ok_or(PcapError::TruncatedRecord)?
+            .try_into()
+            .unwrap();
+        Ok(if big_endian {
+            u32::from_be_bytes(b)
+        } else {
+            u32::from_le_bytes(b)
+        })
+    };
+
+    let mut packets: Vec<CapturedPacket> = Vec::new();
+    let mut pos = 0usize;
+    while pos + 12 <= buf.len() {
+        let block_type = u32_at(pos)?;
+        let total = u32_at(pos + 4)? as usize;
+        if total < 12 || !total.is_multiple_of(4) || pos + total > buf.len() {
+            return Err(PcapError::TruncatedRecord);
+        }
+        // Trailing length must agree (format self-check).
+        if u32_at(pos + total - 4)? as usize != total {
+            return Err(PcapError::TruncatedRecord);
+        }
+        if block_type == BLOCK_EPB {
+            let body = pos + 8;
+            let ts_hi = u64::from(u32_at(body + 4)?);
+            let ts_lo = u64::from(u32_at(body + 8)?);
+            let captured = u32_at(body + 12)? as usize;
+            let data_start = body + 20;
+            if data_start + captured > pos + total - 4 {
+                return Err(PcapError::TruncatedRecord);
+            }
+            packets.push(CapturedPacket {
+                timestamp_us: (ts_hi << 32) | ts_lo,
+                data: Bytes::copy_from_slice(&buf[data_start..data_start + captured]),
+            });
+        }
+        // SHB, IDB, and anything unknown: skip.
+        pos += total;
+    }
+    if pos != buf.len() {
+        return Err(PcapError::TruncatedRecord);
+    }
+    packets.sort_by_key(|p| p.timestamp_us);
+    Ok(packets.into_iter().collect())
+}
+
+/// Write a capture to any `io::Write` as pcapng.
+pub fn write_pcapng<W: std::io::Write>(capture: &Capture, mut w: W) -> Result<(), PcapError> {
+    w.write_all(&to_bytes(capture))?;
+    Ok(())
+}
+
+/// Read a pcapng stream.
+pub fn read_pcapng<R: std::io::Read>(mut r: R) -> Result<Capture, PcapError> {
+    let mut buf = Vec::new();
+    r.read_to_end(&mut buf)?;
+    from_bytes(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Capture {
+        let mut c = Capture::new();
+        c.push(1_000_001, &[0xAA; 15]); // odd length exercises padding
+        c.push(2_500_000, &[0xBB; 64]);
+        c.push(u64::from(u32::MAX) * 2, &[0xCC; 3]); // >32-bit timestamp
+        c
+    }
+
+    #[test]
+    fn roundtrip() {
+        let c = sample();
+        let bytes = to_bytes(&c);
+        assert_eq!(from_bytes(&bytes).unwrap(), c);
+    }
+
+    #[test]
+    fn blocks_are_32bit_aligned_with_matching_lengths() {
+        let bytes = to_bytes(&sample());
+        let mut pos = 0;
+        while pos < bytes.len() {
+            let total =
+                u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap()) as usize;
+            assert_eq!(total % 4, 0);
+            let trailing =
+                u32::from_le_bytes(bytes[pos + total - 4..pos + total].try_into().unwrap());
+            assert_eq!(trailing as usize, total);
+            pos += total;
+        }
+        assert_eq!(pos, bytes.len());
+    }
+
+    #[test]
+    fn header_layout_matches_spec() {
+        let bytes = to_bytes(&Capture::new());
+        // SHB type + byte-order magic.
+        assert_eq!(&bytes[0..4], &BLOCK_SHB.to_le_bytes());
+        assert_eq!(&bytes[8..12], &BYTE_ORDER_MAGIC.to_le_bytes());
+        // Second block is the IDB with LINKTYPE_ETHERNET.
+        let shb_len = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+        assert_eq!(&bytes[shb_len..shb_len + 4], &BLOCK_IDB.to_le_bytes());
+        assert_eq!(
+            u16::from_le_bytes(bytes[shb_len + 8..shb_len + 10].try_into().unwrap()),
+            LINKTYPE_ETHERNET
+        );
+    }
+
+    #[test]
+    fn unknown_blocks_are_skipped() {
+        let mut bytes = to_bytes(&sample());
+        // Append a custom block (type 0x0BAD) — readers must skip it.
+        let mut custom = Vec::new();
+        super::push_block(&mut custom, 0x0BAD, &[1, 2, 3, 4, 5]);
+        bytes.extend_from_slice(&custom);
+        assert_eq!(from_bytes(&bytes).unwrap(), sample());
+    }
+
+    #[test]
+    fn rejects_classic_pcap_and_garbage() {
+        let classic = crate::format::to_bytes(&sample());
+        assert!(matches!(from_bytes(&classic), Err(PcapError::BadMagic(_))));
+        assert!(from_bytes(&[0u8; 7]).is_err());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = to_bytes(&sample());
+        for cut in [bytes.len() - 1, bytes.len() - 5, 13] {
+            assert!(from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Capture-level summary statistics, the first thing the pipeline prints
+//! when sanity-checking an experiment run.
+
+use crate::Capture;
+use v6brick_net::parse::{L4, Net};
+
+/// Frame and byte counts broken down the way the paper slices traffic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CaptureStats {
+    /// Frames.
+    pub frames: u64,
+    /// Bytes.
+    pub bytes: u64,
+    /// IPv4 frames.
+    pub ipv4_frames: u64,
+    /// IPv6 frames.
+    pub ipv6_frames: u64,
+    /// Arp frames.
+    pub arp_frames: u64,
+    /// UDP frames.
+    pub udp_frames: u64,
+    /// TCP frames.
+    pub tcp_frames: u64,
+    /// Icmpv6 frames.
+    pub icmpv6_frames: u64,
+    /// DNS frames.
+    pub dns_frames: u64,
+    /// DHCPv4 frames.
+    pub dhcpv4_frames: u64,
+    /// DHCPv6 frames.
+    pub dhcpv6_frames: u64,
+    /// Frames whose layer 4 failed strict parsing.
+    pub undecoded_frames: u64,
+}
+
+impl CaptureStats {
+    /// Compute statistics over a capture.
+    pub fn of(capture: &Capture) -> CaptureStats {
+        let mut s = CaptureStats {
+            frames: capture.len() as u64,
+            bytes: capture.total_bytes(),
+            ..CaptureStats::default()
+        };
+        for (_, p) in capture.parsed() {
+            match &p.net {
+                Net::Ipv4(_) => s.ipv4_frames += 1,
+                Net::Ipv6(_) => s.ipv6_frames += 1,
+                Net::Arp(_) => s.arp_frames += 1,
+                Net::Other(_) => {}
+            }
+            match &p.l4 {
+                L4::Udp { src_port, dst_port, .. } => {
+                    s.udp_frames += 1;
+                    if *src_port == 53 || *dst_port == 53 {
+                        s.dns_frames += 1;
+                    }
+                    if *src_port == 67 || *dst_port == 67 || *src_port == 68 || *dst_port == 68 {
+                        s.dhcpv4_frames += 1;
+                    }
+                    if *src_port == 546 || *dst_port == 546 || *src_port == 547 || *dst_port == 547
+                    {
+                        s.dhcpv6_frames += 1;
+                    }
+                }
+                L4::Tcp { src_port, dst_port, .. } => {
+                    s.tcp_frames += 1;
+                    if *src_port == 53 || *dst_port == 53 {
+                        s.dns_frames += 1;
+                    }
+                }
+                L4::Icmpv6(_) => s.icmpv6_frames += 1,
+                L4::Icmpv4 { .. } | L4::None => {}
+                L4::Other { .. } => s.undecoded_frames += 1,
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v6brick_net::ethernet::{EtherType, Repr as EthRepr};
+    use v6brick_net::ipv4::Protocol;
+    use v6brick_net::udp::{PseudoHeader, Repr as UdpRepr};
+    use v6brick_net::{ipv6, Mac};
+    use std::net::Ipv6Addr;
+
+    #[test]
+    fn counts_dns_and_families() {
+        let src: Ipv6Addr = "fe80::1".parse().unwrap();
+        let dst: Ipv6Addr = "fe80::2".parse().unwrap();
+        let udp = UdpRepr {
+            src_port: 40000,
+            dst_port: 53,
+            payload: vec![0; 12],
+        }
+        .build(PseudoHeader::V6 { src, dst });
+        let ip = ipv6::Repr {
+            src,
+            dst,
+            next_header: Protocol::Udp,
+            hop_limit: 64,
+            payload_len: udp.len(),
+        }
+        .build(&udp);
+        let frame = EthRepr {
+            src: Mac::new(2, 0, 0, 0, 0, 1),
+            dst: Mac::new(2, 0, 0, 0, 0, 2),
+            ethertype: EtherType::Ipv6,
+        }
+        .build(&ip);
+        let mut c = Capture::new();
+        c.push(0, &frame);
+        c.push(1, &frame);
+        let s = CaptureStats::of(&c);
+        assert_eq!(s.frames, 2);
+        assert_eq!(s.ipv6_frames, 2);
+        assert_eq!(s.ipv4_frames, 0);
+        assert_eq!(s.udp_frames, 2);
+        assert_eq!(s.dns_frames, 2);
+        assert_eq!(s.undecoded_frames, 0);
+    }
+}

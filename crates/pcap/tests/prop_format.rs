@@ -1,0 +1,94 @@
+//! Property tests: pcap serialization is lossless and robust.
+
+use proptest::prelude::*;
+use v6brick_pcap::{format, Capture};
+
+fn arb_capture() -> impl Strategy<Value = Capture> {
+    proptest::collection::vec(
+        (0u64..10_000_000_000, proptest::collection::vec(any::<u8>(), 0..256)),
+        0..40,
+    )
+    .prop_map(|mut frames| {
+        frames.sort_by_key(|(ts, _)| *ts);
+        let mut c = Capture::new();
+        for (ts, data) in frames {
+            c.push(ts, &data);
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn roundtrip_is_lossless(c in arb_capture()) {
+        let bytes = format::to_bytes(&c);
+        let back = format::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, c);
+    }
+
+    #[test]
+    fn file_size_is_exact(c in arb_capture()) {
+        // Global header 24 + 16 per record + payload bytes.
+        let bytes = format::to_bytes(&c);
+        let expected = 24 + c.len() * 16 + c.total_bytes() as usize;
+        prop_assert_eq!(bytes.len(), expected);
+    }
+
+    #[test]
+    fn truncation_never_panics(c in arb_capture(), cut in any::<usize>()) {
+        let bytes = format::to_bytes(&c);
+        let cut = cut % (bytes.len() + 1);
+        let _ = format::from_bytes(&bytes[..cut]);
+    }
+
+    #[test]
+    fn corruption_never_panics(c in arb_capture(), flip in any::<(usize, u8)>()) {
+        let mut bytes = format::to_bytes(&c);
+        if !bytes.is_empty() {
+            let idx = flip.0 % bytes.len();
+            bytes[idx] ^= flip.1;
+        }
+        let _ = format::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn merge_preserves_order_and_count(a in arb_capture(), b in arb_capture()) {
+        let mut merged = a.clone();
+        merged.merge(&b);
+        prop_assert_eq!(merged.len(), a.len() + b.len());
+        let mut last = 0;
+        for p in merged.iter() {
+            prop_assert!(p.timestamp_us >= last);
+            last = p.timestamp_us;
+        }
+        prop_assert_eq!(merged.total_bytes(), a.total_bytes() + b.total_bytes());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pcapng_roundtrip_is_lossless(c in arb_capture()) {
+        let bytes = v6brick_pcap::pcapng::to_bytes(&c);
+        let back = v6brick_pcap::pcapng::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, c);
+    }
+
+    #[test]
+    fn pcapng_truncation_never_panics(c in arb_capture(), cut in any::<usize>()) {
+        let bytes = v6brick_pcap::pcapng::to_bytes(&c);
+        let cut = cut % (bytes.len() + 1);
+        let _ = v6brick_pcap::pcapng::from_bytes(&bytes[..cut]);
+    }
+
+    #[test]
+    fn both_formats_agree(c in arb_capture()) {
+        let via_classic =
+            v6brick_pcap::format::from_bytes(&v6brick_pcap::format::to_bytes(&c)).unwrap();
+        let via_ng = v6brick_pcap::pcapng::from_bytes(&v6brick_pcap::pcapng::to_bytes(&c)).unwrap();
+        prop_assert_eq!(via_classic, via_ng);
+    }
+}

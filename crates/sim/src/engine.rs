@@ -1,0 +1,393 @@
+//! The simulation engine: clock, event loop, LAN delivery, WAN link, and
+//! the tcpdump-style capture tap.
+
+use crate::addrs;
+use crate::event::{EventKind, EventQueue, SimTime};
+use crate::host::{frame_addressed_to, Effects, Host, HostId};
+use crate::internet::Internet;
+use crate::router::Router;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use v6brick_net::ethernet::Frame;
+use v6brick_pcap::Capture;
+
+/// Sender slot used for the router in LAN events.
+const ROUTER_SLOT: usize = usize::MAX;
+/// Sender slot used to seed events that come "from the wire" itself.
+const NOBODY: usize = usize::MAX - 1;
+
+/// Builder for a [`Simulation`].
+pub struct SimulationBuilder {
+    router: Router,
+    internet: Internet,
+    hosts: Vec<Box<dyn Host>>,
+    seed: u64,
+    capture_enabled: bool,
+    loss_per_mille: u32,
+}
+
+impl SimulationBuilder {
+    /// Start from a router and an internet model.
+    pub fn new(router: Router, internet: Internet) -> SimulationBuilder {
+        SimulationBuilder {
+            router,
+            internet,
+            hosts: Vec::new(),
+            seed: 0x1db8_2024,
+            capture_enabled: true,
+            loss_per_mille: 0,
+        }
+    }
+
+    /// Add a host; returns its id.
+    pub fn add_host(&mut self, host: Box<dyn Host>) -> HostId {
+        self.hosts.push(host);
+        self.hosts.len() - 1
+    }
+
+    /// Override the deterministic seed.
+    pub fn seed(mut self, seed: u64) -> SimulationBuilder {
+        self.seed = seed;
+        self
+    }
+
+    /// Disable the capture tap (used by the high-volume port scans).
+    pub fn capture(mut self, enabled: bool) -> SimulationBuilder {
+        self.capture_enabled = enabled;
+        self
+    }
+
+    /// Inject random LAN frame loss (per-mille, 0–1000). Lost frames
+    /// vanish before the capture tap, like RF loss ahead of the monitor
+    /// port — the failure-injection knob for robustness tests.
+    pub fn loss_per_mille(mut self, per_mille: u32) -> SimulationBuilder {
+        assert!(per_mille <= 1000, "loss is per-mille");
+        self.loss_per_mille = per_mille;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Simulation {
+        Simulation {
+            clock: SimTime::ZERO,
+            queue: EventQueue::new(),
+            router: self.router,
+            internet: self.internet,
+            hosts: self.hosts,
+            rng: StdRng::seed_from_u64(self.seed),
+            capture: Capture::new(),
+            capture_enabled: self.capture_enabled,
+            loss_per_mille: self.loss_per_mille,
+            started: false,
+            frames_delivered: 0,
+            frames_lost: 0,
+        }
+    }
+}
+
+/// The running simulation.
+pub struct Simulation {
+    clock: SimTime,
+    queue: EventQueue,
+    router: Router,
+    internet: Internet,
+    hosts: Vec<Box<dyn Host>>,
+    rng: StdRng,
+    capture: Capture,
+    capture_enabled: bool,
+    loss_per_mille: u32,
+    started: bool,
+    /// Total LAN frame deliveries (observability).
+    pub frames_delivered: u64,
+    /// Frames dropped by the loss injector.
+    pub frames_lost: u64,
+}
+
+impl Simulation {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// The LAN capture taken so far (tcpdump's view).
+    pub fn capture(&self) -> &Capture {
+        &self.capture
+    }
+
+    /// Take ownership of the capture, leaving an empty one.
+    pub fn take_capture(&mut self) -> Capture {
+        std::mem::take(&mut self.capture)
+    }
+
+    /// Borrow the router (neighbor table, lease table, drop counters).
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// Borrow the internet model (zone db, served-bytes accounting).
+    pub fn internet(&self) -> &Internet {
+        &self.internet
+    }
+
+    /// Borrow a host by id.
+    pub fn host(&self, id: HostId) -> &dyn Host {
+        self.hosts[id].as_ref()
+    }
+
+    /// Mutably borrow a host by id.
+    pub fn host_mut(&mut self, id: HostId) -> &mut dyn Host {
+        self.hosts[id].as_mut()
+    }
+
+    /// Number of hosts.
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Run until `deadline` (inclusive) or until the event queue drains.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        if !self.started {
+            self.started = true;
+            // Power everything on at t=0.
+            let mut fx = Effects::new(&mut self.rng);
+            self.router.on_start(self.clock, &mut fx);
+            Self::apply(&mut self.queue, self.clock, ROUTER_SLOT, fx);
+            for i in 0..self.hosts.len() {
+                let mut fx = Effects::new(&mut self.rng);
+                self.hosts[i].on_start(self.clock, &mut fx);
+                Self::apply(&mut self.queue, self.clock, i, fx);
+            }
+        }
+        loop {
+            // Peek before popping so a beyond-deadline event keeps its
+            // original sequence number (pop-and-repush would reorder it
+            // behind same-timestamp peers on the next run_until call).
+            match self.queue.peek_time() {
+                None => break,
+                Some(at) if at > deadline => {
+                    self.clock = deadline;
+                    return;
+                }
+                Some(_) => {}
+            }
+            let ev = self.queue.pop().expect("peeked event exists");
+            self.clock = ev.at;
+            match ev.kind {
+                EventKind::LanFrame { from, frame } => self.deliver_lan(from, &frame),
+                EventKind::Timer { host, token } => {
+                    let mut fx = Effects::new(&mut self.rng);
+                    if host == ROUTER_SLOT {
+                        self.router.on_timer(self.clock, token, &mut fx);
+                    } else if let Some(h) = self.hosts.get_mut(host) {
+                        h.on_timer(self.clock, token, &mut fx);
+                    }
+                    Self::apply(&mut self.queue, self.clock, host, fx);
+                }
+                EventKind::WanPacket { to_internet, packet } => {
+                    if to_internet {
+                        for reply in self.internet.handle_packet(&packet) {
+                            self.queue.push(
+                                self.clock + SimTime(addrs::WAN_DELAY_US),
+                                EventKind::WanPacket {
+                                    to_internet: false,
+                                    packet: reply,
+                                },
+                            );
+                        }
+                    } else {
+                        let mut fx = Effects::new(&mut self.rng);
+                        self.router.on_wan_packet(self.clock, &packet, &mut fx);
+                        Self::apply(&mut self.queue, self.clock, ROUTER_SLOT, fx);
+                    }
+                }
+            }
+        }
+        self.clock = deadline;
+    }
+
+    /// Deliver one LAN frame: tap it, then hand it to every other host
+    /// whose MAC filter accepts it (and the router).
+    fn deliver_lan(&mut self, from: usize, frame: &[u8]) {
+        if self.loss_per_mille > 0 {
+            use rand::Rng;
+            if self.rng.gen_range(0..1000) < self.loss_per_mille {
+                self.frames_lost += 1;
+                return;
+            }
+        }
+        if self.capture_enabled {
+            self.capture.push(self.clock.as_micros(), frame);
+        }
+        let Ok(eth) = Frame::new_checked(frame) else {
+            return;
+        };
+        let dst = eth.dst();
+        self.frames_delivered += 1;
+
+        if from != ROUTER_SLOT && frame_addressed_to(dst, addrs::ROUTER_MAC) {
+            let mut fx = Effects::new(&mut self.rng);
+            self.router.on_frame(self.clock, frame, &mut fx);
+            Self::apply(&mut self.queue, self.clock, ROUTER_SLOT, fx);
+        }
+        for i in 0..self.hosts.len() {
+            if i == from {
+                continue;
+            }
+            if frame_addressed_to(dst, self.hosts[i].mac()) {
+                let mut fx = Effects::new(&mut self.rng);
+                self.hosts[i].on_frame(self.clock, frame, &mut fx);
+                Self::apply(&mut self.queue, self.clock, i, fx);
+            }
+        }
+    }
+
+    /// Schedule the side effects a callback produced.
+    fn apply(queue: &mut EventQueue, now: SimTime, slot: usize, fx: Effects) {
+        for frame in fx.frames {
+            queue.push(
+                now + SimTime(addrs::LAN_DELAY_US),
+                EventKind::LanFrame { from: slot, frame },
+            );
+        }
+        for (delay, token) in fx.timers {
+            queue.push(now + delay, EventKind::Timer { host: slot, token });
+        }
+        for packet in fx.wan {
+            queue.push(
+                now + SimTime(addrs::WAN_DELAY_US),
+                EventKind::WanPacket {
+                    to_internet: true,
+                    packet,
+                },
+            );
+        }
+    }
+
+    /// Inject a raw frame onto the LAN "from nowhere" (test helper).
+    pub fn inject_frame(&mut self, frame: Vec<u8>) {
+        self.queue.push(
+            self.clock + SimTime(addrs::LAN_DELAY_US),
+            EventKind::LanFrame {
+                from: NOBODY,
+                frame,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::internet::ZoneDb;
+    use crate::router::RouterConfig;
+    use std::any::Any;
+    use v6brick_net::ethernet::{EtherType, Repr as EthRepr};
+    use v6brick_net::Mac;
+
+    /// A host that broadcasts one frame at start and counts what it hears.
+    struct Chatter {
+        mac: Mac,
+        heard: usize,
+        sent_on_timer: bool,
+    }
+
+    impl Host for Chatter {
+        fn mac(&self) -> Mac {
+            self.mac
+        }
+        fn on_start(&mut self, _now: SimTime, fx: &mut Effects) {
+            fx.send_frame(
+                EthRepr {
+                    src: self.mac,
+                    dst: Mac::BROADCAST,
+                    ethertype: EtherType::Other(0x9999),
+                }
+                .build(b"hello"),
+            );
+            fx.set_timer(SimTime::from_secs(1), 42);
+        }
+        fn on_frame(&mut self, _now: SimTime, _frame: &[u8], _fx: &mut Effects) {
+            self.heard += 1;
+        }
+        fn on_timer(&mut self, _now: SimTime, token: u64, _fx: &mut Effects) {
+            assert_eq!(token, 42);
+            self.sent_on_timer = true;
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn two_chatters() -> Simulation {
+        let mut b = SimulationBuilder::new(
+            Router::new(RouterConfig::ipv4_only()),
+            Internet::new(ZoneDb::new()),
+        );
+        b.add_host(Box::new(Chatter {
+            mac: Mac::new(2, 0, 0, 0, 0, 1),
+            heard: 0,
+            sent_on_timer: false,
+        }));
+        b.add_host(Box::new(Chatter {
+            mac: Mac::new(2, 0, 0, 0, 0, 2),
+            heard: 0,
+            sent_on_timer: false,
+        }));
+        b.build()
+    }
+
+    #[test]
+    fn broadcast_reaches_other_hosts_not_sender() {
+        let mut sim = two_chatters();
+        sim.run_until(SimTime::from_secs(2));
+        for i in 0..2 {
+            let c = sim.host(i).as_any().downcast_ref::<Chatter>().unwrap();
+            assert_eq!(c.heard, 1, "host {i} should hear exactly the peer's frame");
+            assert!(c.sent_on_timer);
+        }
+        // Both frames were captured.
+        assert_eq!(sim.capture().len(), 2);
+        assert_eq!(sim.frames_delivered, 2);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_capture() {
+        let mut a = two_chatters();
+        let mut b = two_chatters();
+        a.run_until(SimTime::from_secs(5));
+        b.run_until(SimTime::from_secs(5));
+        assert_eq!(a.capture(), b.capture());
+    }
+
+    #[test]
+    fn capture_can_be_disabled() {
+        let mut b = SimulationBuilder::new(
+            Router::new(RouterConfig::ipv4_only()),
+            Internet::new(ZoneDb::new()),
+        );
+        b.add_host(Box::new(Chatter {
+            mac: Mac::new(2, 0, 0, 0, 0, 1),
+            heard: 0,
+            sent_on_timer: false,
+        }));
+        let mut sim = b.capture(false).build();
+        sim.run_until(SimTime::from_secs(2));
+        assert!(sim.capture().is_empty());
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim = two_chatters();
+        sim.run_until(SimTime::from_millis(100));
+        assert_eq!(sim.now(), SimTime::from_millis(100));
+        // Timers at t=1s have not fired yet.
+        let c = sim.host(0).as_any().downcast_ref::<Chatter>().unwrap();
+        assert!(!c.sent_on_timer);
+        sim.run_until(SimTime::from_secs(2));
+        let c = sim.host(0).as_any().downcast_ref::<Chatter>().unwrap();
+        assert!(c.sent_on_timer);
+    }
+}

@@ -1,0 +1,194 @@
+//! Virtual time and the deterministic event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Virtual time, in microseconds since the start of the experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// t = 0.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// From whole seconds.
+    pub const fn from_secs(s: u64) -> SimTime {
+        SimTime(s * 1_000_000)
+    }
+
+    /// From milliseconds.
+    pub const fn from_millis(ms: u64) -> SimTime {
+        SimTime(ms * 1000)
+    }
+
+    /// Microsecond count.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{:06}s", self.0 / 1_000_000, self.0 % 1_000_000)
+    }
+}
+
+/// What an event does when it fires.
+#[derive(Debug)]
+pub enum EventKind {
+    /// Deliver a frame onto the LAN from the given sender slot.
+    LanFrame {
+        /// Sender slot (host index, or the router sentinel).
+        from: usize,
+        /// Raw Ethernet bytes.
+        frame: Vec<u8>,
+    },
+    /// Fire a host timer.
+    Timer {
+        /// Target host slot.
+        host: usize,
+        /// Opaque token handed back to the host.
+        token: u64,
+    },
+    /// Deliver an IPv4 packet on the WAN link; `to_internet` gives the
+    /// direction.
+    WanPacket {
+        /// True when heading from the router to the Internet model.
+        to_internet: bool,
+        /// Raw IPv4 bytes.
+        packet: Vec<u8>,
+    },
+}
+
+/// A scheduled event. Ordering is (time, sequence number), so simultaneous
+/// events fire in scheduling order — the determinism guarantee.
+#[derive(Debug)]
+pub struct Event {
+    /// At.
+    pub at: SimTime,
+    /// Sequence number.
+    pub seq: u64,
+    /// Kind.
+    pub kind: EventKind,
+}
+
+/// The priority queue driving the simulation.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<QueuedEvent>>,
+    next_seq: u64,
+}
+
+#[derive(Debug)]
+struct QueuedEvent(Event);
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.at == other.0.at && self.0.seq == other.0.seq
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.0.at, self.0.seq).cmp(&(other.0.at, other.0.seq))
+    }
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> EventQueue {
+        EventQueue::default()
+    }
+
+    /// Schedule `kind` at absolute time `at`.
+    pub fn push(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(QueuedEvent(Event { at, seq, kind })));
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|Reverse(QueuedEvent(e))| e)
+    }
+
+    /// The timestamp of the earliest pending event, without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(QueuedEvent(e))| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Is the queue drained?
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_and_display() {
+        let t = SimTime::from_secs(2) + SimTime::from_millis(500);
+        assert_eq!(t.as_micros(), 2_500_000);
+        assert_eq!(t.as_secs(), 2);
+        assert_eq!(t.to_string(), "2.500000s");
+        assert_eq!(SimTime::from_secs(1) - SimTime::from_secs(3), SimTime::ZERO);
+    }
+
+    #[test]
+    fn queue_orders_by_time_then_sequence() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(10), EventKind::Timer { host: 0, token: 1 });
+        q.push(SimTime(5), EventKind::Timer { host: 0, token: 2 });
+        q.push(SimTime(10), EventKind::Timer { host: 0, token: 3 });
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn queue_len_tracks() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(SimTime(1), EventKind::Timer { host: 0, token: 0 });
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

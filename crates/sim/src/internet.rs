@@ -1,0 +1,736 @@
+//! The Internet model: authoritative DNS zones, public resolvers, and the
+//! remote cloud endpoints the IoT devices talk to.
+//!
+//! The Internet sits at the far end of the WAN link. It consumes IPv4
+//! packets (native, or 6in4 proto-41 encapsulating IPv6, exactly like the
+//! testbed's Hurricane Electric tunnel) and produces IPv4 packets back.
+//! Remote servers are deliberately semi-stateless: they answer SYN with
+//! SYN/ACK, data with ACK plus a response sized by the domain's traffic
+//! profile, and FIN with FIN/ACK — enough TCP for the capture analysis and
+//! the port scans without a full stack on the cloud side.
+
+use crate::addrs;
+use std::collections::HashMap;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+use v6brick_net::dns::{Message, Name, Rcode, Rdata, Record, RecordType};
+use v6brick_net::ipv4::Protocol;
+use v6brick_net::udp::PseudoHeader;
+use v6brick_net::{dns, icmpv6, ipv4, ipv6, tcp, udp};
+
+/// How a destination domain behaves: which address families it serves, and
+/// how chatty its responses are.
+#[derive(Debug, Clone)]
+pub struct DomainProfile {
+    /// Name.
+    pub name: Name,
+    /// IPv4 presence. Nearly every cloud has one.
+    pub a: Option<Ipv4Addr>,
+    /// IPv6 presence — the paper's "AAAA readiness" (Table 7).
+    pub aaaa: Option<Ipv6Addr>,
+    /// Server response bytes per request byte (the cloud's verbosity).
+    pub response_scale: u32,
+    /// The paper's §7 caveat: "having an IPv6 address does not guarantee
+    /// the destination is reachable". When false, the AAAA record exists
+    /// but every IPv6 packet toward the server is silently dropped.
+    pub reachable_v6: bool,
+}
+
+impl DomainProfile {
+    /// A dual-stack domain with deterministic addresses derived from the
+    /// name.
+    pub fn dual_stack(name: Name) -> DomainProfile {
+        let (a, aaaa) = derive_addrs(&name);
+        DomainProfile {
+            name,
+            a: Some(a),
+            aaaa: Some(aaaa),
+            response_scale: 4,
+            reachable_v6: true,
+        }
+    }
+
+    /// An IPv4-only domain (no AAAA record) — the §5.1.3 functionality
+    /// killers like `api.amazon.com`.
+    pub fn v4_only(name: Name) -> DomainProfile {
+        let (a, _) = derive_addrs(&name);
+        DomainProfile {
+            name,
+            a: Some(a),
+            aaaa: None,
+            response_scale: 4,
+            reachable_v6: true,
+        }
+    }
+
+    /// Mark the AAAA record as published but the server as unreachable
+    /// over IPv6 (the paper's §7 reachability caveat).
+    pub fn with_v6_unreachable(mut self) -> DomainProfile {
+        self.reachable_v6 = false;
+        self
+    }
+
+    /// Override the response verbosity.
+    pub fn with_scale(mut self, scale: u32) -> DomainProfile {
+        self.response_scale = scale;
+        self
+    }
+}
+
+/// Deterministic server addresses for a domain: a stable hash of the name
+/// mapped into documentation ranges.
+pub fn derive_addrs(name: &Name) -> (Ipv4Addr, Ipv6Addr) {
+    // FNV-1a, stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_str().bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    let a = Ipv4Addr::new(198, 18, (h >> 8) as u8, ((h & 0xff) as u8).max(1));
+    let aaaa = Ipv6Addr::new(
+        0x2001,
+        0xdb8,
+        0xffff,
+        (h >> 48) as u16,
+        (h >> 32) as u16,
+        (h >> 16) as u16,
+        h as u16,
+        1,
+    );
+    (a, aaaa)
+}
+
+/// The authoritative zone database the public resolvers answer from.
+#[derive(Debug, Clone, Default)]
+pub struct ZoneDb {
+    domains: HashMap<Name, DomainProfile>,
+}
+
+impl ZoneDb {
+    /// An empty zone set.
+    pub fn new() -> ZoneDb {
+        ZoneDb::default()
+    }
+
+    /// Register (or replace) a domain.
+    pub fn insert(&mut self, profile: DomainProfile) {
+        self.domains.insert(profile.name.clone(), profile);
+    }
+
+    /// Look up a domain.
+    pub fn get(&self, name: &Name) -> Option<&DomainProfile> {
+        self.domains.get(name)
+    }
+
+    /// Number of registered domains.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Is the database empty?
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+
+    /// Iterate all profiles.
+    pub fn iter(&self) -> impl Iterator<Item = &DomainProfile> {
+        self.domains.values()
+    }
+
+    /// Answer a DNS question per RFC-standard semantics: A/AAAA answered
+    /// from the profile; a registered name without the requested record
+    /// type gets NOERROR + SOA (a negative answer); an unregistered name
+    /// gets NXDOMAIN.
+    pub fn resolve(&self, query: &Message) -> Message {
+        let Some(q) = query.question() else {
+            return query.response(Rcode::FormErr);
+        };
+        match self.domains.get(&q.name) {
+            None => {
+                let mut resp = query.response(Rcode::NxDomain);
+                resp.authorities.push(soa_for(&q.name));
+                resp
+            }
+            Some(profile) => {
+                let mut resp = query.response(Rcode::NoError);
+                match q.rtype {
+                    RecordType::A => {
+                        if let Some(a) = profile.a {
+                            resp.answers
+                                .push(Record::new(q.name.clone(), 300, Rdata::A(a)));
+                        }
+                    }
+                    RecordType::Aaaa => {
+                        if let Some(aaaa) = profile.aaaa {
+                            resp.answers
+                                .push(Record::new(q.name.clone(), 300, Rdata::Aaaa(aaaa)));
+                        }
+                    }
+                    RecordType::Https | RecordType::Svcb
+                        // Service binding: advertise the same endpoint.
+                        if (profile.a.is_some() || profile.aaaa.is_some()) => {
+                            resp.answers.push(Record {
+                                name: q.name.clone(),
+                                rtype: q.rtype,
+                                ttl: 300,
+                                rdata: Rdata::Svcb {
+                                    priority: 1,
+                                    target: Name::root(),
+                                },
+                            });
+                        }
+                    _ => {}
+                }
+                if resp.answers.is_empty() {
+                    resp.authorities.push(soa_for(&q.name));
+                }
+                resp
+            }
+        }
+    }
+}
+
+fn soa_for(name: &Name) -> Record {
+    Record::new(
+        name.second_level(),
+        900,
+        Rdata::Soa {
+            mname: Name::new("ns1.invalid").unwrap(),
+            rname: Name::new("hostmaster.invalid").unwrap(),
+            serial: 20240405,
+            refresh: 7200,
+            retry: 900,
+            expire: 1_209_600,
+            minimum: 86_400,
+        },
+    )
+}
+
+/// The Internet entity: resolvers + remote servers + the 6in4 far end.
+#[derive(Debug)]
+pub struct Internet {
+    zones: ZoneDb,
+    /// Reverse maps so a packet's destination identifies its domain.
+    by_v4: HashMap<Ipv4Addr, Name>,
+    by_v6: HashMap<Ipv6Addr, Name>,
+    /// Total bytes served, per (domain, was_ipv6) — observability for tests.
+    pub served: HashMap<(Name, bool), u64>,
+}
+
+impl Internet {
+    /// Build from a zone database.
+    pub fn new(zones: ZoneDb) -> Internet {
+        let mut by_v4 = HashMap::new();
+        let mut by_v6 = HashMap::new();
+        for p in zones.iter() {
+            if let Some(a) = p.a {
+                by_v4.insert(a, p.name.clone());
+            }
+            if let Some(aaaa) = p.aaaa {
+                by_v6.insert(aaaa, p.name.clone());
+            }
+        }
+        Internet {
+            zones,
+            by_v4,
+            by_v6,
+            served: HashMap::new(),
+        }
+    }
+
+    /// Borrow the zone database (the active-DNS experiment queries it the
+    /// way `dig` would, through resolver packets; analysis tooling uses
+    /// this only in tests).
+    pub fn zones(&self) -> &ZoneDb {
+        &self.zones
+    }
+
+    /// Handle one IPv4 packet arriving from the router's WAN interface.
+    /// Returns the IPv4 packets flowing back.
+    pub fn handle_packet(&mut self, packet: &[u8]) -> Vec<Vec<u8>> {
+        let Ok(p) = ipv4::Packet::new_checked(packet) else {
+            return Vec::new();
+        };
+        let repr = ipv4::Repr::parse(&p);
+        match repr.protocol {
+            // 6in4: unwrap and process as IPv6, re-wrapping replies.
+            Protocol::Ipv6 if repr.dst == addrs::TUNNEL_REMOTE_IPV4 => {
+                let Ok(inner) = ipv6::Packet::new_checked(p.payload()) else {
+                    return Vec::new();
+                };
+                let inner_repr = ipv6::Repr::parse(&inner);
+                self.handle_v6(&inner_repr, inner.payload())
+                    .into_iter()
+                    .map(|v6_bytes| {
+                        ipv4::Repr {
+                            src: addrs::TUNNEL_REMOTE_IPV4,
+                            dst: repr.src,
+                            protocol: Protocol::Ipv6,
+                            ttl: 64,
+                            payload_len: v6_bytes.len(),
+                        }
+                        .build(&v6_bytes)
+                    })
+                    .collect()
+            }
+            _ => self.handle_v4(&repr, p.payload()),
+        }
+    }
+
+    fn handle_v4(&mut self, ip: &ipv4::Repr, payload: &[u8]) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        match ip.protocol {
+            Protocol::Udp => {
+                let Ok(u) = udp::Packet::new_checked(payload) else {
+                    return out;
+                };
+                let reply = self.handle_udp(
+                    IpAddr::V4(ip.src),
+                    IpAddr::V4(ip.dst),
+                    u.src_port(),
+                    u.dst_port(),
+                    u.payload(),
+                );
+                if let Some((payload, src_port)) = reply {
+                    let udp_bytes = udp::Repr {
+                        src_port,
+                        dst_port: u.src_port(),
+                        payload,
+                    }
+                    .build(PseudoHeader::V4 {
+                        src: ip.dst,
+                        dst: ip.src,
+                    });
+                    out.push(
+                        ipv4::Repr {
+                            src: ip.dst,
+                            dst: ip.src,
+                            protocol: Protocol::Udp,
+                            ttl: 64,
+                            payload_len: udp_bytes.len(),
+                        }
+                        .build(&udp_bytes),
+                    );
+                }
+            }
+            Protocol::Tcp => {
+                let Ok(t) = tcp::Packet::new_checked(payload) else {
+                    return out;
+                };
+                let seg = tcp::Repr::parse(&t);
+                let domain = self.by_v4.get(&ip.dst).cloned();
+                for reply in self.handle_tcp(domain, false, &seg) {
+                    let bytes = reply.build(PseudoHeader::V4 {
+                        src: ip.dst,
+                        dst: ip.src,
+                    });
+                    out.push(
+                        ipv4::Repr {
+                            src: ip.dst,
+                            dst: ip.src,
+                            protocol: Protocol::Tcp,
+                            ttl: 64,
+                            payload_len: bytes.len(),
+                        }
+                        .build(&bytes),
+                    );
+                }
+            }
+            _ => {}
+        }
+        out
+    }
+
+    fn handle_v6(&mut self, ip: &ipv6::Repr, payload: &[u8]) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        // The §7 reachability extension: servers whose AAAA exists but
+        // whose IPv6 path is dead swallow everything silently.
+        if let Some(name) = self.by_v6.get(&ip.dst) {
+            if let Some(p) = self.zones.get(name) {
+                if !p.reachable_v6 {
+                    return out;
+                }
+            }
+        }
+        match ip.next_header {
+            Protocol::Udp => {
+                let Ok(u) = udp::Packet::new_checked(payload) else {
+                    return out;
+                };
+                let reply = self.handle_udp(
+                    IpAddr::V6(ip.src),
+                    IpAddr::V6(ip.dst),
+                    u.src_port(),
+                    u.dst_port(),
+                    u.payload(),
+                );
+                if let Some((payload, src_port)) = reply {
+                    let udp_bytes = udp::Repr {
+                        src_port,
+                        dst_port: u.src_port(),
+                        payload,
+                    }
+                    .build(PseudoHeader::V6 {
+                        src: ip.dst,
+                        dst: ip.src,
+                    });
+                    out.push(
+                        ipv6::Repr {
+                            src: ip.dst,
+                            dst: ip.src,
+                            next_header: Protocol::Udp,
+                            hop_limit: 64,
+                            payload_len: udp_bytes.len(),
+                        }
+                        .build(&udp_bytes),
+                    );
+                }
+            }
+            Protocol::Icmpv6 => {
+                // Echo service on resolvers and known servers (the IoT
+                // connectivity probes of §5.4.1's "misc" EUI-64 uses).
+                let known = ip.dst == addrs::DNS6_PRIMARY
+                    || ip.dst == addrs::DNS6_SECONDARY
+                    || self.by_v6.contains_key(&ip.dst);
+                if !known {
+                    return out;
+                }
+                if let Ok(icmpv6::Repr::EchoRequest { ident, seq, payload }) =
+                    icmpv6::Repr::parse_bytes(ip.src, ip.dst, payload)
+                {
+                    let reply = icmpv6::Repr::EchoReply { ident, seq, payload };
+                    let body = reply.build(ip.dst, ip.src);
+                    out.push(
+                        ipv6::Repr {
+                            src: ip.dst,
+                            dst: ip.src,
+                            next_header: Protocol::Icmpv6,
+                            hop_limit: 64,
+                            payload_len: body.len(),
+                        }
+                        .build(&body),
+                    );
+                }
+            }
+            Protocol::Tcp => {
+                let Ok(t) = tcp::Packet::new_checked(payload) else {
+                    return out;
+                };
+                let seg = tcp::Repr::parse(&t);
+                let domain = self.by_v6.get(&ip.dst).cloned();
+                for reply in self.handle_tcp(domain, true, &seg) {
+                    let bytes = reply.build(PseudoHeader::V6 {
+                        src: ip.dst,
+                        dst: ip.src,
+                    });
+                    out.push(
+                        ipv6::Repr {
+                            src: ip.dst,
+                            dst: ip.src,
+                            next_header: Protocol::Tcp,
+                            hop_limit: 64,
+                            payload_len: bytes.len(),
+                        }
+                        .build(&bytes),
+                    );
+                }
+            }
+            _ => {}
+        }
+        out
+    }
+
+    /// UDP service dispatch. Returns (reply payload, reply source port).
+    fn handle_udp(
+        &mut self,
+        _src: IpAddr,
+        dst: IpAddr,
+        _src_port: u16,
+        dst_port: u16,
+        payload: &[u8],
+    ) -> Option<(Vec<u8>, u16)> {
+        let is_resolver = match dst {
+            IpAddr::V4(d) => d == addrs::DNS4_PRIMARY || d == addrs::DNS4_SECONDARY,
+            IpAddr::V6(d) => d == addrs::DNS6_PRIMARY || d == addrs::DNS6_SECONDARY,
+        };
+        if is_resolver && dst_port == 53 {
+            let query = dns::Message::parse_bytes(payload).ok()?;
+            if query.is_response {
+                return None;
+            }
+            return Some((self.zones.resolve(&query).build(), 53));
+        }
+        // NTP on any known server address.
+        if dst_port == 123 {
+            if self.domain_for(dst).is_some() {
+                return Some((vec![0x24; 48], 123));
+            }
+            return None;
+        }
+        // Generic UDP cloud service on a known server: scaled echo.
+        if let Some(name) = self.domain_for(dst) {
+            let profile = self.zones.get(&name)?;
+            let len = (payload.len() as u32 * profile.response_scale).clamp(16, 8192) as usize;
+            *self.served.entry((name.clone(), dst.is_ipv6())).or_insert(0) += len as u64;
+            return Some((vec![0x5a; len], dst_port));
+        }
+        None
+    }
+
+    /// Semi-stateless server-side TCP.
+    fn handle_tcp(&mut self, domain: Option<Name>, was_v6: bool, seg: &tcp::Repr) -> Vec<tcp::Repr> {
+        let Some(name) = domain else {
+            // Unroutable/unknown destination: silence (packets to nowhere).
+            return Vec::new();
+        };
+        let profile = match self.zones.get(&name) {
+            Some(p) => p.clone(),
+            None => return Vec::new(),
+        };
+        let mut out = Vec::new();
+        if seg.flags.contains(tcp::Flags::SYN) {
+            // Accept connections on the standard cloud ports.
+            let open = matches!(seg.dst_port, 443 | 80 | 8883 | 8443 | 123);
+            if open {
+                out.push(tcp::Repr {
+                    src_port: seg.dst_port,
+                    dst_port: seg.src_port,
+                    seq: 1000,
+                    ack: seg.seq.wrapping_add(1),
+                    flags: tcp::Flags::SYN | tcp::Flags::ACK,
+                    window: 0xffff,
+                    payload: Vec::new(),
+                });
+            } else {
+                out.push(seg.rst_for());
+            }
+        } else if seg.flags.contains(tcp::Flags::FIN) {
+            out.push(tcp::Repr {
+                src_port: seg.dst_port,
+                dst_port: seg.src_port,
+                seq: seg.ack,
+                ack: seg.seq.wrapping_add(1 + seg.payload.len() as u32),
+                flags: tcp::Flags::FIN | tcp::Flags::ACK,
+                window: 0xffff,
+                payload: Vec::new(),
+            });
+        } else if !seg.payload.is_empty() {
+            // Cap the response segment well inside the IPv6 payload-length
+            // field; clients chase volume with multiple request segments.
+            let len = (seg.payload.len() as u32 * profile.response_scale).clamp(64, 48 * 1024)
+                as usize;
+            *self.served.entry((name, was_v6)).or_insert(0) += len as u64;
+            out.push(tcp::Repr {
+                src_port: seg.dst_port,
+                dst_port: seg.src_port,
+                seq: seg.ack,
+                ack: seg.seq.wrapping_add(seg.payload.len() as u32),
+                flags: tcp::Flags::PSH | tcp::Flags::ACK,
+                window: 0xffff,
+                payload: vec![0x17; len],
+            });
+        }
+        out
+    }
+
+    fn domain_for(&self, ip: IpAddr) -> Option<Name> {
+        match ip {
+            IpAddr::V4(a) => self.by_v4.get(&a).cloned(),
+            IpAddr::V6(a) => self.by_v6.get(&a).cloned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> Name {
+        Name::new(s).unwrap()
+    }
+
+    fn test_internet() -> Internet {
+        let mut z = ZoneDb::new();
+        z.insert(DomainProfile::dual_stack(name("cloud.example.com")));
+        z.insert(DomainProfile::v4_only(name("api.amazon.com")));
+        Internet::new(z)
+    }
+
+    #[test]
+    fn derive_addrs_is_deterministic_and_distinct() {
+        let (a1, s1) = derive_addrs(&name("cloud.example.com"));
+        let (a2, s2) = derive_addrs(&name("cloud.example.com"));
+        assert_eq!((a1, s1), (a2, s2));
+        let (b1, t1) = derive_addrs(&name("other.example.com"));
+        assert_ne!(a1, b1);
+        assert_ne!(s1, t1);
+    }
+
+    #[test]
+    fn resolver_answers_a_and_aaaa() {
+        let net = test_internet();
+        let q = Message::query(1, name("cloud.example.com"), RecordType::Aaaa);
+        let resp = net.zones().resolve(&q);
+        assert_eq!(resp.aaaa_answers().count(), 1);
+        assert!(!resp.is_negative());
+
+        // v4-only domain: AAAA gets NOERROR + SOA (negative).
+        let q = Message::query(2, name("api.amazon.com"), RecordType::Aaaa);
+        let resp = net.zones().resolve(&q);
+        assert!(resp.is_negative());
+        assert_eq!(resp.rcode, Rcode::NoError);
+        assert!(!resp.authorities.is_empty());
+
+        // ... but its A record exists.
+        let q = Message::query(3, name("api.amazon.com"), RecordType::A);
+        assert_eq!(net.zones().resolve(&q).a_answers().count(), 1);
+
+        // Unknown name: NXDOMAIN.
+        let q = Message::query(4, name("nope.invalid"), RecordType::A);
+        assert_eq!(net.zones().resolve(&q).rcode, Rcode::NxDomain);
+    }
+
+    #[test]
+    fn dns_over_v4_udp_end_to_end() {
+        let mut net = test_internet();
+        let query = Message::query(7, name("cloud.example.com"), RecordType::A).build();
+        let udp_bytes = udp::Repr {
+            src_port: 40000,
+            dst_port: 53,
+            payload: query,
+        }
+        .build(PseudoHeader::V4 {
+            src: addrs::ROUTER_WAN_IPV4,
+            dst: addrs::DNS4_PRIMARY,
+        });
+        let packet = ipv4::Repr {
+            src: addrs::ROUTER_WAN_IPV4,
+            dst: addrs::DNS4_PRIMARY,
+            protocol: Protocol::Udp,
+            ttl: 64,
+            payload_len: udp_bytes.len(),
+        }
+        .build(&udp_bytes);
+        let replies = net.handle_packet(&packet);
+        assert_eq!(replies.len(), 1);
+        let rp = ipv4::Packet::new_checked(&replies[0][..]).unwrap();
+        assert_eq!(rp.src(), addrs::DNS4_PRIMARY);
+        let ru = udp::Packet::new_checked(rp.payload()).unwrap();
+        let msg = Message::parse_bytes(ru.payload()).unwrap();
+        assert!(msg.is_response);
+        assert_eq!(msg.a_answers().count(), 1);
+    }
+
+    #[test]
+    fn tcp_syn_to_cloud_port_gets_synack_via_tunnel() {
+        let mut net = test_internet();
+        let (_, server6) = derive_addrs(&name("cloud.example.com"));
+        let client: Ipv6Addr = "2001:db8:10:1::abcd".parse().unwrap();
+        let syn = tcp::Repr::syn(40001, 443, 77).build(PseudoHeader::V6 {
+            src: client,
+            dst: server6,
+        });
+        let v6 = ipv6::Repr {
+            src: client,
+            dst: server6,
+            next_header: Protocol::Tcp,
+            hop_limit: 64,
+            payload_len: syn.len(),
+        }
+        .build(&syn);
+        let encap = ipv4::Repr {
+            src: addrs::ROUTER_WAN_IPV4,
+            dst: addrs::TUNNEL_REMOTE_IPV4,
+            protocol: Protocol::Ipv6,
+            ttl: 64,
+            payload_len: v6.len(),
+        }
+        .build(&v6);
+        let replies = net.handle_packet(&encap);
+        assert_eq!(replies.len(), 1);
+        let outer = ipv4::Packet::new_checked(&replies[0][..]).unwrap();
+        assert_eq!(outer.protocol(), Protocol::Ipv6);
+        let inner = ipv6::Packet::new_checked(outer.payload()).unwrap();
+        assert_eq!(inner.src(), server6);
+        let seg = tcp::Packet::new_checked(inner.payload()).unwrap();
+        assert!(seg.flags().contains(tcp::Flags::SYN));
+        assert!(seg.flags().contains(tcp::Flags::ACK));
+        assert_eq!(seg.ack(), 78);
+    }
+
+    #[test]
+    fn tcp_syn_to_closed_port_gets_rst() {
+        let mut net = test_internet();
+        let (server4, _) = derive_addrs(&name("cloud.example.com"));
+        let syn = tcp::Repr::syn(40001, 9999, 5).build(PseudoHeader::V4 {
+            src: addrs::ROUTER_WAN_IPV4,
+            dst: server4,
+        });
+        let packet = ipv4::Repr {
+            src: addrs::ROUTER_WAN_IPV4,
+            dst: server4,
+            protocol: Protocol::Tcp,
+            ttl: 64,
+            payload_len: syn.len(),
+        }
+        .build(&syn);
+        let replies = net.handle_packet(&packet);
+        assert_eq!(replies.len(), 1);
+        let rp = ipv4::Packet::new_checked(&replies[0][..]).unwrap();
+        let seg = tcp::Packet::new_checked(rp.payload()).unwrap();
+        assert!(seg.flags().contains(tcp::Flags::RST));
+    }
+
+    #[test]
+    fn data_gets_scaled_response_and_accounting() {
+        let mut net = test_internet();
+        let (server4, _) = derive_addrs(&name("cloud.example.com"));
+        let data = tcp::Repr {
+            src_port: 40001,
+            dst_port: 443,
+            seq: 100,
+            ack: 1001,
+            flags: tcp::Flags::PSH | tcp::Flags::ACK,
+            window: 0xffff,
+            payload: vec![1; 100],
+        }
+        .build(PseudoHeader::V4 {
+            src: addrs::ROUTER_WAN_IPV4,
+            dst: server4,
+        });
+        let packet = ipv4::Repr {
+            src: addrs::ROUTER_WAN_IPV4,
+            dst: server4,
+            protocol: Protocol::Tcp,
+            ttl: 64,
+            payload_len: data.len(),
+        }
+        .build(&data);
+        let replies = net.handle_packet(&packet);
+        assert_eq!(replies.len(), 1);
+        let rp = ipv4::Packet::new_checked(&replies[0][..]).unwrap();
+        let seg = tcp::Packet::new_checked(rp.payload()).unwrap();
+        assert_eq!(seg.payload().len(), 400);
+        assert_eq!(
+            net.served.get(&(name("cloud.example.com"), false)),
+            Some(&400)
+        );
+    }
+
+    #[test]
+    fn packets_to_unknown_hosts_are_dropped() {
+        let mut net = test_internet();
+        let syn = tcp::Repr::syn(1, 443, 1).build(PseudoHeader::V4 {
+            src: addrs::ROUTER_WAN_IPV4,
+            dst: Ipv4Addr::new(192, 0, 2, 99),
+        });
+        let packet = ipv4::Repr {
+            src: addrs::ROUTER_WAN_IPV4,
+            dst: Ipv4Addr::new(192, 0, 2, 99),
+            protocol: Protocol::Tcp,
+            ttl: 64,
+            payload_len: syn.len(),
+        }
+        .build(&syn);
+        assert!(net.handle_packet(&packet).is_empty());
+    }
+}

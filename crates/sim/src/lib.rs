@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! # v6brick-sim — the smart-home network simulator
+//!
+//! A deterministic discrete-event reproduction of the paper's testbed
+//! topology (§4.1): IoT devices on a LAN behind a custom router; the
+//! router NATs IPv4 from the ISP and routes a /64 of IPv6 obtained through
+//! a Hurricane-Electric-style 6in4 tunnel; dnsmasq-equivalent services
+//! (DHCPv4, SLAAC RAs, stateless/stateful DHCPv6, RDNSS) run on the
+//! router; Google's public resolvers serve DNS; tcpdump captures the LAN.
+//!
+//! Everything is sans-IO: hosts implement [`host::Host`], exchange raw
+//! Ethernet frames over the simulated LAN, and the engine advances a
+//! virtual microsecond clock over a binary-heap event queue. Runs are
+//! reproducible bit-for-bit for a given seed.
+
+pub mod addrs;
+pub mod engine;
+pub mod event;
+pub mod host;
+pub mod internet;
+pub mod router;
+pub mod wire;
+
+pub use engine::{Simulation, SimulationBuilder};
+pub use event::SimTime;
+pub use host::{Effects, Host, HostId};
+pub use internet::{DomainProfile, Internet, ZoneDb};
+pub use router::{Router, RouterConfig};

@@ -1,0 +1,179 @@
+//! Frame-building helpers shared by every host implementation (devices,
+//! phones, the port scanner, tests).
+
+use v6brick_net::ethernet::EtherType;
+use v6brick_net::ipv4::Protocol;
+use v6brick_net::udp::PseudoHeader;
+use v6brick_net::{icmpv6, ipv4, ipv6, tcp, udp, Mac};
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+pub use crate::router::eth_frame;
+
+/// A UDP-in-IPv4-in-Ethernet frame.
+pub fn udp4_frame(
+    src_mac: Mac,
+    dst_mac: Mac,
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    src_port: u16,
+    dst_port: u16,
+    payload: Vec<u8>,
+) -> Vec<u8> {
+    let udp_bytes = udp::Repr {
+        src_port,
+        dst_port,
+        payload,
+    }
+    .build(PseudoHeader::V4 { src, dst });
+    let ip = ipv4::Repr {
+        src,
+        dst,
+        protocol: Protocol::Udp,
+        ttl: 64,
+        payload_len: udp_bytes.len(),
+    }
+    .build(&udp_bytes);
+    eth_frame(src_mac, dst_mac, EtherType::Ipv4, &ip)
+}
+
+/// A UDP-in-IPv6-in-Ethernet frame.
+pub fn udp6_frame(
+    src_mac: Mac,
+    dst_mac: Mac,
+    src: Ipv6Addr,
+    dst: Ipv6Addr,
+    src_port: u16,
+    dst_port: u16,
+    payload: Vec<u8>,
+) -> Vec<u8> {
+    let udp_bytes = udp::Repr {
+        src_port,
+        dst_port,
+        payload,
+    }
+    .build(PseudoHeader::V6 { src, dst });
+    let ip = ipv6::Repr {
+        src,
+        dst,
+        next_header: Protocol::Udp,
+        hop_limit: 64,
+        payload_len: udp_bytes.len(),
+    }
+    .build(&udp_bytes);
+    eth_frame(src_mac, dst_mac, EtherType::Ipv6, &ip)
+}
+
+/// A TCP-in-IPv4-in-Ethernet frame.
+pub fn tcp4_frame(
+    src_mac: Mac,
+    dst_mac: Mac,
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    seg: &tcp::Repr,
+) -> Vec<u8> {
+    let bytes = seg.build(PseudoHeader::V4 { src, dst });
+    let ip = ipv4::Repr {
+        src,
+        dst,
+        protocol: Protocol::Tcp,
+        ttl: 64,
+        payload_len: bytes.len(),
+    }
+    .build(&bytes);
+    eth_frame(src_mac, dst_mac, EtherType::Ipv4, &ip)
+}
+
+/// A TCP-in-IPv6-in-Ethernet frame.
+pub fn tcp6_frame(
+    src_mac: Mac,
+    dst_mac: Mac,
+    src: Ipv6Addr,
+    dst: Ipv6Addr,
+    seg: &tcp::Repr,
+) -> Vec<u8> {
+    let bytes = seg.build(PseudoHeader::V6 { src, dst });
+    let ip = ipv6::Repr {
+        src,
+        dst,
+        next_header: Protocol::Tcp,
+        hop_limit: 64,
+        payload_len: bytes.len(),
+    }
+    .build(&bytes);
+    eth_frame(src_mac, dst_mac, EtherType::Ipv6, &ip)
+}
+
+/// An ICMPv6-in-IPv6-in-Ethernet frame (NDP hop limit 255 applied when the
+/// message is NDP).
+pub fn icmpv6_frame(
+    src_mac: Mac,
+    dst_mac: Mac,
+    src: Ipv6Addr,
+    dst: Ipv6Addr,
+    msg: &icmpv6::Repr,
+) -> Vec<u8> {
+    let body = msg.build(src, dst);
+    let hop_limit = if msg.as_ndp().is_some() { 255 } else { 64 };
+    let ip = ipv6::Repr {
+        src,
+        dst,
+        next_header: Protocol::Icmpv6,
+        hop_limit,
+        payload_len: body.len(),
+    }
+    .build(&body);
+    eth_frame(src_mac, dst_mac, EtherType::Ipv6, &ip)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v6brick_net::parse::{L4, ParsedPacket};
+
+    #[test]
+    fn builders_produce_parseable_frames() {
+        let m1 = Mac::new(2, 0, 0, 0, 0, 1);
+        let m2 = Mac::new(2, 0, 0, 0, 0, 2);
+        let f = udp4_frame(
+            m1,
+            m2,
+            Ipv4Addr::new(192, 168, 1, 5),
+            Ipv4Addr::new(8, 8, 8, 8),
+            1234,
+            53,
+            vec![0; 8],
+        );
+        assert!(matches!(
+            ParsedPacket::parse(&f).unwrap().l4,
+            L4::Udp { dst_port: 53, .. }
+        ));
+
+        let f = tcp6_frame(
+            m1,
+            m2,
+            "2001:db8:10:1::5".parse().unwrap(),
+            "2001:db8:ffff::1".parse().unwrap(),
+            &tcp::Repr::syn(40000, 443, 1),
+        );
+        assert!(matches!(
+            ParsedPacket::parse(&f).unwrap().l4,
+            L4::Tcp { dst_port: 443, .. }
+        ));
+
+        let f = icmpv6_frame(
+            m1,
+            m2,
+            "fe80::1".parse().unwrap(),
+            "ff02::1".parse().unwrap(),
+            &icmpv6::Repr::EchoRequest {
+                ident: 1,
+                seq: 1,
+                payload: vec![],
+            },
+        );
+        assert!(matches!(
+            ParsedPacket::parse(&f).unwrap().l4,
+            L4::Icmpv6(_)
+        ));
+    }
+}

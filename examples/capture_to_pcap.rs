@@ -1,0 +1,67 @@
+//! Scenario: interoperate with real tooling. Run a dual-stack experiment,
+//! write the router's capture to a classic pcap file (tcpdump/wireshark
+//! compatible), read it back, and run the measurement pipeline on the
+//! re-loaded capture — proving the pipeline is pure pcap analysis.
+//!
+//! ```sh
+//! cargo run --release --example capture_to_pcap -- /tmp/smarthome.pcap
+//! ```
+
+use v6brick::core::observe;
+use v6brick::devices::registry;
+use v6brick::devices::stack::IotDevice;
+use v6brick::experiments::{scenario, NetworkConfig};
+use v6brick::pcap::format;
+use v6brick::sim::{Internet, Router, SimulationBuilder, SimTime};
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "/tmp/smarthome.pcap".to_string());
+
+    // A compact household for a readable capture.
+    let ids = ["echo_show_5", "nest_camera", "hue_hub", "google_home_mini"];
+    let profiles: Vec<_> = ids.iter().map(|id| registry::by_id(id)).collect();
+
+    println!("Simulating a dual-stack smart home with {} devices...", profiles.len());
+    let zones = scenario::build_zones(&profiles);
+    let mut b = SimulationBuilder::new(
+        Router::new(NetworkConfig::DualStack.router_config()),
+        Internet::new(zones),
+    );
+    let macs: Vec<_> = profiles
+        .iter()
+        .map(|p| {
+            b.add_host(Box::new(IotDevice::new(p.clone())));
+            (p.mac, p.id.clone())
+        })
+        .collect();
+    let mut sim = b.build();
+    sim.run_until(SimTime::from_secs(180));
+
+    let capture = sim.take_capture();
+    println!("Captured {} frames ({} bytes on the wire).", capture.len(), capture.total_bytes());
+
+    // Serialize exactly like tcpdump would store it.
+    let file = std::fs::File::create(&path).expect("create pcap");
+    format::write_pcap(&capture, std::io::BufWriter::new(file)).expect("write pcap");
+    println!("Wrote {path} — open it with `tcpdump -r {path}` or wireshark.");
+
+    // Reload and analyze the *file*, not the in-memory capture.
+    let file = std::fs::File::open(&path).expect("open pcap");
+    let reloaded = format::read_pcap(std::io::BufReader::new(file)).expect("read pcap");
+    assert_eq!(reloaded.len(), capture.len(), "lossless round-trip");
+
+    let analysis = observe::analyze(&reloaded, &macs, scenario::lan_prefix());
+    println!("\nPipeline results from the re-loaded pcap:");
+    for (id, o) in &analysis.devices {
+        println!(
+            "  {id}: ndp={} v6addr={} aaaa_q={} v6_bytes={} v4_bytes={}",
+            o.ndp_traffic,
+            o.has_v6_addr(),
+            o.aaaa_q_any().len(),
+            o.v6_internet_bytes,
+            o.v4_internet_bytes,
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Quickstart: run one connectivity experiment over the full 93-device
+//! testbed and print the headline IPv6-readiness funnel.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use v6brick::experiments::{tables, ExperimentSuite, NetworkConfig};
+
+fn main() {
+    println!("Booting 93 IoT devices in an IPv6-only network (SLAAC + RDNSS + stateless DHCPv6)...");
+    let suite = ExperimentSuite::run_config(NetworkConfig::Ipv6Only);
+
+    let functional = suite.functional_devices();
+    println!(
+        "\n{} of 93 devices remain functional without IPv4:",
+        functional.len()
+    );
+    for id in &functional {
+        let p = suite.profile(id);
+        println!("  - {} ({})", p.name, p.category.label());
+    }
+
+    // The measured funnel for this single run.
+    let run = &suite.runs()[0];
+    let count = |f: &dyn Fn(&v6brick::core::DeviceObservation) -> bool| {
+        run.analysis.count(|o| f(o))
+    };
+    println!("\nThe readiness funnel (one IPv6-only run):");
+    println!("  NDP traffic:        {}", count(&|o| o.ndp_traffic));
+    println!("  IPv6 address:       {}", count(&|o| o.has_v6_addr()));
+    println!("  AAAA queries (v6):  {}", count(&|o| !o.aaaa_q_v6.is_empty()));
+    println!("  AAAA answers:       {}", count(&|o| !o.aaaa_pos_v6.is_empty()));
+    println!("  Internet v6 data:   {}", count(&|o| o.v6_internet_data()));
+    println!("  Functional:         {}", functional.len());
+
+    println!("\nFull per-category breakdown:\n");
+    // A single-config suite supports Table 3's IPv6-only scope.
+    println!("{}", tables::table3(&suite));
+}

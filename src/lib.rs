@@ -1,0 +1,37 @@
+//! # v6brick
+//!
+//! A full reproduction of *IoT Bricks Over v6: Understanding IPv6 Usage in
+//! Smart Homes* (Hu, Dubois, Choffnes — IMC 2024).
+//!
+//! The paper measures how 93 popular consumer IoT devices behave in six
+//! network configurations mixing IPv4 and IPv6 connectivity. This workspace
+//! rebuilds the entire study as a deterministic, laptop-scale system:
+//!
+//! * [`net`] — typed wire formats (Ethernet, ARP, IPv4/IPv6, UDP/TCP,
+//!   ICMPv4/ICMPv6 + NDP, DHCPv4/DHCPv6, DNS) in the smoltcp idiom.
+//! * [`pcap`] — classic pcap reading/writing and in-memory captures.
+//! * [`sim`] — a discrete-event smart-home network: LAN, router
+//!   (RA/DHCP/DNS/NAT/6in4 tunnel), and an Internet model with DNS zones.
+//! * [`devices`] — behavioural models of all 93 testbed devices, with
+//!   capability profiles transcribed from the paper's Table 10 and §5.
+//! * [`core`] — the measurement pipeline: the paper's actual contribution.
+//! * [`experiments`] — the six connectivity experiments, functionality
+//!   tests, active probes, and a generator per paper table/figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use v6brick::experiments::{ExperimentSuite, config::NetworkConfig};
+//!
+//! // Run the IPv6-only baseline on the full 93-device testbed and ask which
+//! // devices stayed functional (the paper finds 8 of 93).
+//! let suite = ExperimentSuite::run_config(NetworkConfig::ipv6_only());
+//! let functional = suite.functional_devices();
+//! assert_eq!(functional.len(), 8);
+//! ```
+pub use v6brick_core as core;
+pub use v6brick_devices as devices;
+pub use v6brick_experiments as experiments;
+pub use v6brick_net as net;
+pub use v6brick_pcap as pcap;
+pub use v6brick_sim as sim;
