@@ -178,7 +178,9 @@ fn bench_dns_ablation(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("ablation_dns_encoding");
     g.bench_function("compressed_build", |b| b.iter(|| black_box(&resp).build()));
-    g.bench_function("naive_build", |b| b.iter(|| build_uncompressed(black_box(&resp))));
+    g.bench_function("naive_build", |b| {
+        b.iter(|| build_uncompressed(black_box(&resp)))
+    });
     g.bench_function("compressed_parse", |b| {
         b.iter(|| Message::parse_bytes(black_box(&compressed)).unwrap())
     });
@@ -229,5 +231,10 @@ fn bench_capture_ablation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_flow_ablation, bench_dns_ablation, bench_capture_ablation);
+criterion_group!(
+    benches,
+    bench_flow_ablation,
+    bench_dns_ablation,
+    bench_capture_ablation
+);
 criterion_main!(benches);

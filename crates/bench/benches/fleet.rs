@@ -1,0 +1,50 @@
+//! Fleet campaign throughput: homes simulated per second as a function
+//! of worker count. The interesting read-out is the 1 → 4 worker
+//! scaling of the crossbeam pool, not the absolute numbers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use v6brick_experiments::config::NetworkConfig;
+use v6brick_experiments::fleet::{self, CampaignSpec};
+
+/// A campaign small enough to iterate: 8 homes of 2-4 devices with a
+/// 60 s virtual window — enough traffic for the report to be non-trivial
+/// without each iteration taking minutes.
+fn spec(workers: usize) -> CampaignSpec {
+    CampaignSpec {
+        homes: 8,
+        seed: 0xf1ee7,
+        workers,
+        device_range: (2, 4),
+        mix: NetworkConfig::ALL.iter().map(|c| (*c, 1)).collect(),
+        duration_s: 60,
+    }
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fleet");
+    g.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        let spec = spec(workers);
+        g.throughput(Throughput::Elements(spec.homes));
+        g.bench_function(format!("campaign_8_homes/workers_{workers}"), |b| {
+            b.iter(|| black_box(fleet::run(&spec)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_planning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fleet_plan");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(1024));
+    // Planning alone (seed derivation + registry subsampling), no
+    // simulation: this is the per-home fixed cost of the campaign.
+    g.bench_function("plan_1024_homes", |b| {
+        let mix: Vec<(NetworkConfig, u32)> = NetworkConfig::ALL.iter().map(|c| (*c, 1)).collect();
+        b.iter(|| black_box(v6brick_fleet::plan_homes(42, 1024, &mix, 3..=12)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fleet, bench_planning);
+criterion_main!(benches);

@@ -61,15 +61,21 @@ fn bench_pipeline(c: &mut Criterion) {
             t.len()
         })
     });
-    g.bench_function("capture_stats", |b| b.iter(|| CaptureStats::of(black_box(&capture))));
+    g.bench_function("capture_stats", |b| {
+        b.iter(|| CaptureStats::of(black_box(&capture)))
+    });
     g.finish();
 
     let mut g = c.benchmark_group("pcap_io");
     g.sample_size(20);
     g.throughput(Throughput::Bytes(bytes));
-    g.bench_function("write", |b| b.iter(|| format::to_bytes(black_box(&capture))));
+    g.bench_function("write", |b| {
+        b.iter(|| format::to_bytes(black_box(&capture)))
+    });
     let on_disk = format::to_bytes(&capture);
-    g.bench_function("read", |b| b.iter(|| format::from_bytes(black_box(&on_disk)).unwrap()));
+    g.bench_function("read", |b| {
+        b.iter(|| format::from_bytes(black_box(&on_disk)).unwrap())
+    });
     g.finish();
 
     // The full simulate-and-capture path for one experiment config.

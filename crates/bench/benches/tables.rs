@@ -48,7 +48,9 @@ fn bench_tables(c: &mut Criterion) {
     g.bench_function("table10", |b| b.iter(|| black_box(tables::table10(s))));
     g.bench_function("table12", |b| b.iter(|| black_box(tables::table12(s))));
     g.bench_function("table13", |b| b.iter(|| black_box(tables::table13(s))));
-    g.bench_function("dad_report", |b| b.iter(|| black_box(tables::dad_report(s))));
+    g.bench_function("dad_report", |b| {
+        b.iter(|| black_box(tables::dad_report(s)))
+    });
     g.finish();
 }
 

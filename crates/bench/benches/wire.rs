@@ -64,7 +64,9 @@ fn bench_wire(c: &mut Criterion) {
         b.iter(|| Message::parse_bytes(black_box(&resp)).unwrap())
     });
     let msg = Message::parse_bytes(&resp).unwrap();
-    g.bench_function("build_response_compressed", |b| b.iter(|| black_box(&msg).build()));
+    g.bench_function("build_response_compressed", |b| {
+        b.iter(|| black_box(&msg).build())
+    });
     g.finish();
 
     let mut g = c.benchmark_group("tls");
@@ -73,13 +75,17 @@ fn bench_wire(c: &mut Criterion) {
         b.iter(|| tls::client_hello(black_box(&name), 1024))
     });
     let hello = tls::client_hello(&name, 1024);
-    g.bench_function("parse_sni", |b| b.iter(|| tls::parse_sni(black_box(&hello)).unwrap()));
+    g.bench_function("parse_sni", |b| {
+        b.iter(|| tls::parse_sni(black_box(&hello)).unwrap())
+    });
     g.finish();
 
     let payload = vec![0xa5u8; 1460];
     let mut g = c.benchmark_group("checksum");
     g.throughput(Throughput::Bytes(payload.len() as u64));
-    g.bench_function("rfc1071_1460B", |b| b.iter(|| checksum::checksum(black_box(&payload))));
+    g.bench_function("rfc1071_1460B", |b| {
+        b.iter(|| checksum::checksum(black_box(&payload)))
+    });
     g.finish();
 }
 

@@ -184,7 +184,8 @@ mod tests {
         // Used for DNS.
         o.active_v6.insert(eui_gua());
         o.dns_src_v6.insert(eui_gua());
-        o.dns_names_from_eui64.insert(Name::new("svc.acme.example").unwrap());
+        o.dns_names_from_eui64
+            .insert(Name::new("svc.acme.example").unwrap());
         let e = exposure(mac(), &o);
         assert!(e.used && e.used_for_dns && !e.used_for_data);
         assert_eq!(e.exposed_domains.len(), 1);
@@ -226,9 +227,12 @@ mod tests {
         o.active_v6.insert(eui_gua());
         o.dns_src_v6.insert(eui_gua());
         o.data_src_v6.insert(eui_gua());
-        o.domains_from_eui64.insert(Name::new("svc.acme.example").unwrap());
-        o.domains_from_eui64.insert(Name::new("app-measurement.com").unwrap());
-        o.domains_from_eui64.insert(Name::new("time.pool-ntp.example").unwrap());
+        o.domains_from_eui64
+            .insert(Name::new("svc.acme.example").unwrap());
+        o.domains_from_eui64
+            .insert(Name::new("app-measurement.com").unwrap());
+        o.domains_from_eui64
+            .insert(Name::new("time.pool-ntp.example").unwrap());
         a.devices.insert("dev".into(), o);
         let f = funnel(
             &a,
@@ -241,7 +245,11 @@ mod tests {
         assert_eq!(f.use_internet_data, 1);
         assert_eq!(
             f.data_domains_by_party,
-            PartyCounts { first: 1, support: 1, third: 1 }
+            PartyCounts {
+                first: 1,
+                support: 1,
+                third: 1
+            }
         );
     }
 }

@@ -8,7 +8,7 @@
 use serde::Serialize;
 use std::collections::HashMap;
 use std::net::IpAddr;
-use v6brick_net::parse::{L4, Net, ParsedPacket};
+use v6brick_net::parse::{Net, ParsedPacket, L4};
 
 /// Transport protocol of a flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
@@ -34,9 +34,17 @@ impl FlowKey {
     /// Canonicalize endpoints so both directions map to one key.
     pub fn new(src: (IpAddr, u16), dst: (IpAddr, u16), proto: FlowProto) -> FlowKey {
         if src <= dst {
-            FlowKey { a: src, b: dst, proto }
+            FlowKey {
+                a: src,
+                b: dst,
+                proto,
+            }
         } else {
-            FlowKey { a: dst, b: src, proto }
+            FlowKey {
+                a: dst,
+                b: src,
+                proto,
+            }
         }
     }
 
@@ -95,12 +103,17 @@ impl FlowTable {
             _ => return None,
         };
         let (proto, src_port, dst_port, len) = match &p.l4 {
-            L4::Udp { src_port, dst_port, payload } => {
-                (FlowProto::Udp, *src_port, *dst_port, payload.len() as u64)
-            }
-            L4::Tcp { src_port, dst_port, payload_len, .. } => {
-                (FlowProto::Tcp, *src_port, *dst_port, *payload_len as u64)
-            }
+            L4::Udp {
+                src_port,
+                dst_port,
+                payload,
+            } => (FlowProto::Udp, *src_port, *dst_port, payload.len() as u64),
+            L4::Tcp {
+                src_port,
+                dst_port,
+                payload_len,
+                ..
+            } => (FlowProto::Tcp, *src_port, *dst_port, *payload_len as u64),
             _ => return None,
         };
         let src = (src_ip, src_port);
@@ -180,8 +193,12 @@ mod tests {
     #[test]
     fn both_directions_share_a_flow() {
         let mut t = FlowTable::new();
-        let k1 = t.record(10, &udp6("2001:db8::1", 1000, "2001:db8::2", 53, 40)).unwrap();
-        let k2 = t.record(20, &udp6("2001:db8::2", 53, "2001:db8::1", 1000, 120)).unwrap();
+        let k1 = t
+            .record(10, &udp6("2001:db8::1", 1000, "2001:db8::2", 53, 40))
+            .unwrap();
+        let k2 = t
+            .record(20, &udp6("2001:db8::2", 53, "2001:db8::1", 1000, 120))
+            .unwrap();
         assert_eq!(k1, k2);
         assert_eq!(t.len(), 1);
         let f = t.get(&k1).unwrap();

@@ -18,12 +18,16 @@
 //!   experiment configurations (Table 9).
 //! * [`eui64`] — EUI-64 exposure analysis (Fig. 5).
 //! * [`ports`] — port-scan result types and v4/v6 diffing (§5.4.2).
+//! * [`population`] — mergeable population-scale aggregates for
+//!   multi-home fleet campaigns (streaming Table 3/5 marginals).
 
 pub mod eui64;
 pub mod flows;
 pub mod observe;
 pub mod party;
+pub mod population;
 pub mod ports;
 pub mod transitions;
 
 pub use observe::{analyze, DeviceObservation, ExperimentAnalysis};
+pub use population::PopulationReport;

@@ -13,7 +13,7 @@ use std::net::{IpAddr, Ipv6Addr};
 use v6brick_net::dns::{Message, Name, RecordType};
 use v6brick_net::ipv6::{AddressKind, Cidr, Ipv6AddrExt};
 use v6brick_net::ndp::Repr as Ndp;
-use v6brick_net::parse::{L4, Net};
+use v6brick_net::parse::{Net, L4};
 use v6brick_net::{dhcpv6, icmpv6, tls, Mac};
 use v6brick_pcap::Capture;
 
@@ -91,11 +91,7 @@ pub struct DeviceObservation {
 impl DeviceObservation {
     /// Any IPv6 address assigned (announced or actively used)?
     pub fn has_v6_addr(&self) -> bool {
-        !self.active_v6.is_empty()
-            || self
-                .announced_v6
-                .iter()
-                .any(|a| !a.is_unspecified())
+        !self.active_v6.is_empty() || self.announced_v6.iter().any(|a| !a.is_unspecified())
     }
 
     /// Active addresses of a given kind.
@@ -199,8 +195,11 @@ pub fn analyze(
     devices: &[(Mac, String)],
     lan_prefix: Cidr,
 ) -> ExperimentAnalysis {
-    let mac_index: HashMap<Mac, usize> =
-        devices.iter().enumerate().map(|(i, (m, _))| (*m, i)).collect();
+    let mac_index: HashMap<Mac, usize> = devices
+        .iter()
+        .enumerate()
+        .map(|(i, (m, _))| (*m, i))
+        .collect();
     let mut obs: Vec<DeviceObservation> = vec![DeviceObservation::default(); devices.len()];
     let mut analysis = ExperimentAnalysis::default();
     // Pending DNS queries: (client mac, txid) -> (name, rtype, over_v6).
@@ -249,7 +248,15 @@ pub fn analyze(
         }
 
         // --- DHCPv4 (UDP 67/68) ---
-        if let (Net::Ipv4(_), L4::Udp { src_port: 68, dst_port: 67, payload }) = (&p.net, &p.l4) {
+        if let (
+            Net::Ipv4(_),
+            L4::Udp {
+                src_port: 68,
+                dst_port: 67,
+                payload,
+            },
+        ) = (&p.net, &p.l4)
+        {
             if let Some(i) = from {
                 if let Ok(msg) = v6brick_net::dhcpv4::Repr::parse_bytes(payload) {
                     if msg.message_type == v6brick_net::dhcpv4::MessageType::Request {
@@ -261,13 +268,19 @@ pub fn analyze(
         }
 
         // --- DHCPv6 (UDP 546/547) ---
-        if let (Net::Ipv6(_), L4::Udp { src_port, dst_port, payload }) = (&p.net, &p.l4) {
+        if let (
+            Net::Ipv6(_),
+            L4::Udp {
+                src_port,
+                dst_port,
+                payload,
+            },
+        ) = (&p.net, &p.l4)
+        {
             if *dst_port == 547 && *src_port == 546 {
                 if let (Some(i), Ok(msg)) = (from, dhcpv6::Repr::parse_bytes(payload)) {
                     match msg.message_type {
-                        dhcpv6::MessageType::InformationRequest => {
-                            obs[i].dhcpv6_stateless = true
-                        }
+                        dhcpv6::MessageType::InformationRequest => obs[i].dhcpv6_stateless = true,
                         dhcpv6::MessageType::Solicit | dhcpv6::MessageType::Request => {
                             obs[i].dhcpv6_stateful = true
                         }
@@ -290,7 +303,12 @@ pub fn analyze(
         }
 
         // --- DNS (UDP 53) ---
-        if let L4::Udp { src_port, dst_port, payload } = &p.l4 {
+        if let L4::Udp {
+            src_port,
+            dst_port,
+            payload,
+        } = &p.l4
+        {
             if *dst_port == 53 || *src_port == 53 {
                 let over_v6 = p.is_ipv6();
                 if *dst_port == 53 {
@@ -321,10 +339,7 @@ pub fn analyze(
                                 }
                                 _ => {}
                             }
-                            pending.insert(
-                                (p.eth.src, msg.id),
-                                (q.name.clone(), q.rtype, over_v6),
-                            );
+                            pending.insert((p.eth.src, msg.id), (q.name.clone(), q.rtype, over_v6));
                             if over_v6 {
                                 if let Some(IpAddr::V6(src)) = p.src_ip() {
                                     o.dns_src_v6.insert(src);
@@ -354,9 +369,7 @@ pub fn analyze(
                             }
                         }
                         if let Some(i) = to {
-                            if let Some((name, rtype, _)) =
-                                pending.remove(&(p.eth.dst, msg.id))
-                            {
+                            if let Some((name, rtype, _)) = pending.remove(&(p.eth.dst, msg.id)) {
                                 if rtype == RecordType::Aaaa {
                                     let o = &mut obs[i];
                                     if msg.aaaa_answers().next().is_some() {
@@ -475,7 +488,7 @@ mod tests {
     use super::*;
     use v6brick_net::ethernet::EtherType;
     use v6brick_net::ipv4::Protocol;
-    
+
     use v6brick_net::udp::PseudoHeader;
     use v6brick_net::{ethernet, ipv6, udp};
 
@@ -586,7 +599,8 @@ mod tests {
         assert!(o.dns_src_v6.contains(&dev));
         assert!(o.dns_names_from_eui64.contains(&name));
         assert_eq!(
-            a.ip_to_name.get(&IpAddr::V6("2001:db8:ffff::5".parse().unwrap())),
+            a.ip_to_name
+                .get(&IpAddr::V6("2001:db8:ffff::5".parse().unwrap())),
             Some(&name)
         );
     }
@@ -600,12 +614,20 @@ mod tests {
         let mut cap = Capture::new();
         cap.push(
             0,
-            &eth(dev_mac(), Mac::new(2, 0, 0, 0, 0, 0xfe), &v6_udp(dev, resolver, 40001, 53, q.build())),
+            &eth(
+                dev_mac(),
+                Mac::new(2, 0, 0, 0, 0, 0xfe),
+                &v6_udp(dev, resolver, 40001, 53, q.build()),
+            ),
         );
         let resp = q.response(v6brick_net::dns::Rcode::NoError);
         cap.push(
             10,
-            &eth(Mac::new(2, 0, 0, 0, 0, 0xfe), dev_mac(), &v6_udp(resolver, dev, 53, 40001, resp.build())),
+            &eth(
+                Mac::new(2, 0, 0, 0, 0, 0xfe),
+                dev_mac(),
+                &v6_udp(resolver, dev, 53, 40001, resp.build()),
+            ),
         );
         let a = analyze(&cap, &labels(), lan());
         let o = a.device("dev").unwrap();
@@ -621,11 +643,19 @@ mod tests {
         let mut cap = Capture::new();
         cap.push(
             0,
-            &eth(dev_mac(), Mac::new(2, 0, 0, 0, 0, 0xfe), &v6_udp(dev, internet, 5000, 9999, vec![0; 100])),
+            &eth(
+                dev_mac(),
+                Mac::new(2, 0, 0, 0, 0, 0xfe),
+                &v6_udp(dev, internet, 5000, 9999, vec![0; 100]),
+            ),
         );
         cap.push(
             1,
-            &eth(dev_mac(), Mac::new(2, 0, 0, 0, 0, 0xfe), &v6_udp(dev, local_peer, 5353, 5353, vec![0; 40])),
+            &eth(
+                dev_mac(),
+                Mac::new(2, 0, 0, 0, 0, 0xfe),
+                &v6_udp(dev, local_peer, 5353, 5353, vec![0; 40]),
+            ),
         );
         let a = analyze(&cap, &labels(), lan());
         let o = a.device("dev").unwrap();
@@ -659,7 +689,13 @@ mod tests {
             &eth(
                 stranger,
                 Mac::new(2, 8, 8, 8, 8, 8),
-                &v6_udp("fe80::9".parse().unwrap(), "fe80::8".parse().unwrap(), 1, 2, vec![]),
+                &v6_udp(
+                    "fe80::9".parse().unwrap(),
+                    "fe80::8".parse().unwrap(),
+                    1,
+                    2,
+                    vec![],
+                ),
             ),
         );
         let a = analyze(&cap, &labels(), lan());

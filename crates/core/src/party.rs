@@ -107,15 +107,30 @@ mod tests {
     #[test]
     fn vendor_names_are_first_party() {
         assert_eq!(classify(&n("api.amazon.com"), "Amazon"), Party::First);
-        assert_eq!(classify(&n("svc1.smartthings-samsung.example"), "SmartThings/Samsung"), Party::First);
+        assert_eq!(
+            classify(
+                &n("svc1.smartthings-samsung.example"),
+                "SmartThings/Samsung"
+            ),
+            Party::First
+        );
         assert_eq!(classify(&n("youtube.com"), "Samsung"), Party::First);
     }
 
     #[test]
     fn infrastructure_is_support_party() {
-        assert_eq!(classify(&n("edge1.cdn-net.example"), "Amazon"), Party::Support);
-        assert_eq!(classify(&n("time.pool-ntp.example"), "Wyze"), Party::Support);
-        assert_eq!(classify(&n("s3-us.cloudstore.example"), "Wyze"), Party::Support);
+        assert_eq!(
+            classify(&n("edge1.cdn-net.example"), "Amazon"),
+            Party::Support
+        );
+        assert_eq!(
+            classify(&n("time.pool-ntp.example"), "Wyze"),
+            Party::Support
+        );
+        assert_eq!(
+            classify(&n("s3-us.cloudstore.example"), "Wyze"),
+            Party::Support
+        );
     }
 
     #[test]
@@ -123,7 +138,10 @@ mod tests {
         assert_eq!(classify(&n("app-measurement.com"), "Google"), Party::Third);
         assert_eq!(classify(&n("omtrdc.net"), "Samsung"), Party::Third);
         assert_eq!(classify(&n("segment.io"), "Meta"), Party::Third);
-        assert_eq!(classify(&n("beacon.quantify.example"), "Wyze"), Party::Third);
+        assert_eq!(
+            classify(&n("beacon.quantify.example"), "Wyze"),
+            Party::Third
+        );
         assert!(is_tracking_sld(&n("segment.io")));
         assert!(!is_tracking_sld(&n("amazon.com")));
     }

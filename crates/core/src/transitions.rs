@@ -100,10 +100,7 @@ fn classify(
 
 /// The Table 9 bottom row: domains contacted only over IPv4 in dual-stack
 /// although an AAAA record exists (per the active-DNS readiness set).
-pub fn v4_only_with_aaaa(
-    dual: &ExperimentAnalysis,
-    aaaa_ready: &BTreeSet<Name>,
-) -> BTreeSet<Name> {
+pub fn v4_only_with_aaaa(dual: &ExperimentAnalysis, aaaa_ready: &BTreeSet<Name>) -> BTreeSet<Name> {
     let (dual_v4, dual_v6) = domains_by_family(dual);
     dual_v4
         .difference(&dual_v6)
@@ -134,7 +131,15 @@ mod tests {
 
     #[test]
     fn v4_to_v6_classification() {
-        let v4_only = analysis_with(&["stay.example", "ext.example", "switch.example", "gone.example"], &[]);
+        let v4_only = analysis_with(
+            &[
+                "stay.example",
+                "ext.example",
+                "switch.example",
+                "gone.example",
+            ],
+            &[],
+        );
         let dual = analysis_with(
             &["stay.example", "ext.example"],
             &["ext.example", "switch.example"],

@@ -174,10 +174,22 @@ const REQUIRED_V4ONLY: &[(&str, &str)] = &[
 /// Listening services: (id, tcp v4, tcp v6, udp v4, udp v6). The Samsung
 /// Fridge's three v6-only ports are §5.4.2's headline finding; exactly
 /// six devices expose v4 ports missing from v6.
-type Ports = (&'static str, &'static [u16], &'static [u16], &'static [u16], &'static [u16]);
+type Ports = (
+    &'static str,
+    &'static [u16],
+    &'static [u16],
+    &'static [u16],
+    &'static [u16],
+);
 /// Per-device listening services (see [`OPEN_PORTS`]'s tuple layout).
 pub const OPEN_PORTS: &[Ports] = &[
-    ("samsung_fridge", &[8001, 8080], &[8001, 8080, 37993, 46525, 46757], &[], &[]),
+    (
+        "samsung_fridge",
+        &[8001, 8080],
+        &[8001, 8080, 37993, 46525, 46757],
+        &[],
+        &[],
+    ),
     ("amcrest_cam", &[80, 554], &[], &[], &[]),
     ("microseven_cam", &[80, 554], &[], &[], &[]),
     ("yi_camera", &[554], &[], &[], &[]),
@@ -269,8 +281,12 @@ pub fn budget_for(id: &str) -> (u16, u16) {
 fn telemetry_scale_for(raw: &RawDevice) -> u8 {
     use crate::profile::Category;
     const HEAVY_SPEAKERS: &[&str] = &[
-        "google_home_mini", "google_nest_mini", "nest_hub", "nest_hub_max",
-        "meta_portal_mini", "homepod_mini",
+        "google_home_mini",
+        "google_nest_mini",
+        "nest_hub",
+        "nest_hub_max",
+        "meta_portal_mini",
+        "homepod_mini",
     ];
     match raw.category {
         Category::TvEntertainment => 8,
@@ -301,7 +317,10 @@ pub fn app_caps_for(raw: &RawDevice, dns: &DnsCaps) -> AppCaps {
     let mut destinations = Vec::with_capacity(count as usize + 2);
 
     // 1. Required destinations.
-    let v4only_required = REQUIRED_V4ONLY.iter().find(|(d, _)| *d == id).map(|(_, n)| *n);
+    let v4only_required = REQUIRED_V4ONLY
+        .iter()
+        .find(|(d, _)| *d == id)
+        .map(|(_, n)| *n);
     if raw.functional_v6only {
         // Functional devices: two required, both AAAA-ready and fully
         // resolvable over v6.
@@ -472,8 +491,12 @@ pub fn app_caps_for(raw: &RawDevice, dns: &DnsCaps) -> AppCaps {
     // resolver configuration): those names become IPv4-only AAAA
     // requests, which is how Table 5 reaches 33 devices with v4-only
     // AAAA names. Four devices with strictly modern stacks never do.
-    const ALWAYS_V6_AAAA: &[&str] =
-        &["apple_tv", "homepod_mini", "meta_portal_mini", "tivo_stream"];
+    const ALWAYS_V6_AAAA: &[&str] = &[
+        "apple_tv",
+        "homepod_mini",
+        "meta_portal_mini",
+        "tivo_stream",
+    ];
     if dns.v6_transport && !ALWAYS_V6_AAAA.contains(&id) {
         let mut k = 0usize;
         for d in destinations.iter_mut() {
@@ -510,7 +533,11 @@ pub fn app_caps_for(raw: &RawDevice, dns: &DnsCaps) -> AppCaps {
     // resolvable-but-never-queried ready names keep Table 4's "+12 AAAA
     // responses" delta exact.
     const V4_AAAA_NO_READY: &[&str] = &[
-        "blink_doorbell", "ring_camera", "eufy_hub", "hue_hub", "switchbot_hub_2",
+        "blink_doorbell",
+        "ring_camera",
+        "eufy_hub",
+        "hue_hub",
+        "switchbot_hub_2",
     ];
     if V4_AAAA_NO_READY.contains(&id) {
         for d in destinations.iter_mut() {
@@ -525,7 +552,10 @@ pub fn app_caps_for(raw: &RawDevice, dns: &DnsCaps) -> AppCaps {
     // v6 (required-v4-only destinations excepted). Devices with any v6
     // share always get at least one v6-carrying destination, even when
     // the share window lands on ineligible (v4-only) names.
-    let total_weight: u32 = destinations.iter().map(|d| u32::from(d.volume_weight)).sum();
+    let total_weight: u32 = destinations
+        .iter()
+        .map(|d| u32::from(d.volume_weight))
+        .sum();
     let mut cum: u32 = 0;
     let mut assigned_any = false;
     let mut k = 0u32;
@@ -718,7 +748,11 @@ mod tests {
         for p in registry::build() {
             for d in &p.app.destinations {
                 if d.party == Party::Third {
-                    assert!(!d.aaaa_ready, "{}: tracker {} must be v4-only", p.id, d.domain);
+                    assert!(
+                        !d.aaaa_ready,
+                        "{}: tracker {} must be v4-only",
+                        p.id, d.domain
+                    );
                 }
             }
         }

@@ -10,7 +10,7 @@ use std::net::{Ipv4Addr, Ipv6Addr};
 use v6brick_net::dns::{Message, Name, RecordType};
 use v6brick_net::ipv6::mcast;
 use v6brick_net::ndp::{NdpOption, Repr as Ndp};
-use v6brick_net::parse::{L4, Net, ParsedPacket};
+use v6brick_net::parse::{Net, ParsedPacket, L4};
 use v6brick_net::{dhcpv4, icmpv6, Mac};
 use v6brick_sim::event::SimTime;
 use v6brick_sim::host::{Effects, Host};
@@ -53,7 +53,10 @@ impl Phone {
     }
 
     fn new(name: &'static str, mac: Mac) -> Phone {
-        let seed = mac.as_bytes().iter().fold(7u64, |a, b| a * 131 + u64::from(*b));
+        let seed = mac
+            .as_bytes()
+            .iter()
+            .fold(7u64, |a, b| a * 131 + u64::from(*b));
         Phone {
             name,
             mac,
@@ -109,9 +112,18 @@ impl Host for Phone {
     }
 
     fn on_frame(&mut self, _now: SimTime, frame: &[u8], fx: &mut Effects) {
-        let Ok(p) = ParsedPacket::parse(frame) else { return };
+        let Ok(p) = ParsedPacket::parse(frame) else {
+            return;
+        };
         match (&p.net, &p.l4) {
-            (Net::Ipv4(_), L4::Udp { src_port: 67, dst_port: 68, payload }) => {
+            (
+                Net::Ipv4(_),
+                L4::Udp {
+                    src_port: 67,
+                    dst_port: 68,
+                    payload,
+                },
+            ) => {
                 if let Ok(msg) = dhcpv4::Repr::parse_bytes(payload) {
                     if msg.client_mac != self.mac {
                         return;
@@ -142,36 +154,40 @@ impl Host for Phone {
                     }
                 }
             }
-            (Net::Ipv6(_), L4::Icmpv6(icmpv6::Repr::Ndp(Ndp::RouterAdvert {
-                options, ..
-            }))) => {
+            (Net::Ipv6(_), L4::Icmpv6(icmpv6::Repr::Ndp(Ndp::RouterAdvert { options, .. }))) => {
                 self.router_mac = Some(p.eth.src);
                 if self.lla.is_none() {
-                    let lla = Phone::addr(Ipv6Addr::new(0xfe80, 0, 0, 0, 0, 0, 0, 0), self.privacy_iid(1));
+                    let lla = Phone::addr(
+                        Ipv6Addr::new(0xfe80, 0, 0, 0, 0, 0, 0, 0),
+                        self.privacy_iid(1),
+                    );
                     self.lla = Some(lla);
                 }
                 for o in options {
                     match o {
-                        NdpOption::PrefixInfo { autonomous: true, prefix, .. }
-                            if self.gua.is_none() => {
-                                let gua = Phone::addr(*prefix, self.privacy_iid(2));
-                                self.gua = Some(gua);
-                                // Announce so the router can route back.
-                                let na = icmpv6::Repr::Ndp(Ndp::NeighborAdvert {
-                                    router: false,
-                                    solicited: false,
-                                    override_flag: true,
-                                    target: gua,
-                                    options: vec![NdpOption::TargetLinkLayerAddr(self.mac)],
-                                });
-                                fx.send_frame(wire::icmpv6_frame(
-                                    self.mac,
-                                    Mac::for_ipv6_multicast(mcast::ALL_NODES),
-                                    gua,
-                                    mcast::ALL_NODES,
-                                    &na,
-                                ));
-                            }
+                        NdpOption::PrefixInfo {
+                            autonomous: true,
+                            prefix,
+                            ..
+                        } if self.gua.is_none() => {
+                            let gua = Phone::addr(*prefix, self.privacy_iid(2));
+                            self.gua = Some(gua);
+                            // Announce so the router can route back.
+                            let na = icmpv6::Repr::Ndp(Ndp::NeighborAdvert {
+                                router: false,
+                                solicited: false,
+                                override_flag: true,
+                                target: gua,
+                                options: vec![NdpOption::TargetLinkLayerAddr(self.mac)],
+                            });
+                            fx.send_frame(wire::icmpv6_frame(
+                                self.mac,
+                                Mac::for_ipv6_multicast(mcast::ALL_NODES),
+                                gua,
+                                mcast::ALL_NODES,
+                                &na,
+                            ));
+                        }
                         NdpOption::Rdnss { servers, .. } => {
                             self.v6_dns = servers.clone();
                         }
@@ -179,7 +195,14 @@ impl Host for Phone {
                     }
                 }
             }
-            (_, L4::Udp { src_port: 53, payload, .. }) => {
+            (
+                _,
+                L4::Udp {
+                    src_port: 53,
+                    payload,
+                    ..
+                },
+            ) => {
                 if let Ok(msg) = Message::parse_bytes(payload) {
                     if let Some(rtype) = self.pending.remove(&msg.id) {
                         match rtype {
@@ -214,9 +237,7 @@ impl Host for Phone {
                 d.build(),
             ));
             // And solicit routers.
-            let rs = icmpv6::Repr::Ndp(Ndp::RouterSolicit {
-                options: vec![],
-            });
+            let rs = icmpv6::Repr::Ndp(Ndp::RouterSolicit { options: vec![] });
             fx.send_frame(wire::icmpv6_frame(
                 self.mac,
                 Mac::for_ipv6_multicast(mcast::ALL_ROUTERS),

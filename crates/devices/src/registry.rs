@@ -69,105 +69,1264 @@ macro_rules! raw {
 /// Table 10, verbatim. Order follows the paper's listing.
 pub const RAW: [RawDevice; 93] = [
     // Appliances (7)
-    raw!("behmor_brewer", "Behmor Brewer", Appliance, "Behmor", 2017, Embedded, false, false, false, false, false, false),
-    raw!("smarter_ikettle", "Smarter IKettle", Appliance, "Smarter", 2017, Embedded, false, false, false, false, false, false),
-    raw!("ge_microwave", "GE Microwave", Appliance, "GE", 2018, Embedded, false, true, true, false, false, false),
-    raw!("miele_dishwasher", "Miele Dishwasher", Appliance, "Miele", 2021, EmbeddedLinux, false, true, false, false, false, false),
-    raw!("samsung_fridge", "Samsung Fridge", Appliance, "SmartThings/Samsung", 2022, Tizen, false, true, true, true, true, true),
-    raw!("xiaomi_induction", "Xiaomi Induction", Appliance, "Xiaomi", 2019, Embedded, false, false, false, false, false, false),
-    raw!("xiaomi_ricecooker", "Xiaomi Ricecooker", Appliance, "Xiaomi", 2018, Embedded, false, false, false, false, false, false),
+    raw!(
+        "behmor_brewer",
+        "Behmor Brewer",
+        Appliance,
+        "Behmor",
+        2017,
+        Embedded,
+        false,
+        false,
+        false,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "smarter_ikettle",
+        "Smarter IKettle",
+        Appliance,
+        "Smarter",
+        2017,
+        Embedded,
+        false,
+        false,
+        false,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "ge_microwave",
+        "GE Microwave",
+        Appliance,
+        "GE",
+        2018,
+        Embedded,
+        false,
+        true,
+        true,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "miele_dishwasher",
+        "Miele Dishwasher",
+        Appliance,
+        "Miele",
+        2021,
+        EmbeddedLinux,
+        false,
+        true,
+        false,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "samsung_fridge",
+        "Samsung Fridge",
+        Appliance,
+        "SmartThings/Samsung",
+        2022,
+        Tizen,
+        false,
+        true,
+        true,
+        true,
+        true,
+        true
+    ),
+    raw!(
+        "xiaomi_induction",
+        "Xiaomi Induction",
+        Appliance,
+        "Xiaomi",
+        2019,
+        Embedded,
+        false,
+        false,
+        false,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "xiaomi_ricecooker",
+        "Xiaomi Ricecooker",
+        Appliance,
+        "Xiaomi",
+        2018,
+        Embedded,
+        false,
+        false,
+        false,
+        false,
+        false,
+        false
+    ),
     // Cameras (18)
-    raw!("amcrest_cam", "Amcrest Cam", Camera, "Amcrest", 2018, EmbeddedLinux, false, true, true, false, false, false),
-    raw!("arlo_q_cam", "Arlo Q Cam", Camera, "Arlo", 2018, EmbeddedLinux, false, false, false, false, false, false),
-    raw!("blink_doorbell", "Blink Doorbell", Camera, "Blink", 2021, Embedded, false, false, false, false, false, false),
-    raw!("blink_security", "Blink Security", Camera, "Blink", 2021, Embedded, false, true, true, false, false, false),
-    raw!("dlink_camera", "D-Link Camera", Camera, "D-Link", 2017, EmbeddedLinux, false, false, false, false, false, false),
-    raw!("icsee_doorbell", "ICSee Doorbell", Camera, "ICSee", 2019, Embedded, false, false, false, false, false, false),
-    raw!("lefun_cam", "Lefun Cam", Camera, "Lefun", 2018, EmbeddedLinux, false, true, true, false, false, false),
-    raw!("microseven_cam", "Microseven Cam", Camera, "Microseven", 2018, EmbeddedLinux, false, false, false, false, false, false),
-    raw!("nest_camera", "Nest Camera", Camera, "Google", 2021, EmbeddedLinux, false, true, true, true, true, true),
-    raw!("nest_doorbell", "Nest Doorbell", Camera, "Google", 2021, EmbeddedLinux, false, true, true, true, true, true),
-    raw!("ring_camera", "Ring Camera", Camera, "Ring", 2019, Embedded, false, false, false, false, false, false),
-    raw!("ring_doorbell", "Ring Doorbell", Camera, "Ring", 2018, Embedded, false, false, false, false, false, false),
-    raw!("ring_wired_cam", "Ring Wired Cam", Camera, "Ring", 2021, Embedded, false, false, false, false, false, false),
-    raw!("ring_indoor_cam", "Ring Indoor Cam", Camera, "Ring", 2024, Embedded, false, false, false, false, false, false),
-    raw!("tplink_camera", "TP-Link Camera", Camera, "TP-Link", 2021, Embedded, false, false, false, false, false, false),
-    raw!("tuya_camera", "Tuya Camera", Camera, "Tuya", 2022, Embedded, false, false, false, false, false, false),
-    raw!("wyze_cam", "Wyze Cam", Camera, "Wyze", 2019, Embedded, false, false, false, false, false, false),
-    raw!("yi_camera", "Yi Camera", Camera, "Yi", 2018, EmbeddedLinux, false, false, false, false, false, false),
+    raw!(
+        "amcrest_cam",
+        "Amcrest Cam",
+        Camera,
+        "Amcrest",
+        2018,
+        EmbeddedLinux,
+        false,
+        true,
+        true,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "arlo_q_cam",
+        "Arlo Q Cam",
+        Camera,
+        "Arlo",
+        2018,
+        EmbeddedLinux,
+        false,
+        false,
+        false,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "blink_doorbell",
+        "Blink Doorbell",
+        Camera,
+        "Blink",
+        2021,
+        Embedded,
+        false,
+        false,
+        false,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "blink_security",
+        "Blink Security",
+        Camera,
+        "Blink",
+        2021,
+        Embedded,
+        false,
+        true,
+        true,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "dlink_camera",
+        "D-Link Camera",
+        Camera,
+        "D-Link",
+        2017,
+        EmbeddedLinux,
+        false,
+        false,
+        false,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "icsee_doorbell",
+        "ICSee Doorbell",
+        Camera,
+        "ICSee",
+        2019,
+        Embedded,
+        false,
+        false,
+        false,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "lefun_cam",
+        "Lefun Cam",
+        Camera,
+        "Lefun",
+        2018,
+        EmbeddedLinux,
+        false,
+        true,
+        true,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "microseven_cam",
+        "Microseven Cam",
+        Camera,
+        "Microseven",
+        2018,
+        EmbeddedLinux,
+        false,
+        false,
+        false,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "nest_camera",
+        "Nest Camera",
+        Camera,
+        "Google",
+        2021,
+        EmbeddedLinux,
+        false,
+        true,
+        true,
+        true,
+        true,
+        true
+    ),
+    raw!(
+        "nest_doorbell",
+        "Nest Doorbell",
+        Camera,
+        "Google",
+        2021,
+        EmbeddedLinux,
+        false,
+        true,
+        true,
+        true,
+        true,
+        true
+    ),
+    raw!(
+        "ring_camera",
+        "Ring Camera",
+        Camera,
+        "Ring",
+        2019,
+        Embedded,
+        false,
+        false,
+        false,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "ring_doorbell",
+        "Ring Doorbell",
+        Camera,
+        "Ring",
+        2018,
+        Embedded,
+        false,
+        false,
+        false,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "ring_wired_cam",
+        "Ring Wired Cam",
+        Camera,
+        "Ring",
+        2021,
+        Embedded,
+        false,
+        false,
+        false,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "ring_indoor_cam",
+        "Ring Indoor Cam",
+        Camera,
+        "Ring",
+        2024,
+        Embedded,
+        false,
+        false,
+        false,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "tplink_camera",
+        "TP-Link Camera",
+        Camera,
+        "TP-Link",
+        2021,
+        Embedded,
+        false,
+        false,
+        false,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "tuya_camera",
+        "Tuya Camera",
+        Camera,
+        "Tuya",
+        2022,
+        Embedded,
+        false,
+        false,
+        false,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "wyze_cam", "Wyze Cam", Camera, "Wyze", 2019, Embedded, false, false, false, false, false,
+        false
+    ),
+    raw!(
+        "yi_camera",
+        "Yi Camera",
+        Camera,
+        "Yi",
+        2018,
+        EmbeddedLinux,
+        false,
+        false,
+        false,
+        false,
+        false,
+        false
+    ),
     // TV / Entertainment (8)
-    raw!("nintendo_switch", "Nintendo Switch", TvEntertainment, "Nintendo", 2019, Unknown, false, false, false, false, false, false),
-    raw!("apple_tv", "Apple TV", TvEntertainment, "Apple", 2021, IosTvos, true, true, true, true, true, true),
-    raw!("google_tv", "Google TV", TvEntertainment, "Google", 2021, AndroidBased, true, true, true, true, true, true),
-    raw!("fire_tv", "Fire TV", TvEntertainment, "Amazon", 2021, FireOs, false, true, true, true, true, true),
-    raw!("roku_tv", "Roku TV", TvEntertainment, "Roku", 2021, Unknown, false, false, false, false, false, false),
-    raw!("samsung_tv", "Samsung TV", TvEntertainment, "SmartThings/Samsung", 2021, Tizen, false, true, true, true, true, true),
-    raw!("tivo_stream", "TiVo Stream", TvEntertainment, "TiVo", 2021, AndroidBased, true, true, true, true, true, true),
-    raw!("vizio_tv", "Vizio TV", TvEntertainment, "Vizio", 2021, Unknown, false, true, true, true, true, true),
+    raw!(
+        "nintendo_switch",
+        "Nintendo Switch",
+        TvEntertainment,
+        "Nintendo",
+        2019,
+        Unknown,
+        false,
+        false,
+        false,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "apple_tv",
+        "Apple TV",
+        TvEntertainment,
+        "Apple",
+        2021,
+        IosTvos,
+        true,
+        true,
+        true,
+        true,
+        true,
+        true
+    ),
+    raw!(
+        "google_tv",
+        "Google TV",
+        TvEntertainment,
+        "Google",
+        2021,
+        AndroidBased,
+        true,
+        true,
+        true,
+        true,
+        true,
+        true
+    ),
+    raw!(
+        "fire_tv",
+        "Fire TV",
+        TvEntertainment,
+        "Amazon",
+        2021,
+        FireOs,
+        false,
+        true,
+        true,
+        true,
+        true,
+        true
+    ),
+    raw!(
+        "roku_tv",
+        "Roku TV",
+        TvEntertainment,
+        "Roku",
+        2021,
+        Unknown,
+        false,
+        false,
+        false,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "samsung_tv",
+        "Samsung TV",
+        TvEntertainment,
+        "SmartThings/Samsung",
+        2021,
+        Tizen,
+        false,
+        true,
+        true,
+        true,
+        true,
+        true
+    ),
+    raw!(
+        "tivo_stream",
+        "TiVo Stream",
+        TvEntertainment,
+        "TiVo",
+        2021,
+        AndroidBased,
+        true,
+        true,
+        true,
+        true,
+        true,
+        true
+    ),
+    raw!(
+        "vizio_tv",
+        "Vizio TV",
+        TvEntertainment,
+        "Vizio",
+        2021,
+        Unknown,
+        false,
+        true,
+        true,
+        true,
+        true,
+        true
+    ),
     // Gateways (12)
-    raw!("aeotec_hub", "Aeotec Hub", Gateway, "SmartThings/Samsung", 2024, EmbeddedLinux, false, true, true, true, true, true),
-    raw!("aqara_hub", "Aqara Hub", Gateway, "Aqara", 2021, Embedded, false, true, true, false, false, false),
-    raw!("aqara_hub_m2", "Aqara Hub M2", Gateway, "Aqara", 2022, Embedded, false, true, true, false, false, false),
-    raw!("eufy_hub", "Eufy Hub", Gateway, "Eufy", 2021, Embedded, false, true, true, false, false, false),
-    raw!("ikea_gateway", "IKEA Gateway", Gateway, "IKEA", 2021, Embedded, false, true, true, true, false, true),
-    raw!("sengled_hub", "Sengled Hub", Gateway, "Sengled", 2018, Embedded, false, true, true, false, false, false),
-    raw!("smartthings_hub", "SmartThings Hub", Gateway, "SmartThings/Samsung", 2021, EmbeddedLinux, false, true, true, true, true, false),
-    raw!("switchbot_hub", "SwitchBot Hub", Gateway, "SwitchBot", 2022, Embedded, false, false, false, false, false, false),
-    raw!("hue_hub", "Philips Hue Hub", Gateway, "Philips", 2018, EmbeddedLinux, false, true, true, false, false, false),
-    raw!("switchbot_hub_2", "SwitchBot Hub 2", Gateway, "SwitchBot", 2023, Embedded, false, true, true, false, false, false),
-    raw!("thirdreality_bridge", "ThirdReality Bridge", Gateway, "ThirdReality", 2023, Embedded, false, true, true, true, false, false),
-    raw!("smartlife_hub", "SmartLife Hub", Gateway, "Tuya", 2023, Embedded, false, true, true, true, true, true),
+    raw!(
+        "aeotec_hub",
+        "Aeotec Hub",
+        Gateway,
+        "SmartThings/Samsung",
+        2024,
+        EmbeddedLinux,
+        false,
+        true,
+        true,
+        true,
+        true,
+        true
+    ),
+    raw!(
+        "aqara_hub",
+        "Aqara Hub",
+        Gateway,
+        "Aqara",
+        2021,
+        Embedded,
+        false,
+        true,
+        true,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "aqara_hub_m2",
+        "Aqara Hub M2",
+        Gateway,
+        "Aqara",
+        2022,
+        Embedded,
+        false,
+        true,
+        true,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "eufy_hub", "Eufy Hub", Gateway, "Eufy", 2021, Embedded, false, true, true, false, false,
+        false
+    ),
+    raw!(
+        "ikea_gateway",
+        "IKEA Gateway",
+        Gateway,
+        "IKEA",
+        2021,
+        Embedded,
+        false,
+        true,
+        true,
+        true,
+        false,
+        true
+    ),
+    raw!(
+        "sengled_hub",
+        "Sengled Hub",
+        Gateway,
+        "Sengled",
+        2018,
+        Embedded,
+        false,
+        true,
+        true,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "smartthings_hub",
+        "SmartThings Hub",
+        Gateway,
+        "SmartThings/Samsung",
+        2021,
+        EmbeddedLinux,
+        false,
+        true,
+        true,
+        true,
+        true,
+        false
+    ),
+    raw!(
+        "switchbot_hub",
+        "SwitchBot Hub",
+        Gateway,
+        "SwitchBot",
+        2022,
+        Embedded,
+        false,
+        false,
+        false,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "hue_hub",
+        "Philips Hue Hub",
+        Gateway,
+        "Philips",
+        2018,
+        EmbeddedLinux,
+        false,
+        true,
+        true,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "switchbot_hub_2",
+        "SwitchBot Hub 2",
+        Gateway,
+        "SwitchBot",
+        2023,
+        Embedded,
+        false,
+        true,
+        true,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "thirdreality_bridge",
+        "ThirdReality Bridge",
+        Gateway,
+        "ThirdReality",
+        2023,
+        Embedded,
+        false,
+        true,
+        true,
+        true,
+        false,
+        false
+    ),
+    raw!(
+        "smartlife_hub",
+        "SmartLife Hub",
+        Gateway,
+        "Tuya",
+        2023,
+        Embedded,
+        false,
+        true,
+        true,
+        true,
+        true,
+        true
+    ),
     // Health (6)
-    raw!("blueair_purifier", "Blueair Purifier", Health, "Blueair", 2018, Embedded, false, true, false, false, false, false),
-    raw!("keyco_air", "Keyco Air", Health, "Keyco", 2023, Embedded, false, false, false, false, false, false),
-    raw!("thermopro_sensor", "ThermoPro Sensor", Health, "ThermoPro", 2023, Embedded, false, true, true, true, false, false),
-    raw!("withings_bpm", "Withings BPM", Health, "Withings", 2022, Embedded, false, false, false, false, false, false),
-    raw!("withings_sleep", "Withings Sleep", Health, "Withings", 2023, Embedded, false, false, false, false, false, false),
-    raw!("withings_thermo", "Withings Thermo", Health, "Withings", 2023, Embedded, false, false, false, false, false, false),
+    raw!(
+        "blueair_purifier",
+        "Blueair Purifier",
+        Health,
+        "Blueair",
+        2018,
+        Embedded,
+        false,
+        true,
+        false,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "keyco_air",
+        "Keyco Air",
+        Health,
+        "Keyco",
+        2023,
+        Embedded,
+        false,
+        false,
+        false,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "thermopro_sensor",
+        "ThermoPro Sensor",
+        Health,
+        "ThermoPro",
+        2023,
+        Embedded,
+        false,
+        true,
+        true,
+        true,
+        false,
+        false
+    ),
+    raw!(
+        "withings_bpm",
+        "Withings BPM",
+        Health,
+        "Withings",
+        2022,
+        Embedded,
+        false,
+        false,
+        false,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "withings_sleep",
+        "Withings Sleep",
+        Health,
+        "Withings",
+        2023,
+        Embedded,
+        false,
+        false,
+        false,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "withings_thermo",
+        "Withings Thermo",
+        Health,
+        "Withings",
+        2023,
+        Embedded,
+        false,
+        false,
+        false,
+        false,
+        false,
+        false
+    ),
     // Home automation (26)
-    raw!("amazon_plug", "Amazon Plug", HomeAuto, "Amazon", 2024, Embedded, false, false, false, false, false, false),
-    raw!("consciot_matter_bulb", "Consciot Matter Bulb", HomeAuto, "Aidot", 2023, Embedded, false, true, true, false, false, false),
-    raw!("gosund_bulb", "Gosund Bulb", HomeAuto, "Tuya", 2021, Embedded, false, true, true, true, false, false),
-    raw!("govee_strip", "Govee Strip", HomeAuto, "Govee", 2021, Embedded, false, false, false, false, false, false),
-    raw!("govee_matter_strip", "Govee Matter Strip", HomeAuto, "Govee", 2023, Embedded, false, true, true, false, false, false),
-    raw!("meross_dooropener", "Meross Dooropener", HomeAuto, "Meross", 2022, Embedded, false, false, false, false, false, false),
-    raw!("meross_matter_plug", "Meross Matter Plug", HomeAuto, "Meross", 2023, Embedded, false, true, true, true, false, false),
-    raw!("magichome_strip", "MagicHome Strip", HomeAuto, "Tuya", 2018, Embedded, false, false, false, false, false, false),
-    raw!("meross_plug", "Meross Plug", HomeAuto, "Meross", 2022, Embedded, false, true, true, false, false, false),
-    raw!("nest_thermostat", "Nest Thermostat", HomeAuto, "Google", 2022, Embedded, false, true, true, false, false, false),
-    raw!("orein_matter_bulb", "Orein Matter Bulb", HomeAuto, "Aidot", 2023, Embedded, false, true, true, false, false, false),
-    raw!("ring_chime", "Ring Chime", HomeAuto, "Ring", 2024, Embedded, false, false, false, false, false, false),
-    raw!("sengled_bulb", "Sengled Bulb", HomeAuto, "Sengled", 2022, Embedded, false, true, false, false, false, false),
-    raw!("smartlife_remote", "SmartLife Remote", HomeAuto, "Tuya", 2022, Embedded, false, true, true, false, false, false),
-    raw!("wemo_plug", "Wemo Plug", HomeAuto, "Wemo", 2017, Embedded, false, false, false, false, false, false),
-    raw!("tplink_kasa_bulb", "TP-Link Kasa Bulb", HomeAuto, "TP-Link", 2018, Embedded, false, false, false, false, false, false),
-    raw!("tplink_kasa_plug", "TP-Link Kasa Plug", HomeAuto, "TP-Link", 2017, Embedded, false, false, false, false, false, false),
-    raw!("tplink_tapo_plug", "TP-Link Tapo Plug", HomeAuto, "TP-Link", 2023, Embedded, false, true, true, true, false, false),
-    raw!("wiz_bulb", "Wiz Bulb", HomeAuto, "Wiz", 2022, Embedded, false, true, false, false, false, false),
-    raw!("yeelight_bulb", "Yeelight Bulb", HomeAuto, "Yeelight", 2019, Embedded, false, false, false, false, false, false),
-    raw!("tuya_matter_plug", "Tuya Matter Plug", HomeAuto, "Tuya", 2023, Embedded, false, true, true, false, false, false),
-    raw!("tapo_matter_bulb", "Tapo Matter Bulb", HomeAuto, "TP-Link", 2023, Embedded, false, true, true, true, false, false),
-    raw!("linkind_matter_plug", "Linkind Matter Plug", HomeAuto, "Aidot", 2024, Embedded, false, true, true, false, false, false),
-    raw!("leviton_matter_plug", "Leviton Matter Plug", HomeAuto, "Leviton", 2024, Embedded, false, true, true, false, false, false),
-    raw!("august_lock", "August Lock", HomeAuto, "August", 2024, Embedded, false, false, false, false, false, false),
-    raw!("cync_matter_plug", "Cync Matter Plug", HomeAuto, "Cync", 2024, Embedded, false, true, false, false, false, false),
+    raw!(
+        "amazon_plug",
+        "Amazon Plug",
+        HomeAuto,
+        "Amazon",
+        2024,
+        Embedded,
+        false,
+        false,
+        false,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "consciot_matter_bulb",
+        "Consciot Matter Bulb",
+        HomeAuto,
+        "Aidot",
+        2023,
+        Embedded,
+        false,
+        true,
+        true,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "gosund_bulb",
+        "Gosund Bulb",
+        HomeAuto,
+        "Tuya",
+        2021,
+        Embedded,
+        false,
+        true,
+        true,
+        true,
+        false,
+        false
+    ),
+    raw!(
+        "govee_strip",
+        "Govee Strip",
+        HomeAuto,
+        "Govee",
+        2021,
+        Embedded,
+        false,
+        false,
+        false,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "govee_matter_strip",
+        "Govee Matter Strip",
+        HomeAuto,
+        "Govee",
+        2023,
+        Embedded,
+        false,
+        true,
+        true,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "meross_dooropener",
+        "Meross Dooropener",
+        HomeAuto,
+        "Meross",
+        2022,
+        Embedded,
+        false,
+        false,
+        false,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "meross_matter_plug",
+        "Meross Matter Plug",
+        HomeAuto,
+        "Meross",
+        2023,
+        Embedded,
+        false,
+        true,
+        true,
+        true,
+        false,
+        false
+    ),
+    raw!(
+        "magichome_strip",
+        "MagicHome Strip",
+        HomeAuto,
+        "Tuya",
+        2018,
+        Embedded,
+        false,
+        false,
+        false,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "meross_plug",
+        "Meross Plug",
+        HomeAuto,
+        "Meross",
+        2022,
+        Embedded,
+        false,
+        true,
+        true,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "nest_thermostat",
+        "Nest Thermostat",
+        HomeAuto,
+        "Google",
+        2022,
+        Embedded,
+        false,
+        true,
+        true,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "orein_matter_bulb",
+        "Orein Matter Bulb",
+        HomeAuto,
+        "Aidot",
+        2023,
+        Embedded,
+        false,
+        true,
+        true,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "ring_chime",
+        "Ring Chime",
+        HomeAuto,
+        "Ring",
+        2024,
+        Embedded,
+        false,
+        false,
+        false,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "sengled_bulb",
+        "Sengled Bulb",
+        HomeAuto,
+        "Sengled",
+        2022,
+        Embedded,
+        false,
+        true,
+        false,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "smartlife_remote",
+        "SmartLife Remote",
+        HomeAuto,
+        "Tuya",
+        2022,
+        Embedded,
+        false,
+        true,
+        true,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "wemo_plug",
+        "Wemo Plug",
+        HomeAuto,
+        "Wemo",
+        2017,
+        Embedded,
+        false,
+        false,
+        false,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "tplink_kasa_bulb",
+        "TP-Link Kasa Bulb",
+        HomeAuto,
+        "TP-Link",
+        2018,
+        Embedded,
+        false,
+        false,
+        false,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "tplink_kasa_plug",
+        "TP-Link Kasa Plug",
+        HomeAuto,
+        "TP-Link",
+        2017,
+        Embedded,
+        false,
+        false,
+        false,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "tplink_tapo_plug",
+        "TP-Link Tapo Plug",
+        HomeAuto,
+        "TP-Link",
+        2023,
+        Embedded,
+        false,
+        true,
+        true,
+        true,
+        false,
+        false
+    ),
+    raw!(
+        "wiz_bulb", "Wiz Bulb", HomeAuto, "Wiz", 2022, Embedded, false, true, false, false, false,
+        false
+    ),
+    raw!(
+        "yeelight_bulb",
+        "Yeelight Bulb",
+        HomeAuto,
+        "Yeelight",
+        2019,
+        Embedded,
+        false,
+        false,
+        false,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "tuya_matter_plug",
+        "Tuya Matter Plug",
+        HomeAuto,
+        "Tuya",
+        2023,
+        Embedded,
+        false,
+        true,
+        true,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "tapo_matter_bulb",
+        "Tapo Matter Bulb",
+        HomeAuto,
+        "TP-Link",
+        2023,
+        Embedded,
+        false,
+        true,
+        true,
+        true,
+        false,
+        false
+    ),
+    raw!(
+        "linkind_matter_plug",
+        "Linkind Matter Plug",
+        HomeAuto,
+        "Aidot",
+        2024,
+        Embedded,
+        false,
+        true,
+        true,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "leviton_matter_plug",
+        "Leviton Matter Plug",
+        HomeAuto,
+        "Leviton",
+        2024,
+        Embedded,
+        false,
+        true,
+        true,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "august_lock",
+        "August Lock",
+        HomeAuto,
+        "August",
+        2024,
+        Embedded,
+        false,
+        false,
+        false,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "cync_matter_plug",
+        "Cync Matter Plug",
+        HomeAuto,
+        "Cync",
+        2024,
+        Embedded,
+        false,
+        true,
+        false,
+        false,
+        false,
+        false
+    ),
     // Speakers (16)
-    raw!("echo_dot_2", "Echo Dot 2nd gen", Speaker, "Amazon", 2017, FireOs, false, true, true, true, false, true),
-    raw!("echo_dot_3", "Echo Dot 3rd gen", Speaker, "Amazon", 2018, FireOs, false, true, true, false, false, false),
-    raw!("echo_dot_4", "Echo Dot 4th gen", Speaker, "Amazon", 2021, FireOs, false, true, true, false, false, false),
-    raw!("echo_dot_5", "Echo Dot 5th gen", Speaker, "Amazon", 2023, FireOs, false, true, true, true, false, true),
-    raw!("echo_flex", "Echo Flex", Speaker, "Amazon", 2021, FireOs, false, true, true, false, false, false),
-    raw!("echo_plus", "Echo Plus", Speaker, "Amazon", 2017, FireOs, false, true, true, true, true, true),
-    raw!("echo_pop", "Echo Pop", Speaker, "Amazon", 2023, FireOs, false, true, true, false, false, false),
-    raw!("echo_show_5", "Echo Show 5", Speaker, "Amazon", 2022, FireOs, false, true, true, true, true, true),
-    raw!("echo_show_8", "Echo Show 8", Speaker, "Amazon", 2022, FireOs, false, true, true, true, true, true),
-    raw!("echo_spot", "Echo Spot", Speaker, "Amazon", 2017, FireOs, false, true, true, true, true, false),
-    raw!("meta_portal_mini", "Meta Portal Mini", Speaker, "Meta", 2018, AndroidBased, true, true, true, true, true, true),
-    raw!("google_home_mini", "Google Home Mini", Speaker, "Google", 2018, AndroidBased, true, true, true, true, true, true),
-    raw!("google_nest_mini", "Google Nest Mini", Speaker, "Google", 2022, AndroidBased, true, true, true, true, true, true),
-    raw!("homepod_mini", "HomePod Mini", Speaker, "Apple", 2022, IosTvos, false, true, true, true, true, true),
-    raw!("nest_hub", "Nest Hub", Speaker, "Google", 2021, Fuchsia, true, true, true, true, true, true),
-    raw!("nest_hub_max", "Nest Hub Max", Speaker, "Google", 2021, Fuchsia, true, true, true, true, true, true),
+    raw!(
+        "echo_dot_2",
+        "Echo Dot 2nd gen",
+        Speaker,
+        "Amazon",
+        2017,
+        FireOs,
+        false,
+        true,
+        true,
+        true,
+        false,
+        true
+    ),
+    raw!(
+        "echo_dot_3",
+        "Echo Dot 3rd gen",
+        Speaker,
+        "Amazon",
+        2018,
+        FireOs,
+        false,
+        true,
+        true,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "echo_dot_4",
+        "Echo Dot 4th gen",
+        Speaker,
+        "Amazon",
+        2021,
+        FireOs,
+        false,
+        true,
+        true,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "echo_dot_5",
+        "Echo Dot 5th gen",
+        Speaker,
+        "Amazon",
+        2023,
+        FireOs,
+        false,
+        true,
+        true,
+        true,
+        false,
+        true
+    ),
+    raw!(
+        "echo_flex",
+        "Echo Flex",
+        Speaker,
+        "Amazon",
+        2021,
+        FireOs,
+        false,
+        true,
+        true,
+        false,
+        false,
+        false
+    ),
+    raw!(
+        "echo_plus",
+        "Echo Plus",
+        Speaker,
+        "Amazon",
+        2017,
+        FireOs,
+        false,
+        true,
+        true,
+        true,
+        true,
+        true
+    ),
+    raw!(
+        "echo_pop", "Echo Pop", Speaker, "Amazon", 2023, FireOs, false, true, true, false, false,
+        false
+    ),
+    raw!(
+        "echo_show_5",
+        "Echo Show 5",
+        Speaker,
+        "Amazon",
+        2022,
+        FireOs,
+        false,
+        true,
+        true,
+        true,
+        true,
+        true
+    ),
+    raw!(
+        "echo_show_8",
+        "Echo Show 8",
+        Speaker,
+        "Amazon",
+        2022,
+        FireOs,
+        false,
+        true,
+        true,
+        true,
+        true,
+        true
+    ),
+    raw!(
+        "echo_spot",
+        "Echo Spot",
+        Speaker,
+        "Amazon",
+        2017,
+        FireOs,
+        false,
+        true,
+        true,
+        true,
+        true,
+        false
+    ),
+    raw!(
+        "meta_portal_mini",
+        "Meta Portal Mini",
+        Speaker,
+        "Meta",
+        2018,
+        AndroidBased,
+        true,
+        true,
+        true,
+        true,
+        true,
+        true
+    ),
+    raw!(
+        "google_home_mini",
+        "Google Home Mini",
+        Speaker,
+        "Google",
+        2018,
+        AndroidBased,
+        true,
+        true,
+        true,
+        true,
+        true,
+        true
+    ),
+    raw!(
+        "google_nest_mini",
+        "Google Nest Mini",
+        Speaker,
+        "Google",
+        2022,
+        AndroidBased,
+        true,
+        true,
+        true,
+        true,
+        true,
+        true
+    ),
+    raw!(
+        "homepod_mini",
+        "HomePod Mini",
+        Speaker,
+        "Apple",
+        2022,
+        IosTvos,
+        false,
+        true,
+        true,
+        true,
+        true,
+        true
+    ),
+    raw!(
+        "nest_hub", "Nest Hub", Speaker, "Google", 2021, Fuchsia, true, true, true, true, true,
+        true
+    ),
+    raw!(
+        "nest_hub_max",
+        "Nest Hub Max",
+        Speaker,
+        "Google",
+        2021,
+        Fuchsia,
+        true,
+        true,
+        true,
+        true,
+        true,
+        true
+    ),
 ];
 
 // ---------------------------------------------------------------------------
@@ -178,12 +1337,28 @@ pub const RAW: [RawDevice; 93] = [
 /// Table 5 row "ULA", per-category (1,2,2,5,1,5,7).
 pub const ULA: &[&str] = &[
     "samsung_fridge",
-    "nest_camera", "nest_doorbell",
-    "apple_tv", "google_tv",
-    "aeotec_hub", "smartthings_hub", "smartlife_hub", "aqara_hub_m2", "thirdreality_bridge",
+    "nest_camera",
+    "nest_doorbell",
+    "apple_tv",
+    "google_tv",
+    "aeotec_hub",
+    "smartthings_hub",
+    "smartlife_hub",
+    "aqara_hub_m2",
+    "thirdreality_bridge",
     "thermopro_sensor",
-    "meross_matter_plug", "tapo_matter_bulb", "tuya_matter_plug", "linkind_matter_plug", "leviton_matter_plug",
-    "homepod_mini", "nest_hub", "nest_hub_max", "google_home_mini", "google_nest_mini", "meta_portal_mini", "echo_plus",
+    "meross_matter_plug",
+    "tapo_matter_bulb",
+    "tuya_matter_plug",
+    "linkind_matter_plug",
+    "leviton_matter_plug",
+    "homepod_mini",
+    "nest_hub",
+    "nest_hub_max",
+    "google_home_mini",
+    "google_nest_mini",
+    "meta_portal_mini",
+    "echo_plus",
 ];
 
 /// Devices with addresses but no LLA ("use only their GUAs and ULAs").
@@ -197,26 +1372,45 @@ pub const NO_LLA: &[&str] = &[
 /// Stateful DHCPv6 support — 12 devices, Table 5 (1,0,2,2,0,6,1).
 pub const DHCPV6_STATEFUL: &[&str] = &[
     "samsung_fridge",
-    "apple_tv", "samsung_tv",
-    "smartthings_hub", "aeotec_hub",
-    "tplink_tapo_plug", "tapo_matter_bulb", "meross_matter_plug",
-    "leviton_matter_plug", "linkind_matter_plug", "tuya_matter_plug",
+    "apple_tv",
+    "samsung_tv",
+    "smartthings_hub",
+    "aeotec_hub",
+    "tplink_tapo_plug",
+    "tapo_matter_bulb",
+    "meross_matter_plug",
+    "leviton_matter_plug",
+    "linkind_matter_plug",
+    "tuya_matter_plug",
     "homepod_mini",
 ];
 
 /// The 4 devices that actually *use* their stateful address (§5.2.1).
 pub const DHCPV6_STATEFUL_USE: &[&str] = &[
-    "smartthings_hub", "homepod_mini", "aeotec_hub", "samsung_fridge",
+    "smartthings_hub",
+    "homepod_mini",
+    "aeotec_hub",
+    "samsung_fridge",
 ];
 
 /// Stateless DHCPv6 support — 16 devices, Table 5 (1,0,3,3,0,6,3).
 pub const DHCPV6_STATELESS: &[&str] = &[
     "samsung_fridge",
-    "apple_tv", "samsung_tv", "vizio_tv",
-    "smartthings_hub", "aeotec_hub", "smartlife_hub",
-    "meross_matter_plug", "tplink_tapo_plug", "tapo_matter_bulb",
-    "leviton_matter_plug", "linkind_matter_plug", "tuya_matter_plug",
-    "homepod_mini", "nest_hub", "nest_hub_max",
+    "apple_tv",
+    "samsung_tv",
+    "vizio_tv",
+    "smartthings_hub",
+    "aeotec_hub",
+    "smartlife_hub",
+    "meross_matter_plug",
+    "tplink_tapo_plug",
+    "tapo_matter_bulb",
+    "leviton_matter_plug",
+    "linkind_matter_plug",
+    "tuya_matter_plug",
+    "homepod_mini",
+    "nest_hub",
+    "nest_hub_max",
 ];
 
 /// Cannot configure DNS from RDNSS (needs DHCPv6) — the Vizio TV finding.
@@ -235,27 +1429,43 @@ pub const GUA_REQUIRES_V4: &[&str] = &["echo_dot_2", "echo_dot_5"];
 
 /// NDP from `::` but never complete an address in any configuration.
 pub const ADDRESSLESS: &[&str] = &[
-    "miele_dishwasher", "blueair_purifier", "sengled_bulb", "wiz_bulb", "cync_matter_plug",
+    "miele_dishwasher",
+    "blueair_purifier",
+    "sengled_bulb",
+    "wiz_bulb",
+    "cync_matter_plug",
 ];
 
 /// Never perform DAD for any address (2 Aqara hubs + 2 home-automation
 /// devices, all EUI-64 — §5.2.1).
 pub const DAD_NEVER: &[&str] = &[
-    "aqara_hub", "aqara_hub_m2", "consciot_matter_bulb", "orein_matter_bulb",
+    "aqara_hub",
+    "aqara_hub_m2",
+    "consciot_matter_bulb",
+    "orein_matter_bulb",
 ];
 
 /// DAD only for the LLA; global addresses skip it (with [`DAD_NEVER`],
 /// 18 devices skip DAD for at least one address).
 pub const DAD_LLA_ONLY: &[&str] = &[
-    "ge_microwave", "amcrest_cam", "blink_security", "lefun_cam",
-    "eufy_hub", "sengled_hub", "hue_hub", "switchbot_hub_2", "smartlife_hub",
-    "echo_dot_3", "echo_dot_4", "echo_flex", "echo_pop", "echo_spot",
+    "ge_microwave",
+    "amcrest_cam",
+    "blink_security",
+    "lefun_cam",
+    "eufy_hub",
+    "sengled_hub",
+    "hue_hub",
+    "switchbot_hub_2",
+    "smartlife_hub",
+    "echo_dot_3",
+    "echo_dot_4",
+    "echo_flex",
+    "echo_pop",
+    "echo_spot",
 ];
 
 /// Rotate their link-local address during the experiment (§5.2.1).
-pub const ROTATES_LLA: &[&str] = &[
-    "samsung_fridge", "samsung_tv", "homepod_mini", "apple_tv",
-];
+pub const ROTATES_LLA: &[&str] = &["samsung_fridge", "samsung_tv", "homepod_mini", "apple_tv"];
 
 /// The 10 churny devices producing ~80% of GUAs and ~90% of ULAs (Fig. 3),
 /// with their extra-regeneration counts (tuned to Table 6's address
@@ -276,33 +1486,79 @@ pub const ADDR_CHURN: &[(&str, u8)] = &[
 /// Active EUI-64 link-local IIDs — 31 devices, Table 5 (1,2,3,7,0,8,10).
 pub const LLA_EUI64: &[&str] = &[
     "samsung_fridge",
-    "nest_camera", "nest_doorbell",
-    "fire_tv", "samsung_tv", "vizio_tv",
-    "aeotec_hub", "smartthings_hub", "smartlife_hub", "ikea_gateway",
-    "thirdreality_bridge", "aqara_hub", "aqara_hub_m2",
-    "consciot_matter_bulb", "orein_matter_bulb", "gosund_bulb", "govee_matter_strip",
-    "meross_plug", "smartlife_remote", "tuya_matter_plug", "tplink_tapo_plug",
-    "echo_dot_2", "echo_dot_3", "echo_dot_4", "echo_dot_5", "echo_flex",
-    "echo_pop", "echo_plus", "echo_show_5", "echo_show_8", "echo_spot",
+    "nest_camera",
+    "nest_doorbell",
+    "fire_tv",
+    "samsung_tv",
+    "vizio_tv",
+    "aeotec_hub",
+    "smartthings_hub",
+    "smartlife_hub",
+    "ikea_gateway",
+    "thirdreality_bridge",
+    "aqara_hub",
+    "aqara_hub_m2",
+    "consciot_matter_bulb",
+    "orein_matter_bulb",
+    "gosund_bulb",
+    "govee_matter_strip",
+    "meross_plug",
+    "smartlife_remote",
+    "tuya_matter_plug",
+    "tplink_tapo_plug",
+    "echo_dot_2",
+    "echo_dot_3",
+    "echo_dot_4",
+    "echo_dot_5",
+    "echo_flex",
+    "echo_pop",
+    "echo_plus",
+    "echo_show_5",
+    "echo_show_8",
+    "echo_spot",
 ];
 
 /// Active EUI-64 GUAs (the 15 "users" of Fig. 5 / §5.4.1).
 pub const GUA_EUI64: &[&str] = &[
-    "samsung_fridge", "nest_camera", "fire_tv", "samsung_tv", "vizio_tv",
-    "aeotec_hub", "smartthings_hub", "smartlife_hub", "ikea_gateway", "thirdreality_bridge",
-    "gosund_bulb", "tplink_tapo_plug",
-    "echo_plus", "echo_show_5", "echo_show_8",
+    "samsung_fridge",
+    "nest_camera",
+    "fire_tv",
+    "samsung_tv",
+    "vizio_tv",
+    "aeotec_hub",
+    "smartthings_hub",
+    "smartlife_hub",
+    "ikea_gateway",
+    "thirdreality_bridge",
+    "gosund_bulb",
+    "tplink_tapo_plug",
+    "echo_plus",
+    "echo_show_5",
+    "echo_show_8",
 ];
 
 /// Assign an EUI-64 GUA they never source traffic from (15 privacy-GUA
 /// devices + Nest Doorbell + the 2 Aqara hubs = 18; with the 15 users,
 /// Fig. 5's 33 assigners).
 pub const UNUSED_EUI64_GUA: &[&str] = &[
-    "apple_tv", "google_tv", "tivo_stream", "thermopro_sensor",
-    "meross_matter_plug", "tapo_matter_bulb",
-    "echo_dot_2", "echo_dot_5", "echo_spot", "meta_portal_mini",
-    "google_home_mini", "google_nest_mini", "homepod_mini", "nest_hub", "nest_hub_max",
-    "nest_doorbell", "aqara_hub", "aqara_hub_m2",
+    "apple_tv",
+    "google_tv",
+    "tivo_stream",
+    "thermopro_sensor",
+    "meross_matter_plug",
+    "tapo_matter_bulb",
+    "echo_dot_2",
+    "echo_dot_5",
+    "echo_spot",
+    "meta_portal_mini",
+    "google_home_mini",
+    "google_nest_mini",
+    "homepod_mini",
+    "nest_hub",
+    "nest_hub_max",
+    "nest_doorbell",
+    "aqara_hub",
+    "aqara_hub_m2",
 ];
 
 /// EUI-64 GUA formers whose DNS/data nonetheless come from a privacy GUA
@@ -323,9 +1579,16 @@ pub const TRAFFIC_FROM_STATEFUL: &[&str] = &["samsung_fridge"];
 /// are the devices whose GUA is active without any DNS or data use
 /// (keeping Table 5's GUA count at 31).
 pub const V6_ECHO_PROBE: &[&str] = &[
-    "samsung_fridge", "samsung_tv", "vizio_tv", "ikea_gateway",
-    "thirdreality_bridge", "gosund_bulb", "tplink_tapo_plug",
-    "thermopro_sensor", "meross_matter_plug", "tapo_matter_bulb",
+    "samsung_fridge",
+    "samsung_tv",
+    "vizio_tv",
+    "ikea_gateway",
+    "thirdreality_bridge",
+    "gosund_bulb",
+    "tplink_tapo_plug",
+    "thermopro_sensor",
+    "meross_matter_plug",
+    "tapo_matter_bulb",
 ];
 
 /// Query some destinations A-only even over IPv6 transport — 19 devices,
@@ -333,28 +1596,58 @@ pub const V6_ECHO_PROBE: &[&str] = &[
 pub const A_ONLY_IN_V6: &[&str] = &[
     "samsung_fridge",
     "nest_camera",
-    "apple_tv", "google_tv", "fire_tv", "samsung_tv", "vizio_tv",
-    "aeotec_hub", "smartthings_hub", "smartlife_hub",
-    "echo_plus", "echo_show_5", "echo_show_8", "echo_spot",
-    "meta_portal_mini", "google_home_mini", "google_nest_mini", "homepod_mini", "nest_hub",
+    "apple_tv",
+    "google_tv",
+    "fire_tv",
+    "samsung_tv",
+    "vizio_tv",
+    "aeotec_hub",
+    "smartthings_hub",
+    "smartlife_hub",
+    "echo_plus",
+    "echo_show_5",
+    "echo_show_8",
+    "echo_spot",
+    "meta_portal_mini",
+    "google_home_mini",
+    "google_nest_mini",
+    "homepod_mini",
+    "nest_hub",
 ];
 
 /// Query AAAA records exclusively over IPv4 transport — the 15 devices of
 /// Table 4's "+15 AAAA requests in dual-stack".
 pub const AAAA_V4_ONLY: &[&str] = &[
-    "arlo_q_cam", "blink_security", "blink_doorbell", "wyze_cam", "ring_camera",
+    "arlo_q_cam",
+    "blink_security",
+    "blink_doorbell",
+    "wyze_cam",
+    "ring_camera",
     "roku_tv",
-    "eufy_hub", "hue_hub", "switchbot_hub_2",
+    "eufy_hub",
+    "hue_hub",
+    "switchbot_hub_2",
     "nest_thermostat",
-    "echo_dot_2", "echo_dot_3", "echo_dot_4", "echo_dot_5", "echo_pop",
+    "echo_dot_2",
+    "echo_dot_3",
+    "echo_dot_4",
+    "echo_dot_5",
+    "echo_pop",
 ];
 
 /// Of [`AAAA_V4_ONLY`], those whose queried names actually have AAAA
 /// records (the +12 AAAA responses of Table 4, minus the two gateways).
 pub const AAAA_V4_ONLY_READY: &[&str] = &[
-    "arlo_q_cam", "blink_security", "wyze_cam",
-    "roku_tv", "nest_thermostat",
-    "echo_dot_2", "echo_dot_3", "echo_dot_4", "echo_dot_5", "echo_pop",
+    "arlo_q_cam",
+    "blink_security",
+    "wyze_cam",
+    "roku_tv",
+    "nest_thermostat",
+    "echo_dot_2",
+    "echo_dot_3",
+    "echo_dot_4",
+    "echo_dot_5",
+    "echo_pop",
 ];
 
 /// Gateways that retry AAAA over IPv4 in dual-stack for names their
@@ -363,7 +1656,11 @@ pub const DUAL_V4_DNS_EXTRA: &[&str] = &["aeotec_hub", "smartlife_hub"];
 
 /// Query HTTPS resource records (HTTP/3 probing — Android/iOS/tvOS).
 pub const HTTPS_RECORDS: &[&str] = &[
-    "apple_tv", "homepod_mini", "google_tv", "tivo_stream", "meta_portal_mini",
+    "apple_tv",
+    "homepod_mini",
+    "google_tv",
+    "tivo_stream",
+    "meta_portal_mini",
 ];
 
 /// Query SVCB records (the two Apple devices).
@@ -380,11 +1677,26 @@ pub const HARDCODED_V6: &[(&str, &str)] = &[
 /// Table 5 "Local Trans" (1,2,5,5,0,3,5).
 pub const LOCAL_IPV6: &[&str] = &[
     "samsung_fridge",
-    "nest_camera", "nest_doorbell",
-    "apple_tv", "google_tv", "samsung_tv", "tivo_stream", "vizio_tv",
-    "aeotec_hub", "smartthings_hub", "smartlife_hub", "aqara_hub_m2", "thirdreality_bridge",
-    "meross_matter_plug", "tuya_matter_plug", "leviton_matter_plug",
-    "homepod_mini", "google_home_mini", "google_nest_mini", "nest_hub", "nest_hub_max",
+    "nest_camera",
+    "nest_doorbell",
+    "apple_tv",
+    "google_tv",
+    "samsung_tv",
+    "tivo_stream",
+    "vizio_tv",
+    "aeotec_hub",
+    "smartthings_hub",
+    "smartlife_hub",
+    "aqara_hub_m2",
+    "thirdreality_bridge",
+    "meross_matter_plug",
+    "tuya_matter_plug",
+    "leviton_matter_plug",
+    "homepod_mini",
+    "google_home_mini",
+    "google_nest_mini",
+    "nest_hub",
+    "nest_hub_max",
 ];
 
 /// Telemetry gated on required-destination rendezvous (Fire TV).
@@ -427,11 +1739,31 @@ pub fn firmware(id: &str) -> Option<&'static str> {
 
 /// Devices that assign at least one address they never use (25 of 54).
 pub const ASSIGNS_UNUSED_ADDR: &[&str] = &[
-    "samsung_fridge", "samsung_tv", "smartthings_hub", "aeotec_hub", "apple_tv",
-    "nest_hub", "nest_hub_max", "google_home_mini", "google_nest_mini", "homepod_mini",
-    "nest_camera", "nest_doorbell", "google_tv", "tivo_stream", "meta_portal_mini",
-    "fire_tv", "vizio_tv", "echo_plus", "echo_show_5", "echo_show_8",
-    "echo_spot", "smartlife_hub", "ikea_gateway", "thirdreality_bridge", "thermopro_sensor",
+    "samsung_fridge",
+    "samsung_tv",
+    "smartthings_hub",
+    "aeotec_hub",
+    "apple_tv",
+    "nest_hub",
+    "nest_hub_max",
+    "google_home_mini",
+    "google_nest_mini",
+    "homepod_mini",
+    "nest_camera",
+    "nest_doorbell",
+    "google_tv",
+    "tivo_stream",
+    "meta_portal_mini",
+    "fire_tv",
+    "vizio_tv",
+    "echo_plus",
+    "echo_show_5",
+    "echo_show_8",
+    "echo_spot",
+    "smartlife_hub",
+    "ikea_gateway",
+    "thirdreality_bridge",
+    "thermopro_sensor",
 ];
 
 // ---------------------------------------------------------------------------
@@ -525,6 +1857,33 @@ pub fn build() -> Vec<DeviceProfile> {
         .collect()
 }
 
+/// Deterministically subsample `count` profiles from the registry for a
+/// synthetic home: a seeded partial Fisher–Yates draw over the registry
+/// indices, returned in registry order (stable host/MAC ordering for
+/// the simulator). Depends only on `(count, seed)` — the same home
+/// always gets the same devices regardless of how many other homes a
+/// campaign simulates. `count >= 93` returns the full registry.
+pub fn subsample(count: usize, seed: u64) -> Vec<DeviceProfile> {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let all = build();
+    let total = all.len();
+    if count >= total {
+        return all;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut indices: Vec<usize> = (0..total).collect();
+    for i in 0..count {
+        let j = rng.gen_range(i..total);
+        indices.swap(i, j);
+    }
+    let chosen: std::collections::BTreeSet<usize> = indices[..count].iter().copied().collect();
+    all.into_iter()
+        .enumerate()
+        .filter(|(i, _)| chosen.contains(i))
+        .map(|(_, p)| p)
+        .collect()
+}
+
 /// Look up one profile by id (panics on unknown id — registry ids are
 /// compile-time constants; user-facing code should prefer [`find`]).
 pub fn by_id(id: &str) -> DeviceProfile {
@@ -569,6 +1928,36 @@ mod checks {
         assert_eq!(ids.len(), 93, "duplicate device ids");
         let macs: HashSet<Mac> = build().iter().map(|p| p.mac).collect();
         assert_eq!(macs.len(), 93, "duplicate MACs");
+    }
+
+    #[test]
+    fn subsample_is_deterministic_and_ordered() {
+        let a = subsample(10, 42);
+        let b = subsample(10, 42);
+        assert_eq!(a.len(), 10);
+        let ids = |ps: &[DeviceProfile]| ps.iter().map(|p| p.id.clone()).collect::<Vec<_>>();
+        assert_eq!(
+            ids(&a),
+            ids(&b),
+            "same (count, seed) must pick the same devices"
+        );
+        assert_ne!(
+            ids(&a),
+            ids(&subsample(10, 43)),
+            "different seeds should pick different devices"
+        );
+        // Registry order is preserved: positions in the full build are
+        // strictly increasing.
+        let all_ids = ids(&build());
+        let positions: Vec<usize> = a
+            .iter()
+            .map(|p| all_ids.iter().position(|i| *i == p.id).unwrap())
+            .collect();
+        assert!(positions.windows(2).all(|w| w[0] < w[1]));
+        // Distinct devices, and the full-registry request passes through.
+        let distinct: HashSet<String> = ids(&a).into_iter().collect();
+        assert_eq!(distinct.len(), 10);
+        assert_eq!(subsample(200, 1).len(), 93);
     }
 
     #[test]
@@ -625,14 +2014,11 @@ mod checks {
         let v6only_addr = count(|r| r.addr && !in_set(ADDR_REQUIRES_V4, r.id));
         assert_eq!(v6only_addr, 51);
         // GUAs in IPv6-only: 31 − ThermoPro − Gosund − Dot2 − Dot5 = 27.
-        let v6only_gua = count(|r| {
-            r.gua && !in_set(ADDR_REQUIRES_V4, r.id) && !in_set(GUA_REQUIRES_V4, r.id)
-        });
+        let v6only_gua =
+            count(|r| r.gua && !in_set(ADDR_REQUIRES_V4, r.id) && !in_set(GUA_REQUIRES_V4, r.id));
         assert_eq!(v6only_gua, 27);
         // "NDP traffic but no address" in IPv6-only = 8 (Table 3).
-        let no_addr = count(|r| {
-            r.ndp && (!r.addr || in_set(ADDR_REQUIRES_V4, r.id))
-        });
+        let no_addr = count(|r| r.ndp && (!r.addr || in_set(ADDR_REQUIRES_V4, r.id)));
         assert_eq!(no_addr, 8);
     }
 
@@ -666,7 +2052,10 @@ mod checks {
         for id in ULA {
             let raw = RAW.iter().find(|r| r.id == *id).expect("ULA id exists");
             assert!(raw.addr, "{id} must have an address to hold a ULA");
-            let idx = Category::ALL.iter().position(|c| *c == raw.category).unwrap();
+            let idx = Category::ALL
+                .iter()
+                .position(|c| *c == raw.category)
+                .unwrap();
             per_cat[idx] += 1;
         }
         assert_eq!(per_cat, vec![1, 2, 2, 5, 1, 5, 7]);
@@ -745,7 +2134,11 @@ mod checks {
                     && !in_set(TRAFFIC_FROM_STATEFUL, id)
             })
             .collect();
-        assert_eq!(internet.len(), 5, "EUI-64 internet transmitters: {internet:?}");
+        assert_eq!(
+            internet.len(),
+            5,
+            "EUI-64 internet transmitters: {internet:?}"
+        );
         let dns_users: Vec<&&str> = GUA_EUI64
             .iter()
             .filter(|id| {
@@ -769,10 +2162,7 @@ mod checks {
         // active GUAs): dns6, data, echo probe, or the dual-stack deltas.
         for r in RAW.iter().filter(|r| r.gua) {
             assert!(
-                r.dns6
-                    || r.data6
-                    || in_set(V6_ECHO_PROBE, r.id)
-                    || in_set(GUA_REQUIRES_V4, r.id),
+                r.dns6 || r.data6 || in_set(V6_ECHO_PROBE, r.id) || in_set(GUA_REQUIRES_V4, r.id),
                 "{}: GUA would never be active",
                 r.id
             );
@@ -876,13 +2266,34 @@ mod checks {
     fn aux_sets_reference_valid_ids() {
         let ids: HashSet<&str> = RAW.iter().map(|r| r.id).collect();
         let all_sets: Vec<&[&str]> = vec![
-            ULA, NO_LLA, DHCPV6_STATEFUL, DHCPV6_STATEFUL_USE, DHCPV6_STATELESS,
-            NO_RDNSS, ADDR_REQUIRES_V4, SKIP_V6_IF_V4, ADDRESSLESS, DAD_NEVER,
-            DAD_LLA_ONLY, ROTATES_LLA, LLA_EUI64, GUA_EUI64, UNUSED_EUI64_GUA,
-            PRIVACY_GUA_FOR_TRAFFIC, DATA_FROM_PRIVACY_GUA, TRAFFIC_FROM_STATEFUL,
-            V6_ECHO_PROBE, A_ONLY_IN_V6, AAAA_V4_ONLY,
-            AAAA_V4_ONLY_READY, DUAL_V4_DNS_EXTRA, HTTPS_RECORDS, SVCB_RECORDS,
-            LOCAL_IPV6, DATA_REQUIRES_REQUIRED, ASSIGNS_UNUSED_ADDR,
+            ULA,
+            NO_LLA,
+            DHCPV6_STATEFUL,
+            DHCPV6_STATEFUL_USE,
+            DHCPV6_STATELESS,
+            NO_RDNSS,
+            ADDR_REQUIRES_V4,
+            SKIP_V6_IF_V4,
+            ADDRESSLESS,
+            DAD_NEVER,
+            DAD_LLA_ONLY,
+            ROTATES_LLA,
+            LLA_EUI64,
+            GUA_EUI64,
+            UNUSED_EUI64_GUA,
+            PRIVACY_GUA_FOR_TRAFFIC,
+            DATA_FROM_PRIVACY_GUA,
+            TRAFFIC_FROM_STATEFUL,
+            V6_ECHO_PROBE,
+            A_ONLY_IN_V6,
+            AAAA_V4_ONLY,
+            AAAA_V4_ONLY_READY,
+            DUAL_V4_DNS_EXTRA,
+            HTTPS_RECORDS,
+            SVCB_RECORDS,
+            LOCAL_IPV6,
+            DATA_REQUIRES_REQUIRED,
+            ASSIGNS_UNUSED_ADDR,
         ];
         for set in all_sets {
             for id in set {

@@ -16,7 +16,7 @@ use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 use v6brick_net::dns::{Message, Name, RecordType};
 use v6brick_net::ipv6::{mcast, Ipv6AddrExt};
 use v6brick_net::ndp::{NdpOption, Repr as Ndp};
-use v6brick_net::parse::{L4, Net, ParsedPacket};
+use v6brick_net::parse::{Net, ParsedPacket, L4};
 use v6brick_net::{dhcpv4, dhcpv6, icmpv6, tcp, tls, Mac};
 use v6brick_sim::addrs as well_known;
 use v6brick_sim::event::SimTime;
@@ -146,11 +146,9 @@ impl IotDevice {
     /// Instantiate from a profile.
     pub fn new(profile: DeviceProfile) -> IotDevice {
         // Deterministic per-device jitter so 93 boots interleave.
-        let seed = profile
-            .mac
-            .as_bytes()
-            .iter()
-            .fold(0u64, |acc, b| acc.wrapping_mul(131).wrapping_add(u64::from(*b)));
+        let seed = profile.mac.as_bytes().iter().fold(0u64, |acc, b| {
+            acc.wrapping_mul(131).wrapping_add(u64::from(*b))
+        });
         IotDevice {
             boot_jitter_ms: 200 + seed % 4800,
             tick: 0,
@@ -222,11 +220,17 @@ impl IotDevice {
 
     /// All currently assigned IPv6 addresses (diagnostics).
     pub fn v6_addresses(&self) -> Vec<Ipv6Addr> {
-        [self.lla, self.eui_gua, self.privacy_gua, self.ula, self.stateful_addr]
-            .into_iter()
-            .flatten()
-            .chain(self.announced_extra.iter().copied())
-            .collect()
+        [
+            self.lla,
+            self.eui_gua,
+            self.privacy_gua,
+            self.ula,
+            self.stateful_addr,
+        ]
+        .into_iter()
+        .flatten()
+        .chain(self.announced_extra.iter().copied())
+        .collect()
     }
 
     // --- address formation ------------------------------------------------
@@ -436,8 +440,7 @@ impl IotDevice {
             // The ThirdReality bridge only brings IPv6 up once it is
             // certain IPv4 is absent (DHCP attempts exhausted), and never
             // while IPv4 is bound.
-            let dhcp_settled =
-                self.dhcp4 == Dhcp4State::Bound || self.dhcp4_attempts >= 5;
+            let dhcp_settled = self.dhcp4 == Dhcp4State::Bound || self.dhcp4_attempts >= 5;
             return dhcp_settled && self.v4_addr.is_none();
         }
         true
@@ -491,7 +494,15 @@ impl IotDevice {
         self.rs_sent += 1;
     }
 
-    fn on_ra(&mut self, src_mac: Mac, ra_prefix: Option<Ipv6Addr>, managed: bool, other: bool, rdnss: Vec<Ipv6Addr>, fx: &mut Effects) {
+    fn on_ra(
+        &mut self,
+        src_mac: Mac,
+        ra_prefix: Option<Ipv6Addr>,
+        managed: bool,
+        other: bool,
+        rdnss: Vec<Ipv6Addr>,
+        fx: &mut Effects,
+    ) {
         self.router_mac6 = Some(src_mac);
         self.ra_managed = managed;
         self.ra_other = other;
@@ -510,9 +521,7 @@ impl IotDevice {
             if managed && self.profile.ipv6.dhcpv6_stateful && self.dhcp6 == Dhcp6State::Idle {
                 self.dhcp6_send(dhcpv6::MessageType::Solicit, fx);
                 self.dhcp6 = Dhcp6State::SolicitSent;
-            } else if other
-                && self.profile.ipv6.dhcpv6_stateless
-                && self.dhcp6 == Dhcp6State::Idle
+            } else if other && self.profile.ipv6.dhcpv6_stateless && self.dhcp6 == Dhcp6State::Idle
             {
                 self.dhcp6_send(dhcpv6::MessageType::InformationRequest, fx);
                 self.dhcp6 = Dhcp6State::Done; // fire and remember
@@ -521,8 +530,7 @@ impl IotDevice {
     }
 
     fn configure_guas(&mut self, prefix: Ipv6Addr, fx: &mut Effects) {
-        let gua_allowed =
-            !(self.profile.ipv6.gua_requires_v4 && self.v4_addr.is_none());
+        let gua_allowed = !(self.profile.ipv6.gua_requires_v4 && self.v4_addr.is_none());
         // Active EUI-64 GUA.
         if self.profile.ipv6.gua_eui64 && self.profile.ipv6.slaac_gua && gua_allowed {
             let a = self.profile.mac.slaac_address(prefix);
@@ -556,7 +564,9 @@ impl IotDevice {
     }
 
     fn dhcp6_send(&mut self, mt: dhcpv6::MessageType, fx: &mut Effects) {
-        let Some(src) = self.lla.or(self.ula) else { return };
+        let Some(src) = self.lla.or(self.ula) else {
+            return;
+        };
         let mut msg = dhcpv6::Repr::new(mt, self.dhcp6_xid);
         msg.client_id = Some(self.duid());
         msg.elapsed_time = Some(0);
@@ -664,9 +674,8 @@ impl IotDevice {
     /// allows. Deduplicated by `asked`.
     fn dns_round(&mut self, fx: &mut Effects) {
         let has_v4_dns = self.v4_addr.is_some() && !self.v4_dns.is_empty();
-        let v6_ready = self.profile.dns.v6_transport
-            && !self.v6_dns.is_empty()
-            && self.dns_src6().is_some();
+        let v6_ready =
+            self.profile.dns.v6_transport && !self.v6_dns.is_empty() && self.dns_src6().is_some();
         let dests: Vec<Destination> = self.profile.app.destinations.clone();
         for d in &dests {
             // A records: v4 transport when available. Over IPv6 transport
@@ -713,11 +722,15 @@ impl IotDevice {
     }
 
     fn on_dns_response(&mut self, payload: &[u8]) {
-        let Ok(msg) = Message::parse_bytes(payload) else { return };
+        let Ok(msg) = Message::parse_bytes(payload) else {
+            return;
+        };
         if !msg.is_response {
             return;
         }
-        let Some(p) = self.pending.remove(&msg.id) else { return };
+        let Some(p) = self.pending.remove(&msg.id) else {
+            return;
+        };
         match p.rtype {
             RecordType::A => {
                 if let Some(a) = msg.a_answers().next() {
@@ -763,9 +776,7 @@ impl IotDevice {
         let stale: Vec<(u16, bool)> = self
             .conns
             .iter()
-            .filter(|(_, c)| {
-                c.state == ConnState::SynSent && now.saturating_sub(c.opened_tick) > 8
-            })
+            .filter(|(_, c)| c.state == ConnState::SynSent && now.saturating_sub(c.opened_tick) > 8)
             .map(|(port, c)| (*port, c.remote.is_ipv6()))
             .collect();
         for (port, was_v6) in stale {
@@ -794,8 +805,7 @@ impl IotDevice {
                 && self.data_src6().is_some()
                 && !self.profile.app.no_v6_data
                 && !self.v6_failed.contains(&d.domain);
-            let v4_possible =
-                self.resolved4.contains_key(&d.domain) && self.v4_addr.is_some();
+            let v4_possible = self.resolved4.contains_key(&d.domain) && self.v4_addr.is_some();
             // RFC 6724 patience: a v6-preferring destination waits for
             // its AAAA answer before falling back to IPv4 (otherwise an
             // early A answer would permanently capture the connection
@@ -829,9 +839,7 @@ impl IotDevice {
         }
         // Hard-coded endpoint: reachable with a GUA and no DNS at all.
         if let Some(name) = self.profile.app.hardcoded_v6_endpoint.clone() {
-            if !self.connected.contains(&name)
-                && !self.conns.values().any(|c| c.domain == name)
-            {
+            if !self.connected.contains(&name) && !self.conns.values().any(|c| c.domain == name) {
                 if let Some(_src) = self.data_src6() {
                     let (_, v6) = derive_addrs(&name);
                     self.open_v6(name, v6, 443, fx);
@@ -845,7 +853,13 @@ impl IotDevice {
         let local = self.alloc_port();
         let seq = (self.seed as u32) ^ u32::from(local);
         let syn = tcp::Repr::syn(local, port, seq);
-        fx.send_frame(wire::tcp6_frame(self.profile.mac, self.router6(), src, target, &syn));
+        fx.send_frame(wire::tcp6_frame(
+            self.profile.mac,
+            self.router6(),
+            src,
+            target,
+            &syn,
+        ));
         self.conns.insert(
             local,
             Conn {
@@ -863,7 +877,9 @@ impl IotDevice {
     }
 
     fn open_v4(&mut self, domain: Name, target: Ipv4Addr, port: u16, fx: &mut Effects) {
-        let (Some(src), Some(gw)) = (self.v4_addr, self.gateway_mac) else { return };
+        let (Some(src), Some(gw)) = (self.v4_addr, self.gateway_mac) else {
+            return;
+        };
         let local = self.alloc_port();
         let seq = (self.seed as u32) ^ u32::from(local);
         let syn = tcp::Repr::syn(local, port, seq);
@@ -885,7 +901,9 @@ impl IotDevice {
     }
 
     fn send_on_conn(&mut self, local: u16, payload: Vec<u8>, fx: &mut Effects) {
-        let Some(conn) = self.conns.get_mut(&local) else { return };
+        let Some(conn) = self.conns.get_mut(&local) else {
+            return;
+        };
         let seg = tcp::Repr {
             src_port: local,
             dst_port: conn.remote_port,
@@ -899,10 +917,18 @@ impl IotDevice {
         match conn.remote {
             IpAddr::V6(dst) => {
                 let src = conn.src6.unwrap_or(dst); // src6 always set for v6
-                fx.send_frame(wire::tcp6_frame(self.profile.mac, self.router6(), src, dst, &seg));
+                fx.send_frame(wire::tcp6_frame(
+                    self.profile.mac,
+                    self.router6(),
+                    src,
+                    dst,
+                    &seg,
+                ));
             }
             IpAddr::V4(dst) => {
-                let (Some(src), Some(gw)) = (self.v4_addr, self.gateway_mac) else { return };
+                let (Some(src), Some(gw)) = (self.v4_addr, self.gateway_mac) else {
+                    return;
+                };
                 fx.send_frame(wire::tcp4_frame(self.profile.mac, gw, src, dst, &seg));
             }
         }
@@ -933,8 +959,16 @@ impl IotDevice {
         if established.is_empty() {
             return;
         }
-        let w6: u32 = established.iter().filter(|(_, v6, _)| *v6).map(|(_, _, w)| u32::from(*w)).sum();
-        let w4: u32 = established.iter().filter(|(_, v6, _)| !*v6).map(|(_, _, w)| u32::from(*w)).sum();
+        let w6: u32 = established
+            .iter()
+            .filter(|(_, v6, _)| *v6)
+            .map(|(_, _, w)| u32::from(*w))
+            .sum();
+        let w4: u32 = established
+            .iter()
+            .filter(|(_, v6, _)| !*v6)
+            .map(|(_, _, w)| u32::from(*w))
+            .sum();
         let share = u32::from(self.profile.app.v6_volume_share_pct);
         const BASE_ROUND_BYTES: u32 = 300_000;
         let round_bytes = BASE_ROUND_BYTES * u32::from(self.profile.app.telemetry_scale.max(1));
@@ -971,7 +1005,9 @@ impl IotDevice {
         // DHCPv6-assigned address with its own connectivity probe, even
         // though it is not their primary address.
         if !self.stateful_probe_done {
-            if let Some(src) = self.stateful_addr.filter(|_| self.profile.ipv6.dhcpv6_stateful_use)
+            if let Some(src) = self
+                .stateful_addr
+                .filter(|_| self.profile.ipv6.dhcpv6_stateful_use)
             {
                 self.stateful_probe_done = true;
                 let echo = icmpv6::Repr::EchoRequest {
@@ -1106,7 +1142,14 @@ impl IotDevice {
                     self.gateway_mac = Some(arp.sender_mac);
                 }
             }
-            (Net::Ipv4(ip), L4::Udp { src_port, dst_port, payload }) => {
+            (
+                Net::Ipv4(ip),
+                L4::Udp {
+                    src_port,
+                    dst_port,
+                    payload,
+                },
+            ) => {
                 if *src_port == 67 && *dst_port == 68 {
                     self.on_dhcp4(payload, fx);
                 } else if *src_port == 53 {
@@ -1116,7 +1159,14 @@ impl IotDevice {
                 }
             }
             (Net::Ipv6(ip), L4::Icmpv6(msg)) => self.on_icmpv6(p.eth.src, ip, msg, fx),
-            (Net::Ipv6(ip), L4::Udp { src_port, dst_port, payload }) => {
+            (
+                Net::Ipv6(ip),
+                L4::Udp {
+                    src_port,
+                    dst_port,
+                    payload,
+                },
+            ) => {
                 if *src_port == 547 && *dst_port == 546 {
                     self.on_dhcp6(payload, fx);
                 } else if *src_port == 53 {
@@ -1130,7 +1180,9 @@ impl IotDevice {
     }
 
     fn on_dhcp4(&mut self, payload: &[u8], fx: &mut Effects) {
-        let Ok(msg) = dhcpv4::Repr::parse_bytes(payload) else { return };
+        let Ok(msg) = dhcpv4::Repr::parse_bytes(payload) else {
+            return;
+        };
         if msg.client_mac != self.profile.mac {
             return;
         }
@@ -1152,7 +1204,9 @@ impl IotDevice {
     }
 
     fn on_dhcp6(&mut self, payload: &[u8], fx: &mut Effects) {
-        let Ok(msg) = dhcpv6::Repr::parse_bytes(payload) else { return };
+        let Ok(msg) = dhcpv6::Repr::parse_bytes(payload) else {
+            return;
+        };
         if msg.client_id.as_deref() != Some(&self.duid()[..]) {
             return;
         }
@@ -1183,7 +1237,13 @@ impl IotDevice {
         }
     }
 
-    fn on_icmpv6(&mut self, src_mac: Mac, ip: &v6brick_net::ipv6::Repr, msg: &icmpv6::Repr, fx: &mut Effects) {
+    fn on_icmpv6(
+        &mut self,
+        src_mac: Mac,
+        ip: &v6brick_net::ipv6::Repr,
+        msg: &icmpv6::Repr,
+        fx: &mut Effects,
+    ) {
         match msg {
             icmpv6::Repr::Ndp(Ndp::RouterAdvert { managed, other_config, options, .. }) => {
                 if !self.v6_may_run() {
@@ -1250,7 +1310,14 @@ impl IotDevice {
         }
     }
 
-    fn on_udp_service(&mut self, is_v6: bool, dst_port: u16, src_port: u16, p: &ParsedPacket, fx: &mut Effects) {
+    fn on_udp_service(
+        &mut self,
+        is_v6: bool,
+        dst_port: u16,
+        src_port: u16,
+        p: &ParsedPacket,
+        fx: &mut Effects,
+    ) {
         let open = if is_v6 {
             self.profile.app.open_udp_v6.contains(&dst_port)
         } else {
@@ -1271,23 +1338,28 @@ impl IotDevice {
                 } else {
                     // ICMPv6 port unreachable — the UDP scan "closed".
                     let unreachable = icmpv6::Repr::DstUnreachable { code: 4 };
-                    fx.send_frame(wire::icmpv6_frame(self.profile.mac, p.eth.src, me, peer, &unreachable));
-                }
-            }
-            (Some(IpAddr::V4(peer)), Some(IpAddr::V4(me)))
-                if open => {
-                    fx.send_frame(wire::udp4_frame(
+                    fx.send_frame(wire::icmpv6_frame(
                         self.profile.mac,
                         p.eth.src,
                         me,
                         peer,
-                        dst_port,
-                        src_port,
-                        vec![0x77; 16],
+                        &unreachable,
                     ));
                 }
-                // (ICMPv4 port-unreachable omitted: the paper's UDP scans
-                // focus on IPv6 exposure.)
+            }
+            (Some(IpAddr::V4(peer)), Some(IpAddr::V4(me))) if open => {
+                fx.send_frame(wire::udp4_frame(
+                    self.profile.mac,
+                    p.eth.src,
+                    me,
+                    peer,
+                    dst_port,
+                    src_port,
+                    vec![0x77; 16],
+                ));
+            }
+            // (ICMPv4 port-unreachable omitted: the paper's UDP scans
+            // focus on IPv6 exposure.)
             _ => {}
         }
     }
@@ -1432,7 +1504,11 @@ impl Host for IotDevice {
             self.telemetry_round(fx);
         }
         // A little deterministic jitter keeps device ticks from aligning.
-        let step = if t < BOOT_TICKS { BOOT_TICK } else { SETTLED_TICK };
+        let step = if t < BOOT_TICKS {
+            BOOT_TICK
+        } else {
+            SETTLED_TICK
+        };
         let jitter = fx.rng.gen_range(0..2000u64);
         fx.set_timer(step + SimTime(jitter), TOKEN_TICK);
     }
@@ -1456,11 +1532,22 @@ impl IotDevice {
             Net::Ipv6(_) => (l3_off + v6brick_net::ipv6::HEADER_LEN, true),
             _ => return,
         };
-        let Ok(seg) = tcp::Packet::new_checked(&frame[tcp_off..]) else { return };
+        let Ok(seg) = tcp::Packet::new_checked(&frame[tcp_off..]) else {
+            return;
+        };
         let seq = seg.seq();
         let _ = is_v6;
 
-        let L4::Tcp { src_port, dst_port, flags, payload, .. } = &p.l4 else { return };
+        let L4::Tcp {
+            src_port,
+            dst_port,
+            flags,
+            payload,
+            ..
+        } = &p.l4
+        else {
+            return;
+        };
 
         // Client path.
         if let Some(conn) = self.conns.get_mut(dst_port) {
@@ -1515,10 +1602,22 @@ impl IotDevice {
             };
             match (p.src_ip(), p.dst_ip()) {
                 (Some(IpAddr::V6(peer)), Some(IpAddr::V6(me))) if self.owns_v6(me) => {
-                    fx.send_frame(wire::tcp6_frame(self.profile.mac, p.eth.src, me, peer, &reply));
+                    fx.send_frame(wire::tcp6_frame(
+                        self.profile.mac,
+                        p.eth.src,
+                        me,
+                        peer,
+                        &reply,
+                    ));
                 }
                 (Some(IpAddr::V4(peer)), Some(IpAddr::V4(me))) if Some(me) == self.v4_addr => {
-                    fx.send_frame(wire::tcp4_frame(self.profile.mac, p.eth.src, me, peer, &reply));
+                    fx.send_frame(wire::tcp4_frame(
+                        self.profile.mac,
+                        p.eth.src,
+                        me,
+                        peer,
+                        &reply,
+                    ));
                 }
                 _ => {}
             }
@@ -1656,7 +1755,8 @@ mod tests {
         assert_eq!((third, fourth, fifth), (1, 1, 0), "capped at 4 attempts");
 
         // An answered name is never re-queried.
-        d.resolved6.insert(name.clone(), "2001:db8:ffff::1".parse().unwrap());
+        d.resolved6
+            .insert(name.clone(), "2001:db8:ffff::1".parse().unwrap());
         d.tick = 60;
         let mut fx = Effects::new(&mut rng);
         d.send_query(name, RecordType::Aaaa, true, &mut fx);

@@ -17,7 +17,11 @@ fn main() {
         "ndp={} addr={} gua={} aaaa6={} pos={} data={} func={}",
         count(&|id| suite.v6only_observation(id).ndp_traffic),
         count(&|id| suite.v6only_observation(id).has_v6_addr()),
-        count(&|id| suite.v6only_observation(id).active_v6.iter().any(|a| a.is_global_unicast())),
+        count(&|id| suite
+            .v6only_observation(id)
+            .active_v6
+            .iter()
+            .any(|a| a.is_global_unicast())),
         count(&|id| !suite.v6only_observation(id).aaaa_q_v6.is_empty()),
         count(&|id| !suite.v6only_observation(id).aaaa_pos_v6.is_empty()),
         count(&|id| suite.v6only_observation(id).v6_internet_data()),
@@ -38,8 +42,12 @@ fn main() {
         count(&|id| u(id).all_addrs().iter().any(|a| a.is_link_local())),
         count(&|id| {
             let o = u(id);
-            o.all_addrs().iter().any(|a| a.is_link_local() && a.is_eui64())
-                || o.active_v6.iter().any(|a| !a.is_link_local() && a.is_eui64())
+            o.all_addrs()
+                .iter()
+                .any(|a| a.is_link_local() && a.is_eui64())
+                || o.active_v6
+                    .iter()
+                    .any(|a| !a.is_link_local() && a.is_eui64())
         }),
     );
     println!(
@@ -60,18 +68,42 @@ fn main() {
 
     // Fig. 5 funnel (targets: assign 33, use 15, dns 8, data 5).
     let assign = count(&|id| {
-        u(id).all_addrs().iter().any(|a| a.is_global_unicast() && a.is_eui64())
+        u(id)
+            .all_addrs()
+            .iter()
+            .any(|a| a.is_global_unicast() && a.is_eui64())
     });
-    let use_any = count(&|id| u(id).active_v6.iter().any(|a| a.is_global_unicast() && a.is_eui64()));
-    let use_dns = count(&|id| u(id).dns_src_v6.iter().any(|a| a.is_global_unicast() && a.is_eui64()));
-    let use_data = count(&|id| u(id).data_src_v6.iter().any(|a| a.is_global_unicast() && a.is_eui64()));
+    let use_any = count(&|id| {
+        u(id)
+            .active_v6
+            .iter()
+            .any(|a| a.is_global_unicast() && a.is_eui64())
+    });
+    let use_dns = count(&|id| {
+        u(id)
+            .dns_src_v6
+            .iter()
+            .any(|a| a.is_global_unicast() && a.is_eui64())
+    });
+    let use_data = count(&|id| {
+        u(id)
+            .data_src_v6
+            .iter()
+            .any(|a| a.is_global_unicast() && a.is_eui64())
+    });
     println!("--- Fig 5 (targets 33/15/8/5): assign={assign} use={use_any} dns={use_dns} data={use_data}");
 
     // Table 4 deltas (dual minus v6only).
     println!("--- Table 4 deltas (targets: ndp -1, addr +2, gua +3, aaaa +15, pos +12, data +3)");
     let d = |f: &dyn Fn(&v6brick_core::DeviceObservation) -> bool| {
-        let dual = ids.iter().filter(|id| f(&suite.dual_observation(id))).count() as i64;
-        let v6 = ids.iter().filter(|id| f(&suite.v6only_observation(id))).count() as i64;
+        let dual = ids
+            .iter()
+            .filter(|id| f(&suite.dual_observation(id)))
+            .count() as i64;
+        let v6 = ids
+            .iter()
+            .filter(|id| f(&suite.v6only_observation(id)))
+            .count() as i64;
         dual - v6
     };
     println!(
@@ -90,9 +122,18 @@ fn main() {
         let o = u(id);
         let addrs = o.all_addrs();
         tot.0 += addrs.len();
-        tot.1 += addrs.iter().filter(|a| a.kind() == AddressKind::Global).count();
-        tot.2 += addrs.iter().filter(|a| a.kind() == AddressKind::UniqueLocal).count();
-        tot.3 += addrs.iter().filter(|a| a.kind() == AddressKind::LinkLocal).count();
+        tot.1 += addrs
+            .iter()
+            .filter(|a| a.kind() == AddressKind::Global)
+            .count();
+        tot.2 += addrs
+            .iter()
+            .filter(|a| a.kind() == AddressKind::UniqueLocal)
+            .count();
+        tot.3 += addrs
+            .iter()
+            .filter(|a| a.kind() == AddressKind::LinkLocal)
+            .count();
     }
     println!("--- Table 6 addrs (targets 684/456/169/59): {tot:?}");
 

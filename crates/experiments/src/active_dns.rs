@@ -11,7 +11,7 @@ use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::{Ipv4Addr, Ipv6Addr};
 use v6brick_net::dns::{Message, Name, RecordType};
-use v6brick_net::parse::{L4, Net, ParsedPacket};
+use v6brick_net::parse::{Net, ParsedPacket, L4};
 use v6brick_net::Mac;
 use v6brick_sim::event::SimTime;
 use v6brick_sim::host::{Effects, Host};
@@ -81,8 +81,7 @@ impl Prober {
             let idx = self.next;
             self.next += 1;
             for rtype in [RecordType::A, RecordType::Aaaa] {
-                let txid = (idx as u16) << 1
-                    | u16::from(rtype == RecordType::Aaaa);
+                let txid = (idx as u16) << 1 | u16::from(rtype == RecordType::Aaaa);
                 let q = Message::query(txid, self.names[idx].clone(), rtype).build();
                 fx.send_frame(wire::udp4_frame(
                     self.mac,
@@ -113,17 +112,24 @@ impl Host for Prober {
     }
 
     fn on_frame(&mut self, _now: SimTime, frame: &[u8], _fx: &mut Effects) {
-        let Ok(p) = ParsedPacket::parse(frame) else { return };
-        if let (Net::Ipv4(_), L4::Udp { src_port: 53, payload, .. }) = (&p.net, &p.l4) {
+        let Ok(p) = ParsedPacket::parse(frame) else {
+            return;
+        };
+        if let (
+            Net::Ipv4(_),
+            L4::Udp {
+                src_port: 53,
+                payload,
+                ..
+            },
+        ) = (&p.net, &p.l4)
+        {
             if let Ok(msg) = Message::parse_bytes(payload) {
                 if let Some((idx, rtype)) = self.pending.remove(&msg.id) {
                     match rtype {
-                        RecordType::A => {
-                            self.results[idx].has_a = msg.a_answers().next().is_some()
-                        }
+                        RecordType::A => self.results[idx].has_a = msg.a_answers().next().is_some(),
                         RecordType::Aaaa => {
-                            self.results[idx].has_aaaa =
-                                msg.aaaa_answers().next().is_some()
+                            self.results[idx].has_aaaa = msg.aaaa_answers().next().is_some()
                         }
                         _ => {}
                     }

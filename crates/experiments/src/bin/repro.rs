@@ -7,6 +7,8 @@
 //! repro portscan [--full]   # §5.4.2 (full = TCP 1-65535 like the paper)
 //! repro tracking            # §5.4.3
 //! repro dad                 # §5.2.1 DAD compliance
+//! repro fleet 256 [--workers 8] [--seed 42] [--json]
+//!                           # parallel multi-home campaign
 //! ```
 
 use std::env;
@@ -15,7 +17,7 @@ use v6brick_experiments::portscan::{scan, ScanPlan};
 use v6brick_experiments::render::TextTable;
 use v6brick_experiments::suite::ExperimentSuite;
 use v6brick_experiments::{
-    active_dns, config, enterprise, figures, reachability, scenario, tables, tracking,
+    active_dns, config, enterprise, figures, fleet, reachability, scenario, tables, tracking,
 };
 
 fn main() {
@@ -39,17 +41,21 @@ fn main() {
         println!("{}", reachability::report());
         return;
     }
+    if what == "fleet" {
+        run_fleet(&args[1..]);
+        return;
+    }
     const KNOWN: &[&str] = &[
-        "all", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
-        "table10", "table11", "table12", "table13", "figure2", "figure3", "figure4",
-        "figure5", "dad", "variants", "tracking", "json",
+        "all", "table3", "table4", "table5", "table6", "table7", "table8", "table9", "table10",
+        "table11", "table12", "table13", "figure2", "figure3", "figure4", "figure5", "dad",
+        "variants", "tracking", "json",
     ];
     if !KNOWN.contains(&what) {
         // Reject unknown artifacts *before* paying for the 6-experiment
         // suite.
         eprintln!(
             "unknown artifact {what:?}; try: all, table2..table13, figure2..figure5, \
-             portscan, dad, variants, tracking, enterprise, reachability, json"
+             portscan, dad, variants, tracking, enterprise, reachability, json, fleet"
         );
         std::process::exit(2);
     }
@@ -57,11 +63,11 @@ fn main() {
     eprintln!("Running the six connectivity experiments over 93 devices...");
     let t0 = std::time::Instant::now();
     let suite = ExperimentSuite::run_all();
-    eprintln!("   done in {:?} ({} frames captured)", t0.elapsed(), suite
-        .runs()
-        .iter()
-        .map(|r| r.frames)
-        .sum::<u64>());
+    eprintln!(
+        "   done in {:?} ({} frames captured)",
+        t0.elapsed(),
+        suite.runs().iter().map(|r| r.frames).sum::<u64>()
+    );
 
     let active = || {
         eprintln!("Running the active DNS experiment over all observed domains...");
@@ -127,20 +133,91 @@ fn main() {
                     .collect::<Vec<_>>(),
                 "devices": per_device,
             });
-            println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&out).expect("serializable")
+            );
         }
         other => {
             eprintln!(
                 "unknown artifact {other:?}; try: all, table2..table13, figure2..figure5, \
-                 portscan, dad, tracking, enterprise, reachability, json"
+                 portscan, dad, tracking, enterprise, reachability, json, fleet"
             );
             std::process::exit(2);
         }
     }
 }
 
+/// `repro fleet <homes> [--workers W] [--seed S] [--duration SECS] [--json]`
+fn run_fleet(args: &[String]) {
+    let mut spec = fleet::CampaignSpec {
+        workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        ..Default::default()
+    };
+    let mut json = false;
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} needs a value");
+                    std::process::exit(2);
+                })
+                .parse::<u64>()
+                .unwrap_or_else(|e| {
+                    eprintln!("bad value for {flag}: {e}");
+                    std::process::exit(2);
+                })
+        };
+        match arg.as_str() {
+            "--workers" => spec.workers = value("--workers") as usize,
+            "--seed" => spec.seed = value("--seed"),
+            "--duration" => spec.duration_s = value("--duration"),
+            "--json" => json = true,
+            other if !other.starts_with('-') => positional.push(other.to_string()),
+            other => {
+                eprintln!("unknown fleet flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(n) = positional.first() {
+        spec.homes = n.parse().unwrap_or_else(|e| {
+            eprintln!("bad home count {n:?}: {e}");
+            std::process::exit(2);
+        });
+    }
+
+    eprintln!(
+        "Simulating {} homes ({} workers, seed {:#x}, {} s windows)...",
+        spec.homes, spec.workers, spec.seed, spec.duration_s
+    );
+    let t0 = std::time::Instant::now();
+    let report = fleet::run(&spec);
+    let elapsed = t0.elapsed();
+    eprintln!(
+        "   done in {:.1?} — {:.1} homes/sec ({} devices simulated)",
+        elapsed,
+        report.homes as f64 / elapsed.as_secs_f64().max(1e-9),
+        report.devices
+    );
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("serializable")
+        );
+    } else {
+        println!("{}", fleet::render(&report));
+    }
+}
+
 fn run_portscan(full: bool) {
-    let plan = if full { ScanPlan::full() } else { ScanPlan::quick() };
+    let plan = if full {
+        ScanPlan::full()
+    } else {
+        ScanPlan::quick()
+    };
     eprintln!(
         "Running the active port scans ({} TCP + {} UDP ports per address)...",
         plan.tcp.len(),
@@ -157,7 +234,10 @@ fn run_portscan(full: bool) {
         let d = ports::diff(&r.v4, &r.v6);
         if d.is_asymmetric() {
             let fmt = |s: &std::collections::BTreeSet<u16>| {
-                s.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(",")
+                s.iter()
+                    .map(|p| p.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
             };
             t.row([
                 p.name.clone(),

@@ -41,8 +41,12 @@ pub fn report() -> TextTable {
     ]);
     t.row([
         "Global address (active)".to_string(),
-        count(&baseline, &|o| o.active_v6.iter().any(|a| a.is_global_unicast())),
-        count(&enterprise, &|o| o.active_v6.iter().any(|a| a.is_global_unicast())),
+        count(&baseline, &|o| {
+            o.active_v6.iter().any(|a| a.is_global_unicast())
+        }),
+        count(&enterprise, &|o| {
+            o.active_v6.iter().any(|a| a.is_global_unicast())
+        }),
     ]);
     t.row([
         "Stateful DHCPv6 exchange".to_string(),
@@ -61,8 +65,18 @@ pub fn report() -> TextTable {
     ]);
     t.row([
         "Functional".to_string(),
-        baseline.functional.values().filter(|f| **f).count().to_string(),
-        enterprise.functional.values().filter(|f| **f).count().to_string(),
+        baseline
+            .functional
+            .values()
+            .filter(|f| **f)
+            .count()
+            .to_string(),
+        enterprise
+            .functional
+            .values()
+            .filter(|f| **f)
+            .count()
+            .to_string(),
     ]);
     t
 }
@@ -105,10 +119,7 @@ mod tests {
         );
         let o = run.analysis.device("homepod_mini").unwrap();
         assert!(o.dhcpv6_stateful, "solicited DHCPv6");
-        assert!(
-            !o.dhcpv6_addrs.is_empty(),
-            "received an IA_NA address"
-        );
+        assert!(!o.dhcpv6_addrs.is_empty(), "received an IA_NA address");
         assert!(
             o.active_v6.iter().any(|a| a.is_global_unicast()),
             "uses the DHCPv6 address: {:?}",
@@ -130,8 +141,7 @@ mod tests {
             "smartthings_hub",
         ];
         let base = scenario::run_with_profiles(NetworkConfig::Ipv6Only, &profiles(&ids));
-        let ent =
-            scenario::run_with_profiles(NetworkConfig::Ipv6OnlyEnterprise, &profiles(&ids));
+        let ent = scenario::run_with_profiles(NetworkConfig::Ipv6OnlyEnterprise, &profiles(&ids));
         let gua = |run: &ExperimentRun| {
             run.analysis
                 .count(|o| o.active_v6.iter().any(|a| a.is_global_unicast()))

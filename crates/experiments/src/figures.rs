@@ -17,23 +17,41 @@ pub fn figure2(suite: &ExperimentSuite) -> TextTable {
     )
     .headers(["Ring (outer to inner)", "Devices", "%"]);
     let rows: Vec<(&str, usize)> = vec![
-        ("IPv6 NDP traffic", suite.device_ids().filter(|id| o(id).ndp_traffic).count()),
-        ("IPv6 address", suite.device_ids().filter(|id| o(id).has_v6_addr()).count()),
+        (
+            "IPv6 NDP traffic",
+            suite.device_ids().filter(|id| o(id).ndp_traffic).count(),
+        ),
+        (
+            "IPv6 address",
+            suite.device_ids().filter(|id| o(id).has_v6_addr()).count(),
+        ),
         (
             "IPv6 DNS (AAAA request)",
-            suite.device_ids().filter(|id| !o(id).aaaa_q_v6.is_empty()).count(),
+            suite
+                .device_ids()
+                .filter(|id| !o(id).aaaa_q_v6.is_empty())
+                .count(),
         ),
         (
             "AAAA response",
-            suite.device_ids().filter(|id| !o(id).aaaa_pos_v6.is_empty()).count(),
+            suite
+                .device_ids()
+                .filter(|id| !o(id).aaaa_pos_v6.is_empty())
+                .count(),
         ),
         (
             "Internet data communication",
-            suite.device_ids().filter(|id| o(id).v6_internet_data()).count(),
+            suite
+                .device_ids()
+                .filter(|id| o(id).v6_internet_data())
+                .count(),
         ),
         (
             "Functional",
-            suite.device_ids().filter(|id| suite.functional_v6only(id)).count(),
+            suite
+                .device_ids()
+                .filter(|id| suite.functional_v6only(id))
+                .count(),
         ),
     ];
     for (label, n) in rows {
@@ -62,8 +80,10 @@ pub fn figure3(suite: &ExperimentSuite) -> TextTable {
         .collect();
     q_counts.sort_unstable();
 
-    let mut t = TextTable::new("Figure 3: CDFs — IPv6 addresses per device (top), AAAA queries per device (bottom)")
-        .headers(["Percentile", "# addresses", "# AAAA queries"]);
+    let mut t = TextTable::new(
+        "Figure 3: CDFs — IPv6 addresses per device (top), AAAA queries per device (bottom)",
+    )
+    .headers(["Percentile", "# addresses", "# AAAA queries"]);
     for pct in [10, 25, 50, 75, 80, 90, 95, 100] {
         let pick = |v: &Vec<usize>| {
             if v.is_empty() {
@@ -112,15 +132,18 @@ pub fn figure4(suite: &ExperimentSuite) -> TextTable {
         .filter(|(_, f, _)| *f > 0.0)
         .collect();
     rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-    let mut t = TextTable::new(
-        "Figure 4: fraction of Internet data volume over IPv6 in dual-stack",
-    )
-    .headers(["Device", "IPv6 fraction", "Functional in IPv6-only"]);
+    let mut t =
+        TextTable::new("Figure 4: fraction of Internet data volume over IPv6 in dual-stack")
+            .headers(["Device", "IPv6 fraction", "Functional in IPv6-only"]);
     for (name, frac, func) in rows {
         t.row([
             name,
             format!("{:.1}%", frac * 100.0),
-            if func { "functional".into() } else { "non-functional".to_string() },
+            if func {
+                "functional".into()
+            } else {
+                "non-functional".to_string()
+            },
         ]);
     }
     t
@@ -129,11 +152,32 @@ pub fn figure4(suite: &ExperimentSuite) -> TextTable {
 /// Figure 5: the EUI-64 funnel and the party mix of exposed domains.
 pub fn figure5(suite: &ExperimentSuite) -> TextTable {
     let funnel = eui64_funnel(suite);
-    let mut t = TextTable::new("Figure 5: EUI-64 GUA exposure").headers(["Stage", "Devices / domains"]);
-    t.row(["Assign GUA EUI-64 addresses".to_string(), format!("{} devices ({:.1}%)", funnel.assign, 100.0 * funnel.assign as f64 / 93.0)]);
-    t.row(["Use them".to_string(), format!("{} devices ({:.1}%)", funnel.use_any, 100.0 * funnel.use_any as f64 / 93.0)]);
-    t.row(["Use them for DNS".to_string(), format!("{} devices", funnel.use_dns)]);
-    t.row(["Use them for Internet data".to_string(), format!("{} devices", funnel.use_internet_data)]);
+    let mut t =
+        TextTable::new("Figure 5: EUI-64 GUA exposure").headers(["Stage", "Devices / domains"]);
+    t.row([
+        "Assign GUA EUI-64 addresses".to_string(),
+        format!(
+            "{} devices ({:.1}%)",
+            funnel.assign,
+            100.0 * funnel.assign as f64 / 93.0
+        ),
+    ]);
+    t.row([
+        "Use them".to_string(),
+        format!(
+            "{} devices ({:.1}%)",
+            funnel.use_any,
+            100.0 * funnel.use_any as f64 / 93.0
+        ),
+    ]);
+    t.row([
+        "Use them for DNS".to_string(),
+        format!("{} devices", funnel.use_dns),
+    ]);
+    t.row([
+        "Use them for Internet data".to_string(),
+        format!("{} devices", funnel.use_internet_data),
+    ]);
     t.row([
         "Domains contacted (data devices)".to_string(),
         format!(
@@ -188,7 +232,14 @@ pub fn category_volume_fractions(suite: &ExperimentSuite) -> BTreeMap<&'static s
             v6 += o.v6_internet_bytes;
             all += o.v6_internet_bytes + o.v4_internet_bytes;
         }
-        out.insert(c.label(), if all == 0 { 0.0 } else { v6 as f64 / all as f64 });
+        out.insert(
+            c.label(),
+            if all == 0 {
+                0.0
+            } else {
+                v6 as f64 / all as f64
+            },
+        );
     }
     out
 }

@@ -1,0 +1,179 @@
+//! Fleet campaigns: many synthetic homes, one population report.
+//!
+//! Wires the generic `v6brick-fleet` machinery to this crate's
+//! experiment harness: a [`CampaignSpec`] describes the population
+//! (home count, seed, worker pool, device-count range, Table 2 config
+//! mix, experiment duration); [`run`] synthesizes the homes, simulates
+//! each on the worker pool via [`scenario::run_with_profiles_seeded_for`],
+//! and streams the per-device observations into a
+//! [`PopulationReport`], dropping each home's capture and flow table
+//! as soon as it has been analyzed.
+//!
+//! The report is byte-identical across worker counts for a fixed spec
+//! (`tests/fleet_determinism.rs` pins this).
+
+use crate::config::NetworkConfig;
+use crate::scenario;
+use std::collections::BTreeMap;
+use v6brick_core::observe::DeviceObservation;
+use v6brick_core::population::PopulationReport;
+use v6brick_fleet::{plan_homes, run_indexed, HomeSpec};
+use v6brick_sim::SimTime;
+
+/// Description of a whole campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Number of homes to synthesize.
+    pub homes: u64,
+    /// Campaign seed; every home seed derives from it.
+    pub seed: u64,
+    /// Worker threads (1 = inline reference path).
+    pub workers: usize,
+    /// Inclusive range for devices per home.
+    pub device_range: (usize, usize),
+    /// Weighted network-config mix each home draws from.
+    pub mix: Vec<(NetworkConfig, u32)>,
+    /// Simulated duration per home, seconds.
+    pub duration_s: u64,
+}
+
+impl Default for CampaignSpec {
+    /// 64 homes of 3–12 devices, equal draw over the six Table 2
+    /// configs, full 420 s experiment windows, single-threaded.
+    fn default() -> Self {
+        CampaignSpec {
+            homes: 64,
+            seed: 0x6b1c,
+            workers: 1,
+            device_range: (3, 12),
+            mix: NetworkConfig::ALL.iter().map(|c| (*c, 1)).collect(),
+            duration_s: 420,
+        }
+    }
+}
+
+/// What survives of a home once its simulation ends: the per-device
+/// observations and outcomes, not the capture.
+struct HomeResult {
+    config_label: String,
+    devices: BTreeMap<String, DeviceObservation>,
+    functional: BTreeMap<String, bool>,
+    frames: u64,
+}
+
+fn simulate_home(home: HomeSpec<NetworkConfig>, duration: SimTime) -> HomeResult {
+    let run =
+        scenario::run_with_profiles_seeded_for(home.config, &home.profiles, home.seed, duration);
+    HomeResult {
+        config_label: run.config.label().to_string(),
+        devices: run.analysis.devices,
+        functional: run.functional,
+        frames: run.frames,
+    }
+    // `run.analysis.flows` and everything else drops here, on the
+    // worker thread — peak memory is one full analysis per worker.
+}
+
+/// Execute a campaign and aggregate the population report.
+pub fn run(spec: &CampaignSpec) -> PopulationReport {
+    let (dev_min, dev_max) = spec.device_range;
+    let plans = plan_homes(spec.seed, spec.homes, &spec.mix, dev_min..=dev_max);
+    let duration = SimTime::from_secs(spec.duration_s);
+    run_indexed(
+        plans,
+        spec.workers,
+        |home| simulate_home(home, duration),
+        PopulationReport::new(spec.seed),
+        |report, _index, home| {
+            report.absorb_home(
+                &home.config_label,
+                &home.devices,
+                &home.functional,
+                home.frames,
+            );
+        },
+    )
+}
+
+/// Human-readable campaign summary (the non-`--json` CLI output).
+pub fn render(report: &PopulationReport) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let pct = |n: u64| 100.0 * n as f64 / report.devices.max(1) as f64;
+    let _ = writeln!(
+        out,
+        "Fleet campaign: {} homes, {} devices (seed {:#x})",
+        report.homes, report.devices, report.campaign_seed
+    );
+    let _ = writeln!(out, "\nHomes per network config:");
+    for (label, n) in &report.homes_by_config {
+        let outcome = &report.per_config[label];
+        let _ = writeln!(
+            out,
+            "  {label:<34} {n:>5} homes  {:>5} devices  {:>5.1}% functional",
+            outcome.devices,
+            100.0 * outcome.functional as f64 / outcome.devices.max(1) as f64
+        );
+    }
+    let f = &report.funnel;
+    let _ = writeln!(out, "\nIPv6 funnel (Table 3 marginals, % of all devices):");
+    for (name, n) in [
+        ("NDP traffic", f.ndp_traffic),
+        ("IPv6 address", f.v6_addr),
+        ("Active GUA", f.active_gua),
+        ("AAAA over v6", f.aaaa_q_v6),
+        ("AAAA answered", f.aaaa_pos_v6),
+        ("v6 Internet data", f.v6_internet_data),
+        ("Functional", f.functional),
+    ] {
+        let _ = writeln!(out, "  {name:<18} {n:>6}  {:>5.1}%", pct(n));
+    }
+    let b = &report.behavior;
+    let _ = writeln!(out, "\nBehaviour (Table 5 marginals):");
+    for (name, n) in [
+        ("Stateful DHCPv6", b.dhcpv6_stateful),
+        ("ULA", b.ula),
+        ("LLA", b.lla),
+        ("EUI-64 address", b.eui64_addr),
+        ("DNS over IPv6", b.dns_over_v6),
+        ("AAAA any transport", b.aaaa_any),
+        ("AAAA v4-only", b.aaaa_v4_only),
+        ("DHCPv4 used", b.dhcpv4_used),
+    ] {
+        let _ = writeln!(out, "  {name:<18} {n:>6}  {:>5.1}%", pct(n));
+    }
+    let _ = writeln!(out, "\nActive IPv6 addresses per device (CDF):");
+    for (value, fraction) in report.addr_hist.cdf() {
+        let _ = writeln!(out, "  <= {value:>3}  {:>6.1}%", 100.0 * fraction);
+    }
+    let t = &report.traffic;
+    let _ = writeln!(
+        out,
+        "\nTraffic: {} frames; {} B v6 Internet, {} B v4 Internet, {} B v6 local",
+        t.frames, t.v6_internet_bytes, t.v4_internet_bytes, t.v6_local_bytes
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_campaign_runs_and_counts() {
+        let spec = CampaignSpec {
+            homes: 3,
+            seed: 5,
+            workers: 2,
+            device_range: (2, 3),
+            duration_s: 45,
+            ..Default::default()
+        };
+        let report = run(&spec);
+        assert_eq!(report.homes, 3);
+        assert!(report.devices >= 6 && report.devices <= 9);
+        assert!(report.traffic.frames > 0);
+        let rendered = render(&report);
+        assert!(rendered.contains("3 homes"));
+    }
+}

@@ -17,6 +17,7 @@ pub mod active_dns;
 pub mod config;
 pub mod enterprise;
 pub mod figures;
+pub mod fleet;
 pub mod portscan;
 pub mod reachability;
 pub mod render;

@@ -15,7 +15,7 @@ use v6brick_core::ports::ScanResult;
 use v6brick_devices::profile::DeviceProfile;
 use v6brick_devices::stack::IotDevice;
 use v6brick_net::ipv6::mcast;
-use v6brick_net::parse::{L4, ParsedPacket};
+use v6brick_net::parse::{ParsedPacket, L4};
 use v6brick_net::{icmpv6, tcp, Mac};
 use v6brick_sim::event::SimTime;
 use v6brick_sim::host::{Effects, Host};
@@ -46,8 +46,8 @@ impl ScanPlan {
     pub fn quick() -> ScanPlan {
         let mut tcp: Vec<u16> = (1..=1024).collect();
         tcp.extend([
-            5353, 5540, 6668, 7000, 8001, 8060, 8080, 8443, 8883, 9999, 37993, 39500, 46525,
-            46757, 49152, 49153,
+            5353, 5540, 6668, 7000, 8001, 8060, 8080, 8443, 8883, 9999, 37993, 39500, 46525, 46757,
+            49152, 49153,
         ]);
         ScanPlan {
             tcp,
@@ -114,7 +114,11 @@ impl Scanner {
                 self.cursor_port = 0;
                 continue;
             }
-            let ports = if self.udp_phase { &self.plan.udp } else { &self.plan.tcp };
+            let ports = if self.udp_phase {
+                &self.plan.udp
+            } else {
+                &self.plan.tcp
+            };
             if self.cursor_port >= ports.len() {
                 self.cursor_target += 1;
                 self.cursor_port = 0;
@@ -149,11 +153,21 @@ impl Scanner {
         let sport = 33_000 + (port % 32_000);
         match ip {
             IpAddr::V6(dst) => fx.send_frame(wire::udp6_frame(
-                self.mac, dmac, self.addr6, dst, sport, port,
+                self.mac,
+                dmac,
+                self.addr6,
+                dst,
+                sport,
+                port,
                 b"probe".to_vec(),
             )),
             IpAddr::V4(dst) => fx.send_frame(wire::udp4_frame(
-                self.mac, dmac, self.addr4, dst, sport, port,
+                self.mac,
+                dmac,
+                self.addr4,
+                dst,
+                sport,
+                port,
                 b"probe".to_vec(),
             )),
         }
@@ -173,7 +187,9 @@ impl Host for Scanner {
     }
 
     fn on_frame(&mut self, _now: SimTime, frame: &[u8], _fx: &mut Effects) {
-        let Ok(p) = ParsedPacket::parse(frame) else { return };
+        let Ok(p) = ParsedPacket::parse(frame) else {
+            return;
+        };
         let Some(src_ip) = p.src_ip() else { return };
         // Only unicast replies addressed to the scanner count: multicast
         // chatter (mDNS announcements) must not read as open ports.
@@ -267,10 +283,8 @@ pub fn scan(profiles: &[DeviceProfile], plan: &ScanPlan) -> BTreeMap<String, Dev
         targets.push((IpAddr::V4(ip), mac));
     }
     // Drop phone/scanner artifacts: keep only known device MACs.
-    let device_macs: BTreeMap<Mac, String> = profiles
-        .iter()
-        .map(|p| (p.mac, p.id.clone()))
-        .collect();
+    let device_macs: BTreeMap<Mac, String> =
+        profiles.iter().map(|p| (p.mac, p.id.clone())).collect();
     targets.retain(|(_, m)| device_macs.contains_key(m));
 
     // Phase 2: continue the same simulation with a scanner host... the
@@ -310,7 +324,9 @@ pub fn scan(profiles: &[DeviceProfile], plan: &ScanPlan) -> BTreeMap<String, Dev
             .find(|(t, _)| t == ip)
             .map(|(_, m)| *m);
         let Some(mac) = mac else { continue };
-        let Some(id) = device_macs.get(&mac) else { continue };
+        let Some(id) = device_macs.get(&mac) else {
+            continue;
+        };
         let entry = out.get_mut(id).expect("device entry");
         match ip {
             IpAddr::V4(_) => {

@@ -11,15 +11,15 @@
 use crate::config::NetworkConfig;
 use crate::render::TextTable;
 use crate::scenario::{self, ExperimentRun};
+use std::collections::BTreeMap;
+use v6brick_core::observe;
+use v6brick_devices::phone::Phone;
 use v6brick_devices::profile::DeviceProfile;
 use v6brick_devices::registry;
+use v6brick_devices::stack::IotDevice;
+use v6brick_net::Mac;
 use v6brick_sim::internet::{Internet, ZoneDb};
 use v6brick_sim::{Router, SimulationBuilder};
-use v6brick_devices::stack::IotDevice;
-use v6brick_devices::phone::Phone;
-use v6brick_core::observe;
-use v6brick_net::Mac;
-use std::collections::BTreeMap;
 
 /// Build zones where every `k`-th AAAA-ready destination is unreachable
 /// over IPv6 (deterministic by name hash).
@@ -120,17 +120,26 @@ pub fn report() -> TextTable {
     t.row([
         "IPv6-only, all servers reachable".to_string(),
         functional(&healthy_v6).to_string(),
-        healthy_v6.analysis.count(|o| o.v6_internet_data()).to_string(),
+        healthy_v6
+            .analysis
+            .count(|o| o.v6_internet_data())
+            .to_string(),
     ]);
     t.row([
         "IPv6-only, 1/2 of v6 servers dead".to_string(),
         functional(&degraded_v6).to_string(),
-        degraded_v6.analysis.count(|o| o.v6_internet_data()).to_string(),
+        degraded_v6
+            .analysis
+            .count(|o| o.v6_internet_data())
+            .to_string(),
     ]);
     t.row([
         "Dual-stack, 1/2 of v6 servers dead (v4 fallback)".to_string(),
         functional(&degraded_dual).to_string(),
-        degraded_dual.analysis.count(|o| o.v6_internet_data()).to_string(),
+        degraded_dual
+            .analysis
+            .count(|o| o.v6_internet_data())
+            .to_string(),
     ]);
     t
 }

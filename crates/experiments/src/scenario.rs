@@ -10,8 +10,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use v6brick_core::observe::{self, ExperimentAnalysis};
 use v6brick_devices::phone::Phone;
 use v6brick_devices::profile::DeviceProfile;
-use v6brick_devices::stack::{ntp_anycast, IotDevice};
 use v6brick_devices::registry;
+use v6brick_devices::stack::{ntp_anycast, IotDevice};
 use v6brick_net::dns::Name;
 use v6brick_net::ipv6::Cidr;
 use v6brick_net::Mac;
@@ -104,6 +104,17 @@ pub fn run_with_profiles_seeded(
     profiles: &[DeviceProfile],
     base_seed: u64,
 ) -> ExperimentRun {
+    run_with_profiles_seeded_for(config, profiles, base_seed, EXPERIMENT_DURATION)
+}
+
+/// Like [`run_with_profiles_seeded`] but with an explicit duration —
+/// fleet campaigns and tests trade capture length for wall-clock time.
+pub fn run_with_profiles_seeded_for(
+    config: NetworkConfig,
+    profiles: &[DeviceProfile],
+    base_seed: u64,
+    duration: SimTime,
+) -> ExperimentRun {
     let zones = build_zones(profiles);
     let internet = Internet::new(zones);
     let router = Router::new(config.router_config());
@@ -118,7 +129,7 @@ pub fn run_with_profiles_seeded(
     let iphone = b.add_host(Box::new(Phone::iphone_x()));
 
     let mut sim = b.seed(base_seed ^ config as u64).build();
-    sim.run_until(EXPERIMENT_DURATION);
+    sim.run_until(duration);
 
     // Functionality test: ask each device model whether its primary
     // function (cloud rendezvous with every required destination)

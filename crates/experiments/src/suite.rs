@@ -88,12 +88,7 @@ impl ExperimentSuite {
         merged
     }
 
-    fn cached_union(
-        &self,
-        scope: u8,
-        id: &str,
-        configs: &[NetworkConfig],
-    ) -> DeviceObservation {
+    fn cached_union(&self, scope: u8, id: &str, configs: &[NetworkConfig]) -> DeviceObservation {
         let key = (scope, id.to_string());
         if let Some(hit) = self.union_cache.lock().get(&key) {
             return hit.clone();
@@ -197,14 +192,17 @@ pub fn merge_into(dst: &mut DeviceObservation, src: &DeviceObservation) {
     dst.v6_internet_bytes += src.v6_internet_bytes;
     dst.v4_internet_bytes += src.v4_internet_bytes;
     dst.v6_local_bytes += src.v6_local_bytes;
-    dst.v6_internet_peers.extend(src.v6_internet_peers.iter().copied());
+    dst.v6_internet_peers
+        .extend(src.v6_internet_peers.iter().copied());
     dst.data_src_v6.extend(src.data_src_v6.iter().copied());
     dst.ntp_src_v6.extend(src.ntp_src_v6.iter().copied());
     dst.domains_v6.extend(src.domains_v6.iter().cloned());
     dst.domains_v4.extend(src.domains_v4.iter().cloned());
     dst.sni_domains.extend(src.sni_domains.iter().cloned());
-    dst.domains_from_eui64.extend(src.domains_from_eui64.iter().cloned());
-    dst.dns_names_from_eui64.extend(src.dns_names_from_eui64.iter().cloned());
+    dst.domains_from_eui64
+        .extend(src.domains_from_eui64.iter().cloned());
+    dst.dns_names_from_eui64
+        .extend(src.dns_names_from_eui64.iter().cloned());
 }
 
 #[cfg(test)]

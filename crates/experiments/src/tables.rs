@@ -40,8 +40,12 @@ pub fn active_gua(o: &DeviceObservation) -> bool {
 /// Holds an active EUI-64 address: an (inherently link-used) EUI-64 LLA,
 /// or an EUI-64 global that sourced traffic.
 pub fn has_eui64_addr(o: &DeviceObservation) -> bool {
-    o.all_addrs().iter().any(|a| a.is_link_local() && a.is_eui64())
-        || o.active_v6.iter().any(|a| !a.is_link_local() && a.is_eui64())
+    o.all_addrs()
+        .iter()
+        .any(|a| a.is_link_local() && a.is_eui64())
+        || o.active_v6
+            .iter()
+            .any(|a| !a.is_link_local() && a.is_eui64())
 }
 
 /// Assigned any ULA?
@@ -64,22 +68,38 @@ pub fn aaaa_v4_only(o: &DeviceObservation) -> bool {
 /// Table 3: IPv6-only experiments, the feature funnel per category.
 pub fn table3(suite: &ExperimentSuite) -> TextTable {
     let o = |id: &str| suite.v6only_observation(id);
-    let mut t = TextTable::new(
-        "Table 3: IPv6-only experiments — IPv6 feature support per category",
-    )
-    .percent_base(suite.profiles.len())
-    .headers([
-        "Feature", "Appliance", "Camera", "TV/Ent.", "Gateway", "Health", "Home Auto",
-        "Speaker", "Total", "%",
-    ]);
+    let mut t =
+        TextTable::new("Table 3: IPv6-only experiments — IPv6 feature support per category")
+            .percent_base(suite.profiles.len())
+            .headers([
+                "Feature",
+                "Appliance",
+                "Camera",
+                "TV/Ent.",
+                "Gateway",
+                "Health",
+                "Home Auto",
+                "Speaker",
+                "Total",
+                "%",
+            ]);
     t.count_row("Total # of Device", &count_by_category(suite, |_| true));
-    t.count_row("- No IPv6", &count_by_category(suite, |id| !o(id).ndp_traffic));
-    t.count_row("IPv6 NDP Traffic", &count_by_category(suite, |id| o(id).ndp_traffic));
+    t.count_row(
+        "- No IPv6",
+        &count_by_category(suite, |id| !o(id).ndp_traffic),
+    );
+    t.count_row(
+        "IPv6 NDP Traffic",
+        &count_by_category(suite, |id| o(id).ndp_traffic),
+    );
     t.count_row(
         "- NDP Traffic No Addr",
         &count_by_category(suite, |id| o(id).ndp_traffic && !o(id).has_v6_addr()),
     );
-    t.count_row("IPv6 Address", &count_by_category(suite, |id| o(id).has_v6_addr()));
+    t.count_row(
+        "IPv6 Address",
+        &count_by_category(suite, |id| o(id).has_v6_addr()),
+    );
     t.count_row(
         "^ Global Unique Address",
         &count_by_category(suite, |id| active_gua(&o(id))),
@@ -123,14 +143,21 @@ pub fn table3(suite: &ExperimentSuite) -> TextTable {
 
 /// Table 4: per-category deltas, dual-stack minus IPv6-only.
 pub fn table4(suite: &ExperimentSuite) -> TextTable {
-    let mut t = TextTable::new(
-        "Table 4: Dual-stack experiments — feature-support deltas vs IPv6-only",
-    )
-    .percent_base(suite.profiles.len())
-    .headers([
-        "Feature", "Appliance", "Camera", "TV/Ent.", "Gateway", "Health", "Home Auto",
-        "Speaker", "Total", "%",
-    ]);
+    let mut t =
+        TextTable::new("Table 4: Dual-stack experiments — feature-support deltas vs IPv6-only")
+            .percent_base(suite.profiles.len())
+            .headers([
+                "Feature",
+                "Appliance",
+                "Camera",
+                "TV/Ent.",
+                "Gateway",
+                "Health",
+                "Home Auto",
+                "Speaker",
+                "Total",
+                "%",
+            ]);
     let mut delta = |label: &str, f: &dyn Fn(&DeviceObservation) -> bool| {
         let dual = count_by_category(suite, |id| f(&suite.dual_observation(id)));
         let v6 = count_by_category(suite, |id| f(&suite.v6only_observation(id)));
@@ -155,15 +182,25 @@ pub fn table4(suite: &ExperimentSuite) -> TextTable {
 /// Table 5: feature support, IPv6-only and dual-stack experiments united.
 pub fn table5(suite: &ExperimentSuite) -> TextTable {
     let o = |id: &str| suite.v6_and_dual_observation(id);
-    let mut t = TextTable::new(
-        "Table 5: IPv6-only and dual-stack experiments — IPv6 feature support",
-    )
-    .percent_base(suite.profiles.len())
-    .headers([
-        "Feature", "Appliance", "Camera", "TV/Ent.", "Gateway", "Health", "Home Auto",
-        "Speaker", "Total", "%",
-    ]);
-    t.count_row("IPv6 Addr", &count_by_category(suite, |id| o(id).has_v6_addr()));
+    let mut t =
+        TextTable::new("Table 5: IPv6-only and dual-stack experiments — IPv6 feature support")
+            .percent_base(suite.profiles.len())
+            .headers([
+                "Feature",
+                "Appliance",
+                "Camera",
+                "TV/Ent.",
+                "Gateway",
+                "Health",
+                "Home Auto",
+                "Speaker",
+                "Total",
+                "%",
+            ]);
+    t.count_row(
+        "IPv6 Addr",
+        &count_by_category(suite, |id| o(id).has_v6_addr()),
+    );
     t.count_row(
         "Stateful DHCPv6",
         &count_by_category(suite, |id| o(id).dhcpv6_stateful),
@@ -255,16 +292,27 @@ pub fn table6(suite: &ExperimentSuite) -> TextTable {
     };
     sum_row(&mut t, "# of IPv6 Addr", &|ob| ob.all_addrs().len());
     sum_row(&mut t, "# of GUA Addr", &|ob| {
-        ob.all_addrs().iter().filter(|a| a.kind() == AddressKind::Global).count()
+        ob.all_addrs()
+            .iter()
+            .filter(|a| a.kind() == AddressKind::Global)
+            .count()
     });
     sum_row(&mut t, "# of ULA Addr", &|ob| {
-        ob.all_addrs().iter().filter(|a| a.kind() == AddressKind::UniqueLocal).count()
+        ob.all_addrs()
+            .iter()
+            .filter(|a| a.kind() == AddressKind::UniqueLocal)
+            .count()
     });
     sum_row(&mut t, "# of LLA Addr", &|ob| {
-        ob.all_addrs().iter().filter(|a| a.kind() == AddressKind::LinkLocal).count()
+        ob.all_addrs()
+            .iter()
+            .filter(|a| a.kind() == AddressKind::LinkLocal)
+            .count()
     });
     sum_row(&mut t, "# of AAAA DNS Req", &|ob| ob.aaaa_q_any().len());
-    sum_row(&mut t, "# of A-only Req in IPv6", &|ob| ob.a_only_v6_names().len());
+    sum_row(&mut t, "# of A-only Req in IPv6", &|ob| {
+        ob.a_only_v6_names().len()
+    });
     sum_row(&mut t, "# of IPv4-only AAAA Req", &|ob| {
         ob.aaaa_q_v4.difference(&ob.aaaa_q_v6).count()
     });
@@ -300,10 +348,14 @@ pub fn table6(suite: &ExperimentSuite) -> TextTable {
 /// and by manufacturer.
 pub fn table7(suite: &ExperimentSuite, active: &ActiveDnsReport) -> TextTable {
     let ready = active.aaaa_ready();
-    let mut t = TextTable::new(
-        "Table 7: DNS AAAA readiness across destinations (active queries)",
-    )
-    .headers(["Group", "Device #", "Domain #", "AAAA Res. #", "AAAA Res. %"]);
+    let mut t = TextTable::new("Table 7: DNS AAAA readiness across destinations (active queries)")
+        .headers([
+            "Group",
+            "Device #",
+            "Domain #",
+            "AAAA Res. #",
+            "AAAA Res. %",
+        ]);
 
     // Per-device observed domains (DNS + SNI, all runs).
     let device_domains = |id: &str| -> BTreeSet<Name> {
@@ -347,7 +399,13 @@ pub fn table7(suite: &ExperimentSuite, active: &ActiveDnsReport) -> TextTable {
         ]);
     };
 
-    t.row(["— Functional devices in IPv6-only network —", "", "", "", ""]);
+    t.row([
+        "— Functional devices in IPv6-only network —",
+        "",
+        "",
+        "",
+        "",
+    ]);
     for c in Category::ALL {
         let ids: Vec<&str> = suite
             .profiles
@@ -367,7 +425,13 @@ pub fn table7(suite: &ExperimentSuite, active: &ActiveDnsReport) -> TextTable {
         .collect();
     group_row(&mut t, "Total (functional)".into(), func);
 
-    t.row(["— Non-functional devices in IPv6-only network —", "", "", "", ""]);
+    t.row([
+        "— Non-functional devices in IPv6-only network —",
+        "",
+        "",
+        "",
+        "",
+    ]);
     for c in Category::ALL {
         let ids: Vec<&str> = suite
             .profiles
@@ -388,7 +452,13 @@ pub fn table7(suite: &ExperimentSuite, active: &ActiveDnsReport) -> TextTable {
     group_row(&mut t, "Total (non-functional)".into(), nonfunc);
 
     // By manufacturer (>= 3 devices), non-functional side like the paper.
-    t.row(["— Non-functional, by manufacturer (>= 3 devices) —", "", "", "", ""]);
+    t.row([
+        "— Non-functional, by manufacturer (>= 3 devices) —",
+        "",
+        "",
+        "",
+        "",
+    ]);
     let mut mans: Vec<&String> = suite.profiles.iter().map(|p| &p.manufacturer).collect();
     mans.sort();
     mans.dedup();
@@ -422,12 +492,25 @@ pub fn table8(suite: &ExperimentSuite) -> TextTable {
     mans.dedup();
     let mans: Vec<String> = mans
         .into_iter()
-        .filter(|m| suite.profiles.iter().filter(|p| &p.manufacturer == m).count() >= 3)
+        .filter(|m| {
+            suite
+                .profiles
+                .iter()
+                .filter(|p| &p.manufacturer == m)
+                .count()
+                >= 3
+        })
         .collect();
-    let oses: Vec<Os> = [Os::Tizen, Os::FireOs, Os::AndroidBased, Os::Fuchsia, Os::IosTvos]
-        .into_iter()
-        .filter(|os| suite.profiles.iter().filter(|p| p.os == *os).count() >= 2)
-        .collect();
+    let oses: Vec<Os> = [
+        Os::Tizen,
+        Os::FireOs,
+        Os::AndroidBased,
+        Os::Fuchsia,
+        Os::IosTvos,
+    ]
+    .into_iter()
+    .filter(|os| suite.profiles.iter().filter(|p| p.os == *os).count() >= 2)
+    .collect();
 
     let mut headers = vec!["Feature".to_string(), "Total".to_string()];
     headers.extend(mans.iter().cloned());
@@ -470,7 +553,10 @@ pub fn table8(suite: &ExperimentSuite) -> TextTable {
     feature_row(&mut t, "ULA", &|id| has_ula(&o(id)));
     feature_row(&mut t, "LLA", &|id| has_lla(&o(id)));
     feature_row(&mut t, "GUA EUI-64 Address", &|id| {
-        o(id).active_v6.iter().any(|a| a.is_global_unicast() && a.is_eui64())
+        o(id)
+            .active_v6
+            .iter()
+            .any(|a| a.is_global_unicast() && a.is_eui64())
     });
     feature_row(&mut t, "DNS over IPv6", &|id| o(id).dns_over_v6());
     feature_row(&mut t, "A-only Req in IPv6", &|id| {
@@ -481,9 +567,14 @@ pub fn table8(suite: &ExperimentSuite) -> TextTable {
     });
     feature_row(&mut t, "IPv4-only AAAA Req", &|id| aaaa_v4_only(&o(id)));
     feature_row(&mut t, "EUI-64 Addr DNS Req", &|id| {
-        o(id).dns_src_v6.iter().any(|a| a.is_global_unicast() && a.is_eui64())
+        o(id)
+            .dns_src_v6
+            .iter()
+            .any(|a| a.is_global_unicast() && a.is_eui64())
     });
-    feature_row(&mut t, "AAAA Response", &|id| !o(id).aaaa_pos_any().is_empty());
+    feature_row(&mut t, "AAAA Response", &|id| {
+        !o(id).aaaa_pos_any().is_empty()
+    });
     feature_row(&mut t, "Stateless DHCPv6", &|id| o(id).dhcpv6_stateless);
     feature_row(&mut t, "IPv6 TCP/UDP Trans", &|id| {
         o(id).v6_internet_bytes + o(id).v6_local_bytes > 0
@@ -491,7 +582,10 @@ pub fn table8(suite: &ExperimentSuite) -> TextTable {
     feature_row(&mut t, "Internet Trans", &|id| o(id).v6_internet_data());
     feature_row(&mut t, "Local Data Trans", &|id| o(id).v6_local_bytes > 0);
     feature_row(&mut t, "EUI-64 Internet Trans", &|id| {
-        o(id).data_src_v6.iter().any(|a| a.is_global_unicast() && a.is_eui64())
+        o(id)
+            .data_src_v6
+            .iter()
+            .any(|a| a.is_global_unicast() && a.is_eui64())
     });
     t
 }
@@ -500,10 +594,9 @@ pub fn table8(suite: &ExperimentSuite) -> TextTable {
 
 /// Table 9: destination domains switching between IPv4 and IPv6.
 pub fn table9(suite: &ExperimentSuite, active: &ActiveDnsReport) -> TextTable {
-    let mut t = TextTable::new(
-        "Table 9: destination domains switching between IPv4 and IPv6 (dual-stack)",
-    )
-    .headers(["Metric", "Value", "% of common"]);
+    let mut t =
+        TextTable::new("Table 9: destination domains switching between IPv4 and IPv6 (dual-stack)")
+            .headers(["Metric", "Value", "% of common"]);
 
     // Per-family domain footprints across the whole testbed.
     let union_of = |configs: &[NetworkConfig]| {
@@ -526,12 +619,18 @@ pub fn table9(suite: &ExperimentSuite, active: &ActiveDnsReport) -> TextTable {
     t.row([
         "# IPv6 Dest. Domain".to_string(),
         all_v6.len().to_string(),
-        format!("{:.1}%", 100.0 * all_v6.len() as f64 / all.len().max(1) as f64),
+        format!(
+            "{:.1}%",
+            100.0 * all_v6.len() as f64 / all.len().max(1) as f64
+        ),
     ]);
     t.row([
         "# IPv4 Dest. Domain".to_string(),
         all_v4.len().to_string(),
-        format!("{:.1}%", 100.0 * all_v4.len() as f64 / all.len().max(1) as f64),
+        format!(
+            "{:.1}%",
+            100.0 * all_v4.len() as f64 / all.len().max(1) as f64
+        ),
     ]);
 
     let v4_run = suite.run(NetworkConfig::Ipv4Only);
@@ -586,7 +685,13 @@ pub fn table9(suite: &ExperimentSuite, active: &ActiveDnsReport) -> TextTable {
 pub fn table10(suite: &ExperimentSuite) -> TextTable {
     let mut t = TextTable::new("Table 10: devices, categories, and measured IPv6 features")
         .headers([
-            "Device", "Category", "Func v6-only", "NDP", "IPv6 Addr", "GUA", "DNS/IPv6",
+            "Device",
+            "Category",
+            "Func v6-only",
+            "NDP",
+            "IPv6 Addr",
+            "GUA",
+            "DNS/IPv6",
             "Global Data",
         ]);
     for p in &suite.profiles {
@@ -652,9 +757,15 @@ pub fn table12(suite: &ExperimentSuite) -> TextTable {
     row(&mut t, "IPv6 NDP Traffic", &|id| o(id).ndp_traffic);
     row(&mut t, "IPv6 Address", &|id| o(id).has_v6_addr());
     row(&mut t, "GUA", &|id| active_gua(&o(id)));
-    row(&mut t, "AAAA DNS Request", &|id| !o(id).aaaa_q_any().is_empty());
-    row(&mut t, "AAAA Response", &|id| !o(id).aaaa_pos_any().is_empty());
-    row(&mut t, "Internet TCP/UDP IPv6 Data", &|id| o(id).v6_internet_data());
+    row(&mut t, "AAAA DNS Request", &|id| {
+        !o(id).aaaa_q_any().is_empty()
+    });
+    row(&mut t, "AAAA Response", &|id| {
+        !o(id).aaaa_pos_any().is_empty()
+    });
+    row(&mut t, "Internet TCP/UDP IPv6 Data", &|id| {
+        o(id).v6_internet_data()
+    });
     row(&mut t, "Functional over IPv6-only", &|id| {
         suite.functional_v6only(id)
     });
@@ -666,14 +777,31 @@ pub fn table12(suite: &ExperimentSuite) -> TextTable {
 /// Table 13: address and distinct-query counts by manufacturer and OS.
 pub fn table13(suite: &ExperimentSuite) -> TextTable {
     let o = |id: &str| suite.v6_and_dual_observation(id);
-    let mut mans: Vec<String> = suite.profiles.iter().map(|p| p.manufacturer.clone()).collect();
+    let mut mans: Vec<String> = suite
+        .profiles
+        .iter()
+        .map(|p| p.manufacturer.clone())
+        .collect();
     mans.sort();
     mans.dedup();
     let mans: Vec<String> = mans
         .into_iter()
-        .filter(|m| suite.profiles.iter().filter(|p| &p.manufacturer == m).count() >= 3)
+        .filter(|m| {
+            suite
+                .profiles
+                .iter()
+                .filter(|p| &p.manufacturer == m)
+                .count()
+                >= 3
+        })
         .collect();
-    let oses = [Os::Tizen, Os::FireOs, Os::AndroidBased, Os::Fuchsia, Os::IosTvos];
+    let oses = [
+        Os::Tizen,
+        Os::FireOs,
+        Os::AndroidBased,
+        Os::Fuchsia,
+        Os::IosTvos,
+    ];
 
     let mut headers = vec!["Metric".to_string(), "Total".to_string()];
     headers.extend(mans.iter().cloned());
@@ -708,16 +836,27 @@ pub fn table13(suite: &ExperimentSuite) -> TextTable {
     };
     row(&mut t, "IPv6 Address", &|ob| ob.all_addrs().len());
     row(&mut t, "GUA", &|ob| {
-        ob.all_addrs().iter().filter(|a| a.kind() == AddressKind::Global).count()
+        ob.all_addrs()
+            .iter()
+            .filter(|a| a.kind() == AddressKind::Global)
+            .count()
     });
     row(&mut t, "ULA", &|ob| {
-        ob.all_addrs().iter().filter(|a| a.kind() == AddressKind::UniqueLocal).count()
+        ob.all_addrs()
+            .iter()
+            .filter(|a| a.kind() == AddressKind::UniqueLocal)
+            .count()
     });
     row(&mut t, "LLA", &|ob| {
-        ob.all_addrs().iter().filter(|a| a.kind() == AddressKind::LinkLocal).count()
+        ob.all_addrs()
+            .iter()
+            .filter(|a| a.kind() == AddressKind::LinkLocal)
+            .count()
     });
     row(&mut t, "AAAA Req", &|ob| ob.aaaa_q_any().len());
-    row(&mut t, "A only Req in IPv6", &|ob| ob.a_only_v6_names().len());
+    row(&mut t, "A only Req in IPv6", &|ob| {
+        ob.a_only_v6_names().len()
+    });
     row(&mut t, "IPv4-only AAAA Req", &|ob| {
         ob.aaaa_q_v4.difference(&ob.aaaa_q_v6).count()
     });
@@ -730,10 +869,8 @@ pub fn table13(suite: &ExperimentSuite) -> TextTable {
 /// Side-by-side comparison of the three IPv6-only variants (the paper
 /// discusses these differences in §5.2.1 but never tabulates them).
 pub fn variants(suite: &ExperimentSuite) -> TextTable {
-    let mut t = TextTable::new(
-        "IPv6-only variants: baseline vs RDNSS-only vs stateful (devices)",
-    )
-    .headers(["Feature", "Baseline", "RDNSS-only", "Stateful"]);
+    let mut t = TextTable::new("IPv6-only variants: baseline vs RDNSS-only vs stateful (devices)")
+        .headers(["Feature", "Baseline", "RDNSS-only", "Stateful"]);
     let configs = [
         NetworkConfig::Ipv6Only,
         NetworkConfig::Ipv6OnlyRdnssOnly,
@@ -752,7 +889,9 @@ pub fn variants(suite: &ExperimentSuite) -> TextTable {
     row(&mut t, "DNS over IPv6", &|o| o.dns_over_v6());
     row(&mut t, "Stateless DHCPv6 exchange", &|o| o.dhcpv6_stateless);
     row(&mut t, "Stateful DHCPv6 exchange", &|o| o.dhcpv6_stateful);
-    row(&mut t, "Got a DHCPv6 address", &|o| !o.dhcpv6_addrs.is_empty());
+    row(&mut t, "Got a DHCPv6 address", &|o| {
+        !o.dhcpv6_addrs.is_empty()
+    });
     row(&mut t, "Internet IPv6 data", &|o| o.v6_internet_data());
     // Functionality per variant.
     let mut r = vec!["Functional".to_string()];
@@ -769,8 +908,10 @@ pub fn variants(suite: &ExperimentSuite) -> TextTable {
 /// The DAD compliance report: devices that skipped DAD for at least one
 /// used address, and devices that never DAD at all.
 pub fn dad_report(suite: &ExperimentSuite) -> TextTable {
-    let mut t = TextTable::new("DAD compliance (RFC 4862 §5.4): devices skipping duplicate address detection")
-        .headers(["Device", "Addresses used", "DAD-probed", "Never DAD"]);
+    let mut t = TextTable::new(
+        "DAD compliance (RFC 4862 §5.4): devices skipping duplicate address detection",
+    )
+    .headers(["Device", "Addresses used", "DAD-probed", "Never DAD"]);
     let mut skip_some = 0usize;
     let mut never = 0usize;
     for p in &suite.profiles {
@@ -798,7 +939,11 @@ pub fn dad_report(suite: &ExperimentSuite) -> TextTable {
             p.name.clone(),
             used.len().to_string(),
             probed.len().to_string(),
-            if never_dad { "yes".into() } else { "-".to_string() },
+            if never_dad {
+                "yes".into()
+            } else {
+                "-".to_string()
+            },
         ]);
     }
     t.row([
@@ -857,7 +1002,10 @@ pub fn headline_numbers(suite: &ExperimentSuite) -> BTreeMap<&'static str, i64> 
     m.insert("t5_lla", count(&|id| has_lla(&u(id))));
     m.insert("t5_eui64", count(&|id| has_eui64_addr(&u(id))));
     m.insert("t5_dns6", count(&|id| u(id).dns_over_v6()));
-    m.insert("t5_a_only", count(&|id| !u(id).a_only_v6_names().is_empty()));
+    m.insert(
+        "t5_a_only",
+        count(&|id| !u(id).a_only_v6_names().is_empty()),
+    );
     m.insert("t5_aaaa_any", count(&|id| !u(id).aaaa_q_any().is_empty()));
     m.insert("t5_aaaa_v4only", count(&|id| aaaa_v4_only(&u(id))));
     m.insert("t5_aaaa_pos", count(&|id| !u(id).aaaa_pos_any().is_empty()));

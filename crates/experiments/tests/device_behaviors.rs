@@ -126,7 +126,10 @@ fn samsung_fridge_sources_traffic_from_stateful_address() {
         o.dns_src_v6
     );
     // Its EUI-64 address still leaks via the echo probe.
-    assert!(o.active_v6.iter().any(|a| a.is_eui64() && a.is_global_unicast()));
+    assert!(o
+        .active_v6
+        .iter()
+        .any(|a| a.is_eui64() && a.is_global_unicast()));
 }
 
 #[test]

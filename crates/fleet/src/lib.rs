@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! # v6brick-fleet — parallel multi-home campaign simulation
+//!
+//! The paper measures one physical testbed of 93 devices. This crate
+//! scales that design out: synthesize `N` independent smart homes (each
+//! a deterministic subsample of the device registry under a network
+//! config drawn from the Table 2 matrix), simulate them on a worker
+//! pool, and stream each finished home into a mergeable
+//! [`PopulationReport`] so memory stays `O(workers)`, not `O(homes)`.
+//!
+//! Determinism is the design center:
+//!
+//! * every home's seed derives from `(campaign_seed, home_index)` alone
+//!   ([`seed::home_seed`]) — home 17 of a 32-home campaign is
+//!   bit-identical to home 17 of a 1000-home campaign;
+//! * homes are reduced **in home-index order** no matter which worker
+//!   finishes first ([`pool::run_indexed`]) — the final report is
+//!   byte-identical across worker counts.
+//!
+//! The crate is generic over the network-config type so it does not
+//! depend on the experiment harness; `v6brick-experiments` supplies the
+//! per-home runner (build → simulate → analyze → drop capture) and the
+//! `repro fleet` CLI on top.
+
+pub mod plan;
+pub mod pool;
+pub mod seed;
+
+pub use plan::{plan_homes, HomeSpec};
+pub use pool::run_indexed;
+pub use seed::home_seed;
+pub use v6brick_core::population::PopulationReport;

@@ -1,0 +1,128 @@
+//! Home synthesis: turn a campaign description into concrete homes.
+//!
+//! A home is a device-registry subsample plus a network config drawn
+//! from a weighted mix (the Table 2 matrix rows, typically). Both draws
+//! use only the home's own seed, so every home is reproducible in
+//! isolation.
+
+use crate::seed::home_seed;
+use std::ops::RangeInclusive;
+use v6brick_devices::profile::DeviceProfile;
+use v6brick_devices::registry;
+
+/// One synthesized home, ready to hand to a runner.
+#[derive(Debug, Clone)]
+pub struct HomeSpec<C> {
+    /// Position in the campaign (the reduction order key).
+    pub index: u64,
+    /// Simulation seed, derived from `(campaign_seed, index)`.
+    pub seed: u64,
+    /// Network configuration for this home's router.
+    pub config: C,
+    /// Device models present in this home (registry subsample).
+    pub profiles: Vec<DeviceProfile>,
+}
+
+/// Small deterministic draws on top of the home seed, kept separate
+/// from the simulation's own RNG stream: draw `k` splitmix64 steps.
+fn draw(seed: u64, step: u64) -> u64 {
+    crate::seed::home_seed(seed, step)
+}
+
+/// Synthesize `homes` homes for a campaign.
+///
+/// * `mix` — weighted network configs; each home draws one
+///   proportionally to weight. Must be non-empty with a positive total.
+/// * `devices` — inclusive range for the per-home device count; the
+///   count is drawn uniformly, then that many devices are subsampled
+///   from the registry.
+///
+/// Home `i` of the result is identical for any `homes > i`, any worker
+/// count, and any order of later calls — it depends only on
+/// `(campaign_seed, i, mix, devices)`.
+pub fn plan_homes<C: Copy>(
+    campaign_seed: u64,
+    homes: u64,
+    mix: &[(C, u32)],
+    devices: RangeInclusive<usize>,
+) -> Vec<HomeSpec<C>> {
+    let total_weight: u64 = mix.iter().map(|(_, w)| *w as u64).sum();
+    assert!(
+        total_weight > 0,
+        "config mix must have positive total weight"
+    );
+    let (dev_min, dev_max) = (*devices.start(), *devices.end());
+    assert!(dev_min >= 1 && dev_min <= dev_max, "bad device range");
+
+    (0..homes)
+        .map(|index| {
+            let seed = home_seed(campaign_seed, index);
+            // Config: weighted draw over the mix.
+            let mut ticket = draw(seed, 1) % total_weight;
+            let mut config = mix[0].0;
+            for (c, w) in mix {
+                if ticket < *w as u64 {
+                    config = *c;
+                    break;
+                }
+                ticket -= *w as u64;
+            }
+            // Device complement: uniform count, then registry subsample.
+            let span = (dev_max - dev_min) as u64 + 1;
+            let count = dev_min + (draw(seed, 2) % span) as usize;
+            let profiles = registry::subsample(count, draw(seed, 3));
+            HomeSpec {
+                index,
+                seed,
+                config,
+                profiles,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(spec: &HomeSpec<u8>) -> Vec<String> {
+        spec.profiles.iter().map(|p| p.id.clone()).collect()
+    }
+
+    #[test]
+    fn prefix_stable_across_campaign_sizes() {
+        let mix = [(0u8, 1), (1u8, 1)];
+        let small = plan_homes(7, 8, &mix, 2..=5);
+        let large = plan_homes(7, 32, &mix, 2..=5);
+        for (a, b) in small.iter().zip(&large) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.config, b.config);
+            assert_eq!(ids(a), ids(b));
+        }
+    }
+
+    #[test]
+    fn device_counts_respect_range() {
+        let homes = plan_homes(3, 64, &[(0u8, 1)], 3..=9);
+        assert!(homes.iter().all(|h| (3..=9).contains(&h.profiles.len())));
+        // The draw actually varies.
+        let distinct: std::collections::HashSet<usize> =
+            homes.iter().map(|h| h.profiles.len()).collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn weighted_mix_roughly_respected() {
+        let homes = plan_homes(11, 300, &[(0u8, 3), (1u8, 1)], 2..=2);
+        let zeros = homes.iter().filter(|h| h.config == 0).count();
+        // Expect ~225 of 300; allow wide tolerance.
+        assert!((180..=260).contains(&zeros), "got {zeros} zeros");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn empty_mix_rejected() {
+        plan_homes(0, 1, &[] as &[(u8, u32)], 1..=1);
+    }
+}

@@ -1,0 +1,142 @@
+//! The worker pool: fan work out to threads, reduce results in order.
+//!
+//! Workers pull items from a bounded crossbeam channel and send
+//! `(index, result)` pairs back; the caller's thread folds results in
+//! index order, buffering only the out-of-order window. The fold
+//! therefore observes exactly the same sequence for 1 worker or 64 —
+//! the foundation of the campaign-level determinism guarantee.
+
+use std::collections::BTreeMap;
+
+/// Run `runner` over `items` on `workers` threads and fold the results
+/// into `init` **in item order** (the enumeration index of `items`).
+///
+/// With `workers <= 1` everything runs inline on the caller's thread —
+/// the reference path the parallel path must match byte-for-byte.
+///
+/// Memory: at most `2 × workers` items are queued and the out-of-order
+/// result buffer holds at most the spread between the slowest and
+/// fastest in-flight item — both `O(workers)`, independent of
+/// `items.len()`.
+pub fn run_indexed<W, R, T, F, G>(
+    items: Vec<W>,
+    workers: usize,
+    runner: F,
+    init: T,
+    mut fold: G,
+) -> T
+where
+    W: Send,
+    R: Send,
+    F: Fn(W) -> R + Sync,
+    G: FnMut(&mut T, u64, R),
+{
+    let mut acc = init;
+    if workers <= 1 {
+        for (index, item) in items.into_iter().enumerate() {
+            let result = runner(item);
+            fold(&mut acc, index as u64, result);
+        }
+        return acc;
+    }
+
+    let (work_tx, work_rx) = crossbeam::channel::bounded::<(u64, W)>(workers * 2);
+    let (result_tx, result_rx) = crossbeam::channel::unbounded::<(u64, R)>();
+    let runner = &runner;
+
+    std::thread::scope(|s| {
+        // Feeder: trickle items into the bounded queue so the pool never
+        // materializes more than O(workers) pending items.
+        s.spawn(move || {
+            for (index, item) in items.into_iter().enumerate() {
+                if work_tx.send((index as u64, item)).is_err() {
+                    break;
+                }
+            }
+        });
+
+        for _ in 0..workers {
+            let work_rx = work_rx.clone();
+            let result_tx = result_tx.clone();
+            s.spawn(move || {
+                for (index, item) in &work_rx {
+                    if result_tx.send((index, runner(item))).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        // The scope's own handles would keep the results channel open.
+        drop(work_rx);
+        drop(result_tx);
+
+        // In-order reduce: buffer early arrivals, fold as soon as the
+        // next expected index shows up.
+        let mut pending: BTreeMap<u64, R> = BTreeMap::new();
+        let mut next = 0u64;
+        for (index, result) in &result_rx {
+            pending.insert(index, result);
+            while let Some(result) = pending.remove(&next) {
+                fold(&mut acc, next, result);
+                next += 1;
+            }
+        }
+        assert!(pending.is_empty(), "worker died mid-campaign");
+    });
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn squares(n: u64, workers: usize) -> Vec<(u64, u64)> {
+        run_indexed(
+            (0..n).collect::<Vec<u64>>(),
+            workers,
+            |x| x * x,
+            Vec::new(),
+            |acc, index, r| acc.push((index, r)),
+        )
+    }
+
+    #[test]
+    fn fold_order_matches_item_order() {
+        let reference = squares(200, 1);
+        for workers in [2, 4, 8] {
+            assert_eq!(squares(200, workers), reference, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn uneven_work_still_reduces_in_order() {
+        // Early items sleep longest so later indices finish first.
+        let indices: Vec<u64> = (0..24).collect();
+        let out = run_indexed(
+            indices,
+            6,
+            |i| {
+                std::thread::sleep(std::time::Duration::from_millis(24 - i));
+                i
+            },
+            Vec::new(),
+            |acc, index, r| {
+                assert_eq!(index, r);
+                acc.push(index);
+            },
+        );
+        assert_eq!(out, (0..24).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn empty_input_returns_init() {
+        let out = run_indexed(Vec::<u64>::new(), 4, |x| x, 41u64, |acc, _, r| *acc += r);
+        assert_eq!(out, 41);
+    }
+
+    #[test]
+    fn single_item_many_workers() {
+        let out = run_indexed(vec![5u64], 8, |x| x + 1, 0u64, |acc, _, r| *acc = r);
+        assert_eq!(out, 6);
+    }
+}

@@ -1,0 +1,55 @@
+//! Per-home seed derivation.
+//!
+//! Each home's seed must depend only on the campaign seed and the
+//! home's index — never on the campaign size or the worker schedule —
+//! so that any subrange of a campaign reproduces exactly. The
+//! splitmix64 finalizer provides this: it is a bijection on `u64`, so
+//! distinct `(campaign_seed, index)` inputs give collision-free,
+//! well-mixed outputs in O(1).
+
+/// Weyl-sequence increment (odd), keeping per-index inputs distinct.
+const GOLDEN_GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// The splitmix64 finalizer: a bijective avalanche mix on `u64`.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The simulation seed for home `home_index` of a campaign.
+///
+/// For a fixed campaign seed this is injective in the index (the input
+/// `campaign_seed + (index+1)·γ` is distinct per index because γ is
+/// odd, and the finalizer is bijective), so two homes of one campaign
+/// can never share a seed.
+pub fn home_seed(campaign_seed: u64, home_index: u64) -> u64 {
+    mix(campaign_seed.wrapping_add(home_index.wrapping_add(1).wrapping_mul(GOLDEN_GAMMA)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn no_collisions_across_10k_homes() {
+        for campaign in [0u64, 7, u64::MAX] {
+            let seeds: HashSet<u64> = (0..10_000).map(|i| home_seed(campaign, i)).collect();
+            assert_eq!(
+                seeds.len(),
+                10_000,
+                "collision under campaign seed {campaign}"
+            );
+        }
+    }
+
+    #[test]
+    fn independent_of_campaign_size() {
+        // Nothing but (seed, index) goes in, so this is trivially true;
+        // pin it anyway as the API contract.
+        assert_eq!(home_seed(42, 17), home_seed(42, 17));
+        assert_ne!(home_seed(42, 17), home_seed(43, 17));
+        assert_ne!(home_seed(42, 17), home_seed(42, 18));
+    }
+}

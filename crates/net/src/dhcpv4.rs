@@ -205,8 +205,9 @@ impl Repr {
                             dns_servers = body.chunks_exact(4).map(|c| ipv4_at(c, 0)).collect()
                         }
                         12 => {
-                            hostname =
-                                Some(String::from_utf8(body.to_vec()).map_err(|_| Error::Malformed)?)
+                            hostname = Some(
+                                String::from_utf8(body.to_vec()).map_err(|_| Error::Malformed)?,
+                            )
                         }
                         _ => {} // ignore unknown options
                     }
@@ -242,7 +243,11 @@ mod tests {
 
     #[test]
     fn discover_offer_roundtrip() {
-        let mut d = Repr::client(MessageType::Discover, 0xdeadbeef, Mac::new(2, 0, 0, 0, 0, 7));
+        let mut d = Repr::client(
+            MessageType::Discover,
+            0xdeadbeef,
+            Mac::new(2, 0, 0, 0, 0, 7),
+        );
         d.hostname = Some("echo-show-5".into());
         assert_eq!(Repr::parse_bytes(&d.build()).unwrap(), d);
 

@@ -54,7 +54,10 @@ impl MessageType {
     pub fn is_stateful(self) -> bool {
         matches!(
             self,
-            MessageType::Solicit | MessageType::Advertise | MessageType::Request | MessageType::Release
+            MessageType::Solicit
+                | MessageType::Advertise
+                | MessageType::Request
+                | MessageType::Release
         )
     }
 }

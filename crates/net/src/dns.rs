@@ -501,8 +501,7 @@ impl Writer {
         for i in 0..labels.len() {
             let suffix = labels[i..].join(".");
             if let Some(&off) = self.seen.get(&suffix) {
-                self.out
-                    .extend_from_slice(&(0xc000u16 | off).to_be_bytes());
+                self.out.extend_from_slice(&(0xc000u16 | off).to_be_bytes());
                 return;
             }
             if self.out.len() <= 0x3fff {
@@ -707,7 +706,12 @@ impl<'a> Reader<'a> {
         if self.pos != rdata_end {
             return Err(Error::Malformed);
         }
-        Ok(Record { name, rtype, ttl, rdata })
+        Ok(Record {
+            name,
+            rtype,
+            ttl,
+            rdata,
+        })
     }
 }
 
@@ -733,7 +737,10 @@ mod tests {
 
     #[test]
     fn second_level_extraction() {
-        assert_eq!(name("unagi-na.amazon.com").second_level(), name("amazon.com"));
+        assert_eq!(
+            name("unagi-na.amazon.com").second_level(),
+            name("amazon.com")
+        );
         assert_eq!(name("a2.tuyaus.com").second_level(), name("tuyaus.com"));
         assert_eq!(name("amazon.com").second_level(), name("amazon.com"));
         assert_eq!(name("com").second_level(), name("com"));
@@ -836,8 +843,8 @@ mod tests {
 
     #[test]
     fn compression_shrinks_and_roundtrips() {
-        let mut resp = Message::query(5, name("a.b.example.net"), RecordType::A)
-            .response(Rcode::NoError);
+        let mut resp =
+            Message::query(5, name("a.b.example.net"), RecordType::A).response(Rcode::NoError);
         for i in 0..4u8 {
             resp.answers.push(Record::new(
                 name("a.b.example.net"),
@@ -872,8 +879,8 @@ mod tests {
 
     #[test]
     fn txt_roundtrip() {
-        let mut resp = Message::query(7, name("t.example"), RecordType::Txt)
-            .response(Rcode::NoError);
+        let mut resp =
+            Message::query(7, name("t.example"), RecordType::Txt).response(Rcode::NoError);
         resp.answers.push(Record::new(
             name("t.example"),
             60,

@@ -190,7 +190,10 @@ mod tests {
 
     #[test]
     fn checked_rejects_short_buffer() {
-        assert_eq!(Frame::new_checked(&[0u8; 13][..]).unwrap_err(), Error::Truncated);
+        assert_eq!(
+            Frame::new_checked(&[0u8; 13][..]).unwrap_err(),
+            Error::Truncated
+        );
     }
 
     #[test]

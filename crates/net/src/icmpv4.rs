@@ -63,14 +63,22 @@ impl Repr {
     /// Serialize, computing the checksum.
     pub fn build(&self) -> Vec<u8> {
         let mut b = match self {
-            Repr::EchoRequest { ident, seq, payload } => {
+            Repr::EchoRequest {
+                ident,
+                seq,
+                payload,
+            } => {
                 let mut b = vec![8, 0, 0, 0];
                 b.extend_from_slice(&ident.to_be_bytes());
                 b.extend_from_slice(&seq.to_be_bytes());
                 b.extend_from_slice(payload);
                 b
             }
-            Repr::EchoReply { ident, seq, payload } => {
+            Repr::EchoReply {
+                ident,
+                seq,
+                payload,
+            } => {
                 let mut b = vec![0, 0, 0, 0];
                 b.extend_from_slice(&ident.to_be_bytes());
                 b.extend_from_slice(&seq.to_be_bytes());

@@ -105,13 +105,21 @@ impl Repr {
     pub fn build(&self, src: Ipv6Addr, dst: Ipv6Addr) -> Vec<u8> {
         let mut b = Vec::with_capacity(64);
         match self {
-            Repr::EchoRequest { ident, seq, payload } => {
+            Repr::EchoRequest {
+                ident,
+                seq,
+                payload,
+            } => {
                 b.extend_from_slice(&[128, 0, 0, 0]);
                 b.extend_from_slice(&ident.to_be_bytes());
                 b.extend_from_slice(&seq.to_be_bytes());
                 b.extend_from_slice(payload);
             }
-            Repr::EchoReply { ident, seq, payload } => {
+            Repr::EchoReply {
+                ident,
+                seq,
+                payload,
+            } => {
                 b.extend_from_slice(&[129, 0, 0, 0]);
                 b.extend_from_slice(&ident.to_be_bytes());
                 b.extend_from_slice(&seq.to_be_bytes());
@@ -171,7 +179,10 @@ mod tests {
             payload: b"discover".to_vec(),
         };
         let bytes = r.build(lla(), mcast::ALL_NODES);
-        assert_eq!(Repr::parse_bytes(lla(), mcast::ALL_NODES, &bytes).unwrap(), r);
+        assert_eq!(
+            Repr::parse_bytes(lla(), mcast::ALL_NODES, &bytes).unwrap(),
+            r
+        );
         // Wrong pseudo-header => checksum failure.
         assert_eq!(
             Repr::parse_bytes(lla(), mcast::ALL_ROUTERS, &bytes).unwrap_err(),
@@ -240,13 +251,17 @@ mod tests {
         let mut bad = bytes.clone();
         bad[7] = 2;
         // (checksum now wrong, so fix it: rebuild via raw checksum calc)
-        bad[2] = 0; bad[3] = 0;
+        bad[2] = 0;
+        bad[3] = 0;
         let mut c = crate::checksum::Checksum::new();
         c.add_ipv6_pseudo(src, dst, 58, bad.len() as u32);
         c.add(&bad);
         let sum = c.finish();
         bad[2..4].copy_from_slice(&sum.to_be_bytes());
-        assert_eq!(Repr::parse_bytes(src, dst, &bad).unwrap_err(), Error::Truncated);
+        assert_eq!(
+            Repr::parse_bytes(src, dst, &bad).unwrap_err(),
+            Error::Truncated
+        );
     }
 
     #[test]

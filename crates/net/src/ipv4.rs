@@ -197,7 +197,10 @@ impl Cidr {
     /// Construct; prefix length must be ≤ 32.
     pub fn new(address: Ipv4Addr, prefix_len: u8) -> Cidr {
         assert!(prefix_len <= 32, "ipv4 prefix length out of range");
-        Cidr { address, prefix_len }
+        Cidr {
+            address,
+            prefix_len,
+        }
     }
 
     /// Does `addr` fall inside this block?
@@ -246,7 +249,10 @@ mod tests {
     fn rejects_wrong_version_and_truncation() {
         let mut bytes = repr().build(b"data");
         bytes[0] = 0x65;
-        assert_eq!(Packet::new_checked(&bytes[..]).unwrap_err(), Error::Malformed);
+        assert_eq!(
+            Packet::new_checked(&bytes[..]).unwrap_err(),
+            Error::Malformed
+        );
         let bytes = repr().build(b"data");
         assert_eq!(
             Packet::new_checked(&bytes[..10]).unwrap_err(),

@@ -90,8 +90,10 @@ impl Ipv6AddrExt for Ipv6Addr {
 
     fn is_eui64(&self) -> bool {
         let o = self.octets();
-        matches!(self.kind(), AddressKind::Global | AddressKind::UniqueLocal | AddressKind::LinkLocal)
-            && o[11] == 0xff
+        matches!(
+            self.kind(),
+            AddressKind::Global | AddressKind::UniqueLocal | AddressKind::LinkLocal
+        ) && o[11] == 0xff
             && o[12] == 0xfe
     }
 
@@ -275,7 +277,10 @@ impl Cidr {
     /// Construct; prefix length must be ≤ 128.
     pub fn new(address: Ipv6Addr, prefix_len: u8) -> Cidr {
         assert!(prefix_len <= 128, "ipv6 prefix length out of range");
-        Cidr { address, prefix_len }
+        Cidr {
+            address,
+            prefix_len,
+        }
     }
 
     /// Does `addr` fall inside this block?
@@ -371,7 +376,10 @@ mod tests {
         };
         let mut bytes = r.build(b"");
         bytes[0] = 0x40;
-        assert_eq!(Packet::new_checked(&bytes[..]).unwrap_err(), Error::Malformed);
+        assert_eq!(
+            Packet::new_checked(&bytes[..]).unwrap_err(),
+            Error::Malformed
+        );
         let bytes = r.build(b"");
         assert_eq!(
             Packet::new_checked(&bytes[..30]).unwrap_err(),

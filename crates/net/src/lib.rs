@@ -50,4 +50,4 @@ pub mod udp;
 
 pub use error::{Error, Result};
 pub use mac::Mac;
-pub use parse::{L4, ParsedPacket};
+pub use parse::{ParsedPacket, L4};

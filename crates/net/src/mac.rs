@@ -96,14 +96,7 @@ impl Mac {
     /// if the `ff:fe` marker is present.
     pub fn from_eui64(iid: &[u8; 8]) -> Option<Mac> {
         if iid[3] == 0xff && iid[4] == 0xfe {
-            Some(Mac([
-                iid[0] ^ 0x02,
-                iid[1],
-                iid[2],
-                iid[5],
-                iid[6],
-                iid[7],
-            ]))
+            Some(Mac([iid[0] ^ 0x02, iid[1], iid[2], iid[5], iid[6], iid[7]]))
         } else {
             None
         }
@@ -201,7 +194,12 @@ mod tests {
     fn slaac_address_composition() {
         let m = Mac::new(0xc0, 0xff, 0x4d, 0x2e, 0x1a, 0x2b);
         let a = m.slaac_address("2001:db8:1::".parse().unwrap());
-        assert_eq!(a, "2001:db8:1::c2ff:4dff:fe2e:1a2b".parse::<Ipv6Addr>().unwrap());
+        assert_eq!(
+            a,
+            "2001:db8:1::c2ff:4dff:fe2e:1a2b"
+                .parse::<Ipv6Addr>()
+                .unwrap()
+        );
     }
 
     #[test]

@@ -444,23 +444,20 @@ mod tests {
     fn zero_length_option_rejected() {
         // type 1, length 0 — must not loop forever.
         let body = [0u8, 0, 0, 0, 1, 0, 0, 0];
-        assert_eq!(
-            Repr::parse_body(133, &body).unwrap_err(),
-            Error::Malformed
-        );
+        assert_eq!(Repr::parse_body(133, &body).unwrap_err(), Error::Malformed);
     }
 
     #[test]
     fn truncated_option_rejected() {
         let body = [0u8, 0, 0, 0, 1, 2, 0, 0]; // opt claims 16 bytes, has 4
-        assert_eq!(
-            Repr::parse_body(133, &body).unwrap_err(),
-            Error::Truncated
-        );
+        assert_eq!(Repr::parse_body(133, &body).unwrap_err(), Error::Truncated);
     }
 
     #[test]
     fn unsupported_type_rejected() {
-        assert_eq!(Repr::parse_body(200, &[0; 8]).unwrap_err(), Error::Unsupported);
+        assert_eq!(
+            Repr::parse_body(200, &[0; 8]).unwrap_err(),
+            Error::Unsupported
+        );
     }
 }

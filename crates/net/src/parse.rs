@@ -263,8 +263,11 @@ fn parse_l4_v6(ip: &ipv6::Repr, payload: &[u8]) -> Result<L4> {
 pub fn parse_lenient(frame: &[u8]) -> Result<ParsedPacket> {
     match ParsedPacket::parse(frame) {
         Ok(p) => Ok(p),
-        Err(Error::Truncated) | Err(Error::BadChecksum) | Err(Error::Malformed)
-        | Err(Error::BadName) | Err(Error::Unsupported) => {
+        Err(Error::Truncated)
+        | Err(Error::BadChecksum)
+        | Err(Error::Malformed)
+        | Err(Error::BadName)
+        | Err(Error::Unsupported) => {
             // Retry at L3 only.
             let f = ethernet::Frame::new_checked(frame)?;
             let eth = ethernet::Repr::parse(&f);
@@ -372,7 +375,11 @@ mod tests {
 
     #[test]
     fn parse_arp() {
-        let a = arp::Repr::request(mac(3), Ipv4Addr::new(10, 0, 0, 2), Ipv4Addr::new(10, 0, 0, 1));
+        let a = arp::Repr::request(
+            mac(3),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(10, 0, 0, 1),
+        );
         let frame = ethernet::Repr {
             src: mac(3),
             dst: Mac::BROADCAST,
@@ -479,7 +486,7 @@ mod tests {
         let mut frame = v6_udp_frame();
         let n = frame.len();
         frame[n - 1] ^= 0x55; // corrupt UDP payload => fine, UDP doesn't verify here
-        // Corrupt the UDP length field instead to break L4 parse.
+                              // Corrupt the UDP length field instead to break L4 parse.
         frame[14 + 40 + 4] = 0xff;
         assert!(ParsedPacket::parse(&frame).is_err());
         let p = parse_lenient(&frame).unwrap();

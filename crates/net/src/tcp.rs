@@ -303,9 +303,15 @@ mod tests {
             dst: Ipv4Addr::UNSPECIFIED,
         });
         bytes[12] = 0x30; // data offset 12 bytes < 20
-        assert_eq!(Packet::new_checked(&bytes[..]).unwrap_err(), Error::Malformed);
+        assert_eq!(
+            Packet::new_checked(&bytes[..]).unwrap_err(),
+            Error::Malformed
+        );
         bytes[12] = 0xf0; // data offset 60 bytes > buffer
-        assert_eq!(Packet::new_checked(&bytes[..]).unwrap_err(), Error::Malformed);
+        assert_eq!(
+            Packet::new_checked(&bytes[..]).unwrap_err(),
+            Error::Malformed
+        );
     }
 
     #[test]

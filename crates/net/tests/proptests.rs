@@ -1,11 +1,14 @@
 //! Property-based round-trip and robustness tests for every wire format.
 
 use proptest::prelude::*;
+use std::net::{Ipv4Addr, Ipv6Addr};
 use v6brick_net::dns::{Message, Name, Rcode, Rdata, Record, RecordType};
 use v6brick_net::ipv4::Protocol;
 use v6brick_net::udp::PseudoHeader;
-use v6brick_net::{arp, checksum, dhcpv4, dhcpv6, dns, ethernet, icmpv4, icmpv6, ipv4, ipv6, ndp, tcp, tls, udp, Mac};
-use std::net::{Ipv4Addr, Ipv6Addr};
+use v6brick_net::{
+    arp, checksum, dhcpv4, dhcpv6, dns, ethernet, icmpv4, icmpv6, ipv4, ipv6, ndp, tcp, tls, udp,
+    Mac,
+};
 
 fn arb_mac() -> impl Strategy<Value = Mac> {
     any::<[u8; 6]>().prop_map(Mac::from)

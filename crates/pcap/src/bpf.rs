@@ -93,11 +93,11 @@ pub fn parse(expr: &str) -> Result<Filter, ParseError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::net::Ipv6Addr;
     use v6brick_net::ethernet::{EtherType, Repr as EthRepr};
     use v6brick_net::parse::ParsedPacket;
     use v6brick_net::udp::PseudoHeader;
     use v6brick_net::{ipv6, udp};
-    use std::net::Ipv6Addr;
 
     fn dns6_packet() -> ParsedPacket {
         let src: Ipv6Addr = "2001:db8::10".parse().unwrap();
@@ -145,7 +145,10 @@ mod tests {
         assert_eq!(parse("port banana").unwrap_err().token, "banana");
         assert_eq!(parse("port").unwrap_err().token, "port");
         assert_eq!(parse("host not-an-ip").unwrap_err().token, "not-an-ip");
-        assert_eq!(parse("ether dst 02:00:00:00:00:01").unwrap_err().token, "dst");
+        assert_eq!(
+            parse("ether dst 02:00:00:00:00:01").unwrap_err().token,
+            "dst"
+        );
         assert!(parse("icmp6").is_ok());
     }
 }

@@ -1,10 +1,10 @@
 //! Typed packet filters — the role BPF expressions play in the paper's
 //! tcpdump-based pipeline, but checked at compile time.
 
-use v6brick_net::ipv4::Protocol;
-use v6brick_net::parse::{L4, Net, ParsedPacket};
-use v6brick_net::Mac;
 use std::net::IpAddr;
+use v6brick_net::ipv4::Protocol;
+use v6brick_net::parse::{Net, ParsedPacket, L4};
+use v6brick_net::Mac;
 
 /// Which IP family a filter selects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,10 +129,10 @@ impl Filter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::net::Ipv6Addr;
     use v6brick_net::ethernet::{EtherType, Repr as EthRepr};
     use v6brick_net::udp::{PseudoHeader, Repr as UdpRepr};
     use v6brick_net::{ipv6, parse::ParsedPacket};
-    use std::net::Ipv6Addr;
 
     fn dns6_frame(src_mac: Mac) -> Vec<u8> {
         let src: Ipv6Addr = "2001:db8::10".parse().unwrap();
@@ -173,10 +173,14 @@ mod tests {
         assert!(!Filter::new().ip_version(IpVersion::V4).matches(&p));
         assert!(!Filter::new().port(443).matches(&p));
         assert!(!Filter::new().src_mac(Mac::BROADCAST).matches(&p));
-        assert!(Filter::new().either_mac(Mac::new(2, 0, 0, 0, 0, 0xfe)).matches(&p));
+        assert!(Filter::new()
+            .either_mac(Mac::new(2, 0, 0, 0, 0, 0xfe))
+            .matches(&p));
         assert!(Filter::new()
             .ip("2001:4860:4860::8888".parse().unwrap())
             .matches(&p));
-        assert!(!Filter::new().ip("2001:db8::99".parse().unwrap()).matches(&p));
+        assert!(!Filter::new()
+            .ip("2001:db8::99".parse().unwrap())
+            .matches(&p));
     }
 }

@@ -166,8 +166,7 @@ mod tests {
         let bytes = to_bytes(&sample());
         let mut pos = 0;
         while pos < bytes.len() {
-            let total =
-                u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap()) as usize;
+            let total = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap()) as usize;
             assert_eq!(total % 4, 0);
             let trailing =
                 u32::from_le_bytes(bytes[pos + total - 4..pos + total].try_into().unwrap());

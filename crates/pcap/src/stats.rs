@@ -2,7 +2,7 @@
 //! when sanity-checking an experiment run.
 
 use crate::Capture;
-use v6brick_net::parse::{L4, Net};
+use v6brick_net::parse::{Net, L4};
 
 /// Frame and byte counts broken down the way the paper slices traffic.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -49,7 +49,9 @@ impl CaptureStats {
                 Net::Other(_) => {}
             }
             match &p.l4 {
-                L4::Udp { src_port, dst_port, .. } => {
+                L4::Udp {
+                    src_port, dst_port, ..
+                } => {
                     s.udp_frames += 1;
                     if *src_port == 53 || *dst_port == 53 {
                         s.dns_frames += 1;
@@ -62,7 +64,9 @@ impl CaptureStats {
                         s.dhcpv6_frames += 1;
                     }
                 }
-                L4::Tcp { src_port, dst_port, .. } => {
+                L4::Tcp {
+                    src_port, dst_port, ..
+                } => {
                     s.tcp_frames += 1;
                     if *src_port == 53 || *dst_port == 53 {
                         s.dns_frames += 1;
@@ -80,11 +84,11 @@ impl CaptureStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::net::Ipv6Addr;
     use v6brick_net::ethernet::{EtherType, Repr as EthRepr};
     use v6brick_net::ipv4::Protocol;
     use v6brick_net::udp::{PseudoHeader, Repr as UdpRepr};
     use v6brick_net::{ipv6, Mac};
-    use std::net::Ipv6Addr;
 
     #[test]
     fn counts_dns_and_families() {

@@ -5,7 +5,10 @@ use v6brick_pcap::{format, Capture};
 
 fn arb_capture() -> impl Strategy<Value = Capture> {
     proptest::collection::vec(
-        (0u64..10_000_000_000, proptest::collection::vec(any::<u8>(), 0..256)),
+        (
+            0u64..10_000_000_000,
+            proptest::collection::vec(any::<u8>(), 0..256),
+        ),
         0..40,
     )
     .prop_map(|mut frames| {

@@ -183,7 +183,10 @@ impl Simulation {
                     }
                     Self::apply(&mut self.queue, self.clock, host, fx);
                 }
-                EventKind::WanPacket { to_internet, packet } => {
+                EventKind::WanPacket {
+                    to_internet,
+                    packet,
+                } => {
                     if to_internet {
                         for reply in self.internet.handle_packet(&packet) {
                             self.queue.push(
@@ -210,7 +213,7 @@ impl Simulation {
     fn deliver_lan(&mut self, from: usize, frame: &[u8]) {
         if self.loss_per_mille > 0 {
             use rand::Rng;
-            if self.rng.gen_range(0..1000) < self.loss_per_mille {
+            if self.rng.gen_range(0u32..1000) < self.loss_per_mille {
                 self.frames_lost += 1;
                 return;
             }

@@ -130,7 +130,8 @@ impl EventQueue {
     pub fn push(&mut self, at: SimTime, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(QueuedEvent(Event { at, seq, kind })));
+        self.heap
+            .push(Reverse(QueuedEvent(Event { at, seq, kind })));
     }
 
     /// Remove and return the earliest event.

@@ -54,7 +54,11 @@ impl<'a> Effects<'a> {
 /// A participant on the LAN. Implemented by the IoT device models, the
 /// verification phones, and the port-scanner host; the router has its own
 /// slot in the engine.
-pub trait Host: Any {
+///
+/// `Send` is a supertrait so whole simulations (and their boxed hosts)
+/// can move between worker threads: the fleet campaign runner builds
+/// and runs one `Simulation` per home on a thread pool.
+pub trait Host: Any + Send {
     /// This host's MAC address (its identity for capture attribution).
     fn mac(&self) -> Mac;
 

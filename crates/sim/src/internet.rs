@@ -394,10 +394,17 @@ impl Internet {
                 if !known {
                     return out;
                 }
-                if let Ok(icmpv6::Repr::EchoRequest { ident, seq, payload }) =
-                    icmpv6::Repr::parse_bytes(ip.src, ip.dst, payload)
+                if let Ok(icmpv6::Repr::EchoRequest {
+                    ident,
+                    seq,
+                    payload,
+                }) = icmpv6::Repr::parse_bytes(ip.src, ip.dst, payload)
                 {
-                    let reply = icmpv6::Repr::EchoReply { ident, seq, payload };
+                    let reply = icmpv6::Repr::EchoReply {
+                        ident,
+                        seq,
+                        payload,
+                    };
                     let body = reply.build(ip.dst, ip.src);
                     out.push(
                         ipv6::Repr {
@@ -470,14 +477,22 @@ impl Internet {
         if let Some(name) = self.domain_for(dst) {
             let profile = self.zones.get(&name)?;
             let len = (payload.len() as u32 * profile.response_scale).clamp(16, 8192) as usize;
-            *self.served.entry((name.clone(), dst.is_ipv6())).or_insert(0) += len as u64;
+            *self
+                .served
+                .entry((name.clone(), dst.is_ipv6()))
+                .or_insert(0) += len as u64;
             return Some((vec![0x5a; len], dst_port));
         }
         None
     }
 
     /// Semi-stateless server-side TCP.
-    fn handle_tcp(&mut self, domain: Option<Name>, was_v6: bool, seg: &tcp::Repr) -> Vec<tcp::Repr> {
+    fn handle_tcp(
+        &mut self,
+        domain: Option<Name>,
+        was_v6: bool,
+        seg: &tcp::Repr,
+    ) -> Vec<tcp::Repr> {
         let Some(name) = domain else {
             // Unroutable/unknown destination: silence (packets to nowhere).
             return Vec::new();
@@ -516,8 +531,8 @@ impl Internet {
         } else if !seg.payload.is_empty() {
             // Cap the response segment well inside the IPv6 payload-length
             // field; clients chase volume with multiple request segments.
-            let len = (seg.payload.len() as u32 * profile.response_scale).clamp(64, 48 * 1024)
-                as usize;
+            let len =
+                (seg.payload.len() as u32 * profile.response_scale).clamp(64, 48 * 1024) as usize;
             *self.served.entry((name, was_v6)).or_insert(0) += len as u64;
             out.push(tcp::Repr {
                 src_port: seg.dst_port,

@@ -157,7 +157,12 @@ impl Router {
             let dst = inner.dst();
             // Routed (no NAT66): deliver to the on-link neighbor if known.
             if let Some(&mac) = self.neighbors_v6.get(&dst) {
-                fx.send_frame(eth_frame(addrs::ROUTER_MAC, mac, EtherType::Ipv6, p.payload()));
+                fx.send_frame(eth_frame(
+                    addrs::ROUTER_MAC,
+                    mac,
+                    EtherType::Ipv6,
+                    p.payload(),
+                ));
             } else {
                 self.dropped += 1;
             }
@@ -391,16 +396,13 @@ impl Router {
                             payload_len: body.len(),
                         }
                         .build(&body);
-                        fx.send_frame(eth_frame(
-                            addrs::ROUTER_MAC,
-                            src_mac,
-                            EtherType::Ipv6,
-                            &pkt,
-                        ));
+                        fx.send_frame(eth_frame(addrs::ROUTER_MAC, src_mac, EtherType::Ipv6, &pkt));
                     }
                 }
             }
-            icmpv6::Repr::Ndp(Ndp::NeighborAdvert { target, options, .. }) => {
+            icmpv6::Repr::Ndp(Ndp::NeighborAdvert {
+                target, options, ..
+            }) => {
                 for o in options {
                     if let NdpOption::TargetLinkLayerAddr(m) = o {
                         self.neighbors_v6.insert(*target, *m);
@@ -432,7 +434,10 @@ impl Router {
                 let mut r = dhcpv6::Repr::new(dhcpv6::MessageType::Advertise, msg.transaction_id);
                 r.client_id = msg.client_id.clone();
                 r.server_id = Some(SERVER_DUID.to_vec());
-                r.ia_na = Some(ia_with(addr, msg.ia_na.as_ref().map(|i| i.iaid).unwrap_or(1)));
+                r.ia_na = Some(ia_with(
+                    addr,
+                    msg.ia_na.as_ref().map(|i| i.iaid).unwrap_or(1),
+                ));
                 r.dns_servers = vec![addrs::DNS6_PRIMARY, addrs::DNS6_SECONDARY];
                 Some(r)
             }
@@ -441,7 +446,10 @@ impl Router {
                 let mut r = dhcpv6::Repr::new(dhcpv6::MessageType::Reply, msg.transaction_id);
                 r.client_id = msg.client_id.clone();
                 r.server_id = Some(SERVER_DUID.to_vec());
-                r.ia_na = Some(ia_with(addr, msg.ia_na.as_ref().map(|i| i.iaid).unwrap_or(1)));
+                r.ia_na = Some(ia_with(
+                    addr,
+                    msg.ia_na.as_ref().map(|i| i.iaid).unwrap_or(1),
+                ));
                 r.dns_servers = vec![addrs::DNS6_PRIMARY, addrs::DNS6_SECONDARY];
                 Some(r)
             }
@@ -465,12 +473,7 @@ impl Router {
                 payload_len: udp_bytes.len(),
             }
             .build(&udp_bytes);
-            fx.send_frame(eth_frame(
-                addrs::ROUTER_MAC,
-                src_mac,
-                EtherType::Ipv6,
-                &pkt,
-            ));
+            fx.send_frame(eth_frame(addrs::ROUTER_MAC, src_mac, EtherType::Ipv6, &pkt));
         }
     }
 
@@ -490,9 +493,7 @@ impl Router {
     /// Route a unicast IPv6 packet: on-link stays switched; off-link GUAs
     /// go through the tunnel. ULAs and LLAs are never routed off-link.
     fn route_v6(&mut self, repr: &ipv6::Repr, full_packet: &[u8], fx: &mut Effects) {
-        if repr.dst.is_multicast()
-            || repr.dst == addrs::ROUTER_LLA
-            || repr.dst == addrs::ROUTER_GUA
+        if repr.dst.is_multicast() || repr.dst == addrs::ROUTER_LLA || repr.dst == addrs::ROUTER_GUA
         {
             return;
         }
@@ -778,7 +779,10 @@ mod tests {
                 let offer = dhcpv4::Repr::parse_bytes(&payload).unwrap();
                 assert_eq!(offer.message_type, dhcpv4::MessageType::Offer);
                 assert_eq!(offer.your_addr, Ipv4Addr::new(192, 168, 1, 100));
-                assert_eq!(offer.dns_servers, vec![addrs::DNS4_PRIMARY, addrs::DNS4_SECONDARY]);
+                assert_eq!(
+                    offer.dns_servers,
+                    vec![addrs::DNS4_PRIMARY, addrs::DNS4_SECONDARY]
+                );
             }
             other => panic!("expected udp, got {other:?}"),
         }
@@ -817,13 +821,21 @@ mod tests {
             other => panic!("expected icmpv6, got {other:?}"),
         };
         match ndp {
-            Ndp::RouterAdvert { managed, other_config, options, .. } => {
+            Ndp::RouterAdvert {
+                managed,
+                other_config,
+                options,
+                ..
+            } => {
                 assert!(!managed);
                 assert!(other_config); // stateless DHCPv6 advertised
                 assert!(options.iter().any(|o| matches!(o, NdpOption::Rdnss { .. })));
                 assert!(options.iter().any(|o| matches!(
                     o,
-                    NdpOption::PrefixInfo { autonomous: true, .. }
+                    NdpOption::PrefixInfo {
+                        autonomous: true,
+                        ..
+                    }
                 )));
             }
             other => panic!("expected RA, got {other:?}"),
@@ -879,13 +891,21 @@ mod tests {
             let mut fx = Effects::new(rng);
             let mut m = dhcpv6::Repr::new(mt, 9);
             m.client_id = Some(duid.clone());
-            m.ia_na = Some(dhcpv6::IaNa { iaid: 3, t1: 0, t2: 0, addresses: vec![] });
+            m.ia_na = Some(dhcpv6::IaNa {
+                iaid: 3,
+                t1: 0,
+                t2: 0,
+                addresses: vec![],
+            });
             let udp_bytes = udp::Repr {
                 src_port: 546,
                 dst_port: 547,
                 payload: m.build(),
             }
-            .build(PseudoHeader::V6 { src: lla, dst: mcast::DHCPV6_SERVERS });
+            .build(PseudoHeader::V6 {
+                src: lla,
+                dst: mcast::DHCPV6_SERVERS,
+            });
             let pkt = ipv6::Repr {
                 src: lla,
                 dst: mcast::DHCPV6_SERVERS,
@@ -936,7 +956,10 @@ mod tests {
             dst_port: 443,
             payload: b"out".to_vec(),
         }
-        .build(PseudoHeader::V4 { src: lan_ip, dst: remote });
+        .build(PseudoHeader::V4 {
+            src: lan_ip,
+            dst: remote,
+        });
         let pkt = ipv4::Repr {
             src: lan_ip,
             dst: remote,
@@ -962,7 +985,10 @@ mod tests {
             dst_port: wan_port,
             payload: b"in".to_vec(),
         }
-        .build(PseudoHeader::V4 { src: remote, dst: addrs::ROUTER_WAN_IPV4 });
+        .build(PseudoHeader::V4 {
+            src: remote,
+            dst: addrs::ROUTER_WAN_IPV4,
+        });
         let reply = ipv4::Repr {
             src: remote,
             dst: addrs::ROUTER_WAN_IPV4,
@@ -984,7 +1010,10 @@ mod tests {
             dst_port: 31_337,
             payload: b"x".to_vec(),
         }
-        .build(PseudoHeader::V4 { src: remote, dst: addrs::ROUTER_WAN_IPV4 });
+        .build(PseudoHeader::V4 {
+            src: remote,
+            dst: addrs::ROUTER_WAN_IPV4,
+        });
         let stray = ipv4::Repr {
             src: remote,
             dst: addrs::ROUTER_WAN_IPV4,

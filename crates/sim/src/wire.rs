@@ -1,11 +1,11 @@
 //! Frame-building helpers shared by every host implementation (devices,
 //! phones, the port scanner, tests).
 
+use std::net::{Ipv4Addr, Ipv6Addr};
 use v6brick_net::ethernet::EtherType;
 use v6brick_net::ipv4::Protocol;
 use v6brick_net::udp::PseudoHeader;
 use v6brick_net::{icmpv6, ipv4, ipv6, tcp, udp, Mac};
-use std::net::{Ipv4Addr, Ipv6Addr};
 
 pub use crate::router::eth_frame;
 
@@ -128,7 +128,7 @@ pub fn icmpv6_frame(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use v6brick_net::parse::{L4, ParsedPacket};
+    use v6brick_net::parse::{ParsedPacket, L4};
 
     #[test]
     fn builders_produce_parseable_frames() {
@@ -171,9 +171,6 @@ mod tests {
                 payload: vec![],
             },
         );
-        assert!(matches!(
-            ParsedPacket::parse(&f).unwrap().l4,
-            L4::Icmpv6(_)
-        ));
+        assert!(matches!(ParsedPacket::parse(&f).unwrap().l4, L4::Icmpv6(_)));
     }
 }

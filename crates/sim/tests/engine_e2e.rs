@@ -8,7 +8,7 @@ use std::net::{Ipv4Addr, Ipv6Addr};
 use v6brick_net::dns::{Message, Name, RecordType};
 use v6brick_net::ipv6::mcast;
 use v6brick_net::ndp::{NdpOption, Repr as Ndp};
-use v6brick_net::parse::{L4, Net, ParsedPacket};
+use v6brick_net::parse::{Net, ParsedPacket, L4};
 use v6brick_net::{dhcpv4, icmpv6, tcp, Mac};
 use v6brick_sim::event::SimTime;
 use v6brick_sim::host::{Effects, Host};
@@ -46,9 +46,18 @@ impl Host for Client {
     }
 
     fn on_frame(&mut self, _now: SimTime, frame: &[u8], _fx: &mut Effects) {
-        let Ok(p) = ParsedPacket::parse(frame) else { return };
+        let Ok(p) = ParsedPacket::parse(frame) else {
+            return;
+        };
         match (&p.net, &p.l4) {
-            (Net::Ipv4(_), L4::Udp { src_port: 67, payload, .. }) => {
+            (
+                Net::Ipv4(_),
+                L4::Udp {
+                    src_port: 67,
+                    payload,
+                    ..
+                },
+            ) => {
                 if let Ok(m) = dhcpv4::Repr::parse_bytes(payload) {
                     if m.message_type == dhcpv4::MessageType::Offer {
                         self.v4 = Some(m.your_addr);
@@ -61,14 +70,26 @@ impl Host for Client {
             (Net::Ipv6(_), L4::Icmpv6(icmpv6::Repr::Ndp(Ndp::RouterAdvert { options, .. }))) => {
                 self.router_mac = Some(p.eth.src);
                 for o in options {
-                    if let NdpOption::PrefixInfo { autonomous: true, prefix, .. } = o {
+                    if let NdpOption::PrefixInfo {
+                        autonomous: true,
+                        prefix,
+                        ..
+                    } = o
+                    {
                         let mut oct = prefix.octets();
                         oct[15] = 0x77;
                         self.gua = Some(Ipv6Addr::from(oct));
                     }
                 }
             }
-            (_, L4::Udp { src_port: 53, payload, .. }) => {
+            (
+                _,
+                L4::Udp {
+                    src_port: 53,
+                    payload,
+                    ..
+                },
+            ) => {
                 if let Ok(m) = Message::parse_bytes(payload) {
                     if let Some(a) = m.a_answers().next() {
                         self.resolved_a = Some(a);
@@ -79,13 +100,15 @@ impl Host for Client {
                 }
             }
             (Net::Ipv4(_), L4::Tcp { flags, .. })
-                if flags.contains(tcp::Flags::SYN) && flags.contains(tcp::Flags::ACK) => {
-                    self.synack_v4 = true;
-                }
+                if flags.contains(tcp::Flags::SYN) && flags.contains(tcp::Flags::ACK) =>
+            {
+                self.synack_v4 = true;
+            }
             (Net::Ipv6(_), L4::Tcp { flags, .. })
-                if flags.contains(tcp::Flags::SYN) && flags.contains(tcp::Flags::ACK) => {
-                    self.synack_v6 = true;
-                }
+                if flags.contains(tcp::Flags::SYN) && flags.contains(tcp::Flags::ACK) =>
+            {
+                self.synack_v6 = true;
+            }
             _ => {}
         }
     }
@@ -97,13 +120,21 @@ impl Host for Client {
                 // DHCP DISCOVER + RS.
                 let d = dhcpv4::Repr::client(dhcpv4::MessageType::Discover, 7, self.mac());
                 fx.send_frame(wire::udp4_frame(
-                    self.mac(), Mac::BROADCAST,
-                    Ipv4Addr::UNSPECIFIED, Ipv4Addr::BROADCAST, 68, 67, d.build(),
+                    self.mac(),
+                    Mac::BROADCAST,
+                    Ipv4Addr::UNSPECIFIED,
+                    Ipv4Addr::BROADCAST,
+                    68,
+                    67,
+                    d.build(),
                 ));
                 let rs = icmpv6::Repr::Ndp(Ndp::RouterSolicit { options: vec![] });
                 fx.send_frame(wire::icmpv6_frame(
-                    self.mac(), Mac::for_ipv6_multicast(mcast::ALL_ROUTERS),
-                    Ipv6Addr::UNSPECIFIED, mcast::ALL_ROUTERS, &rs,
+                    self.mac(),
+                    Mac::for_ipv6_multicast(mcast::ALL_ROUTERS),
+                    Ipv6Addr::UNSPECIFIED,
+                    mcast::ALL_ROUTERS,
+                    &rs,
                 ));
             }
             2 => {
@@ -112,19 +143,29 @@ impl Host for Client {
                 r.requested_ip = self.v4;
                 r.server_id = Some(addrs::ROUTER_IPV4);
                 fx.send_frame(wire::udp4_frame(
-                    self.mac(), Mac::BROADCAST,
-                    Ipv4Addr::UNSPECIFIED, Ipv4Addr::BROADCAST, 68, 67, r.build(),
+                    self.mac(),
+                    Mac::BROADCAST,
+                    Ipv4Addr::UNSPECIFIED,
+                    Ipv4Addr::BROADCAST,
+                    68,
+                    67,
+                    r.build(),
                 ));
                 // Announce the GUA so the tunnel can route back.
                 if let Some(gua) = self.gua {
                     let na = icmpv6::Repr::Ndp(Ndp::NeighborAdvert {
-                        router: false, solicited: false, override_flag: true,
+                        router: false,
+                        solicited: false,
+                        override_flag: true,
                         target: gua,
                         options: vec![NdpOption::TargetLinkLayerAddr(self.mac())],
                     });
                     fx.send_frame(wire::icmpv6_frame(
-                        self.mac(), Mac::for_ipv6_multicast(mcast::ALL_NODES),
-                        gua, mcast::ALL_NODES, &na,
+                        self.mac(),
+                        Mac::for_ipv6_multicast(mcast::ALL_NODES),
+                        gua,
+                        mcast::ALL_NODES,
+                        &na,
                     ));
                 }
             }
@@ -133,13 +174,26 @@ impl Host for Client {
                 if let (Some(v4), Some(gw)) = (self.v4, self.gw_mac) {
                     let q = Message::query(1, Name::new("svc.e2e.example").unwrap(), RecordType::A);
                     fx.send_frame(wire::udp4_frame(
-                        self.mac(), gw, v4, addrs::DNS4_PRIMARY, 40000, 53, q.build(),
+                        self.mac(),
+                        gw,
+                        v4,
+                        addrs::DNS4_PRIMARY,
+                        40000,
+                        53,
+                        q.build(),
                     ));
                 }
                 if let (Some(gua), Some(rm)) = (self.gua, self.router_mac) {
-                    let q = Message::query(2, Name::new("svc.e2e.example").unwrap(), RecordType::Aaaa);
+                    let q =
+                        Message::query(2, Name::new("svc.e2e.example").unwrap(), RecordType::Aaaa);
                     fx.send_frame(wire::udp6_frame(
-                        self.mac(), rm, gua, addrs::DNS6_PRIMARY, 40001, 53, q.build(),
+                        self.mac(),
+                        rm,
+                        gua,
+                        addrs::DNS6_PRIMARY,
+                        40001,
+                        53,
+                        q.build(),
                     ));
                 }
             }
@@ -147,14 +201,22 @@ impl Host for Client {
                 // TCP SYN over both families.
                 if let (Some(v4), Some(gw), Some(dst)) = (self.v4, self.gw_mac, self.resolved_a) {
                     fx.send_frame(wire::tcp4_frame(
-                        self.mac(), gw, v4, dst, &tcp::Repr::syn(41000, 443, 9),
+                        self.mac(),
+                        gw,
+                        v4,
+                        dst,
+                        &tcp::Repr::syn(41000, 443, 9),
                     ));
                 }
                 if let (Some(gua), Some(rm), Some(dst)) =
                     (self.gua, self.router_mac, self.resolved_aaaa)
                 {
                     fx.send_frame(wire::tcp6_frame(
-                        self.mac(), rm, gua, dst, &tcp::Repr::syn(41001, 443, 9),
+                        self.mac(),
+                        rm,
+                        gua,
+                        dst,
+                        &tcp::Repr::syn(41001, 443, 9),
                     ));
                 }
             }
@@ -173,7 +235,9 @@ impl Host for Client {
 
 fn run_client(config: RouterConfig) -> (Client, v6brick_pcap::Capture) {
     let mut zones = ZoneDb::new();
-    zones.insert(DomainProfile::dual_stack(Name::new("svc.e2e.example").unwrap()));
+    zones.insert(DomainProfile::dual_stack(
+        Name::new("svc.e2e.example").unwrap(),
+    ));
     let mut b = SimulationBuilder::new(Router::new(config), Internet::new(zones));
     let id = b.add_host(Box::new(Client::default()));
     let mut sim = b.build();
@@ -243,8 +307,11 @@ fn enterprise_suppresses_slaac_prefix() {
 fn periodic_ra_keeps_arriving() {
     // Count multicast RAs over 10 minutes: one at boot + one per 120s.
     let mut zones = ZoneDb::new();
-    zones.insert(DomainProfile::dual_stack(Name::new("svc.e2e.example").unwrap()));
-    let mut b = SimulationBuilder::new(Router::new(RouterConfig::ipv6_only()), Internet::new(zones));
+    zones.insert(DomainProfile::dual_stack(
+        Name::new("svc.e2e.example").unwrap(),
+    ));
+    let mut b =
+        SimulationBuilder::new(Router::new(RouterConfig::ipv6_only()), Internet::new(zones));
     b.add_host(Box::new(Client::default()));
     let mut sim = b.build();
     sim.run_until(SimTime::from_secs(600));
@@ -258,5 +325,8 @@ fn periodic_ra_keeps_arriving() {
             ) && p.eth.dst == Mac::for_ipv6_multicast(mcast::ALL_NODES)
         })
         .count();
-    assert!((5..=7).contains(&ras), "expected ~6 periodic RAs, saw {ras}");
+    assert!(
+        (5..=7).contains(&ras),
+        "expected ~6 periodic RAs, saw {ras}"
+    );
 }

@@ -1,0 +1,42 @@
+//! Compile-time guarantees that whole simulations can cross threads —
+//! the contract the fleet campaign runner builds on. Each assertion
+//! fails to *compile* (not run) if a non-`Send` type sneaks into the
+//! engine, a host implementation, or the capture path.
+
+use v6brick_sim::{Host, Internet, Router, RouterConfig, Simulation, SimulationBuilder, ZoneDb};
+
+fn assert_send<T: Send>() {}
+
+#[test]
+fn simulation_machinery_is_send() {
+    assert_send::<SimulationBuilder>();
+    assert_send::<Simulation>();
+    assert_send::<Box<dyn Host>>();
+    assert_send::<Router>();
+    assert_send::<Internet>();
+}
+
+#[test]
+fn a_built_simulation_moves_across_threads() {
+    let config = RouterConfig {
+        ipv4: true,
+        ipv6: true,
+        rdnss: true,
+        stateless_dhcpv6: true,
+        stateful_dhcpv6: false,
+        suppress_slaac: false,
+    };
+    let sim = SimulationBuilder::new(Router::new(config), Internet::new(ZoneDb::new()))
+        .seed(1)
+        .build();
+    let frames = std::thread::spawn(move || {
+        let mut sim = sim;
+        sim.run_until(v6brick_sim::SimTime::from_secs(1));
+        sim.take_capture().len()
+    })
+    .join()
+    .unwrap();
+    // An empty LAN still boots the router (RAs etc.); we only care that
+    // the move compiled and the run completed.
+    let _ = frames;
+}

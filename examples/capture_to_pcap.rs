@@ -12,7 +12,7 @@ use v6brick::devices::registry;
 use v6brick::devices::stack::IotDevice;
 use v6brick::experiments::{scenario, NetworkConfig};
 use v6brick::pcap::format;
-use v6brick::sim::{Internet, Router, SimulationBuilder, SimTime};
+use v6brick::sim::{Internet, Router, SimTime, SimulationBuilder};
 
 fn main() {
     let path = std::env::args()
@@ -23,7 +23,10 @@ fn main() {
     let ids = ["echo_show_5", "nest_camera", "hue_hub", "google_home_mini"];
     let profiles: Vec<_> = ids.iter().map(|id| registry::by_id(id)).collect();
 
-    println!("Simulating a dual-stack smart home with {} devices...", profiles.len());
+    println!(
+        "Simulating a dual-stack smart home with {} devices...",
+        profiles.len()
+    );
     let zones = scenario::build_zones(&profiles);
     let mut b = SimulationBuilder::new(
         Router::new(NetworkConfig::DualStack.router_config()),
@@ -40,7 +43,11 @@ fn main() {
     sim.run_until(SimTime::from_secs(180));
 
     let capture = sim.take_capture();
-    println!("Captured {} frames ({} bytes on the wire).", capture.len(), capture.total_bytes());
+    println!(
+        "Captured {} frames ({} bytes on the wire).",
+        capture.len(),
+        capture.total_bytes()
+    );
 
     // Serialize exactly like tcpdump would store it.
     let file = std::fs::File::create(&path).expect("create pcap");

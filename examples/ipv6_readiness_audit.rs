@@ -44,7 +44,10 @@ fn main() {
         }
     }
 
-    println!("Auditing {} devices for IPv6-only readiness...\n", profiles.len());
+    println!(
+        "Auditing {} devices for IPv6-only readiness...\n",
+        profiles.len()
+    );
     let v6 = scenario::run_with_profiles(NetworkConfig::Ipv6Only, &profiles);
     let dual = scenario::run_with_profiles(NetworkConfig::DualStack, &profiles);
 

@@ -11,9 +11,9 @@
 
 use std::collections::BTreeSet;
 use v6brick::core::DeviceObservation;
+use v6brick::devices::phone::Phone;
 use v6brick::devices::registry;
 use v6brick::devices::stack::IotDevice;
-use v6brick::devices::phone::Phone;
 use v6brick::experiments::{scenario, suite, NetworkConfig};
 use v6brick::net::ipv6::Ipv6AddrExt;
 use v6brick::sim::{Internet, Router, SimTime, SimulationBuilder};
@@ -57,12 +57,15 @@ fn main() {
         let (devices, frames) = run_week(w);
         let guas: usize = devices
             .iter()
-            .map(|(_, o)| o.all_addrs().iter().filter(|a| a.is_global_unicast()).count())
+            .map(|(_, o)| {
+                o.all_addrs()
+                    .iter()
+                    .filter(|a| a.is_global_unicast())
+                    .count()
+            })
             .sum();
         let v6_dev = devices.iter().filter(|(_, o)| o.v6_internet_data()).count();
-        println!(
-            "week {w}: {frames} frames, {guas} distinct GUAs, {v6_dev} devices with v6 data"
-        );
+        println!("week {w}: {frames} frames, {guas} distinct GUAs, {v6_dev} devices with v6 data");
         weekly_gua_counts.push(guas);
         weekly_v6_devices.push(v6_dev);
         if merged.is_empty() {
@@ -95,7 +98,11 @@ fn main() {
     );
     let eui: Vec<&String> = merged
         .iter()
-        .filter(|(_, o)| o.active_v6.iter().any(|a| a.is_global_unicast() && a.is_eui64()))
+        .filter(|(_, o)| {
+            o.active_v6
+                .iter()
+                .any(|a| a.is_global_unicast() && a.is_eui64())
+        })
         .map(|(id, _)| id)
         .collect();
     println!(

@@ -34,7 +34,11 @@ fn main() {
                 leaked.oui()[0],
                 leaked.oui()[1],
                 leaked.oui()[2],
-                if leaked == p.mac { " — VERIFIED: the device's own MAC" } else { "" },
+                if leaked == p.mac {
+                    " — VERIFIED: the device's own MAC"
+                } else {
+                    ""
+                },
             );
         }
         let usage = match (e.used_for_data, e.used_for_dns, e.used) {
@@ -52,13 +56,19 @@ fn main() {
 
     println!("== Fig. 5 funnel ==");
     let f = figures::eui64_funnel(&suite);
-    println!("  assign EUI-64 GUAs:   {} devices ({:.1}% of the testbed)", f.assign, 100.0 * f.assign as f64 / 93.0);
+    println!(
+        "  assign EUI-64 GUAs:   {} devices ({:.1}% of the testbed)",
+        f.assign,
+        100.0 * f.assign as f64 / 93.0
+    );
     println!("  use them:             {} devices", f.use_any);
     println!("  use them for DNS:     {} devices", f.use_dns);
     println!("  use them for data:    {} devices", f.use_internet_data);
     println!(
         "  domains exposed (data devices): {} first-party / {} support / {} third-party",
-        f.data_domains_by_party.first, f.data_domains_by_party.support, f.data_domains_by_party.third,
+        f.data_domains_by_party.first,
+        f.data_domains_by_party.support,
+        f.data_domains_by_party.third,
     );
     println!("\n{exposed} devices assign trackable addresses; rotate to RFC 8981 temporary addresses to fix.");
 }

@@ -8,7 +8,9 @@
 use v6brick::experiments::{tables, ExperimentSuite, NetworkConfig};
 
 fn main() {
-    println!("Booting 93 IoT devices in an IPv6-only network (SLAAC + RDNSS + stateless DHCPv6)...");
+    println!(
+        "Booting 93 IoT devices in an IPv6-only network (SLAAC + RDNSS + stateless DHCPv6)..."
+    );
     let suite = ExperimentSuite::run_config(NetworkConfig::Ipv6Only);
 
     let functional = suite.functional_devices();
@@ -23,14 +25,19 @@ fn main() {
 
     // The measured funnel for this single run.
     let run = &suite.runs()[0];
-    let count = |f: &dyn Fn(&v6brick::core::DeviceObservation) -> bool| {
-        run.analysis.count(|o| f(o))
-    };
+    let count =
+        |f: &dyn Fn(&v6brick::core::DeviceObservation) -> bool| run.analysis.count(|o| f(o));
     println!("\nThe readiness funnel (one IPv6-only run):");
     println!("  NDP traffic:        {}", count(&|o| o.ndp_traffic));
     println!("  IPv6 address:       {}", count(&|o| o.has_v6_addr()));
-    println!("  AAAA queries (v6):  {}", count(&|o| !o.aaaa_q_v6.is_empty()));
-    println!("  AAAA answers:       {}", count(&|o| !o.aaaa_pos_v6.is_empty()));
+    println!(
+        "  AAAA queries (v6):  {}",
+        count(&|o| !o.aaaa_q_v6.is_empty())
+    );
+    println!(
+        "  AAAA answers:       {}",
+        count(&|o| !o.aaaa_pos_v6.is_empty())
+    );
     println!("  Internet v6 data:   {}", count(&|o| o.v6_internet_data()));
     println!("  Functional:         {}", functional.len());
 

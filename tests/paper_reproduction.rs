@@ -33,7 +33,10 @@ fn table3_exact_totals() {
     assert_eq!(m["t3_gua"], 27, "27 devices use a global unicast address");
     assert_eq!(m["t3_aaaa_v6"], 22, "22 devices send AAAA queries over v6");
     assert_eq!(m["t3_aaaa_pos"], 19, "19 devices get positive AAAA answers");
-    assert_eq!(m["t3_data"], 19, "19 devices transmit Internet data over v6");
+    assert_eq!(
+        m["t3_data"], 19,
+        "19 devices transmit Internet data over v6"
+    );
     assert_eq!(m["t3_functional"], 8, "8 devices remain functional");
 }
 
@@ -100,7 +103,11 @@ fn table4_deltas() {
         let v6 = ids.iter().filter(|id| f(&s.v6only_observation(id))).count() as i64;
         dual - v6
     };
-    assert_eq!(delta(&|o| o.ndp_traffic), -1, "ThirdReality skips v6 in dual-stack");
+    assert_eq!(
+        delta(&|o| o.ndp_traffic),
+        -1,
+        "ThirdReality skips v6 in dual-stack"
+    );
     assert_eq!(delta(&|o| o.has_v6_addr()), 2);
     assert_eq!(delta(&|o| tables::active_gua(o)), 3);
     assert_eq!(delta(&|o| !o.aaaa_q_any().is_empty()), 15);
@@ -129,9 +136,8 @@ fn table6_address_and_query_volumes_in_range() {
     // (684 addresses / 456 GUA / 169 ULA / 59 LLA; 1077 AAAA names,
     // 114 A-only, 334 v4-only, 531 positive).
     let s = suite();
-    let within = |measured: i64, target: i64, pct: i64| {
-        (measured - target).abs() * 100 <= target * pct
-    };
+    let within =
+        |measured: i64, target: i64, pct: i64| (measured - target).abs() * 100 <= target * pct;
     let mut addrs = (0i64, 0i64, 0i64, 0i64);
     let mut dns = (0i64, 0i64, 0i64, 0i64);
     for id in s.device_ids() {
@@ -140,8 +146,14 @@ fn table6_address_and_query_volumes_in_range() {
         let a = o.all_addrs();
         addrs.0 += a.len() as i64;
         addrs.1 += a.iter().filter(|x| x.kind() == AddressKind::Global).count() as i64;
-        addrs.2 += a.iter().filter(|x| x.kind() == AddressKind::UniqueLocal).count() as i64;
-        addrs.3 += a.iter().filter(|x| x.kind() == AddressKind::LinkLocal).count() as i64;
+        addrs.2 += a
+            .iter()
+            .filter(|x| x.kind() == AddressKind::UniqueLocal)
+            .count() as i64;
+        addrs.3 += a
+            .iter()
+            .filter(|x| x.kind() == AddressKind::LinkLocal)
+            .count() as i64;
         dns.0 += o.aaaa_q_any().len() as i64;
         dns.1 += o.a_only_v6_names().len() as i64;
         dns.2 += o.aaaa_q_v4.difference(&o.aaaa_q_v6).count() as i64;
@@ -177,7 +189,13 @@ fn fig4_volume_shape() {
     // Paper-named cases: the Nest Camera exceeds 80% despite being
     // non-functional; the Nest Hubs stay under 20% despite being
     // functional.
-    let get = |id: &str| fracs.iter().find(|(d, _)| d == id).map(|(_, f)| *f).unwrap();
+    let get = |id: &str| {
+        fracs
+            .iter()
+            .find(|(d, _)| d == id)
+            .map(|(_, f)| *f)
+            .unwrap()
+    };
     assert!(get("nest_camera") > 0.80);
     assert!(!s.functional_v6only("nest_camera"));
     assert!(get("nest_hub") < 0.20);
@@ -190,7 +208,11 @@ fn table6_category_volume_fractions() {
     // Health, and Home Automation stay negligible (Table 6 bottom row).
     let fr = figures::category_volume_fractions(suite());
     assert!(fr["TV/Ent."] > 0.25, "TV fraction {:.3}", fr["TV/Ent."]);
-    assert!(fr["Speaker"] > 0.10, "Speaker fraction {:.3}", fr["Speaker"]);
+    assert!(
+        fr["Speaker"] > 0.10,
+        "Speaker fraction {:.3}",
+        fr["Speaker"]
+    );
     assert!(fr["Home Auto"] < 0.05);
     assert!(fr["Health"] < 0.05);
     assert!(fr["TV/Ent."] > fr["Speaker"]);
@@ -200,7 +222,10 @@ fn table6_category_volume_fractions() {
 #[test]
 fn dad_noncompliance_counts() {
     let (skip_some, never) = tables::dad_counts(suite());
-    assert_eq!(never, 4, "2 Aqara hubs + 2 home-automation devices never DAD");
+    assert_eq!(
+        never, 4,
+        "2 Aqara hubs + 2 home-automation devices never DAD"
+    );
     // The paper counts 18 devices skipping DAD for >=1 address; our
     // temporaries put the measurement at 16 (±2 of the paper).
     assert!(
@@ -219,8 +244,16 @@ fn rdnss_only_experiment_isolates_vizio() {
     let lost: Vec<&str> = s
         .device_ids()
         .filter(|id| {
-            let b = baseline.analysis.device(id).map(|o| o.dns_over_v6()).unwrap_or(false);
-            let r = rdnss_only.analysis.device(id).map(|o| o.dns_over_v6()).unwrap_or(false);
+            let b = baseline
+                .analysis
+                .device(id)
+                .map(|o| o.dns_over_v6())
+                .unwrap_or(false);
+            let r = rdnss_only
+                .analysis
+                .device(id)
+                .map(|o| o.dns_over_v6())
+                .unwrap_or(false);
             b && !r
         })
         .collect();
@@ -247,7 +280,12 @@ fn stateful_dhcpv6_usage() {
     using.sort();
     assert_eq!(
         using,
-        vec!["aeotec_hub", "homepod_mini", "samsung_fridge", "smartthings_hub"]
+        vec![
+            "aeotec_hub",
+            "homepod_mini",
+            "samsung_fridge",
+            "smartthings_hub"
+        ]
     );
 }
 
@@ -320,7 +358,10 @@ fn verdicts_are_seed_invariant() {
     let profiles = v6brick::devices::registry::build();
     let a = run_with_profiles_seeded(NetworkConfig::Ipv6Only, &profiles, 0x1111_0000);
     let b = run_with_profiles_seeded(NetworkConfig::Ipv6Only, &profiles, 0x2222_0000);
-    assert_eq!(a.functional, b.functional, "functionality is a device property");
+    assert_eq!(
+        a.functional, b.functional,
+        "functionality is a device property"
+    );
     for (id, oa) in &a.analysis.devices {
         let ob = &b.analysis.devices[id];
         assert_eq!(oa.ndp_traffic, ob.ndp_traffic, "{id}");

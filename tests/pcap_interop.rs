@@ -12,7 +12,13 @@ use v6brick::sim::{Internet, Router, SimTime, SimulationBuilder};
 
 fn household() -> (v6brick::pcap::Capture, Vec<(v6brick::net::Mac, String)>) {
     // HomePod included for its stateless DHCPv6 support.
-    let ids = ["echo_show_5", "nest_camera", "google_home_mini", "aqara_hub", "homepod_mini"];
+    let ids = [
+        "echo_show_5",
+        "nest_camera",
+        "google_home_mini",
+        "aqara_hub",
+        "homepod_mini",
+    ];
     let profiles: Vec<_> = ids.iter().map(|id| registry::by_id(id)).collect();
     let zones = scenario::build_zones(&profiles);
     let mut b = SimulationBuilder::new(
@@ -57,7 +63,10 @@ fn capture_statistics_are_plausible() {
     assert!(stats.arp_frames > 0, "v4 needs ARP resolution");
     assert!(stats.dns_frames > 0);
     assert!(stats.dhcpv4_frames > 0);
-    assert!(stats.dhcpv6_frames > 0, "stateless DHCPv6 runs in dual-stack");
+    assert!(
+        stats.dhcpv6_frames > 0,
+        "stateless DHCPv6 runs in dual-stack"
+    );
     assert!(stats.icmpv6_frames > 0, "NDP is ICMPv6");
     assert!(stats.tcp_frames > stats.udp_frames, "telemetry dominates");
     // Every frame decodes at least to L3 (no junk on our wire).
@@ -70,7 +79,10 @@ fn filters_select_expected_traffic() {
     use v6brick::pcap::filter::{Filter, IpVersion};
     let (capture, macs) = household();
 
-    let dns6 = Filter::new().ip_version(IpVersion::V6).protocol(Protocol::Udp).port(53);
+    let dns6 = Filter::new()
+        .ip_version(IpVersion::V6)
+        .protocol(Protocol::Udp)
+        .port(53);
     let dns6_count = capture.parsed().filter(|(_, p)| dns6.matches(p)).count();
     assert!(dns6_count > 0, "v6 DNS present in dual-stack");
 
@@ -85,5 +97,11 @@ fn filters_select_expected_traffic() {
         .ip_version(IpVersion::V6)
         .port(53)
         .src_mac(aqara_mac);
-    assert_eq!(capture.parsed().filter(|(_, p)| aqara_dns6.matches(p)).count(), 0);
+    assert_eq!(
+        capture
+            .parsed()
+            .filter(|(_, p)| aqara_dns6.matches(p))
+            .count(),
+        0
+    );
 }

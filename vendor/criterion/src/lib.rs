@@ -1,0 +1,231 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the `criterion_group!`/`criterion_main!` macro surface and the
+//! `Criterion`/`BenchmarkGroup`/`Bencher` call shapes the workspace's
+//! benches use, but measures with a simple adaptive wall-clock loop and
+//! prints one line per benchmark. Statistical analysis, plotting, and
+//! baseline comparison are out of scope. `--test` (as passed by
+//! `cargo test --benches`) runs each benchmark once for smoke coverage.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How measured time relates to work done; enables rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Items processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level benchmark driver, passed to each group function.
+pub struct Criterion {
+    /// Run each benchmark exactly once (test mode).
+    smoke: bool,
+    /// Only run benchmarks whose id contains this filter.
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Build from command-line arguments (`--test`, `--bench`, filter).
+    pub fn from_args() -> Self {
+        let mut smoke = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => smoke = true,
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { smoke, filter }
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    /// Run a standalone benchmark (group of one).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        let mut group = self.benchmark_group(id.as_ref().to_string());
+        group.bench_function("", f);
+        group.finish();
+        self
+    }
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion::from_args()
+    }
+}
+
+/// A named set of benchmarks sharing throughput and sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measurement samples to take.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration work for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measure one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.as_ref();
+        let full = if id.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{id}", self.name)
+        };
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        if self.criterion.smoke {
+            f(&mut b);
+            println!("{full}: ok (smoke)");
+            return self;
+        }
+        // Warm up and scale the iteration count until one sample takes
+        // long enough to time meaningfully (~20ms) or gets expensive.
+        loop {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(20) || b.iters >= 1 << 20 {
+                break;
+            }
+            b.iters *= 4;
+        }
+        let mut best = Duration::MAX;
+        for _ in 0..self.sample_size {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if b.elapsed < best {
+                best = b.elapsed;
+            }
+        }
+        let per_iter = best.as_secs_f64() / b.iters as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>10.1} MiB/s", n as f64 / per_iter / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>10.0} elem/s", n as f64 / per_iter)
+            }
+            None => String::new(),
+        };
+        println!("{full}: {}{rate}", format_time(per_iter));
+        self
+    }
+
+    /// End the group (printing is per-benchmark; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s/iter")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms/iter", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us/iter", secs * 1e6)
+    } else {
+        format!("{:.1} ns/iter", secs * 1e9)
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it the harness-chosen number of times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut calls = 0u64;
+        let mut b = Bencher {
+            iters: 7,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 7);
+        assert!(b.elapsed > Duration::ZERO || calls == 7);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(format_time(2.0), "2.000 s/iter");
+        assert_eq!(format_time(0.002), "2.000 ms/iter");
+        assert_eq!(format_time(2e-6), "2.000 us/iter");
+        assert_eq!(format_time(2e-9), "2.0 ns/iter");
+    }
+}

@@ -1,0 +1,278 @@
+//! MPMC channels: cloneable senders and receivers over a mutex-guarded
+//! deque with a condvar for blocking receives.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    capacity: Option<usize>,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    /// Signals receivers that an item arrived or all senders dropped.
+    recv_ready: Condvar,
+    /// Signals blocked bounded-mode senders that space freed up.
+    send_ready: Condvar,
+}
+
+/// Create an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(None)
+}
+
+/// Create a bounded channel; `send` blocks when `cap` items are queued.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    with_capacity(Some(cap))
+}
+
+fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            capacity,
+        }),
+        recv_ready: Condvar::new(),
+        send_ready: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+/// Error returned by [`Sender::send`] when every receiver is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// every sender is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty, disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// The sending half; cloneable.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Queue an item, blocking if a bounded channel is full. Succeeds
+    /// whenever at least one `Receiver` is still alive.
+    pub fn send(&self, item: T) -> Result<(), SendError<T>> {
+        // Receiver liveness: one Arc is held per receiver plus one per
+        // sender. If the only owners left are senders, receivers are gone.
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if Arc::strong_count(&self.shared) <= state.senders {
+                return Err(SendError(item));
+            }
+            match state.capacity {
+                Some(cap) if state.queue.len() >= cap => {
+                    // Timed wait: a receiver dropping notifies before its
+                    // Arc refcount decrements, so re-poll rather than
+                    // trusting a single wakeup to observe disconnection.
+                    state = self
+                        .shared
+                        .send_ready
+                        .wait_timeout(state, std::time::Duration::from_millis(50))
+                        .unwrap()
+                        .0;
+                }
+                _ => break,
+            }
+        }
+        state.queue.push_back(item);
+        drop(state);
+        self.shared.recv_ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().unwrap().senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().unwrap();
+        state.senders -= 1;
+        let last = state.senders == 0;
+        drop(state);
+        if last {
+            self.shared.recv_ready.notify_all();
+        }
+    }
+}
+
+/// The receiving half; cloneable (items go to exactly one receiver).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Take the next item, blocking until one arrives or all senders
+    /// have dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if let Some(item) = state.queue.pop_front() {
+                drop(state);
+                self.shared.send_ready.notify_one();
+                return Ok(item);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.shared.recv_ready.wait(state).unwrap();
+        }
+    }
+
+    /// Take the next item only if one is already queued.
+    pub fn try_recv(&self) -> Option<T> {
+        let item = self.shared.state.lock().unwrap().queue.pop_front();
+        if item.is_some() {
+            self.shared.send_ready.notify_one();
+        }
+        item
+    }
+
+    /// Blocking iterator draining the channel until all senders drop.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { receiver: self }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        // Wake bounded-mode senders so they can observe disconnection
+        // instead of blocking forever on a full queue.
+        self.shared.send_ready.notify_all();
+    }
+}
+
+/// Iterator over received items; ends when the channel disconnects.
+pub struct Iter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+impl<T> IntoIterator for Receiver<T> {
+    type Item = T;
+    type IntoIter = IntoIter<T>;
+
+    fn into_iter(self) -> IntoIter<T> {
+        IntoIter { receiver: self }
+    }
+}
+
+/// Owning blocking iterator.
+pub struct IntoIter<T> {
+    receiver: Receiver<T>,
+}
+
+impl<T> Iterator for IntoIter<T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fan_in_fan_out() {
+        let (tx, rx) = unbounded::<u32>();
+        std::thread::scope(|s| {
+            for w in 0..4u32 {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        tx.send(w * 100 + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let mut got: Vec<u32> = rx.iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, (0..400).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn recv_errors_after_senders_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn bounded_blocks_until_drained() {
+        let (tx, rx) = bounded::<u8>(1);
+        tx.send(1).unwrap();
+        let handle = std::thread::spawn(move || tx.send(2).unwrap());
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        handle.join().unwrap();
+    }
+}

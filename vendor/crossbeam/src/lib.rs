@@ -1,0 +1,38 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the slice of the API this workspace uses: `channel`
+//! (cloneable MPMC sender/receiver pairs over a mutex-guarded deque)
+//! and `scope` (delegating to `std::thread::scope`). Performance is
+//! adequate for coarse-grained work items like whole-home simulations;
+//! this is not a lock-free implementation.
+
+pub mod channel;
+
+pub use channel::{bounded, unbounded, Receiver, RecvError, SendError, Sender};
+
+/// Scoped threads. Mirrors `crossbeam::scope` closely enough for
+/// spawn-and-join usage; the closure receives a [`Scope`] proxy.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// Proxy over [`std::thread::Scope`] so callers use crossbeam-style
+/// `scope.spawn(|_| ...)` closures that take a scope argument.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread bound to the scope.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let proxy = Scope { inner: self.inner };
+        self.inner.spawn(move || f(&proxy))
+    }
+}

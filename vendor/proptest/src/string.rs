@@ -1,0 +1,258 @@
+//! String strategies: a generator for a practical regex subset.
+//!
+//! Supports literals, character classes with ranges (`[a-z0-9-]`),
+//! groups, and the `?`, `*`, `+`, `{m}`, `{m,n}` repetition operators.
+//! Unbounded repetitions are capped at 8. Anchors, alternation, and
+//! negated classes are not supported and return an error.
+
+use crate::{Strategy, TestRng};
+
+/// Error from [`string_regex`] for unsupported or malformed patterns.
+#[derive(Debug)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unsupported regex: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Build a strategy generating strings matched by `pattern`.
+pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let node = parse_concat(&chars, &mut pos)?;
+    if pos != chars.len() {
+        return Err(Error(format!(
+            "trailing {:?} in {pattern:?}",
+            &chars[pos..]
+        )));
+    }
+    Ok(RegexStrategy { node })
+}
+
+/// Strategy returned by [`string_regex`].
+pub struct RegexStrategy {
+    node: Node,
+}
+
+impl Strategy for RegexStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        self.node.emit(rng, &mut out);
+        out
+    }
+}
+
+enum Node {
+    Concat(Vec<Node>),
+    /// Inclusive character ranges; single chars are degenerate ranges.
+    Class(Vec<(char, char)>),
+    Literal(char),
+    Repeat {
+        inner: Box<Node>,
+        min: usize,
+        max_inclusive: usize,
+    },
+}
+
+impl Node {
+    fn emit(&self, rng: &mut TestRng, out: &mut String) {
+        match self {
+            Node::Concat(items) => {
+                for item in items {
+                    item.emit(rng, out);
+                }
+            }
+            Node::Literal(c) => out.push(*c),
+            Node::Class(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|(lo, hi)| *hi as u64 - *lo as u64 + 1)
+                    .sum();
+                let mut idx = rng.below(total);
+                for (lo, hi) in ranges {
+                    let span = *hi as u64 - *lo as u64 + 1;
+                    if idx < span {
+                        out.push(char::from_u32(*lo as u32 + idx as u32).unwrap());
+                        return;
+                    }
+                    idx -= span;
+                }
+                unreachable!()
+            }
+            Node::Repeat {
+                inner,
+                min,
+                max_inclusive,
+            } => {
+                let n = rng.in_range(*min, *max_inclusive);
+                for _ in 0..n {
+                    inner.emit(rng, out);
+                }
+            }
+        }
+    }
+}
+
+/// Cap for `*` and `+`.
+const UNBOUNDED_CAP: usize = 8;
+
+fn parse_concat(chars: &[char], pos: &mut usize) -> Result<Node, Error> {
+    let mut items = Vec::new();
+    while let Some(&c) = chars.get(*pos) {
+        if c == ')' {
+            break;
+        }
+        let atom = match c {
+            '[' => parse_class(chars, pos)?,
+            '(' => {
+                *pos += 1;
+                let inner = parse_concat(chars, pos)?;
+                if chars.get(*pos) != Some(&')') {
+                    return Err(Error("unclosed group".into()));
+                }
+                *pos += 1;
+                inner
+            }
+            '|' | '^' | '$' | '*' | '+' | '?' | '{' => {
+                return Err(Error(format!("unsupported construct {c:?}")));
+            }
+            '\\' => {
+                *pos += 1;
+                let esc = *chars.get(*pos).ok_or_else(|| Error("dangling \\".into()))?;
+                *pos += 1;
+                Node::Literal(esc)
+            }
+            c => {
+                *pos += 1;
+                Node::Literal(c)
+            }
+        };
+        items.push(apply_repetition(atom, chars, pos)?);
+    }
+    Ok(if items.len() == 1 {
+        items.pop().unwrap()
+    } else {
+        Node::Concat(items)
+    })
+}
+
+fn apply_repetition(atom: Node, chars: &[char], pos: &mut usize) -> Result<Node, Error> {
+    let (min, max_inclusive) = match chars.get(*pos) {
+        Some('?') => (0, 1),
+        Some('*') => (0, UNBOUNDED_CAP),
+        Some('+') => (1, UNBOUNDED_CAP),
+        Some('{') => {
+            *pos += 1;
+            let mut min_text = String::new();
+            while matches!(chars.get(*pos), Some(c) if c.is_ascii_digit()) {
+                min_text.push(chars[*pos]);
+                *pos += 1;
+            }
+            let min: usize = min_text.parse().map_err(|_| Error("bad {m}".into()))?;
+            let max = match chars.get(*pos) {
+                Some(',') => {
+                    *pos += 1;
+                    let mut max_text = String::new();
+                    while matches!(chars.get(*pos), Some(c) if c.is_ascii_digit()) {
+                        max_text.push(chars[*pos]);
+                        *pos += 1;
+                    }
+                    if max_text.is_empty() {
+                        min + UNBOUNDED_CAP
+                    } else {
+                        max_text.parse().map_err(|_| Error("bad {m,n}".into()))?
+                    }
+                }
+                _ => min,
+            };
+            if chars.get(*pos) != Some(&'}') {
+                return Err(Error("unclosed {}".into()));
+            }
+            // Leave `pos` on the closing brace; the shared advance
+            // below consumes it, as it does the single-char operators.
+            (min, max)
+        }
+        _ => return Ok(atom),
+    };
+    *pos += 1;
+    Ok(Node::Repeat {
+        inner: Box::new(atom),
+        min,
+        max_inclusive,
+    })
+}
+
+fn parse_class(chars: &[char], pos: &mut usize) -> Result<Node, Error> {
+    debug_assert_eq!(chars[*pos], '[');
+    *pos += 1;
+    if chars.get(*pos) == Some(&'^') {
+        return Err(Error("negated classes unsupported".into()));
+    }
+    let mut ranges = Vec::new();
+    while let Some(&c) = chars.get(*pos) {
+        if c == ']' {
+            *pos += 1;
+            if ranges.is_empty() {
+                return Err(Error("empty class".into()));
+            }
+            return Ok(Node::Class(ranges));
+        }
+        *pos += 1;
+        // `a-z` is a range unless `-` is the last char before `]`.
+        if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).is_some_and(|&n| n != ']') {
+            let hi = chars[*pos + 1];
+            *pos += 2;
+            if hi < c {
+                return Err(Error(format!("inverted range {c}-{hi}")));
+            }
+            ranges.push((c, hi));
+        } else {
+            ranges.push((c, c));
+        }
+    }
+    Err(Error("unclosed class".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_matching_labels() {
+        let strat = string_regex("[a-z0-9]([a-z0-9-]{0,14}[a-z0-9])?").unwrap();
+        let mut rng = TestRng::from_name("labels");
+        for _ in 0..500 {
+            let s = strat.generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 16, "bad length: {s:?}");
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                "bad char in {s:?}"
+            );
+            assert!(!s.starts_with('-') && !s.ends_with('-'), "edge dash: {s:?}");
+        }
+    }
+
+    #[test]
+    fn repetition_forms() {
+        let strat = string_regex("a{3}(bc)+d?").unwrap();
+        let mut rng = TestRng::from_name("rep");
+        for _ in 0..100 {
+            let s = strat.generate(&mut rng);
+            assert!(s.starts_with("aaabc"), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported() {
+        assert!(string_regex("[^a]").is_err());
+        assert!(string_regex("a|b").is_err());
+        assert!(string_regex("(a").is_err());
+    }
+}

@@ -1,0 +1,256 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! The workspace only needs deterministic, seedable randomness — the
+//! simulator's reproducibility contract is "same seed, same run", not
+//! "same stream as upstream rand". This crate provides the `Rng` /
+//! `SeedableRng` trait subset the repo calls (`gen`, `gen_range`,
+//! `gen_bool`) backed by a splitmix64-seeded xoshiro256** generator.
+
+/// The raw entropy source: anything that can produce 64 random bits.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Types [`Rng::gen`] can produce.
+pub trait Standard: Sized {
+    /// Sample one uniformly-distributed value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_uint {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl<const N: usize> Standard for [u8; N] {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> [u8; N] {
+        let mut out = [0u8; N];
+        rng.fill_bytes(&mut out);
+        out
+    }
+}
+
+/// Integer types [`Rng::gen_range`] can sample.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform sample in `[low, high]` (inclusive).
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: $t, high: $t) -> $t {
+                assert!(low <= high, "gen_range: empty range");
+                // i128 holds the span of every ≤64-bit integer type.
+                let span = (high as i128 - low as i128) as u128 + 1;
+                // Simple modulo draw: a hair of bias at astronomical spans
+                // is irrelevant for simulation jitter, and the draw stays
+                // one next_u64 call, keeping streams cheap and stable.
+                let draw = if span > u64::MAX as u128 + 1 || span == 0 {
+                    ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span.max(1)
+                } else {
+                    rng.next_u64() as u128 % span
+                };
+                (low as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Decompose into inclusive bounds.
+    fn bounds(self) -> (T, T);
+}
+
+macro_rules! sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn bounds(self) -> ($t, $t) {
+                assert!(self.start < self.end, "gen_range: empty range");
+                (self.start, self.end - 1)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn bounds(self) -> ($t, $t) {
+                (*self.start(), *self.end())
+            }
+        }
+    )*};
+}
+sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The user-facing sampling interface, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// A uniform value within `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        let (low, high) = range.bounds();
+        T::sample_inclusive(self, low, high)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic construction from a seed.
+pub trait SeedableRng: Sized {
+    /// Build from a 64-bit seed (splitmix64-expanded).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The splitmix64 step: the standard seed-expansion mix.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The standard generator: xoshiro256** (Blackman/Vigna). Not the
+    /// upstream ChaCha12 — the simulator needs determinism, not a CSPRNG.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Alias kept for code written against `SmallRng`.
+    pub type SmallRng = StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: u64 = r.gen_range(10..20u64);
+            assert!((10..20).contains(&v));
+            let w: u8 = r.gen_range(1u8..=2);
+            assert!((1..=2).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_extremes() {
+        let mut r = StdRng::seed_from_u64(3);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+
+    #[test]
+    fn gen_fills_arrays() {
+        let mut r = StdRng::seed_from_u64(5);
+        let a: [u8; 8] = r.gen();
+        let b: [u8; 8] = r.gen();
+        assert_ne!(a, b, "consecutive draws should differ");
+    }
+}

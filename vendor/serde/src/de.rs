@@ -1,0 +1,190 @@
+//! `Deserialize`: lift a type back out of a [`Value`] tree.
+
+use crate::{Error, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// A type that can reconstruct itself from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuild from the value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+fn mismatch(expected: &str, got: &Value) -> Error {
+    Error(format!("expected {expected}, got {}", got.kind()))
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, Error> {
+        v.as_bool().ok_or_else(|| mismatch("bool", v))
+    }
+}
+
+macro_rules! de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, Error> {
+                let n = v.as_u64().ok_or_else(|| mismatch("unsigned integer", v))?;
+                <$t>::try_from(n).map_err(|_| Error(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+de_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! de_signed {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, Error> {
+                let n = v.as_i64().ok_or_else(|| mismatch("integer", v))?;
+                <$t>::try_from(n).map_err(|_| Error(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+de_signed!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<f64, Error> {
+        v.as_f64().ok_or_else(|| mismatch("number", v))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<f32, Error> {
+        Ok(f64::from_value(v)? as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| mismatch("string", v))
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<char, Error> {
+        let s = v.as_str().ok_or_else(|| mismatch("string", v))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error(format!("expected single char, got {s:?}"))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, Error> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::from_value(v).map(Some)
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, Error> {
+        v.as_array()
+            .ok_or_else(|| mismatch("array", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<BTreeSet<T>, Error> {
+        v.as_array()
+            .ok_or_else(|| mismatch("array", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<[T; N], Error> {
+        let items = Vec::<T>::from_value(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($($name:ident : $idx:tt),+ ; $len:literal))*) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<($($name,)+), Error> {
+                let items = v.as_array().ok_or_else(|| mismatch("array", v))?;
+                if items.len() != $len {
+                    return Err(Error(format!(
+                        "expected tuple of {}, got array of {}", $len, items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (A: 0 ; 1)
+    (A: 0, B: 1 ; 2)
+    (A: 0, B: 1, C: 2 ; 3)
+    (A: 0, B: 1, C: 2, D: 3 ; 4)
+}
+
+/// Map keys parse back from the stringified form the serializer emits.
+pub trait FromKeyStr: Sized {
+    /// Parse an object key.
+    fn from_key(key: &str) -> Result<Self, Error>;
+}
+
+impl FromKeyStr for String {
+    fn from_key(key: &str) -> Result<String, Error> {
+        Ok(key.to_string())
+    }
+}
+
+macro_rules! key_int {
+    ($($t:ty),*) => {$(
+        impl FromKeyStr for $t {
+            fn from_key(key: &str) -> Result<$t, Error> {
+                key.parse()
+                    .map_err(|_| Error(format!("invalid integer key {key:?}")))
+            }
+        }
+    )*};
+}
+key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: FromKeyStr + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<BTreeMap<K, V>, Error> {
+        v.as_object()
+            .ok_or_else(|| mismatch("object", v))?
+            .iter()
+            .map(|(k, val)| Ok((K::from_key(k)?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+macro_rules! de_parse {
+    ($($t:ty => $name:literal),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, Error> {
+                let s = v.as_str().ok_or_else(|| mismatch($name, v))?;
+                s.parse().map_err(|_| Error(format!("invalid {}: {s:?}", $name)))
+            }
+        }
+    )*};
+}
+de_parse!(Ipv4Addr => "IPv4 address", Ipv6Addr => "IPv6 address", IpAddr => "IP address");

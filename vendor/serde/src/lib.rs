@@ -1,0 +1,42 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! a compact serialization framework under serde's names. Instead of the
+//! upstream visitor architecture, everything routes through one
+//! self-describing tree, [`Value`]: `Serialize` lowers a type into a
+//! `Value`, `Deserialize` lifts it back, and `serde_json` is a thin
+//! text codec over the tree. The data model matches serde_json's
+//! human-readable conventions (structs → objects, unit enum variants →
+//! strings, newtype variants → single-key objects, IP addresses →
+//! strings), so swapping the real crates back in later will not change
+//! any emitted JSON the repo relies on.
+
+mod de;
+mod ser;
+mod value;
+
+pub use de::Deserialize;
+pub use ser::Serialize;
+pub use value::Value;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Build from anything displayable.
+    pub fn msg(m: impl std::fmt::Display) -> Error {
+        Error(m.to_string())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}

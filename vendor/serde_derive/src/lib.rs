@@ -1,0 +1,395 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives `Serialize`/`Deserialize` for the vendored serde's value-tree
+//! model without syn/quote: the item is parsed with a small hand-rolled
+//! scanner over `proc_macro::TokenTree`s and the impl is emitted as
+//! source text. Supported shapes are exactly what the workspace derives:
+//! non-generic named-field structs (with `#[serde(skip)]`), tuple
+//! structs, and enums whose variants are unit or single-field newtypes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Ser)
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::De)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    newtype: bool,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse(input) {
+        Ok((name, shape)) => {
+            let code = match mode {
+                Mode::Ser => gen_ser(&name, &shape),
+                Mode::De => gen_de(&name, &shape),
+            };
+            code.parse().expect("generated impl parses")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// Skip one attribute (`#` or `#!` followed by a bracket group) if the
+/// cursor is on one; returns its bracket-group tokens, if any.
+fn take_attr(tokens: &[TokenTree], pos: &mut usize) -> Option<TokenStream> {
+    if let Some(TokenTree::Punct(p)) = tokens.get(*pos) {
+        if p.as_char() == '#' {
+            let mut next = *pos + 1;
+            if let Some(TokenTree::Punct(bang)) = tokens.get(next) {
+                if bang.as_char() == '!' {
+                    next += 1;
+                }
+            }
+            if let Some(TokenTree::Group(g)) = tokens.get(next) {
+                if g.delimiter() == Delimiter::Bracket {
+                    *pos = next + 1;
+                    return Some(g.stream());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Does this attribute body spell `serde(skip…)`?
+fn attr_is_serde_skip(attr: &TokenStream) -> Result<bool, String> {
+    let tokens: Vec<TokenTree> = attr.clone().into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return Ok(false),
+    }
+    if let Some(TokenTree::Group(g)) = tokens.get(1) {
+        for t in g.stream() {
+            if let TokenTree::Ident(i) = t {
+                let s = i.to_string();
+                if s.starts_with("skip") {
+                    return Ok(true);
+                }
+                return Err(format!("unsupported serde attribute `{s}`"));
+            }
+        }
+    }
+    Ok(false)
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(i)) = tokens.get(*pos) {
+        if i.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Consume tokens until a top-level comma (tracking `<`/`>` depth so
+/// generic arguments don't split fields); leaves the cursor after the
+/// comma.
+fn skip_until_comma(tokens: &[TokenTree], pos: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(t) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    // Item attributes and visibility.
+    loop {
+        if take_attr(&tokens, &mut pos).is_some() {
+            continue;
+        }
+        break;
+    }
+    skip_vis(&tokens, &mut pos);
+
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            return Err(format!("derive on generic type {name} is unsupported"));
+        }
+    }
+
+    match (kind.as_str(), tokens.get(pos)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok((name, Shape::NamedStruct(parse_named_fields(g.stream())?)))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok((name, Shape::TupleStruct(count_tuple_fields(g.stream()))))
+        }
+        ("struct", _) => Err(format!("unit struct {name} is unsupported")),
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok((name, Shape::Enum(parse_variants(g.stream())?)))
+        }
+        _ => Err(format!("cannot derive for {kind} {name}")),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let mut skip = false;
+        while let Some(attr) = take_attr(&tokens, &mut pos) {
+            skip |= attr_is_serde_skip(&attr)?;
+        }
+        skip_vis(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => return Err(format!("expected `:` after {name}, got {other:?}")),
+        }
+        skip_until_comma(&tokens, &mut pos);
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut pos = 0;
+    let mut count = 0;
+    while pos < tokens.len() {
+        skip_until_comma(&tokens, &mut pos);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        while take_attr(&tokens, &mut pos).is_some() {}
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        pos += 1;
+        let mut newtype = false;
+        if let Some(TokenTree::Group(g)) = tokens.get(pos) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    if count_tuple_fields(g.stream()) != 1 {
+                        return Err(format!(
+                            "variant {name}: only unit and single-field newtype variants are supported"
+                        ));
+                    }
+                    newtype = true;
+                    pos += 1;
+                }
+                Delimiter::Brace => {
+                    return Err(format!("variant {name}: struct variants are unsupported"));
+                }
+                _ => {}
+            }
+        }
+        // Discriminant (`= expr`) and the separating comma.
+        skip_until_comma(&tokens, &mut pos);
+        variants.push(Variant { name, newtype });
+    }
+    Ok(variants)
+}
+
+fn gen_ser(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "(::std::string::String::from({n:?}), ::serde::Serialize::to_value(&self.{n})),\n",
+                    n = f.name
+                ));
+            }
+            format!("::serde::Value::Object(::std::vec![\n{pushes}])")
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                if v.newtype {
+                    arms.push_str(&format!(
+                        "{name}::{v}(inner) => ::serde::Value::Object(::std::vec![\
+                         (::std::string::String::from({v:?}), ::serde::Serialize::to_value(inner))]),\n",
+                        v = v.name
+                    ));
+                } else {
+                    arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),\n",
+                        v = v.name
+                    ));
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_de(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{n}: ::serde::Deserialize::from_value(v.get_field({n:?})).map_err(\
+                         |e| ::serde::Error(::std::format!(\"{name}.{n}: {{e}}\")))?,\n",
+                        n = f.name
+                    ));
+                }
+            }
+            format!(
+                "if v.as_object().is_none() {{\n\
+                     return ::std::result::Result::Err(::serde::Error(\
+                         ::std::format!(\"expected object for {name}, got {{}}\", v.kind())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| ::serde::Error(\
+                     ::std::format!(\"expected array for {name}\")))?;\n\
+                 if items.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::Error(\
+                         ::std::format!(\"expected {n} elements for {name}\")));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({inits}))",
+                inits = inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut newtype_arms = String::new();
+            for v in variants {
+                if v.newtype {
+                    newtype_arms.push_str(&format!(
+                        "{v:?} => return ::std::result::Result::Ok(\
+                         {name}::{v}(::serde::Deserialize::from_value(inner)?)),\n",
+                        v = v.name
+                    ));
+                } else {
+                    unit_arms.push_str(&format!(
+                        "{v:?} => return ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    ));
+                }
+            }
+            let mut code = String::new();
+            if !unit_arms.is_empty() {
+                code.push_str(&format!(
+                    "if let ::std::option::Option::Some(s) = v.as_str() {{\n\
+                         match s {{\n{unit_arms}_ => {{}}\n}}\n\
+                     }}\n"
+                ));
+            }
+            if !newtype_arms.is_empty() {
+                code.push_str(&format!(
+                    "if let ::std::option::Option::Some(entries) = v.as_object() {{\n\
+                         if entries.len() == 1 {{\n\
+                             let (key, inner) = &entries[0];\n\
+                             match key.as_str() {{\n{newtype_arms}_ => {{}}\n}}\n\
+                         }}\n\
+                     }}\n"
+                ));
+            }
+            code.push_str(&format!(
+                "::std::result::Result::Err(::serde::Error(\
+                 ::std::format!(\"unknown {name} variant: {{:?}}\", v)))"
+            ));
+            code
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}

@@ -1,0 +1,120 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! JSON text on top of the vendored serde's [`Value`] tree: compact and
+//! pretty writers, a recursive-descent parser, and a `json!` macro
+//! covering the literal shapes the workspace uses. Output conventions
+//! match upstream serde_json (escaping, `null`, float formatting via the
+//! shortest-roundtrip `{:?}` representation).
+
+use serde::{Deserialize, Serialize};
+pub use serde::{Error, Value};
+
+mod read;
+mod write;
+
+pub use read::from_str;
+
+/// Serialize to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write::compact(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Serialize to human-readable JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write::pretty(&value.to_value(), 0, &mut out);
+    Ok(out)
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Convert a [`Value`] tree back into a concrete type.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    T::from_value(&value)
+}
+
+/// Support fn for `json!`: serialize an expression by reference.
+#[doc(hidden)]
+pub fn __value_of<T: Serialize>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Build a [`Value`] from a JSON-ish literal. Covers the shapes the
+/// workspace uses: `null`, object literals with string-literal keys,
+/// array literals, and arbitrary serializable expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(::std::vec![
+            $((::std::string::String::from($key), $crate::json!($val))),*
+        ])
+    };
+    ([ $($val:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![$($crate::json!($val)),*])
+    };
+    ($val:expr) => { $crate::__value_of(&$val) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn compact_roundtrip() {
+        let mut m: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+        m.insert("a".into(), vec![1, 2]);
+        m.insert("b \"q\"".into(), vec![]);
+        let text = to_string(&m).unwrap();
+        assert_eq!(text, r#"{"a":[1,2],"b \"q\"":[]}"#);
+        let back: BTreeMap<String, Vec<u32>> = from_str(&text).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+        assert_eq!(from_str::<f64>("1.5e2").unwrap(), 150.0);
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(from_str::<Option<u8>>("null").unwrap(), None);
+        assert_eq!(from_str::<String>(r#""hi\nA""#).unwrap(), "hi\nA");
+    }
+
+    #[test]
+    fn pretty_matches_upstream_shape() {
+        // Nested literals go through nested `json!` calls; the macro's
+        // value slot takes any expression, not a braced literal.
+        let v = json!({"k": json!([1]), "e": json!({"x": true})});
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "{\n  \"k\": [\n    1\n  ],\n  \"e\": {\n    \"x\": true\n  }\n}"
+        );
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(3u8), Value::U64(3));
+        let v = json!({"a": 1, "b": "two"});
+        assert_eq!(v.get_field("b").as_str(), Some("two"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&0.25f64).unwrap(), "0.25");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(from_str::<u64>("42 x").is_err());
+        assert!(from_str::<Vec<u8>>("[1,]").is_err());
+    }
+}
