@@ -4,7 +4,10 @@
 //! 2. DNS name encoding: RFC 1035 compression vs naive repetition
 //!    (size and time on a response with repeated owner names).
 //! 3. Capture storage: `bytes::Bytes` per-frame copies vs `Vec<u8>`
-//!    per-frame allocations vs a contiguous arena with ranges.
+//!    per-frame allocations vs a contiguous arena with ranges; plus
+//!    the pre-counted `Capture::with_capacity` vs growth reallocation.
+//! 4. Analysis pipeline: buffer-then-scan (`Capture` + `analyze`) vs
+//!    the streaming single pass (`StreamingAnalyzer::feed` off the tap).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use std::collections::HashMap;
@@ -228,6 +231,91 @@ fn bench_capture_ablation(c: &mut Criterion) {
             ranges.len()
         })
     });
+    // The delta the pcap readers' pre-scan buys: they count frames from
+    // the record headers first, so the packet vector never reallocates.
+    g.bench_function("capture_push_grow", |b| {
+        b.iter(|| {
+            let mut cap = v6brick_pcap::Capture::new();
+            for (ts, f) in frames.iter().enumerate() {
+                cap.push(ts as u64, f);
+            }
+            cap.len()
+        })
+    });
+    g.bench_function("capture_push_with_capacity", |b| {
+        b.iter(|| {
+            let mut cap = v6brick_pcap::Capture::with_capacity(frames.len());
+            for (ts, f) in frames.iter().enumerate() {
+                cap.push(ts as u64, f);
+            }
+            cap.len()
+        })
+    });
+    g.finish();
+}
+
+// --- ablation 4: streaming vs buffered analysis ---------------------------------
+
+/// What a household's analysis costs with and without materializing the
+/// capture buffer. Both paths parse every frame exactly once; the
+/// buffered path additionally copies every frame into the `Capture`
+/// and walks it a second time. DESIGN.md §4 cites this group.
+fn bench_streaming_ablation(c: &mut Criterion) {
+    use v6brick_core::observe::{self, StreamingAnalyzer};
+    use v6brick_devices::registry;
+    use v6brick_devices::stack::IotDevice;
+    use v6brick_experiments::{scenario, NetworkConfig};
+    use v6brick_sim::{Internet, Router, SimTime, SimulationBuilder};
+
+    let ids = [
+        "echo_show_5",
+        "nest_camera",
+        "google_home_mini",
+        "aqara_hub",
+    ];
+    let profiles: Vec<_> = ids.iter().map(|id| registry::by_id(id)).collect();
+    let zones = scenario::build_zones(&profiles);
+    let mut b = SimulationBuilder::new(
+        Router::new(NetworkConfig::DualStack.router_config()),
+        Internet::new(zones),
+    );
+    let macs: Vec<_> = profiles
+        .iter()
+        .map(|p| {
+            b.add_host(Box::new(IotDevice::new(p.clone())));
+            (p.mac, p.id.clone())
+        })
+        .collect();
+    let mut sim = b.build();
+    sim.run_until(SimTime::from_secs(180));
+    let capture = sim.take_capture();
+    // The tap replay: the exact (timestamp, frame) stream a sink sees.
+    let frames: Vec<(u64, Vec<u8>)> = capture
+        .iter()
+        .map(|p| (p.timestamp_us, p.data.to_vec()))
+        .collect();
+
+    let mut g = c.benchmark_group("ablation_streaming");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(capture.total_bytes()));
+    g.bench_function("buffer_then_scan", |b| {
+        b.iter(|| {
+            let mut cap = v6brick_pcap::Capture::with_capacity(frames.len());
+            for (ts, f) in &frames {
+                cap.push(*ts, f);
+            }
+            observe::analyze(&cap, &macs, scenario::lan_prefix()).frames
+        })
+    });
+    g.bench_function("streaming_single_pass", |b| {
+        b.iter(|| {
+            let mut a = StreamingAnalyzer::new(&macs, scenario::lan_prefix());
+            for (ts, f) in &frames {
+                a.feed(*ts, f);
+            }
+            a.finish().frames
+        })
+    });
     g.finish();
 }
 
@@ -235,6 +323,7 @@ criterion_group!(
     benches,
     bench_flow_ablation,
     bench_dns_ablation,
-    bench_capture_ablation
+    bench_capture_ablation,
+    bench_streaming_ablation
 );
 criterion_main!(benches);

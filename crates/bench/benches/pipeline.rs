@@ -52,6 +52,15 @@ fn bench_pipeline(c: &mut Criterion) {
     g.bench_function("analyze_household", |b| {
         b.iter(|| observe::analyze(black_box(&capture), &macs, scenario::lan_prefix()))
     });
+    g.bench_function("streaming_analyze_household", |b| {
+        b.iter(|| {
+            let mut a = observe::StreamingAnalyzer::new(&macs, scenario::lan_prefix());
+            for p in black_box(&capture).iter() {
+                a.feed(p.timestamp_us, &p.data);
+            }
+            a.finish().frames
+        })
+    });
     g.bench_function("flow_table", |b| {
         b.iter(|| {
             let mut t = FlowTable::new();

@@ -29,5 +29,5 @@ pub mod population;
 pub mod ports;
 pub mod transitions;
 
-pub use observe::{analyze, DeviceObservation, ExperimentAnalysis};
+pub use observe::{analyze, DeviceObservation, ExperimentAnalysis, StreamingAnalyzer};
 pub use population::PopulationReport;

@@ -1,10 +1,17 @@
-//! The single-pass capture walker: one [`DeviceObservation`] per device.
+//! The single-pass analyzer: one [`DeviceObservation`] per device.
 //!
 //! This is the measurement core. It attributes every frame by source (or
 //! destination) MAC, tracks NDP behaviour, address assignment and usage,
 //! DAD compliance, DHCPv4/DHCPv6 exchanges, DNS transactions per
 //! transport family, SNI extraction, and data volumes split by family and
 //! by local-versus-Internet scope — exactly the observables §5 reports.
+//!
+//! The state machine is incremental: a [`StreamingAnalyzer`] consumes
+//! frames one at a time (`feed`), holding only `O(state)` memory — the
+//! per-device observation sets, the pending-DNS map, and the flow table —
+//! so the simulator's capture tap can drive it live and the experiment
+//! never materializes an `O(frames)` byte buffer. [`analyze`] keeps the
+//! classic buffered entry point as a thin wrapper over the same machine.
 
 use crate::flows::FlowTable;
 use serde::Serialize;
@@ -13,9 +20,9 @@ use std::net::{IpAddr, Ipv6Addr};
 use v6brick_net::dns::{Message, Name, RecordType};
 use v6brick_net::ipv6::{AddressKind, Cidr, Ipv6AddrExt};
 use v6brick_net::ndp::Repr as Ndp;
-use v6brick_net::parse::{Net, L4};
+use v6brick_net::parse::{self, Net, ParsedPacket, L4};
 use v6brick_net::{dhcpv6, icmpv6, tls, Mac};
-use v6brick_pcap::Capture;
+use v6brick_pcap::{Capture, FrameSink};
 
 /// Everything the pipeline measured about one device.
 #[derive(Debug, Clone, Default, Serialize)]
@@ -184,36 +191,84 @@ impl ExperimentAnalysis {
     }
 }
 
-/// Walk a capture once and produce per-device observations.
+/// The incremental analysis state machine.
 ///
-/// `lan_prefix` is the routed /64: IPv6 peers inside it (or non-global)
-/// count as local, everything else as Internet. `devices` maps MAC →
-/// label; frames from other MACs (router, phones) only contribute to the
-/// global DNS answer map.
-pub fn analyze(
-    capture: &Capture,
-    devices: &[(Mac, String)],
+/// Construct with the device MAC → label map and the LAN prefix, [`feed`]
+/// every tapped frame in capture order, then [`finish`] to obtain the
+/// [`ExperimentAnalysis`]. Feeding frame-by-frame from the live tap is
+/// byte-equivalent (via serde) to buffering the whole capture and calling
+/// [`analyze`] — the equivalence tests pin this.
+///
+/// [`feed`]: StreamingAnalyzer::feed
+/// [`finish`]: StreamingAnalyzer::finish
+#[derive(Debug)]
+pub struct StreamingAnalyzer {
+    devices: Vec<(Mac, String)>,
     lan_prefix: Cidr,
-) -> ExperimentAnalysis {
-    let mac_index: HashMap<Mac, usize> = devices
-        .iter()
-        .enumerate()
-        .map(|(i, (m, _))| (*m, i))
-        .collect();
-    let mut obs: Vec<DeviceObservation> = vec![DeviceObservation::default(); devices.len()];
-    let mut analysis = ExperimentAnalysis::default();
-    // Pending DNS queries: (client mac, txid) -> (name, rtype, over_v6).
-    let mut pending: HashMap<(Mac, u16), (Name, RecordType, bool)> = HashMap::new();
-    let mut flows = FlowTable::new();
+    mac_index: HashMap<Mac, usize>,
+    obs: Vec<DeviceObservation>,
+    analysis: ExperimentAnalysis,
+    /// Pending DNS queries: (client mac, txid) -> (name, rtype, over_v6).
+    pending: HashMap<(Mac, u16), (Name, RecordType, bool)>,
+    flows: FlowTable,
+    /// Every frame handed to `feed`, including unparseable ones
+    /// (`analysis.frames` counts only frames that parsed).
+    fed: u64,
+}
 
-    for (ts, p) in capture.parsed() {
+impl StreamingAnalyzer {
+    /// A fresh analyzer.
+    ///
+    /// `lan_prefix` is the routed /64: IPv6 peers inside it (or
+    /// non-global) count as local, everything else as Internet. `devices`
+    /// maps MAC → label; frames from other MACs (router, phones) only
+    /// contribute to the global DNS answer map.
+    pub fn new(devices: &[(Mac, String)], lan_prefix: Cidr) -> StreamingAnalyzer {
+        StreamingAnalyzer {
+            devices: devices.to_vec(),
+            lan_prefix,
+            mac_index: devices
+                .iter()
+                .enumerate()
+                .map(|(i, (m, _))| (*m, i))
+                .collect(),
+            obs: vec![DeviceObservation::default(); devices.len()],
+            analysis: ExperimentAnalysis::default(),
+            pending: HashMap::new(),
+            flows: FlowTable::new(),
+            fed: 0,
+        }
+    }
+
+    /// Frames handed to [`StreamingAnalyzer::feed`] so far (parseable or
+    /// not) — the equivalent of the buffered pipeline's capture length.
+    pub fn frames_fed(&self) -> u64 {
+        self.fed
+    }
+
+    /// Consume one raw frame. Unparseable frames count toward
+    /// [`StreamingAnalyzer::frames_fed`] but contribute nothing else,
+    /// mirroring `Capture::parsed`'s lenient skip.
+    pub fn feed(&mut self, timestamp_us: u64, frame: &[u8]) {
+        self.fed += 1;
+        if let Ok(p) = parse::parse_lenient(frame) {
+            self.feed_parsed(timestamp_us, &p);
+        }
+    }
+
+    /// Consume one already-parsed frame.
+    pub fn feed_parsed(&mut self, ts: u64, p: &ParsedPacket) {
+        let analysis = &mut self.analysis;
+        let obs = &mut self.obs;
+        let pending = &mut self.pending;
+        let lan_prefix = self.lan_prefix;
         analysis.frames += 1;
-        let from = mac_index.get(&p.eth.src).copied();
-        let to = mac_index.get(&p.eth.dst).copied();
+        let from = self.mac_index.get(&p.eth.src).copied();
+        let to = self.mac_index.get(&p.eth.dst).copied();
         if from.is_none() && to.is_none() {
             analysis.unattributed_frames += 1;
         }
-        flows.record(ts, &p);
+        self.flows.record(ts, p);
 
         // --- NDP / ICMPv6, attributed to the sender ---
         if let (Net::Ipv6(ip), L4::Icmpv6(msg)) = (&p.net, &p.l4) {
@@ -244,7 +299,7 @@ pub fn analyze(
                     _ => {}
                 }
             }
-            continue;
+            return;
         }
 
         // --- DHCPv4 (UDP 67/68) ---
@@ -264,7 +319,7 @@ pub fn analyze(
                     }
                 }
             }
-            continue;
+            return;
         }
 
         // --- DHCPv6 (UDP 546/547) ---
@@ -287,7 +342,7 @@ pub fn analyze(
                         _ => {}
                     }
                 }
-                continue;
+                return;
             }
             if *dst_port == 546 && *src_port == 547 {
                 if let (Some(i), Ok(msg)) = (to, dhcpv6::Repr::parse_bytes(payload)) {
@@ -298,7 +353,7 @@ pub fn analyze(
                         }
                     }
                 }
-                continue;
+                return;
             }
         }
 
@@ -386,26 +441,26 @@ pub fn analyze(
                         }
                     }
                 }
-                continue;
+                return;
             }
         }
 
         // --- Data traffic (TCP / non-service UDP) ---
         let (src_ip, dst_ip) = match (p.src_ip(), p.dst_ip()) {
             (Some(s), Some(d)) => (s, d),
-            _ => continue,
+            _ => return,
         };
         let payload_len = match &p.l4 {
             L4::Tcp { payload_len, .. } => *payload_len as u64,
             L4::Udp { payload, .. } => payload.len() as u64,
-            _ => continue,
+            _ => return,
         };
         let is_ntp = p.involves_port(123);
         // Attribute to the device end (sender preferred).
         let (idx, dev_ip, peer_ip, outbound) = match (from, to) {
             (Some(i), _) => (i, src_ip, dst_ip, true),
             (_, Some(i)) => (i, dst_ip, src_ip, false),
-            _ => continue,
+            _ => return,
         };
         let o = &mut obs[idx];
         match (dev_ip, peer_ip) {
@@ -474,13 +529,47 @@ pub fn analyze(
         }
     }
 
-    analysis.devices = devices
-        .iter()
-        .zip(obs)
-        .map(|((_, label), o)| (label.clone(), o))
-        .collect();
-    analysis.flows = flows;
-    analysis
+    /// Finalize: key the per-device observations by label and hand the
+    /// flow table over. Consumes the analyzer — the state *is* the result.
+    pub fn finish(self) -> ExperimentAnalysis {
+        let mut analysis = self.analysis;
+        analysis.devices = self
+            .devices
+            .iter()
+            .zip(self.obs)
+            .map(|((_, label), o)| (label.clone(), o))
+            .collect();
+        analysis.flows = self.flows;
+        analysis
+    }
+}
+
+impl FrameSink for StreamingAnalyzer {
+    fn on_frame(&mut self, timestamp_us: u64, frame: &[u8]) {
+        self.feed(timestamp_us, frame);
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
+/// Walk a buffered capture once and produce per-device observations.
+///
+/// A thin wrapper over [`StreamingAnalyzer`] for captures that already
+/// sit in memory (pcap files, tests); the live path feeds the analyzer
+/// straight from the simulator's capture tap instead. See
+/// [`StreamingAnalyzer::new`] for the `devices` / `lan_prefix` contract.
+pub fn analyze(
+    capture: &Capture,
+    devices: &[(Mac, String)],
+    lan_prefix: Cidr,
+) -> ExperimentAnalysis {
+    let mut analyzer = StreamingAnalyzer::new(devices, lan_prefix);
+    for (ts, p) in capture.parsed() {
+        analyzer.feed_parsed(ts, &p);
+    }
+    analyzer.finish()
 }
 
 #[cfg(test)]

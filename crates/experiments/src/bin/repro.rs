@@ -9,6 +9,10 @@
 //! repro dad                 # §5.2.1 DAD compliance
 //! repro fleet 256 [--workers 8] [--seed 42] [--json]
 //!                           # parallel multi-home campaign
+//! repro bench-json [--out BENCH_pipeline.json]
+//!                           # perf trajectory probe (streaming analyzer
+//!                           # frames/sec, suite serial vs parallel,
+//!                           # fleet homes/sec); schema in EXPERIMENTS.md
 //! ```
 
 use std::env;
@@ -43,6 +47,10 @@ fn main() {
     }
     if what == "fleet" {
         run_fleet(&args[1..]);
+        return;
+    }
+    if what == "bench-json" {
+        run_bench_json(&args[1..]);
         return;
     }
     const KNOWN: &[&str] = &[
@@ -209,6 +217,177 @@ fn run_fleet(args: &[String]) {
         );
     } else {
         println!("{}", fleet::render(&report));
+    }
+}
+
+/// `repro bench-json [--out PATH]` — the perf-trajectory probe.
+///
+/// Emits one JSON document (schema documented in EXPERIMENTS.md) with
+/// the three numbers future PRs track for regressions: frames/sec
+/// through the streaming analyzer, six-config suite wall-clock serial
+/// vs parallel, and fleet homes/sec. Written to `--out` (default
+/// `BENCH_pipeline.json`) and echoed to stdout.
+fn run_bench_json(args: &[String]) {
+    use std::time::Instant;
+    use v6brick_core::observe::StreamingAnalyzer;
+    use v6brick_devices::registry;
+    use v6brick_devices::stack::IotDevice;
+    use v6brick_sim::{Internet, Router, SimTime, SimulationBuilder};
+
+    let mut out_path = "BENCH_pipeline.json".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                out_path = it
+                    .next()
+                    .unwrap_or_else(|| {
+                        eprintln!("--out needs a value");
+                        std::process::exit(2);
+                    })
+                    .clone();
+            }
+            other => {
+                eprintln!("unknown bench-json flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // --- 1. Streaming-analyzer throughput over a buffered household ---
+    // Buffer one 8-device dual-stack capture (the only place the byte
+    // buffer is still wanted: replaying identical frames repeatedly),
+    // then time the single-pass analyzer over it.
+    eprintln!("bench-json: simulating the 8-device household (240 s window)...");
+    let ids = [
+        "echo_show_5",
+        "nest_camera",
+        "google_home_mini",
+        "aqara_hub",
+        "homepod_mini",
+        "apple_tv",
+        "samsung_fridge",
+        "hue_hub",
+    ];
+    let profiles: Vec<_> = ids.iter().map(|id| registry::by_id(id)).collect();
+    let zones = scenario::build_zones(&profiles);
+    let mut b = SimulationBuilder::new(
+        Router::new(config::NetworkConfig::DualStack.router_config()),
+        Internet::new(zones),
+    );
+    let macs: Vec<_> = profiles
+        .iter()
+        .map(|p| {
+            b.add_host(Box::new(IotDevice::new(p.clone())));
+            (p.mac, p.id.clone())
+        })
+        .collect();
+    let mut sim = b.build();
+    sim.run_until(SimTime::from_secs(240));
+    let capture = sim.take_capture();
+    let (frames, bytes) = (capture.len() as u64, capture.total_bytes());
+    eprintln!("bench-json: timing the streaming analyzer over {frames} frames...");
+    let mut analyzer_secs = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let mut analyzer = StreamingAnalyzer::new(&macs, scenario::lan_prefix());
+        for p in capture.iter() {
+            analyzer.feed(p.timestamp_us, &p.data);
+        }
+        std::hint::black_box(analyzer.finish().frames);
+        analyzer_secs = analyzer_secs.min(t0.elapsed().as_secs_f64());
+    }
+    let frames_per_sec = frames as f64 / analyzer_secs.max(1e-9);
+
+    // --- 2. Six-config suite, serial vs parallel ---
+    let suite_ids = [
+        "echo_show_5",
+        "nest_camera",
+        "google_home_mini",
+        "aqara_hub",
+        "homepod_mini",
+        "apple_tv",
+        "samsung_fridge",
+        "hue_hub",
+        "ikea_gateway",
+        "echo_plus",
+        "behmor_brewer",
+        "wyze_cam",
+    ];
+    let suite_profiles = || suite_ids.iter().map(|id| registry::by_id(id)).collect();
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!("bench-json: six-config suite over 12 devices, serial...");
+    let t0 = Instant::now();
+    let serial =
+        ExperimentSuite::run_configs_with_workers(suite_profiles(), &config::NetworkConfig::ALL, 1);
+    let suite_serial_secs = t0.elapsed().as_secs_f64();
+    eprintln!("bench-json: six-config suite over 12 devices, {workers} workers...");
+    let t0 = Instant::now();
+    let parallel = ExperimentSuite::run_configs_with_workers(
+        suite_profiles(),
+        &config::NetworkConfig::ALL,
+        workers,
+    );
+    let suite_parallel_secs = t0.elapsed().as_secs_f64();
+    let deterministic = tables::table3(&serial).to_string()
+        == tables::table3(&parallel).to_string()
+        && tables::table5(&serial).to_string() == tables::table5(&parallel).to_string();
+
+    // --- 3. Fleet homes/sec ---
+    let fleet_spec = fleet::CampaignSpec {
+        homes: 8,
+        seed: 0xbe9c,
+        workers,
+        device_range: (2, 4),
+        duration_s: 60,
+        ..Default::default()
+    };
+    eprintln!(
+        "bench-json: fleet campaign, {} homes on {workers} workers...",
+        fleet_spec.homes
+    );
+    let t0 = Instant::now();
+    let report = fleet::run(&fleet_spec);
+    let fleet_secs = t0.elapsed().as_secs_f64();
+    let homes_per_sec = report.homes as f64 / fleet_secs.max(1e-9);
+
+    let out = serde_json::json!({
+        "schema": "v6brick-bench-pipeline/1",
+        "streaming_analyzer": serde_json::json!({
+            "frames": frames,
+            "bytes": bytes,
+            "secs": analyzer_secs,
+            "frames_per_sec": frames_per_sec,
+        }),
+        "suite": serde_json::json!({
+            "devices": suite_ids.len(),
+            "configs": config::NetworkConfig::ALL.len(),
+            "workers": workers,
+            "serial_secs": suite_serial_secs,
+            "parallel_secs": suite_parallel_secs,
+            "speedup": suite_serial_secs / suite_parallel_secs.max(1e-9),
+            "deterministic": deterministic,
+        }),
+        "fleet": serde_json::json!({
+            "homes": report.homes,
+            "devices": report.devices,
+            "workers": workers,
+            "secs": fleet_secs,
+            "homes_per_sec": homes_per_sec,
+        }),
+    });
+    let rendered = serde_json::to_string_pretty(&out).expect("serializable");
+    std::fs::write(&out_path, format!("{rendered}\n")).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("bench-json: wrote {out_path}");
+    println!("{rendered}");
+    if !deterministic {
+        eprintln!(
+            "bench-json: serial and parallel suites DIVERGED — investigate before trusting timings"
+        );
+        std::process::exit(1);
     }
 }
 

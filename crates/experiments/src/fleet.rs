@@ -6,8 +6,9 @@
 //! mix, experiment duration); [`run`] synthesizes the homes, simulates
 //! each on the worker pool via [`scenario::run_with_profiles_seeded_for`],
 //! and streams the per-device observations into a
-//! [`PopulationReport`], dropping each home's capture and flow table
-//! as soon as it has been analyzed.
+//! [`PopulationReport`]. Each home analyzes **streaming off the capture
+//! tap** — no per-home byte buffer ever exists — and its flow table
+//! drops as soon as the observations are folded in.
 //!
 //! The report is byte-identical across worker counts for a fixed spec
 //! (`tests/fleet_determinism.rs` pins this).
@@ -53,7 +54,8 @@ impl Default for CampaignSpec {
 }
 
 /// What survives of a home once its simulation ends: the per-device
-/// observations and outcomes, not the capture.
+/// observations and outcomes. (The simulation itself never buffers a
+/// capture — analysis streams off the tap.)
 struct HomeResult {
     config_label: String,
     devices: BTreeMap<String, DeviceObservation>,
@@ -71,7 +73,8 @@ fn simulate_home(home: HomeSpec<NetworkConfig>, duration: SimTime) -> HomeResult
         frames: run.frames,
     }
     // `run.analysis.flows` and everything else drops here, on the
-    // worker thread — peak memory is one full analysis per worker.
+    // worker thread — peak memory is one analyzer's state per worker,
+    // independent of how many frames the home generated.
 }
 
 /// Execute a campaign and aggregate the population report.

@@ -12,7 +12,7 @@ use crate::config::NetworkConfig;
 use crate::render::TextTable;
 use crate::scenario::{self, ExperimentRun};
 use std::collections::BTreeMap;
-use v6brick_core::observe;
+use v6brick_core::observe::StreamingAnalyzer;
 use v6brick_devices::phone::Phone;
 use v6brick_devices::profile::DeviceProfile;
 use v6brick_devices::registry;
@@ -60,7 +60,15 @@ pub fn run_with_dead_v6(
     }
     let pixel = b.add_host(Box::new(Phone::pixel7()));
     let iphone = b.add_host(Box::new(Phone::iphone_x()));
-    let mut sim = b.seed(0x7ea1 ^ config as u64).build();
+    let macs: Vec<(Mac, String)> = device_ids
+        .iter()
+        .map(|(_, id, mac)| (*mac, id.clone()))
+        .collect();
+    b.add_sink(Box::new(StreamingAnalyzer::new(
+        &macs,
+        scenario::lan_prefix(),
+    )));
+    let mut sim = b.seed(0x7ea1 ^ config as u64).capture(false).build();
     sim.run_until(scenario::EXPERIMENT_DURATION);
 
     let mut functional = BTreeMap::new();
@@ -76,13 +84,15 @@ pub fn run_with_dead_v6(
             .unwrap_or(false)
     });
     let neighbors_v6 = sim.router().neighbor_table_v6();
-    let capture = sim.take_capture();
-    let frames = capture.len() as u64;
-    let macs: Vec<(Mac, String)> = device_ids
-        .iter()
-        .map(|(_, id, mac)| (*mac, id.clone()))
-        .collect();
-    let analysis = observe::analyze(&capture, &macs, scenario::lan_prefix());
+    let analyzer = sim
+        .take_sinks()
+        .pop()
+        .expect("the streaming analyzer was attached above")
+        .into_any()
+        .downcast::<StreamingAnalyzer>()
+        .expect("the only sink is the streaming analyzer");
+    let frames = analyzer.frames_fed();
+    let analysis = analyzer.finish();
     ExperimentRun {
         config,
         analysis,

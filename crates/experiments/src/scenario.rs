@@ -3,11 +3,18 @@
 //! Builds the full testbed — router per Table 2 row, the Internet's zone
 //! database derived from every device's destination list, all 93 device
 //! models, the two verification phones — runs the experiment window,
-//! performs the functionality test, and analyzes the capture.
+//! performs the functionality test, and analyzes the traffic.
+//!
+//! Analysis is streaming by default: a [`StreamingAnalyzer`] rides the
+//! simulator's capture tap and folds every frame into `O(state)` as it
+//! crosses the LAN, so the experiment never materializes an `O(frames)`
+//! capture buffer and never parses a frame twice. Buffered captures
+//! (pcap export, debugging) remain available via
+//! `SimulationBuilder::capture(true)` on a hand-built simulation.
 
 use crate::config::NetworkConfig;
 use std::collections::{BTreeMap, BTreeSet};
-use v6brick_core::observe::{self, ExperimentAnalysis};
+use v6brick_core::observe::{ExperimentAnalysis, StreamingAnalyzer};
 use v6brick_devices::phone::Phone;
 use v6brick_devices::profile::DeviceProfile;
 use v6brick_devices::registry;
@@ -68,7 +75,7 @@ pub fn aaaa_ready_domains(profiles: &[DeviceProfile]) -> BTreeSet<Name> {
 pub struct ExperimentRun {
     /// Config.
     pub config: NetworkConfig,
-    /// Pipeline output over the LAN capture.
+    /// Pipeline output, streamed off the LAN capture tap.
     pub analysis: ExperimentAnalysis,
     /// Functionality-test outcome per device id (§4.1).
     pub functional: BTreeMap<String, bool>,
@@ -128,7 +135,15 @@ pub fn run_with_profiles_seeded_for(
     let pixel = b.add_host(Box::new(Phone::pixel7()));
     let iphone = b.add_host(Box::new(Phone::iphone_x()));
 
-    let mut sim = b.seed(base_seed ^ config as u64).build();
+    // Stream the analysis off the capture tap instead of buffering the
+    // whole capture: peak memory is the analyzer state, not the frames.
+    let macs: Vec<(Mac, String)> = device_ids
+        .iter()
+        .map(|(_, id, mac)| (*mac, id.clone()))
+        .collect();
+    b.add_sink(Box::new(StreamingAnalyzer::new(&macs, lan_prefix())));
+
+    let mut sim = b.seed(base_seed ^ config as u64).capture(false).build();
     sim.run_until(duration);
 
     // Functionality test: ask each device model whether its primary
@@ -152,13 +167,15 @@ pub fn run_with_profiles_seeded_for(
     });
 
     let neighbors_v6 = sim.router().neighbor_table_v6();
-    let capture = sim.take_capture();
-    let frames = capture.len() as u64;
-    let macs: Vec<(Mac, String)> = device_ids
-        .iter()
-        .map(|(_, id, mac)| (*mac, id.clone()))
-        .collect();
-    let analysis = observe::analyze(&capture, &macs, lan_prefix());
+    let analyzer = sim
+        .take_sinks()
+        .pop()
+        .expect("the streaming analyzer was attached above")
+        .into_any()
+        .downcast::<StreamingAnalyzer>()
+        .expect("the only sink is the streaming analyzer");
+    let frames = analyzer.frames_fed();
+    let analysis = analyzer.finish();
 
     ExperimentRun {
         config,

@@ -1,4 +1,11 @@
 //! The six-experiment suite with union/delta helpers.
+//!
+//! The six Table 2 configurations are independent simulations, so
+//! [`ExperimentSuite::run_all`] fans them out over the fleet worker pool
+//! ([`v6brick_fleet::run_indexed`]) and folds the finished runs back in
+//! `NetworkConfig::ALL` order — suite construction is byte-deterministic
+//! for any worker count, the same guarantee the fleet campaigns prove at
+//! population scale.
 
 use crate::config::NetworkConfig;
 use crate::scenario::{self, ExperimentRun};
@@ -7,6 +14,11 @@ use std::collections::{BTreeSet, HashMap};
 use v6brick_core::observe::DeviceObservation;
 use v6brick_devices::profile::DeviceProfile;
 use v6brick_devices::registry;
+use v6brick_fleet::run_indexed;
+
+/// One more than the highest `NetworkConfig` discriminant — the size of
+/// the config-indexed run lookup table.
+const CONFIG_SLOTS: usize = NetworkConfig::Ipv6OnlyEnterprise as usize + 1;
 
 /// All experiment runs plus the device registry they ran over.
 pub struct ExperimentSuite {
@@ -15,33 +27,64 @@ pub struct ExperimentSuite {
     /// One run per configuration. Private so the memoized unions below
     /// can never go stale; read through [`ExperimentSuite::runs`].
     runs: Vec<ExperimentRun>,
+    /// Config-discriminant → position in `runs` (the table generators
+    /// look runs up by config thousands of times).
+    by_config: [Option<usize>; CONFIG_SLOTS],
     /// Memoized scope-union observations (the table generators hit the
-    /// same unions hundreds of times).
-    union_cache: Mutex<HashMap<(u8, String), DeviceObservation>>,
+    /// same unions hundreds of times), keyed scope → device id.
+    union_cache: Mutex<HashMap<u8, HashMap<String, DeviceObservation>>>,
 }
 
 impl ExperimentSuite {
-    /// Run all six configurations over the full 93-device registry.
+    /// Run all six configurations over the full 93-device registry, in
+    /// parallel across the available cores (capped at one worker per
+    /// configuration).
     pub fn run_all() -> ExperimentSuite {
-        let profiles = registry::build();
-        let runs = NetworkConfig::ALL
-            .iter()
-            .map(|c| scenario::run_with_profiles(*c, &profiles))
-            .collect();
-        ExperimentSuite {
-            profiles,
-            runs,
-            union_cache: Mutex::new(HashMap::new()),
-        }
+        Self::run_all_with_workers(std::thread::available_parallelism().map_or(1, |n| n.get()))
+    }
+
+    /// Like [`ExperimentSuite::run_all`] with an explicit worker count —
+    /// `workers <= 1` is the serial reference path the parallel suite
+    /// must match byte-for-byte.
+    pub fn run_all_with_workers(workers: usize) -> ExperimentSuite {
+        Self::run_configs_with_workers(registry::build(), &NetworkConfig::ALL, workers)
+    }
+
+    /// Run an arbitrary set of configurations over an arbitrary profile
+    /// subset on `workers` threads. Runs fold back in `configs` order no
+    /// matter which worker finishes first, so the suite is
+    /// byte-deterministic for any worker count.
+    pub fn run_configs_with_workers(
+        profiles: Vec<DeviceProfile>,
+        configs: &[NetworkConfig],
+        workers: usize,
+    ) -> ExperimentSuite {
+        let runs = run_indexed(
+            configs.to_vec(),
+            workers.min(configs.len()),
+            |c| scenario::run_with_profiles(c, &profiles),
+            Vec::with_capacity(configs.len()),
+            |acc, _index, run| acc.push(run),
+        );
+        Self::from_runs(profiles, runs)
     }
 
     /// Run a single configuration (examples use this).
     pub fn run_config(config: NetworkConfig) -> ExperimentSuite {
         let profiles = registry::build();
         let runs = vec![scenario::run_with_profiles(config, &profiles)];
+        Self::from_runs(profiles, runs)
+    }
+
+    fn from_runs(profiles: Vec<DeviceProfile>, runs: Vec<ExperimentRun>) -> ExperimentSuite {
+        let mut by_config = [None; CONFIG_SLOTS];
+        for (i, run) in runs.iter().enumerate() {
+            by_config[run.config as usize] = Some(i);
+        }
         ExperimentSuite {
             profiles,
             runs,
+            by_config,
             union_cache: Mutex::new(HashMap::new()),
         }
     }
@@ -51,11 +94,14 @@ impl ExperimentSuite {
         &self.runs
     }
 
+    /// The run for one configuration, if the suite contains it.
+    fn run_opt(&self, config: NetworkConfig) -> Option<&ExperimentRun> {
+        self.by_config[config as usize].map(|i| &self.runs[i])
+    }
+
     /// The run for one configuration.
     pub fn run(&self, config: NetworkConfig) -> &ExperimentRun {
-        self.runs
-            .iter()
-            .find(|r| r.config == config)
+        self.run_opt(config)
             .unwrap_or_else(|| panic!("suite does not contain {config:?}"))
     }
 
@@ -77,7 +123,7 @@ impl ExperimentSuite {
     pub fn union_observation(&self, id: &str, configs: &[NetworkConfig]) -> DeviceObservation {
         let mut merged = DeviceObservation::default();
         for c in configs {
-            let Some(run) = self.runs.iter().find(|r| r.config == *c) else {
+            let Some(run) = self.run_opt(*c) else {
                 continue;
             };
             let Some(o) = run.analysis.device(id) else {
@@ -89,12 +135,23 @@ impl ExperimentSuite {
     }
 
     fn cached_union(&self, scope: u8, id: &str, configs: &[NetworkConfig]) -> DeviceObservation {
-        let key = (scope, id.to_string());
-        if let Some(hit) = self.union_cache.lock().get(&key) {
+        // Borrow-keyed lookup: cache hits (the overwhelming majority —
+        // the table generators re-request the same unions hundreds of
+        // times) allocate nothing; the id is cloned only on a miss.
+        if let Some(hit) = self
+            .union_cache
+            .lock()
+            .get(&scope)
+            .and_then(|per_id| per_id.get(id))
+        {
             return hit.clone();
         }
         let merged = self.union_observation(id, configs);
-        self.union_cache.lock().insert(key, merged.clone());
+        self.union_cache
+            .lock()
+            .entry(scope)
+            .or_default()
+            .insert(id.to_string(), merged.clone());
         merged
     }
 
@@ -118,9 +175,7 @@ impl ExperimentSuite {
 
     /// Functional in the given configuration?
     pub fn functional_in(&self, id: &str, config: NetworkConfig) -> bool {
-        self.runs
-            .iter()
-            .find(|r| r.config == config)
+        self.run_opt(config)
             .and_then(|r| r.functional.get(id))
             .copied()
             .unwrap_or(false)
@@ -131,7 +186,7 @@ impl ExperimentSuite {
     pub fn functional_v6only(&self, id: &str) -> bool {
         NetworkConfig::IPV6_ONLY
             .iter()
-            .any(|c| self.runs.iter().any(|r| r.config == *c) && self.functional_in(id, *c))
+            .any(|c| self.run_opt(*c).is_some() && self.functional_in(id, *c))
     }
 
     /// The functional device ids under the first configuration in the

@@ -110,7 +110,19 @@ pub fn from_bytes(buf: &[u8]) -> Result<Capture, PcapError> {
     if linktype != LINKTYPE_ETHERNET {
         return Err(PcapError::UnsupportedLinkType(linktype));
     }
-    let mut packets = Vec::new();
+    // Pre-scan the record headers (O(records), no payload reads) so the
+    // packet vector is allocated exactly once.
+    let mut count = 0usize;
+    let mut pos = 24;
+    while pos + 16 <= buf.len() {
+        let incl = u32_at(pos + 8) as usize;
+        if pos + 16 + incl > buf.len() {
+            break; // the parse loop below reports the truncation
+        }
+        pos += 16 + incl;
+        count += 1;
+    }
+    let mut packets = Vec::with_capacity(count);
     let mut pos = 24;
     while pos + 16 <= buf.len() {
         let sec = u64::from(u32_at(pos));

@@ -20,6 +20,33 @@ pub mod stats;
 use bytes::Bytes;
 use v6brick_net::parse::{self, ParsedPacket};
 
+/// A streaming consumer of tapped frames.
+///
+/// The simulator's capture tap drives any combination of sinks, one
+/// `on_frame` call per frame in capture order. A sink that buffers (the
+/// [`Capture`] impl below) reproduces the classic tcpdump-to-disk
+/// pipeline; a sink that folds each frame into running state analyzes
+/// the experiment in a single pass with `O(state)` memory instead of
+/// `O(frames)`.
+pub trait FrameSink: Send {
+    /// Observe one frame as it crosses the tap. Timestamps are
+    /// non-decreasing microseconds since the start of the experiment.
+    fn on_frame(&mut self, timestamp_us: u64, frame: &[u8]);
+
+    /// Recover the concrete sink once the producer is done with it.
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any>;
+}
+
+impl FrameSink for Capture {
+    fn on_frame(&mut self, timestamp_us: u64, frame: &[u8]) {
+        self.push(timestamp_us, frame);
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
 /// One captured frame: a timestamp (microseconds since the start of the
 /// experiment) plus the raw Ethernet bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,6 +74,15 @@ impl Capture {
     /// An empty capture.
     pub fn new() -> Capture {
         Capture::default()
+    }
+
+    /// An empty capture with room for `frames` frames — the constructor
+    /// for every path that knows the frame count up front (pcap readers
+    /// pre-scan their record headers, filters bound by the source size).
+    pub fn with_capacity(frames: usize) -> Capture {
+        Capture {
+            packets: Vec::with_capacity(frames),
+        }
     }
 
     /// Append a frame. Timestamps must be non-decreasing; the simulator
@@ -89,18 +125,21 @@ impl Capture {
 
     /// Keep only frames matching `pred`.
     pub fn filter(&self, mut pred: impl FnMut(&ParsedPacket) -> bool) -> Capture {
-        Capture {
-            packets: self
-                .packets
+        // The match count is bounded by the source length; one exact-ish
+        // allocation beats the doubling growth of a bare collect.
+        let mut packets = Vec::with_capacity(self.packets.len());
+        packets.extend(
+            self.packets
                 .iter()
                 .filter(|p| p.parse().map(|pp| pred(&pp)).unwrap_or(false))
-                .cloned()
-                .collect(),
-        }
+                .cloned(),
+        );
+        Capture { packets }
     }
 
     /// Append every frame of `other` and restore timestamp order.
     pub fn merge(&mut self, other: &Capture) {
+        self.packets.reserve(other.packets.len());
         self.packets.extend(other.packets.iter().cloned());
         self.packets.sort_by_key(|p| p.timestamp_us);
     }

@@ -93,7 +93,21 @@ pub fn from_bytes(buf: &[u8]) -> Result<Capture, PcapError> {
         })
     };
 
-    let mut packets: Vec<CapturedPacket> = Vec::new();
+    // Pre-scan the block chain (headers only) to count EPBs, so the
+    // packet vector is allocated exactly once.
+    let mut count = 0usize;
+    let mut pos = 0usize;
+    while pos + 12 <= buf.len() {
+        let total = u32_at(pos + 4)? as usize;
+        if total < 12 || !total.is_multiple_of(4) || pos + total > buf.len() {
+            break; // the parse loop below reports the truncation
+        }
+        if u32_at(pos)? == BLOCK_EPB {
+            count += 1;
+        }
+        pos += total;
+    }
+    let mut packets: Vec<CapturedPacket> = Vec::with_capacity(count);
     let mut pos = 0usize;
     while pos + 12 <= buf.len() {
         let block_type = u32_at(pos)?;

@@ -1,5 +1,13 @@
 //! The simulation engine: clock, event loop, LAN delivery, WAN link, and
 //! the tcpdump-style capture tap.
+//!
+//! The tap fans every surviving LAN frame out to any combination of
+//! [`FrameSink`]s: the classic buffered [`Capture`] (opt-in via
+//! [`SimulationBuilder::capture`], for pcap export and debugging) and
+//! streaming sinks attached with [`SimulationBuilder::add_sink`] (the
+//! default analysis path — the experiment harness attaches its
+//! incremental analyzer here so no frame is ever buffered or parsed
+//! twice).
 
 use crate::addrs;
 use crate::event::{EventKind, EventQueue, SimTime};
@@ -10,6 +18,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use v6brick_net::ethernet::Frame;
 use v6brick_pcap::Capture;
+pub use v6brick_pcap::FrameSink;
 
 /// Sender slot used for the router in LAN events.
 const ROUTER_SLOT: usize = usize::MAX;
@@ -23,6 +32,7 @@ pub struct SimulationBuilder {
     hosts: Vec<Box<dyn Host>>,
     seed: u64,
     capture_enabled: bool,
+    sinks: Vec<Box<dyn FrameSink>>,
     loss_per_mille: u32,
 }
 
@@ -35,6 +45,7 @@ impl SimulationBuilder {
             hosts: Vec::new(),
             seed: 0x1db8_2024,
             capture_enabled: true,
+            sinks: Vec::new(),
             loss_per_mille: 0,
         }
     }
@@ -51,10 +62,22 @@ impl SimulationBuilder {
         self
     }
 
-    /// Disable the capture tap (used by the high-volume port scans).
+    /// Disable the buffered capture (used by the high-volume port scans
+    /// and by the streaming analysis path, which attaches a sink
+    /// instead). Streaming sinks added with
+    /// [`SimulationBuilder::add_sink`] are unaffected.
     pub fn capture(mut self, enabled: bool) -> SimulationBuilder {
         self.capture_enabled = enabled;
         self
+    }
+
+    /// Attach a streaming [`FrameSink`] to the capture tap. Every frame
+    /// that survives the loss injector is offered to every sink, in
+    /// attachment order, before delivery — exactly what the buffered
+    /// capture would have recorded. Recover the sinks after the run with
+    /// [`Simulation::take_sinks`].
+    pub fn add_sink(&mut self, sink: Box<dyn FrameSink>) {
+        self.sinks.push(sink);
     }
 
     /// Inject random LAN frame loss (per-mille, 0–1000). Lost frames
@@ -77,6 +100,7 @@ impl SimulationBuilder {
             rng: StdRng::seed_from_u64(self.seed),
             capture: Capture::new(),
             capture_enabled: self.capture_enabled,
+            sinks: self.sinks,
             loss_per_mille: self.loss_per_mille,
             started: false,
             frames_delivered: 0,
@@ -95,6 +119,7 @@ pub struct Simulation {
     rng: StdRng,
     capture: Capture,
     capture_enabled: bool,
+    sinks: Vec<Box<dyn FrameSink>>,
     loss_per_mille: u32,
     started: bool,
     /// Total LAN frame deliveries (observability).
@@ -117,6 +142,13 @@ impl Simulation {
     /// Take ownership of the capture, leaving an empty one.
     pub fn take_capture(&mut self) -> Capture {
         std::mem::take(&mut self.capture)
+    }
+
+    /// Take ownership of the attached streaming sinks (attachment
+    /// order); downcast via [`FrameSink::into_any`] to recover concrete
+    /// analyzers.
+    pub fn take_sinks(&mut self) -> Vec<Box<dyn FrameSink>> {
+        std::mem::take(&mut self.sinks)
     }
 
     /// Borrow the router (neighbor table, lease table, drop counters).
@@ -218,8 +250,12 @@ impl Simulation {
                 return;
             }
         }
+        let timestamp_us = self.clock.as_micros();
         if self.capture_enabled {
-            self.capture.push(self.clock.as_micros(), frame);
+            self.capture.push(timestamp_us, frame);
+        }
+        for sink in &mut self.sinks {
+            sink.on_frame(timestamp_us, frame);
         }
         let Ok(eth) = Frame::new_checked(frame) else {
             return;
@@ -379,6 +415,33 @@ mod tests {
         let mut sim = b.capture(false).build();
         sim.run_until(SimTime::from_secs(2));
         assert!(sim.capture().is_empty());
+    }
+
+    #[test]
+    fn sink_sees_exactly_the_captured_frames() {
+        // A Capture attached as a streaming sink must record the same
+        // frames as the engine's own buffered capture.
+        let mut b = SimulationBuilder::new(
+            Router::new(RouterConfig::ipv4_only()),
+            Internet::new(ZoneDb::new()),
+        );
+        b.add_host(Box::new(Chatter {
+            mac: Mac::new(2, 0, 0, 0, 0, 1),
+            heard: 0,
+            sent_on_timer: false,
+        }));
+        b.add_host(Box::new(Chatter {
+            mac: Mac::new(2, 0, 0, 0, 0, 2),
+            heard: 0,
+            sent_on_timer: false,
+        }));
+        b.add_sink(Box::new(Capture::new()));
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_secs(2));
+        let sink = sim.take_sinks().pop().unwrap();
+        let mirrored = *sink.into_any().downcast::<Capture>().unwrap();
+        assert_eq!(&mirrored, sim.capture());
+        assert_eq!(mirrored.len(), 2);
     }
 
     #[test]

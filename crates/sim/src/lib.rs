@@ -21,7 +21,7 @@ pub mod internet;
 pub mod router;
 pub mod wire;
 
-pub use engine::{Simulation, SimulationBuilder};
+pub use engine::{FrameSink, Simulation, SimulationBuilder};
 pub use event::SimTime;
 pub use host::{Effects, Host, HostId};
 pub use internet::{DomainProfile, Internet, ZoneDb};
