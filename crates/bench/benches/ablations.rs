@@ -319,11 +319,100 @@ fn bench_streaming_ablation(c: &mut Criterion) {
     g.finish();
 }
 
+// --- ablation 5: full vs selected analyzer pass sets -------------------------
+
+/// What composable passes buy over the monolithic fold: callers that
+/// read a known subset of the analysis run only the passes owning those
+/// fields. Two levels: a single-household replay through the analyzer
+/// (isolates per-frame pass cost) and a whole fleet campaign with the
+/// population subset vs every pass (the production saving — the
+/// population report never reads the EUI-64 or flow-table fields).
+/// DESIGN.md §4 cites this group.
+fn bench_ablation_passes(c: &mut Criterion) {
+    use v6brick_core::analysis::PassId;
+    use v6brick_core::observe::StreamingAnalyzer;
+    use v6brick_devices::registry;
+    use v6brick_devices::stack::IotDevice;
+    use v6brick_experiments::fleet::{self, CampaignSpec, POPULATION_PASSES};
+    use v6brick_experiments::{scenario, NetworkConfig};
+    use v6brick_sim::{Internet, Router, SimTime, SimulationBuilder};
+
+    let ids = [
+        "echo_show_5",
+        "nest_camera",
+        "google_home_mini",
+        "aqara_hub",
+    ];
+    let profiles: Vec<_> = ids.iter().map(|id| registry::by_id(id)).collect();
+    let zones = scenario::build_zones(&profiles);
+    let mut b = SimulationBuilder::new(
+        Router::new(NetworkConfig::DualStack.router_config()),
+        Internet::new(zones),
+    );
+    let macs: Vec<_> = profiles
+        .iter()
+        .map(|p| {
+            b.add_host(Box::new(IotDevice::new(p.clone())));
+            (p.mac, p.id.clone())
+        })
+        .collect();
+    let mut sim = b.build();
+    sim.run_until(SimTime::from_secs(180));
+    let capture = sim.take_capture();
+    let frames: Vec<(u64, Vec<u8>)> = capture
+        .iter()
+        .map(|p| (p.timestamp_us, p.data.to_vec()))
+        .collect();
+
+    let mut g = c.benchmark_group("ablation_passes/analyzer");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(capture.total_bytes()));
+    let selections: [(&str, &[PassId]); 3] = [
+        ("full", &PassId::ALL),
+        ("population", POPULATION_PASSES),
+        ("addressing_only", &[PassId::Addressing]),
+    ];
+    for (label, passes) in selections {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut a = StreamingAnalyzer::with_passes(&macs, scenario::lan_prefix(), passes);
+                for (ts, f) in &frames {
+                    a.feed(*ts, f);
+                }
+                black_box(a.finish().frames)
+            })
+        });
+    }
+    g.finish();
+
+    // Whole campaigns: the simulation dominates, so this measures the
+    // end-to-end saving a fleet run actually sees.
+    let spec = |passes: &[PassId]| CampaignSpec {
+        homes: 4,
+        seed: 0xab1a,
+        workers: 1,
+        device_range: (2, 3),
+        duration_s: 45,
+        passes: passes.to_vec(),
+        ..Default::default()
+    };
+    let mut g = c.benchmark_group("ablation_passes/fleet");
+    g.sample_size(10);
+    g.bench_function("full_pass_set", |b| {
+        b.iter(|| black_box(fleet::run(&spec(&PassId::ALL)).devices))
+    });
+    g.bench_function("population_pass_set", |b| {
+        b.iter(|| black_box(fleet::run(&spec(POPULATION_PASSES)).devices))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_flow_ablation,
     bench_dns_ablation,
     bench_capture_ablation,
-    bench_streaming_ablation
+    bench_streaming_ablation,
+    bench_ablation_passes
 );
 criterion_main!(benches);

@@ -17,6 +17,7 @@ fn spec(workers: usize) -> CampaignSpec {
         device_range: (2, 4),
         mix: NetworkConfig::ALL.iter().map(|c| (*c, 1)).collect(),
         duration_s: 60,
+        ..Default::default()
     }
 }
 

@@ -1,0 +1,121 @@
+//! DNS transactions per transport family: query record types, positive
+//! and negative AAAA answers (matched to queries by client MAC + txid),
+//! query source addresses, and the capture-global IP → name answer map
+//! the [`super::traffic`] and [`super::eui64`] passes attribute
+//! destinations with.
+
+use super::{AnalyzerPass, PassId, SharedFrameCtx};
+use std::collections::HashMap;
+use std::net::IpAddr;
+use v6brick_net::dns::{Name, Rdata, RecordType};
+use v6brick_net::parse::{ParsedPacket, L4};
+use v6brick_net::Mac;
+
+/// See the module docs. Owns the ten `*_q_*` / `aaaa_pos_*` / `aaaa_neg`
+/// / `dns_src_v6` observation fields plus the shared
+/// [`super::SharedState::ip_to_name`] map. Only dispatched
+/// [`super::FrameClass::Dns`] frames.
+pub struct DnsPass {
+    /// Pending queries: (client mac, txid) -> (name, rtype, over_v6).
+    pending: HashMap<(Mac, u16), (Name, RecordType, bool)>,
+}
+
+impl DnsPass {
+    /// A fresh pass with no outstanding queries.
+    pub fn new() -> DnsPass {
+        DnsPass {
+            pending: HashMap::new(),
+        }
+    }
+}
+
+impl Default for DnsPass {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AnalyzerPass for DnsPass {
+    fn id(&self) -> PassId {
+        PassId::Dns
+    }
+
+    fn on_frame(&mut self, _ts: u64, p: &ParsedPacket, ctx: &mut SharedFrameCtx<'_>) {
+        let L4::Udp { dst_port, .. } = &p.l4 else {
+            return;
+        };
+        let over_v6 = p.is_ipv6();
+        if *dst_port == 53 {
+            // Query from a device.
+            let Some(i) = ctx.from else { return };
+            let Some(msg) = ctx.caches.dns_message(p) else {
+                return;
+            };
+            let Some(q) = msg.question() else { return };
+            let o = &mut ctx.state.obs[i];
+            match q.rtype {
+                RecordType::A => {
+                    if over_v6 {
+                        o.a_q_v6.insert(q.name.clone());
+                    } else {
+                        o.a_q_v4.insert(q.name.clone());
+                    }
+                }
+                RecordType::Aaaa => {
+                    if over_v6 {
+                        o.aaaa_q_v6.insert(q.name.clone());
+                    } else {
+                        o.aaaa_q_v4.insert(q.name.clone());
+                    }
+                }
+                RecordType::Https => {
+                    o.https_q.insert(q.name.clone());
+                }
+                RecordType::Svcb => {
+                    o.svcb_q.insert(q.name.clone());
+                }
+                _ => {}
+            }
+            self.pending
+                .insert((p.eth.src, msg.id), (q.name.clone(), q.rtype, over_v6));
+            if over_v6 {
+                if let Some(IpAddr::V6(src)) = p.src_ip() {
+                    o.dns_src_v6.insert(src);
+                }
+            }
+        } else {
+            // Response toward a device.
+            let Some(msg) = ctx.caches.dns_message(p) else {
+                return;
+            };
+            // Harvest the global answer map regardless of destination.
+            for r in &msg.answers {
+                match r.rdata {
+                    Rdata::A(a) => {
+                        ctx.state.ip_to_name.insert(IpAddr::V4(a), r.name.clone());
+                    }
+                    Rdata::Aaaa(a) => {
+                        ctx.state.ip_to_name.insert(IpAddr::V6(a), r.name.clone());
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(i) = ctx.to {
+                if let Some((name, rtype, _)) = self.pending.remove(&(p.eth.dst, msg.id)) {
+                    if rtype == RecordType::Aaaa {
+                        let o = &mut ctx.state.obs[i];
+                        if msg.aaaa_answers().next().is_some() {
+                            if over_v6 {
+                                o.aaaa_pos_v6.insert(name);
+                            } else {
+                                o.aaaa_pos_v4.insert(name);
+                            }
+                        } else {
+                            o.aaaa_neg.insert(name);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

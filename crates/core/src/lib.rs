@@ -10,9 +10,13 @@
 //! table. Device ground truth never leaks in; the reproduction tests
 //! assert that the *measured* values land on the paper's numbers.
 //!
+//! * [`analysis`] — the composable analyzer-pass pipeline: one
+//!   [`analysis::AnalyzerPass`] per concern, composed by an
+//!   [`analysis::PassSet`].
 //! * [`flows`] — 5-tuple flow reassembly with per-direction accounting.
 //! * [`observe`] — the single-pass capture walker producing one
-//!   [`observe::DeviceObservation`] per device MAC.
+//!   [`observe::DeviceObservation`] per device MAC (a thin facade over
+//!   the full pass set).
 //! * [`party`] — first / support / third party classification (§5.4).
 //! * [`transitions`] — per-domain IP-version transition analysis between
 //!   experiment configurations (Table 9).
@@ -21,6 +25,7 @@
 //! * [`population`] — mergeable population-scale aggregates for
 //!   multi-home fleet campaigns (streaming Table 3/5 marginals).
 
+pub mod analysis;
 pub mod eui64;
 pub mod flows;
 pub mod observe;
@@ -29,5 +34,6 @@ pub mod population;
 pub mod ports;
 pub mod transitions;
 
+pub use analysis::{AnalyzerPass, PassId, PassMetrics, PassSet};
 pub use observe::{analyze, DeviceObservation, ExperimentAnalysis, StreamingAnalyzer};
 pub use population::PopulationReport;

@@ -1,195 +1,35 @@
-//! The single-pass analyzer: one [`DeviceObservation`] per device.
+//! The single-pass analyzer facade: one [`DeviceObservation`] per device.
 //!
-//! This is the measurement core. It attributes every frame by source (or
-//! destination) MAC, tracks NDP behaviour, address assignment and usage,
-//! DAD compliance, DHCPv4/DHCPv6 exchanges, DNS transactions per
-//! transport family, SNI extraction, and data volumes split by family and
-//! by local-versus-Internet scope — exactly the observables §5 reports.
+//! This is the measurement core's classic entry point. It attributes
+//! every frame by source (or destination) MAC, tracks NDP behaviour,
+//! address assignment and usage, DAD compliance, DHCPv4/DHCPv6 exchanges,
+//! DNS transactions per transport family, SNI extraction, and data
+//! volumes split by family and by local-versus-Internet scope — exactly
+//! the observables §5 reports.
 //!
-//! The state machine is incremental: a [`StreamingAnalyzer`] consumes
-//! frames one at a time (`feed`), holding only `O(state)` memory — the
-//! per-device observation sets, the pending-DNS map, and the flow table —
-//! so the simulator's capture tap can drive it live and the experiment
-//! never materializes an `O(frames)` byte buffer. [`analyze`] keeps the
-//! classic buffered entry point as a thin wrapper over the same machine.
+//! Since the pass decomposition, the actual analysis lives in
+//! [`crate::analysis`]: one [`AnalyzerPass`](crate::analysis::AnalyzerPass)
+//! per concern, composed by a [`PassSet`]. [`StreamingAnalyzer`] is a
+//! thin wrapper over the *full* set, byte-equivalent (via serde) to the
+//! pre-decomposition monolith — the streaming-equivalence and property
+//! tests pin this. Callers that need only a subset of the observables
+//! (the fleet population path) construct a narrower set with
+//! [`StreamingAnalyzer::with_passes`].
+//!
+//! The state machine is incremental: frames are consumed one at a time
+//! (`feed`), holding only `O(state)` memory — the per-device observation
+//! sets, the pending-DNS map, and the flow table — so the simulator's
+//! capture tap can drive it live and the experiment never materializes an
+//! `O(frames)` byte buffer. [`analyze`] keeps the classic buffered entry
+//! point as a thin wrapper over the same machine.
 
-use crate::flows::FlowTable;
-use serde::Serialize;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::net::{IpAddr, Ipv6Addr};
-use v6brick_net::dns::{Message, Name, RecordType};
-use v6brick_net::ipv6::{AddressKind, Cidr, Ipv6AddrExt};
-use v6brick_net::ndp::Repr as Ndp;
-use v6brick_net::parse::{self, Net, ParsedPacket, L4};
-use v6brick_net::{dhcpv6, icmpv6, tls, Mac};
+use crate::analysis::{PassId, PassMetrics, PassSet};
+use v6brick_net::ipv6::Cidr;
+use v6brick_net::parse::ParsedPacket;
+use v6brick_net::Mac;
 use v6brick_pcap::{Capture, FrameSink};
 
-/// Everything the pipeline measured about one device.
-#[derive(Debug, Clone, Default, Serialize)]
-pub struct DeviceObservation {
-    /// Did the device emit any NDP traffic (RS/RA/NS/NA)?
-    pub ndp_traffic: bool,
-    /// Addresses the device *assigned*: DAD targets and NA announcements.
-    pub announced_v6: BTreeSet<Ipv6Addr>,
-    /// Addresses that actually sourced UDP/TCP traffic.
-    pub active_v6: BTreeSet<Ipv6Addr>,
-    /// Addresses for which a DAD probe (NS from `::`) was observed.
-    pub dad_probed: BTreeSet<Ipv6Addr>,
-    /// Completed a DHCPv4 exchange (request seen).
-    pub dhcpv4_used: bool,
-    /// Sent a DHCPv6 Information-Request (stateless).
-    pub dhcpv6_stateless: bool,
-    /// Sent a DHCPv6 Solicit/Request (stateful).
-    pub dhcpv6_stateful: bool,
-    /// Addresses received in DHCPv6 IA_NA replies.
-    pub dhcpv6_addrs: BTreeSet<Ipv6Addr>,
-
-    /// Distinct names in AAAA queries, by transport family.
-    pub aaaa_q_v6: BTreeSet<Name>,
-    /// AAAA query IPv4.
-    pub aaaa_q_v4: BTreeSet<Name>,
-    /// Names queried for A over IPv6 transport but never for AAAA
-    /// anywhere (the "A-only in IPv6" behaviour) are derived later;
-    /// these are the raw A query names per transport.
-    pub a_q_v6: BTreeSet<Name>,
-    /// A query IPv4.
-    pub a_q_v4: BTreeSet<Name>,
-    /// HTTPS/SVCB resource-record queries (HTTP/3 probing).
-    pub https_q: BTreeSet<Name>,
-    /// Svcb query.
-    pub svcb_q: BTreeSet<Name>,
-    /// Names with positive AAAA answers, by transport family.
-    pub aaaa_pos_v6: BTreeSet<Name>,
-    /// AAAA positive IPv4.
-    pub aaaa_pos_v4: BTreeSet<Name>,
-    /// Names whose AAAA query got a negative answer.
-    pub aaaa_neg: BTreeSet<Name>,
-    /// IPv6 source addresses used for DNS queries.
-    pub dns_src_v6: BTreeSet<Ipv6Addr>,
-
-    /// L4 payload bytes exchanged with Internet hosts, per family
-    /// (both directions).
-    pub v6_internet_bytes: u64,
-    /// IPv4 internet bytes.
-    pub v4_internet_bytes: u64,
-    /// IPv6 bytes exchanged with on-link / non-global peers.
-    pub v6_local_bytes: u64,
-    /// Distinct IPv6 Internet peers.
-    pub v6_internet_peers: BTreeSet<Ipv6Addr>,
-    /// IPv6 source addresses that carried Internet data.
-    pub data_src_v6: BTreeSet<Ipv6Addr>,
-    /// IPv6 source addresses that carried NTP.
-    pub ntp_src_v6: BTreeSet<Ipv6Addr>,
-
-    /// Destination domains reached over each family (DNS answer mapping
-    /// plus SNI).
-    pub domains_v6: BTreeSet<Name>,
-    /// Domains IPv4.
-    pub domains_v4: BTreeSet<Name>,
-    /// Domains seen in TLS SNI.
-    pub sni_domains: BTreeSet<Name>,
-    /// Domains contacted from an EUI-64 source (DNS or data), for the
-    /// Fig. 5 exposure analysis.
-    pub domains_from_eui64: BTreeSet<Name>,
-    /// Names queried (DNS) from an EUI-64 source.
-    pub dns_names_from_eui64: BTreeSet<Name>,
-}
-
-impl DeviceObservation {
-    /// Any IPv6 address assigned (announced or actively used)?
-    pub fn has_v6_addr(&self) -> bool {
-        !self.active_v6.is_empty() || self.announced_v6.iter().any(|a| !a.is_unspecified())
-    }
-
-    /// Active addresses of a given kind.
-    pub fn active_of(&self, kind: AddressKind) -> impl Iterator<Item = &Ipv6Addr> {
-        self.active_v6.iter().filter(move |a| a.kind() == kind)
-    }
-
-    /// Does any active address classify as `kind`?
-    pub fn has_active(&self, kind: AddressKind) -> bool {
-        self.active_of(kind).next().is_some()
-    }
-
-    /// Every assigned-or-active address.
-    pub fn all_addrs(&self) -> BTreeSet<Ipv6Addr> {
-        self.announced_v6.union(&self.active_v6).copied().collect()
-    }
-
-    /// Active EUI-64 addresses (any scope).
-    pub fn active_eui64(&self) -> impl Iterator<Item = &Ipv6Addr> {
-        self.active_v6.iter().filter(|a| a.is_eui64())
-    }
-
-    /// Did the device send AAAA queries over IPv6 transport?
-    pub fn dns_over_v6(&self) -> bool {
-        !self.aaaa_q_v6.is_empty() || !self.a_q_v6.is_empty()
-    }
-
-    /// All AAAA query names, either transport.
-    pub fn aaaa_q_any(&self) -> BTreeSet<Name> {
-        self.aaaa_q_v6.union(&self.aaaa_q_v4).cloned().collect()
-    }
-
-    /// Names queried A-only over IPv6: asked for A over v6 but never for
-    /// AAAA on any transport.
-    pub fn a_only_v6_names(&self) -> BTreeSet<Name> {
-        let all_aaaa = self.aaaa_q_any();
-        self.a_q_v6
-            .iter()
-            .filter(|n| !all_aaaa.contains(n))
-            .cloned()
-            .collect()
-    }
-
-    /// Positive AAAA answers on either transport.
-    pub fn aaaa_pos_any(&self) -> BTreeSet<Name> {
-        self.aaaa_pos_v6.union(&self.aaaa_pos_v4).cloned().collect()
-    }
-
-    /// Transmitted Internet data over IPv6?
-    pub fn v6_internet_data(&self) -> bool {
-        self.v6_internet_bytes > 0
-    }
-
-    /// Fraction of Internet volume carried over IPv6 (dual-stack; Fig. 4).
-    pub fn v6_volume_fraction(&self) -> f64 {
-        let total = self.v6_internet_bytes + self.v4_internet_bytes;
-        if total == 0 {
-            return 0.0;
-        }
-        self.v6_internet_bytes as f64 / total as f64
-    }
-}
-
-/// The result of analyzing one experiment capture.
-#[derive(Debug, Default, Serialize)]
-pub struct ExperimentAnalysis {
-    /// Per-device observations, keyed by the label supplied with the MAC.
-    pub devices: BTreeMap<String, DeviceObservation>,
-    /// DNS answer map harvested from the whole capture: IP → name.
-    pub ip_to_name: BTreeMap<IpAddr, Name>,
-    /// Frames that could not be attributed to a known device.
-    pub unattributed_frames: u64,
-    /// Total frames examined.
-    pub frames: u64,
-    /// The full 5-tuple flow table (not serialized; used by volume
-    /// cross-checks and benchmarks).
-    #[serde(skip)]
-    pub flows: crate::flows::FlowTable,
-}
-
-impl ExperimentAnalysis {
-    /// Observation by device label.
-    pub fn device(&self, label: &str) -> Option<&DeviceObservation> {
-        self.devices.get(label)
-    }
-
-    /// Count devices satisfying a predicate.
-    pub fn count(&self, pred: impl Fn(&DeviceObservation) -> bool) -> usize {
-        self.devices.values().filter(|o| pred(o)).count()
-    }
-}
+pub use crate::analysis::{DeviceObservation, ExperimentAnalysis};
 
 /// The incremental analysis state machine.
 ///
@@ -203,21 +43,11 @@ impl ExperimentAnalysis {
 /// [`finish`]: StreamingAnalyzer::finish
 #[derive(Debug)]
 pub struct StreamingAnalyzer {
-    devices: Vec<(Mac, String)>,
-    lan_prefix: Cidr,
-    mac_index: HashMap<Mac, usize>,
-    obs: Vec<DeviceObservation>,
-    analysis: ExperimentAnalysis,
-    /// Pending DNS queries: (client mac, txid) -> (name, rtype, over_v6).
-    pending: HashMap<(Mac, u16), (Name, RecordType, bool)>,
-    flows: FlowTable,
-    /// Every frame handed to `feed`, including unparseable ones
-    /// (`analysis.frames` counts only frames that parsed).
-    fed: u64,
+    set: PassSet,
 }
 
 impl StreamingAnalyzer {
-    /// A fresh analyzer.
+    /// A fresh analyzer running every pass.
     ///
     /// `lan_prefix` is the routed /64: IPv6 peers inside it (or
     /// non-global) count as local, everything else as Internet. `devices`
@@ -225,322 +55,65 @@ impl StreamingAnalyzer {
     /// contribute to the global DNS answer map.
     pub fn new(devices: &[(Mac, String)], lan_prefix: Cidr) -> StreamingAnalyzer {
         StreamingAnalyzer {
-            devices: devices.to_vec(),
-            lan_prefix,
-            mac_index: devices
-                .iter()
-                .enumerate()
-                .map(|(i, (m, _))| (*m, i))
-                .collect(),
-            obs: vec![DeviceObservation::default(); devices.len()],
-            analysis: ExperimentAnalysis::default(),
-            pending: HashMap::new(),
-            flows: FlowTable::new(),
-            fed: 0,
+            set: PassSet::full(devices, lan_prefix),
         }
+    }
+
+    /// An analyzer running only the given passes (plus their
+    /// dependencies). The fields those passes own come out byte-identical
+    /// to a full run; everything else stays at its default.
+    pub fn with_passes(
+        devices: &[(Mac, String)],
+        lan_prefix: Cidr,
+        passes: &[PassId],
+    ) -> StreamingAnalyzer {
+        StreamingAnalyzer {
+            set: PassSet::with_passes(devices, lan_prefix, passes),
+        }
+    }
+
+    /// The passes this analyzer runs, in execution order.
+    pub fn enabled_passes(&self) -> Vec<PassId> {
+        self.set.enabled()
+    }
+
+    /// Collect per-pass wall-clock timings from now on (off by default).
+    pub fn enable_metrics(&mut self) {
+        self.set.enable_metrics();
+    }
+
+    /// Per-pass execution counters, in execution order.
+    pub fn pass_metrics(&self) -> Vec<(PassId, PassMetrics)> {
+        self.set.metrics()
     }
 
     /// Frames handed to [`StreamingAnalyzer::feed`] so far (parseable or
     /// not) — the equivalent of the buffered pipeline's capture length.
     pub fn frames_fed(&self) -> u64 {
-        self.fed
+        self.set.frames_fed()
+    }
+
+    /// Frames that failed lenient parsing so far.
+    pub fn parse_errors(&self) -> u64 {
+        self.set.parse_errors()
     }
 
     /// Consume one raw frame. Unparseable frames count toward
-    /// [`StreamingAnalyzer::frames_fed`] but contribute nothing else,
-    /// mirroring `Capture::parsed`'s lenient skip.
+    /// [`StreamingAnalyzer::frames_fed`] and
+    /// [`StreamingAnalyzer::parse_errors`] but contribute nothing else.
     pub fn feed(&mut self, timestamp_us: u64, frame: &[u8]) {
-        self.fed += 1;
-        if let Ok(p) = parse::parse_lenient(frame) {
-            self.feed_parsed(timestamp_us, &p);
-        }
+        self.set.feed(timestamp_us, frame);
     }
 
     /// Consume one already-parsed frame.
     pub fn feed_parsed(&mut self, ts: u64, p: &ParsedPacket) {
-        let analysis = &mut self.analysis;
-        let obs = &mut self.obs;
-        let pending = &mut self.pending;
-        let lan_prefix = self.lan_prefix;
-        analysis.frames += 1;
-        let from = self.mac_index.get(&p.eth.src).copied();
-        let to = self.mac_index.get(&p.eth.dst).copied();
-        if from.is_none() && to.is_none() {
-            analysis.unattributed_frames += 1;
-        }
-        self.flows.record(ts, p);
-
-        // --- NDP / ICMPv6, attributed to the sender ---
-        if let (Net::Ipv6(ip), L4::Icmpv6(msg)) = (&p.net, &p.l4) {
-            if let Some(i) = from {
-                let o = &mut obs[i];
-                match msg {
-                    icmpv6::Repr::Ndp(ndp) => {
-                        o.ndp_traffic = true;
-                        match ndp {
-                            Ndp::NeighborSolicit { target, .. } if ip.src.is_unspecified() => {
-                                // DAD probe.
-                                o.dad_probed.insert(*target);
-                                o.announced_v6.insert(*target);
-                            }
-                            Ndp::NeighborAdvert { target, .. } => {
-                                o.announced_v6.insert(*target);
-                            }
-                            _ => {}
-                        }
-                    }
-                    icmpv6::Repr::EchoRequest { .. }
-                        // Outbound connectivity probes *use* their source
-                        // address (this is how probe-only EUI-64 GUAs show
-                        // up as active — Fig. 5's "misc" uses).
-                        if !ip.src.is_unspecified() && !ip.src.is_multicast() => {
-                            o.active_v6.insert(ip.src);
-                        }
-                    _ => {}
-                }
-            }
-            return;
-        }
-
-        // --- DHCPv4 (UDP 67/68) ---
-        if let (
-            Net::Ipv4(_),
-            L4::Udp {
-                src_port: 68,
-                dst_port: 67,
-                payload,
-            },
-        ) = (&p.net, &p.l4)
-        {
-            if let Some(i) = from {
-                if let Ok(msg) = v6brick_net::dhcpv4::Repr::parse_bytes(payload) {
-                    if msg.message_type == v6brick_net::dhcpv4::MessageType::Request {
-                        obs[i].dhcpv4_used = true;
-                    }
-                }
-            }
-            return;
-        }
-
-        // --- DHCPv6 (UDP 546/547) ---
-        if let (
-            Net::Ipv6(_),
-            L4::Udp {
-                src_port,
-                dst_port,
-                payload,
-            },
-        ) = (&p.net, &p.l4)
-        {
-            if *dst_port == 547 && *src_port == 546 {
-                if let (Some(i), Ok(msg)) = (from, dhcpv6::Repr::parse_bytes(payload)) {
-                    match msg.message_type {
-                        dhcpv6::MessageType::InformationRequest => obs[i].dhcpv6_stateless = true,
-                        dhcpv6::MessageType::Solicit | dhcpv6::MessageType::Request => {
-                            obs[i].dhcpv6_stateful = true
-                        }
-                        _ => {}
-                    }
-                }
-                return;
-            }
-            if *dst_port == 546 && *src_port == 547 {
-                if let (Some(i), Ok(msg)) = (to, dhcpv6::Repr::parse_bytes(payload)) {
-                    if let Some(ia) = msg.ia_na {
-                        for a in ia.addresses {
-                            obs[i].dhcpv6_addrs.insert(a.addr);
-                            obs[i].announced_v6.insert(a.addr);
-                        }
-                    }
-                }
-                return;
-            }
-        }
-
-        // --- DNS (UDP 53) ---
-        if let L4::Udp {
-            src_port,
-            dst_port,
-            payload,
-        } = &p.l4
-        {
-            if *dst_port == 53 || *src_port == 53 {
-                let over_v6 = p.is_ipv6();
-                if *dst_port == 53 {
-                    // Query from a device.
-                    if let (Some(i), Ok(msg)) = (from, Message::parse_bytes(payload)) {
-                        if let Some(q) = msg.question() {
-                            let o = &mut obs[i];
-                            match q.rtype {
-                                RecordType::A => {
-                                    if over_v6 {
-                                        o.a_q_v6.insert(q.name.clone());
-                                    } else {
-                                        o.a_q_v4.insert(q.name.clone());
-                                    }
-                                }
-                                RecordType::Aaaa => {
-                                    if over_v6 {
-                                        o.aaaa_q_v6.insert(q.name.clone());
-                                    } else {
-                                        o.aaaa_q_v4.insert(q.name.clone());
-                                    }
-                                }
-                                RecordType::Https => {
-                                    o.https_q.insert(q.name.clone());
-                                }
-                                RecordType::Svcb => {
-                                    o.svcb_q.insert(q.name.clone());
-                                }
-                                _ => {}
-                            }
-                            pending.insert((p.eth.src, msg.id), (q.name.clone(), q.rtype, over_v6));
-                            if over_v6 {
-                                if let Some(IpAddr::V6(src)) = p.src_ip() {
-                                    o.dns_src_v6.insert(src);
-                                    o.active_v6.insert(src);
-                                    if src.is_eui64() {
-                                        o.dns_names_from_eui64.insert(q.name.clone());
-                                        o.domains_from_eui64.insert(q.name.clone());
-                                    }
-                                }
-                            }
-                        }
-                    }
-                } else {
-                    // Response toward a device.
-                    if let Ok(msg) = Message::parse_bytes(payload) {
-                        // Harvest the global answer map regardless of
-                        // destination.
-                        for r in &msg.answers {
-                            match r.rdata {
-                                v6brick_net::dns::Rdata::A(a) => {
-                                    analysis.ip_to_name.insert(IpAddr::V4(a), r.name.clone());
-                                }
-                                v6brick_net::dns::Rdata::Aaaa(a) => {
-                                    analysis.ip_to_name.insert(IpAddr::V6(a), r.name.clone());
-                                }
-                                _ => {}
-                            }
-                        }
-                        if let Some(i) = to {
-                            if let Some((name, rtype, _)) = pending.remove(&(p.eth.dst, msg.id)) {
-                                if rtype == RecordType::Aaaa {
-                                    let o = &mut obs[i];
-                                    if msg.aaaa_answers().next().is_some() {
-                                        if over_v6 {
-                                            o.aaaa_pos_v6.insert(name);
-                                        } else {
-                                            o.aaaa_pos_v4.insert(name);
-                                        }
-                                    } else {
-                                        o.aaaa_neg.insert(name);
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-                return;
-            }
-        }
-
-        // --- Data traffic (TCP / non-service UDP) ---
-        let (src_ip, dst_ip) = match (p.src_ip(), p.dst_ip()) {
-            (Some(s), Some(d)) => (s, d),
-            _ => return,
-        };
-        let payload_len = match &p.l4 {
-            L4::Tcp { payload_len, .. } => *payload_len as u64,
-            L4::Udp { payload, .. } => payload.len() as u64,
-            _ => return,
-        };
-        let is_ntp = p.involves_port(123);
-        // Attribute to the device end (sender preferred).
-        let (idx, dev_ip, peer_ip, outbound) = match (from, to) {
-            (Some(i), _) => (i, src_ip, dst_ip, true),
-            (_, Some(i)) => (i, dst_ip, src_ip, false),
-            _ => return,
-        };
-        let o = &mut obs[idx];
-        match (dev_ip, peer_ip) {
-            (IpAddr::V6(dev6), IpAddr::V6(peer6)) => {
-                if outbound {
-                    o.active_v6.insert(dev6);
-                }
-                let local = peer6.is_multicast()
-                    || !peer6.is_global_unicast()
-                    || lan_prefix.contains(peer6);
-                if local {
-                    o.v6_local_bytes += payload_len;
-                } else {
-                    o.v6_internet_bytes += payload_len;
-                    o.v6_internet_peers.insert(peer6);
-                    if outbound {
-                        if is_ntp {
-                            o.ntp_src_v6.insert(dev6);
-                        } else {
-                            o.data_src_v6.insert(dev6);
-                        }
-                    }
-                    if let Some(name) = analysis.ip_to_name.get(&IpAddr::V6(peer6)) {
-                        o.domains_v6.insert(name.clone());
-                        if outbound && dev6.is_eui64() && !is_ntp {
-                            o.domains_from_eui64.insert(name.clone());
-                        }
-                    }
-                }
-            }
-            (IpAddr::V4(_), IpAddr::V4(peer4)) => {
-                let local = peer4.is_private() || peer4.is_broadcast() || peer4.is_multicast();
-                if !local {
-                    o.v4_internet_bytes += payload_len;
-                    if let Some(name) = analysis.ip_to_name.get(&IpAddr::V4(peer4)) {
-                        o.domains_v4.insert(name.clone());
-                    }
-                }
-            }
-            _ => {}
-        }
-        // SNI extraction from client-to-server TLS.
-        if outbound {
-            if let L4::Tcp { payload, .. } = &p.l4 {
-                if let Ok(sni) = tls::parse_sni(payload) {
-                    let o = &mut obs[idx];
-                    o.sni_domains.insert(sni.clone());
-                    match peer_ip {
-                        IpAddr::V6(peer6)
-                            if peer6.is_global_unicast() && !lan_prefix.contains(peer6) =>
-                        {
-                            o.domains_v6.insert(sni.clone());
-                            if let IpAddr::V6(dev6) = dev_ip {
-                                if dev6.is_eui64() {
-                                    o.domains_from_eui64.insert(sni);
-                                }
-                            }
-                        }
-                        IpAddr::V4(peer4) if !peer4.is_private() => {
-                            o.domains_v4.insert(sni);
-                        }
-                        _ => {}
-                    }
-                }
-            }
-        }
+        self.set.feed_parsed(ts, p);
     }
 
     /// Finalize: key the per-device observations by label and hand the
     /// flow table over. Consumes the analyzer — the state *is* the result.
     pub fn finish(self) -> ExperimentAnalysis {
-        let mut analysis = self.analysis;
-        analysis.devices = self
-            .devices
-            .iter()
-            .zip(self.obs)
-            .map(|((_, label), o)| (label.clone(), o))
-            .collect();
-        analysis.flows = self.flows;
-        analysis
+        self.set.finish()
     }
 }
 
@@ -558,7 +131,9 @@ impl FrameSink for StreamingAnalyzer {
 ///
 /// A thin wrapper over [`StreamingAnalyzer`] for captures that already
 /// sit in memory (pcap files, tests); the live path feeds the analyzer
-/// straight from the simulator's capture tap instead. See
+/// straight from the simulator's capture tap instead. Feeds the *raw*
+/// frames so unparseable ones land in
+/// [`ExperimentAnalysis::parse_errors`], exactly as on the live path. See
 /// [`StreamingAnalyzer::new`] for the `devices` / `lan_prefix` contract.
 pub fn analyze(
     capture: &Capture,
@@ -566,8 +141,8 @@ pub fn analyze(
     lan_prefix: Cidr,
 ) -> ExperimentAnalysis {
     let mut analyzer = StreamingAnalyzer::new(devices, lan_prefix);
-    for (ts, p) in capture.parsed() {
-        analyzer.feed_parsed(ts, &p);
+    for pkt in capture.iter() {
+        analyzer.feed(pkt.timestamp_us, &pkt.data);
     }
     analyzer.finish()
 }
@@ -575,8 +150,13 @@ pub fn analyze(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::net::{IpAddr, Ipv6Addr};
+    use v6brick_net::dns::{Message, Name, RecordType};
     use v6brick_net::ethernet::EtherType;
+    use v6brick_net::icmpv6;
     use v6brick_net::ipv4::Protocol;
+    use v6brick_net::ipv6::Ipv6AddrExt;
+    use v6brick_net::ndp::Repr as Ndp;
 
     use v6brick_net::udp::PseudoHeader;
     use v6brick_net::{ethernet, ipv6, udp};
@@ -790,5 +370,65 @@ mod tests {
         let a = analyze(&cap, &labels(), lan());
         assert_eq!(a.unattributed_frames, 1);
         assert_eq!(a.frames, 1);
+        assert_eq!(a.parse_errors, 0);
+    }
+
+    #[test]
+    fn parse_errors_counted_and_contribute_nothing_else() {
+        let mut cap = Capture::new();
+        // A frame too short for even an Ethernet header.
+        cap.push(0, &[0xde, 0xad]);
+        cap.push(
+            1,
+            &eth(
+                dev_mac(),
+                Mac::new(2, 0, 0, 0, 0, 0xfe),
+                &v6_udp(
+                    "2001:db8:10:1::10".parse().unwrap(),
+                    "2001:db8:ffff::99".parse().unwrap(),
+                    5000,
+                    9999,
+                    vec![0; 10],
+                ),
+            ),
+        );
+        let a = analyze(&cap, &labels(), lan());
+        assert_eq!(a.parse_errors, 1);
+        assert_eq!(a.frames, 1, "only the parseable frame is analyzed");
+        assert_eq!(a.unattributed_frames, 0);
+    }
+
+    #[test]
+    fn pass_subset_populates_only_owned_fields() {
+        use crate::analysis::PassId;
+        let dev: Ipv6Addr = "2001:db8:10:1::10".parse().unwrap();
+        let internet: Ipv6Addr = "2001:db8:ffff::99".parse().unwrap();
+        let frame = eth(
+            dev_mac(),
+            Mac::new(2, 0, 0, 0, 0, 0xfe),
+            &v6_udp(dev, internet, 5000, 9999, vec![0; 100]),
+        );
+        let mut full = StreamingAnalyzer::new(&labels(), lan());
+        full.feed(0, &frame);
+        let full = full.finish();
+
+        let mut sub = StreamingAnalyzer::with_passes(&labels(), lan(), &[PassId::Traffic]);
+        assert_eq!(
+            sub.enabled_passes(),
+            vec![PassId::Dns, PassId::Traffic],
+            "the dns dependency is pulled in"
+        );
+        sub.feed(0, &frame);
+        let sub = sub.finish();
+
+        let (f, s) = (full.device("dev").unwrap(), sub.device("dev").unwrap());
+        assert_eq!(s.v6_internet_bytes, f.v6_internet_bytes);
+        assert_eq!(s.v6_internet_peers, f.v6_internet_peers);
+        assert_eq!(s.data_src_v6, f.data_src_v6);
+        assert!(f.active_v6.contains(&dev), "full run sees the active addr");
+        assert!(
+            s.active_v6.is_empty(),
+            "addressing disabled: its fields stay default"
+        );
     }
 }

@@ -16,6 +16,7 @@
 //! ```
 
 use std::env;
+use v6brick_core::analysis::PassId;
 use v6brick_core::ports;
 use v6brick_experiments::portscan::{scan, ScanPlan};
 use v6brick_experiments::render::TextTable;
@@ -68,9 +69,17 @@ fn main() {
         std::process::exit(2);
     }
 
-    eprintln!("Running the six connectivity experiments over 93 devices...");
+    let passes = artifact_passes(what);
+    eprintln!(
+        "Running the six connectivity experiments over 93 devices (passes: {})...",
+        passes
+            .iter()
+            .map(|p| p.label())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
     let t0 = std::time::Instant::now();
-    let suite = ExperimentSuite::run_all();
+    let suite = ExperimentSuite::run_all_scoped(&passes);
     eprintln!(
         "   done in {:?} ({} frames captured)",
         t0.elapsed(),
@@ -139,6 +148,12 @@ fn main() {
                     .device_ids()
                     .filter(|id| suite.functional_v6only(id))
                     .collect::<Vec<_>>(),
+                // Capture-health counters: frames analyzed and frames
+                // that failed even lenient parsing, summed over the six
+                // runs. Anything nonzero in `parse_errors` means the
+                // capture path and the analyzer disagree on framing.
+                "frames": suite.runs().iter().map(|r| r.analysis.frames).sum::<u64>(),
+                "parse_errors": suite.runs().iter().map(|r| r.analysis.parse_errors).sum::<u64>(),
                 "devices": per_device,
             });
             println!(
@@ -154,6 +169,57 @@ fn main() {
             std::process::exit(2);
         }
     }
+}
+
+/// The analyzer passes the requested artifact reads — each generator
+/// module declares its own `PASSES`, and the suite runs exactly that
+/// union (the analyzer closes over dependencies itself, e.g. `traffic`
+/// pulling in `dns` for peer-name attribution). `all` and `json` take
+/// the union over every generator.
+fn artifact_passes(what: &str) -> Vec<PassId> {
+    use v6brick_experiments::figures::{
+        FIGURE2_PASSES, FIGURE3_PASSES, FIGURE4_PASSES, FIGURE5_PASSES,
+    };
+    let slice: &[PassId] = match what {
+        "table3" => tables::table3::PASSES,
+        "table4" => tables::table4::PASSES,
+        "table5" => tables::table5::PASSES,
+        "table6" => tables::table6::PASSES,
+        "table7" => tables::table7::PASSES,
+        "table8" => tables::table8::PASSES,
+        "table9" => tables::table9::PASSES,
+        "table10" => tables::table10::PASSES,
+        "table11" => tables::table11::PASSES,
+        "table12" => tables::table12::PASSES,
+        "table13" => tables::table13::PASSES,
+        "figure2" => FIGURE2_PASSES,
+        "figure3" => FIGURE3_PASSES,
+        "figure4" => FIGURE4_PASSES,
+        "figure5" => FIGURE5_PASSES,
+        "dad" => tables::dad::PASSES,
+        "variants" => tables::variants::PASSES,
+        "tracking" => tracking::PASSES,
+        _ => {
+            // `all`/`json` serve every generator: tables, figures, and
+            // the tracking report.
+            let mut union = tables::all_table_passes();
+            for extra in [
+                FIGURE2_PASSES,
+                FIGURE3_PASSES,
+                FIGURE4_PASSES,
+                FIGURE5_PASSES,
+                tracking::PASSES,
+            ] {
+                for p in extra {
+                    if !union.contains(p) {
+                        union.push(*p);
+                    }
+                }
+            }
+            return union;
+        }
+    };
+    slice.to_vec()
 }
 
 /// `repro fleet <homes> [--workers W] [--seed S] [--duration SECS] [--json]`
@@ -299,6 +365,30 @@ fn run_bench_json(args: &[String]) {
     }
     let frames_per_sec = frames as f64 / analyzer_secs.max(1e-9);
 
+    // Per-pass cost attribution: one instrumented replay. The two
+    // `Instant` reads per (pass, frame) make this replay slower than
+    // the throughput loop above, which is why it is separate — the
+    // nanos are for *relative* attribution across passes.
+    eprintln!("bench-json: per-pass attribution replay...");
+    let mut instrumented = StreamingAnalyzer::new(&macs, scenario::lan_prefix());
+    instrumented.enable_metrics();
+    for p in capture.iter() {
+        instrumented.feed(p.timestamp_us, &p.data);
+    }
+    let per_pass: Vec<serde_json::Value> = instrumented
+        .pass_metrics()
+        .iter()
+        .map(|(id, m)| {
+            serde_json::json!({
+                "pass": id.label(),
+                "frames": m.frames,
+                "nanos": m.nanos,
+            })
+        })
+        .collect();
+    let parse_errors = instrumented.parse_errors();
+    std::hint::black_box(instrumented.finish().frames);
+
     // --- 2. Six-config suite, serial vs parallel ---
     let suite_ids = [
         "echo_show_5",
@@ -333,31 +423,39 @@ fn run_bench_json(args: &[String]) {
         == tables::table3(&parallel).to_string()
         && tables::table5(&serial).to_string() == tables::table5(&parallel).to_string();
 
-    // --- 3. Fleet homes/sec ---
-    let fleet_spec = fleet::CampaignSpec {
+    // --- 3. Fleet homes/sec: population pass subset vs every pass ---
+    let fleet_spec = |passes: &[PassId]| fleet::CampaignSpec {
         homes: 8,
         seed: 0xbe9c,
         workers,
         device_range: (2, 4),
         duration_s: 60,
+        passes: passes.to_vec(),
         ..Default::default()
     };
-    eprintln!(
-        "bench-json: fleet campaign, {} homes on {workers} workers...",
-        fleet_spec.homes
-    );
+    eprintln!("bench-json: fleet campaign, 8 homes on {workers} workers (population passes)...");
     let t0 = Instant::now();
-    let report = fleet::run(&fleet_spec);
+    let report = fleet::run(&fleet_spec(fleet::POPULATION_PASSES));
     let fleet_secs = t0.elapsed().as_secs_f64();
     let homes_per_sec = report.homes as f64 / fleet_secs.max(1e-9);
+    eprintln!("bench-json: same campaign with the full pass set...");
+    let t0 = Instant::now();
+    let full_report = fleet::run(&fleet_spec(&PassId::ALL));
+    let fleet_full_secs = t0.elapsed().as_secs_f64();
+    // The population subset must be a pure cost saving: the report the
+    // campaign produces may not change by a byte.
+    let report_identical = serde_json::to_string(&report).expect("serializable")
+        == serde_json::to_string(&full_report).expect("serializable");
 
     let out = serde_json::json!({
-        "schema": "v6brick-bench-pipeline/1",
+        "schema": "v6brick-bench-pipeline/2",
         "streaming_analyzer": serde_json::json!({
             "frames": frames,
             "bytes": bytes,
+            "parse_errors": parse_errors,
             "secs": analyzer_secs,
             "frames_per_sec": frames_per_sec,
+            "per_pass": per_pass,
         }),
         "suite": serde_json::json!({
             "devices": suite_ids.len(),
@@ -374,6 +472,9 @@ fn run_bench_json(args: &[String]) {
             "workers": workers,
             "secs": fleet_secs,
             "homes_per_sec": homes_per_sec,
+            "full_pass_secs": fleet_full_secs,
+            "pass_ablation_speedup": fleet_full_secs / fleet_secs.max(1e-9),
+            "report_identical": report_identical,
         }),
     });
     let rendered = serde_json::to_string_pretty(&out).expect("serializable");
@@ -386,6 +487,13 @@ fn run_bench_json(args: &[String]) {
     if !deterministic {
         eprintln!(
             "bench-json: serial and parallel suites DIVERGED — investigate before trusting timings"
+        );
+        std::process::exit(1);
+    }
+    if !report_identical {
+        eprintln!(
+            "bench-json: population-pass and full-pass fleet reports DIVERGED — \
+             a pass is writing fields the population report reads"
         );
         std::process::exit(1);
     }

@@ -5,8 +5,28 @@ use crate::render::TextTable;
 use crate::suite::ExperimentSuite;
 use crate::tables;
 use std::collections::BTreeMap;
+use v6brick_core::analysis::PassId;
 use v6brick_core::eui64;
 use v6brick_net::Mac;
+
+/// Analyzer passes [`figure2`] reads (the full readiness funnel).
+pub const FIGURE2_PASSES: &[PassId] = tables::FUNNEL_PASSES;
+
+/// Analyzer passes [`figure3`] reads (address and AAAA-query counts).
+pub const FIGURE3_PASSES: &[PassId] = &[PassId::Addressing, PassId::Dns];
+
+/// Analyzer passes [`figure4`] reads (volume fractions only; the
+/// functionality annotation comes from the simulator, not a pass).
+pub const FIGURE4_PASSES: &[PassId] = &[PassId::Traffic];
+
+/// Analyzer passes [`figure5`] reads (the EUI-64 funnel needs address
+/// sets, names, traffic attribution, and the EUI-64 correlators).
+pub const FIGURE5_PASSES: &[PassId] = &[
+    PassId::Addressing,
+    PassId::Dns,
+    PassId::Traffic,
+    PassId::Eui64,
+];
 
 /// Figure 2: the IPv6-only feature funnel (the nested-circle chart's
 /// underlying percentages).

@@ -16,10 +16,25 @@
 use crate::config::NetworkConfig;
 use crate::scenario;
 use std::collections::BTreeMap;
+use v6brick_core::analysis::PassId;
 use v6brick_core::observe::DeviceObservation;
 use v6brick_core::population::PopulationReport;
 use v6brick_fleet::{plan_homes, run_indexed, HomeSpec};
 use v6brick_sim::SimTime;
+
+/// The analyzer passes whose fields the [`PopulationReport`] actually
+/// reads: funnel and behaviour marginals (`addressing`, `ndp_dad`,
+/// `dns`), histograms and volume counters (`traffic`). The EUI-64
+/// correlator and the flow table feed nothing in the report, so fleet
+/// campaigns skip them — `bench_ablation_passes` measures the saving
+/// and `tests/fleet_determinism.rs` pins that the report stays
+/// byte-identical to a full-pass run.
+pub const POPULATION_PASSES: &[PassId] = &[
+    PassId::Addressing,
+    PassId::NdpDad,
+    PassId::Dns,
+    PassId::Traffic,
+];
 
 /// Description of a whole campaign.
 #[derive(Debug, Clone)]
@@ -36,11 +51,15 @@ pub struct CampaignSpec {
     pub mix: Vec<(NetworkConfig, u32)>,
     /// Simulated duration per home, seconds.
     pub duration_s: u64,
+    /// Analyzer passes each home runs (dependencies are added
+    /// automatically). Defaults to [`POPULATION_PASSES`].
+    pub passes: Vec<PassId>,
 }
 
 impl Default for CampaignSpec {
     /// 64 homes of 3–12 devices, equal draw over the six Table 2
-    /// configs, full 420 s experiment windows, single-threaded.
+    /// configs, full 420 s experiment windows, single-threaded,
+    /// population-relevant passes only.
     fn default() -> Self {
         CampaignSpec {
             homes: 64,
@@ -49,6 +68,7 @@ impl Default for CampaignSpec {
             device_range: (3, 12),
             mix: NetworkConfig::ALL.iter().map(|c| (*c, 1)).collect(),
             duration_s: 420,
+            passes: POPULATION_PASSES.to_vec(),
         }
     }
 }
@@ -63,9 +83,12 @@ struct HomeResult {
     frames: u64,
 }
 
-fn simulate_home(home: HomeSpec<NetworkConfig>, duration: SimTime) -> HomeResult {
-    let run =
-        scenario::run_with_profiles_seeded_for(home.config, &home.profiles, home.seed, duration);
+fn simulate_home(
+    home: HomeSpec<NetworkConfig>,
+    duration: SimTime,
+    passes: &[PassId],
+) -> HomeResult {
+    let run = scenario::run_scoped(home.config, &home.profiles, home.seed, duration, passes);
     HomeResult {
         config_label: run.config.label().to_string(),
         devices: run.analysis.devices,
@@ -85,7 +108,7 @@ pub fn run(spec: &CampaignSpec) -> PopulationReport {
     run_indexed(
         plans,
         spec.workers,
-        |home| simulate_home(home, duration),
+        |home| simulate_home(home, duration, &spec.passes),
         PopulationReport::new(spec.seed),
         |report, _index, home| {
             report.absorb_home(

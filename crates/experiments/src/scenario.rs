@@ -14,6 +14,7 @@
 
 use crate::config::NetworkConfig;
 use std::collections::{BTreeMap, BTreeSet};
+use v6brick_core::analysis::PassId;
 use v6brick_core::observe::{ExperimentAnalysis, StreamingAnalyzer};
 use v6brick_devices::phone::Phone;
 use v6brick_devices::profile::DeviceProfile;
@@ -122,6 +123,22 @@ pub fn run_with_profiles_seeded_for(
     base_seed: u64,
     duration: SimTime,
 ) -> ExperimentRun {
+    run_scoped(config, profiles, base_seed, duration, &PassId::ALL)
+}
+
+/// Like [`run_with_profiles_seeded_for`] but analyzing with only the
+/// named passes (plus their dependencies). Callers that read a known
+/// subset of [`v6brick_core::observe::DeviceObservation`] — the fleet
+/// population report, a single table generator — skip the work of the
+/// passes whose fields they never look at; the fields a disabled pass
+/// owns stay at their defaults.
+pub fn run_scoped(
+    config: NetworkConfig,
+    profiles: &[DeviceProfile],
+    base_seed: u64,
+    duration: SimTime,
+    passes: &[PassId],
+) -> ExperimentRun {
     let zones = build_zones(profiles);
     let internet = Internet::new(zones);
     let router = Router::new(config.router_config());
@@ -141,7 +158,11 @@ pub fn run_with_profiles_seeded_for(
         .iter()
         .map(|(_, id, mac)| (*mac, id.clone()))
         .collect();
-    b.add_sink(Box::new(StreamingAnalyzer::new(&macs, lan_prefix())));
+    b.add_sink(Box::new(StreamingAnalyzer::with_passes(
+        &macs,
+        lan_prefix(),
+        passes,
+    )));
 
     let mut sim = b.seed(base_seed ^ config as u64).capture(false).build();
     sim.run_until(duration);

@@ -8,9 +8,10 @@
 //! population scale.
 
 use crate::config::NetworkConfig;
-use crate::scenario::{self, ExperimentRun};
+use crate::scenario::{self, ExperimentRun, EXPERIMENT_DURATION};
 use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashMap};
+use v6brick_core::analysis::PassId;
 use v6brick_core::observe::DeviceObservation;
 use v6brick_devices::profile::DeviceProfile;
 use v6brick_devices::registry;
@@ -50,6 +51,19 @@ impl ExperimentSuite {
         Self::run_configs_with_workers(registry::build(), &NetworkConfig::ALL, workers)
     }
 
+    /// Like [`ExperimentSuite::run_all`] but analyzing with only the
+    /// named passes (plus their dependencies). The `repro` binary uses
+    /// this to run exactly the passes the requested artifact reads —
+    /// composed as the union of each generator's declared `PASSES`.
+    pub fn run_all_scoped(passes: &[PassId]) -> ExperimentSuite {
+        Self::run_configs_scoped(
+            registry::build(),
+            &NetworkConfig::ALL,
+            std::thread::available_parallelism().map_or(1, |n| n.get()),
+            passes,
+        )
+    }
+
     /// Run an arbitrary set of configurations over an arbitrary profile
     /// subset on `workers` threads. Runs fold back in `configs` order no
     /// matter which worker finishes first, so the suite is
@@ -59,10 +73,22 @@ impl ExperimentSuite {
         configs: &[NetworkConfig],
         workers: usize,
     ) -> ExperimentSuite {
+        Self::run_configs_scoped(profiles, configs, workers, &PassId::ALL)
+    }
+
+    /// The fully general constructor: arbitrary configurations, profile
+    /// subset, worker count, and analyzer pass selection.
+    pub fn run_configs_scoped(
+        profiles: Vec<DeviceProfile>,
+        configs: &[NetworkConfig],
+        workers: usize,
+        passes: &[PassId],
+    ) -> ExperimentSuite {
+        let passes = passes.to_vec();
         let runs = run_indexed(
             configs.to_vec(),
             workers.min(configs.len()),
-            |c| scenario::run_with_profiles(c, &profiles),
+            |c| scenario::run_scoped(c, &profiles, 0x6b1c_0000, EXPERIMENT_DURATION, &passes),
             Vec::with_capacity(configs.len()),
             |acc, _index, run| acc.push(run),
         );

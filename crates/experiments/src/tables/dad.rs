@@ -1,0 +1,86 @@
+//! DAD compliance (§5.2.1): devices that skipped duplicate address
+//! detection for at least one used address, and devices that never DAD.
+
+use crate::render::TextTable;
+use crate::suite::ExperimentSuite;
+use std::collections::BTreeSet;
+use v6brick_core::analysis::PassId;
+
+/// Analyzer passes this report reads (addresses from `addressing`, DAD
+/// probes from `ndp_dad`).
+pub const PASSES: &[PassId] = &[PassId::Addressing, PassId::NdpDad];
+
+/// The DAD compliance report: devices that skipped DAD for at least one
+/// used address, and devices that never DAD at all.
+pub fn dad_report(suite: &ExperimentSuite) -> TextTable {
+    let mut t = TextTable::new(
+        "DAD compliance (RFC 4862 §5.4): devices skipping duplicate address detection",
+    )
+    .headers(["Device", "Addresses used", "DAD-probed", "Never DAD"]);
+    let mut skip_some = 0usize;
+    let mut never = 0usize;
+    for p in &suite.profiles {
+        let o = suite.v6_and_dual_observation(&p.id);
+        // Unicast addresses that sourced traffic or were announced.
+        let used: BTreeSet<_> = o
+            .all_addrs()
+            .into_iter()
+            .filter(|a| !a.is_multicast() && !a.is_unspecified())
+            .collect();
+        if used.is_empty() {
+            continue;
+        }
+        let probed = &o.dad_probed;
+        let missing = used.iter().filter(|a| !probed.contains(*a)).count();
+        if missing == 0 {
+            continue;
+        }
+        let never_dad = probed.is_empty();
+        skip_some += 1;
+        if never_dad {
+            never += 1;
+        }
+        t.row([
+            p.name.clone(),
+            used.len().to_string(),
+            probed.len().to_string(),
+            if never_dad {
+                "yes".into()
+            } else {
+                "-".to_string()
+            },
+        ]);
+    }
+    t.row([
+        format!("TOTAL: {skip_some} devices skip DAD for >=1 address"),
+        String::new(),
+        String::new(),
+        format!("{never} never perform DAD"),
+    ]);
+    t
+}
+
+/// Measured (skip-some, never) DAD counts, for tests.
+pub fn dad_counts(suite: &ExperimentSuite) -> (usize, usize) {
+    let mut skip_some = 0usize;
+    let mut never = 0usize;
+    for p in &suite.profiles {
+        let o = suite.v6_and_dual_observation(&p.id);
+        let used: BTreeSet<_> = o
+            .all_addrs()
+            .into_iter()
+            .filter(|a| !a.is_multicast() && !a.is_unspecified())
+            .collect();
+        if used.is_empty() {
+            continue;
+        }
+        let missing = used.iter().filter(|a| !o.dad_probed.contains(*a)).count();
+        if missing > 0 {
+            skip_some += 1;
+            if o.dad_probed.is_empty() {
+                never += 1;
+            }
+        }
+    }
+    (skip_some, never)
+}

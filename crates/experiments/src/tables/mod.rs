@@ -1,0 +1,138 @@
+//! One generator per paper table, one module per generator. Every number
+//! here is *measured* from the captures (or the device models for the
+//! functionality column); the registry's ground truth is never consulted.
+//!
+//! Each module declares the analyzer passes its generator reads
+//! (`PASSES`, e.g. [`table3::PASSES`]) so callers — the `repro` binary in
+//! particular — can compose the union of exactly the passes an artifact
+//! needs via [`v6brick_core::analysis::PassSet`] instead of paying for
+//! the full pipeline. The generator functions are re-exported here, so
+//! `tables::table3(&suite)` keeps compiling unchanged alongside
+//! `tables::table3::PASSES`.
+
+pub mod dad;
+pub mod headline;
+pub mod table10;
+pub mod table11;
+pub mod table12;
+pub mod table13;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+pub mod table8;
+pub mod table9;
+pub mod variants;
+
+pub use dad::{dad_counts, dad_report};
+pub use headline::headline_numbers;
+pub use table10::table10;
+pub use table11::table11;
+pub use table12::table12;
+pub use table13::table13;
+pub use table3::table3;
+pub use table4::table4;
+pub use table5::table5;
+pub use table6::table6;
+pub use table7::table7;
+pub use table8::table8;
+pub use table9::table9;
+pub use variants::variants;
+
+use crate::suite::ExperimentSuite;
+use v6brick_core::analysis::PassId;
+use v6brick_core::observe::DeviceObservation;
+use v6brick_devices::profile::Category;
+use v6brick_net::ipv6::Ipv6AddrExt;
+
+/// The full adoption funnel: addressing, NDP, DNS, and traffic — what
+/// the Table 3/4-style feature tables read.
+pub const FUNNEL_PASSES: &[PassId] = &[
+    PassId::Addressing,
+    PassId::NdpDad,
+    PassId::Dns,
+    PassId::Traffic,
+];
+
+/// Addressing + DNS + traffic (no NDP row).
+pub const FEATURE_PASSES: &[PassId] = &[PassId::Addressing, PassId::Dns, PassId::Traffic];
+
+/// Union of the passes every table generator declares — the suite scope
+/// that can serve any table.
+pub fn all_table_passes() -> Vec<PassId> {
+    let mut out: Vec<PassId> = Vec::new();
+    for passes in [
+        table3::PASSES,
+        table4::PASSES,
+        table5::PASSES,
+        table6::PASSES,
+        table7::PASSES,
+        table8::PASSES,
+        table9::PASSES,
+        table10::PASSES,
+        table11::PASSES,
+        table12::PASSES,
+        table13::PASSES,
+        variants::PASSES,
+        dad::PASSES,
+        headline::PASSES,
+    ] {
+        for p in passes {
+            if !out.contains(p) {
+                out.push(*p);
+            }
+        }
+    }
+    out
+}
+
+/// Count devices per category satisfying `pred`.
+pub fn count_by_category(
+    suite: &ExperimentSuite,
+    mut pred: impl FnMut(&str) -> bool,
+) -> Vec<usize> {
+    Category::ALL
+        .iter()
+        .map(|c| {
+            suite
+                .profiles
+                .iter()
+                .filter(|p| p.category == *c && pred(&p.id))
+                .count()
+        })
+        .collect()
+}
+
+// --- shared measurement predicates -----------------------------------------
+
+/// Active GUA (sourced traffic from a global address)?
+pub fn active_gua(o: &DeviceObservation) -> bool {
+    o.active_v6.iter().any(|a| a.is_global_unicast())
+}
+
+/// Holds an active EUI-64 address: an (inherently link-used) EUI-64 LLA,
+/// or an EUI-64 global that sourced traffic.
+pub fn has_eui64_addr(o: &DeviceObservation) -> bool {
+    o.all_addrs()
+        .iter()
+        .any(|a| a.is_link_local() && a.is_eui64())
+        || o.active_v6
+            .iter()
+            .any(|a| !a.is_link_local() && a.is_eui64())
+}
+
+/// Assigned any ULA?
+pub fn has_ula(o: &DeviceObservation) -> bool {
+    o.all_addrs().iter().any(|a| a.is_unique_local())
+}
+
+/// Assigned any LLA?
+pub fn has_lla(o: &DeviceObservation) -> bool {
+    o.all_addrs().iter().any(|a| a.is_link_local())
+}
+
+/// Any v4-only AAAA query name?
+pub fn aaaa_v4_only(o: &DeviceObservation) -> bool {
+    o.aaaa_q_v4.difference(&o.aaaa_q_v6).next().is_some()
+}

@@ -1,0 +1,21 @@
+//! Table 11: firmware versions of select devices (appendix C).
+
+use crate::render::TextTable;
+use crate::suite::ExperimentSuite;
+use v6brick_core::analysis::PassId;
+
+/// Analyzer passes this generator reads: none — firmware versions come
+/// from the registry, not the captures.
+pub const PASSES: &[PassId] = &[];
+
+/// Table 11: firmware versions of select devices (appendix C).
+pub fn table11(suite: &ExperimentSuite) -> TextTable {
+    let mut t = TextTable::new("Table 11: firmware versions of select devices")
+        .headers(["Device", "Version"]);
+    for p in &suite.profiles {
+        if let Some(v) = v6brick_devices::registry::firmware(&p.id) {
+            t.row([p.name.clone(), v.to_string()]);
+        }
+    }
+    t
+}

@@ -1,0 +1,100 @@
+//! Table 9: destination domains switching between IPv4 and IPv6.
+
+use crate::active_dns::ActiveDnsReport;
+use crate::render::TextTable;
+use crate::suite::ExperimentSuite;
+use crate::NetworkConfig;
+use std::collections::BTreeSet;
+use v6brick_core::analysis::PassId;
+use v6brick_core::transitions;
+use v6brick_net::dns::Name;
+
+/// Analyzer passes this generator reads (destination domains from
+/// `traffic`, which pulls in `dns`).
+pub const PASSES: &[PassId] = &[PassId::Dns, PassId::Traffic];
+
+/// Table 9: destination domains switching between IPv4 and IPv6.
+pub fn table9(suite: &ExperimentSuite, active: &ActiveDnsReport) -> TextTable {
+    let mut t =
+        TextTable::new("Table 9: destination domains switching between IPv4 and IPv6 (dual-stack)")
+            .headers(["Metric", "Value", "% of common"]);
+
+    // Per-family domain footprints across the whole testbed.
+    let union_of = |configs: &[NetworkConfig]| {
+        let (mut v4, mut v6) = (BTreeSet::new(), BTreeSet::new());
+        for c in configs {
+            let run = suite.run(*c);
+            let (a, b) = transitions::domains_by_family(&run.analysis);
+            v4.extend(a);
+            v6.extend(b);
+        }
+        (v4, v6)
+    };
+    let (all_v4, all_v6) = union_of(&NetworkConfig::ALL);
+    let all: BTreeSet<Name> = all_v4.union(&all_v6).cloned().collect();
+    t.row([
+        "# of Dest. Domain".to_string(),
+        all.len().to_string(),
+        String::new(),
+    ]);
+    t.row([
+        "# IPv6 Dest. Domain".to_string(),
+        all_v6.len().to_string(),
+        format!(
+            "{:.1}%",
+            100.0 * all_v6.len() as f64 / all.len().max(1) as f64
+        ),
+    ]);
+    t.row([
+        "# IPv4 Dest. Domain".to_string(),
+        all_v4.len().to_string(),
+        format!(
+            "{:.1}%",
+            100.0 * all_v4.len() as f64 / all.len().max(1) as f64
+        ),
+    ]);
+
+    let v4_run = suite.run(NetworkConfig::Ipv4Only);
+    let v6_run = suite.run(NetworkConfig::Ipv6Only);
+    let dual_run = suite.run(NetworkConfig::DualStack);
+
+    let r = transitions::v4_to_v6(&v4_run.analysis, &dual_run.analysis);
+    let pct = |n: usize| format!("{:.1}%", 100.0 * n as f64 / r.common.max(1) as f64);
+    t.row([
+        "# IPv4 dest. partially extending to IPv6".to_string(),
+        r.partial_extension.to_string(),
+        pct(r.partial_extension),
+    ]);
+    t.row([
+        "# IPv4 dest. fully switching to IPv6".to_string(),
+        r.full_switch.to_string(),
+        pct(r.full_switch),
+    ]);
+
+    let r6 = transitions::v6_to_v4(&v6_run.analysis, &dual_run.analysis);
+    let pct6 = |n: usize| format!("{:.1}%", 100.0 * n as f64 / r6.common.max(1) as f64);
+    t.row([
+        "# IPv6 dest. partially extending to IPv4".to_string(),
+        r6.partial_extension.to_string(),
+        pct6(r6.partial_extension),
+    ]);
+    t.row([
+        "# IPv6 dest. fully switching to IPv4".to_string(),
+        r6.full_switch.to_string(),
+        pct6(r6.full_switch),
+    ]);
+
+    let ready = active.aaaa_ready();
+    let unswitched = transitions::v4_only_with_aaaa(&dual_run.analysis, &ready);
+    let (dual_v4, dual_v6) = transitions::domains_by_family(&dual_run.analysis);
+    let v4_only_in_dual = dual_v4.difference(&dual_v6).count();
+    t.row([
+        "# IPv4-only Dest. w/ AAAA".to_string(),
+        unswitched.len().to_string(),
+        format!(
+            "{:.1}%",
+            100.0 * unswitched.len() as f64 / v4_only_in_dual.max(1) as f64
+        ),
+    ]);
+    t
+}

@@ -6,8 +6,13 @@ use crate::render::TextTable;
 use crate::suite::ExperimentSuite;
 use crate::NetworkConfig;
 use std::collections::BTreeSet;
+use v6brick_core::analysis::PassId;
 use v6brick_core::party;
 use v6brick_net::dns::Name;
+
+/// Analyzer passes this report reads (DNS query names plus SNI, which
+/// the traffic pass extracts).
+pub const PASSES: &[PassId] = &[PassId::Dns, PassId::Traffic];
 
 /// The measured §5.4.3 comparison.
 #[derive(Debug, Default)]

@@ -27,6 +27,25 @@ fn worker_count_does_not_change_the_report() {
 }
 
 #[test]
+fn population_pass_subset_matches_full_pass_report() {
+    // The default campaign runs only the passes whose fields the
+    // population report reads. Running every pass must produce the
+    // byte-identical report — the extra passes only populate fields the
+    // report never looks at.
+    use v6brick_core::analysis::PassId;
+    let subset = spec(4);
+    let full = CampaignSpec {
+        passes: PassId::ALL.to_vec(),
+        ..spec(4)
+    };
+    assert_eq!(
+        serde_json::to_string(&fleet::run(&subset)).unwrap(),
+        serde_json::to_string(&fleet::run(&full)).unwrap(),
+        "disabling report-irrelevant passes must not change the report"
+    );
+}
+
+#[test]
 fn merged_shards_equal_one_campaign() {
     // Streaming aggregation must compose: absorbing homes one campaign
     // at a time via `merge` matches absorbing them all at once. We model
