@@ -20,6 +20,8 @@
 //! * [`party`] — first / support / third party classification (§5.4).
 //! * [`transitions`] — per-domain IP-version transition analysis between
 //!   experiment configurations (Table 9).
+//! * [`outage`] — dynamic Table 9 switching: how devices fall back to
+//!   IPv4 during injected faults and whether they recover.
 //! * [`eui64`] — EUI-64 exposure analysis (Fig. 5).
 //! * [`ports`] — port-scan result types and v4/v6 diffing (§5.4.2).
 //! * [`population`] — mergeable population-scale aggregates for
@@ -29,6 +31,7 @@ pub mod analysis;
 pub mod eui64;
 pub mod flows;
 pub mod observe;
+pub mod outage;
 pub mod party;
 pub mod population;
 pub mod ports;
@@ -36,4 +39,5 @@ pub mod transitions;
 
 pub use analysis::{AnalyzerPass, PassId, PassMetrics, PassSet};
 pub use observe::{analyze, DeviceObservation, ExperimentAnalysis, StreamingAnalyzer};
-pub use population::PopulationReport;
+pub use outage::{OutageClass, OutageReport, SwitchRecord};
+pub use population::{HomeFailure, PopulationReport};

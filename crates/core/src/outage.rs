@@ -1,0 +1,185 @@
+//! Outage reaction analysis: Table 9-style IP-version switching.
+//!
+//! Table 9 of the paper classifies how dual-stack devices shift between
+//! IP versions across network changes. The fault-injection scenarios
+//! (an upstream 6in4 tunnel outage, RA suppression, DNS faults) make the
+//! same question dynamic: *during* a fault, which devices abandon their
+//! IPv6 sessions for IPv4, and do they come back once the fault clears?
+//!
+//! Devices surface their family switches as an ordered event log; this
+//! module folds those logs into a serializable [`OutageReport`] with
+//! per-device verdicts and per-category rollups. Everything is
+//! `BTreeMap`-keyed integers and strings: serializing the same run twice
+//! yields byte-identical JSON, which the `broken-v6` determinism gate
+//! relies on.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One v6↔v4 family switch performed by a device.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwitchRecord {
+    /// Simulated wall-clock time of the switch, in microseconds.
+    pub at_us: u64,
+    /// Destination domain whose connection switched.
+    pub domain: String,
+    /// `true` = switched (back) to IPv6; `false` = fell back to IPv4.
+    pub to_v6: bool,
+}
+
+/// Table 9-style verdict for one device's reaction to a fault window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OutageClass {
+    /// Never switched families during the run.
+    Unchanged,
+    /// Fell back to IPv4 and returned to IPv6 (every fallback matched by
+    /// a recovery).
+    FellBackAndRecovered,
+    /// Fell back to IPv4 and was still there when the run ended.
+    StuckOnV4,
+}
+
+impl OutageClass {
+    /// Stable label used as a rollup key.
+    pub fn label(self) -> &'static str {
+        match self {
+            OutageClass::Unchanged => "unchanged",
+            OutageClass::FellBackAndRecovered => "fell-back-and-recovered",
+            OutageClass::StuckOnV4 => "stuck-on-v4",
+        }
+    }
+}
+
+/// One device's switching behaviour over a faulted run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceOutage {
+    /// Device category label (Table 3 column).
+    pub category: String,
+    /// Verdict over the whole run.
+    pub class: OutageClass,
+    /// Count of v6→v4 fallbacks.
+    pub fell_back: u64,
+    /// Count of v4→v6 recoveries.
+    pub recovered: u64,
+    /// Every switch, in chronological order.
+    pub switches: Vec<SwitchRecord>,
+}
+
+/// The aggregated Table 9-style switching report for one faulted run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutageReport {
+    /// Per-device behaviour, keyed by device id.
+    pub devices: BTreeMap<String, DeviceOutage>,
+    /// Devices per verdict label.
+    pub by_class: BTreeMap<String, u64>,
+    /// Verdict counts per device category: `category → label → count`.
+    pub by_category: BTreeMap<String, BTreeMap<String, u64>>,
+}
+
+impl OutageReport {
+    /// Classify one switch log: no events is [`OutageClass::Unchanged`];
+    /// otherwise the device recovered iff every fallback was answered by
+    /// a later return to v6.
+    pub fn classify(switches: &[SwitchRecord]) -> OutageClass {
+        if switches.is_empty() {
+            return OutageClass::Unchanged;
+        }
+        let fell_back = switches.iter().filter(|s| !s.to_v6).count();
+        let recovered = switches.iter().filter(|s| s.to_v6).count();
+        if recovered >= fell_back {
+            OutageClass::FellBackAndRecovered
+        } else {
+            OutageClass::StuckOnV4
+        }
+    }
+
+    /// Fold one device's ordered switch log into the report.
+    pub fn push_device(&mut self, id: &str, category: &str, switches: Vec<SwitchRecord>) {
+        let class = Self::classify(&switches);
+        *self.by_class.entry(class.label().to_string()).or_insert(0) += 1;
+        *self
+            .by_category
+            .entry(category.to_string())
+            .or_default()
+            .entry(class.label().to_string())
+            .or_insert(0) += 1;
+        self.devices.insert(
+            id.to_string(),
+            DeviceOutage {
+                category: category.to_string(),
+                class,
+                fell_back: switches.iter().filter(|s| !s.to_v6).count() as u64,
+                recovered: switches.iter().filter(|s| s.to_v6).count() as u64,
+                switches,
+            },
+        );
+    }
+
+    /// Devices that demonstrably fell back to IPv4 at least once.
+    pub fn fell_back_count(&self) -> u64 {
+        self.devices.values().filter(|d| d.fell_back > 0).count() as u64
+    }
+
+    /// Devices that fell back *and* recovered to IPv6.
+    pub fn recovered_count(&self) -> u64 {
+        self.devices
+            .values()
+            .filter(|d| d.class == OutageClass::FellBackAndRecovered)
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sw(at_us: u64, to_v6: bool) -> SwitchRecord {
+        SwitchRecord {
+            at_us,
+            domain: "api.vendor.example".into(),
+            to_v6,
+        }
+    }
+
+    #[test]
+    fn classification_covers_the_three_verdicts() {
+        assert_eq!(OutageReport::classify(&[]), OutageClass::Unchanged);
+        assert_eq!(
+            OutageReport::classify(&[sw(10, false), sw(20, true)]),
+            OutageClass::FellBackAndRecovered
+        );
+        assert_eq!(
+            OutageReport::classify(&[sw(10, false)]),
+            OutageClass::StuckOnV4
+        );
+    }
+
+    #[test]
+    fn rollups_count_per_class_and_category() {
+        let mut r = OutageReport::default();
+        r.push_device("tv", "TV/Ent.", vec![sw(1, false), sw(2, true)]);
+        r.push_device("plug", "Home Auto", vec![]);
+        r.push_device("cam", "Camera", vec![sw(5, false)]);
+        assert_eq!(r.by_class["fell-back-and-recovered"], 1);
+        assert_eq!(r.by_class["unchanged"], 1);
+        assert_eq!(r.by_class["stuck-on-v4"], 1);
+        assert_eq!(r.by_category["TV/Ent."]["fell-back-and-recovered"], 1);
+        assert_eq!(r.fell_back_count(), 2);
+        assert_eq!(r.recovered_count(), 1);
+        assert_eq!(r.devices["tv"].fell_back, 1);
+        assert_eq!(r.devices["tv"].recovered, 1);
+    }
+
+    #[test]
+    fn report_serialization_is_deterministic() {
+        let build = || {
+            let mut r = OutageReport::default();
+            r.push_device("b", "Speaker", vec![sw(3, false), sw(9, true)]);
+            r.push_device("a", "Camera", vec![]);
+            r
+        };
+        let x = serde_json::to_string(&build()).unwrap();
+        let y = serde_json::to_string(&build()).unwrap();
+        assert_eq!(x, y);
+    }
+}

@@ -210,6 +210,24 @@ impl TrafficTotals {
     }
 }
 
+/// One home that panicked instead of completing its simulation.
+///
+/// Failures ride on the [`PopulationReport`] for campaign accounting but
+/// are **excluded from serialization**: the serialized report over the
+/// surviving homes must stay byte-identical to a campaign that never
+/// contained the poisoned home at all.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HomeFailure {
+    /// Home index within the campaign.
+    pub index: u64,
+    /// The home's derived simulation seed.
+    pub seed: u64,
+    /// Network-config label the home ran under.
+    pub config_label: String,
+    /// Rendered panic payload from the worker.
+    pub panic_msg: String,
+}
+
 /// The streaming aggregate over a whole campaign of simulated homes.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PopulationReport {
@@ -233,6 +251,10 @@ pub struct PopulationReport {
     pub aaaa_hist: Histogram,
     /// Volume counters.
     pub traffic: TrafficTotals,
+    /// Homes that panicked instead of completing (crash isolation).
+    /// Never serialized — see [`HomeFailure`].
+    #[serde(skip)]
+    pub failures: Vec<HomeFailure>,
 }
 
 impl PopulationReport {
@@ -278,6 +300,13 @@ impl PopulationReport {
         }
     }
 
+    /// Record one home that panicked instead of completing. Failures do
+    /// not touch any serialized counter; they exist so the harness can
+    /// report (and gate on) partial campaigns.
+    pub fn absorb_failure(&mut self, failure: HomeFailure) {
+        self.failures.push(failure);
+    }
+
     /// Fold another partial report in. Merging is associative and
     /// commutative, so any reduction tree over disjoint home subsets
     /// produces the same report. Panics if the seeds disagree — partial
@@ -303,6 +332,8 @@ impl PopulationReport {
         self.addr_hist.merge(&other.addr_hist);
         self.aaaa_hist.merge(&other.aaaa_hist);
         self.traffic.merge(&other.traffic);
+        self.failures.extend(other.failures.iter().cloned());
+        self.failures.sort_by_key(|f| f.index);
     }
 
     /// Fraction of devices passing the functionality check.

@@ -296,6 +296,18 @@ fn telemetry_scale_for(raw: &RawDevice) -> u8 {
     }
 }
 
+/// How many settled ticks the stack tolerates a silent IPv6 path before
+/// falling back to IPv4. Streaming boxes ship modern happy-eyeballs
+/// stacks and abandon a dead v6 path quickly; embedded firmware waits
+/// out its longer default timeouts.
+fn fallback_latency_for(raw: &RawDevice) -> u8 {
+    use crate::profile::Category;
+    match raw.category {
+        Category::TvEntertainment => 6,
+        _ => 8,
+    }
+}
+
 /// Look up a device's Fig. 4 IPv6 volume share (percent).
 pub fn v6_share_for(id: &str) -> u8 {
     V6_SHARE_PCT
@@ -615,6 +627,7 @@ pub fn app_caps_for(raw: &RawDevice, dns: &DnsCaps) -> AppCaps {
         v6_volume_share_pct: v6_share_for(id),
         no_v6_data: crate::registry::NO_V6_DATA.contains(&id),
         data_requires_required: crate::registry::DATA_REQUIRES_REQUIRED.contains(&id),
+        fallback_latency_ticks: fallback_latency_for(raw),
     }
 }
 

@@ -348,6 +348,10 @@ pub struct AppCaps {
     /// it transmits no IPv6 data in an IPv6-only network despite resolving
     /// AAAA records).
     pub data_requires_required: bool,
+    /// Happy-eyeballs fallback latency in device ticks: how long an
+    /// unanswered IPv6 handshake (or a stalled established IPv6 session)
+    /// is tolerated before the stack abandons it and falls back to IPv4.
+    pub fallback_latency_ticks: u8,
 }
 
 /// The complete profile of one testbed device.
@@ -444,6 +448,7 @@ mod tests {
                 v6_volume_share_pct: 0,
                 no_v6_data: false,
                 data_requires_required: false,
+                fallback_latency_ticks: 8,
             },
             expect_functional_v6only: false,
         };

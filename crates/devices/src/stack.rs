@@ -76,6 +76,39 @@ struct Conn {
     src6: Option<Ipv6Addr>,
     got_response: bool,
     opened_tick: u32,
+    /// Tick of the last segment we sent on this connection.
+    last_tx_tick: u32,
+    /// Tick of the last segment the peer sent us.
+    last_rx_tick: u32,
+}
+
+/// First v6 retry delay after falling back to IPv4, in settled ticks.
+const FALLBACK_RETRY_INITIAL: u32 = 12;
+/// Ceiling for the doubling v6-retry backoff, in settled ticks.
+const FALLBACK_RETRY_CAP: u32 = 16;
+
+/// Per-destination fallback state: the device is on IPv4 for this domain
+/// and periodically races a fresh IPv6 handshake against the live v4
+/// session (happy-eyeballs style) to detect recovery.
+#[derive(Debug, Clone)]
+struct FallbackState {
+    /// Next tick at which a v6 probe handshake may be raced.
+    retry_at: u32,
+    /// Current retry interval (doubles up to [`FALLBACK_RETRY_CAP`]).
+    backoff: u32,
+}
+
+/// One observed v6↔v4 connection-family switch (the Table 9 events).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwitchEvent {
+    /// Device tick at which the switch happened.
+    pub tick: u32,
+    /// Simulated wall-clock time of the switch, in microseconds.
+    pub at_us: u64,
+    /// Destination whose connection switched family.
+    pub domain: Name,
+    /// `true` = recovered back to IPv6; `false` = fell back to IPv4.
+    pub to_v6: bool,
 }
 
 /// A behavioural IoT device on the simulated LAN.
@@ -130,8 +163,13 @@ pub struct IotDevice {
     stateful_probe_done: bool,
 
     /// Destinations whose IPv6 path timed out (AAAA published, server
-    /// unreachable over v6 — the paper's §7 caveat); retried over IPv4.
-    v6_failed: HashSet<Name>,
+    /// unreachable over v6 — the paper's §7 caveat): currently served
+    /// over IPv4, with a backed-off v6 probe racing for recovery.
+    fallback: HashMap<Name, FallbackState>,
+    /// Every family switch in chronological order (Table 9 input).
+    switch_events: Vec<SwitchEvent>,
+    /// Simulated wall clock of the current callback, in microseconds.
+    now_us: u64,
     /// RFC 6724 patience: wait for AAAA answers before letting IPv4
     /// capture a v6-preferring destination. On by default; the ablation
     /// benchmark disables it to show Fig. 4's volume shares flattening.
@@ -185,7 +223,9 @@ impl IotDevice {
             next_port: 40_000 + (seed % 1000) as u16,
             ntp_done: false,
             stateful_probe_done: false,
-            v6_failed: HashSet::new(),
+            fallback: HashMap::new(),
+            switch_events: Vec::new(),
+            now_us: 0,
             rfc6724_patience: true,
             connected: HashSet::new(),
             seed,
@@ -216,6 +256,42 @@ impl IotDevice {
     /// Every destination that completed an exchange.
     pub fn connected_domains(&self) -> &HashSet<Name> {
         &self.connected
+    }
+
+    /// Every v6↔v4 family switch the device performed, in order.
+    pub fn switch_events(&self) -> &[SwitchEvent] {
+        &self.switch_events
+    }
+
+    /// Destinations currently served over IPv4 after a v6 fallback.
+    pub fn fallen_back_domains(&self) -> impl Iterator<Item = &Name> {
+        self.fallback.keys()
+    }
+
+    fn record_switch(&mut self, domain: Name, to_v6: bool) {
+        self.switch_events.push(SwitchEvent {
+            tick: self.tick,
+            at_us: self.now_us,
+            domain,
+            to_v6,
+        });
+    }
+
+    /// Abandon the IPv6 path for `domain`: serve it over IPv4 and arm the
+    /// happy-eyeballs v6 recovery probe. Idempotent for a domain already
+    /// fallen back (a stale racing SYN re-arms nothing).
+    fn enter_fallback(&mut self, domain: Name, now: u32) {
+        if self.fallback.contains_key(&domain) {
+            return;
+        }
+        self.record_switch(domain.clone(), false);
+        self.fallback.insert(
+            domain,
+            FallbackState {
+                retry_at: now + FALLBACK_RETRY_INITIAL,
+                backoff: FALLBACK_RETRY_INITIAL,
+            },
+        );
     }
 
     /// All currently assigned IPv6 addresses (diagnostics).
@@ -773,12 +849,20 @@ impl IotDevice {
         // (AAAA record published, server dead over v6 — §7) gets abandoned
         // and the destination is retried over IPv4.
         let now = self.tick;
-        let stale: Vec<(u16, bool)> = self
+        let latency = u32::from(self.profile.app.fallback_latency_ticks.max(1));
+        // Both sweeps walk a HashMap, so sort by port (ports are handed
+        // out sequentially) — the fallback entry and switch-event order
+        // must not depend on hash-iteration order or byte-identical
+        // reruns break.
+        let mut stale: Vec<(u16, bool)> = self
             .conns
             .iter()
-            .filter(|(_, c)| c.state == ConnState::SynSent && now.saturating_sub(c.opened_tick) > 8)
+            .filter(|(_, c)| {
+                c.state == ConnState::SynSent && now.saturating_sub(c.opened_tick) > latency
+            })
             .map(|(port, c)| (*port, c.remote.is_ipv6()))
             .collect();
+        stale.sort_unstable();
         for (port, was_v6) in stale {
             if let Some(c) = self.conns.remove(&port) {
                 if was_v6 && self.v4_addr.is_some() {
@@ -786,7 +870,32 @@ impl IotDevice {
                     // IPv4 available there is nothing to fall back to, so
                     // the v6 handshake simply retries (a lost SYN/ACK must
                     // not permanently blacklist the only usable family).
-                    self.v6_failed.insert(c.domain);
+                    self.enter_fallback(c.domain, now);
+                }
+            }
+        }
+        // Mid-session stall: an established IPv6 connection whose last
+        // send went unanswered for a full fallback window (an upstream
+        // tunnel outage, not a dead server) is torn down the same way —
+        // the destination reconnects over IPv4 below and the v6 recovery
+        // race starts probing.
+        let mut stalled: Vec<u16> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| {
+                c.state == ConnState::Established
+                    && c.remote.is_ipv6()
+                    && c.last_tx_tick > c.last_rx_tick
+                    && now.saturating_sub(c.last_tx_tick) >= latency
+            })
+            .map(|(port, _)| *port)
+            .collect();
+        stalled.sort_unstable();
+        for port in stalled {
+            if let Some(c) = self.conns.remove(&port) {
+                self.connected.remove(&c.domain);
+                if self.v4_addr.is_some() {
+                    self.enter_fallback(c.domain, now);
                 }
             }
         }
@@ -794,6 +903,27 @@ impl IotDevice {
         for d in &dests {
             if gated && !d.required {
                 continue;
+            }
+            // Recovery race: a fallen-back destination periodically opens
+            // a fresh IPv6 handshake *alongside* its live IPv4 session.
+            // If the SYN/ACK comes back (tunnel restored, server alive)
+            // the v4 leg is dropped in `handle_tcp_raw`; if not, the SYN
+            // goes stale and the next probe waits out a doubled backoff.
+            if let Some(fb) = self.fallback.get(&d.domain) {
+                let racing = self
+                    .conns
+                    .values()
+                    .any(|c| c.domain == d.domain && c.remote.is_ipv6());
+                if now >= fb.retry_at && !racing && !self.profile.app.no_v6_data {
+                    if let (Some(target), Some(_src)) =
+                        (self.resolved6.get(&d.domain).copied(), self.data_src6())
+                    {
+                        self.open_v6(d.domain.clone(), target, 443, fx);
+                        let fb = self.fallback.get_mut(&d.domain).expect("checked above");
+                        fb.backoff = (fb.backoff * 2).min(FALLBACK_RETRY_CAP);
+                        fb.retry_at = now + fb.backoff;
+                    }
+                }
             }
             if self.connected.contains(&d.domain)
                 || self.conns.values().any(|c| c.domain == d.domain)
@@ -804,7 +934,7 @@ impl IotDevice {
             let v6_possible = v6_target.is_some()
                 && self.data_src6().is_some()
                 && !self.profile.app.no_v6_data
-                && !self.v6_failed.contains(&d.domain);
+                && !self.fallback.contains_key(&d.domain);
             let v4_possible = self.resolved4.contains_key(&d.domain) && self.v4_addr.is_some();
             // RFC 6724 patience: a v6-preferring destination waits for
             // its AAAA answer before falling back to IPv4 (otherwise an
@@ -818,7 +948,7 @@ impl IotDevice {
                 && !self.profile.app.no_v6_data
                 && self.data_src6().is_some()
                 && !self.negative6.contains(&d.domain)
-                && !self.v6_failed.contains(&d.domain)
+                && !self.fallback.contains_key(&d.domain)
             {
                 continue;
             }
@@ -872,6 +1002,8 @@ impl IotDevice {
                 src6: Some(src),
                 got_response: false,
                 opened_tick: self.tick,
+                last_tx_tick: self.tick,
+                last_rx_tick: self.tick,
             },
         );
     }
@@ -896,6 +1028,8 @@ impl IotDevice {
                 src6: None,
                 got_response: false,
                 opened_tick: self.tick,
+                last_tx_tick: self.tick,
+                last_rx_tick: self.tick,
             },
         );
     }
@@ -914,6 +1048,7 @@ impl IotDevice {
             payload,
         };
         conn.seq = conn.seq.wrapping_add(seg.payload.len() as u32);
+        conn.last_tx_tick = self.tick;
         match conn.remote {
             IpAddr::V6(dst) => {
                 let src = conn.src6.unwrap_or(dst); // src6 always set for v6
@@ -1374,7 +1509,8 @@ impl Host for IotDevice {
         fx.set_timer(SimTime::from_millis(self.boot_jitter_ms), TOKEN_TICK);
     }
 
-    fn on_frame(&mut self, _now: SimTime, frame: &[u8], fx: &mut Effects) {
+    fn on_frame(&mut self, now: SimTime, frame: &[u8], fx: &mut Effects) {
+        self.now_us = now.as_micros();
         // Parse strictly first (with seq for TCP), then dispatch.
         if let Ok(p) = ParsedPacket::parse(frame) {
             // For TCP we need the sequence number; re-extract from raw.
@@ -1386,7 +1522,8 @@ impl Host for IotDevice {
         }
     }
 
-    fn on_timer(&mut self, _now: SimTime, _token: u64, fx: &mut Effects) {
+    fn on_timer(&mut self, now: SimTime, _token: u64, fx: &mut Effects) {
+        self.now_us = now.as_micros();
         self.tick += 1;
         let t = self.tick;
 
@@ -1555,13 +1692,31 @@ impl IotDevice {
                 if flags.contains(tcp::Flags::SYN) && flags.contains(tcp::Flags::ACK) {
                     conn.state = ConnState::Established;
                     conn.ack = seq.wrapping_add(1);
+                    conn.last_rx_tick = self.tick;
                     let port = *dst_port;
+                    let was_v6 = conn.remote.is_ipv6();
                     let domain = conn.domain.clone();
                     let hello = tls::client_hello(&domain, 200);
                     self.send_on_conn(port, hello, fx);
+                    // A completed v6 handshake for a fallen-back domain
+                    // means the v6 path recovered: the racing probe wins
+                    // and the IPv4 leg is dropped (Table 9's switch back).
+                    if was_v6 && self.fallback.remove(&domain).is_some() {
+                        let v4_legs: Vec<u16> = self
+                            .conns
+                            .iter()
+                            .filter(|(_, c)| c.domain == domain && c.remote.is_ipv4())
+                            .map(|(p, _)| *p)
+                            .collect();
+                        for p in v4_legs {
+                            self.conns.remove(&p);
+                        }
+                        self.record_switch(domain, true);
+                    }
                 } else if !payload.is_empty() {
                     conn.ack = seq.wrapping_add(payload.len() as u32);
                     conn.got_response = true;
+                    conn.last_rx_tick = self.tick;
                     let domain = conn.domain.clone();
                     self.connected.insert(domain);
                 } else if flags.contains(tcp::Flags::RST) {
@@ -1778,6 +1933,177 @@ mod tests {
         let mut fx = Effects::new(&mut rng);
         d.send_query(name, RecordType::Aaaa, true, &mut fx);
         assert!(fx.frames.is_empty(), "negative answers are final");
+    }
+
+    #[test]
+    fn fallback_latency_is_per_profile() {
+        // Streaming boxes abandon a silent v6 path faster than the
+        // embedded default.
+        assert_eq!(registry::by_id("apple_tv").app.fallback_latency_ticks, 6);
+        assert_eq!(
+            registry::by_id("google_home_mini")
+                .app
+                .fallback_latency_ticks,
+            8
+        );
+    }
+
+    #[test]
+    fn stalled_v6_session_falls_back_and_recovers_via_race() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut d = IotDevice::new(registry::by_id("google_home_mini"));
+        d.privacy_gua = Some("2001:db8:10:1:1234:aabb:1:2".parse().unwrap());
+        d.router_mac6 = Some(well_known::ROUTER_MAC);
+        d.v4_addr = Some("192.168.1.50".parse().unwrap());
+        d.v4_gateway = Some("192.168.1.1".parse().unwrap());
+        d.gateway_mac = Some(well_known::ROUTER_MAC);
+        let dest = d
+            .profile
+            .required_destinations()
+            .next()
+            .unwrap()
+            .domain
+            .clone();
+        let v6_target: Ipv6Addr = "2001:db8:ffff::10".parse().unwrap();
+        d.resolved6.insert(dest.clone(), v6_target);
+        d.resolved4
+            .insert(dest.clone(), "198.51.100.10".parse().unwrap());
+
+        // An established v6 session whose last telemetry burst (tick 52)
+        // went unanswered.
+        d.tick = 50;
+        let mut fx = Effects::new(&mut rng);
+        d.open_v6(dest.clone(), v6_target, 443, &mut fx);
+        let port6 = *d.conns.keys().next().unwrap();
+        {
+            let c = d.conns.get_mut(&port6).unwrap();
+            c.state = ConnState::Established;
+            c.last_rx_tick = 50;
+            c.last_tx_tick = 52;
+        }
+        d.connected.insert(dest.clone());
+
+        // Six silent ticks: under the 8-tick latency, no fallback yet.
+        d.tick = 58;
+        let mut fx = Effects::new(&mut rng);
+        d.connect_round(&mut fx);
+        assert!(d.fallback.is_empty(), "not stalled yet");
+
+        // Eight silent ticks: stall. The v6 session is torn down and the
+        // destination reconnects over IPv4 in the same round.
+        d.tick = 60;
+        let mut fx = Effects::new(&mut rng);
+        d.connect_round(&mut fx);
+        assert!(d.fallback.contains_key(&dest));
+        assert!(!d.connected.contains(&dest), "stalled domain disconnected");
+        assert_eq!(d.switch_events.len(), 1);
+        assert!(!d.switch_events[0].to_v6, "first event is the v6->v4 fall");
+        let v4_port = *d
+            .conns
+            .iter()
+            .find(|(_, c)| c.domain == dest)
+            .map(|(p, c)| {
+                assert!(c.remote.is_ipv4(), "reconnected over IPv4");
+                p
+            })
+            .unwrap();
+        {
+            // Pretend the v4 handshake completed (the unit test has no
+            // server side).
+            let c = d.conns.get_mut(&v4_port).unwrap();
+            c.state = ConnState::Established;
+            c.got_response = true;
+        }
+        d.connected.insert(dest.clone());
+
+        // At retry_at (= 60 + 12) the recovery race opens a fresh v6 SYN
+        // alongside the live v4 leg and doubles the backoff (capped).
+        d.tick = 72;
+        let mut fx = Effects::new(&mut rng);
+        d.connect_round(&mut fx);
+        assert!(d
+            .conns
+            .values()
+            .any(|c| c.domain == dest && c.remote.is_ipv6()));
+        assert!(d
+            .conns
+            .values()
+            .any(|c| c.domain == dest && c.remote.is_ipv4()));
+        let fb = d.fallback.get(&dest).unwrap();
+        assert_eq!((fb.backoff, fb.retry_at), (16, 88), "doubled and capped");
+
+        // The racing SYN is answered: the device switches back to v6 and
+        // drops the IPv4 leg.
+        let (race_port, conn6) = d
+            .conns
+            .iter()
+            .find(|(_, c)| c.domain == dest && c.remote.is_ipv6())
+            .map(|(p, c)| (*p, c.clone()))
+            .unwrap();
+        let synack = tcp::Repr {
+            src_port: 443,
+            dst_port: race_port,
+            seq: 9000,
+            ack: conn6.seq,
+            flags: tcp::Flags::SYN | tcp::Flags::ACK,
+            window: 0xffff,
+            payload: Vec::new(),
+        };
+        let frame = wire::tcp6_frame(
+            well_known::ROUTER_MAC,
+            d.profile.mac,
+            v6_target,
+            conn6.src6.unwrap(),
+            &synack,
+        );
+        let mut fx = Effects::new(&mut rng);
+        d.on_frame(SimTime::from_secs(300), &frame, &mut fx);
+        assert!(d.fallback.is_empty(), "v6 path recovered");
+        assert_eq!(d.switch_events.len(), 2);
+        assert!(d.switch_events[1].to_v6, "second event is the recovery");
+        assert_eq!(
+            d.switch_events[1].at_us,
+            SimTime::from_secs(300).as_micros()
+        );
+        assert!(
+            d.conns
+                .values()
+                .all(|c| c.domain != dest || c.remote.is_ipv6()),
+            "the losing v4 leg is dropped"
+        );
+    }
+
+    #[test]
+    fn stale_v6_syn_without_v4_never_blacklists() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut d = IotDevice::new(registry::by_id("google_home_mini"));
+        d.privacy_gua = Some("2001:db8:10:1:1234:aabb:1:2".parse().unwrap());
+        d.router_mac6 = Some(well_known::ROUTER_MAC);
+        let dest = d
+            .profile
+            .required_destinations()
+            .next()
+            .unwrap()
+            .domain
+            .clone();
+        let v6_target: Ipv6Addr = "2001:db8:ffff::10".parse().unwrap();
+        d.resolved6.insert(dest.clone(), v6_target);
+        d.tick = 50;
+        let mut fx = Effects::new(&mut rng);
+        d.open_v6(dest.clone(), v6_target, 443, &mut fx);
+        // The SYN goes stale, but with no IPv4 there is nothing to fall
+        // back to: the only usable family must keep retrying.
+        d.tick = 60;
+        let mut fx = Effects::new(&mut rng);
+        d.connect_round(&mut fx);
+        assert!(d.fallback.is_empty(), "no v4 => no fallback entry");
+        assert!(
+            d.conns.values().any(|c| c.domain == dest),
+            "v6 handshake retried immediately"
+        );
+        assert!(d.switch_events.is_empty());
     }
 
     #[test]

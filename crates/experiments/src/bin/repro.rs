@@ -8,7 +8,13 @@
 //! repro tracking            # §5.4.3
 //! repro dad                 # §5.2.1 DAD compliance
 //! repro fleet 256 [--workers 8] [--seed 42] [--json]
-//!                           # parallel multi-home campaign
+//!                [--max-failures N] [--chaos-home IDX]...
+//!                           # parallel multi-home campaign; exits
+//!                           # nonzero only when more than N homes fail
+//! repro --scenario broken-v6 [--seed S]
+//!                           # fault-injection preset (broken-v6,
+//!                           # tunnel-flap, ra-suppress, dns-servfail):
+//!                           # Table 9-style switching report as JSON
 //! repro bench-json [--out BENCH_pipeline.json]
 //!                           # perf trajectory probe (streaming analyzer
 //!                           # frames/sec, suite serial vs parallel,
@@ -22,7 +28,8 @@ use v6brick_experiments::portscan::{scan, ScanPlan};
 use v6brick_experiments::render::TextTable;
 use v6brick_experiments::suite::ExperimentSuite;
 use v6brick_experiments::{
-    active_dns, config, enterprise, figures, fleet, reachability, scenario, tables, tracking,
+    active_dns, broken, config, enterprise, figures, fleet, reachability, scenario, tables,
+    tracking,
 };
 
 fn main() {
@@ -48,6 +55,10 @@ fn main() {
     }
     if what == "fleet" {
         run_fleet(&args[1..]);
+        return;
+    }
+    if what == "--scenario" || what == "scenario" {
+        run_scenario(&args[1..]);
         return;
     }
     if what == "bench-json" {
@@ -222,13 +233,66 @@ fn artifact_passes(what: &str) -> Vec<PassId> {
     slice.to_vec()
 }
 
-/// `repro fleet <homes> [--workers W] [--seed S] [--duration SECS] [--json]`
+/// `repro --scenario <preset> [--seed S]` — run a fault-injection
+/// preset and emit its switching report. Human summary on stderr, the
+/// byte-deterministic JSON report on stdout (CI reruns and diffs it).
+fn run_scenario(args: &[String]) {
+    let mut seed: u64 = 1;
+    let mut preset: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .unwrap_or_else(|| {
+                        eprintln!("--seed needs a value");
+                        std::process::exit(2);
+                    })
+                    .parse()
+                    .unwrap_or_else(|e| {
+                        eprintln!("bad value for --seed: {e}");
+                        std::process::exit(2);
+                    });
+            }
+            other if !other.starts_with('-') => preset = Some(other.to_string()),
+            other => {
+                eprintln!("unknown scenario flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(preset) = preset else {
+        eprintln!("usage: repro --scenario <preset> [--seed S]");
+        eprintln!("presets: {}", broken::PRESETS.join(", "));
+        std::process::exit(2);
+    };
+    eprintln!("Running fault-injection preset {preset:?} (seed {seed:#x})...");
+    let t0 = std::time::Instant::now();
+    let Some(report) = broken::run_preset(&preset, seed) else {
+        eprintln!(
+            "unknown preset {preset:?}; try: {}",
+            broken::PRESETS.join(", ")
+        );
+        std::process::exit(2);
+    };
+    eprintln!("   done in {:?}", t0.elapsed());
+    eprintln!("{}", broken::render(&report));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).expect("serializable")
+    );
+}
+
+/// `repro fleet <homes> [--workers W] [--seed S] [--duration SECS]
+/// [--max-failures N] [--chaos-home IDX]... [--json]`
 fn run_fleet(args: &[String]) {
     let mut spec = fleet::CampaignSpec {
         workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
         ..Default::default()
     };
     let mut json = false;
+    let mut max_failures: u64 = 0;
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -248,6 +312,11 @@ fn run_fleet(args: &[String]) {
             "--workers" => spec.workers = value("--workers") as usize,
             "--seed" => spec.seed = value("--seed"),
             "--duration" => spec.duration_s = value("--duration"),
+            "--max-failures" => max_failures = value("--max-failures"),
+            "--chaos-home" => {
+                let idx = value("--chaos-home");
+                spec.chaos_panic_homes.push(idx);
+            }
             "--json" => json = true,
             other if !other.starts_with('-') => positional.push(other.to_string()),
             other => {
@@ -271,18 +340,40 @@ fn run_fleet(args: &[String]) {
     let report = fleet::run(&spec);
     let elapsed = t0.elapsed();
     eprintln!(
-        "   done in {:.1?} — {:.1} homes/sec ({} devices simulated)",
+        "   done in {:.1?} — {:.1} homes/sec ({} devices simulated, {} homes failed)",
         elapsed,
         report.homes as f64 / elapsed.as_secs_f64().max(1e-9),
-        report.devices
+        report.devices,
+        report.failures.len()
     );
+    for f in &report.failures {
+        eprintln!(
+            "   home {} FAILED (seed {:#x}, {}): {}",
+            f.index, f.seed, f.config_label, f.panic_msg
+        );
+    }
     if json {
+        // `report.failures` is `#[serde(skip)]` so the population
+        // aggregates stay byte-identical with or without crashed homes;
+        // the summary wrapper carries the failure accounting instead.
+        let out = serde_json::json!({
+            "failure_count": report.failures.len() as u64,
+            "failures": report.failures,
+            "report": report,
+        });
         println!(
             "{}",
-            serde_json::to_string_pretty(&report).expect("serializable")
+            serde_json::to_string_pretty(&out).expect("serializable")
         );
     } else {
         println!("{}", fleet::render(&report));
+    }
+    if report.failures.len() as u64 > max_failures {
+        eprintln!(
+            "fleet: {} failed homes exceed --max-failures {max_failures}",
+            report.failures.len()
+        );
+        std::process::exit(1);
     }
 }
 

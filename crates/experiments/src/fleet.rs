@@ -18,8 +18,8 @@ use crate::scenario;
 use std::collections::BTreeMap;
 use v6brick_core::analysis::PassId;
 use v6brick_core::observe::DeviceObservation;
-use v6brick_core::population::PopulationReport;
-use v6brick_fleet::{plan_homes, run_indexed, HomeSpec};
+use v6brick_core::population::{HomeFailure, PopulationReport};
+use v6brick_fleet::{plan_homes, run_indexed_outcomes, HomeSpec};
 use v6brick_sim::SimTime;
 
 /// The analyzer passes whose fields the [`PopulationReport`] actually
@@ -54,6 +54,11 @@ pub struct CampaignSpec {
     /// Analyzer passes each home runs (dependencies are added
     /// automatically). Defaults to [`POPULATION_PASSES`].
     pub passes: Vec<PassId>,
+    /// Chaos injection: home indices whose runner deliberately panics
+    /// before simulating, exercising the pool's crash isolation. Empty
+    /// in every real campaign; populated by `--chaos-home` and the
+    /// crash-isolation regression tests.
+    pub chaos_panic_homes: Vec<u64>,
 }
 
 impl Default for CampaignSpec {
@@ -69,6 +74,7 @@ impl Default for CampaignSpec {
             mix: NetworkConfig::ALL.iter().map(|c| (*c, 1)).collect(),
             duration_s: 420,
             passes: POPULATION_PASSES.to_vec(),
+            chaos_panic_homes: Vec::new(),
         }
     }
 }
@@ -101,14 +107,35 @@ fn simulate_home(
 }
 
 /// Execute a campaign and aggregate the population report.
+///
+/// Homes that panic are isolated and recorded in
+/// [`PopulationReport::failures`](PopulationReport) — they never abort
+/// the pool, and (because failures are `#[serde(skip)]`) never perturb
+/// the serialized aggregates over the surviving homes.
 pub fn run(spec: &CampaignSpec) -> PopulationReport {
     let (dev_min, dev_max) = spec.device_range;
     let plans = plan_homes(spec.seed, spec.homes, &spec.mix, dev_min..=dev_max);
+    // Metadata the failure records need, captured *before* the plans
+    // move into the pool (the panicked home's spec is consumed by the
+    // unwind, so it can't be read back out of the runner).
+    let meta: BTreeMap<u64, (u64, String)> = plans
+        .iter()
+        .map(|h| (h.index, (h.seed, h.config.label().to_string())))
+        .collect();
     let duration = SimTime::from_secs(spec.duration_s);
-    run_indexed(
+    let chaos = spec.chaos_panic_homes.clone();
+    let (mut report, failures) = run_indexed_outcomes(
         plans,
         spec.workers,
-        |home| simulate_home(home, duration, &spec.passes),
+        move |home| {
+            assert!(
+                !chaos.contains(&home.index),
+                "chaos: poisoned home {} (seed {:#x})",
+                home.index,
+                home.seed
+            );
+            simulate_home(home, duration, &spec.passes)
+        },
         PopulationReport::new(spec.seed),
         |report, _index, home| {
             report.absorb_home(
@@ -118,7 +145,20 @@ pub fn run(spec: &CampaignSpec) -> PopulationReport {
                 home.frames,
             );
         },
-    )
+    );
+    for f in failures {
+        let (seed, config_label) = meta
+            .get(&f.index)
+            .cloned()
+            .unwrap_or((0, String::from("unknown")));
+        report.absorb_failure(HomeFailure {
+            index: f.index,
+            seed,
+            config_label,
+            panic_msg: f.message,
+        });
+    }
+    report
 }
 
 /// Human-readable campaign summary (the non-`--json` CLI output).
@@ -199,7 +239,45 @@ mod tests {
         assert_eq!(report.homes, 3);
         assert!(report.devices >= 6 && report.devices <= 9);
         assert!(report.traffic.frames > 0);
+        assert!(report.failures.is_empty());
         let rendered = render(&report);
         assert!(rendered.contains("3 homes"));
+    }
+
+    /// Acceptance: a campaign with one deliberately-panicking home
+    /// completes, reports exactly that home as failed, and serializes
+    /// byte-identically to a campaign that folds only the survivors.
+    #[test]
+    fn poisoned_home_is_isolated_and_invisible_in_the_report() {
+        let spec = CampaignSpec {
+            homes: 4,
+            seed: 9,
+            workers: 2,
+            device_range: (2, 3),
+            duration_s: 45,
+            chaos_panic_homes: vec![2],
+            ..Default::default()
+        };
+        let poisoned = run(&spec);
+        assert_eq!(poisoned.failures.len(), 1);
+        let failure = &poisoned.failures[0];
+        assert_eq!(failure.index, 2);
+        assert!(failure.panic_msg.contains("poisoned home 2"));
+        assert!(!failure.config_label.is_empty());
+        assert_eq!(poisoned.homes, 3);
+
+        // Reference: same plans, the poisoned index simply never exists.
+        let plans = plan_homes(spec.seed, spec.homes, &spec.mix, 2..=3);
+        assert_eq!(plans[2].seed, failure.seed);
+        let duration = SimTime::from_secs(spec.duration_s);
+        let mut clean = PopulationReport::new(spec.seed);
+        for home in plans.into_iter().filter(|h| h.index != 2) {
+            let r = simulate_home(home, duration, &spec.passes);
+            clean.absorb_home(&r.config_label, &r.devices, &r.functional, r.frames);
+        }
+        assert_eq!(
+            serde_json::to_string(&poisoned).unwrap(),
+            serde_json::to_string(&clean).unwrap()
+        );
     }
 }

@@ -14,6 +14,7 @@
 //! ```
 
 pub mod active_dns;
+pub mod broken;
 pub mod config;
 pub mod enterprise;
 pub mod figures;

@@ -16,6 +16,7 @@ use crate::config::NetworkConfig;
 use std::collections::{BTreeMap, BTreeSet};
 use v6brick_core::analysis::PassId;
 use v6brick_core::observe::{ExperimentAnalysis, StreamingAnalyzer};
+use v6brick_core::outage::SwitchRecord;
 use v6brick_devices::phone::Phone;
 use v6brick_devices::profile::DeviceProfile;
 use v6brick_devices::registry;
@@ -25,7 +26,7 @@ use v6brick_net::ipv6::Cidr;
 use v6brick_net::Mac;
 use v6brick_sim::event::SimTime;
 use v6brick_sim::internet::{DomainProfile, Internet, ZoneDb};
-use v6brick_sim::{addrs, Router, SimulationBuilder};
+use v6brick_sim::{addrs, FaultPlan, Router, SimulationBuilder};
 
 /// How long each connectivity experiment runs (virtual time). Long enough
 /// for boot, addressing, resolution, rendezvous, and several telemetry
@@ -139,6 +140,40 @@ pub fn run_scoped(
     duration: SimTime,
     passes: &[PassId],
 ) -> ExperimentRun {
+    run_faulted(
+        config,
+        profiles,
+        base_seed,
+        duration,
+        passes,
+        FaultPlan::new(),
+    )
+    .run
+}
+
+/// The outcome of one fault-injected experiment: the ordinary
+/// [`ExperimentRun`] plus the fault-specific observations the healthy
+/// path never produces.
+pub struct FaultedRun {
+    /// The ordinary experiment outcome.
+    pub run: ExperimentRun,
+    /// Every device's v6↔v4 switch log, keyed by device id.
+    pub switches: BTreeMap<String, Vec<SwitchRecord>>,
+    /// 6in4 tunnel packets the injected outage swallowed.
+    pub tunnel_drops: u64,
+}
+
+/// [`run_scoped`] under an injected [`FaultPlan`]: the same build and
+/// measurement path, plus the devices' family-switch logs and the
+/// engine's fault counters for Table 9-style outage reporting.
+pub fn run_faulted(
+    config: NetworkConfig,
+    profiles: &[DeviceProfile],
+    base_seed: u64,
+    duration: SimTime,
+    passes: &[PassId],
+    faults: FaultPlan,
+) -> FaultedRun {
     let zones = build_zones(profiles);
     let internet = Internet::new(zones);
     let router = Router::new(config.router_config());
@@ -164,13 +199,19 @@ pub fn run_scoped(
         passes,
     )));
 
-    let mut sim = b.seed(base_seed ^ config as u64).capture(false).build();
+    let mut sim = b
+        .seed(base_seed ^ config as u64)
+        .capture(false)
+        .faults(faults)
+        .build();
     sim.run_until(duration);
 
     // Functionality test: ask each device model whether its primary
     // function (cloud rendezvous with every required destination)
-    // completed — the §4.1 companion-app check.
+    // completed — the §4.1 companion-app check. The switch log comes off
+    // the same downcast.
     let mut functional = BTreeMap::new();
+    let mut switches = BTreeMap::new();
     for (hid, id, _) in &device_ids {
         let dev = sim
             .host(*hid)
@@ -178,6 +219,17 @@ pub fn run_scoped(
             .downcast_ref::<IotDevice>()
             .expect("host is a device");
         functional.insert(id.clone(), dev.is_functional());
+        switches.insert(
+            id.clone(),
+            dev.switch_events()
+                .iter()
+                .map(|e| SwitchRecord {
+                    at_us: e.at_us,
+                    domain: e.domain.as_str().to_string(),
+                    to_v6: e.to_v6,
+                })
+                .collect::<Vec<_>>(),
+        );
     }
     let phones_ok = [pixel, iphone].iter().all(|h| {
         sim.host(*h)
@@ -188,6 +240,7 @@ pub fn run_scoped(
     });
 
     let neighbors_v6 = sim.router().neighbor_table_v6();
+    let tunnel_drops = sim.tunnel_drops;
     let analyzer = sim
         .take_sinks()
         .pop()
@@ -198,13 +251,17 @@ pub fn run_scoped(
     let frames = analyzer.frames_fed();
     let analysis = analyzer.finish();
 
-    ExperimentRun {
-        config,
-        analysis,
-        functional,
-        phones_ok,
-        neighbors_v6,
-        frames,
+    FaultedRun {
+        run: ExperimentRun {
+            config,
+            analysis,
+            functional,
+            phones_ok,
+            neighbors_v6,
+            frames,
+        },
+        switches,
+        tunnel_drops,
     }
 }
 

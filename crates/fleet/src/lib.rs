@@ -27,6 +27,6 @@ pub mod pool;
 pub mod seed;
 
 pub use plan::{plan_homes, HomeSpec};
-pub use pool::run_indexed;
+pub use pool::{run_indexed, run_indexed_outcomes, ItemPanic};
 pub use seed::home_seed;
 pub use v6brick_core::population::PopulationReport;

@@ -5,8 +5,37 @@
 //! index order, buffering only the out-of-order window. The fold
 //! therefore observes exactly the same sequence for 1 worker or 64 —
 //! the foundation of the campaign-level determinism guarantee.
+//!
+//! Every item runs under [`std::panic::catch_unwind`], so one poisoned
+//! item cannot tear down its worker thread (which would strand every
+//! item still queued behind it). [`run_indexed`] drains the full
+//! campaign first and only then re-raises the first panic;
+//! [`run_indexed_outcomes`] instead hands the caller the fold result
+//! *plus* the list of panicked items, for harnesses that tolerate
+//! partial failure.
 
+use std::any::Any;
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A work item that panicked instead of producing a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemPanic {
+    /// Enumeration index of the item that panicked.
+    pub index: u64,
+    /// Rendered panic payload (`&str`/`String` payloads verbatim).
+    pub message: String,
+}
+
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Run `runner` over `items` on `workers` threads and fold the results
 /// into `init` **in item order** (the enumeration index of `items`).
@@ -14,35 +43,67 @@ use std::collections::BTreeMap;
 /// With `workers <= 1` everything runs inline on the caller's thread —
 /// the reference path the parallel path must match byte-for-byte.
 ///
+/// A panicking item kills neither its worker nor the campaign: every
+/// other item still runs and folds, and the first panic (by item index)
+/// is re-raised only after the reduce loop drains. Use
+/// [`run_indexed_outcomes`] to receive failures as data instead.
+///
 /// Memory: at most `2 × workers` items are queued and the out-of-order
 /// result buffer holds at most the spread between the slowest and
 /// fastest in-flight item — both `O(workers)`, independent of
 /// `items.len()`.
-pub fn run_indexed<W, R, T, F, G>(
-    items: Vec<W>,
-    workers: usize,
-    runner: F,
-    init: T,
-    mut fold: G,
-) -> T
+pub fn run_indexed<W, R, T, F, G>(items: Vec<W>, workers: usize, runner: F, init: T, fold: G) -> T
 where
     W: Send,
     R: Send,
     F: Fn(W) -> R + Sync,
     G: FnMut(&mut T, u64, R),
 {
+    let (acc, failures) = run_indexed_outcomes(items, workers, runner, init, fold);
+    if let Some(first) = failures.into_iter().next() {
+        panic!("item {} panicked: {}", first.index, first.message);
+    }
+    acc
+}
+
+/// [`run_indexed`], but panicking items are returned as data: the fold
+/// runs over every surviving item (still in item order) and the second
+/// tuple element lists every [`ItemPanic`] in index order.
+pub fn run_indexed_outcomes<W, R, T, F, G>(
+    items: Vec<W>,
+    workers: usize,
+    runner: F,
+    init: T,
+    mut fold: G,
+) -> (T, Vec<ItemPanic>)
+where
+    W: Send,
+    R: Send,
+    F: Fn(W) -> R + Sync,
+    G: FnMut(&mut T, u64, R),
+{
+    let run_one = |item: W| -> Result<R, String> {
+        catch_unwind(AssertUnwindSafe(|| runner(item))).map_err(panic_message)
+    };
+
     let mut acc = init;
+    let mut failures = Vec::new();
+    let mut take = |acc: &mut T, index: u64, outcome: Result<R, String>| match outcome {
+        Ok(result) => fold(acc, index, result),
+        Err(message) => failures.push(ItemPanic { index, message }),
+    };
+
     if workers <= 1 {
         for (index, item) in items.into_iter().enumerate() {
-            let result = runner(item);
-            fold(&mut acc, index as u64, result);
+            let outcome = run_one(item);
+            take(&mut acc, index as u64, outcome);
         }
-        return acc;
+        return (acc, failures);
     }
 
     let (work_tx, work_rx) = crossbeam::channel::bounded::<(u64, W)>(workers * 2);
-    let (result_tx, result_rx) = crossbeam::channel::unbounded::<(u64, R)>();
-    let runner = &runner;
+    let (result_tx, result_rx) = crossbeam::channel::unbounded::<(u64, Result<R, String>)>();
+    let run_one = &run_one;
 
     std::thread::scope(|s| {
         // Feeder: trickle items into the bounded queue so the pool never
@@ -60,7 +121,7 @@ where
             let result_tx = result_tx.clone();
             s.spawn(move || {
                 for (index, item) in &work_rx {
-                    if result_tx.send((index, runner(item))).is_err() {
+                    if result_tx.send((index, run_one(item))).is_err() {
                         break;
                     }
                 }
@@ -72,18 +133,18 @@ where
 
         // In-order reduce: buffer early arrivals, fold as soon as the
         // next expected index shows up.
-        let mut pending: BTreeMap<u64, R> = BTreeMap::new();
+        let mut pending: BTreeMap<u64, Result<R, String>> = BTreeMap::new();
         let mut next = 0u64;
-        for (index, result) in &result_rx {
-            pending.insert(index, result);
-            while let Some(result) = pending.remove(&next) {
-                fold(&mut acc, next, result);
+        for (index, outcome) in &result_rx {
+            pending.insert(index, outcome);
+            while let Some(outcome) = pending.remove(&next) {
+                take(&mut acc, next, outcome);
                 next += 1;
             }
         }
         assert!(pending.is_empty(), "worker died mid-campaign");
     });
-    acc
+    (acc, failures)
 }
 
 #[cfg(test)]
@@ -138,5 +199,76 @@ mod tests {
     fn single_item_many_workers() {
         let out = run_indexed(vec![5u64], 8, |x| x + 1, 0u64, |acc, _, r| *acc = r);
         assert_eq!(out, 6);
+    }
+
+    #[test]
+    fn panicking_item_drains_campaign_then_propagates() {
+        // Regression: a panic inside one item used to kill its worker
+        // thread, strand the queue, and abort the scope mid-campaign.
+        // Now every other item completes and folds before the panic
+        // re-raises on the caller's thread.
+        use std::sync::Mutex;
+        let folded = Mutex::new(Vec::new());
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run_indexed(
+                (0..40u64).collect::<Vec<u64>>(),
+                4,
+                |i| {
+                    if i == 3 {
+                        panic!("poisoned home {i}");
+                    }
+                    i
+                },
+                (),
+                |_, index, r| folded.lock().unwrap().push((index, r)),
+            )
+        }));
+        let message = panic_message(caught.expect_err("the panic must propagate"));
+        assert!(
+            message.contains("item 3 panicked: poisoned home 3"),
+            "got: {message}"
+        );
+        let folded = folded.into_inner().unwrap();
+        let expected: Vec<(u64, u64)> = (0..40u64).filter(|i| *i != 3).map(|i| (i, i)).collect();
+        assert_eq!(folded, expected, "all 39 survivors folded, in order");
+    }
+
+    #[test]
+    fn outcomes_reports_failures_and_folds_survivors() {
+        let (acc, failures) = run_indexed_outcomes(
+            (0..20u64).collect::<Vec<u64>>(),
+            3,
+            |i| {
+                assert!(!i.is_multiple_of(7), "boom {i}");
+                i
+            },
+            Vec::new(),
+            |acc: &mut Vec<u64>, _, r| acc.push(r),
+        );
+        let expected: Vec<u64> = (0..20u64).filter(|i| !i.is_multiple_of(7)).collect();
+        assert_eq!(acc, expected);
+        let indices: Vec<u64> = failures.iter().map(|f| f.index).collect();
+        assert_eq!(indices, vec![0, 7, 14], "failures listed in index order");
+        assert!(failures[1].message.contains("boom 7"), "payload preserved");
+    }
+
+    #[test]
+    fn outcomes_are_identical_across_worker_counts() {
+        let run = |workers| {
+            run_indexed_outcomes(
+                (0..50u64).collect::<Vec<u64>>(),
+                workers,
+                |i| {
+                    assert!(i != 11 && i != 31, "chaos {i}");
+                    i * 3
+                },
+                Vec::new(),
+                |acc: &mut Vec<u64>, _, r| acc.push(r),
+            )
+        };
+        let reference = run(1);
+        for workers in [2, 8] {
+            assert_eq!(run(workers), reference, "workers = {workers}");
+        }
     }
 }

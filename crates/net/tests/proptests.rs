@@ -260,6 +260,67 @@ proptest! {
     }
 
     #[test]
+    fn dhcpv6_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..160)) {
+        let _ = dhcpv6::Repr::parse_bytes(&data);
+    }
+
+    #[test]
+    fn dhcpv6_truncation_and_corruption_never_panic(
+            xid in any::<u32>(), duid in proptest::collection::vec(any::<u8>(), 1..20),
+            addr in arb_v6(), dns_servers in proptest::collection::vec(arb_v6(), 0..4),
+            cut in any::<usize>(), flip in any::<(usize, u8)>()) {
+        let mut r = dhcpv6::Repr::new(dhcpv6::MessageType::Reply, xid);
+        r.client_id = Some(duid);
+        r.ia_na = Some(dhcpv6::IaNa {
+            iaid: 1, t1: 100, t2: 200,
+            addresses: vec![dhcpv6::IaAddr { addr, preferred: 3600, valid: 7200 }],
+        });
+        r.dns_servers = dns_servers;
+        let bytes = r.build();
+        // Every prefix either parses or is cleanly rejected.
+        let _ = dhcpv6::Repr::parse_bytes(&bytes[..cut % (bytes.len() + 1)]);
+        // A flipped byte (often inside an option header, turning its
+        // declared length into a lie) must never panic either.
+        let mut mangled = bytes.clone();
+        let idx = flip.0 % mangled.len();
+        mangled[idx] ^= flip.1;
+        let _ = dhcpv6::Repr::parse_bytes(&mangled);
+    }
+
+    #[test]
+    fn ndp_never_panics_on_garbage(ty in 133u8..=137, data in proptest::collection::vec(any::<u8>(), 0..96)) {
+        let _ = ndp::Repr::parse_body(ty, &data);
+    }
+
+    #[test]
+    fn rdnss_truncation_and_corruption_never_panic(
+            prefix in arb_v6(), mac in arb_mac(),
+            rdnss in proptest::collection::vec(arb_v6(), 0..4),
+            cut in any::<usize>(), flip in any::<(usize, u8)>()) {
+        let ra = ndp::Repr::RouterAdvert {
+            hop_limit: 64, managed: false, other_config: true,
+            router_lifetime: 1800, reachable_time: 0, retrans_time: 0,
+            options: vec![
+                ndp::NdpOption::SourceLinkLayerAddr(mac),
+                ndp::NdpOption::PrefixInfo {
+                    prefix_len: 64, on_link: true, autonomous: true,
+                    valid_lifetime: 86400, preferred_lifetime: 14400, prefix,
+                },
+                ndp::NdpOption::Rdnss { lifetime: 1800, servers: rdnss },
+            ],
+        };
+        let mut body = Vec::new();
+        ra.emit_body(&mut body);
+        let _ = ndp::Repr::parse_body(134, &body[..cut % (body.len() + 1)]);
+        // Corrupt one byte — an RDNSS option whose length field no
+        // longer matches its server list is the interesting case.
+        let mut mangled = body.clone();
+        let idx = flip.0 % mangled.len();
+        mangled[idx] ^= flip.1;
+        let _ = ndp::Repr::parse_body(134, &mangled);
+    }
+
+    #[test]
     fn frame_truncation_never_panics(src_mac in arb_mac(), dst_mac in arb_mac(),
                                      src in arb_v6(), dst in arb_v6(),
                                      cut in any::<usize>()) {

@@ -11,12 +11,14 @@
 
 use crate::addrs;
 use crate::event::{EventKind, EventQueue, SimTime};
+use crate::faults::FaultPlan;
 use crate::host::{frame_addressed_to, Effects, Host, HostId};
 use crate::internet::Internet;
 use crate::router::Router;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use v6brick_net::ethernet::Frame;
+use v6brick_net::ipv4;
 use v6brick_pcap::Capture;
 pub use v6brick_pcap::FrameSink;
 
@@ -24,6 +26,11 @@ pub use v6brick_pcap::FrameSink;
 const ROUTER_SLOT: usize = usize::MAX;
 /// Sender slot used to seed events that come "from the wire" itself.
 const NOBODY: usize = usize::MAX - 1;
+/// Salt separating the fault/loss RNG stream from the behavioural RNG.
+/// Loss and corruption decisions never consume the main stream, so a
+/// trace with loss enabled stays draw-for-draw comparable to one
+/// without (`loss_stream_does_not_perturb_behavior` pins this).
+const FAULT_STREAM_SALT: u64 = 0xfa17_57ae_a09d_2291;
 
 /// Builder for a [`Simulation`].
 pub struct SimulationBuilder {
@@ -34,6 +41,7 @@ pub struct SimulationBuilder {
     capture_enabled: bool,
     sinks: Vec<Box<dyn FrameSink>>,
     loss_per_mille: u32,
+    faults: FaultPlan,
 }
 
 impl SimulationBuilder {
@@ -47,6 +55,7 @@ impl SimulationBuilder {
             capture_enabled: true,
             sinks: Vec::new(),
             loss_per_mille: 0,
+            faults: FaultPlan::new(),
         }
     }
 
@@ -89,22 +98,39 @@ impl SimulationBuilder {
         self
     }
 
+    /// Install a [`FaultPlan`]. The plan is cloned into the router
+    /// (RA suppression, DHCPv6 silence) and the internet model (DNS
+    /// faults); the engine itself enforces tunnel outages and the LAN
+    /// loss/corruption windows.
+    pub fn faults(mut self, plan: FaultPlan) -> SimulationBuilder {
+        self.faults = plan;
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> Simulation {
+        let mut router = self.router;
+        let mut internet = self.internet;
+        router.set_faults(self.faults.clone());
+        internet.set_faults(self.faults.clone());
         Simulation {
             clock: SimTime::ZERO,
             queue: EventQueue::new(),
-            router: self.router,
-            internet: self.internet,
+            router,
+            internet,
             hosts: self.hosts,
             rng: StdRng::seed_from_u64(self.seed),
+            fault_rng: StdRng::seed_from_u64(self.seed ^ FAULT_STREAM_SALT),
             capture: Capture::new(),
             capture_enabled: self.capture_enabled,
             sinks: self.sinks,
             loss_per_mille: self.loss_per_mille,
+            faults: self.faults,
             started: false,
             frames_delivered: 0,
             frames_lost: 0,
+            frames_corrupted: 0,
+            tunnel_drops: 0,
         }
     }
 }
@@ -117,15 +143,23 @@ pub struct Simulation {
     internet: Internet,
     hosts: Vec<Box<dyn Host>>,
     rng: StdRng,
+    /// Dedicated stream for loss/corruption decisions — never shared
+    /// with host/router behaviour.
+    fault_rng: StdRng,
     capture: Capture,
     capture_enabled: bool,
     sinks: Vec<Box<dyn FrameSink>>,
     loss_per_mille: u32,
+    faults: FaultPlan,
     started: bool,
     /// Total LAN frame deliveries (observability).
     pub frames_delivered: u64,
     /// Frames dropped by the loss injector.
     pub frames_lost: u64,
+    /// Frames the corruption injector flipped a byte in.
+    pub frames_corrupted: u64,
+    /// WAN 6in4 packets swallowed by tunnel-outage windows.
+    pub tunnel_drops: u64,
 }
 
 impl Simulation {
@@ -219,8 +253,10 @@ impl Simulation {
                     to_internet,
                     packet,
                 } => {
-                    if to_internet {
-                        for reply in self.internet.handle_packet(&packet) {
+                    if self.tunnel_blocked(&packet) {
+                        self.tunnel_drops += 1;
+                    } else if to_internet {
+                        for reply in self.internet.handle_packet_at(self.clock, &packet) {
                             self.queue.push(
                                 self.clock + SimTime(addrs::WAN_DELAY_US),
                                 EventKind::WanPacket {
@@ -240,16 +276,47 @@ impl Simulation {
         self.clock = deadline;
     }
 
+    /// Is this WAN packet a 6in4 tunnel packet inside an active
+    /// tunnel-outage window? IPv4 traffic is never affected.
+    fn tunnel_blocked(&self, packet: &[u8]) -> bool {
+        if !self.faults.tunnel_down(self.clock) {
+            return false;
+        }
+        let Ok(p) = ipv4::Packet::new_checked(packet) else {
+            return false;
+        };
+        let repr = ipv4::Repr::parse(&p);
+        repr.protocol == ipv4::Protocol::Ipv6
+            && (repr.dst == addrs::TUNNEL_REMOTE_IPV4 || repr.src == addrs::TUNNEL_REMOTE_IPV4)
+    }
+
     /// Deliver one LAN frame: tap it, then hand it to every other host
     /// whose MAC filter accepts it (and the router).
     fn deliver_lan(&mut self, from: usize, frame: &[u8]) {
-        if self.loss_per_mille > 0 {
-            use rand::Rng;
-            if self.rng.gen_range(0u32..1000) < self.loss_per_mille {
-                self.frames_lost += 1;
-                return;
-            }
+        use rand::Rng;
+        // Loss and corruption draw from the dedicated fault stream only,
+        // and only while a knob is actually enabled — the behavioural RNG
+        // never sees them.
+        let loss = self
+            .faults
+            .lan_loss_per_mille(self.clock, from == ROUTER_SLOT)
+            .max(self.loss_per_mille);
+        if loss > 0 && self.fault_rng.gen_range(0u32..1000) < loss {
+            self.frames_lost += 1;
+            return;
         }
+        let corrupt = self.faults.lan_corrupt_per_mille(self.clock);
+        let corrupted: Option<Vec<u8>> =
+            if corrupt > 0 && !frame.is_empty() && self.fault_rng.gen_range(0u32..1000) < corrupt {
+                let mut c = frame.to_vec();
+                let idx = self.fault_rng.gen_range(0..c.len());
+                c[idx] ^= 0xff;
+                self.frames_corrupted += 1;
+                Some(c)
+            } else {
+                None
+            };
+        let frame: &[u8] = corrupted.as_deref().unwrap_or(frame);
         let timestamp_us = self.clock.as_micros();
         if self.capture_enabled {
             self.capture.push(timestamp_us, frame);
@@ -442,6 +509,133 @@ mod tests {
         let mirrored = *sink.into_any().downcast::<Capture>().unwrap();
         assert_eq!(&mirrored, sim.capture());
         assert_eq!(mirrored.len(), 2);
+    }
+
+    /// A host that consumes the behavioural RNG on every timer tick and
+    /// records its draws — the probe for fault-stream isolation.
+    struct RngProbe {
+        mac: Mac,
+        draws: Vec<u64>,
+    }
+
+    impl Host for RngProbe {
+        fn mac(&self) -> Mac {
+            self.mac
+        }
+        fn on_start(&mut self, _now: SimTime, fx: &mut Effects) {
+            fx.set_timer(SimTime::from_millis(100), 7);
+        }
+        fn on_frame(&mut self, _now: SimTime, _frame: &[u8], _fx: &mut Effects) {}
+        fn on_timer(&mut self, _now: SimTime, _token: u64, fx: &mut Effects) {
+            use rand::Rng;
+            self.draws.push(fx.rng.gen());
+            // Keep traffic flowing through the loss injector.
+            fx.send_frame(
+                EthRepr {
+                    src: self.mac,
+                    dst: Mac::BROADCAST,
+                    ethertype: EtherType::Other(0x9999),
+                }
+                .build(b"tick"),
+            );
+            fx.set_timer(SimTime::from_millis(100), 7);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn probe_run(loss: u32) -> (Vec<u64>, u64) {
+        let mut b = SimulationBuilder::new(
+            Router::new(RouterConfig::ipv4_only()),
+            Internet::new(ZoneDb::new()),
+        );
+        b.add_host(Box::new(RngProbe {
+            mac: Mac::new(2, 0, 0, 0, 0, 1),
+            draws: Vec::new(),
+        }));
+        b.add_host(Box::new(RngProbe {
+            mac: Mac::new(2, 0, 0, 0, 0, 2),
+            draws: Vec::new(),
+        }));
+        let mut sim = b.loss_per_mille(loss).build();
+        sim.run_until(SimTime::from_secs(5));
+        let d = sim.host(0).as_any().downcast_ref::<RngProbe>().unwrap();
+        (d.draws.clone(), sim.frames_lost)
+    }
+
+    #[test]
+    fn loss_stream_does_not_perturb_behavior() {
+        // Loss decisions ride a dedicated RNG stream: enabling loss must
+        // not shift a single behavioural draw.
+        let (clean, lost0) = probe_run(0);
+        let (lossy, lost500) = probe_run(500);
+        assert!(clean.len() >= 40, "probe ticked: {}", clean.len());
+        assert_eq!(lost0, 0);
+        assert!(lost500 > 0, "heavy loss must actually drop frames");
+        assert_eq!(clean, lossy, "behavioural draws shifted under loss");
+    }
+
+    #[test]
+    fn fault_window_loss_is_time_bounded() {
+        use crate::faults::{Direction, FaultPlan};
+        let mk = |plan: FaultPlan| {
+            let mut b = SimulationBuilder::new(
+                Router::new(RouterConfig::ipv4_only()),
+                Internet::new(ZoneDb::new()),
+            );
+            b.add_host(Box::new(RngProbe {
+                mac: Mac::new(2, 0, 0, 0, 0, 1),
+                draws: Vec::new(),
+            }));
+            b.faults(plan)
+        };
+        // Window covers the whole run: total loss.
+        let mut sim = mk(FaultPlan::new().lan_loss(
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+            1000,
+            Direction::Both,
+        ))
+        .build();
+        sim.run_until(SimTime::from_secs(5));
+        assert!(sim.frames_lost > 0);
+        assert_eq!(sim.frames_delivered, 0);
+        // Window already closed: no loss at all.
+        let mut sim = mk(FaultPlan::new().lan_loss(
+            SimTime::ZERO,
+            SimTime::from_millis(50),
+            1000,
+            Direction::Both,
+        ))
+        .build();
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(sim.frames_lost, 0);
+        assert!(sim.frames_delivered > 0);
+    }
+
+    #[test]
+    fn corruption_taints_frames_but_still_delivers_them() {
+        use crate::faults::FaultPlan;
+        let mut b = SimulationBuilder::new(
+            Router::new(RouterConfig::ipv4_only()),
+            Internet::new(ZoneDb::new()),
+        );
+        b.add_host(Box::new(RngProbe {
+            mac: Mac::new(2, 0, 0, 0, 0, 1),
+            draws: Vec::new(),
+        }));
+        let mut sim = b
+            .faults(FaultPlan::new().lan_corrupt(SimTime::ZERO, SimTime::from_secs(10), 1000))
+            .build();
+        sim.run_until(SimTime::from_secs(5));
+        assert!(sim.frames_corrupted > 0);
+        // Corrupted frames still hit the capture tap.
+        assert_eq!(sim.capture().len() as u64, sim.frames_corrupted);
+        assert_eq!(sim.frames_lost, 0);
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! the port scans without a full stack on the cloud side.
 
 use crate::addrs;
+use crate::event::SimTime;
+use crate::faults::{DnsFaultMode, FaultPlan};
 use std::collections::HashMap;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 use v6brick_net::dns::{Message, Name, Rcode, Rdata, Record, RecordType};
@@ -212,6 +214,8 @@ pub struct Internet {
     /// Reverse maps so a packet's destination identifies its domain.
     by_v4: HashMap<Ipv4Addr, Name>,
     by_v6: HashMap<Ipv6Addr, Name>,
+    /// Fault schedule (zone-level DNS timeout/SERVFAIL windows).
+    faults: FaultPlan,
     /// Total bytes served, per (domain, was_ipv6) — observability for tests.
     pub served: HashMap<(Name, bool), u64>,
 }
@@ -233,8 +237,17 @@ impl Internet {
             zones,
             by_v4,
             by_v6,
+            faults: FaultPlan::new(),
             served: HashMap::new(),
         }
+    }
+
+    /// Install the fault schedule ([`SimulationBuilder::faults`] calls
+    /// this for every layer).
+    ///
+    /// [`SimulationBuilder::faults`]: crate::engine::SimulationBuilder::faults
+    pub fn set_faults(&mut self, faults: FaultPlan) {
+        self.faults = faults;
     }
 
     /// Borrow the zone database (the active-DNS experiment queries it the
@@ -244,9 +257,16 @@ impl Internet {
         &self.zones
     }
 
-    /// Handle one IPv4 packet arriving from the router's WAN interface.
-    /// Returns the IPv4 packets flowing back.
+    /// Handle one IPv4 packet arriving from the router's WAN interface,
+    /// with time-based faults disabled (tests and callers without a
+    /// clock). Equivalent to [`Internet::handle_packet_at`] at `t = 0`.
     pub fn handle_packet(&mut self, packet: &[u8]) -> Vec<Vec<u8>> {
+        self.handle_packet_at(SimTime::ZERO, packet)
+    }
+
+    /// Handle one IPv4 packet arriving from the router's WAN interface
+    /// at virtual time `now`. Returns the IPv4 packets flowing back.
+    pub fn handle_packet_at(&mut self, now: SimTime, packet: &[u8]) -> Vec<Vec<u8>> {
         let Ok(p) = ipv4::Packet::new_checked(packet) else {
             return Vec::new();
         };
@@ -258,7 +278,7 @@ impl Internet {
                     return Vec::new();
                 };
                 let inner_repr = ipv6::Repr::parse(&inner);
-                self.handle_v6(&inner_repr, inner.payload())
+                self.handle_v6(now, &inner_repr, inner.payload())
                     .into_iter()
                     .map(|v6_bytes| {
                         ipv4::Repr {
@@ -272,11 +292,11 @@ impl Internet {
                     })
                     .collect()
             }
-            _ => self.handle_v4(&repr, p.payload()),
+            _ => self.handle_v4(now, &repr, p.payload()),
         }
     }
 
-    fn handle_v4(&mut self, ip: &ipv4::Repr, payload: &[u8]) -> Vec<Vec<u8>> {
+    fn handle_v4(&mut self, now: SimTime, ip: &ipv4::Repr, payload: &[u8]) -> Vec<Vec<u8>> {
         let mut out = Vec::new();
         match ip.protocol {
             Protocol::Udp => {
@@ -284,6 +304,7 @@ impl Internet {
                     return out;
                 };
                 let reply = self.handle_udp(
+                    now,
                     IpAddr::V4(ip.src),
                     IpAddr::V4(ip.dst),
                     u.src_port(),
@@ -340,7 +361,7 @@ impl Internet {
         out
     }
 
-    fn handle_v6(&mut self, ip: &ipv6::Repr, payload: &[u8]) -> Vec<Vec<u8>> {
+    fn handle_v6(&mut self, now: SimTime, ip: &ipv6::Repr, payload: &[u8]) -> Vec<Vec<u8>> {
         let mut out = Vec::new();
         // The §7 reachability extension: servers whose AAAA exists but
         // whose IPv6 path is dead swallow everything silently.
@@ -357,6 +378,7 @@ impl Internet {
                     return out;
                 };
                 let reply = self.handle_udp(
+                    now,
                     IpAddr::V6(ip.src),
                     IpAddr::V6(ip.dst),
                     u.src_port(),
@@ -449,6 +471,7 @@ impl Internet {
     /// UDP service dispatch. Returns (reply payload, reply source port).
     fn handle_udp(
         &mut self,
+        now: SimTime,
         _src: IpAddr,
         dst: IpAddr,
         _src_port: u16,
@@ -463,6 +486,17 @@ impl Internet {
             let query = dns::Message::parse_bytes(payload).ok()?;
             if query.is_response {
                 return None;
+            }
+            // Zone-level resolver faults: the query times out (no reply
+            // packet at all) or comes back SERVFAIL.
+            if let Some(q) = query.question() {
+                match self.faults.dns_fault_for(now, q.name.as_str()) {
+                    Some(DnsFaultMode::Timeout) => return None,
+                    Some(DnsFaultMode::Servfail) => {
+                        return Some((query.response(Rcode::ServFail).build(), 53));
+                    }
+                    None => {}
+                }
             }
             return Some((self.zones.resolve(&query).build(), 53));
         }
@@ -633,6 +667,60 @@ mod tests {
         let msg = Message::parse_bytes(ru.payload()).unwrap();
         assert!(msg.is_response);
         assert_eq!(msg.a_answers().count(), 1);
+    }
+
+    #[test]
+    fn dns_fault_windows_timeout_and_servfail() {
+        let mut net = test_internet();
+        net.set_faults(
+            FaultPlan::new()
+                .dns_fault(
+                    SimTime::from_secs(10),
+                    SimTime::from_secs(20),
+                    Some("example.com"),
+                    DnsFaultMode::Servfail,
+                )
+                .dns_fault(
+                    SimTime::from_secs(30),
+                    SimTime::from_secs(40),
+                    None,
+                    DnsFaultMode::Timeout,
+                ),
+        );
+        let query_packet = || {
+            let query = Message::query(7, name("cloud.example.com"), RecordType::Aaaa).build();
+            let udp_bytes = udp::Repr {
+                src_port: 40000,
+                dst_port: 53,
+                payload: query,
+            }
+            .build(PseudoHeader::V4 {
+                src: addrs::ROUTER_WAN_IPV4,
+                dst: addrs::DNS4_PRIMARY,
+            });
+            ipv4::Repr {
+                src: addrs::ROUTER_WAN_IPV4,
+                dst: addrs::DNS4_PRIMARY,
+                protocol: Protocol::Udp,
+                ttl: 64,
+                payload_len: udp_bytes.len(),
+            }
+            .build(&udp_bytes)
+        };
+        let answer_at = |net: &mut Internet, t: u64| {
+            let replies = net.handle_packet_at(SimTime::from_secs(t), &query_packet());
+            replies.first().map(|r| {
+                let rp = ipv4::Packet::new_checked(&r[..]).unwrap();
+                let ru = udp::Packet::new_checked(rp.payload()).unwrap();
+                Message::parse_bytes(ru.payload()).unwrap().rcode
+            })
+        };
+        // Inside the SERVFAIL window for the matching zone.
+        assert_eq!(answer_at(&mut net, 15), Some(Rcode::ServFail));
+        // Inside the all-zone timeout window: no reply packet at all.
+        assert_eq!(answer_at(&mut net, 35), None);
+        // Outside every window: a normal answer.
+        assert_eq!(answer_at(&mut net, 50), Some(Rcode::NoError));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 pub mod addrs;
 pub mod engine;
 pub mod event;
+pub mod faults;
 pub mod host;
 pub mod internet;
 pub mod router;
@@ -23,6 +24,7 @@ pub mod wire;
 
 pub use engine::{FrameSink, Simulation, SimulationBuilder};
 pub use event::SimTime;
+pub use faults::{Direction, DnsFaultMode, FaultKind, FaultPlan, FaultWindow};
 pub use host::{Effects, Host, HostId};
 pub use internet::{DomainProfile, Internet, ZoneDb};
 pub use router::{Router, RouterConfig};

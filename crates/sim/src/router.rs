@@ -15,6 +15,7 @@
 
 use crate::addrs;
 use crate::event::SimTime;
+use crate::faults::FaultPlan;
 use crate::host::Effects;
 use std::collections::HashMap;
 use std::net::{Ipv4Addr, Ipv6Addr};
@@ -68,6 +69,8 @@ pub struct Router {
     nat_out: HashMap<(Ipv4Addr, u16, u8), u16>,
     nat_in: HashMap<(u16, u8), (Ipv4Addr, u16)>,
     next_nat_port: u16,
+    /// Fault schedule (RA suppression, DHCPv6 silence windows).
+    faults: FaultPlan,
     /// Frames the router dropped (v4 without NAT state, unroutable v6...).
     pub dropped: u64,
 }
@@ -86,6 +89,7 @@ impl Router {
             nat_out: HashMap::new(),
             nat_in: HashMap::new(),
             next_nat_port: 20_000,
+            faults: FaultPlan::new(),
             dropped: 0,
         }
     }
@@ -93,6 +97,14 @@ impl Router {
     /// The active configuration.
     pub fn config(&self) -> RouterConfig {
         self.config
+    }
+
+    /// Install the fault schedule ([`SimulationBuilder::faults`] calls
+    /// this for every layer).
+    ///
+    /// [`SimulationBuilder::faults`]: crate::engine::SimulationBuilder::faults
+    pub fn set_faults(&mut self, faults: FaultPlan) {
+        self.faults = faults;
     }
 
     /// The IPv6 neighbor table, sorted for determinism — what the paper
@@ -118,15 +130,19 @@ impl Router {
     }
 
     /// Timer dispatch.
-    pub fn on_timer(&mut self, _now: SimTime, token: u64, fx: &mut Effects) {
+    pub fn on_timer(&mut self, now: SimTime, token: u64, fx: &mut Effects) {
         if token == TOKEN_PERIODIC_RA && self.config.ipv6 {
-            fx.send_frame(self.build_ra(None));
+            // The beacon keeps ticking through a suppression window so
+            // RAs resume on schedule once the window closes.
+            if !self.faults.ra_suppressed(now) {
+                fx.send_frame(self.build_ra(None));
+            }
             fx.set_timer(RA_PERIOD, TOKEN_PERIODIC_RA);
         }
     }
 
     /// A LAN frame addressed to (or multicast past) the router.
-    pub fn on_frame(&mut self, _now: SimTime, frame: &[u8], fx: &mut Effects) {
+    pub fn on_frame(&mut self, now: SimTime, frame: &[u8], fx: &mut Effects) {
         let Ok(eth) = v6brick_net::ethernet::Frame::new_checked(frame) else {
             return;
         };
@@ -134,7 +150,7 @@ impl Router {
         match eth.ethertype() {
             EtherType::Arp => self.handle_arp(src_mac, eth.payload(), fx),
             EtherType::Ipv4 => self.handle_ipv4(src_mac, eth.payload(), fx),
-            EtherType::Ipv6 => self.handle_ipv6(src_mac, eth.payload(), fx),
+            EtherType::Ipv6 => self.handle_ipv6(now, src_mac, eth.payload(), fx),
             EtherType::Other(_) => {}
         }
     }
@@ -322,7 +338,7 @@ impl Router {
         ));
     }
 
-    fn handle_ipv6(&mut self, src_mac: Mac, payload: &[u8], fx: &mut Effects) {
+    fn handle_ipv6(&mut self, now: SimTime, src_mac: Mac, payload: &[u8], fx: &mut Effects) {
         let Ok(p) = ipv6::Packet::new_checked(payload) else {
             return;
         };
@@ -340,13 +356,13 @@ impl Router {
         match repr.next_header {
             Protocol::Icmpv6 => {
                 if let Ok(msg) = icmpv6::Repr::parse_bytes(repr.src, repr.dst, p.payload()) {
-                    self.handle_icmpv6(src_mac, &repr, &msg, fx);
+                    self.handle_icmpv6(now, src_mac, &repr, &msg, fx);
                 }
             }
             Protocol::Udp => {
                 if let Ok(u) = udp::Packet::new_checked(p.payload()) {
                     if u.dst_port() == 547 {
-                        self.handle_dhcpv6(src_mac, repr.src, u.payload(), fx);
+                        self.handle_dhcpv6(now, src_mac, repr.src, u.payload(), fx);
                         return;
                     }
                 }
@@ -358,14 +374,16 @@ impl Router {
 
     fn handle_icmpv6(
         &mut self,
+        now: SimTime,
         src_mac: Mac,
         ip: &ipv6::Repr,
         msg: &icmpv6::Repr,
         fx: &mut Effects,
     ) {
         match msg {
-            icmpv6::Repr::Ndp(Ndp::RouterSolicit { .. }) => {
-                // Solicited RA, unicast to the soliciting node.
+            // Solicited RA, unicast to the soliciting node — unless a
+            // suppression window is active.
+            icmpv6::Repr::Ndp(Ndp::RouterSolicit { .. }) if !self.faults.ra_suppressed(now) => {
                 fx.send_frame(self.build_ra(Some((src_mac, ip.src))));
             }
             icmpv6::Repr::Ndp(Ndp::NeighborSolicit { target, .. }) => {
@@ -413,7 +431,19 @@ impl Router {
         }
     }
 
-    fn handle_dhcpv6(&mut self, src_mac: Mac, src: Ipv6Addr, payload: &[u8], fx: &mut Effects) {
+    fn handle_dhcpv6(
+        &mut self,
+        now: SimTime,
+        src_mac: Mac,
+        src: Ipv6Addr,
+        payload: &[u8],
+        fx: &mut Effects,
+    ) {
+        if self.faults.dhcpv6_silent(now) {
+            // The server drops the request on the floor; clients retry
+            // into the void until the window closes.
+            return;
+        }
         let Ok(msg) = dhcpv6::Repr::parse_bytes(payload) else {
             return;
         };
@@ -1065,6 +1095,96 @@ mod tests {
         // LLA source: dropped.
         let lla: Ipv6Addr = "fe80::100".parse().unwrap();
         assert_eq!(send(&mut router, &mut rng, lla), 0);
+    }
+
+    fn rs_frame(lla: Ipv6Addr) -> Vec<u8> {
+        let rs = icmpv6::Repr::Ndp(Ndp::RouterSolicit {
+            options: vec![NdpOption::SourceLinkLayerAddr(client_mac())],
+        });
+        let body = rs.build(lla, mcast::ALL_ROUTERS);
+        let pkt = ipv6::Repr {
+            src: lla,
+            dst: mcast::ALL_ROUTERS,
+            next_header: Protocol::Icmpv6,
+            hop_limit: 255,
+            payload_len: body.len(),
+        }
+        .build(&body);
+        eth_frame(
+            client_mac(),
+            Mac::for_ipv6_multicast(mcast::ALL_ROUTERS),
+            EtherType::Ipv6,
+            &pkt,
+        )
+    }
+
+    #[test]
+    fn ra_suppression_window_silences_solicited_and_periodic_ras() {
+        use crate::faults::FaultPlan;
+        let mut rng = fx_rng();
+        let mut router = Router::new(RouterConfig::ipv6_only());
+        router.set_faults(
+            FaultPlan::new().ra_suppression(SimTime::from_secs(10), SimTime::from_secs(20)),
+        );
+        let lla: Ipv6Addr = "fe80::42".parse().unwrap();
+
+        // Inside the window: no solicited RA, no periodic RA — but the
+        // beacon timer is re-armed so RAs resume afterwards.
+        let mut fx = Effects::new(&mut rng);
+        router.on_frame(SimTime::from_secs(15), &rs_frame(lla), &mut fx);
+        assert!(fx.frames.is_empty(), "solicited RA must be suppressed");
+        let mut fx = Effects::new(&mut rng);
+        router.on_timer(SimTime::from_secs(15), TOKEN_PERIODIC_RA, &mut fx);
+        assert!(fx.frames.is_empty(), "periodic RA must be suppressed");
+        assert_eq!(fx.timers.len(), 1, "beacon keeps ticking");
+
+        // Outside the window: both paths answer again.
+        let mut fx = Effects::new(&mut rng);
+        router.on_frame(SimTime::from_secs(25), &rs_frame(lla), &mut fx);
+        assert_eq!(fx.frames.len(), 1);
+        let mut fx = Effects::new(&mut rng);
+        router.on_timer(SimTime::from_secs(25), TOKEN_PERIODIC_RA, &mut fx);
+        assert_eq!(fx.frames.len(), 1);
+    }
+
+    #[test]
+    fn dhcpv6_silence_window_drops_requests() {
+        use crate::faults::FaultPlan;
+        let mut rng = fx_rng();
+        let mut router = Router::new(RouterConfig::ipv6_only());
+        router.set_faults(FaultPlan::new().dhcpv6_silence(SimTime::ZERO, SimTime::from_secs(60)));
+        let lla: Ipv6Addr = "fe80::42".parse().unwrap();
+        let mut inf = dhcpv6::Repr::new(dhcpv6::MessageType::InformationRequest, 5);
+        inf.oro = vec![OPTION_DNS_SERVERS];
+        let udp_bytes = udp::Repr {
+            src_port: 546,
+            dst_port: 547,
+            payload: inf.build(),
+        }
+        .build(PseudoHeader::V6 {
+            src: lla,
+            dst: mcast::DHCPV6_SERVERS,
+        });
+        let pkt = ipv6::Repr {
+            src: lla,
+            dst: mcast::DHCPV6_SERVERS,
+            next_header: Protocol::Udp,
+            hop_limit: 1,
+            payload_len: udp_bytes.len(),
+        }
+        .build(&udp_bytes);
+        let frame = eth_frame(
+            client_mac(),
+            Mac::for_ipv6_multicast(mcast::DHCPV6_SERVERS),
+            EtherType::Ipv6,
+            &pkt,
+        );
+        let mut fx = Effects::new(&mut rng);
+        router.on_frame(SimTime::from_secs(30), &frame, &mut fx);
+        assert!(fx.frames.is_empty(), "server is silent inside the window");
+        let mut fx = Effects::new(&mut rng);
+        router.on_frame(SimTime::from_secs(61), &frame, &mut fx);
+        assert_eq!(fx.frames.len(), 1, "server answers after the window");
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Receive-path fuzzing: the router must never panic, whatever bytes
+//! arrive on either interface.
+//!
+//! The LAN carries frames built by device models, but the fault
+//! injector's corruption windows (and, in the real world, any
+//! misbehaving device) can hand the router arbitrary bytes. Same for
+//! the WAN side: 6in4 encapsulation means attacker-controlled inner
+//! packets. Every parser on the receive path is `new_checked`-style,
+//! so the property is simply "no panic, ever" — the companion
+//! round-trip properties live in `v6brick-net`'s proptests.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::net::Ipv6Addr;
+use v6brick_net::ipv4::Protocol;
+use v6brick_net::udp::PseudoHeader;
+use v6brick_net::{dhcpv6, ethernet, icmpv6, ipv4, ipv6, ndp, udp, Mac};
+use v6brick_sim::event::SimTime;
+use v6brick_sim::host::Effects;
+use v6brick_sim::{addrs, Router, RouterConfig};
+
+fn all_configs() -> Vec<RouterConfig> {
+    vec![
+        RouterConfig::ipv4_only(),
+        RouterConfig::ipv6_only(),
+        RouterConfig::ipv6_only_rdnss_only(),
+        RouterConfig::ipv6_only_stateful(),
+        RouterConfig::dual_stack(),
+        RouterConfig::dual_stack_stateful(),
+    ]
+}
+
+/// Feed one byte string through every router config, LAN and WAN side.
+fn feed(bytes: &[u8]) {
+    for config in all_configs() {
+        let mut router = Router::new(config);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut fx = Effects::new(&mut rng);
+        router.on_frame(SimTime::from_secs(1), bytes, &mut fx);
+        router.on_wan_packet(SimTime::from_secs(1), bytes, &mut fx);
+    }
+}
+
+fn link_local(mac: Mac) -> Ipv6Addr {
+    mac.slaac_address(Ipv6Addr::new(0xfe80, 0, 0, 0, 0, 0, 0, 0))
+}
+
+/// A well-formed DHCPv6 Solicit as a device would send it: link-local
+/// source, All_DHCP_Relay_Agents_and_Servers destination, UDP 546→547.
+fn dhcpv6_solicit_frame(mac: Mac, xid: u32) -> Vec<u8> {
+    let mut d = dhcpv6::Repr::new(dhcpv6::MessageType::Solicit, xid);
+    d.client_id = Some(mac.as_bytes().to_vec());
+    d.ia_na = Some(dhcpv6::IaNa {
+        iaid: 1,
+        t1: 0,
+        t2: 0,
+        addresses: vec![],
+    });
+    let src = link_local(mac);
+    let dst: Ipv6Addr = "ff02::1:2".parse().unwrap();
+    let u = udp::Repr {
+        src_port: 546,
+        dst_port: 547,
+        payload: d.build(),
+    }
+    .build(PseudoHeader::V6 { src, dst });
+    let ip = ipv6::Repr {
+        src,
+        dst,
+        next_header: Protocol::Udp,
+        hop_limit: 1,
+        payload_len: u.len(),
+    }
+    .build(&u);
+    ethernet::Repr {
+        src: mac,
+        dst: Mac::for_ipv6_multicast(dst),
+        ethertype: ethernet::EtherType::Ipv6,
+    }
+    .build(&ip)
+}
+
+/// A Router Solicitation with a source link-layer option — the frame
+/// whose RA answer carries the RDNSS option the devices parse.
+fn rs_frame(mac: Mac) -> Vec<u8> {
+    let src = link_local(mac);
+    let dst: Ipv6Addr = "ff02::2".parse().unwrap();
+    let icmp = icmpv6::Repr::Ndp(ndp::Repr::RouterSolicit {
+        options: vec![ndp::NdpOption::SourceLinkLayerAddr(mac)],
+    })
+    .build(src, dst);
+    let ip = ipv6::Repr {
+        src,
+        dst,
+        next_header: Protocol::Icmpv6,
+        hop_limit: 255,
+        payload_len: icmp.len(),
+    }
+    .build(&icmp);
+    ethernet::Repr {
+        src: mac,
+        dst: Mac::for_ipv6_multicast(dst),
+        ethertype: ethernet::EtherType::Ipv6,
+    }
+    .build(&ip)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Arbitrary bytes on either interface: no panic, any config.
+    #[test]
+    fn router_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        feed(&bytes);
+    }
+
+    /// Every truncation of a valid DHCPv6 Solicit frame parses or is
+    /// rejected — never a panic (and a single flipped byte likewise).
+    #[test]
+    fn router_survives_mangled_dhcpv6(mac in any::<[u8; 6]>(), xid in any::<u32>(),
+                                      cut in any::<usize>(), flip in any::<(usize, u8)>()) {
+        let frame = dhcpv6_solicit_frame(Mac::from(mac), xid);
+        feed(&frame[..cut % (frame.len() + 1)]);
+        let mut mangled = frame.clone();
+        let idx = flip.0 % mangled.len();
+        mangled[idx] ^= flip.1.max(1);
+        feed(&mangled);
+    }
+
+    /// Same for the NDP path that triggers RDNSS-bearing RAs.
+    #[test]
+    fn router_survives_mangled_router_solicit(mac in any::<[u8; 6]>(),
+                                              cut in any::<usize>(), flip in any::<(usize, u8)>()) {
+        let frame = rs_frame(Mac::from(mac));
+        feed(&frame[..cut % (frame.len() + 1)]);
+        let mut mangled = frame.clone();
+        let idx = flip.0 % mangled.len();
+        mangled[idx] ^= flip.1.max(1);
+        feed(&mangled);
+    }
+
+    /// WAN side: 6in4 packets from the tunnel broker with arbitrary
+    /// inner bytes must decapsulate safely or drop.
+    #[test]
+    fn router_survives_hostile_tunnel_payloads(inner in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let packet = ipv4::Repr {
+            src: addrs::TUNNEL_REMOTE_IPV4,
+            dst: addrs::ROUTER_WAN_IPV4,
+            protocol: Protocol::Ipv6,
+            ttl: 64,
+            payload_len: inner.len(),
+        }
+        .build(&inner);
+        for config in all_configs() {
+            let mut router = Router::new(config);
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut fx = Effects::new(&mut rng);
+            router.on_wan_packet(SimTime::from_secs(1), &packet, &mut fx);
+        }
+    }
+}
