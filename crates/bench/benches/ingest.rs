@@ -1,0 +1,80 @@
+//! `v6brickd` ingestion throughput: a fixed 16-home campaign replayed
+//! at an in-process server over 1, 4, and 16 concurrent clients. The
+//! interesting read-outs are uploads/sec scaling with client count
+//! (thread-per-connection + lock striping) and frames/sec through the
+//! per-connection streaming decode+analysis path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use v6brick_experiments::fleet::CampaignSpec;
+use v6brick_experiments::serve::campaign_bundles;
+use v6brick_ingest::{loadgen, spawn, ServerConfig, UploadBundle};
+
+const HOMES: u64 = 16;
+const SEED: u64 = 0x1963;
+
+/// Simulate and package the campaign once; every measured iteration
+/// replays these identical bundles.
+fn bundles() -> Vec<UploadBundle> {
+    campaign_bundles(&CampaignSpec {
+        homes: HOMES,
+        seed: SEED,
+        workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        device_range: (2, 4),
+        duration_s: 60,
+        ..Default::default()
+    })
+}
+
+/// One full replay: fresh server, `clients` concurrent connections,
+/// drain. Returns total frames acknowledged (also asserts nothing
+/// failed — a bench that silently drops uploads measures nothing).
+fn replay(bundles: &[UploadBundle], clients: usize) -> u64 {
+    let handle = spawn(ServerConfig {
+        campaign_seed: SEED,
+        shards: 8,
+        ..Default::default()
+    })
+    .expect("server binds an ephemeral port");
+    let addr = handle.addr().to_string();
+    let load = loadgen::run(&addr, bundles, clients, SEED).expect("load generator runs");
+    assert_eq!(load.failures(), 0, "bench replay dropped uploads");
+    handle.shutdown();
+    handle.join();
+    load.frames()
+}
+
+fn bench_uploads(c: &mut Criterion) {
+    let bundles = bundles();
+    let mut g = c.benchmark_group("ingest");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(HOMES));
+    for clients in [1usize, 4, 16] {
+        g.bench_function(format!("upload_16_homes/clients_{clients}"), |b| {
+            b.iter(|| black_box(replay(&bundles, clients)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_frames(c: &mut Criterion) {
+    let bundles = bundles();
+    // Frame count is a property of the campaign, not of the client
+    // split; one warm replay pins the throughput denominator.
+    let frames = replay(&bundles, 1);
+    let mut g = c.benchmark_group("ingest_frames");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(frames));
+    for clients in [1usize, 4, 16] {
+        g.bench_function(format!("stream_analyze/clients_{clients}"), |b| {
+            b.iter(|| {
+                let fed = replay(&bundles, clients);
+                assert_eq!(fed, frames, "frame count drifted between replays");
+                black_box(fed)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_uploads, bench_frames);
+criterion_main!(benches);

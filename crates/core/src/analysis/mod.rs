@@ -77,6 +77,14 @@ impl PassId {
         }
     }
 
+    /// Inverse of [`PassId::label`]: resolve a label back to its pass.
+    /// This is the parsing path for CLI flags and wire headers (the
+    /// enum serializes but deliberately does not deserialize — inputs
+    /// arrive as labels).
+    pub fn from_label(label: &str) -> Option<PassId> {
+        PassId::ALL.into_iter().find(|p| p.label() == label)
+    }
+
     /// Passes this pass reads shared state from. [`PassSet::with_passes`]
     /// closes over these, so enabling `Traffic` always enables `Dns` (the
     /// destination-domain attribution reads the DNS answer map).

@@ -15,10 +15,25 @@
 //!
 //! [`merge`]: PopulationReport::merge
 
+use crate::analysis::PassId;
 use crate::observe::DeviceObservation;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use v6brick_net::ipv6::Ipv6AddrExt;
+
+/// The analyzer passes whose fields a [`PopulationReport`] actually
+/// reads: funnel and behaviour marginals (`addressing`, `ndp_dad`,
+/// `dns`), histograms and volume counters (`traffic`). The EUI-64
+/// correlator and the flow table feed nothing in the report, so every
+/// population consumer — the offline fleet pool and the `v6brickd`
+/// ingestion daemon alike — runs exactly this subset; sharing one const
+/// is part of what makes their reports byte-identical.
+pub const POPULATION_PASSES: &[PassId] = &[
+    PassId::Addressing,
+    PassId::NdpDad,
+    PassId::Dns,
+    PassId::Traffic,
+];
 
 /// The Table 3 feature funnel, as population marginals: how far down
 /// the IPv6 adoption funnel each device got.

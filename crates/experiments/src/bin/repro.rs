@@ -19,6 +19,17 @@
 //!                           # perf trajectory probe (streaming analyzer
 //!                           # frames/sec, suite serial vs parallel,
 //!                           # fleet homes/sec); schema in EXPERIMENTS.md
+//! repro serve [--addr HOST:PORT] [--seed N] [--shards N]
+//!                           # run the v6brickd ingestion daemon until a
+//!                           # wire SHUTDOWN drains it
+//! repro upload N [--addr HOST:PORT] [--clients N] [--seed N]
+//!                [--duration S] [--workers N] [--dev-min N] [--dev-max N]
+//!                [--chaos-home IDX]... [--verify] [--shutdown] [--json]
+//!                           # simulate an N-home campaign, replay its
+//!                           # captures at a v6brickd server over
+//!                           # concurrent clients; --verify diffs the
+//!                           # server snapshot against the offline fleet
+//!                           # JSON byte-for-byte
 //! ```
 
 use std::env;
@@ -28,7 +39,7 @@ use v6brick_experiments::portscan::{scan, ScanPlan};
 use v6brick_experiments::render::TextTable;
 use v6brick_experiments::suite::ExperimentSuite;
 use v6brick_experiments::{
-    active_dns, broken, config, enterprise, figures, fleet, reachability, scenario, tables,
+    active_dns, broken, config, enterprise, figures, fleet, reachability, scenario, serve, tables,
     tracking,
 };
 
@@ -63,6 +74,14 @@ fn main() {
     }
     if what == "bench-json" {
         run_bench_json(&args[1..]);
+        return;
+    }
+    if what == "serve" {
+        run_serve(&args[1..]);
+        return;
+    }
+    if what == "upload" {
+        run_upload(&args[1..]);
         return;
     }
     const KNOWN: &[&str] = &[
@@ -377,12 +396,245 @@ fn run_fleet(args: &[String]) {
     }
 }
 
+/// `repro serve` — run the `v6brickd` ingestion daemon in-process.
+fn run_serve(args: &[String]) {
+    let mut config = v6brick_ingest::ServerConfig {
+        addr: "127.0.0.1:6468".to_string(),
+        ..Default::default()
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} needs a value");
+                    std::process::exit(2);
+                })
+                .parse::<u64>()
+                .unwrap_or_else(|e| {
+                    eprintln!("bad value for {flag}: {e}");
+                    std::process::exit(2);
+                })
+        };
+        match arg.as_str() {
+            "--addr" => {
+                config.addr = it
+                    .next()
+                    .unwrap_or_else(|| {
+                        eprintln!("--addr needs a value");
+                        std::process::exit(2);
+                    })
+                    .clone()
+            }
+            "--seed" => config.campaign_seed = value("--seed"),
+            "--shards" => config.shards = value("--shards") as usize,
+            other => {
+                eprintln!("unknown serve flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let handle = v6brick_ingest::spawn(config.clone()).unwrap_or_else(|e| {
+        eprintln!("serve: bind {}: {e}", config.addr);
+        std::process::exit(1);
+    });
+    println!(
+        "v6brickd listening on {} (campaign seed {:#x}, {} shards)",
+        handle.addr(),
+        handle.state().campaign_seed(),
+        handle.state().shard_count()
+    );
+    let state = std::sync::Arc::clone(handle.state());
+    handle.join();
+    eprintln!("serve: drained cleanly");
+    println!(
+        "{}",
+        serde_json::to_string(&state.stats_report()).expect("stats serialize")
+    );
+}
+
+/// `repro upload N ...` — replay an N-home campaign at a `v6brickd`
+/// server over concurrent clients, optionally verifying the snapshot
+/// against the offline fleet JSON.
+fn run_upload(args: &[String]) {
+    use v6brick_experiments::serve as bridge;
+    use v6brick_ingest::{loadgen, Client};
+
+    let mut spec = fleet::CampaignSpec {
+        homes: 3,
+        workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        ..Default::default()
+    };
+    let mut addr = "127.0.0.1:6468".to_string();
+    let mut clients = 2usize;
+    let mut verify = false;
+    let mut shutdown = false;
+    let mut json = false;
+    let mut dev_min = spec.device_range.0;
+    let mut dev_max = spec.device_range.1;
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} needs a value");
+                    std::process::exit(2);
+                })
+                .parse::<u64>()
+                .unwrap_or_else(|e| {
+                    eprintln!("bad value for {flag}: {e}");
+                    std::process::exit(2);
+                })
+        };
+        match arg.as_str() {
+            "--addr" => {
+                addr = it
+                    .next()
+                    .unwrap_or_else(|| {
+                        eprintln!("--addr needs a value");
+                        std::process::exit(2);
+                    })
+                    .clone()
+            }
+            "--clients" => clients = value("--clients") as usize,
+            "--seed" => spec.seed = value("--seed"),
+            "--duration" => spec.duration_s = value("--duration"),
+            "--workers" => spec.workers = value("--workers") as usize,
+            "--dev-min" => dev_min = value("--dev-min") as usize,
+            "--dev-max" => dev_max = value("--dev-max") as usize,
+            "--chaos-home" => {
+                let idx = value("--chaos-home");
+                spec.chaos_panic_homes.push(idx);
+            }
+            "--verify" => verify = true,
+            "--shutdown" => shutdown = true,
+            "--json" => json = true,
+            other if !other.starts_with('-') => positional.push(other.to_string()),
+            other => {
+                eprintln!("unknown upload flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(n) = positional.first() {
+        spec.homes = n.parse().unwrap_or_else(|e| {
+            eprintln!("bad home count {n:?}: {e}");
+            std::process::exit(2);
+        });
+    }
+    spec.device_range = (dev_min, dev_max);
+
+    eprintln!(
+        "Simulating {} homes for upload (seed {:#x}, {} s windows)...",
+        spec.homes, spec.seed, spec.duration_s
+    );
+    let bundles = bridge::campaign_bundles(&spec);
+    eprintln!(
+        "Uploading {} bundles to {addr} over {clients} clients...",
+        bundles.len()
+    );
+    let t0 = std::time::Instant::now();
+    let load = loadgen::run(&addr, &bundles, clients, spec.seed).unwrap_or_else(|e| {
+        eprintln!("upload: {e}");
+        std::process::exit(1);
+    });
+    let elapsed = t0.elapsed();
+    eprintln!(
+        "   done in {elapsed:.1?} — {} uploads ok, {} failed, {} frames",
+        load.uploads(),
+        load.failures(),
+        load.frames()
+    );
+    for c in &load.per_client {
+        eprintln!(
+            "   client {}: {} uploads, {} frames, {} failures (chunk {})",
+            c.client, c.uploads, c.frames, c.failures, c.chunk_size
+        );
+    }
+
+    let mut exit = 0;
+    // Chaos homes fail by design; anything beyond that is a real error.
+    let expected_failures = spec.chaos_panic_homes.len() as u64;
+    if load.failures() != expected_failures {
+        eprintln!(
+            "upload: {} failed uploads (expected {expected_failures})",
+            load.failures()
+        );
+        exit = 1;
+    }
+
+    let mut snapshot = None;
+    if verify || json {
+        let mut client = Client::connect_retry(&*addr, 50, std::time::Duration::from_millis(20))
+            .unwrap_or_else(|e| {
+                eprintln!("upload: reconnect for snapshot: {e}");
+                std::process::exit(1);
+            });
+        let snap = client.snapshot().unwrap_or_else(|e| {
+            eprintln!("upload: snapshot: {e}");
+            std::process::exit(1);
+        });
+        if verify {
+            eprintln!("Verifying against the offline fleet report...");
+            let offline = bridge::offline_report_json(&spec);
+            if snap == offline {
+                eprintln!(
+                    "   snapshot is byte-identical to the offline fleet JSON ({} bytes)",
+                    snap.len()
+                );
+            } else {
+                eprintln!(
+                    "   MISMATCH: snapshot {} bytes, offline {} bytes",
+                    snap.len(),
+                    offline.len()
+                );
+                exit = 1;
+            }
+        }
+        snapshot = Some(snap);
+    }
+
+    if shutdown {
+        let mut client = Client::connect_retry(&*addr, 50, std::time::Duration::from_millis(20))
+            .unwrap_or_else(|e| {
+                eprintln!("upload: reconnect for shutdown: {e}");
+                std::process::exit(1);
+            });
+        client.shutdown_server().unwrap_or_else(|e| {
+            eprintln!("upload: shutdown: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("   server drain requested");
+    }
+
+    if json {
+        let out = serde_json::json!({
+            "homes": spec.homes,
+            "clients": clients as u64,
+            "uploads_ok": load.uploads(),
+            "uploads_failed": load.failures(),
+            "frames": load.frames(),
+            "verified": verify && exit == 0,
+            "snapshot": snapshot,
+        });
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).expect("serializable")
+        );
+    }
+    if exit != 0 {
+        std::process::exit(exit);
+    }
+}
+
 /// `repro bench-json [--out PATH]` — the perf-trajectory probe.
 ///
 /// Emits one JSON document (schema documented in EXPERIMENTS.md) with
-/// the three numbers future PRs track for regressions: frames/sec
-/// through the streaming analyzer, six-config suite wall-clock serial
-/// vs parallel, and fleet homes/sec. Written to `--out` (default
+/// the numbers future PRs track for regressions: frames/sec through
+/// the streaming analyzer, six-config suite wall-clock serial vs
+/// parallel, fleet homes/sec, and v6brickd uploads/sec at 1, 4, and 16
+/// concurrent clients. Written to `--out` (default
 /// `BENCH_pipeline.json`) and echoed to stdout.
 fn run_bench_json(args: &[String]) {
     use std::time::Instant;
@@ -538,8 +790,51 @@ fn run_bench_json(args: &[String]) {
     let report_identical = serde_json::to_string(&report).expect("serializable")
         == serde_json::to_string(&full_report).expect("serializable");
 
+    // --- 4. Ingestion daemon: upload throughput at 1, 4, 16 clients ---
+    // The same 16-home campaign replayed at an in-process v6brickd over
+    // increasing client concurrency; each run must still snapshot
+    // byte-identically to the offline fleet JSON.
+    eprintln!("bench-json: packaging a 16-home campaign for v6brickd...");
+    let ingest_spec = fleet::CampaignSpec {
+        homes: 16,
+        seed: 0x1963,
+        workers,
+        device_range: (2, 4),
+        duration_s: 60,
+        ..Default::default()
+    };
+    let bundles = serve::campaign_bundles(&ingest_spec);
+    let ingest_offline = serve::offline_report_json(&ingest_spec);
+    let bundle_bytes: u64 = bundles.iter().map(|b| b.pcap.len() as u64).sum();
+    let mut ingest_runs = Vec::new();
+    let mut snapshot_identical = true;
+    for clients in [1usize, 4, 16] {
+        eprintln!("bench-json: ingest replay, {clients} client(s)...");
+        let handle = v6brick_ingest::spawn(v6brick_ingest::ServerConfig {
+            campaign_seed: ingest_spec.seed,
+            shards: 8,
+            ..Default::default()
+        })
+        .expect("v6brickd binds an ephemeral port");
+        let addr = handle.addr().to_string();
+        let t0 = Instant::now();
+        let load = v6brick_ingest::loadgen::run(&addr, &bundles, clients, ingest_spec.seed)
+            .expect("load generator runs");
+        let secs = t0.elapsed().as_secs_f64();
+        snapshot_identical &=
+            load.failures() == 0 && handle.state().snapshot_json() == ingest_offline;
+        ingest_runs.push(serde_json::json!({
+            "clients": clients,
+            "secs": secs,
+            "uploads_per_sec": load.uploads() as f64 / secs.max(1e-9),
+            "frames_per_sec": load.frames() as f64 / secs.max(1e-9),
+        }));
+        handle.shutdown();
+        handle.join();
+    }
+
     let out = serde_json::json!({
-        "schema": "v6brick-bench-pipeline/2",
+        "schema": "v6brick-bench-pipeline/3",
         "streaming_analyzer": serde_json::json!({
             "frames": frames,
             "bytes": bytes,
@@ -567,6 +862,13 @@ fn run_bench_json(args: &[String]) {
             "pass_ablation_speedup": fleet_full_secs / fleet_secs.max(1e-9),
             "report_identical": report_identical,
         }),
+        "ingest": serde_json::json!({
+            "homes": ingest_spec.homes,
+            "bundle_bytes": bundle_bytes,
+            "shards": 8,
+            "runs": ingest_runs,
+            "snapshot_identical": snapshot_identical,
+        }),
     });
     let rendered = serde_json::to_string_pretty(&out).expect("serializable");
     std::fs::write(&out_path, format!("{rendered}\n")).unwrap_or_else(|e| {
@@ -585,6 +887,13 @@ fn run_bench_json(args: &[String]) {
         eprintln!(
             "bench-json: population-pass and full-pass fleet reports DIVERGED — \
              a pass is writing fields the population report reads"
+        );
+        std::process::exit(1);
+    }
+    if !snapshot_identical {
+        eprintln!(
+            "bench-json: a v6brickd snapshot DIVERGED from the offline fleet JSON — \
+             the server==fleet equivalence spine is broken"
         );
         std::process::exit(1);
     }

@@ -22,19 +22,13 @@ use v6brick_core::population::{HomeFailure, PopulationReport};
 use v6brick_fleet::{plan_homes, run_indexed_outcomes, HomeSpec};
 use v6brick_sim::SimTime;
 
-/// The analyzer passes whose fields the [`PopulationReport`] actually
-/// reads: funnel and behaviour marginals (`addressing`, `ndp_dad`,
-/// `dns`), histograms and volume counters (`traffic`). The EUI-64
-/// correlator and the flow table feed nothing in the report, so fleet
-/// campaigns skip them — `bench_ablation_passes` measures the saving
+/// Re-export of [`v6brick_core::population::POPULATION_PASSES`] (which
+/// moved to core so the `v6brickd` ingestion daemon shares the exact
+/// pass subset): the passes whose fields the [`PopulationReport`]
+/// reads. `bench_ablation_passes` measures the saving over the full set
 /// and `tests/fleet_determinism.rs` pins that the report stays
 /// byte-identical to a full-pass run.
-pub const POPULATION_PASSES: &[PassId] = &[
-    PassId::Addressing,
-    PassId::NdpDad,
-    PassId::Dns,
-    PassId::Traffic,
-];
+pub use v6brick_core::population::POPULATION_PASSES;
 
 /// Description of a whole campaign.
 #[derive(Debug, Clone)]

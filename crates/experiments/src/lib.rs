@@ -23,6 +23,7 @@ pub mod portscan;
 pub mod reachability;
 pub mod render;
 pub mod scenario;
+pub mod serve;
 pub mod suite;
 pub mod tables;
 pub mod tracking;

@@ -163,6 +163,47 @@ pub struct FaultedRun {
     pub tunnel_drops: u64,
 }
 
+/// One home's experiment with the raw capture retained: the input the
+/// ingestion path replays at a `v6brickd` server. The simulation is
+/// bit-identical to [`run_scoped`]'s (same seed, same build order —
+/// enabling the buffered capture consumes no randomness), so the
+/// capture holds exactly the frames the streaming analyzer would see.
+pub struct CapturedRun {
+    /// Config the home ran under.
+    pub config: NetworkConfig,
+    /// Every LAN frame, in tap order.
+    pub capture: v6brick_pcap::Capture,
+    /// Functionality-test outcome per device id (§4.1) — the
+    /// out-of-band result an upload header carries alongside the pcap.
+    pub functional: BTreeMap<String, bool>,
+}
+
+/// Run one home and keep its capture instead of (not in addition to)
+/// an analysis: the bundle-generation path for `repro upload`, the
+/// load generator, and the server equivalence tests. No analyzer pass
+/// runs — the server is the one doing the analysis.
+pub fn run_captured(
+    config: NetworkConfig,
+    profiles: &[DeviceProfile],
+    base_seed: u64,
+    duration: SimTime,
+) -> CapturedRun {
+    let (faulted, capture) = execute(
+        config,
+        profiles,
+        base_seed,
+        duration,
+        &[],
+        FaultPlan::new(),
+        true,
+    );
+    CapturedRun {
+        config,
+        capture: capture.expect("capture was enabled"),
+        functional: faulted.run.functional,
+    }
+}
+
 /// [`run_scoped`] under an injected [`FaultPlan`]: the same build and
 /// measurement path, plus the devices' family-switch logs and the
 /// engine's fault counters for Table 9-style outage reporting.
@@ -174,6 +215,18 @@ pub fn run_faulted(
     passes: &[PassId],
     faults: FaultPlan,
 ) -> FaultedRun {
+    execute(config, profiles, base_seed, duration, passes, faults, false).0
+}
+
+fn execute(
+    config: NetworkConfig,
+    profiles: &[DeviceProfile],
+    base_seed: u64,
+    duration: SimTime,
+    passes: &[PassId],
+    faults: FaultPlan,
+    keep_capture: bool,
+) -> (FaultedRun, Option<v6brick_pcap::Capture>) {
     let zones = build_zones(profiles);
     let internet = Internet::new(zones);
     let router = Router::new(config.router_config());
@@ -201,10 +254,11 @@ pub fn run_faulted(
 
     let mut sim = b
         .seed(base_seed ^ config as u64)
-        .capture(false)
+        .capture(keep_capture)
         .faults(faults)
         .build();
     sim.run_until(duration);
+    let capture = keep_capture.then(|| sim.take_capture());
 
     // Functionality test: ask each device model whether its primary
     // function (cloud rendezvous with every required destination)
@@ -251,18 +305,21 @@ pub fn run_faulted(
     let frames = analyzer.frames_fed();
     let analysis = analyzer.finish();
 
-    FaultedRun {
-        run: ExperimentRun {
-            config,
-            analysis,
-            functional,
-            phones_ok,
-            neighbors_v6,
-            frames,
+    (
+        FaultedRun {
+            run: ExperimentRun {
+                config,
+                analysis,
+                functional,
+                phones_ok,
+                neighbors_v6,
+                frames,
+            },
+            switches,
+            tunnel_drops,
         },
-        switches,
-        tunnel_drops,
-    }
+        capture,
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,85 @@
+//! `v6brickd` — the capture-ingestion daemon.
+//!
+//! ```text
+//! v6brickd [--addr HOST:PORT] [--seed N] [--shards N]
+//!          [--max-upload-mb N] [--upload-timeout-ms N]
+//!          [--read-timeout-ms N]
+//! ```
+//!
+//! Binds, prints the listen address on stdout, and serves until a wire
+//! `SHUTDOWN` command drains it; exits 0 after a clean drain and prints
+//! the final STATS JSON on stdout.
+
+use std::process::ExitCode;
+use std::time::Duration;
+use v6brick_ingest::{spawn, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: v6brickd [--addr HOST:PORT] [--seed N] [--shards N] \
+         [--max-upload-mb N] [--upload-timeout-ms N] [--read-timeout-ms N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_u64(value: Option<String>, flag: &str) -> u64 {
+    match value.as_deref().map(str::parse) {
+        Some(Ok(n)) => n,
+        _ => {
+            eprintln!("v6brickd: {flag} needs an unsigned integer");
+            usage();
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:6468".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(a) => config.addr = a,
+                None => usage(),
+            },
+            "--seed" => config.campaign_seed = parse_u64(args.next(), "--seed"),
+            "--shards" => config.shards = parse_u64(args.next(), "--shards") as usize,
+            "--max-upload-mb" => {
+                config.max_upload_bytes = parse_u64(args.next(), "--max-upload-mb") << 20
+            }
+            "--upload-timeout-ms" => {
+                config.max_upload_time =
+                    Duration::from_millis(parse_u64(args.next(), "--upload-timeout-ms"))
+            }
+            "--read-timeout-ms" => {
+                config.read_timeout =
+                    Duration::from_millis(parse_u64(args.next(), "--read-timeout-ms"))
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("v6brickd: unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    let handle = match spawn(config.clone()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("v6brickd: bind {}: {e}", config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "v6brickd listening on {} (campaign seed {:#x}, {} shards)",
+        handle.addr(),
+        handle.state().campaign_seed(),
+        handle.state().shard_count()
+    );
+    let state = std::sync::Arc::clone(handle.state());
+    handle.join();
+    let stats = serde_json::to_string(&state.stats_report()).unwrap_or_else(|_| "{}".to_string());
+    println!("{stats}");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,181 @@
+//! A blocking wire-protocol client for `v6brickd`.
+//!
+//! One [`Client`] wraps one TCP connection and issues requests
+//! sequentially (the protocol has no pipelining). The load generator
+//! runs many clients on their own threads; `repro upload` runs them
+//! from the CLI.
+
+use crate::wire::{
+    parse_err_payload, read_frame, write_frame, ErrorCode, UploadAck, UploadBundle, UploadHeader,
+    WireError, K_ERR, K_OK, K_SHUTDOWN, K_SNAPSHOT, K_STATS, K_UPLOAD_BEGIN, K_UPLOAD_CHUNK,
+    K_UPLOAD_END, MAX_FRAME_BYTES,
+};
+use std::io::{self, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client-visible failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The connection broke at the framing layer.
+    Wire(WireError),
+    /// The server answered with a typed `ERR` frame.
+    Server {
+        /// Decoded error code (None if the server sent an unknown one).
+        code: Option<ErrorCode>,
+        /// Human-readable detail from the server.
+        detail: String,
+    },
+    /// The server's reply did not follow the protocol.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Server { code, detail } => match code {
+                Some(c) => write!(f, "server error [{c}]: {detail}"),
+                None => write!(f, "server error [unknown]: {detail}"),
+            },
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> ClientError {
+        ClientError::Wire(e)
+    }
+}
+
+impl ClientError {
+    /// The server's typed error code, if this is a server refusal.
+    pub fn server_code(&self) -> Option<ErrorCode> {
+        match self {
+            ClientError::Server { code, .. } => *code,
+            _ => None,
+        }
+    }
+}
+
+/// A connected wire-protocol client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Connect, retrying while the server comes up (CI races the daemon
+    /// start against the first upload).
+    pub fn connect_retry<A: ToSocketAddrs + Clone>(
+        addr: A,
+        attempts: u32,
+        delay: Duration,
+    ) -> io::Result<Client> {
+        let mut last = None;
+        for _ in 0..attempts.max(1) {
+            match Client::connect(addr.clone()) {
+                Ok(c) => return Ok(c),
+                Err(e) => {
+                    last = Some(e);
+                    std::thread::sleep(delay);
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| io::Error::other("no connection attempts")))
+    }
+
+    /// Read one reply frame; `OK` yields the payload, `ERR` the typed
+    /// server error.
+    fn read_reply(&mut self) -> Result<Vec<u8>, ClientError> {
+        let frame = read_frame(&mut self.reader)?;
+        match frame.kind {
+            K_OK => Ok(frame.payload),
+            K_ERR => {
+                let (code, detail) = parse_err_payload(&frame.payload);
+                Err(ClientError::Server { code, detail })
+            }
+            other => Err(ClientError::Protocol(format!(
+                "unexpected reply kind {other:#04x}"
+            ))),
+        }
+    }
+
+    /// A simple request (no body stream): write one frame, read the
+    /// reply payload.
+    fn request(&mut self, kind: u8) -> Result<Vec<u8>, ClientError> {
+        write_frame(&mut self.writer, kind, &[])?;
+        self.read_reply()
+    }
+
+    /// Upload one home's capture, splitting the bytes into
+    /// `chunk_size`-byte `UPLOAD_CHUNK` frames.
+    pub fn upload(
+        &mut self,
+        header: &UploadHeader,
+        pcap: &[u8],
+        chunk_size: usize,
+    ) -> Result<UploadAck, ClientError> {
+        let chunk_size = chunk_size.clamp(1, MAX_FRAME_BYTES);
+        let header_json = serde_json::to_string(header).expect("header serializes");
+        write_frame(&mut self.writer, K_UPLOAD_BEGIN, header_json.as_bytes())?;
+        for chunk in pcap.chunks(chunk_size) {
+            write_frame(&mut self.writer, K_UPLOAD_CHUNK, chunk)?;
+        }
+        write_frame(&mut self.writer, K_UPLOAD_END, &[])?;
+        let payload = self.read_reply()?;
+        let json = String::from_utf8(payload)
+            .map_err(|_| ClientError::Protocol("non-UTF-8 ack".to_string()))?;
+        serde_json::from_str(&json).map_err(|e| ClientError::Protocol(format!("ack: {e:?}")))
+    }
+
+    /// Upload a prepared bundle.
+    pub fn upload_bundle(
+        &mut self,
+        bundle: &UploadBundle,
+        chunk_size: usize,
+    ) -> Result<UploadAck, ClientError> {
+        self.upload(&bundle.header, &bundle.pcap, chunk_size)
+    }
+
+    /// Fetch the merged population report as JSON.
+    pub fn snapshot(&mut self) -> Result<String, ClientError> {
+        let payload = self.request(K_SNAPSHOT)?;
+        String::from_utf8(payload)
+            .map_err(|_| ClientError::Protocol("non-UTF-8 snapshot".to_string()))
+    }
+
+    /// Fetch server statistics as JSON.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        let payload = self.request(K_STATS)?;
+        String::from_utf8(payload).map_err(|_| ClientError::Protocol("non-UTF-8 stats".to_string()))
+    }
+
+    /// Ask the server to drain and exit.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        self.request(K_SHUTDOWN).map(|_| ())
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+//! # v6brick-ingest — the `v6brickd` capture-ingestion service
+//!
+//! The paper's pipeline is batch: capture in the testbed, analyze
+//! offline. This crate is the service-shaped equivalent — a
+//! long-running TCP daemon that ingests capture streams from many
+//! homes concurrently and serves an incrementally updated
+//! [`PopulationReport`](v6brick_core::population::PopulationReport):
+//!
+//! * [`wire`] — the length-prefixed frame protocol (`UPLOAD`,
+//!   `SNAPSHOT`, `STATS`, `SHUTDOWN`) and its typed error codes;
+//! * [`server`] — the thread-per-connection daemon: each upload streams
+//!   chunk-by-chunk through [`v6brick_pcap::stream::StreamDecoder`]
+//!   into a [`v6brick_core::observe::StreamingAnalyzer`], so the
+//!   server never materializes a capture buffer;
+//! * [`state`] — the lock-striped accumulator of mergeable per-home
+//!   reports;
+//! * [`client`] — a blocking protocol client;
+//! * [`loadgen`] — a deterministic concurrent load generator.
+//!
+//! ## The equivalence spine
+//!
+//! A server fed the captures of a fleet campaign — any client order,
+//! any concurrency, any shard count — snapshots **byte-identically**
+//! to the offline `fleet::run` of the same campaign. This holds
+//! because population folding is commutative over integer counters in
+//! `BTreeMap`s, streaming pcap decode preserves the writer's frame
+//! order, and both paths run the same
+//! [`POPULATION_PASSES`](v6brick_core::population::POPULATION_PASSES).
+//! `crates/experiments/tests/ingest_equivalence.rs` pins it.
+
+pub mod client;
+pub mod loadgen;
+pub mod server;
+pub mod state;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use server::{spawn, ServerConfig, ServerHandle};
+pub use state::{SharedState, StatsReport};
+pub use wire::{DeviceEntry, ErrorCode, UploadAck, UploadBundle, UploadHeader};

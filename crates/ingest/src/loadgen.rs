@@ -1,0 +1,166 @@
+//! Deterministic concurrent load generation against `v6brickd`.
+//!
+//! Replays prepared [`UploadBundle`]s over `clients` concurrent
+//! connections. The partition is static and deterministic — client `i`
+//! uploads exactly the bundles at indices `j` with `j % clients == i` —
+//! so per-client upload counts are a pure function of `(bundles,
+//! clients)`, which the degradation tests assert. Each client also
+//! derives its chunk size from a per-client splitmix64 seed, so
+//! different clients exercise different stream fragmentations while
+//! any rerun reproduces exactly.
+
+use crate::client::Client;
+use crate::wire::UploadBundle;
+use std::io;
+use std::time::Duration;
+use v6brick_fleet::home_seed;
+
+/// One client thread's outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientReport {
+    /// Client index (0-based).
+    pub client: usize,
+    /// Chunk size this client used (derived from its seed).
+    pub chunk_size: usize,
+    /// Uploads acknowledged by the server.
+    pub uploads: u64,
+    /// Frames the server reported across those uploads.
+    pub frames: u64,
+    /// Uploads that failed (typed server error or transport failure).
+    pub failures: u64,
+}
+
+/// The whole run's outcome, per client in index order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadReport {
+    /// One entry per client, index order.
+    pub per_client: Vec<ClientReport>,
+}
+
+impl LoadReport {
+    /// Total acknowledged uploads.
+    pub fn uploads(&self) -> u64 {
+        self.per_client.iter().map(|c| c.uploads).sum()
+    }
+
+    /// Total frames acknowledged.
+    pub fn frames(&self) -> u64 {
+        self.per_client.iter().map(|c| c.frames).sum()
+    }
+
+    /// Total failed uploads.
+    pub fn failures(&self) -> u64 {
+        self.per_client.iter().map(|c| c.failures).sum()
+    }
+}
+
+/// The bundle indices client `i` of `clients` will upload, in order.
+pub fn client_partition(bundle_count: usize, clients: usize, client: usize) -> Vec<usize> {
+    (0..bundle_count)
+        .filter(|j| j % clients.max(1) == client)
+        .collect()
+}
+
+/// The chunk size client `i` uses, derived from the load seed: spread
+/// over 512–4096 bytes so concurrent clients hit the streaming decoder
+/// with different fragmentations.
+pub fn client_chunk_size(load_seed: u64, client: usize) -> usize {
+    512 + (home_seed(load_seed, client as u64) % 8) as usize * 512
+}
+
+/// Replay `bundles` against the daemon at `addr` over `clients`
+/// concurrent connections. Blocks until every client finished; the
+/// per-client partition and chunk sizes are deterministic in
+/// `(bundles, clients, load_seed)`.
+pub fn run(
+    addr: &str,
+    bundles: &[UploadBundle],
+    clients: usize,
+    load_seed: u64,
+) -> io::Result<LoadReport> {
+    let clients = clients.max(1);
+    let mut threads = Vec::with_capacity(clients);
+    for i in 0..clients {
+        let mine: Vec<UploadBundle> = client_partition(bundles.len(), clients, i)
+            .into_iter()
+            .map(|j| bundles[j].clone())
+            .collect();
+        let addr = addr.to_string();
+        let chunk_size = client_chunk_size(load_seed, i);
+        threads.push(std::thread::spawn(move || {
+            let mut report = ClientReport {
+                client: i,
+                chunk_size,
+                uploads: 0,
+                frames: 0,
+                failures: 0,
+            };
+            let mut conn = match Client::connect_retry(&*addr, 50, Duration::from_millis(20)) {
+                Ok(c) => c,
+                Err(_) => {
+                    report.failures = mine.len() as u64;
+                    return report;
+                }
+            };
+            for bundle in &mine {
+                match conn.upload_bundle(bundle, chunk_size) {
+                    Ok(ack) => {
+                        report.uploads += 1;
+                        report.frames += ack.frames;
+                    }
+                    Err(_) => {
+                        report.failures += 1;
+                        // A failed upload closes the server side of the
+                        // connection; reconnect for the next bundle.
+                        match Client::connect_retry(&*addr, 10, Duration::from_millis(20)) {
+                            Ok(c) => conn = c,
+                            Err(_) => {
+                                report.failures += (mine.len() as u64)
+                                    .saturating_sub(report.uploads + report.failures);
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            report
+        }));
+    }
+    let mut per_client: Vec<ClientReport> = threads
+        .into_iter()
+        .map(|t| t.join().expect("load client thread panicked"))
+        .collect();
+    per_client.sort_by_key(|c| c.client);
+    Ok(LoadReport { per_client })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_exhaustive_and_disjoint() {
+        for clients in [1, 2, 3, 16] {
+            let mut seen = vec![false; 23];
+            for i in 0..clients {
+                for j in client_partition(23, clients, i) {
+                    assert!(!seen[j], "bundle {j} assigned twice");
+                    seen[j] = true;
+                }
+            }
+            assert!(seen.into_iter().all(|s| s), "clients={clients}");
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_are_deterministic_and_varied() {
+        let a: Vec<usize> = (0..16).map(|i| client_chunk_size(7, i)).collect();
+        let b: Vec<usize> = (0..16).map(|i| client_chunk_size(7, i)).collect();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&c| (512..=4096).contains(&c)));
+        assert!(
+            a.iter().collect::<std::collections::HashSet<_>>().len() > 1,
+            "all 16 clients drew the same chunk size"
+        );
+    }
+}

@@ -1,0 +1,514 @@
+//! The `v6brickd` daemon: thread-per-connection TCP ingestion.
+//!
+//! One OS thread per accepted connection (std::net only — no async
+//! runtime), all folding into the lock-striped [`SharedState`]. An
+//! upload streams its capture bytes chunk-by-chunk through a
+//! [`StreamDecoder`] into a [`StreamingAnalyzer`], so the server holds
+//! `O(analyzer state + one partial record)` per connection — never the
+//! capture itself.
+//!
+//! ## Crash and fault isolation
+//!
+//! Each upload's decode+analysis runs under `catch_unwind` (the same
+//! discipline as `fleet::pool`): a panicking upload answers with a
+//! typed `ERR panic` frame and bumps the failure counters, but since a
+//! home is only absorbed into shared state *after* its analysis
+//! completed, a panic — or a truncated stream, an oversized upload, a
+//! mid-upload disconnect — can never leave a half-folded home in the
+//! population report.
+//!
+//! ## Graceful shutdown
+//!
+//! `SHUTDOWN` (or [`ServerHandle::shutdown`]) flips the draining flag:
+//! the accept loop stops taking connections, new `UPLOAD_BEGIN`s are
+//! refused with `ERR draining`, in-flight uploads run to completion,
+//! and only then are the remaining connections closed and their
+//! threads joined.
+
+use crate::state::{PassTotals, SharedState};
+use crate::wire::{
+    err_payload, read_frame, write_frame, ErrorCode, UploadAck, UploadHeader, WireError, K_ERR,
+    K_OK, K_SHUTDOWN, K_SNAPSHOT, K_STATS, K_UPLOAD_BEGIN, K_UPLOAD_CHUNK, K_UPLOAD_END,
+};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::io::BufReader;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+use v6brick_core::observe::{DeviceObservation, StreamingAnalyzer};
+use v6brick_core::population::POPULATION_PASSES;
+use v6brick_net::ipv6::Cidr;
+use v6brick_net::Mac;
+use v6brick_pcap::stream::StreamDecoder;
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Campaign seed this server accumulates; uploads for any other
+    /// campaign are refused.
+    pub campaign_seed: u64,
+    /// Lock stripes in the shared accumulator.
+    pub shards: usize,
+    /// Per-upload cap on raw capture bytes.
+    pub max_upload_bytes: u64,
+    /// Per-upload wall-clock budget.
+    pub max_upload_time: Duration,
+    /// Per-connection socket read timeout (a stalled peer cannot pin a
+    /// handler thread forever).
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    /// Ephemeral loopback port, 8 stripes, 256 MiB / 120 s upload
+    /// limits, 30 s read timeout.
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            campaign_seed: 0x6b1c,
+            shards: 8,
+            max_upload_bytes: 256 << 20,
+            max_upload_time: Duration::from_secs(120),
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Cross-thread control state.
+struct Ctrl {
+    /// Set once: stop accepting, refuse new uploads, drain, exit.
+    draining: AtomicBool,
+    /// Uploads currently between `UPLOAD_BEGIN` and their reply.
+    active_uploads: AtomicU64,
+    /// One clone per live connection, for the post-drain force-close.
+    conns: Mutex<Vec<TcpStream>>,
+    /// Handler threads to join at shutdown.
+    handlers: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// call [`ServerHandle::shutdown`] then [`ServerHandle::join`] (or send
+/// the wire `SHUTDOWN` command).
+pub struct ServerHandle {
+    state: Arc<SharedState>,
+    ctrl: Arc<Ctrl>,
+    addr: SocketAddr,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared accumulator (in-process snapshot/stats access for
+    /// tests and the CLI's `--verify`).
+    pub fn state(&self) -> &Arc<SharedState> {
+        &self.state
+    }
+
+    /// Begin draining: equivalent to the wire `SHUTDOWN` command.
+    pub fn shutdown(&self) {
+        self.ctrl.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Wait for the drain to complete and all threads to exit.
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Bind and start the daemon; returns once the listener is live.
+pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let state = Arc::new(SharedState::new(config.campaign_seed, config.shards));
+    let ctrl = Arc::new(Ctrl {
+        draining: AtomicBool::new(false),
+        active_uploads: AtomicU64::new(0),
+        conns: Mutex::new(Vec::new()),
+        handlers: Mutex::new(Vec::new()),
+    });
+    let accept_thread = thread::spawn({
+        let state = Arc::clone(&state);
+        let ctrl = Arc::clone(&ctrl);
+        move || accept_loop(listener, state, ctrl, config)
+    });
+    Ok(ServerHandle {
+        state,
+        ctrl,
+        addr,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    state: Arc<SharedState>,
+    ctrl: Arc<Ctrl>,
+    config: ServerConfig,
+) {
+    while !ctrl.draining.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if let Ok(clone) = stream.try_clone() {
+                    ctrl.conns.lock().push(clone);
+                }
+                let handler = thread::spawn({
+                    let state = Arc::clone(&state);
+                    let ctrl = Arc::clone(&ctrl);
+                    let config = config.clone();
+                    move || handle_conn(stream, state, ctrl, config)
+                });
+                ctrl.handlers.lock().push(handler);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    // Drain: let in-flight uploads finish...
+    while ctrl.active_uploads.load(Ordering::SeqCst) > 0 {
+        thread::sleep(Duration::from_millis(2));
+    }
+    // ...then close every remaining connection and reap the threads.
+    for conn in ctrl.conns.lock().drain(..) {
+        let _ = conn.shutdown(Shutdown::Both);
+    }
+    let handlers: Vec<_> = std::mem::take(&mut *ctrl.handlers.lock());
+    for h in handlers {
+        let _ = h.join();
+    }
+    drop(listener);
+}
+
+/// RAII in-flight-upload marker (decrements even if the handler's
+/// `catch_unwind` re-raises).
+struct UploadGuard<'a>(&'a AtomicU64);
+
+impl Drop for UploadGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn handle_conn(stream: TcpStream, state: Arc<SharedState>, ctrl: Arc<Ctrl>, config: ServerConfig) {
+    state
+        .stats
+        .connections_total
+        .fetch_add(1, Ordering::Relaxed);
+    state
+        .stats
+        .connections_active
+        .fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => {
+            state
+                .stats
+                .connections_active
+                .fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    let mut reader = BufReader::new(stream);
+    // Any read failure — clean close, timeout, force-close — ends the
+    // connection.
+    while let Ok(frame) = read_frame(&mut reader) {
+        let keep_going = match frame.kind {
+            K_UPLOAD_BEGIN => handle_upload(
+                &mut reader,
+                &mut writer,
+                &frame.payload,
+                &state,
+                &ctrl,
+                &config,
+            ),
+            K_SNAPSHOT => write_frame(&mut writer, K_OK, state.snapshot_json().as_bytes()).is_ok(),
+            K_STATS => {
+                let json =
+                    serde_json::to_string(&state.stats_report()).expect("stats report serializes");
+                write_frame(&mut writer, K_OK, json.as_bytes()).is_ok()
+            }
+            K_SHUTDOWN => {
+                ctrl.draining.store(true, Ordering::SeqCst);
+                let _ = write_frame(&mut writer, K_OK, &[]);
+                // The drain will force-close this connection; keep
+                // serving until then.
+                true
+            }
+            _ => {
+                let _ = write_frame(
+                    &mut writer,
+                    K_ERR,
+                    &err_payload(ErrorCode::Protocol, "unknown command"),
+                );
+                false
+            }
+        };
+        if !keep_going {
+            break;
+        }
+    }
+    state
+        .stats
+        .connections_active
+        .fetch_sub(1, Ordering::Relaxed);
+}
+
+/// What a finished upload hands back for the fold into shared state.
+struct Analyzed {
+    devices: BTreeMap<String, DeviceObservation>,
+    frames: u64,
+    parse_errors: u64,
+    pass_totals: Vec<(String, PassTotals)>,
+}
+
+/// Why an upload did not complete.
+enum UploadFail {
+    /// Typed refusal — the client gets an `ERR` frame.
+    Typed(ErrorCode, String),
+    /// The connection died mid-upload; nothing can be sent back.
+    ConnLost,
+}
+
+/// Drive one upload. Returns `true` if the connection may keep serving
+/// further commands (a failed upload closes the connection — after an
+/// error mid-stream the chunk framing is ambiguous, and a fresh
+/// connection is cheaper than resynchronization).
+fn handle_upload(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    header_payload: &[u8],
+    state: &Arc<SharedState>,
+    ctrl: &Arc<Ctrl>,
+    config: &ServerConfig,
+) -> bool {
+    let header: UploadHeader =
+        match serde_json::from_str(std::str::from_utf8(header_payload).unwrap_or("")) {
+            Ok(h) => h,
+            Err(e) => {
+                state.stats.uploads_failed.fetch_add(1, Ordering::Relaxed);
+                let _ = write_frame(
+                    writer,
+                    K_ERR,
+                    &err_payload(ErrorCode::BadHeader, &format!("header: {e:?}")),
+                );
+                return false;
+            }
+        };
+    // Mark in-flight BEFORE the draining check: the drain waits on this
+    // counter, so an upload that passed the check is guaranteed to
+    // complete before connections are force-closed.
+    ctrl.active_uploads.fetch_add(1, Ordering::SeqCst);
+    let _guard = UploadGuard(&ctrl.active_uploads);
+    if ctrl.draining.load(Ordering::SeqCst) {
+        state.stats.uploads_rejected.fetch_add(1, Ordering::Relaxed);
+        let _ = write_frame(
+            writer,
+            K_ERR,
+            &err_payload(ErrorCode::Draining, "server is draining"),
+        );
+        return false;
+    }
+    if header.campaign_seed != state.campaign_seed() {
+        state.stats.uploads_failed.fetch_add(1, Ordering::Relaxed);
+        let _ = write_frame(
+            writer,
+            K_ERR,
+            &err_payload(
+                ErrorCode::SeedMismatch,
+                &format!(
+                    "upload campaign {:#x}, server campaign {:#x}",
+                    header.campaign_seed,
+                    state.campaign_seed()
+                ),
+            ),
+        );
+        return false;
+    }
+    if header.lan_prefix_len > 128 {
+        state.stats.uploads_failed.fetch_add(1, Ordering::Relaxed);
+        let _ = write_frame(
+            writer,
+            K_ERR,
+            &err_payload(ErrorCode::BadHeader, "lan prefix length > 128"),
+        );
+        return false;
+    }
+
+    // Everything fallible-by-content runs under catch_unwind, exactly
+    // like a fleet pool worker: a panic is this upload's failure, never
+    // the daemon's.
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        run_upload(reader, &header, state, config)
+    }));
+    match outcome {
+        Ok(Ok(analyzed)) => {
+            let functional: BTreeMap<String, bool> = header
+                .devices
+                .iter()
+                .map(|d| (d.id.clone(), d.functional))
+                .collect();
+            state.absorb_home(
+                header.home_index,
+                &header.config_label,
+                &analyzed.devices,
+                &functional,
+                analyzed.frames,
+            );
+            state.record_pass_totals(&analyzed.pass_totals);
+            state.stats.uploads_ok.fetch_add(1, Ordering::Relaxed);
+            state
+                .stats
+                .frames_total
+                .fetch_add(analyzed.frames, Ordering::Relaxed);
+            state
+                .stats
+                .parse_errors
+                .fetch_add(analyzed.parse_errors, Ordering::Relaxed);
+            let ack = UploadAck {
+                home_index: header.home_index,
+                frames: analyzed.frames,
+                parse_errors: analyzed.parse_errors,
+            };
+            let json = serde_json::to_string(&ack).expect("ack serializes");
+            write_frame(writer, K_OK, json.as_bytes()).is_ok()
+        }
+        Ok(Err(UploadFail::Typed(code, detail))) => {
+            state.stats.uploads_failed.fetch_add(1, Ordering::Relaxed);
+            let _ = write_frame(writer, K_ERR, &err_payload(code, &detail));
+            false
+        }
+        Ok(Err(UploadFail::ConnLost)) => {
+            state.stats.uploads_failed.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+        Err(panic) => {
+            state.stats.uploads_failed.fetch_add(1, Ordering::Relaxed);
+            let msg = panic_message(&panic);
+            let _ = write_frame(writer, K_ERR, &err_payload(ErrorCode::Panic, &msg));
+            false
+        }
+    }
+}
+
+/// Stream the upload's chunks through decode + analysis. Shared state
+/// is deliberately out of reach here — the fold happens in the caller,
+/// only after this returned successfully.
+fn run_upload(
+    reader: &mut BufReader<TcpStream>,
+    header: &UploadHeader,
+    state: &Arc<SharedState>,
+    config: &ServerConfig,
+) -> Result<Analyzed, UploadFail> {
+    let macs: Vec<(Mac, String)> = header
+        .devices
+        .iter()
+        .map(|d| (d.mac, d.id.clone()))
+        .collect();
+    let lan = Cidr::new(header.lan_prefix, header.lan_prefix_len);
+    let mut analyzer = StreamingAnalyzer::with_passes(&macs, lan, POPULATION_PASSES);
+    analyzer.enable_metrics();
+    let mut decoder = StreamDecoder::new();
+    let mut total_bytes = 0u64;
+    let started = Instant::now();
+    loop {
+        let frame = match read_frame(reader) {
+            Ok(f) => f,
+            Err(WireError::Oversized(n)) => {
+                return Err(UploadFail::Typed(
+                    ErrorCode::Protocol,
+                    format!("oversized frame ({n} bytes)"),
+                ))
+            }
+            Err(_) => return Err(UploadFail::ConnLost),
+        };
+        match frame.kind {
+            K_UPLOAD_CHUNK => {
+                total_bytes += frame.payload.len() as u64;
+                state
+                    .stats
+                    .bytes_received
+                    .fetch_add(frame.payload.len() as u64, Ordering::Relaxed);
+                if total_bytes > config.max_upload_bytes {
+                    return Err(UploadFail::Typed(
+                        ErrorCode::TooLarge,
+                        format!("upload exceeds {} byte limit", config.max_upload_bytes),
+                    ));
+                }
+                if started.elapsed() > config.max_upload_time {
+                    return Err(UploadFail::Typed(
+                        ErrorCode::Timeout,
+                        format!("upload exceeded {:?}", config.max_upload_time),
+                    ));
+                }
+                decoder
+                    .feed(&frame.payload, &mut |ts, f| analyzer.feed(ts, f))
+                    .map_err(|e| UploadFail::Typed(ErrorCode::BadCapture, e.to_string()))?;
+            }
+            K_UPLOAD_END => {
+                if header.chaos_panic {
+                    panic!(
+                        "chaos: poisoned upload for home {} (campaign {:#x})",
+                        header.home_index, header.campaign_seed
+                    );
+                }
+                decoder
+                    .finish()
+                    .map_err(|e| UploadFail::Typed(ErrorCode::BadCapture, e.to_string()))?;
+                let frames = analyzer.frames_fed();
+                let parse_errors = analyzer.parse_errors();
+                let pass_totals = analyzer
+                    .pass_metrics()
+                    .into_iter()
+                    .map(|(id, m)| {
+                        (
+                            id.label().to_string(),
+                            PassTotals {
+                                frames: m.frames,
+                                nanos: m.nanos,
+                            },
+                        )
+                    })
+                    .collect();
+                let analysis = analyzer.finish();
+                return Ok(Analyzed {
+                    devices: analysis.devices,
+                    frames,
+                    parse_errors,
+                    pass_totals,
+                });
+            }
+            _ => {
+                return Err(UploadFail::Typed(
+                    ErrorCode::Protocol,
+                    "expected UPLOAD_CHUNK or UPLOAD_END".to_string(),
+                ))
+            }
+        }
+    }
+}
+
+/// Render a panic payload (same shapes `fleet::pool` handles).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}

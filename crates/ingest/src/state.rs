@@ -1,0 +1,245 @@
+//! Shared server state: a lock-striped population accumulator plus
+//! lock-free statistics counters.
+//!
+//! Each uploaded home folds into exactly one shard (selected by
+//! `home_index % shards`), so concurrent uploads of different homes
+//! contend only when they hash to the same stripe. A snapshot merges
+//! the shards **in index order** into a fresh report; because
+//! [`PopulationReport`] merging is associative and commutative over
+//! integer counters in `BTreeMap`s, the merged snapshot is
+//! byte-identical to the offline fleet pool's sequential fold no matter
+//! which connections, in which order, at which concurrency, fed the
+//! shards — the server==fleet equivalence spine of this subsystem.
+
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use v6brick_core::observe::DeviceObservation;
+use v6brick_core::population::PopulationReport;
+
+/// Monotonic server counters, updated lock-free on the hot path and
+/// rendered by the `STATS` command.
+#[derive(Debug, Default)]
+pub struct IngestStats {
+    /// Connections accepted since startup.
+    pub connections_total: AtomicU64,
+    /// Connections currently open.
+    pub connections_active: AtomicU64,
+    /// Uploads folded into the population state.
+    pub uploads_ok: AtomicU64,
+    /// Uploads that failed (decode error, limit, disconnect, panic).
+    pub uploads_failed: AtomicU64,
+    /// Uploads rejected because the server was draining.
+    pub uploads_rejected: AtomicU64,
+    /// Capture frames decoded and analyzed across all uploads.
+    pub frames_total: AtomicU64,
+    /// Frames that failed lenient parsing across all uploads.
+    pub parse_errors: AtomicU64,
+    /// Raw capture bytes received in upload chunks.
+    pub bytes_received: AtomicU64,
+}
+
+/// Per-analyzer-pass execution totals across all uploads.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct PassTotals {
+    /// Frames dispatched to the pass.
+    pub frames: u64,
+    /// Wall-clock nanoseconds inside the pass.
+    pub nanos: u64,
+}
+
+/// The `STATS` reply, serialized as JSON.
+#[derive(Debug, Clone, Serialize)]
+pub struct StatsReport {
+    /// Campaign seed the server accumulates for.
+    pub campaign_seed: u64,
+    /// Shard (lock stripe) count.
+    pub shards: u64,
+    /// Connections accepted since startup.
+    pub connections_total: u64,
+    /// Connections currently open.
+    pub connections_active: u64,
+    /// Uploads folded into the population state.
+    pub uploads_ok: u64,
+    /// Uploads that failed.
+    pub uploads_failed: u64,
+    /// Uploads rejected while draining.
+    pub uploads_rejected: u64,
+    /// Frames decoded and analyzed.
+    pub frames_total: u64,
+    /// Frames that failed lenient parsing.
+    pub parse_errors: u64,
+    /// Raw upload bytes received.
+    pub bytes_received: u64,
+    /// Per-pass frame/nano totals, keyed by pass label.
+    pub passes: BTreeMap<String, PassTotals>,
+}
+
+/// The live accumulator shared by every connection handler.
+pub struct SharedState {
+    campaign_seed: u64,
+    shards: Vec<Mutex<PopulationReport>>,
+    /// Per-pass totals; coarse lock is fine — touched once per upload,
+    /// not per frame.
+    pass_totals: Mutex<BTreeMap<String, PassTotals>>,
+    /// Lock-free counters.
+    pub stats: IngestStats,
+}
+
+impl SharedState {
+    /// Fresh state for a campaign, striped over `shards` locks.
+    pub fn new(campaign_seed: u64, shards: usize) -> SharedState {
+        let shards = shards.max(1);
+        SharedState {
+            campaign_seed,
+            shards: (0..shards)
+                .map(|_| Mutex::new(PopulationReport::new(campaign_seed)))
+                .collect(),
+            pass_totals: Mutex::new(BTreeMap::new()),
+            stats: IngestStats::default(),
+        }
+    }
+
+    /// The campaign this server accumulates.
+    pub fn campaign_seed(&self) -> u64 {
+        self.campaign_seed
+    }
+
+    /// Stripe count.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Fold one successfully analyzed home into its stripe. The lock is
+    /// held only for the integer-counter fold, never during decode or
+    /// analysis.
+    pub fn absorb_home(
+        &self,
+        home_index: u64,
+        config_label: &str,
+        observations: &BTreeMap<String, DeviceObservation>,
+        functional: &BTreeMap<String, bool>,
+        frames: u64,
+    ) {
+        let shard = (home_index % self.shards.len() as u64) as usize;
+        self.shards[shard]
+            .lock()
+            .absorb_home(config_label, observations, functional, frames);
+    }
+
+    /// Add one upload's per-pass metrics to the running totals.
+    pub fn record_pass_totals(&self, per_pass: &[(String, PassTotals)]) {
+        let mut totals = self.pass_totals.lock();
+        for (label, t) in per_pass {
+            let entry = totals.entry(label.clone()).or_default();
+            entry.frames += t.frames;
+            entry.nanos += t.nanos;
+        }
+    }
+
+    /// Merge every stripe into one report. Stripes are folded in index
+    /// order, but merge commutativity makes the order irrelevant to the
+    /// result: the snapshot depends only on the *set* of absorbed homes.
+    pub fn snapshot(&self) -> PopulationReport {
+        let mut merged = PopulationReport::new(self.campaign_seed);
+        for shard in &self.shards {
+            merged.merge(&shard.lock());
+        }
+        merged
+    }
+
+    /// The merged report as canonical JSON — the `SNAPSHOT` payload,
+    /// and the byte string the equivalence tests compare against the
+    /// offline fleet run.
+    pub fn snapshot_json(&self) -> String {
+        serde_json::to_string(&self.snapshot()).expect("population report serializes")
+    }
+
+    /// Render the `STATS` reply.
+    pub fn stats_report(&self) -> StatsReport {
+        let s = &self.stats;
+        StatsReport {
+            campaign_seed: self.campaign_seed,
+            shards: self.shards.len() as u64,
+            connections_total: s.connections_total.load(Ordering::Relaxed),
+            connections_active: s.connections_active.load(Ordering::Relaxed),
+            uploads_ok: s.uploads_ok.load(Ordering::Relaxed),
+            uploads_failed: s.uploads_failed.load(Ordering::Relaxed),
+            uploads_rejected: s.uploads_rejected.load(Ordering::Relaxed),
+            frames_total: s.frames_total.load(Ordering::Relaxed),
+            parse_errors: s.parse_errors.load(Ordering::Relaxed),
+            bytes_received: s.bytes_received.load(Ordering::Relaxed),
+            passes: self.pass_totals.lock().clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_home(n: usize) -> (BTreeMap<String, DeviceObservation>, BTreeMap<String, bool>) {
+        let mut obs = BTreeMap::new();
+        let mut func = BTreeMap::new();
+        for i in 0..n {
+            obs.insert(
+                format!("dev-{i}"),
+                DeviceObservation {
+                    ndp_traffic: true,
+                    ..Default::default()
+                },
+            );
+            func.insert(format!("dev-{i}"), true);
+        }
+        (obs, func)
+    }
+
+    /// Any shard count, any absorb order: identical snapshot JSON.
+    #[test]
+    fn snapshot_is_invariant_to_sharding_and_order() {
+        let homes: Vec<_> = (0..7u64)
+            .map(|i| (i, one_home(2 + i as usize % 3)))
+            .collect();
+        let mut reference = PopulationReport::new(42);
+        for (_, (obs, func)) in &homes {
+            reference.absorb_home("Dual-stack", obs, func, 5);
+        }
+        let want = serde_json::to_string(&reference).unwrap();
+        for shards in [1, 2, 5, 16] {
+            let state = SharedState::new(42, shards);
+            // Reversed order, to prove order independence too.
+            for (index, (obs, func)) in homes.iter().rev() {
+                state.absorb_home(*index, "Dual-stack", obs, func, 5);
+            }
+            assert_eq!(state.snapshot_json(), want, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn stats_render_counts() {
+        let state = SharedState::new(7, 4);
+        state.stats.uploads_ok.fetch_add(3, Ordering::Relaxed);
+        state.record_pass_totals(&[(
+            "dns".to_string(),
+            PassTotals {
+                frames: 10,
+                nanos: 999,
+            },
+        )]);
+        state.record_pass_totals(&[(
+            "dns".to_string(),
+            PassTotals {
+                frames: 5,
+                nanos: 1,
+            },
+        )]);
+        let r = state.stats_report();
+        assert_eq!(r.uploads_ok, 3);
+        assert_eq!(r.shards, 4);
+        assert_eq!(r.passes["dns"].frames, 15);
+        assert_eq!(r.passes["dns"].nanos, 1000);
+        // The report serializes (the STATS payload path).
+        assert!(serde_json::to_string(&r).unwrap().contains("\"dns\""));
+    }
+}

@@ -1,0 +1,333 @@
+//! The `v6brickd` wire protocol: length-prefixed frames over TCP.
+//!
+//! Every message is one frame: a 1-byte kind, a 4-byte little-endian
+//! payload length, then the payload. Requests and replies share the
+//! framing; an upload is a `UPLOAD_BEGIN` (JSON [`UploadHeader`]),
+//! any number of `UPLOAD_CHUNK`s carrying raw pcap/pcapng bytes, and a
+//! closing `UPLOAD_END`. The server answers every completed request
+//! with `OK` (payload depends on the request) or `ERR` (one
+//! [`ErrorCode`] byte plus a human-readable detail string).
+//!
+//! The full frame layout, command grammar, and error-code table are
+//! documented in `EXPERIMENTS.md` ("The v6brickd wire protocol").
+
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+use std::net::Ipv6Addr;
+use v6brick_net::Mac;
+
+/// Begin an upload; payload is a JSON [`UploadHeader`].
+pub const K_UPLOAD_BEGIN: u8 = 0x01;
+/// One chunk of raw capture bytes (classic pcap or pcapng).
+pub const K_UPLOAD_CHUNK: u8 = 0x02;
+/// End of the capture stream; the server replies with an [`UploadAck`].
+pub const K_UPLOAD_END: u8 = 0x03;
+/// Request the merged population report as JSON.
+pub const K_SNAPSHOT: u8 = 0x10;
+/// Request server statistics as JSON.
+pub const K_STATS: u8 = 0x11;
+/// Ask the server to drain in-flight uploads and exit.
+pub const K_SHUTDOWN: u8 = 0x1F;
+/// Success reply; payload depends on the request.
+pub const K_OK: u8 = 0x80;
+/// Failure reply: one [`ErrorCode`] byte + UTF-8 detail.
+pub const K_ERR: u8 = 0xEE;
+
+/// Hard cap on a single frame's payload. Large uploads must be split
+/// into chunks; a length field beyond this is a protocol error, so a
+/// hostile 4 GiB length prefix can never make the server allocate.
+pub const MAX_FRAME_BYTES: usize = 1 << 22;
+
+/// Typed failure classes the server reports in an `ERR` frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Malformed framing or a command out of sequence.
+    Protocol,
+    /// The `UPLOAD_BEGIN` header did not parse or is inconsistent.
+    BadHeader,
+    /// The upload's campaign seed differs from the server's campaign.
+    SeedMismatch,
+    /// The server is draining and accepts no new uploads.
+    Draining,
+    /// The upload exceeded the per-connection size limit.
+    TooLarge,
+    /// The upload exceeded the per-upload time limit.
+    Timeout,
+    /// The capture bytes failed to decode (truncated or corrupt).
+    BadCapture,
+    /// The upload's analysis panicked; shared state is untouched.
+    Panic,
+    /// Unexpected server-side failure.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Wire value.
+    pub fn code(self) -> u8 {
+        match self {
+            ErrorCode::Protocol => 1,
+            ErrorCode::BadHeader => 2,
+            ErrorCode::SeedMismatch => 3,
+            ErrorCode::Draining => 4,
+            ErrorCode::TooLarge => 5,
+            ErrorCode::Timeout => 6,
+            ErrorCode::BadCapture => 7,
+            ErrorCode::Panic => 8,
+            ErrorCode::Internal => 9,
+        }
+    }
+
+    /// Inverse of [`ErrorCode::code`].
+    pub fn from_code(code: u8) -> Option<ErrorCode> {
+        [
+            ErrorCode::Protocol,
+            ErrorCode::BadHeader,
+            ErrorCode::SeedMismatch,
+            ErrorCode::Draining,
+            ErrorCode::TooLarge,
+            ErrorCode::Timeout,
+            ErrorCode::BadCapture,
+            ErrorCode::Panic,
+            ErrorCode::Internal,
+        ]
+        .into_iter()
+        .find(|e| e.code() == code)
+    }
+
+    /// Stable label (used in logs and docs).
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorCode::Protocol => "protocol",
+            ErrorCode::BadHeader => "bad-header",
+            ErrorCode::SeedMismatch => "seed-mismatch",
+            ErrorCode::Draining => "draining",
+            ErrorCode::TooLarge => "too-large",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::BadCapture => "bad-capture",
+            ErrorCode::Panic => "panic",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One device of an uploading home: identity plus the out-of-band
+/// functionality-check outcome. Functional status is *not* derivable
+/// from the capture — in the paper it comes from the §4.1 companion-app
+/// check, performed next to the testbed — so it rides in the header the
+/// same way the check's result rides next to the pcap on disk.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceEntry {
+    /// Stable device id (registry id).
+    pub id: String,
+    /// The device's MAC on the home LAN.
+    pub mac: Mac,
+    /// Did the device pass the functionality check?
+    pub functional: bool,
+}
+
+/// Metadata accompanying one home's capture upload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UploadHeader {
+    /// Campaign the home belongs to; must match the server's seed.
+    pub campaign_seed: u64,
+    /// The home's index within the campaign.
+    pub home_index: u64,
+    /// Network-config label (Table 2 row) the home ran under.
+    pub config_label: String,
+    /// LAN prefix address for local/Internet traffic attribution.
+    pub lan_prefix: Ipv6Addr,
+    /// LAN prefix length.
+    pub lan_prefix_len: u8,
+    /// The home's devices, in registration order.
+    pub devices: Vec<DeviceEntry>,
+    /// Chaos injection: ask the server-side analysis to panic (tests
+    /// the crash-isolation path; never set by real clients).
+    pub chaos_panic: bool,
+}
+
+/// The server's reply to a completed upload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UploadAck {
+    /// Echo of the uploaded home's index.
+    pub home_index: u64,
+    /// Frames decoded and analyzed from the capture stream.
+    pub frames: u64,
+    /// Frames that failed lenient parsing (counted, still absorbed).
+    pub parse_errors: u64,
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Message kind (one of the `K_*` constants).
+    pub kind: u8,
+    /// Raw payload.
+    pub payload: Vec<u8>,
+}
+
+/// Framing-layer failures.
+#[derive(Debug)]
+pub enum WireError {
+    /// The peer closed the connection at a frame boundary.
+    Closed,
+    /// Transport failure (includes read timeouts).
+    Io(io::Error),
+    /// A frame declared a payload beyond [`MAX_FRAME_BYTES`].
+    Oversized(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::Io(e) => write!(f, "io error: {e}"),
+            WireError::Oversized(n) => write!(f, "frame declares {n} payload bytes"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+/// Read exactly one frame.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, WireError> {
+    let mut head = [0u8; 5];
+    // A clean EOF before any header byte is a normal connection end;
+    // EOF mid-header is a protocol violation surfaced as Io.
+    match r.read(&mut head[..1]) {
+        Ok(0) => return Err(WireError::Closed),
+        Ok(_) => {}
+        Err(e) => return Err(WireError::Io(e)),
+    }
+    r.read_exact(&mut head[1..])?;
+    let kind = head[0];
+    let len = u32::from_le_bytes(head[1..5].try_into().unwrap()) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Frame { kind, payload })
+}
+
+/// Write one frame.
+pub fn write_frame<W: Write>(w: &mut W, kind: u8, payload: &[u8]) -> io::Result<()> {
+    assert!(payload.len() <= MAX_FRAME_BYTES, "oversized outgoing frame");
+    w.write_all(&[kind])?;
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Encode an `ERR` payload.
+pub fn err_payload(code: ErrorCode, detail: &str) -> Vec<u8> {
+    let mut p = Vec::with_capacity(1 + detail.len());
+    p.push(code.code());
+    p.extend_from_slice(detail.as_bytes());
+    p
+}
+
+/// Decode an `ERR` payload back into `(code, detail)`.
+pub fn parse_err_payload(payload: &[u8]) -> (Option<ErrorCode>, String) {
+    match payload.split_first() {
+        Some((code, rest)) => (
+            ErrorCode::from_code(*code),
+            String::from_utf8_lossy(rest).into_owned(),
+        ),
+        None => (None, String::new()),
+    }
+}
+
+/// Everything a client needs to replay one home at the server: the
+/// upload header plus the serialized capture bytes. The fleet side
+/// produces these (`v6brick_experiments::serve::campaign_bundles`); the
+/// load generator and `repro upload` replay them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UploadBundle {
+    /// Home metadata.
+    pub header: UploadHeader,
+    /// Serialized capture (classic pcap or pcapng — the server
+    /// auto-detects per upload).
+    pub pcap: Vec<u8>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, K_UPLOAD_CHUNK, &[1, 2, 3]).unwrap();
+        write_frame(&mut buf, K_SNAPSHOT, &[]).unwrap();
+        let mut r = &buf[..];
+        let a = read_frame(&mut r).unwrap();
+        assert_eq!((a.kind, a.payload), (K_UPLOAD_CHUNK, vec![1, 2, 3]));
+        let b = read_frame(&mut r).unwrap();
+        assert_eq!((b.kind, b.payload), (K_SNAPSHOT, vec![]));
+        assert!(matches!(read_frame(&mut r), Err(WireError::Closed)));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_refused_without_allocating() {
+        let mut buf = vec![K_UPLOAD_CHUNK];
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut &buf[..]),
+            Err(WireError::Oversized(_))
+        ));
+    }
+
+    #[test]
+    fn error_codes_roundtrip() {
+        for code in [
+            ErrorCode::Protocol,
+            ErrorCode::BadHeader,
+            ErrorCode::SeedMismatch,
+            ErrorCode::Draining,
+            ErrorCode::TooLarge,
+            ErrorCode::Timeout,
+            ErrorCode::BadCapture,
+            ErrorCode::Panic,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_code(code.code()), Some(code));
+            assert!(!code.label().is_empty());
+        }
+        assert_eq!(ErrorCode::from_code(0), None);
+        let (code, detail) = parse_err_payload(&err_payload(ErrorCode::Draining, "later"));
+        assert_eq!(code, Some(ErrorCode::Draining));
+        assert_eq!(detail, "later");
+    }
+
+    #[test]
+    fn header_json_roundtrip() {
+        let h = UploadHeader {
+            campaign_seed: 0x6b1c,
+            home_index: 3,
+            config_label: "IPv6-only".to_string(),
+            lan_prefix: "fd00:6b1c::".parse().unwrap(),
+            lan_prefix_len: 64,
+            devices: vec![DeviceEntry {
+                id: "nest_camera".to_string(),
+                mac: Mac::new(2, 0, 0, 0, 0, 9),
+                functional: true,
+            }],
+            chaos_panic: false,
+        };
+        let json = serde_json::to_string(&h).unwrap();
+        let back: UploadHeader = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h);
+    }
+}

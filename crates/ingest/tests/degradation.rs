@@ -1,0 +1,332 @@
+//! Graceful-degradation coverage for `v6brickd`: every way an upload
+//! can go wrong — disconnect mid-stream, size limit, chaos panic,
+//! draining — must fail *typed*, bump the failure counters, and leave
+//! the shared population snapshot exactly as if the upload never
+//! happened.
+
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+use v6brick_ingest::wire::{
+    read_frame, write_frame, K_OK, K_UPLOAD_BEGIN, K_UPLOAD_CHUNK, K_UPLOAD_END,
+};
+use v6brick_ingest::{
+    loadgen, spawn, Client, DeviceEntry, ErrorCode, ServerConfig, ServerHandle, UploadBundle,
+    UploadHeader,
+};
+use v6brick_net::ethernet::{EtherType, Repr as EthRepr};
+use v6brick_net::Mac;
+use v6brick_pcap::{format, Capture};
+
+const SEED: u64 = 0xD0_6B1C;
+
+/// A tiny but structurally valid classic pcap: `frames` Ethernet frames
+/// with an unroutable ethertype (the analyzer counts them; content is
+/// irrelevant to these tests).
+fn synth_pcap(frames: usize, mac: Mac) -> Vec<u8> {
+    let mut cap = Capture::new();
+    for i in 0..frames {
+        let bytes = EthRepr {
+            src: mac,
+            dst: Mac::BROADCAST,
+            ethertype: EtherType::Other(0x1234),
+        }
+        .build(&[0u8; 8]);
+        cap.push(i as u64 * 1_000, &bytes);
+    }
+    format::to_bytes(&cap)
+}
+
+fn mac_for(home: u64) -> Mac {
+    Mac::new(2, 0, 0, 0, (home >> 8) as u8, home as u8)
+}
+
+fn header_for(home: u64, chaos: bool) -> UploadHeader {
+    UploadHeader {
+        campaign_seed: SEED,
+        home_index: home,
+        config_label: "Dual-stack".to_string(),
+        lan_prefix: "fd00:6b1c::".parse().unwrap(),
+        lan_prefix_len: 64,
+        devices: vec![DeviceEntry {
+            id: format!("dev-{home}"),
+            mac: mac_for(home),
+            functional: true,
+        }],
+        chaos_panic: chaos,
+    }
+}
+
+fn bundle_for(home: u64, frames: usize) -> UploadBundle {
+    UploadBundle {
+        header: header_for(home, false),
+        pcap: synth_pcap(frames, mac_for(home)),
+    }
+}
+
+fn spawn_server(config: ServerConfig) -> ServerHandle {
+    spawn(config).expect("server binds an ephemeral port")
+}
+
+fn default_server() -> ServerHandle {
+    spawn_server(ServerConfig {
+        campaign_seed: SEED,
+        ..Default::default()
+    })
+}
+
+/// Poll a counter until it reaches `want` (the server acknowledges
+/// failures asynchronously to the client-side socket close).
+fn wait_for(what: &str, read: impl Fn() -> u64, want: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let got = read();
+        if got >= want {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {what} >= {want} (got {got})"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn mid_upload_disconnect_is_counted_and_leaves_snapshot_unpoisoned() {
+    let handle = default_server();
+    let clean = handle.state().snapshot_json();
+
+    // Hand-drive the wire: BEGIN + one chunk, then vanish.
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    let header = serde_json::to_string(&header_for(0, false)).unwrap();
+    write_frame(&mut stream, K_UPLOAD_BEGIN, header.as_bytes()).unwrap();
+    let pcap = synth_pcap(10, mac_for(0));
+    write_frame(&mut stream, K_UPLOAD_CHUNK, &pcap[..pcap.len() / 2]).unwrap();
+    drop(stream);
+
+    let state = handle.state().clone();
+    wait_for(
+        "uploads_failed",
+        move || state.stats.uploads_failed.load(Ordering::Relaxed),
+        1,
+    );
+    // The half-fed home left no trace in the population state...
+    assert_eq!(handle.state().snapshot_json(), clean);
+
+    // ...and the server keeps serving: a fresh upload succeeds.
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let ack = client.upload_bundle(&bundle_for(1, 5), 512).unwrap();
+    assert_eq!(ack.home_index, 1);
+    assert_eq!(ack.frames, 5);
+    assert_eq!(handle.state().stats.uploads_ok.load(Ordering::Relaxed), 1);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn oversized_upload_is_rejected_at_the_limit() {
+    let handle = spawn_server(ServerConfig {
+        campaign_seed: SEED,
+        max_upload_bytes: 1024,
+        ..Default::default()
+    });
+    let clean = handle.state().snapshot_json();
+
+    // ~4 KiB capture against a 1 KiB limit, chunked so the limit trips
+    // mid-stream rather than on the first frame.
+    let big = bundle_for(0, 100);
+    assert!(big.pcap.len() > 1024);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let err = client.upload_bundle(&big, 256).unwrap_err();
+    assert_eq!(err.server_code(), Some(ErrorCode::TooLarge));
+    assert_eq!(
+        handle.state().stats.uploads_failed.load(Ordering::Relaxed),
+        1
+    );
+    assert_eq!(handle.state().snapshot_json(), clean);
+
+    // A within-limit upload on a fresh connection still lands.
+    let small = bundle_for(1, 3);
+    assert!(small.pcap.len() <= 1024);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let ack = client.upload_bundle(&small, 256).unwrap();
+    assert_eq!(ack.frames, 3);
+    assert_ne!(handle.state().snapshot_json(), clean);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn chaos_panic_upload_bumps_stats_but_never_poisons_the_snapshot() {
+    let handle = default_server();
+
+    // The poisoned upload: valid capture, chaos_panic header flag.
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let chaos = UploadBundle {
+        header: header_for(0, true),
+        pcap: synth_pcap(5, mac_for(0)),
+    };
+    let err = client.upload_bundle(&chaos, 512).unwrap_err();
+    assert_eq!(err.server_code(), Some(ErrorCode::Panic));
+
+    // A clean home on a fresh connection is unaffected.
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.upload_bundle(&bundle_for(1, 5), 512).unwrap();
+
+    // STATS: failure counted, success counted.
+    let stats = handle.state().stats_report();
+    assert_eq!(stats.uploads_failed, 1);
+    assert_eq!(stats.uploads_ok, 1);
+
+    // SNAPSHOT: byte-identical to a server that never saw the chaos
+    // upload at all.
+    let reference = default_server();
+    let mut client = Client::connect(reference.addr()).unwrap();
+    client.upload_bundle(&bundle_for(1, 5), 512).unwrap();
+    assert_eq!(
+        handle.state().snapshot_json(),
+        reference.state().snapshot_json()
+    );
+
+    reference.shutdown();
+    reference.join();
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn drain_finishes_inflight_uploads_and_refuses_new_ones() {
+    let handle = default_server();
+
+    // Connection A: an upload caught mid-stream when the drain begins.
+    let mut a = TcpStream::connect(handle.addr()).unwrap();
+    let header = serde_json::to_string(&header_for(0, false)).unwrap();
+    write_frame(&mut a, K_UPLOAD_BEGIN, header.as_bytes()).unwrap();
+    let pcap = synth_pcap(10, mac_for(0));
+    write_frame(&mut a, K_UPLOAD_CHUNK, &pcap[..pcap.len() / 2]).unwrap();
+    // Only once the server consumed a chunk is the upload provably past
+    // the draining check (in-flight).
+    let state = handle.state().clone();
+    wait_for(
+        "bytes_received",
+        move || state.stats.bytes_received.load(Ordering::Relaxed),
+        1,
+    );
+
+    // Connection B must be *accepted* (not just connected — a backlogged
+    // socket would never be served once draining starts) before the
+    // drain begins.
+    let mut b = Client::connect(handle.addr()).unwrap();
+    let state = handle.state().clone();
+    wait_for(
+        "connections_total",
+        move || state.stats.connections_total.load(Ordering::Relaxed),
+        2,
+    );
+    handle.shutdown();
+
+    // B's new upload is refused with a typed `draining` error.
+    let err = b.upload_bundle(&bundle_for(1, 3), 512).unwrap_err();
+    assert_eq!(err.server_code(), Some(ErrorCode::Draining));
+
+    // A's in-flight upload still runs to an acknowledged completion.
+    write_frame(&mut a, K_UPLOAD_CHUNK, &pcap[pcap.len() / 2..]).unwrap();
+    write_frame(&mut a, K_UPLOAD_END, &[]).unwrap();
+    let reply = read_frame(&mut a).unwrap();
+    assert_eq!(reply.kind, K_OK);
+
+    let state = handle.state().clone();
+    let addr = handle.addr();
+    handle.join();
+    assert_eq!(state.stats.uploads_ok.load(Ordering::Relaxed), 1);
+    assert_eq!(state.stats.uploads_rejected.load(Ordering::Relaxed), 1);
+    // The listener is gone after the drain.
+    assert!(TcpStream::connect(addr).is_err());
+}
+
+#[test]
+fn sixteen_clients_uploading_concurrently_corrupt_nothing() {
+    const HOMES: u64 = 32;
+    const FRAMES: usize = 3;
+    let bundles: Vec<UploadBundle> = (0..HOMES).map(|h| bundle_for(h, FRAMES)).collect();
+
+    // 16 concurrent clients against a striped server...
+    let concurrent = spawn_server(ServerConfig {
+        campaign_seed: SEED,
+        shards: 8,
+        ..Default::default()
+    });
+    let addr = concurrent.addr().to_string();
+    let load = loadgen::run(&addr, &bundles, 16, SEED).unwrap();
+    assert_eq!(load.failures(), 0);
+    assert_eq!(load.uploads(), HOMES);
+    assert_eq!(load.frames(), HOMES * FRAMES as u64);
+    // Deterministic per-client counts: exactly the static partition.
+    for report in &load.per_client {
+        let assigned = loadgen::client_partition(HOMES as usize, 16, report.client);
+        assert_eq!(
+            report.uploads,
+            assigned.len() as u64,
+            "client {}",
+            report.client
+        );
+        assert_eq!(report.frames, (assigned.len() * FRAMES) as u64);
+        assert_eq!(
+            report.chunk_size,
+            loadgen::client_chunk_size(SEED, report.client)
+        );
+    }
+
+    // ...snapshots byte-identically to one client against one stripe.
+    let serial = spawn_server(ServerConfig {
+        campaign_seed: SEED,
+        shards: 1,
+        ..Default::default()
+    });
+    let serial_addr = serial.addr().to_string();
+    let serial_load = loadgen::run(&serial_addr, &bundles, 1, SEED).unwrap();
+    assert_eq!(serial_load.failures(), 0);
+    assert_eq!(
+        concurrent.state().snapshot_json(),
+        serial.state().snapshot_json()
+    );
+
+    serial.shutdown();
+    serial.join();
+    concurrent.shutdown();
+    concurrent.join();
+    // The drained listener no longer accepts connections.
+    assert!(TcpStream::connect(&*addr).is_err());
+}
+
+#[test]
+fn wrong_campaign_and_bad_header_are_typed_refusals() {
+    let handle = default_server();
+    let clean = handle.state().snapshot_json();
+
+    // Seed mismatch.
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let mut wrong = bundle_for(0, 3);
+    wrong.header.campaign_seed = SEED ^ 1;
+    let err = client.upload_bundle(&wrong, 512).unwrap_err();
+    assert_eq!(err.server_code(), Some(ErrorCode::SeedMismatch));
+
+    // Garbage capture bytes under a valid header.
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let garbage = UploadBundle {
+        header: header_for(1, false),
+        pcap: b"this is not a pcap at all".to_vec(),
+    };
+    let err = client.upload_bundle(&garbage, 512).unwrap_err();
+    assert_eq!(err.server_code(), Some(ErrorCode::BadCapture));
+
+    let stats = handle.state().stats_report();
+    assert_eq!(stats.uploads_failed, 2);
+    assert_eq!(handle.state().snapshot_json(), clean);
+
+    handle.shutdown();
+    handle.join();
+}

@@ -14,6 +14,10 @@ const MAGIC_NSEC: u32 = 0xa1b2_3c4d;
 const LINKTYPE_ETHERNET: u32 = 1;
 /// tcpdump's default snap length.
 const SNAPLEN: u32 = 262_144;
+/// Upper bound on a single record's captured length accepted on read —
+/// far above any real snap length, low enough that a corrupt length
+/// field cannot make a streaming reader buffer unbounded input.
+pub(crate) const MAX_RECORD_BYTES: usize = 1 << 22;
 
 /// Errors arising from pcap (de)serialization.
 #[derive(Debug)]
@@ -24,8 +28,24 @@ pub enum PcapError {
     BadMagic(u32),
     /// Linktype other than Ethernet.
     UnsupportedLinkType(u32),
-    /// A record header declares more bytes than remain.
+    /// Structurally corrupt input: a record or block whose framing is
+    /// internally inconsistent (misaligned lengths, overflowing payload
+    /// bounds, mismatched trailing length).
     TruncatedRecord,
+    /// The stream ended mid-record (or mid-block): everything before
+    /// `offset` parsed cleanly, `pending` tail bytes do not form a
+    /// complete record. Distinct from [`PcapError::TruncatedRecord`] so
+    /// network-facing callers can tell a cut-short upload (retryable,
+    /// prefix usable) from corruption.
+    PartialTail {
+        /// Byte offset of the last cleanly parsed record boundary.
+        offset: u64,
+        /// Unconsumed bytes after that boundary.
+        pending: usize,
+    },
+    /// A record declares a captured length beyond any plausible snap
+    /// length — refused before buffering it.
+    OversizedRecord(usize),
 }
 
 impl std::fmt::Display for PcapError {
@@ -35,6 +55,13 @@ impl std::fmt::Display for PcapError {
             PcapError::BadMagic(m) => write!(f, "unknown pcap magic 0x{m:08x}"),
             PcapError::UnsupportedLinkType(l) => write!(f, "unsupported linktype {l}"),
             PcapError::TruncatedRecord => write!(f, "truncated pcap record"),
+            PcapError::PartialTail { offset, pending } => write!(
+                f,
+                "stream ends mid-record: {pending} pending bytes after clean offset {offset}"
+            ),
+            PcapError::OversizedRecord(n) => {
+                write!(f, "record declares {n} captured bytes (over the snap cap)")
+            }
         }
     }
 }
@@ -116,7 +143,7 @@ pub fn from_bytes(buf: &[u8]) -> Result<Capture, PcapError> {
     let mut pos = 24;
     while pos + 16 <= buf.len() {
         let incl = u32_at(pos + 8) as usize;
-        if pos + 16 + incl > buf.len() {
+        if incl > MAX_RECORD_BYTES || pos + 16 + incl > buf.len() {
             break; // the parse loop below reports the truncation
         }
         pos += 16 + incl;
@@ -125,12 +152,21 @@ pub fn from_bytes(buf: &[u8]) -> Result<Capture, PcapError> {
     let mut packets = Vec::with_capacity(count);
     let mut pos = 24;
     while pos + 16 <= buf.len() {
+        let record_start = pos;
         let sec = u64::from(u32_at(pos));
         let sub = u64::from(u32_at(pos + 4));
         let incl = u32_at(pos + 8) as usize;
+        if incl > MAX_RECORD_BYTES {
+            return Err(PcapError::OversizedRecord(incl));
+        }
         pos += 16;
         if pos + incl > buf.len() {
-            return Err(PcapError::TruncatedRecord);
+            // The stream ends inside this record's payload: everything
+            // before it parsed cleanly.
+            return Err(PcapError::PartialTail {
+                offset: record_start as u64,
+                pending: buf.len() - record_start,
+            });
         }
         let usec = if nsec { sub / 1000 } else { sub };
         packets.push(CapturedPacket {
@@ -140,7 +176,11 @@ pub fn from_bytes(buf: &[u8]) -> Result<Capture, PcapError> {
         pos += incl;
     }
     if pos != buf.len() {
-        return Err(PcapError::TruncatedRecord);
+        // 1..15 tail bytes: not even a complete record header.
+        return Err(PcapError::PartialTail {
+            offset: pos as u64,
+            pending: buf.len() - pos,
+        });
     }
     packets.sort_by_key(|p| p.timestamp_us);
     Ok(packets.into_iter().collect())
@@ -234,12 +274,33 @@ mod tests {
     }
 
     #[test]
-    fn rejects_truncated_record() {
+    fn truncated_record_reports_typed_partial_tail() {
+        let bytes = to_bytes(&sample_capture());
+        // Cut mid-payload of the second record: the first record (24..60)
+        // parsed cleanly, the tail is pending.
+        let cut = &bytes[..bytes.len() - 3];
+        match from_bytes(cut) {
+            Err(PcapError::PartialTail { offset, pending }) => {
+                assert_eq!(offset, 60);
+                assert_eq!(pending, cut.len() - 60);
+            }
+            other => panic!("expected PartialTail, got {other:?}"),
+        }
+        // Cut mid-record-header: same typed error.
+        assert!(matches!(
+            from_bytes(&bytes[..24 + 7]),
+            Err(PcapError::PartialTail { offset: 24, .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_record_length_rejected() {
         let mut bytes = to_bytes(&sample_capture());
-        bytes.truncate(bytes.len() - 3);
+        // Corrupt the first record's incl_len to an absurd value.
+        bytes[32..36].copy_from_slice(&(u32::MAX / 2).to_le_bytes());
         assert!(matches!(
             from_bytes(&bytes),
-            Err(PcapError::TruncatedRecord)
+            Err(PcapError::OversizedRecord(_))
         ));
     }
 }

@@ -16,6 +16,7 @@ pub mod filter;
 pub mod format;
 pub mod pcapng;
 pub mod stats;
+pub mod stream;
 
 use bytes::Bytes;
 use v6brick_net::parse::{self, ParsedPacket};

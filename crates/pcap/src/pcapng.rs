@@ -12,7 +12,7 @@ use bytes::Bytes;
 
 const BLOCK_SHB: u32 = 0x0A0D_0D0A;
 const BLOCK_IDB: u32 = 0x0000_0001;
-const BLOCK_EPB: u32 = 0x0000_0006;
+pub(crate) const BLOCK_EPB: u32 = 0x0000_0006;
 const BYTE_ORDER_MAGIC: u32 = 0x1A2B_3C4D;
 const LINKTYPE_ETHERNET: u16 = 1;
 
@@ -63,81 +63,177 @@ pub fn to_bytes(capture: &Capture) -> Vec<u8> {
     out
 }
 
-/// Deserialize a pcapng stream (single or multi-section; unknown block
-/// types are skipped, as the format requires).
-pub fn from_bytes(buf: &[u8]) -> Result<Capture, PcapError> {
-    if buf.len() < 12 {
-        return Err(PcapError::TruncatedRecord);
+/// One parsed block header: `(type, body offset, total length)`.
+pub(crate) type BlockHead = (u32, usize, usize);
+
+/// A cursor over a pcapng block chain that tracks the **per-section**
+/// byte order: each Section Header Block re-establishes endianness for
+/// the blocks that follow it, so a file concatenating a little-endian
+/// and a big-endian section (legal per the spec — each capture host
+/// writes its native order) parses correctly.
+pub(crate) struct BlockWalker<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    big_endian: bool,
+}
+
+impl<'a> BlockWalker<'a> {
+    /// Validate the leading SHB and position the cursor at block 0.
+    pub(crate) fn new(buf: &'a [u8]) -> Result<BlockWalker<'a>, PcapError> {
+        if buf.len() < 4 {
+            return Err(PcapError::TruncatedRecord);
+        }
+        // The SHB type value is a byte-order palindrome, so this check
+        // is endianness-independent.
+        let first_type = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+        if first_type != BLOCK_SHB {
+            return Err(PcapError::BadMagic(first_type));
+        }
+        Ok(BlockWalker {
+            buf,
+            pos: 0,
+            big_endian: false,
+        })
     }
-    // The SHB carries the byte-order magic at offset 8.
-    let first_type = u32::from_le_bytes(buf[0..4].try_into().unwrap());
-    if first_type != BLOCK_SHB {
-        return Err(PcapError::BadMagic(first_type));
+
+    /// Resume mid-chain at a block boundary, with the byte order the
+    /// enclosing section established. The streaming decoder re-enters
+    /// here on every fed chunk.
+    pub(crate) fn resume(buf: &'a [u8], big_endian: bool) -> BlockWalker<'a> {
+        BlockWalker {
+            buf,
+            pos: 0,
+            big_endian,
+        }
     }
-    let magic_le = u32::from_le_bytes(buf[8..12].try_into().unwrap());
-    let big_endian = match magic_le {
-        BYTE_ORDER_MAGIC => false,
-        m if m.swap_bytes() == BYTE_ORDER_MAGIC => true,
-        m => return Err(PcapError::BadMagic(m)),
-    };
-    let u32_at = |off: usize| -> Result<u32, PcapError> {
-        let b: [u8; 4] = buf
+
+    /// Cursor position (the next unconsumed block boundary).
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// The byte order currently in force.
+    pub(crate) fn big_endian(&self) -> bool {
+        self.big_endian
+    }
+
+    fn u32_at(&self, off: usize) -> Result<u32, PcapError> {
+        let b: [u8; 4] = self
+            .buf
             .get(off..off + 4)
             .ok_or(PcapError::TruncatedRecord)?
             .try_into()
             .unwrap();
-        Ok(if big_endian {
+        Ok(if self.big_endian {
             u32::from_be_bytes(b)
         } else {
             u32::from_le_bytes(b)
         })
-    };
+    }
 
+    /// Advance to the next block. `Ok(None)` at a clean end of input;
+    /// [`PcapError::PartialTail`] when the input ends mid-block.
+    pub(crate) fn next_block(&mut self) -> Result<Option<BlockHead>, PcapError> {
+        let (buf, pos) = (self.buf, self.pos);
+        if pos == buf.len() {
+            return Ok(None);
+        }
+        if pos + 12 > buf.len() {
+            return Err(PcapError::PartialTail {
+                offset: pos as u64,
+                pending: buf.len() - pos,
+            });
+        }
+        // The block type is written in the section's byte order, but
+        // SHB's value is a palindrome — safe to test before switching.
+        let raw_type = self.u32_at(pos)?;
+        if raw_type == BLOCK_SHB {
+            // A new section: its byte-order magic governs everything
+            // from this block's own length field onward.
+            let magic_le = u32::from_le_bytes(buf[pos + 8..pos + 12].try_into().unwrap());
+            self.big_endian = match magic_le {
+                BYTE_ORDER_MAGIC => false,
+                m if m.swap_bytes() == BYTE_ORDER_MAGIC => true,
+                m => return Err(PcapError::BadMagic(m)),
+            };
+        }
+        let block_type = self.u32_at(pos)?;
+        let total = self.u32_at(pos + 4)? as usize;
+        if total < 12 || !total.is_multiple_of(4) {
+            return Err(PcapError::TruncatedRecord);
+        }
+        if total > MAX_BLOCK_BYTES {
+            return Err(PcapError::OversizedRecord(total));
+        }
+        if pos + total > buf.len() {
+            return Err(PcapError::PartialTail {
+                offset: pos as u64,
+                pending: buf.len() - pos,
+            });
+        }
+        // Trailing length must agree (format self-check).
+        if self.u32_at(pos + total - 4)? as usize != total {
+            return Err(PcapError::TruncatedRecord);
+        }
+        self.pos = pos + total;
+        Ok(Some((block_type, pos + 8, total)))
+    }
+
+    /// Decode the packet out of an EPB located by [`Self::next_block`].
+    pub(crate) fn decode_epb(
+        &self,
+        body: usize,
+        total: usize,
+    ) -> Result<(u64, &'a [u8]), PcapError> {
+        let ts_hi = u64::from(self.u32_at(body + 4)?);
+        let ts_lo = u64::from(self.u32_at(body + 8)?);
+        let captured = self.u32_at(body + 12)? as usize;
+        let data_start = body + 20;
+        // body == block start + 8; the trailing length occupies the
+        // final 4 bytes of the block.
+        if data_start + captured > body - 8 + total - 4 {
+            return Err(PcapError::TruncatedRecord);
+        }
+        Ok((
+            (ts_hi << 32) | ts_lo,
+            &self.buf[data_start..data_start + captured],
+        ))
+    }
+}
+
+/// Upper bound on a single block's declared length — generous for any
+/// real EPB, small enough that corrupt lengths cannot make a streaming
+/// reader buffer unbounded input.
+pub(crate) const MAX_BLOCK_BYTES: usize = crate::format::MAX_RECORD_BYTES + 64;
+
+/// Deserialize a pcapng stream (single or multi-section, sections of
+/// either endianness; unknown block types are skipped, as the format
+/// requires). Sections without interfaces or packets are valid and
+/// contribute nothing; a stream cut mid-block yields the typed
+/// [`PcapError::PartialTail`] rather than a generic failure.
+pub fn from_bytes(buf: &[u8]) -> Result<Capture, PcapError> {
     // Pre-scan the block chain (headers only) to count EPBs, so the
     // packet vector is allocated exactly once.
     let mut count = 0usize;
-    let mut pos = 0usize;
-    while pos + 12 <= buf.len() {
-        let total = u32_at(pos + 4)? as usize;
-        if total < 12 || !total.is_multiple_of(4) || pos + total > buf.len() {
-            break; // the parse loop below reports the truncation
-        }
-        if u32_at(pos)? == BLOCK_EPB {
+    let mut scout = BlockWalker::new(buf)?;
+    // An erroring scout just stops counting early; the parse loop below
+    // reports errors with full context.
+    while let Ok(Some((block_type, _, _))) = scout.next_block() {
+        if block_type == BLOCK_EPB {
             count += 1;
         }
-        pos += total;
     }
     let mut packets: Vec<CapturedPacket> = Vec::with_capacity(count);
-    let mut pos = 0usize;
-    while pos + 12 <= buf.len() {
-        let block_type = u32_at(pos)?;
-        let total = u32_at(pos + 4)? as usize;
-        if total < 12 || !total.is_multiple_of(4) || pos + total > buf.len() {
-            return Err(PcapError::TruncatedRecord);
-        }
-        // Trailing length must agree (format self-check).
-        if u32_at(pos + total - 4)? as usize != total {
-            return Err(PcapError::TruncatedRecord);
-        }
+    let mut walker = BlockWalker::new(buf)?;
+    while let Some((block_type, body, total)) = walker.next_block()? {
         if block_type == BLOCK_EPB {
-            let body = pos + 8;
-            let ts_hi = u64::from(u32_at(body + 4)?);
-            let ts_lo = u64::from(u32_at(body + 8)?);
-            let captured = u32_at(body + 12)? as usize;
-            let data_start = body + 20;
-            if data_start + captured > pos + total - 4 {
-                return Err(PcapError::TruncatedRecord);
-            }
+            let (timestamp_us, data) = walker.decode_epb(body, total)?;
             packets.push(CapturedPacket {
-                timestamp_us: (ts_hi << 32) | ts_lo,
-                data: Bytes::copy_from_slice(&buf[data_start..data_start + captured]),
+                timestamp_us,
+                data: Bytes::copy_from_slice(data),
             });
         }
         // SHB, IDB, and anything unknown: skip.
-        pos += total;
-    }
-    if pos != buf.len() {
-        return Err(PcapError::TruncatedRecord);
     }
     packets.sort_by_key(|p| p.timestamp_us);
     Ok(packets.into_iter().collect())
@@ -228,5 +324,114 @@ mod tests {
         for cut in [bytes.len() - 1, bytes.len() - 5, 13] {
             assert!(from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
         }
+    }
+
+    /// Build one section (SHB + IDB + EPBs) in the requested byte order.
+    fn section(packets: &[(u64, &[u8])], big_endian: bool) -> Vec<u8> {
+        let w32 = |v: u32| {
+            if big_endian {
+                v.to_be_bytes()
+            } else {
+                v.to_le_bytes()
+            }
+        };
+        let mut out = Vec::new();
+        let mut block = |block_type: u32, body: &[u8]| {
+            let total = 12 + body.len() + pad4(body.len());
+            out.extend_from_slice(&w32(block_type));
+            out.extend_from_slice(&w32(total as u32));
+            out.extend_from_slice(body);
+            out.extend(std::iter::repeat_n(0u8, pad4(body.len())));
+            out.extend_from_slice(&w32(total as u32));
+        };
+        let mut shb = Vec::new();
+        shb.extend_from_slice(&w32(BYTE_ORDER_MAGIC));
+        shb.extend_from_slice(&if big_endian {
+            1u16.to_be_bytes()
+        } else {
+            1u16.to_le_bytes()
+        });
+        shb.extend_from_slice(&[0u8; 2]); // minor 0 either way
+        shb.extend_from_slice(&(-1i64).to_le_bytes());
+        block(BLOCK_SHB, &shb);
+        let mut idb = Vec::new();
+        idb.extend_from_slice(&if big_endian {
+            LINKTYPE_ETHERNET.to_be_bytes()
+        } else {
+            LINKTYPE_ETHERNET.to_le_bytes()
+        });
+        idb.extend_from_slice(&[0u8; 2]);
+        idb.extend_from_slice(&w32(262_144));
+        block(BLOCK_IDB, &idb);
+        for (ts, data) in packets {
+            let mut epb = Vec::new();
+            epb.extend_from_slice(&w32(0));
+            epb.extend_from_slice(&w32((ts >> 32) as u32));
+            epb.extend_from_slice(&w32(*ts as u32));
+            epb.extend_from_slice(&w32(data.len() as u32));
+            epb.extend_from_slice(&w32(data.len() as u32));
+            epb.extend_from_slice(data);
+            epb.extend(std::iter::repeat_n(0u8, pad4(data.len())));
+            block(BLOCK_EPB, &epb);
+        }
+        out
+    }
+
+    #[test]
+    fn mixed_endian_sections_parse_per_section() {
+        // A little-endian section followed by a big-endian one: each
+        // SHB re-establishes the byte order for its own blocks.
+        let mut bytes = section(&[(10, &[0xAA; 7])], false);
+        bytes.extend_from_slice(&section(&[(20, &[0xBB; 5])], true));
+        let c = from_bytes(&bytes).unwrap();
+        assert_eq!(c.len(), 2);
+        let frames: Vec<_> = c.iter().collect();
+        assert_eq!(frames[0].timestamp_us, 10);
+        assert_eq!(&frames[0].data[..], &[0xAA; 7]);
+        assert_eq!(frames[1].timestamp_us, 20);
+        assert_eq!(&frames[1].data[..], &[0xBB; 5]);
+    }
+
+    #[test]
+    fn empty_and_interfaceless_sections_tolerated() {
+        // A bare SHB (no IDB, no packets) is a valid, empty capture.
+        let shb_only = &to_bytes(&Capture::new())[..28];
+        assert_eq!(from_bytes(shb_only).unwrap(), Capture::new());
+        // Packets in a section that never declared an interface still
+        // decode (the reader does not require an IDB).
+        let mut interfaceless = section(&[], false)[..28].to_vec();
+        let full = section(&[(5, &[0xCC; 4])], false);
+        interfaceless.extend_from_slice(&full[full.len() - 36..]); // just the EPB
+        let c = from_bytes(&interfaceless).unwrap();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.iter().next().unwrap().timestamp_us, 5);
+        // An empty section between two populated ones is skipped.
+        let mut multi = section(&[(1, &[0x11; 2])], false);
+        multi.extend_from_slice(&section(&[], true));
+        multi.extend_from_slice(&section(&[(2, &[0x22; 2])], false));
+        assert_eq!(from_bytes(&multi).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn trailing_partial_block_is_typed() {
+        let bytes = to_bytes(&sample());
+        // Cut mid-way through the final EPB: everything before it is a
+        // clean prefix, the error names the boundary.
+        let cut = bytes.len() - 6;
+        match from_bytes(&bytes[..cut]) {
+            Err(PcapError::PartialTail { offset, pending }) => {
+                assert!(offset as usize <= cut);
+                assert_eq!(offset as usize + pending, cut);
+            }
+            other => panic!("expected PartialTail, got {other:?}"),
+        }
+        // A corrupt trailing length is corruption, not a partial tail.
+        let mut corrupt = to_bytes(&sample());
+        let n = corrupt.len();
+        corrupt[n - 2] ^= 0xFF;
+        assert!(matches!(
+            from_bytes(&corrupt),
+            Err(PcapError::TruncatedRecord)
+        ));
     }
 }
