@@ -26,9 +26,13 @@
 //! * [`ports`] — port-scan result types and v4/v6 diffing (§5.4.2).
 //! * [`population`] — mergeable population-scale aggregates for
 //!   multi-home fleet campaigns (streaming Table 3/5 marginals).
+//! * [`exposure`] — Internet-side exposure: EUI-64 hitlist
+//!   extrapolation, the dense-sweep baseline, and the mergeable
+//!   per-campaign [`ExposureReport`] of the WAN scanner.
 
 pub mod analysis;
 pub mod eui64;
+pub mod exposure;
 pub mod flows;
 pub mod observe;
 pub mod outage;
@@ -38,6 +42,7 @@ pub mod ports;
 pub mod transitions;
 
 pub use analysis::{AnalyzerPass, PassId, PassMetrics, PassSet};
+pub use exposure::{ExposureReport, HomeScanOutcome};
 pub use observe::{analyze, DeviceObservation, ExperimentAnalysis, StreamingAnalyzer};
 pub use outage::{OutageClass, OutageReport, SwitchRecord};
 pub use population::{HomeFailure, PopulationReport};

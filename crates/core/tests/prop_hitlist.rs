@@ -1,0 +1,76 @@
+//! Property tests on WAN-scanner hitlist generation: from any mix of
+//! EUI-64 and privacy-extension observations, the hitlist always covers
+//! the true SLAAC GUA of an observed device and never emits a
+//! privacy-extension temporary address.
+
+use proptest::prelude::*;
+use std::net::Ipv6Addr;
+use v6brick_core::exposure::{dense_sweep, hitlist};
+use v6brick_net::ipv6::Ipv6AddrExt;
+use v6brick_net::Mac;
+
+fn prefix_strategy() -> impl Strategy<Value = Ipv6Addr> {
+    // An arbitrary documentation-range /64.
+    (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Ipv6Addr::new(0x2001, 0xdb8, a, b, 0, 0, 0, 0))
+}
+
+fn mac_strategy() -> impl Strategy<Value = Mac> {
+    any::<[u8; 6]>().prop_map(Mac)
+}
+
+/// A privacy-extension style interface identifier: random, with the
+/// ff:fe EUI-64 marker explicitly excluded (RFC 8981 identifiers carry
+/// no structure; the 2^-16 accidental marker would misclassify).
+fn privacy_iid_strategy() -> impl Strategy<Value = [u8; 8]> {
+    any::<[u8; 8]>().prop_filter("not the EUI-64 marker", |iid| {
+        !(iid[3] == 0xff && iid[4] == 0xfe)
+    })
+}
+
+fn addr_from(prefix: Ipv6Addr, iid: [u8; 8]) -> Ipv6Addr {
+    let mut o = prefix.octets();
+    o[8..].copy_from_slice(&iid);
+    Ipv6Addr::from(o)
+}
+
+proptest! {
+    #[test]
+    fn hitlist_covers_true_gua_and_never_a_temporary_address(
+        prefix in prefix_strategy(),
+        macs in proptest::collection::vec(mac_strategy(), 1..6),
+        privacy_iids in proptest::collection::vec(privacy_iid_strategy(), 0..6),
+        neighborhood in 0u16..16,
+    ) {
+        let guas: Vec<Ipv6Addr> = macs.iter().map(|m| m.slaac_address(prefix)).collect();
+        let temporaries: Vec<Ipv6Addr> =
+            privacy_iids.iter().map(|&iid| addr_from(prefix, iid)).collect();
+        let mut observed = guas.clone();
+        observed.extend(&temporaries);
+
+        let h = hitlist(prefix, &observed, neighborhood);
+
+        // Every observed EUI-64 device's true SLAAC GUA is a candidate.
+        for gua in &guas {
+            prop_assert!(h.contains(gua), "missing true GUA {gua}");
+        }
+        // No candidate is a privacy-extension temporary address — in
+        // fact every candidate is EUI-64-format in the scanned prefix.
+        for c in &h {
+            prop_assert!(c.is_eui64(), "non-EUI-64 candidate {c}");
+            prop_assert_eq!(c.prefix64(), prefix);
+            prop_assert!(!temporaries.contains(c), "temporary address {c} leaked in");
+        }
+        // Size is bounded by observations x window (dedup can only shrink).
+        prop_assert!(h.len() as u64 <= macs.len() as u64 * (2 * u64::from(neighborhood) + 1));
+    }
+
+    #[test]
+    fn dense_sweep_is_low_iid_only(prefix in prefix_strategy(), budget in 1u32..2048) {
+        let sweep = dense_sweep(prefix, budget);
+        prop_assert_eq!(sweep.len() as u32, budget);
+        for a in &sweep {
+            prop_assert_eq!(a.prefix64(), prefix);
+            prop_assert!(a.interface_id() >= 1 && a.interface_id() <= u64::from(budget));
+        }
+    }
+}

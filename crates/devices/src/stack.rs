@@ -294,6 +294,30 @@ impl IotDevice {
         );
     }
 
+    /// Currently assigned global addresses with their formation mode
+    /// (`"eui64"`, `"privacy"`, or `"dhcpv6"`) — the ground truth the
+    /// WAN exposure scanner's hit-rate is judged against.
+    pub fn gua_inventory(&self) -> Vec<(Ipv6Addr, &'static str)> {
+        let mut v = Vec::new();
+        if let Some(a) = self.eui_gua {
+            v.push((a, "eui64"));
+        }
+        if let Some(a) = self.privacy_gua {
+            v.push((a, "privacy"));
+        }
+        if let Some(a) = self.stateful_addr {
+            v.push((a, "dhcpv6"));
+        }
+        for &a in &self.announced_extra {
+            if a.is_global_unicast() {
+                v.push((a, if a.is_eui64() { "eui64" } else { "privacy" }));
+            }
+        }
+        v.sort();
+        v.dedup_by_key(|(a, _)| *a);
+        v
+    }
+
     /// All currently assigned IPv6 addresses (diagnostics).
     pub fn v6_addresses(&self) -> Vec<Ipv6Addr> {
         [

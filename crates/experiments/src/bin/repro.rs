@@ -15,6 +15,11 @@
 //!                           # fault-injection preset (broken-v6,
 //!                           # tunnel-flap, ra-suppress, dns-servfail):
 //!                           # Table 9-style switching report as JSON
+//! repro wanscan [HOMES] [--seed S] [--workers N] [--settle SECS]
+//!               [--policy LABEL] [--json] [--verify]
+//!                           # WAN-side exposure scan across firewall
+//!                           # policies; --verify reruns at other worker
+//!                           # counts and byte-diffs the report
 //! repro bench-json [--out BENCH_pipeline.json]
 //!                           # perf trajectory probe (streaming analyzer
 //!                           # frames/sec, suite serial vs parallel,
@@ -40,7 +45,7 @@ use v6brick_experiments::render::TextTable;
 use v6brick_experiments::suite::ExperimentSuite;
 use v6brick_experiments::{
     active_dns, broken, config, enterprise, figures, fleet, reachability, scenario, serve, tables,
-    tracking,
+    tracking, wanscan,
 };
 
 fn main() {
@@ -72,6 +77,10 @@ fn main() {
         run_scenario(&args[1..]);
         return;
     }
+    if what == "wanscan" {
+        run_wanscan(&args[1..]);
+        return;
+    }
     if what == "bench-json" {
         run_bench_json(&args[1..]);
         return;
@@ -92,10 +101,7 @@ fn main() {
     if !KNOWN.contains(&what) {
         // Reject unknown artifacts *before* paying for the 6-experiment
         // suite.
-        eprintln!(
-            "unknown artifact {what:?}; try: all, table2..table13, figure2..figure5, \
-             portscan, dad, variants, tracking, enterprise, reachability, json, fleet"
-        );
+        eprintln!("unknown artifact {what:?}; {}", usage_hint());
         std::process::exit(2);
     }
 
@@ -192,13 +198,22 @@ fn main() {
             );
         }
         other => {
-            eprintln!(
-                "unknown artifact {other:?}; try: all, table2..table13, figure2..figure5, \
-                 portscan, dad, tracking, enterprise, reachability, json, fleet"
-            );
+            eprintln!("unknown artifact {other:?}; {}", usage_hint());
             std::process::exit(2);
         }
     }
+}
+
+/// The one-line help every "unknown subcommand" error carries: the full
+/// subcommand list plus the valid `--scenario` presets, so a typo never
+/// leaves the user guessing what would have worked.
+fn usage_hint() -> String {
+    format!(
+        "subcommands: all, table2..table13, figure2..figure5, portscan, dad, variants, \
+         tracking, enterprise, reachability, json, fleet, wanscan, bench-json, serve, \
+         upload, --scenario <preset>; scenario presets: {}",
+        broken::PRESETS.join(", ")
+    )
 }
 
 /// The analyzer passes the requested artifact reads — each generator
@@ -393,6 +408,138 @@ fn run_fleet(args: &[String]) {
             report.failures.len()
         );
         std::process::exit(1);
+    }
+}
+
+/// `repro wanscan [HOMES] [--seed S] [--workers N] [--settle SECS]
+/// [--policy LABEL] [--json] [--verify]`
+///
+/// Scan a fleet of homes from the Internet side under each firewall
+/// policy and print the exposure report. `--verify` reruns the campaign
+/// at other worker counts and fails unless every rerun serializes
+/// byte-identically and the policy lattice is monotonic.
+fn run_wanscan(args: &[String]) {
+    use v6brick_sim::FirewallPolicy;
+
+    let mut spec = wanscan::WanScanSpec {
+        workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        ..Default::default()
+    };
+    let mut json = false;
+    let mut verify = false;
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} needs a value");
+                    std::process::exit(2);
+                })
+                .parse::<u64>()
+                .unwrap_or_else(|e| {
+                    eprintln!("bad value for {flag}: {e}");
+                    std::process::exit(2);
+                })
+        };
+        match arg.as_str() {
+            "--seed" => spec.seed = value("--seed"),
+            "--workers" => spec.workers = (value("--workers") as usize).max(1),
+            "--settle" => spec.settle_s = value("--settle"),
+            "--policy" => {
+                let label = it.next().unwrap_or_else(|| {
+                    eprintln!("--policy needs a value");
+                    std::process::exit(2);
+                });
+                let policy = FirewallPolicy::from_label(label).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown firewall policy {label:?}; try: {}",
+                        FirewallPolicy::ALL
+                            .iter()
+                            .map(|p| p.label())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    std::process::exit(2);
+                });
+                spec.policies = vec![policy];
+            }
+            "--json" => json = true,
+            "--verify" => verify = true,
+            other if !other.starts_with('-') => positional.push(other.to_string()),
+            other => {
+                eprintln!("unknown wanscan flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(n) = positional.first() {
+        spec.homes = n.parse().unwrap_or_else(|e| {
+            eprintln!("bad home count {n:?}: {e}");
+            std::process::exit(2);
+        });
+    }
+
+    eprintln!(
+        "Scanning {} homes from the WAN side ({} workers, seed {:#x}, policies: {})...",
+        spec.homes,
+        spec.workers,
+        spec.seed,
+        spec.policies
+            .iter()
+            .map(|p| p.label())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let t0 = std::time::Instant::now();
+    let report = wanscan::run(&spec);
+    let elapsed = t0.elapsed();
+    eprintln!(
+        "   done in {elapsed:.1?} — {:.1} homes/sec ({} devices scanned, {} homes failed)",
+        report.homes as f64 / elapsed.as_secs_f64().max(1e-9),
+        report.devices,
+        report.failures.len()
+    );
+    let mut exit = 0;
+    for (index, msg) in &report.failures {
+        eprintln!("   home {index} FAILED: {msg}");
+        exit = 1;
+    }
+    for v in report.monotonic_violations() {
+        eprintln!("wanscan: policy monotonicity violated: {v}");
+        exit = 1;
+    }
+
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("serializable")
+        );
+    } else {
+        println!("{}", wanscan::render(&report));
+    }
+
+    if verify {
+        let base = serde_json::to_string(&report).expect("serializable");
+        for workers in [1, spec.workers + 1] {
+            if workers == spec.workers {
+                continue;
+            }
+            eprintln!("Verifying worker-count independence at {workers} worker(s)...");
+            let rerun = wanscan::run(&wanscan::WanScanSpec {
+                workers,
+                ..spec.clone()
+            });
+            if serde_json::to_string(&rerun).expect("serializable") == base {
+                eprintln!("   byte-identical");
+            } else {
+                eprintln!("wanscan: report DIVERGED at {workers} worker(s)");
+                exit = 1;
+            }
+        }
+    }
+    if exit != 0 {
+        std::process::exit(exit);
     }
 }
 
@@ -833,8 +980,35 @@ fn run_bench_json(args: &[String]) {
         handle.join();
     }
 
+    // --- 5. WAN exposure scan: homes/sec + cross-worker byte-identity ---
+    // A small campaign over all three firewall policies; the report must
+    // serialize byte-identically at 1 worker and at full parallelism, and
+    // the policy lattice (open >= pinholed >= default-deny per cell) must
+    // hold — both are correctness gates, not just timings.
+    let wanscan_spec = wanscan::WanScanSpec {
+        homes: 6,
+        seed: 0x5ca9,
+        workers,
+        device_range: (2, 4),
+        settle_s: 60,
+        ..Default::default()
+    };
+    eprintln!("bench-json: WAN scan, 6 homes x 3 policies on {workers} workers...");
+    let t0 = Instant::now();
+    let wan_report = wanscan::run(&wanscan_spec);
+    let wanscan_secs = t0.elapsed().as_secs_f64();
+    eprintln!("bench-json: same WAN scan, serial...");
+    let wan_serial = wanscan::run(&wanscan::WanScanSpec {
+        workers: 1,
+        ..wanscan_spec.clone()
+    });
+    let wanscan_identical = serde_json::to_string(&wan_report).expect("serializable")
+        == serde_json::to_string(&wan_serial).expect("serializable");
+    let wanscan_monotonic =
+        wan_report.monotonic_violations().is_empty() && wan_report.failures.is_empty();
+
     let out = serde_json::json!({
-        "schema": "v6brick-bench-pipeline/3",
+        "schema": "v6brick-bench-pipeline/4",
         "streaming_analyzer": serde_json::json!({
             "frames": frames,
             "bytes": bytes,
@@ -869,6 +1043,16 @@ fn run_bench_json(args: &[String]) {
             "runs": ingest_runs,
             "snapshot_identical": snapshot_identical,
         }),
+        "wanscan": serde_json::json!({
+            "homes": wan_report.homes,
+            "devices": wan_report.devices,
+            "policies": wanscan_spec.policies.len(),
+            "workers": workers,
+            "secs": wanscan_secs,
+            "homes_per_sec": wan_report.homes as f64 / wanscan_secs.max(1e-9),
+            "report_identical": wanscan_identical,
+            "monotonic": wanscan_monotonic,
+        }),
     });
     let rendered = serde_json::to_string_pretty(&out).expect("serializable");
     std::fs::write(&out_path, format!("{rendered}\n")).unwrap_or_else(|e| {
@@ -894,6 +1078,17 @@ fn run_bench_json(args: &[String]) {
         eprintln!(
             "bench-json: a v6brickd snapshot DIVERGED from the offline fleet JSON — \
              the server==fleet equivalence spine is broken"
+        );
+        std::process::exit(1);
+    }
+    if !wanscan_identical {
+        eprintln!("bench-json: the WAN exposure report DIVERGED between serial and parallel runs");
+        std::process::exit(1);
+    }
+    if !wanscan_monotonic {
+        eprintln!(
+            "bench-json: the WAN exposure report violates the firewall-policy lattice \
+             (or a home failed) — a stricter policy exposed more than a looser one"
         );
         std::process::exit(1);
     }

@@ -1,7 +1,7 @@
 //! The six network configurations of Table 2.
 
 use serde::Serialize;
-use v6brick_sim::RouterConfig;
+use v6brick_sim::{FirewallPolicy, RouterConfig};
 
 /// Which of the six connectivity experiments to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
@@ -58,6 +58,14 @@ impl NetworkConfig {
             NetworkConfig::DualStackStateful => RouterConfig::dual_stack_stateful(),
             NetworkConfig::Ipv6OnlyEnterprise => RouterConfig::ipv6_only_enterprise(),
         }
+    }
+
+    /// The same service set behind an explicit WAN-side IPv6 firewall
+    /// policy — the exposure-scan axis. Every Table 2 configuration
+    /// defaults to [`FirewallPolicy::Open`] (the routed-/64 posture the
+    /// paper's testbed ran); the WAN scanner sweeps all three.
+    pub fn router_config_with(self, firewall: FirewallPolicy) -> RouterConfig {
+        self.router_config().with_firewall(firewall)
     }
 
     /// The paper's row label.

@@ -27,6 +27,7 @@ pub mod serve;
 pub mod suite;
 pub mod tables;
 pub mod tracking;
+pub mod wanscan;
 
 pub use config::NetworkConfig;
 pub use scenario::ExperimentRun;

@@ -54,6 +54,21 @@ impl ScanPlan {
             udp: (1..=1024).collect(),
         }
     }
+
+    /// The Internet-side sweep: the service ports [`ScanPlan::quick`]
+    /// carries beyond the well-known range, plus the handful of low
+    /// well-known ports WAN scanners lead with. Small enough that a
+    /// fleet campaign can afford it against every responsive address.
+    pub fn wan() -> ScanPlan {
+        let mut tcp: Vec<u16> = vec![21, 22, 23, 53, 80, 123, 443, 554];
+        tcp.extend(ScanPlan::quick().tcp.into_iter().filter(|p| *p > 1024));
+        tcp.sort_unstable();
+        tcp.dedup();
+        ScanPlan {
+            tcp,
+            udp: vec![53, 123, 1900, 5353, 5540],
+        }
+    }
 }
 
 /// Scan results for one device over both families.

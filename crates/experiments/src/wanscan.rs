@@ -1,0 +1,541 @@
+//! The WAN-side exposure scan: what an Internet scanner reaches inside
+//! the home, per CPE firewall policy.
+//!
+//! The paper scans its devices from the LAN (§4.3); the natural
+//! follow-up — asked by "Unconsidered Installations" and "Where Have All
+//! the Firewalls Gone?" — is what the same devices expose to the v6
+//! *Internet*, where routed GUAs replace the incidental shield IPv4 NAT
+//! provided. Each home is simulated once per [`FirewallPolicy`]; an
+//! external scanner at [`scanner_addr`] then probes it through the 6in4
+//! tunnel:
+//!
+//! 1. **settle** — the home boots, addresses itself, and talks to its
+//!    clouds for [`WanScanSpec::settle_s`] virtual seconds, exactly as in
+//!    the connectivity experiments. The internet side passively records
+//!    every GUA it sees ([`Internet::observed_v6_sources`]) — the
+//!    scanner's only real-world knowledge of the home.
+//! 2. **hitlist** — the observations are extrapolated into candidate
+//!    addresses ([`exposure::hitlist`]) next to a dense low-IID sweep
+//!    baseline ([`exposure::dense_sweep`]).
+//! 3. **liveness** — one ICMPv6 echo per candidate *and* per
+//!    ground-truth address (the omniscient probe set that measures the
+//!    firewall rather than the hitlist), injected on the WAN side.
+//! 4. **service sweep** — TCP SYN / UDP probes over
+//!    [`ScanPlan`]'s WAN port set, against responsive ground-truth
+//!    addresses only (the way real scanners gate expensive sweeps on a
+//!    liveness pass).
+//!
+//! Everything folds into a byte-deterministic [`ExposureReport`]; the
+//! fleet worker pool parallelizes homes with the same crash isolation
+//! and merge discipline as the population campaigns.
+
+use crate::config::NetworkConfig;
+use crate::portscan::ScanPlan;
+use crate::scenario;
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv6Addr;
+use v6brick_core::exposure::{self, ExposureReport, HitlistStats, HomeScanOutcome, TargetOutcome};
+use v6brick_devices::stack::IotDevice;
+use v6brick_fleet::{plan_homes, run_indexed_outcomes, HomeSpec};
+use v6brick_net::ipv4::{self, Protocol};
+use v6brick_net::udp::PseudoHeader;
+use v6brick_net::{icmpv6, ipv6, tcp, udp};
+use v6brick_sim::{
+    addrs, FirewallPolicy, Internet, Router, SimTime, Simulation, SimulationBuilder,
+};
+
+/// The scanner's source address: a documentation-range GUA well outside
+/// both the LAN /64 and the pseudo-Internet's derived service addresses.
+pub fn scanner_addr() -> Ipv6Addr {
+    Ipv6Addr::new(0x2001, 0xdb8, 0x5ca9, 0, 0, 0, 0, 1)
+}
+
+/// Echo ident marking scanner liveness probes.
+const ECHO_IDENT: u16 = 0x5ca9;
+
+/// How far around an observed NIC suffix the hitlist extrapolates.
+pub const HITLIST_NEIGHBORHOOD: u16 = 4;
+
+/// Low-IID addresses the dense-sweep baseline probes per home.
+pub const DENSE_BUDGET: u32 = 256;
+
+/// Virtual time allowed for one probe wave's replies to drain (two WAN
+/// legs plus the LAN round trip is under 25 ms; a full second absorbs
+/// retransmission-free stragglers).
+const PROBE_WINDOW: SimTime = SimTime::from_secs(1);
+
+/// Description of a WAN scan campaign.
+#[derive(Debug, Clone)]
+pub struct WanScanSpec {
+    /// Homes to synthesize and scan.
+    pub homes: u64,
+    /// Campaign seed; home seeds derive from it.
+    pub seed: u64,
+    /// Worker threads (1 = inline reference path).
+    pub workers: usize,
+    /// Inclusive range of devices per home.
+    pub device_range: (usize, usize),
+    /// Weighted network-config mix each home draws from.
+    pub mix: Vec<(NetworkConfig, u32)>,
+    /// Firewall policies each home is scanned under.
+    pub policies: Vec<FirewallPolicy>,
+    /// Service ports the sweep probes.
+    pub plan: ScanPlan,
+    /// Virtual seconds the home runs before the scan starts.
+    pub settle_s: u64,
+}
+
+impl Default for WanScanSpec {
+    /// 16 homes of 3–8 devices drawn evenly from the five v6-capable
+    /// Table 2 configurations (an IPv4-only home has no v6 attack
+    /// surface), all three firewall policies, the WAN port set, 90 s of
+    /// settle — enough for addressing plus a telemetry round.
+    fn default() -> Self {
+        let mut mix: Vec<(NetworkConfig, u32)> =
+            NetworkConfig::IPV6_ONLY.iter().map(|c| (*c, 1)).collect();
+        mix.extend(NetworkConfig::DUAL_STACK.iter().map(|c| (*c, 1)));
+        WanScanSpec {
+            homes: 16,
+            seed: 0x6b1c,
+            workers: 1,
+            device_range: (3, 8),
+            mix,
+            policies: FirewallPolicy::ALL.to_vec(),
+            plan: ScanPlan::wan(),
+            settle_s: 90,
+        }
+    }
+}
+
+/// Encapsulate an inner IPv6 packet the way the tunnel broker would:
+/// protocol-41 IPv4 from the remote endpoint to the router's WAN side.
+fn encap(inner: Vec<u8>) -> Vec<u8> {
+    ipv4::Repr {
+        src: addrs::TUNNEL_REMOTE_IPV4,
+        dst: addrs::ROUTER_WAN_IPV4,
+        protocol: Protocol::Ipv6,
+        ttl: 64,
+        payload_len: inner.len(),
+    }
+    .build(&inner)
+}
+
+fn echo_probe(dst: Ipv6Addr, seq: u16) -> Vec<u8> {
+    let icmp = icmpv6::Repr::EchoRequest {
+        ident: ECHO_IDENT,
+        seq,
+        payload: b"v6scan".to_vec(),
+    }
+    .build(scanner_addr(), dst);
+    ipv6::Repr {
+        src: scanner_addr(),
+        dst,
+        next_header: Protocol::Icmpv6,
+        hop_limit: 64,
+        payload_len: icmp.len(),
+    }
+    .build(&icmp)
+}
+
+/// Scanner source port for a probe of `port` — distinct from any
+/// device-side ephemeral port, stable across runs.
+fn scan_sport(port: u16) -> u16 {
+    33_000 + (port % 32_000)
+}
+
+fn syn_probe(dst: Ipv6Addr, port: u16) -> Vec<u8> {
+    let seg = tcp::Repr::syn(scan_sport(port), port, 0x5ca9).build(PseudoHeader::V6 {
+        src: scanner_addr(),
+        dst,
+    });
+    ipv6::Repr {
+        src: scanner_addr(),
+        dst,
+        next_header: Protocol::Tcp,
+        hop_limit: 64,
+        payload_len: seg.len(),
+    }
+    .build(&seg)
+}
+
+fn udp_probe(dst: Ipv6Addr, port: u16) -> Vec<u8> {
+    let dgram = udp::Repr {
+        src_port: scan_sport(port),
+        dst_port: port,
+        payload: b"v6scan".to_vec(),
+    }
+    .build(PseudoHeader::V6 {
+        src: scanner_addr(),
+        dst,
+    });
+    ipv6::Repr {
+        src: scanner_addr(),
+        dst,
+        next_header: Protocol::Udp,
+        hop_limit: 64,
+        payload_len: dgram.len(),
+    }
+    .build(&dgram)
+}
+
+/// What the scanner heard back, keyed by responding address.
+#[derive(Default)]
+struct Replies {
+    /// Addresses that answered the echo.
+    live: BTreeSet<Ipv6Addr>,
+    /// (address, port) pairs that answered SYN with SYN/ACK.
+    open_tcp: BTreeSet<(Ipv6Addr, u16)>,
+    /// (address, port) pairs that answered a UDP probe with data.
+    open_udp: BTreeSet<(Ipv6Addr, u16)>,
+}
+
+impl Replies {
+    /// Classify one packet captured at the scanner tap (an inner IPv6
+    /// packet as it crossed the tunnel outward).
+    fn absorb(&mut self, bytes: &[u8]) {
+        let Ok(p) = ipv6::Packet::new_checked(bytes) else {
+            return;
+        };
+        let repr = ipv6::Repr::parse(&p);
+        match repr.next_header {
+            Protocol::Icmpv6 => {
+                if let Ok(icmpv6::Repr::EchoReply { ident, .. }) =
+                    icmpv6::Repr::parse_bytes(repr.src, repr.dst, p.payload())
+                {
+                    if ident == ECHO_IDENT {
+                        self.live.insert(repr.src);
+                    }
+                }
+            }
+            Protocol::Tcp => {
+                if let Ok(seg) = tcp::Packet::new_checked(p.payload()) {
+                    let flags = seg.flags();
+                    if flags.contains(tcp::Flags::SYN) && flags.contains(tcp::Flags::ACK) {
+                        self.open_tcp.insert((repr.src, seg.src_port()));
+                    }
+                }
+            }
+            Protocol::Udp => {
+                if let Ok(d) = udp::Packet::new_checked(p.payload()) {
+                    self.open_udp.insert((repr.src, d.src_port()));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Inject a wave of probes and simulate until the replies drained.
+fn probe_wave(sim: &mut Simulation, probes: Vec<Vec<u8>>, until: SimTime, replies: &mut Replies) {
+    for p in probes {
+        sim.inject_wan(encap(p));
+    }
+    sim.run_until(until);
+    for bytes in sim.internet_mut().take_scanner_rx() {
+        replies.absorb(&bytes);
+    }
+}
+
+/// Scan one home under one firewall policy, folding target rows and
+/// hitlist stats into `out`.
+fn scan_policy(
+    home: &HomeSpec<NetworkConfig>,
+    policy: FirewallPolicy,
+    plan: &ScanPlan,
+    settle: SimTime,
+    out: &mut HomeScanOutcome,
+) {
+    let router = Router::new(home.config.router_config_with(policy));
+    let internet = Internet::new(scenario::build_zones(&home.profiles));
+    let mut b = SimulationBuilder::new(router, internet);
+    let mut hosts = Vec::with_capacity(home.profiles.len());
+    for p in &home.profiles {
+        hosts.push(b.add_host(Box::new(IotDevice::new(p.clone()))));
+    }
+    let mut sim = b.seed(home.seed ^ home.config as u64).build();
+    sim.internet_mut().attach_scanner(scanner_addr());
+
+    // Phase 1: the home lives its normal life while the internet side
+    // passively observes outbound sources.
+    sim.run_until(settle);
+
+    // Ground truth (never shown to the scanner): every global address a
+    // device holds, with its category and addressing mode.
+    let mut truth: BTreeMap<Ipv6Addr, (String, String)> = BTreeMap::new();
+    for &h in &hosts {
+        let dev = sim
+            .host(h)
+            .as_any()
+            .downcast_ref::<IotDevice>()
+            .expect("host is a device");
+        let category = dev.profile().category.label();
+        for (addr, mode) in dev.gua_inventory() {
+            truth.insert(addr, (category.to_string(), mode.to_string()));
+        }
+    }
+
+    // Phase 2: hitlist from passive observations, dense-sweep baseline.
+    let observed: Vec<Ipv6Addr> = sim.internet().observed_v6_sources().copied().collect();
+    let candidates = exposure::hitlist(addrs::LAN_PREFIX, &observed, HITLIST_NEIGHBORHOOD);
+    let dense = exposure::dense_sweep(addrs::LAN_PREFIX, DENSE_BUDGET);
+
+    // Phase 3: liveness. The union covers the scanner's candidate lists
+    // and — for the firewall measurement — the ground truth itself.
+    let probe_set: BTreeSet<Ipv6Addr> = candidates
+        .iter()
+        .chain(dense.iter())
+        .chain(truth.keys())
+        .copied()
+        .collect();
+    let mut replies = Replies::default();
+    let echoes = probe_set
+        .iter()
+        .enumerate()
+        .map(|(i, &dst)| echo_probe(dst, i as u16))
+        .collect();
+    let t1 = settle + PROBE_WINDOW;
+    probe_wave(&mut sim, echoes, t1, &mut replies);
+
+    // Phase 4: service sweep over responsive ground-truth addresses.
+    let sweep_targets: Vec<Ipv6Addr> = truth
+        .keys()
+        .filter(|a| replies.live.contains(a))
+        .copied()
+        .collect();
+    let mut probes = Vec::new();
+    for &dst in &sweep_targets {
+        for &port in &plan.tcp {
+            probes.push(syn_probe(dst, port));
+        }
+        for &port in &plan.udp {
+            probes.push(udp_probe(dst, port));
+        }
+    }
+    probe_wave(&mut sim, probes, t1 + PROBE_WINDOW, &mut replies);
+
+    let label = policy.label().to_string();
+    for (&addr, (category, mode)) in &truth {
+        out.targets.push(TargetOutcome {
+            policy: label.clone(),
+            category: category.clone(),
+            addressing: mode.clone(),
+            responsive: replies.live.contains(&addr),
+            open_tcp: plan
+                .tcp
+                .iter()
+                .filter(|p| replies.open_tcp.contains(&(addr, **p)))
+                .count() as u64,
+            open_udp: plan
+                .udp
+                .iter()
+                .filter(|p| replies.open_udp.contains(&(addr, **p)))
+                .count() as u64,
+        });
+    }
+    out.hitlist.push((
+        label,
+        HitlistStats {
+            truth_addrs: truth.len() as u64,
+            candidates: candidates.len() as u64,
+            covered: truth.keys().filter(|a| candidates.contains(a)).count() as u64,
+            responsive: candidates
+                .iter()
+                .filter(|a| replies.live.contains(a))
+                .count() as u64,
+            dense_candidates: dense.len() as u64,
+            dense_covered: truth.keys().filter(|a| dense.contains(a)).count() as u64,
+            dense_responsive: dense.iter().filter(|a| replies.live.contains(a)).count() as u64,
+        },
+    ));
+}
+
+/// Scan one home under every requested policy. Each policy gets its own
+/// simulation from the same seed: the settle phase is byte-identical
+/// across policies (nothing inbound during settle is unsolicited), so
+/// the probe waves hit identical device state and reachability under a
+/// stricter policy is a subset of reachability under a looser one.
+pub fn scan_home(
+    home: &HomeSpec<NetworkConfig>,
+    policies: &[FirewallPolicy],
+    plan: &ScanPlan,
+    settle: SimTime,
+) -> HomeScanOutcome {
+    let mut out = HomeScanOutcome {
+        devices: home.profiles.len() as u64,
+        ..Default::default()
+    };
+    for &policy in policies {
+        scan_policy(home, policy, plan, settle, &mut out);
+    }
+    out
+}
+
+/// Execute a campaign: synthesize the homes, scan each on the worker
+/// pool, aggregate the exposure report. Worker crashes are isolated and
+/// recorded in [`ExposureReport::failures`] without perturbing the
+/// serialized aggregates.
+pub fn run(spec: &WanScanSpec) -> ExposureReport {
+    let (dev_min, dev_max) = spec.device_range;
+    let plans = plan_homes(spec.seed, spec.homes, &spec.mix, dev_min..=dev_max);
+    let policies = spec.policies.clone();
+    let plan = spec.plan.clone();
+    let settle = SimTime::from_secs(spec.settle_s);
+    let (mut report, failures) = run_indexed_outcomes(
+        plans,
+        spec.workers,
+        move |home| scan_home(&home, &policies, &plan, settle),
+        ExposureReport::new(spec.seed),
+        |report, _index, outcome| report.absorb_home(&outcome),
+    );
+    for f in failures {
+        report.absorb_failure(f.index, f.message);
+    }
+    report
+}
+
+/// Human-readable campaign summary (the non-`--json` CLI output).
+pub fn render(report: &ExposureReport) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "WAN exposure scan: {} homes, {} devices (seed {:#x})",
+        report.homes, report.devices, report.campaign_seed
+    );
+    let _ = writeln!(out, "\nHitlist vs ground truth, per firewall policy:");
+    for (policy, h) in &report.hitlist {
+        let _ = writeln!(
+            out,
+            "  {policy:<13} {:>5} candidates covering {}/{} true GUAs ({} responsive); \
+             dense sweep {} covering {} ({} responsive)",
+            h.candidates,
+            h.covered,
+            h.truth_addrs,
+            h.responsive,
+            h.dense_candidates,
+            h.dense_covered,
+            h.dense_responsive,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nOpen ports reachable from the Internet (category x policy):"
+    );
+    let _ = writeln!(
+        out,
+        "  {:<14} {:>12} {:>10} {:>10}  targets responsive",
+        "category", "default-deny", "pinholed", "open"
+    );
+    for (cat, by_policy) in &report.cells {
+        let (mut targets, mut responsive) = (0u64, 0u64);
+        for modes in by_policy.values() {
+            for cell in modes.values() {
+                targets += cell.targets;
+                responsive += cell.responsive;
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>12} {:>10} {:>10}  {targets:>7} {responsive:>10}",
+            cat,
+            report.open_ports(cat, "default-deny"),
+            report.open_ports(cat, "pinholed"),
+            report.open_ports(cat, "open"),
+        );
+    }
+    let violations = report.monotonic_violations();
+    if violations.is_empty() {
+        let _ = writeln!(out, "\nPolicy monotonicity: ok (open >= pinholed >= deny)");
+    } else {
+        for v in &violations {
+            let _ = writeln!(out, "\nPolicy monotonicity VIOLATED: {v}");
+        }
+    }
+    if !report.failures.is_empty() {
+        let _ = writeln!(out, "\n{} home(s) failed to scan:", report.failures.len());
+        for (index, msg) in &report.failures {
+            let _ = writeln!(out, "  home {index}: {msg}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v6brick_devices::registry;
+
+    fn one_home(ids: &[&str], config: NetworkConfig) -> HomeSpec<NetworkConfig> {
+        HomeSpec {
+            index: 0,
+            seed: 0x5ca9_0001,
+            config,
+            profiles: ids.iter().map(|id| registry::by_id(id)).collect(),
+        }
+    }
+
+    #[test]
+    fn open_home_exposes_services_deny_home_exposes_nothing() {
+        let home = one_home(&["samsung_fridge", "hue_hub"], NetworkConfig::Ipv6Only);
+        let outcome = scan_home(
+            &home,
+            &FirewallPolicy::ALL,
+            &ScanPlan::wan(),
+            SimTime::from_secs(45),
+        );
+        assert_eq!(outcome.devices, 2);
+
+        let open_ports = |policy: &str| -> u64 {
+            outcome
+                .targets
+                .iter()
+                .filter(|t| t.policy == policy)
+                .map(|t| t.open_tcp + t.open_udp)
+                .sum()
+        };
+        // Under the routed-/64 posture the fridge's v6-only ports are on
+        // the Internet; default-deny hides everything, pinholes sit
+        // in between (the hub's 80/443 are pinholed service ports).
+        assert!(open_ports("open") > 0, "open policy must expose services");
+        assert_eq!(open_ports("default-deny"), 0);
+        assert!(open_ports("pinholed") <= open_ports("open"));
+        assert!(
+            outcome
+                .targets
+                .iter()
+                .filter(|t| t.policy == "default-deny")
+                .all(|t| !t.responsive),
+            "default-deny must block even liveness probes"
+        );
+
+        // The whole-home report agrees with the lattice.
+        let mut report = ExposureReport::new(1);
+        report.absorb_home(&outcome);
+        assert!(report.monotonic_violations().is_empty());
+    }
+
+    #[test]
+    fn hitlist_quality_is_policy_independent_but_responsiveness_is_not() {
+        let home = one_home(&["samsung_fridge", "hue_hub"], NetworkConfig::Ipv6Only);
+        let outcome = scan_home(
+            &home,
+            &FirewallPolicy::ALL,
+            &ScanPlan::wan(),
+            SimTime::from_secs(45),
+        );
+        let stats: BTreeMap<&str, &HitlistStats> = outcome
+            .hitlist
+            .iter()
+            .map(|(p, h)| (p.as_str(), h))
+            .collect();
+        let open = stats["open"];
+        let deny = stats["default-deny"];
+        // Same settle phase -> same observations -> same hitlist.
+        assert_eq!(open.candidates, deny.candidates);
+        assert_eq!(open.covered, deny.covered);
+        assert_eq!(open.truth_addrs, deny.truth_addrs);
+        // But the firewall decides who answers.
+        assert_eq!(deny.responsive, 0);
+        assert!(open.truth_addrs > 0);
+    }
+}

@@ -195,6 +195,12 @@ impl Simulation {
         &self.internet
     }
 
+    /// Mutably borrow the internet model (scanner tap registration and
+    /// reply drain).
+    pub fn internet_mut(&mut self) -> &mut Internet {
+        &mut self.internet
+    }
+
     /// Borrow a host by id.
     pub fn host(&self, id: HostId) -> &dyn Host {
         self.hosts[id].as_ref()
@@ -376,6 +382,19 @@ impl Simulation {
             EventKind::LanFrame {
                 from: NOBODY,
                 frame,
+            },
+        );
+    }
+
+    /// Inject a raw IPv4 packet arriving at the router's WAN interface
+    /// after one WAN propagation delay — how the WAN scanner delivers
+    /// probes from the Internet side.
+    pub fn inject_wan(&mut self, packet: Vec<u8>) {
+        self.queue.push(
+            self.clock + SimTime(addrs::WAN_DELAY_US),
+            EventKind::WanPacket {
+                to_internet: false,
+                packet,
             },
         );
     }

@@ -12,10 +12,11 @@
 use crate::addrs;
 use crate::event::SimTime;
 use crate::faults::{DnsFaultMode, FaultPlan};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 use v6brick_net::dns::{Message, Name, Rcode, Rdata, Record, RecordType};
 use v6brick_net::ipv4::Protocol;
+use v6brick_net::ipv6::Ipv6AddrExt;
 use v6brick_net::udp::PseudoHeader;
 use v6brick_net::{dns, icmpv6, ipv4, ipv6, tcp, udp};
 
@@ -218,6 +219,16 @@ pub struct Internet {
     faults: FaultPlan,
     /// Total bytes served, per (domain, was_ipv6) — observability for tests.
     pub served: HashMap<(Name, bool), u64>,
+    /// Address of an attached Internet-side scanner: inner v6 packets
+    /// addressed to it are buffered instead of served.
+    scanner_addr: Option<Ipv6Addr>,
+    /// Buffered inner IPv6 packets destined for the scanner (probe
+    /// replies crossing the tunnel outward).
+    scanner_rx: Vec<Vec<u8>>,
+    /// Every global-unicast source address seen inside the 6in4 tunnel —
+    /// the passive vantage a tunnel provider (or tapping scanner) has on
+    /// the home's addressing, and the hitlist generator's input.
+    observed_v6_sources: BTreeSet<Ipv6Addr>,
 }
 
 impl Internet {
@@ -239,7 +250,28 @@ impl Internet {
             by_v6,
             faults: FaultPlan::new(),
             served: HashMap::new(),
+            scanner_addr: None,
+            scanner_rx: Vec::new(),
+            observed_v6_sources: BTreeSet::new(),
         }
+    }
+
+    /// Attach an Internet-side scanner at `addr`: tunnel-crossing v6
+    /// packets addressed to it are buffered for [`Internet::take_scanner_rx`]
+    /// instead of being handled as server traffic.
+    pub fn attach_scanner(&mut self, addr: Ipv6Addr) {
+        self.scanner_addr = Some(addr);
+    }
+
+    /// Drain the buffered probe replies addressed to the scanner.
+    pub fn take_scanner_rx(&mut self) -> Vec<Vec<u8>> {
+        std::mem::take(&mut self.scanner_rx)
+    }
+
+    /// Global-unicast v6 source addresses observed inside the tunnel so
+    /// far, in address order.
+    pub fn observed_v6_sources(&self) -> impl Iterator<Item = &Ipv6Addr> {
+        self.observed_v6_sources.iter()
     }
 
     /// Install the fault schedule ([`SimulationBuilder::faults`] calls
@@ -278,6 +310,13 @@ impl Internet {
                     return Vec::new();
                 };
                 let inner_repr = ipv6::Repr::parse(&inner);
+                if inner_repr.src.is_global_unicast() {
+                    self.observed_v6_sources.insert(inner_repr.src);
+                }
+                if Some(inner_repr.dst) == self.scanner_addr {
+                    self.scanner_rx.push(p.payload().to_vec());
+                    return Vec::new();
+                }
                 self.handle_v6(now, &inner_repr, inner.payload())
                     .into_iter()
                     .map(|v6_bytes| {

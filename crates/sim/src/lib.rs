@@ -27,4 +27,4 @@ pub use event::SimTime;
 pub use faults::{Direction, DnsFaultMode, FaultKind, FaultPlan, FaultWindow};
 pub use host::{Effects, Host, HostId};
 pub use internet::{DomainProfile, Internet, ZoneDb};
-pub use router::{Router, RouterConfig};
+pub use router::{FirewallPolicy, Router, RouterConfig};

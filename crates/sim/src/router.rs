@@ -17,7 +17,7 @@ use crate::addrs;
 use crate::event::SimTime;
 use crate::faults::FaultPlan;
 use crate::host::Effects;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::net::{Ipv4Addr, Ipv6Addr};
 use v6brick_net::dhcpv6::OPTION_DNS_SERVERS;
 use v6brick_net::ethernet::{EtherType, Repr as EthRepr};
@@ -26,6 +26,51 @@ use v6brick_net::ipv6::{mcast, Ipv6AddrExt};
 use v6brick_net::ndp::{NdpOption, Repr as Ndp};
 use v6brick_net::udp::PseudoHeader;
 use v6brick_net::{arp, dhcpv4, dhcpv6, icmpv6, ipv4, ipv6, udp, Mac};
+
+/// How the CPE filters unsolicited IPv6 arriving from the WAN. IPv4 is
+/// always "filtered" as a side effect of NAT44; routed IPv6 has no such
+/// accident, so the posture is an explicit policy ("Where Have All the
+/// Firewalls Gone?" finds all three in deployed home gateways).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FirewallPolicy {
+    /// RFC 6092 simple security: only return traffic of flows the LAN
+    /// initiated crosses inward.
+    DefaultDeny,
+    /// Default-deny plus static pinholes for common service ports (the
+    /// UPnP/PCP-forwarded posture) and inbound ICMPv6 echo (RFC 4890).
+    PinholedServices,
+    /// No WAN-side filtering at all: the routed /64 is fully reachable —
+    /// the posture the seed simulator modelled implicitly.
+    Open,
+}
+
+impl FirewallPolicy {
+    /// All policies, most to least restrictive.
+    pub const ALL: [FirewallPolicy; 3] = [
+        FirewallPolicy::DefaultDeny,
+        FirewallPolicy::PinholedServices,
+        FirewallPolicy::Open,
+    ];
+
+    /// Stable label used in reports and CLI flags.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FirewallPolicy::DefaultDeny => "default-deny",
+            FirewallPolicy::PinholedServices => "pinholed",
+            FirewallPolicy::Open => "open",
+        }
+    }
+
+    /// Parse a CLI label.
+    pub fn from_label(s: &str) -> Option<FirewallPolicy> {
+        FirewallPolicy::ALL.into_iter().find(|p| p.label() == s)
+    }
+}
+
+/// TCP destination ports a `PinholedServices` gateway forwards inward.
+pub const PINHOLED_TCP: [u16; 4] = [80, 443, 8080, 8443];
+/// UDP destination ports a `PinholedServices` gateway forwards inward.
+pub const PINHOLED_UDP: [u16; 2] = [5353, 5540];
 
 /// Which services the router runs — one row of Table 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +89,8 @@ pub struct RouterConfig {
     /// becomes the only path to a global address (the enterprise-style
     /// configuration the paper's §7 names as unexplored future work).
     pub suppress_slaac: bool,
+    /// WAN-side filtering of inbound IPv6 (the tunnel ingress path).
+    pub wan_v6_firewall: FirewallPolicy,
 }
 
 /// RA interval (dnsmasq default era: a few minutes; shortened to keep the
@@ -69,10 +116,17 @@ pub struct Router {
     nat_out: HashMap<(Ipv4Addr, u16, u8), u16>,
     nat_in: HashMap<(u16, u8), (Ipv4Addr, u16)>,
     next_nat_port: u16,
+    /// Stateful v6 firewall table: flows the LAN initiated, keyed
+    /// (lan addr, remote addr, proto, lan port, remote port). Entries
+    /// never expire — simulated campaigns are far shorter than any real
+    /// conntrack timeout.
+    v6_flows: HashSet<(Ipv6Addr, Ipv6Addr, u8, u16, u16)>,
     /// Fault schedule (RA suppression, DHCPv6 silence windows).
     faults: FaultPlan,
     /// Frames the router dropped (v4 without NAT state, unroutable v6...).
     pub dropped: u64,
+    /// Inbound v6 packets rejected by the WAN firewall policy.
+    pub wan_v6_filtered: u64,
 }
 
 impl Router {
@@ -89,8 +143,10 @@ impl Router {
             nat_out: HashMap::new(),
             nat_in: HashMap::new(),
             next_nat_port: 20_000,
+            v6_flows: HashSet::new(),
             faults: FaultPlan::new(),
             dropped: 0,
+            wan_v6_filtered: 0,
         }
     }
 
@@ -170,6 +226,11 @@ impl Router {
             let Ok(inner) = ipv6::Packet::new_checked(p.payload()) else {
                 return;
             };
+            let inner_repr = ipv6::Repr::parse(&inner);
+            if !self.wan_v6_permitted(&inner_repr, inner.payload()) {
+                self.wan_v6_filtered += 1;
+                return;
+            }
             let dst = inner.dst();
             // Routed (no NAT66): deliver to the on-link neighbor if known.
             if let Some(&mac) = self.neighbors_v6.get(&dst) {
@@ -356,7 +417,25 @@ impl Router {
         match repr.next_header {
             Protocol::Icmpv6 => {
                 if let Ok(msg) = icmpv6::Repr::parse_bytes(repr.src, repr.dst, p.payload()) {
-                    self.handle_icmpv6(now, src_mac, &repr, &msg, fx);
+                    // ICMPv6 *responses* to an off-link destination (echo
+                    // replies and unreachables answering Internet-side
+                    // probes) are routed out the tunnel like data. NDP,
+                    // locally-destined ICMPv6, and device-originated
+                    // off-link probes stay with the control plane — the
+                    // testbed CPE absorbed those, and the connectivity
+                    // experiments' captures pin that behavior.
+                    let off_link = repr.dst.is_global_unicast()
+                        && !ipv6::Cidr::new(addrs::LAN_PREFIX, 64).contains(repr.dst);
+                    if off_link
+                        && matches!(
+                            msg,
+                            icmpv6::Repr::EchoReply { .. } | icmpv6::Repr::DstUnreachable { .. }
+                        )
+                    {
+                        self.route_v6(&repr, payload, fx);
+                    } else {
+                        self.handle_icmpv6(now, src_mac, &repr, &msg, fx);
+                    }
                 }
             }
             Protocol::Udp => {
@@ -539,6 +618,14 @@ impl Router {
             self.dropped += 1;
             return;
         }
+        // An outbound flow opens a stateful pinhole for its return
+        // traffic, whatever the firewall policy.
+        if let Ok(p6) = ipv6::Packet::new_checked(full_packet) {
+            if let Some((proto, src_port, dst_port)) = flow_v6(repr, p6.payload()) {
+                self.v6_flows
+                    .insert((repr.src, repr.dst, proto, src_port, dst_port));
+            }
+        }
         let encap = ipv4::Repr {
             src: addrs::ROUTER_WAN_IPV4,
             dst: addrs::TUNNEL_REMOTE_IPV4,
@@ -548,6 +635,36 @@ impl Router {
         }
         .build(full_packet);
         fx.send_wan(encap);
+    }
+
+    /// Does the WAN firewall policy let this decapsulated inbound IPv6
+    /// packet onto the LAN?
+    fn wan_v6_permitted(&self, inner: &ipv6::Repr, l4: &[u8]) -> bool {
+        let policy = self.config.wan_v6_firewall;
+        if policy == FirewallPolicy::Open {
+            return true;
+        }
+        let Some((proto, src_port, dst_port)) = flow_v6(inner, l4) else {
+            // Unparseable / exotic protocol: stateful gateways drop it.
+            return false;
+        };
+        // Return traffic of a LAN-initiated flow (key reversed).
+        if self
+            .v6_flows
+            .contains(&(inner.dst, inner.src, proto, dst_port, src_port))
+        {
+            return true;
+        }
+        if policy == FirewallPolicy::PinholedServices {
+            return match proto {
+                6 => PINHOLED_TCP.contains(&dst_port),
+                17 => PINHOLED_UDP.contains(&dst_port),
+                // RFC 4890 §4.3.1: echo must not be dropped.
+                58 => true,
+                _ => false,
+            };
+        }
+        false
     }
 
     /// Construct a Router Advertisement frame (multicast, or unicast to a
@@ -622,6 +739,24 @@ pub fn eth_frame(src: Mac, dst: Mac, ethertype: EtherType, payload: &[u8]) -> Ve
     .build(payload)
 }
 
+/// (proto byte, src_port, dst_port) flow tuple of a v6 payload. ICMPv6
+/// flows are keyed on the address pair alone (ports 0/0), which pairs an
+/// outbound echo request with its inbound reply.
+fn flow_v6(repr: &ipv6::Repr, l4: &[u8]) -> Option<(u8, u16, u16)> {
+    match repr.next_header {
+        Protocol::Udp => {
+            let u = udp::Packet::new_checked(l4).ok()?;
+            Some((17, u.src_port(), u.dst_port()))
+        }
+        Protocol::Tcp => {
+            let t = v6brick_net::tcp::Packet::new_checked(l4).ok()?;
+            Some((6, t.src_port(), t.dst_port()))
+        }
+        Protocol::Icmpv6 => Some((58, 0, 0)),
+        _ => None,
+    }
+}
+
 /// (src_port, dst_port, proto byte) of a v4 payload, if TCP/UDP.
 fn extract_ports_v4(repr: &ipv4::Repr, payload: &[u8]) -> Option<(u16, u16, u8)> {
     match repr.protocol {
@@ -690,6 +825,7 @@ impl RouterConfig {
             stateless_dhcpv6: false,
             stateful_dhcpv6: false,
             suppress_slaac: false,
+            wan_v6_firewall: FirewallPolicy::Open,
         }
     }
 
@@ -702,7 +838,14 @@ impl RouterConfig {
             stateless_dhcpv6: true,
             stateful_dhcpv6: false,
             suppress_slaac: false,
+            wan_v6_firewall: FirewallPolicy::Open,
         }
+    }
+
+    /// The same services behind a different WAN-side v6 firewall policy.
+    pub fn with_firewall(mut self, policy: FirewallPolicy) -> RouterConfig {
+        self.wan_v6_firewall = policy;
+        self
     }
 
     /// IPv6-only, RDNSS-only variation (row 3).
@@ -1185,6 +1328,155 @@ mod tests {
         let mut fx = Effects::new(&mut rng);
         router.on_frame(SimTime::from_secs(61), &frame, &mut fx);
         assert_eq!(fx.frames.len(), 1, "server answers after the window");
+    }
+
+    /// 6in4-encapsulated inbound packet carrying `inner`.
+    fn encap_v6(inner: &[u8]) -> Vec<u8> {
+        ipv4::Repr {
+            src: addrs::TUNNEL_REMOTE_IPV4,
+            dst: addrs::ROUTER_WAN_IPV4,
+            protocol: Protocol::Ipv6,
+            ttl: 64,
+            payload_len: inner.len(),
+        }
+        .build(inner)
+    }
+
+    fn inner_udp(src: Ipv6Addr, dst: Ipv6Addr, src_port: u16, dst_port: u16) -> Vec<u8> {
+        let udp_bytes = udp::Repr {
+            src_port,
+            dst_port,
+            payload: b"probe".to_vec(),
+        }
+        .build(PseudoHeader::V6 { src, dst });
+        ipv6::Repr {
+            src,
+            dst,
+            next_header: Protocol::Udp,
+            hop_limit: 64,
+            payload_len: udp_bytes.len(),
+        }
+        .build(&udp_bytes)
+    }
+
+    fn inner_tcp_syn(src: Ipv6Addr, dst: Ipv6Addr, src_port: u16, dst_port: u16) -> Vec<u8> {
+        let seg =
+            v6brick_net::tcp::Repr::syn(src_port, dst_port, 7).build(PseudoHeader::V6 { src, dst });
+        ipv6::Repr {
+            src,
+            dst,
+            next_header: Protocol::Tcp,
+            hop_limit: 64,
+            payload_len: seg.len(),
+        }
+        .build(&seg)
+    }
+
+    #[test]
+    fn default_deny_blocks_unsolicited_but_passes_return_traffic() {
+        let mut rng = fx_rng();
+        let mut router =
+            Router::new(RouterConfig::ipv6_only().with_firewall(FirewallPolicy::DefaultDeny));
+        let dev: Ipv6Addr = "2001:db8:10:1::100".parse().unwrap();
+        let remote: Ipv6Addr = "2001:db8:ffff::1".parse().unwrap();
+        router.neighbors_v6.insert(dev, client_mac());
+
+        // Unsolicited inbound: filtered, counted.
+        let mut fx = Effects::new(&mut rng);
+        router.on_wan_packet(
+            SimTime::ZERO,
+            &encap_v6(&inner_udp(remote, dev, 443, 5000)),
+            &mut fx,
+        );
+        assert!(fx.frames.is_empty());
+        assert_eq!(router.wan_v6_filtered, 1);
+
+        // The device opens an outbound flow...
+        let out = inner_udp(dev, remote, 5000, 443);
+        let frame = eth_frame(client_mac(), addrs::ROUTER_MAC, EtherType::Ipv6, &out);
+        let mut fx = Effects::new(&mut rng);
+        router.on_frame(SimTime::ZERO, &frame, &mut fx);
+        assert_eq!(fx.wan.len(), 1);
+
+        // ...and now the exact reverse flow crosses inward.
+        let mut fx = Effects::new(&mut rng);
+        router.on_wan_packet(
+            SimTime::ZERO,
+            &encap_v6(&inner_udp(remote, dev, 443, 5000)),
+            &mut fx,
+        );
+        assert_eq!(fx.frames.len(), 1);
+        assert_eq!(router.wan_v6_filtered, 1);
+
+        // A different remote port is still unsolicited.
+        let mut fx = Effects::new(&mut rng);
+        router.on_wan_packet(
+            SimTime::ZERO,
+            &encap_v6(&inner_udp(remote, dev, 444, 5000)),
+            &mut fx,
+        );
+        assert!(fx.frames.is_empty());
+        assert_eq!(router.wan_v6_filtered, 2);
+    }
+
+    #[test]
+    fn pinholed_passes_service_ports_and_echo_only() {
+        let mut rng = fx_rng();
+        let mut router =
+            Router::new(RouterConfig::ipv6_only().with_firewall(FirewallPolicy::PinholedServices));
+        let dev: Ipv6Addr = "2001:db8:10:1::100".parse().unwrap();
+        let remote: Ipv6Addr = "2001:db8:ffff::1".parse().unwrap();
+        router.neighbors_v6.insert(dev, client_mac());
+
+        let deliver = |router: &mut Router, rng: &mut StdRng, inner: Vec<u8>| {
+            let mut fx = Effects::new(rng);
+            router.on_wan_packet(SimTime::ZERO, &encap_v6(&inner), &mut fx);
+            fx.frames.len()
+        };
+
+        // TCP SYN to a pinholed port crosses; a high port does not.
+        assert_eq!(
+            deliver(
+                &mut router,
+                &mut rng,
+                inner_tcp_syn(remote, dev, 40000, 443)
+            ),
+            1
+        );
+        assert_eq!(
+            deliver(
+                &mut router,
+                &mut rng,
+                inner_tcp_syn(remote, dev, 40000, 9999)
+            ),
+            0
+        );
+        // UDP likewise.
+        assert_eq!(
+            deliver(&mut router, &mut rng, inner_udp(remote, dev, 40000, 5353)),
+            1
+        );
+        assert_eq!(
+            deliver(&mut router, &mut rng, inner_udp(remote, dev, 40000, 1024)),
+            0
+        );
+        // ICMPv6 echo is never dropped (RFC 4890).
+        let echo = icmpv6::Repr::EchoRequest {
+            ident: 1,
+            seq: 1,
+            payload: vec![],
+        };
+        let body = echo.build(remote, dev);
+        let inner = ipv6::Repr {
+            src: remote,
+            dst: dev,
+            next_header: Protocol::Icmpv6,
+            hop_limit: 64,
+            payload_len: body.len(),
+        }
+        .build(&body);
+        assert_eq!(deliver(&mut router, &mut rng, inner), 1);
+        assert_eq!(router.wan_v6_filtered, 2);
     }
 
     #[test]

@@ -3,7 +3,9 @@
 //! fails to *compile* (not run) if a non-`Send` type sneaks into the
 //! engine, a host implementation, or the capture path.
 
-use v6brick_sim::{Host, Internet, Router, RouterConfig, Simulation, SimulationBuilder, ZoneDb};
+use v6brick_sim::{
+    FirewallPolicy, Host, Internet, Router, RouterConfig, Simulation, SimulationBuilder, ZoneDb,
+};
 
 fn assert_send<T: Send>() {}
 
@@ -25,6 +27,7 @@ fn a_built_simulation_moves_across_threads() {
         stateless_dhcpv6: true,
         stateful_dhcpv6: false,
         suppress_slaac: false,
+        wan_v6_firewall: FirewallPolicy::Open,
     };
     let sim = SimulationBuilder::new(Router::new(config), Internet::new(ZoneDb::new()))
         .seed(1)

@@ -1,74 +1,63 @@
-//! Scenario: a privacy audit of a smart home (the paper's RQ4). Runs the
-//! dual-stack experiments, then reports every device whose global IPv6
-//! address embeds its MAC address (EUI-64), what the address was used
-//! for, which parties saw it — and verifies the leak by recovering the
-//! MAC from the address, as a tracker would.
+//! Scenario: a privacy *and* exposure audit of smart homes (the paper's
+//! RQ4, pushed past the LAN). An Internet-side scanner watches a fleet of
+//! homes talk to their clouds, extrapolates a hitlist from every EUI-64
+//! address it sees (the way "Unconsidered Installations" finds IoT
+//! devices in the v6 Internet), then probes each home through its CPE
+//! under three firewall policies — wide open, RFC 6092 default-deny, and
+//! pinholed service ports. The final [`ExposureReport`] shows what each
+//! posture leaks, per device category.
 //!
 //! ```sh
 //! cargo run --release --example privacy_exposure
 //! ```
 
-use v6brick::core::eui64;
-use v6brick::experiments::{figures, ExperimentSuite};
-use v6brick::net::ipv6::Ipv6AddrExt;
+use v6brick::experiments::wanscan::{self, WanScanSpec};
 
 fn main() {
-    println!("Running the IPv6-capable experiments over the 93-device testbed...\n");
-    let suite = ExperimentSuite::run_all();
+    let spec = WanScanSpec {
+        homes: 8,
+        ..Default::default()
+    };
+    println!(
+        "Scanning {} synthesized homes from the IPv6 Internet (seed {:#x})...",
+        spec.homes, spec.seed
+    );
+    println!(
+        "Each home settles for {} virtual seconds while the scanner passively",
+        spec.settle_s
+    );
+    println!("records outbound GUAs, then gets probed under every CPE firewall policy.\n");
 
-    let mut exposed = 0;
-    for p in &suite.profiles {
-        let o = suite.v6_and_dual_observation(&p.id);
-        let e = eui64::exposure(p.mac, &o);
-        if e.assigned_gua.is_empty() {
-            continue;
-        }
-        exposed += 1;
-        println!("{} ({}):", p.name, p.manufacturer);
-        for a in &e.assigned_gua {
-            // What a tracker recovers from the address alone:
-            let leaked = a.eui64_mac().expect("EUI-64 address");
-            println!("  global address {a}");
-            println!(
-                "    -> leaks MAC {leaked} (OUI {:02x}:{:02x}:{:02x}){}",
-                leaked.oui()[0],
-                leaked.oui()[1],
-                leaked.oui()[2],
-                if leaked == p.mac {
-                    " — VERIFIED: the device's own MAC"
-                } else {
-                    ""
-                },
-            );
-        }
-        let usage = match (e.used_for_data, e.used_for_dns, e.used) {
-            (true, _, _) => "EXPOSED TO THE INTERNET: sources data traffic",
-            (_, true, _) => "exposed to resolvers: sources DNS queries",
-            (_, _, true) => "used on-path only (connectivity probes)",
-            _ => "assigned but never used (latent risk)",
-        };
-        println!("  usage: {usage}");
-        if !e.exposed_domains.is_empty() {
-            println!("  parties that saw it: {} domains", e.exposed_domains.len());
-        }
-        println!();
+    let report = wanscan::run(&spec);
+    println!("{}", wanscan::render(&report));
+
+    // The privacy story behind the hitlist numbers: EUI-64 sources give a
+    // passive observer the device MAC and, via neighborhood extrapolation,
+    // its factory siblings. Privacy (RFC 8981) sources give it nothing.
+    if let Some(h) = report.hitlist.get("open") {
+        println!("What the scanner learned without sending a single probe:");
+        println!(
+            "  {} hitlist candidates from EUI-64 leakage — {}/{} true GUAs covered, \
+             {} answered from the Internet",
+            h.candidates, h.covered, h.truth_addrs, h.responsive
+        );
+        println!(
+            "  the {}-address dense sweep covered {} — the 2^64 IID space is the \
+             scanner's real obstacle, unless a device defeats it for them",
+            h.dense_candidates, h.dense_covered
+        );
     }
 
-    println!("== Fig. 5 funnel ==");
-    let f = figures::eui64_funnel(&suite);
+    let deny_open: u64 = report
+        .cells
+        .values()
+        .flat_map(|by_policy| by_policy.get("default-deny"))
+        .flat_map(|modes| modes.values())
+        .map(|c| c.open_total())
+        .sum();
     println!(
-        "  assign EUI-64 GUAs:   {} devices ({:.1}% of the testbed)",
-        f.assign,
-        100.0 * f.assign as f64 / 93.0
+        "\nRotate to RFC 8981 temporary addresses to starve the hitlist; \
+         ship CPEs default-deny ({} ports reachable under it here) to close the rest.",
+        deny_open
     );
-    println!("  use them:             {} devices", f.use_any);
-    println!("  use them for DNS:     {} devices", f.use_dns);
-    println!("  use them for data:    {} devices", f.use_internet_data);
-    println!(
-        "  domains exposed (data devices): {} first-party / {} support / {} third-party",
-        f.data_domains_by_party.first,
-        f.data_domains_by_party.support,
-        f.data_domains_by_party.third,
-    );
-    println!("\n{exposed} devices assign trackable addresses; rotate to RFC 8981 temporary addresses to fix.");
 }
