@@ -1785,8 +1785,29 @@ fn mac_for(n: usize, manufacturer: &str) -> Mac {
     Mac::new(0x02, (h >> 8) as u8, h as u8, 0x10, 0, n as u8)
 }
 
-/// Compile the full registry.
+/// The compiled registry, built once per process. Every consumer —
+/// `shared`, `build`, `subsample`, the lookups — reads through this
+/// cache, so the ~90 `String`-heavy profiles and their destination
+/// lists exist exactly once no matter how many homes a campaign
+/// synthesizes.
+static REGISTRY: std::sync::OnceLock<Vec<DeviceProfile>> = std::sync::OnceLock::new();
+
+/// The shared compiled registry: all 93 profiles in Table 10 order,
+/// compiled on first use and interned for the life of the process.
+/// Fleet-scale callers should hold `&'static DeviceProfile` handles
+/// from here (via [`subsample_refs`]/[`lookup`]) instead of cloning.
+pub fn shared() -> &'static [DeviceProfile] {
+    REGISTRY.get_or_init(compile)
+}
+
+/// Compile the full registry as an owned vector. Prefer [`shared`] —
+/// this clones every profile out of the interned cache and exists for
+/// callers that genuinely need owned profiles (mutation, tests).
 pub fn build() -> Vec<DeviceProfile> {
+    shared().to_vec()
+}
+
+fn compile() -> Vec<DeviceProfile> {
     RAW.iter()
         .enumerate()
         .map(|(n, raw)| {
@@ -1864,11 +1885,30 @@ pub fn build() -> Vec<DeviceProfile> {
 /// always gets the same devices regardless of how many other homes a
 /// campaign simulates. `count >= 93` returns the full registry.
 pub fn subsample(count: usize, seed: u64) -> Vec<DeviceProfile> {
+    subsample_refs(count, seed).into_iter().cloned().collect()
+}
+
+/// [`subsample`] without the clones: `&'static` handles into the
+/// interned registry, in registry order. The selection is identical to
+/// [`subsample`]'s for every `(count, seed)` — both are thin wrappers
+/// over [`subsample_indices`].
+pub fn subsample_refs(count: usize, seed: u64) -> Vec<&'static DeviceProfile> {
+    let all = shared();
+    subsample_indices(count, seed)
+        .into_iter()
+        .map(|i| &all[i])
+        .collect()
+}
+
+/// The registry indices a `(count, seed)` subsample selects, sorted in
+/// registry order. The draw is a seeded partial Fisher–Yates over a
+/// `Vec<usize>` — no profile is touched, let alone cloned, until a
+/// caller dereferences a handle.
+pub fn subsample_indices(count: usize, seed: u64) -> Vec<usize> {
     use rand::{rngs::StdRng, Rng, SeedableRng};
-    let all = build();
-    let total = all.len();
+    let total = shared().len();
     if count >= total {
-        return all;
+        return (0..total).collect();
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut indices: Vec<usize> = (0..total).collect();
@@ -1876,12 +1916,10 @@ pub fn subsample(count: usize, seed: u64) -> Vec<DeviceProfile> {
         let j = rng.gen_range(i..total);
         indices.swap(i, j);
     }
-    let chosen: std::collections::BTreeSet<usize> = indices[..count].iter().copied().collect();
-    all.into_iter()
-        .enumerate()
-        .filter(|(i, _)| chosen.contains(i))
-        .map(|(_, p)| p)
-        .collect()
+    let mut chosen = indices;
+    chosen.truncate(count);
+    chosen.sort_unstable();
+    chosen
 }
 
 /// Look up one profile by id (panics on unknown id — registry ids are
@@ -1892,7 +1930,12 @@ pub fn by_id(id: &str) -> DeviceProfile {
 
 /// Look up one profile by id, returning `None` for unknown ids.
 pub fn find(id: &str) -> Option<DeviceProfile> {
-    build().into_iter().find(|p| p.id == id)
+    lookup(id).cloned()
+}
+
+/// Clone-free [`find`]: a `&'static` handle into the interned registry.
+pub fn lookup(id: &str) -> Option<&'static DeviceProfile> {
+    shared().iter().find(|p| p.id == id)
 }
 
 /// Convenience: the hard-coded v6 endpoint name for a device, if any.
@@ -1958,6 +2001,28 @@ mod checks {
         let distinct: HashSet<String> = ids(&a).into_iter().collect();
         assert_eq!(distinct.len(), 10);
         assert_eq!(subsample(200, 1).len(), 93);
+    }
+
+    #[test]
+    fn subsample_refs_are_interned_handles_to_the_same_selection() {
+        // The registry compiles exactly once per process...
+        assert!(std::ptr::eq(shared(), shared()));
+        // ...and the three subsample entry points agree: indices name
+        // the selection, refs are handles straight into the shared
+        // slice at those indices, and the cloning wrapper deep-copies
+        // the very same profiles.
+        for (count, seed) in [(1usize, 0u64), (10, 42), (93, 7), (200, 1)] {
+            let indices = subsample_indices(count, seed);
+            let refs = subsample_refs(count, seed);
+            let owned = subsample(count, seed);
+            assert_eq!(indices.len(), refs.len());
+            assert_eq!(refs.len(), owned.len());
+            for ((i, r), o) in indices.iter().zip(&refs).zip(&owned) {
+                assert!(std::ptr::eq(*r, &shared()[*i]));
+                assert_eq!(r.id, o.id);
+                assert_eq!(r.mac, o.mac);
+            }
+        }
     }
 
     #[test]

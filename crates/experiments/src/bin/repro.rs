@@ -320,6 +320,19 @@ fn run_scenario(args: &[String]) {
 
 /// `repro fleet <homes> [--workers W] [--seed S] [--duration SECS]
 /// [--max-failures N] [--chaos-home IDX]... [--json]`
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`). `None` off Linux or if procfs is unreadable.
+///
+/// The high-water mark is monotonic for the life of the process, so a
+/// per-campaign measurement needs the campaign in its own process —
+/// which is exactly how `bench-json`'s scale probe uses `repro fleet`.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
 fn run_fleet(args: &[String]) {
     let mut spec = fleet::CampaignSpec {
         workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
@@ -385,6 +398,11 @@ fn run_fleet(args: &[String]) {
             "   home {} FAILED (seed {:#x}, {}): {}",
             f.index, f.seed, f.config_label, f.panic_msg
         );
+    }
+    // Machine-parseable memory line (stderr only — the stdout JSON stays
+    // byte-identical for a given spec no matter where it runs).
+    if let Some(rss) = peak_rss_bytes() {
+        eprintln!("peak_rss_bytes={rss}");
     }
     if json {
         // `report.failures` is `#[serde(skip)]` so the population
@@ -783,6 +801,43 @@ fn run_upload(args: &[String]) {
 /// parallel, fleet homes/sec, and v6brickd uploads/sec at 1, 4, and 16
 /// concurrent clients. Written to `--out` (default
 /// `BENCH_pipeline.json`) and echoed to stdout.
+/// Run `repro fleet HOMES --workers W --duration 10 --json` in a child
+/// process and return `(wall_secs, child_peak_rss_bytes)`.
+///
+/// A subprocess per campaign is the only way to get a per-campaign peak
+/// RSS: `VmHWM` never goes down, so two campaigns in one process would
+/// share one high-water mark. The child self-reports on stderr; stdout
+/// (the report JSON) is discarded — its byte-identity across worker
+/// counts is pinned by CI's fleet-scale smoke, not here.
+fn fleet_scale_probe(homes: u64, workers: usize) -> (f64, u64) {
+    use std::process::{Command, Stdio};
+    let exe = std::env::current_exe().expect("current exe path");
+    let t0 = std::time::Instant::now();
+    let out = Command::new(exe)
+        .args([
+            "fleet",
+            &homes.to_string(),
+            "--workers",
+            &workers.to_string(),
+            "--duration",
+            "10",
+            "--json",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .output()
+        .expect("spawn repro fleet subprocess");
+    let secs = t0.elapsed().as_secs_f64();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "fleet scale probe failed: {stderr}");
+    let rss = stderr
+        .lines()
+        .find_map(|l| l.strip_prefix("peak_rss_bytes="))
+        .and_then(|v| v.parse::<u64>().ok())
+        .expect("child reported peak_rss_bytes on stderr");
+    (secs, rss)
+}
+
 fn run_bench_json(args: &[String]) {
     use std::time::Instant;
     use v6brick_core::observe::StreamingAnalyzer;
@@ -1007,8 +1062,21 @@ fn run_bench_json(args: &[String]) {
     let wanscan_monotonic =
         wan_report.monotonic_violations().is_empty() && wan_report.failures.is_empty();
 
+    // --- 6. Memory-flat scale probe: 1k vs 100k homes ---
+    // Campaign memory is O(workers), so a 100x bigger campaign must not
+    // cost meaningfully more peak RSS. Each campaign runs in its own
+    // `repro fleet` child (VmHWM is per-process and monotonic) at short
+    // 10 s windows; the parent times the wall clock and reads the
+    // child's self-reported peak off stderr.
+    eprintln!("bench-json: fleet scale probe, 1k homes ({workers} workers, 10 s windows)...");
+    let (scale_small_secs, scale_small_rss) = fleet_scale_probe(1_000, workers);
+    eprintln!("bench-json: fleet scale probe, 100k homes (the long one)...");
+    let (scale_large_secs, scale_large_rss) = fleet_scale_probe(100_000, workers);
+    let rss_ratio = scale_large_rss as f64 / scale_small_rss.max(1) as f64;
+    let memory_flat = rss_ratio <= 2.0;
+
     let out = serde_json::json!({
-        "schema": "v6brick-bench-pipeline/4",
+        "schema": "v6brick-bench-pipeline/5",
         "streaming_analyzer": serde_json::json!({
             "frames": frames,
             "bytes": bytes,
@@ -1035,6 +1103,21 @@ fn run_bench_json(args: &[String]) {
             "full_pass_secs": fleet_full_secs,
             "pass_ablation_speedup": fleet_full_secs / fleet_secs.max(1e-9),
             "report_identical": report_identical,
+            "peak_rss_bytes": peak_rss_bytes(),
+        }),
+        "fleet_scale": serde_json::json!({
+            "duration_s": 10,
+            "workers": workers,
+            "small_homes": 1_000u64,
+            "small_secs": scale_small_secs,
+            "small_homes_per_sec": 1_000.0 / scale_small_secs.max(1e-9),
+            "small_peak_rss_bytes": scale_small_rss,
+            "large_homes": 100_000u64,
+            "large_secs": scale_large_secs,
+            "large_homes_per_sec": 100_000.0 / scale_large_secs.max(1e-9),
+            "large_peak_rss_bytes": scale_large_rss,
+            "rss_ratio": rss_ratio,
+            "memory_flat": memory_flat,
         }),
         "ingest": serde_json::json!({
             "homes": ingest_spec.homes,
@@ -1089,6 +1172,13 @@ fn run_bench_json(args: &[String]) {
         eprintln!(
             "bench-json: the WAN exposure report violates the firewall-policy lattice \
              (or a home failed) — a stricter policy exposed more than a looser one"
+        );
+        std::process::exit(1);
+    }
+    if !memory_flat {
+        eprintln!(
+            "bench-json: a 100k-home campaign peaked at {rss_ratio:.2}x the RSS of a \
+             1k-home campaign — campaign memory is no longer flat in homes"
         );
         std::process::exit(1);
     }

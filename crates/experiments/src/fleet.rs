@@ -3,23 +3,31 @@
 //! Wires the generic `v6brick-fleet` machinery to this crate's
 //! experiment harness: a [`CampaignSpec`] describes the population
 //! (home count, seed, worker pool, device-count range, Table 2 config
-//! mix, experiment duration); [`run`] synthesizes the homes, simulates
-//! each on the worker pool via [`scenario::run_with_profiles_seeded_for`],
-//! and streams the per-device observations into a
-//! [`PopulationReport`]. Each home analyzes **streaming off the capture
-//! tap** — no per-home byte buffer ever exists — and its flow table
-//! drops as soon as the observations are folded in.
+//! mix, experiment duration); [`run`] streams lazily-planned homes
+//! through the worker pool, simulates each via [`scenario::run_home`],
+//! and folds the per-device observations into per-worker
+//! [`PopulationReport`] partials that merge at the end. Each home
+//! analyzes **streaming off the capture tap** — no per-home byte buffer
+//! ever exists — and its flow table drops as soon as the observations
+//! are folded in. Campaign memory is `O(workers)`, never `O(homes)`:
+//! specs are derived on demand from `(campaign_seed, index)`, profiles
+//! are `&'static` registry handles, failure metadata is re-derived from
+//! the failed index, and only one report partial per worker crosses a
+//! thread boundary.
 //!
-//! The report is byte-identical across worker counts for a fixed spec
-//! (`tests/fleet_determinism.rs` pins this).
+//! The report is byte-identical across worker counts for a fixed spec —
+//! the per-home absorb order differs under the hierarchical merge, but
+//! every aggregate is a sum of per-home integer contributions, so any
+//! partition of the homes merges to the same bytes
+//! (`tests/fleet_determinism.rs` pins this end to end).
 
 use crate::config::NetworkConfig;
-use crate::scenario;
+use crate::scenario::{self, ZoneCache};
 use std::collections::BTreeMap;
 use v6brick_core::analysis::PassId;
 use v6brick_core::observe::DeviceObservation;
 use v6brick_core::population::{HomeFailure, PopulationReport};
-use v6brick_fleet::{plan_homes, run_indexed_outcomes, HomeSpec};
+use v6brick_fleet::{plan_home, plan_homes_iter, run_partials, HomeSpec};
 use v6brick_sim::SimTime;
 
 /// Re-export of [`v6brick_core::population::POPULATION_PASSES`] (which
@@ -77,20 +85,28 @@ impl Default for CampaignSpec {
 /// observations and outcomes. (The simulation itself never buffers a
 /// capture — analysis streams off the tap.)
 struct HomeResult {
-    config_label: String,
+    config_label: &'static str,
     devices: BTreeMap<String, DeviceObservation>,
     functional: BTreeMap<String, bool>,
     frames: u64,
 }
 
 fn simulate_home(
+    scratch: &mut ZoneCache,
     home: HomeSpec<NetworkConfig>,
     duration: SimTime,
     passes: &[PassId],
 ) -> HomeResult {
-    let run = scenario::run_scoped(home.config, &home.profiles, home.seed, duration, passes);
+    let run = scenario::run_home(
+        scratch,
+        home.config,
+        &home.profiles,
+        home.seed,
+        duration,
+        passes,
+    );
     HomeResult {
-        config_label: run.config.label().to_string(),
+        config_label: run.config.label(),
         devices: run.analysis.devices,
         functional: run.functional,
         frames: run.frames,
@@ -102,53 +118,56 @@ fn simulate_home(
 
 /// Execute a campaign and aggregate the population report.
 ///
+/// Homes stream from the lazy planner into [`run_partials`]: each
+/// worker reuses its [`ZoneCache`] scratch across homes and folds
+/// results into its own partial report; the partials merge afterwards
+/// ([`PopulationReport::merge`] is associative and commutative, so the
+/// merged bytes equal the serial in-order fold's).
+///
 /// Homes that panic are isolated and recorded in
 /// [`PopulationReport::failures`](PopulationReport) — they never abort
 /// the pool, and (because failures are `#[serde(skip)]`) never perturb
-/// the serialized aggregates over the surviving homes.
+/// the serialized aggregates over the surviving homes. Their seed and
+/// config label are re-derived from the failed index alone.
 pub fn run(spec: &CampaignSpec) -> PopulationReport {
     let (dev_min, dev_max) = spec.device_range;
-    let plans = plan_homes(spec.seed, spec.homes, &spec.mix, dev_min..=dev_max);
-    // Metadata the failure records need, captured *before* the plans
-    // move into the pool (the panicked home's spec is consumed by the
-    // unwind, so it can't be read back out of the runner).
-    let meta: BTreeMap<u64, (u64, String)> = plans
-        .iter()
-        .map(|h| (h.index, (h.seed, h.config.label().to_string())))
-        .collect();
     let duration = SimTime::from_secs(spec.duration_s);
-    let chaos = spec.chaos_panic_homes.clone();
-    let (mut report, failures) = run_indexed_outcomes(
-        plans,
+    let chaos = &spec.chaos_panic_homes;
+    let (partials, failures) = run_partials(
+        plan_homes_iter(spec.seed, spec.homes, &spec.mix, dev_min..=dev_max),
         spec.workers,
-        move |home| {
+        ZoneCache::new,
+        move |scratch, home: HomeSpec<NetworkConfig>| {
             assert!(
                 !chaos.contains(&home.index),
                 "chaos: poisoned home {} (seed {:#x})",
                 home.index,
                 home.seed
             );
-            simulate_home(home, duration, &spec.passes)
+            simulate_home(scratch, home, duration, &spec.passes)
         },
-        PopulationReport::new(spec.seed),
-        |report, _index, home| {
-            report.absorb_home(
-                &home.config_label,
+        || PopulationReport::new(spec.seed),
+        |partial, _index, home| {
+            partial.absorb_home(
+                home.config_label,
                 &home.devices,
                 &home.functional,
                 home.frames,
             );
         },
     );
+    let mut report = PopulationReport::new(spec.seed);
+    for partial in &partials {
+        report.merge(partial);
+    }
     for f in failures {
-        let (seed, config_label) = meta
-            .get(&f.index)
-            .cloned()
-            .unwrap_or((0, String::from("unknown")));
+        // No O(homes) metadata map: the failed home's spec derives from
+        // its index exactly as the planner derived it the first time.
+        let home = plan_home(spec.seed, f.index, &spec.mix, dev_min..=dev_max);
         report.absorb_failure(HomeFailure {
             index: f.index,
-            seed,
-            config_label,
+            seed: home.seed,
+            config_label: home.config.label().to_string(),
             panic_msg: f.message,
         });
     }
@@ -261,13 +280,14 @@ mod tests {
         assert_eq!(poisoned.homes, 3);
 
         // Reference: same plans, the poisoned index simply never exists.
-        let plans = plan_homes(spec.seed, spec.homes, &spec.mix, 2..=3);
+        let plans = v6brick_fleet::plan_homes(spec.seed, spec.homes, &spec.mix, 2..=3);
         assert_eq!(plans[2].seed, failure.seed);
         let duration = SimTime::from_secs(spec.duration_s);
         let mut clean = PopulationReport::new(spec.seed);
+        let mut scratch = ZoneCache::new();
         for home in plans.into_iter().filter(|h| h.index != 2) {
-            let r = simulate_home(home, duration, &spec.passes);
-            clean.absorb_home(&r.config_label, &r.devices, &r.functional, r.frames);
+            let r = simulate_home(&mut scratch, home, duration, &spec.passes);
+            clean.absorb_home(r.config_label, &r.devices, &r.functional, r.frames);
         }
         assert_eq!(
             serde_json::to_string(&poisoned).unwrap(),

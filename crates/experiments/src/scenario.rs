@@ -13,7 +13,8 @@
 //! `SimulationBuilder::capture(true)` on a hand-built simulation.
 
 use crate::config::NetworkConfig;
-use std::collections::{BTreeMap, BTreeSet};
+use std::borrow::Borrow;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use v6brick_core::analysis::PassId;
 use v6brick_core::observe::{ExperimentAnalysis, StreamingAnalyzer};
 use v6brick_core::outage::SwitchRecord;
@@ -33,27 +34,35 @@ use v6brick_sim::{addrs, FaultPlan, Router, SimulationBuilder};
 /// rounds.
 pub const EXPERIMENT_DURATION: SimTime = SimTime::from_secs(420);
 
-/// Build the authoritative zone database for a set of device profiles:
-/// every destination with its AAAA readiness, the hard-coded endpoints,
-/// the NTP anycast, and the phones' canary domain.
-pub fn build_zones(profiles: &[DeviceProfile]) -> ZoneDb {
+/// The domain registrations one profile contributes to a zone database,
+/// in destination order — the unit [`ZoneCache`] memoizes.
+fn zone_fragment(p: &DeviceProfile) -> Vec<DomainProfile> {
+    let mut out = Vec::with_capacity(p.app.destinations.len() + 1);
+    for d in &p.app.destinations {
+        out.push(if d.aaaa_ready {
+            DomainProfile::dual_stack(d.domain.clone())
+        } else {
+            DomainProfile::v4_only(d.domain.clone())
+        });
+    }
+    if let Some(h) = &p.app.hardcoded_v6_endpoint {
+        out.push(DomainProfile::dual_stack(h.clone()));
+    }
+    out
+}
+
+/// Replay per-profile fragments into one zone database. First
+/// registration wins (deterministic because profiles and their
+/// destinations are ordered); the NTP anycast and the phones' canary
+/// domain are registered last, unconditionally — exactly the order the
+/// uncached builder always used.
+fn assemble_zones<'a>(fragments: impl Iterator<Item = &'a [DomainProfile]>) -> ZoneDb {
     let mut zones = ZoneDb::new();
-    for p in profiles {
-        for d in &p.app.destinations {
-            // Don't overwrite: shared domains keep their first profile
-            // (deterministic because profiles are ordered).
-            if zones.get(&d.domain).is_none() {
-                let dp = if d.aaaa_ready {
-                    DomainProfile::dual_stack(d.domain.clone())
-                } else {
-                    DomainProfile::v4_only(d.domain.clone())
-                };
-                zones.insert(dp);
-            }
-        }
-        if let Some(h) = &p.app.hardcoded_v6_endpoint {
-            if zones.get(h).is_none() {
-                zones.insert(DomainProfile::dual_stack(h.clone()));
+    for fragment in fragments {
+        for dp in fragment {
+            // Don't overwrite: shared domains keep their first profile.
+            if zones.get(&dp.name).is_none() {
+                zones.insert(dp.clone());
             }
         }
     }
@@ -62,12 +71,55 @@ pub fn build_zones(profiles: &[DeviceProfile]) -> ZoneDb {
     zones
 }
 
+/// Build the authoritative zone database for a set of device profiles:
+/// every destination with its AAAA readiness, the hard-coded endpoints,
+/// the NTP anycast, and the phones' canary domain.
+pub fn build_zones<P: Borrow<DeviceProfile>>(profiles: &[P]) -> ZoneDb {
+    let fragments: Vec<Vec<DomainProfile>> =
+        profiles.iter().map(|p| zone_fragment(p.borrow())).collect();
+    assemble_zones(fragments.iter().map(|f| f.as_slice()))
+}
+
+/// Per-worker scratch for fleet-scale zone building: memoizes each
+/// profile's [`DomainProfile`] fragment so a worker that simulates
+/// thousands of homes derives every destination's zone entry once per
+/// registry profile instead of once per home. Produces a database
+/// byte-equivalent to [`build_zones`] for any profile list — the cache
+/// only skips re-deriving per-profile fragments; the first-wins
+/// assembly order is identical.
+#[derive(Default)]
+pub struct ZoneCache {
+    fragments: HashMap<String, Vec<DomainProfile>>,
+}
+
+impl ZoneCache {
+    /// An empty cache; it warms up as homes are simulated.
+    pub fn new() -> ZoneCache {
+        ZoneCache::default()
+    }
+
+    /// [`build_zones`], memoized per profile id.
+    pub fn zones_for<P: Borrow<DeviceProfile>>(&mut self, profiles: &[P]) -> ZoneDb {
+        for p in profiles {
+            let p = p.borrow();
+            self.fragments
+                .entry(p.id.clone())
+                .or_insert_with(|| zone_fragment(p));
+        }
+        assemble_zones(
+            profiles
+                .iter()
+                .map(|p| self.fragments[&p.borrow().id].as_slice()),
+        )
+    }
+}
+
 /// The AAAA-ready destination set (ground truth for the zone db; the
 /// *measured* equivalent comes from [`crate::active_dns`]).
-pub fn aaaa_ready_domains(profiles: &[DeviceProfile]) -> BTreeSet<Name> {
+pub fn aaaa_ready_domains<P: Borrow<DeviceProfile>>(profiles: &[P]) -> BTreeSet<Name> {
     profiles
         .iter()
-        .flat_map(|p| p.app.destinations.iter())
+        .flat_map(|p| p.borrow().app.destinations.iter())
         .filter(|d| d.aaaa_ready)
         .map(|d| d.domain.clone())
         .collect()
@@ -96,21 +148,24 @@ pub fn lan_prefix() -> Cidr {
 
 /// Run one experiment over the full registry.
 pub fn run(config: NetworkConfig) -> ExperimentRun {
-    run_with_profiles(config, &registry::build())
+    run_with_profiles(config, registry::shared())
 }
 
 /// Run one experiment over an arbitrary profile subset (tests use this
 /// with a handful of devices).
-pub fn run_with_profiles(config: NetworkConfig, profiles: &[DeviceProfile]) -> ExperimentRun {
+pub fn run_with_profiles<P: Borrow<DeviceProfile>>(
+    config: NetworkConfig,
+    profiles: &[P],
+) -> ExperimentRun {
     run_with_profiles_seeded(config, profiles, 0x6b1c_0000)
 }
 
 /// Like [`run_with_profiles`] but with an explicit base seed — device
 /// *behaviours* must be seed-invariant (only boot jitter and temporary
 /// addresses vary), which `tests/paper_reproduction.rs` checks.
-pub fn run_with_profiles_seeded(
+pub fn run_with_profiles_seeded<P: Borrow<DeviceProfile>>(
     config: NetworkConfig,
-    profiles: &[DeviceProfile],
+    profiles: &[P],
     base_seed: u64,
 ) -> ExperimentRun {
     run_with_profiles_seeded_for(config, profiles, base_seed, EXPERIMENT_DURATION)
@@ -118,9 +173,9 @@ pub fn run_with_profiles_seeded(
 
 /// Like [`run_with_profiles_seeded`] but with an explicit duration —
 /// fleet campaigns and tests trade capture length for wall-clock time.
-pub fn run_with_profiles_seeded_for(
+pub fn run_with_profiles_seeded_for<P: Borrow<DeviceProfile>>(
     config: NetworkConfig,
-    profiles: &[DeviceProfile],
+    profiles: &[P],
     base_seed: u64,
     duration: SimTime,
 ) -> ExperimentRun {
@@ -133,9 +188,9 @@ pub fn run_with_profiles_seeded_for(
 /// population report, a single table generator — skip the work of the
 /// passes whose fields they never look at; the fields a disabled pass
 /// owns stay at their defaults.
-pub fn run_scoped(
+pub fn run_scoped<P: Borrow<DeviceProfile>>(
     config: NetworkConfig,
-    profiles: &[DeviceProfile],
+    profiles: &[P],
     base_seed: u64,
     duration: SimTime,
     passes: &[PassId],
@@ -148,6 +203,31 @@ pub fn run_scoped(
         passes,
         FaultPlan::new(),
     )
+    .run
+}
+
+/// [`run_scoped`] with a per-worker [`ZoneCache`]: the fleet pool's
+/// home runner, where one worker simulates thousands of homes and the
+/// zone fragments amortize. Byte-identical output to [`run_scoped`].
+pub fn run_home<P: Borrow<DeviceProfile>>(
+    cache: &mut ZoneCache,
+    config: NetworkConfig,
+    profiles: &[P],
+    base_seed: u64,
+    duration: SimTime,
+    passes: &[PassId],
+) -> ExperimentRun {
+    execute(
+        config,
+        profiles,
+        base_seed,
+        duration,
+        passes,
+        FaultPlan::new(),
+        false,
+        Some(cache),
+    )
+    .0
     .run
 }
 
@@ -182,9 +262,9 @@ pub struct CapturedRun {
 /// an analysis: the bundle-generation path for `repro upload`, the
 /// load generator, and the server equivalence tests. No analyzer pass
 /// runs — the server is the one doing the analysis.
-pub fn run_captured(
+pub fn run_captured<P: Borrow<DeviceProfile>>(
     config: NetworkConfig,
-    profiles: &[DeviceProfile],
+    profiles: &[P],
     base_seed: u64,
     duration: SimTime,
 ) -> CapturedRun {
@@ -196,6 +276,7 @@ pub fn run_captured(
         &[],
         FaultPlan::new(),
         true,
+        None,
     );
     CapturedRun {
         config,
@@ -207,33 +288,42 @@ pub fn run_captured(
 /// [`run_scoped`] under an injected [`FaultPlan`]: the same build and
 /// measurement path, plus the devices' family-switch logs and the
 /// engine's fault counters for Table 9-style outage reporting.
-pub fn run_faulted(
+pub fn run_faulted<P: Borrow<DeviceProfile>>(
     config: NetworkConfig,
-    profiles: &[DeviceProfile],
+    profiles: &[P],
     base_seed: u64,
     duration: SimTime,
     passes: &[PassId],
     faults: FaultPlan,
 ) -> FaultedRun {
-    execute(config, profiles, base_seed, duration, passes, faults, false).0
+    execute(
+        config, profiles, base_seed, duration, passes, faults, false, None,
+    )
+    .0
 }
 
-fn execute(
+#[allow(clippy::too_many_arguments)]
+fn execute<P: Borrow<DeviceProfile>>(
     config: NetworkConfig,
-    profiles: &[DeviceProfile],
+    profiles: &[P],
     base_seed: u64,
     duration: SimTime,
     passes: &[PassId],
     faults: FaultPlan,
     keep_capture: bool,
+    zone_cache: Option<&mut ZoneCache>,
 ) -> (FaultedRun, Option<v6brick_pcap::Capture>) {
-    let zones = build_zones(profiles);
+    let zones = match zone_cache {
+        Some(cache) => cache.zones_for(profiles),
+        None => build_zones(profiles),
+    };
     let internet = Internet::new(zones);
     let router = Router::new(config.router_config());
     let mut b = SimulationBuilder::new(router, internet);
 
     let mut device_ids = Vec::with_capacity(profiles.len());
     for p in profiles {
+        let p = p.borrow();
         let id = b.add_host(Box::new(IotDevice::new(p.clone())));
         device_ids.push((id, p.id.clone(), p.mac));
     }

@@ -250,7 +250,7 @@ fn scan_policy(
     let mut b = SimulationBuilder::new(router, internet);
     let mut hosts = Vec::with_capacity(home.profiles.len());
     for p in &home.profiles {
-        hosts.push(b.add_host(Box::new(IotDevice::new(p.clone()))));
+        hosts.push(b.add_host(Box::new(IotDevice::new((*p).clone()))));
     }
     let mut sim = b.seed(home.seed ^ home.config as u64).build();
     sim.internet_mut().attach_scanner(scanner_addr());
@@ -470,7 +470,10 @@ mod tests {
             index: 0,
             seed: 0x5ca9_0001,
             config,
-            profiles: ids.iter().map(|id| registry::by_id(id)).collect(),
+            profiles: ids
+                .iter()
+                .map(|id| registry::lookup(id).expect("known device id"))
+                .collect(),
         }
     }
 

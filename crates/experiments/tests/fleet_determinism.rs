@@ -1,8 +1,9 @@
 //! Campaign-level determinism regression (ISSUE satellite #2): the same
 //! campaign spec must produce a byte-identical `PopulationReport` JSON
-//! for 1 worker and 8 workers. This pins the whole chain — seed
-//! derivation, home planning, per-home simulation, in-order reduction,
-//! and the integer-only serialization of the report.
+//! at every worker count. This pins the whole chain — seed derivation,
+//! streaming home planning, per-home simulation, worker-local partial
+//! reports, the hierarchical merge, and the integer-only serialization
+//! of the report.
 
 use v6brick_experiments::fleet::{self, CampaignSpec};
 
@@ -22,8 +23,13 @@ fn spec(workers: usize) -> CampaignSpec {
 #[test]
 fn worker_count_does_not_change_the_report() {
     let serial = serde_json::to_string(&fleet::run(&spec(1))).unwrap();
-    let parallel = serde_json::to_string(&fleet::run(&spec(8))).unwrap();
-    assert_eq!(serial, parallel, "report must not depend on worker count");
+    for workers in [2usize, 8] {
+        let parallel = serde_json::to_string(&fleet::run(&spec(workers))).unwrap();
+        assert_eq!(
+            serial, parallel,
+            "report must not depend on worker count (diverged at {workers})"
+        );
+    }
 }
 
 #[test]

@@ -15,7 +15,13 @@
 //!   bit-identical to home 17 of a 1000-home campaign;
 //! * homes are reduced **in home-index order** no matter which worker
 //!   finishes first ([`pool::run_indexed`]) — the final report is
-//!   byte-identical across worker counts.
+//!   byte-identical across worker counts — or hierarchically into
+//!   per-worker partials ([`pool::run_partials`]) whose commutative
+//!   merge produces the same bytes without a serial reducer;
+//! * campaigns **stream**: [`plan::plan_homes_iter`] derives each home
+//!   lazily from `(campaign_seed, index)` and the pool feeds from any
+//!   `IntoIterator`, so a million-home campaign holds `O(workers)`
+//!   specs, results, and report partials at any instant.
 //!
 //! The crate is generic over the network-config type so it does not
 //! depend on the experiment harness; `v6brick-experiments` supplies the
@@ -26,7 +32,7 @@ pub mod plan;
 pub mod pool;
 pub mod seed;
 
-pub use plan::{plan_homes, HomeSpec};
-pub use pool::{run_indexed, run_indexed_outcomes, ItemPanic};
+pub use plan::{plan_home, plan_homes, plan_homes_iter, HomeSpec};
+pub use pool::{run_indexed, run_indexed_outcomes, run_indexed_with, run_partials, ItemPanic};
 pub use seed::home_seed;
 pub use v6brick_core::population::PopulationReport;

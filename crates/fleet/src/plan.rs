@@ -3,7 +3,10 @@
 //! A home is a device-registry subsample plus a network config drawn
 //! from a weighted mix (the Table 2 matrix rows, typically). Both draws
 //! use only the home's own seed, so every home is reproducible in
-//! isolation.
+//! isolation — [`plan_home`] derives home `i` from `(campaign_seed, i)`
+//! alone, and [`plan_homes_iter`] streams a campaign lazily so at most
+//! the in-flight specs are ever alive. Profiles are `&'static` handles
+//! into the interned registry; a `HomeSpec` owns no strings.
 
 use crate::seed::home_seed;
 use std::ops::RangeInclusive;
@@ -19,8 +22,9 @@ pub struct HomeSpec<C> {
     pub seed: u64,
     /// Network configuration for this home's router.
     pub config: C,
-    /// Device models present in this home (registry subsample).
-    pub profiles: Vec<DeviceProfile>,
+    /// Device models present in this home (registry subsample), as
+    /// handles into the shared interned registry.
+    pub profiles: Vec<&'static DeviceProfile>,
 }
 
 /// Small deterministic draws on top of the home seed, kept separate
@@ -29,7 +33,80 @@ fn draw(seed: u64, step: u64) -> u64 {
     crate::seed::home_seed(seed, step)
 }
 
-/// Synthesize `homes` homes for a campaign.
+fn validate<C>(mix: &[(C, u32)], devices: &RangeInclusive<usize>) -> (u64, usize, usize) {
+    let total_weight: u64 = mix.iter().map(|(_, w)| *w as u64).sum();
+    assert!(
+        total_weight > 0,
+        "config mix must have positive total weight"
+    );
+    let (dev_min, dev_max) = (*devices.start(), *devices.end());
+    assert!(dev_min >= 1 && dev_min <= dev_max, "bad device range");
+    (total_weight, dev_min, dev_max)
+}
+
+fn derive<C: Copy>(
+    campaign_seed: u64,
+    index: u64,
+    mix: &[(C, u32)],
+    total_weight: u64,
+    dev_min: usize,
+    dev_max: usize,
+) -> HomeSpec<C> {
+    let seed = home_seed(campaign_seed, index);
+    // Config: weighted draw over the mix.
+    let mut ticket = draw(seed, 1) % total_weight;
+    let mut config = mix[0].0;
+    for (c, w) in mix {
+        if ticket < *w as u64 {
+            config = *c;
+            break;
+        }
+        ticket -= *w as u64;
+    }
+    // Device complement: uniform count, then registry subsample.
+    let span = (dev_max - dev_min) as u64 + 1;
+    let count = dev_min + (draw(seed, 2) % span) as usize;
+    let profiles = registry::subsample_refs(count, draw(seed, 3));
+    HomeSpec {
+        index,
+        seed,
+        config,
+        profiles,
+    }
+}
+
+/// Synthesize home `index` of a campaign, in isolation: the spec
+/// depends only on `(campaign_seed, index, mix, devices)`, never on how
+/// many homes the campaign has or which other homes were planned. This
+/// is how failure metadata is re-derived on demand — no per-home map
+/// survives a campaign.
+pub fn plan_home<C: Copy>(
+    campaign_seed: u64,
+    index: u64,
+    mix: &[(C, u32)],
+    devices: RangeInclusive<usize>,
+) -> HomeSpec<C> {
+    let (total_weight, dev_min, dev_max) = validate(mix, &devices);
+    derive(campaign_seed, index, mix, total_weight, dev_min, dev_max)
+}
+
+/// Stream `homes` home specs lazily: the iterator yields
+/// [`plan_home`]`(campaign_seed, i, ...)` for `i` in `0..homes` without
+/// ever materializing the campaign. Feeding this straight into the
+/// worker pool keeps at most `O(workers)` specs alive regardless of
+/// campaign size. Mix validation still happens eagerly, at call time.
+pub fn plan_homes_iter<C: Copy>(
+    campaign_seed: u64,
+    homes: u64,
+    mix: &[(C, u32)],
+    devices: RangeInclusive<usize>,
+) -> impl Iterator<Item = HomeSpec<C>> {
+    let (total_weight, dev_min, dev_max) = validate(mix, &devices);
+    let mix: Vec<(C, u32)> = mix.to_vec();
+    (0..homes).map(move |index| derive(campaign_seed, index, &mix, total_weight, dev_min, dev_max))
+}
+
+/// Synthesize `homes` homes for a campaign, materialized.
 ///
 /// * `mix` — weighted network configs; each home draws one
 ///   proportionally to weight. Must be non-empty with a positive total.
@@ -39,46 +116,16 @@ fn draw(seed: u64, step: u64) -> u64 {
 ///
 /// Home `i` of the result is identical for any `homes > i`, any worker
 /// count, and any order of later calls — it depends only on
-/// `(campaign_seed, i, mix, devices)`.
+/// `(campaign_seed, i, mix, devices)`. This is [`plan_homes_iter`]
+/// collected; prefer the iterator (or [`plan_home`]) when the campaign
+/// is large.
 pub fn plan_homes<C: Copy>(
     campaign_seed: u64,
     homes: u64,
     mix: &[(C, u32)],
     devices: RangeInclusive<usize>,
 ) -> Vec<HomeSpec<C>> {
-    let total_weight: u64 = mix.iter().map(|(_, w)| *w as u64).sum();
-    assert!(
-        total_weight > 0,
-        "config mix must have positive total weight"
-    );
-    let (dev_min, dev_max) = (*devices.start(), *devices.end());
-    assert!(dev_min >= 1 && dev_min <= dev_max, "bad device range");
-
-    (0..homes)
-        .map(|index| {
-            let seed = home_seed(campaign_seed, index);
-            // Config: weighted draw over the mix.
-            let mut ticket = draw(seed, 1) % total_weight;
-            let mut config = mix[0].0;
-            for (c, w) in mix {
-                if ticket < *w as u64 {
-                    config = *c;
-                    break;
-                }
-                ticket -= *w as u64;
-            }
-            // Device complement: uniform count, then registry subsample.
-            let span = (dev_max - dev_min) as u64 + 1;
-            let count = dev_min + (draw(seed, 2) % span) as usize;
-            let profiles = registry::subsample(count, draw(seed, 3));
-            HomeSpec {
-                index,
-                seed,
-                config,
-                profiles,
-            }
-        })
-        .collect()
+    plan_homes_iter(campaign_seed, homes, mix, devices).collect()
 }
 
 #[cfg(test)]
@@ -99,6 +146,19 @@ mod tests {
             assert_eq!(a.seed, b.seed);
             assert_eq!(a.config, b.config);
             assert_eq!(ids(a), ids(b));
+        }
+    }
+
+    #[test]
+    fn single_home_matches_materialized_plan() {
+        let mix = [(0u8, 2), (1u8, 1), (2u8, 1)];
+        let all = plan_homes(0xfeed, 16, &mix, 2..=6);
+        for h in &all {
+            let alone = plan_home(0xfeed, h.index, &mix, 2..=6);
+            assert_eq!(alone.index, h.index);
+            assert_eq!(alone.seed, h.seed);
+            assert_eq!(alone.config, h.config);
+            assert_eq!(ids(&alone), ids(h));
         }
     }
 
@@ -124,5 +184,12 @@ mod tests {
     #[should_panic(expected = "positive total weight")]
     fn empty_mix_rejected() {
         plan_homes(0, 1, &[] as &[(u8, u32)], 1..=1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn iterator_validates_eagerly() {
+        // The mix check must not wait for the first `next()` call.
+        let _it = plan_homes_iter(0, 1, &[] as &[(u8, u32)], 1..=1);
     }
 }
