@@ -1,8 +1,9 @@
 //! `v6brickd` ingestion throughput: a fixed 16-home campaign replayed
-//! at an in-process server over 1, 4, and 16 concurrent clients. The
-//! interesting read-outs are uploads/sec scaling with client count
-//! (thread-per-connection + lock striping) and frames/sec through the
-//! per-connection streaming decode+analysis path.
+//! at an in-process server over 1, 4, 16, and 256 concurrent clients.
+//! The interesting read-outs are uploads/sec scaling with client count
+//! (event-loop shards + lock striping; connections far outnumber
+//! threads at the 256 tier) and frames/sec through the streaming
+//! decode+analysis path.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use v6brick_experiments::fleet::CampaignSpec;
@@ -48,7 +49,7 @@ fn bench_uploads(c: &mut Criterion) {
     let mut g = c.benchmark_group("ingest");
     g.sample_size(10);
     g.throughput(Throughput::Elements(HOMES));
-    for clients in [1usize, 4, 16] {
+    for clients in [1usize, 4, 16, 256] {
         g.bench_function(format!("upload_16_homes/clients_{clients}"), |b| {
             b.iter(|| black_box(replay(&bundles, clients)))
         });

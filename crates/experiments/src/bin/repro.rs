@@ -24,7 +24,7 @@
 //!                           # perf trajectory probe (streaming analyzer
 //!                           # frames/sec, suite serial vs parallel,
 //!                           # fleet homes/sec); schema in EXPERIMENTS.md
-//! repro serve [--addr HOST:PORT] [--seed N] [--shards N]
+//! repro serve [--addr HOST:PORT] [--seed N] [--shards N] [--loop-threads N]
 //!                           # run the v6brickd ingestion daemon until a
 //!                           # wire SHUTDOWN drains it
 //! repro upload N [--addr HOST:PORT] [--clients N] [--seed N]
@@ -593,6 +593,7 @@ fn run_serve(args: &[String]) {
             }
             "--seed" => config.campaign_seed = value("--seed"),
             "--shards" => config.shards = value("--shards") as usize,
+            "--loop-threads" => config.loop_threads = value("--loop-threads") as usize,
             other => {
                 eprintln!("unknown serve flag {other:?}");
                 std::process::exit(2);
@@ -1008,31 +1009,72 @@ fn run_bench_json(args: &[String]) {
     let bundles = serve::campaign_bundles(&ingest_spec);
     let ingest_offline = serve::offline_report_json(&ingest_spec);
     let bundle_bytes: u64 = bundles.iter().map(|b| b.pcap.len() as u64).sum();
-    let mut ingest_runs = Vec::new();
-    let mut snapshot_identical = true;
-    for clients in [1usize, 4, 16] {
-        eprintln!("bench-json: ingest replay, {clients} client(s)...");
+    // One tier of the ingest ladder: replay `bundles` at `clients`
+    // concurrency and gate the tier on byte-identity with the offline
+    // fleet JSON — throughput without correctness is meaningless.
+    let run_ingest_tier = |spec: &fleet::CampaignSpec,
+                           bundles: &[v6brick_ingest::UploadBundle],
+                           offline: &str,
+                           clients: usize|
+     -> (serde_json::Value, bool, f64) {
         let handle = v6brick_ingest::spawn(v6brick_ingest::ServerConfig {
-            campaign_seed: ingest_spec.seed,
+            campaign_seed: spec.seed,
             shards: 8,
             ..Default::default()
         })
         .expect("v6brickd binds an ephemeral port");
         let addr = handle.addr().to_string();
         let t0 = Instant::now();
-        let load = v6brick_ingest::loadgen::run(&addr, &bundles, clients, ingest_spec.seed)
+        let load = v6brick_ingest::loadgen::run(&addr, bundles, clients, spec.seed)
             .expect("load generator runs");
         let secs = t0.elapsed().as_secs_f64();
-        snapshot_identical &=
-            load.failures() == 0 && handle.state().snapshot_json() == ingest_offline;
-        ingest_runs.push(serde_json::json!({
+        let identical = load.failures() == 0 && handle.state().snapshot_json() == offline;
+        let uploads_per_sec = load.uploads() as f64 / secs.max(1e-9);
+        let run = serde_json::json!({
             "clients": clients,
             "secs": secs,
-            "uploads_per_sec": load.uploads() as f64 / secs.max(1e-9),
+            "uploads_per_sec": uploads_per_sec,
             "frames_per_sec": load.frames() as f64 / secs.max(1e-9),
-        }));
+            "snapshot_identical": identical,
+        });
         handle.shutdown();
         handle.join();
+        (run, identical, uploads_per_sec)
+    };
+    let mut ingest_runs = Vec::new();
+    let mut snapshot_identical = true;
+    for clients in [1usize, 4, 16] {
+        eprintln!("bench-json: ingest replay, {clients} client(s)...");
+        let (run, identical, _) = run_ingest_tier(&ingest_spec, &bundles, &ingest_offline, clients);
+        snapshot_identical &= identical;
+        ingest_runs.push(run);
+    }
+
+    // --- 4b. C10k sweep: the event-loop server under 256/1k/4k clients ---
+    // A much wider campaign (one home per client at the top tier) so
+    // every connection has real work; the snapshot gate holds per tier.
+    eprintln!("bench-json: packaging a 4096-home campaign for the C10k sweep...");
+    let c10k_spec = fleet::CampaignSpec {
+        homes: 4096,
+        seed: 0xc10c,
+        workers,
+        device_range: (2, 3),
+        duration_s: 10,
+        ..Default::default()
+    };
+    let c10k_bundles = serve::campaign_bundles(&c10k_spec);
+    let c10k_offline = serve::offline_report_json(&c10k_spec);
+    let c10k_bytes: u64 = c10k_bundles.iter().map(|b| b.pcap.len() as u64).sum();
+    let mut c10k_runs = Vec::new();
+    let mut c10k_identical = true;
+    let mut c10k_uploads_per_sec = 0.0;
+    for clients in [256usize, 1024, 4096] {
+        eprintln!("bench-json: C10k ingest replay, {clients} concurrent clients...");
+        let (run, identical, rate) =
+            run_ingest_tier(&c10k_spec, &c10k_bundles, &c10k_offline, clients);
+        c10k_identical &= identical;
+        c10k_uploads_per_sec = rate;
+        c10k_runs.push(run);
     }
 
     // --- 5. WAN exposure scan: homes/sec + cross-worker byte-identity ---
@@ -1076,7 +1118,7 @@ fn run_bench_json(args: &[String]) {
     let memory_flat = rss_ratio <= 2.0;
 
     let out = serde_json::json!({
-        "schema": "v6brick-bench-pipeline/5",
+        "schema": "v6brick-bench-pipeline/6",
         "streaming_analyzer": serde_json::json!({
             "frames": frames,
             "bytes": bytes,
@@ -1125,6 +1167,14 @@ fn run_bench_json(args: &[String]) {
             "shards": 8,
             "runs": ingest_runs,
             "snapshot_identical": snapshot_identical,
+        }),
+        "c10k": serde_json::json!({
+            "homes": c10k_spec.homes,
+            "bundle_bytes": c10k_bytes,
+            "shards": 8,
+            "runs": c10k_runs,
+            "snapshot_identical": c10k_identical,
+            "c10k_uploads_per_sec": c10k_uploads_per_sec,
         }),
         "wanscan": serde_json::json!({
             "homes": wan_report.homes,

@@ -3,12 +3,15 @@
 //! ```text
 //! v6brickd [--addr HOST:PORT] [--seed N] [--shards N]
 //!          [--max-upload-mb N] [--upload-timeout-ms N]
-//!          [--read-timeout-ms N]
+//!          [--read-timeout-ms N] [--loop-threads N]
+//!          [--drain-deadline-ms N] [--max-conns N]
 //! ```
 //!
 //! Binds, prints the listen address on stdout, and serves until a wire
 //! `SHUTDOWN` command drains it; exits 0 after a clean drain and prints
-//! the final STATS JSON on stdout.
+//! the final STATS JSON on stdout. The STATS line self-reports the
+//! daemon's threading (`loop_threads`, `handler_threads`) — CI greps it
+//! to prove no per-connection threads were ever created.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -17,7 +20,8 @@ use v6brick_ingest::{spawn, ServerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: v6brickd [--addr HOST:PORT] [--seed N] [--shards N] \
-         [--max-upload-mb N] [--upload-timeout-ms N] [--read-timeout-ms N]"
+         [--max-upload-mb N] [--upload-timeout-ms N] [--read-timeout-ms N] \
+         [--loop-threads N] [--drain-deadline-ms N] [--max-conns N]"
     );
     std::process::exit(2);
 }
@@ -57,6 +61,16 @@ fn main() -> ExitCode {
                 config.read_timeout =
                     Duration::from_millis(parse_u64(args.next(), "--read-timeout-ms"))
             }
+            "--loop-threads" => {
+                config.loop_threads = parse_u64(args.next(), "--loop-threads") as usize
+            }
+            "--drain-deadline-ms" => {
+                config.drain_deadline =
+                    Duration::from_millis(parse_u64(args.next(), "--drain-deadline-ms"))
+            }
+            "--max-conns" => {
+                config.max_connections = parse_u64(args.next(), "--max-conns") as usize
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("v6brickd: unknown flag {other}");
@@ -72,10 +86,11 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "v6brickd listening on {} (campaign seed {:#x}, {} shards)",
+        "v6brickd listening on {} (campaign seed {:#x}, {} shards, {} loop threads)",
         handle.addr(),
         handle.state().campaign_seed(),
-        handle.state().shard_count()
+        handle.state().shard_count(),
+        config.loop_threads.max(1)
     );
     let state = std::sync::Arc::clone(handle.state());
     handle.join();

@@ -1,16 +1,18 @@
-//! A blocking wire-protocol client for `v6brickd`.
+//! Wire-protocol clients for `v6brickd`.
 //!
-//! One [`Client`] wraps one TCP connection and issues requests
-//! sequentially (the protocol has no pipelining). The load generator
-//! runs many clients on their own threads; `repro upload` runs them
-//! from the CLI.
+//! [`Client`] is the blocking, sequential client (`repro upload`, the
+//! tests' hand-driven checks). [`NbConn`] is its non-blocking sibling:
+//! the same wire protocol driven through the resumable
+//! [`FrameReader`]/[`FrameWriter`] state machines so one thread can
+//! multiplex thousands of connections — the substrate of the C10k
+//! [`loadgen`](crate::loadgen).
 
 use crate::wire::{
-    parse_err_payload, read_frame, write_frame, ErrorCode, UploadAck, UploadBundle, UploadHeader,
-    WireError, K_ERR, K_OK, K_SHUTDOWN, K_SNAPSHOT, K_STATS, K_UPLOAD_BEGIN, K_UPLOAD_CHUNK,
-    K_UPLOAD_END, MAX_FRAME_BYTES,
+    parse_err_payload, read_frame, write_frame, ErrorCode, Frame, FrameReader, FrameWriter,
+    UploadAck, UploadBundle, UploadHeader, WireError, K_ERR, K_OK, K_SHUTDOWN, K_SNAPSHOT, K_STATS,
+    K_UPLOAD_BEGIN, K_UPLOAD_CHUNK, K_UPLOAD_END, MAX_FRAME_BYTES,
 };
-use std::io::{self, BufReader};
+use std::io::{self, BufReader, Read};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -177,5 +179,100 @@ impl Client {
     /// Ask the server to drain and exit.
     pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
         self.request(K_SHUTDOWN).map(|_| ())
+    }
+}
+
+/// A non-blocking protocol connection: queued outbound frames that
+/// survive partial writes, and an incremental reply parser. The caller
+/// (an event loop) owns readiness; [`NbConn`] only ever does one
+/// non-blocking pass per pump call.
+pub struct NbConn {
+    stream: TcpStream,
+    reader: FrameReader,
+    writer: FrameWriter,
+}
+
+impl NbConn {
+    /// Connect (blocking), then switch the socket to non-blocking.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<NbConn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(true)?;
+        Ok(NbConn {
+            stream,
+            reader: FrameReader::new(),
+            writer: FrameWriter::new(),
+        })
+    }
+
+    /// Connect with retries while the server comes up.
+    pub fn connect_retry<A: ToSocketAddrs + Clone>(
+        addr: A,
+        attempts: u32,
+        delay: Duration,
+    ) -> io::Result<NbConn> {
+        let mut last = None;
+        for _ in 0..attempts.max(1) {
+            match NbConn::connect(addr.clone()) {
+                Ok(c) => return Ok(c),
+                Err(e) => {
+                    last = Some(e);
+                    std::thread::sleep(delay);
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| io::Error::other("no connection attempts")))
+    }
+
+    /// The underlying socket (for poller registration).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Queue one outbound frame.
+    pub fn enqueue_frame(&mut self, kind: u8, payload: &[u8]) {
+        self.writer.enqueue(kind, payload);
+    }
+
+    /// Bytes queued but not yet accepted by the socket.
+    pub fn pending_out(&self) -> usize {
+        self.writer.pending()
+    }
+
+    /// One non-blocking write pass; `Ok(true)` when the queue drained.
+    pub fn pump_write(&mut self) -> io::Result<bool> {
+        self.writer.write_to(&mut &self.stream)
+    }
+
+    /// One non-blocking read pass: every complete reply frame that
+    /// arrived. EOF and framing violations surface as errors.
+    pub fn pump_read(&mut self) -> io::Result<Vec<Frame>> {
+        let mut frames = Vec::new();
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            let n = match (&self.stream).read(&mut buf) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    ))
+                }
+                Ok(n) => n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(frames),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            let mut chunk = &buf[..n];
+            while !chunk.is_empty() {
+                let (used, frame) = self
+                    .reader
+                    .feed(chunk)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                chunk = &chunk[used..];
+                if let Some(f) = frame {
+                    frames.push(f);
+                }
+            }
+        }
     }
 }

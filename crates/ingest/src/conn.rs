@@ -1,0 +1,500 @@
+//! Per-connection protocol state machine for the event-loop server.
+//!
+//! A [`Conn`] owns one accepted socket plus the resumable framing
+//! state ([`FrameReader`]/[`FrameWriter`]) and the upload-in-progress
+//! state (analyzer + decoder). The event loop feeds it raw bytes as
+//! they arrive; the state machine advances frame by frame, producing
+//! queued responses and a [`Disposition`] telling the loop whether the
+//! connection keeps serving, closes after its queued writes flush, or
+//! closes immediately.
+//!
+//! The protocol semantics are **identical** to the retired
+//! thread-per-connection handler: the same validation order on
+//! `UPLOAD_BEGIN` (mark in-flight *before* the draining check, then
+//! seed, then prefix), the same `catch_unwind` fault isolation around
+//! decode+analysis, the same absorb-only-after-success discipline, and
+//! the same close-on-error rule (after a failed upload the chunk
+//! framing is ambiguous, so the connection ends once the `ERR` frame
+//! has flushed).
+
+use crate::server::ServerConfig;
+use crate::state::{PassTotals, SharedState};
+use crate::wire::{
+    err_payload, ErrorCode, FrameReader, FrameWriter, UploadAck, UploadHeader, WireError, K_ERR,
+    K_OK, K_SHUTDOWN, K_SNAPSHOT, K_STATS, K_UPLOAD_BEGIN, K_UPLOAD_CHUNK, K_UPLOAD_END,
+};
+use std::collections::BTreeMap;
+use std::net::TcpStream;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use v6brick_core::observe::StreamingAnalyzer;
+use v6brick_core::population::POPULATION_PASSES;
+use v6brick_net::ipv6::Cidr;
+use v6brick_net::Mac;
+use v6brick_pcap::stream::StreamDecoder;
+
+/// Shared context a connection needs to process frames: the population
+/// accumulator, the drain flag, the global in-flight upload counter,
+/// and the server tunables.
+pub struct ConnCtx<'a> {
+    /// The shared population accumulator and stats counters.
+    pub state: &'a SharedState,
+    /// Set when the server is draining; new uploads are refused.
+    pub draining: &'a AtomicBool,
+    /// Uploads currently between `UPLOAD_BEGIN` and their reply,
+    /// across every shard.
+    pub active_uploads: &'a AtomicU64,
+    /// Server tunables (limits, timeouts).
+    pub config: &'a ServerConfig,
+}
+
+/// What the event loop should do with the connection after a call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Keep serving: read more, flush queued writes.
+    Continue,
+    /// Stop reading; close once the queued writes have flushed.
+    CloseAfterFlush,
+    /// Close immediately (peer is gone or the stream is unframeable
+    /// with nothing to say).
+    CloseNow,
+}
+
+/// Effects a frame had beyond this connection, for the event loop to
+/// propagate (wakeups to sibling shards).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Effects {
+    /// A `SHUTDOWN` frame flipped the drain flag; every shard must be
+    /// woken to arm its drain deadline.
+    pub begin_drain: bool,
+    /// An in-flight upload resolved (ack or failure); if the server is
+    /// draining and the global count hit zero, shards must be woken to
+    /// complete the drain.
+    pub upload_resolved: bool,
+}
+
+impl Effects {
+    /// Fold another frame's effects into this batch's accumulator.
+    pub fn merge_from(&mut self, other: Effects) {
+        self.begin_drain |= other.begin_drain;
+        self.upload_resolved |= other.upload_resolved;
+    }
+}
+
+/// An upload between `UPLOAD_BEGIN` and its reply. Holds one slot of
+/// the global `active_uploads` counter until resolved.
+struct UploadState {
+    header: UploadHeader,
+    analyzer: StreamingAnalyzer,
+    decoder: StreamDecoder,
+    total_bytes: u64,
+    started: Instant,
+}
+
+enum Mode {
+    /// Awaiting a command frame.
+    Command,
+    /// Streaming upload chunks.
+    Upload(Box<UploadState>),
+}
+
+/// One accepted connection: socket, resumable framing state, protocol
+/// mode, and bookkeeping for the idle-timeout sweep.
+pub struct Conn {
+    /// The non-blocking socket.
+    pub stream: TcpStream,
+    reader: FrameReader,
+    /// Queued, partially-flushable responses (acks, errors, SNAPSHOT
+    /// and STATS payloads).
+    pub writer: FrameWriter,
+    /// Last moment bytes arrived (or the connection was accepted);
+    /// drives the idle sweep.
+    pub last_activity: Instant,
+    disposition: Disposition,
+    mode: Mode,
+}
+
+impl Conn {
+    /// Wrap a freshly accepted (already non-blocking) socket.
+    pub fn new(stream: TcpStream, now: Instant) -> Conn {
+        Conn {
+            stream,
+            reader: FrameReader::new(),
+            writer: FrameWriter::new(),
+            last_activity: now,
+            disposition: Disposition::Continue,
+            mode: Mode::Command,
+        }
+    }
+
+    /// Current verdict for the event loop.
+    pub fn disposition(&self) -> Disposition {
+        self.disposition
+    }
+
+    /// Whether an upload is mid-flight on this connection.
+    pub fn uploading(&self) -> bool {
+        matches!(self.mode, Mode::Upload(_))
+    }
+
+    /// Feed freshly read bytes through the frame parser and the
+    /// protocol state machine. Returns cross-shard [`Effects`]; the
+    /// loop should then consult [`Conn::disposition`].
+    pub fn on_data(&mut self, mut data: &[u8], ctx: &ConnCtx<'_>) -> Effects {
+        self.last_activity = Instant::now();
+        let mut effects = Effects::default();
+        while !data.is_empty() && self.disposition == Disposition::Continue {
+            match self.reader.feed(data) {
+                Ok((used, frame)) => {
+                    data = &data[used..];
+                    if let Some(frame) = frame {
+                        effects.merge_from(self.on_frame(frame.kind, frame.payload, ctx));
+                    }
+                }
+                Err(WireError::Oversized(n)) => {
+                    // The stream is unframeable from here on. Mid-upload
+                    // this is a typed protocol failure (matching the
+                    // blocking server); between commands there is nobody
+                    // mid-request to answer, so just close.
+                    if self.uploading() {
+                        effects.merge_from(self.fail_upload(
+                            ctx,
+                            ErrorCode::Protocol,
+                            format!("oversized frame ({n} bytes)"),
+                        ));
+                    } else {
+                        self.disposition = Disposition::CloseNow;
+                    }
+                    break;
+                }
+                Err(_) => {
+                    self.disposition = Disposition::CloseNow;
+                    break;
+                }
+            }
+        }
+        effects
+    }
+
+    /// The peer vanished or timed out: account a mid-flight upload as
+    /// failed (the `ConnLost` path of the blocking server) and release
+    /// its in-flight slot. Idempotent once the mode is back to Command.
+    pub fn on_gone(&mut self, ctx: &ConnCtx<'_>) -> Effects {
+        let mut effects = Effects::default();
+        if self.uploading() {
+            self.mode = Mode::Command;
+            ctx.state
+                .stats
+                .uploads_failed
+                .fetch_add(1, Ordering::Relaxed);
+            effects.upload_resolved = release_upload(ctx);
+        }
+        self.disposition = Disposition::CloseNow;
+        effects
+    }
+
+    /// Check the idle deadline against `now`; a peer silent longer than
+    /// the read timeout is dropped (the event-loop equivalent of the
+    /// blocking server's `set_read_timeout`).
+    pub fn idle_expired(&self, now: Instant, read_timeout: Duration) -> bool {
+        now.saturating_duration_since(self.last_activity) > read_timeout
+    }
+
+    fn on_frame(&mut self, kind: u8, payload: Vec<u8>, ctx: &ConnCtx<'_>) -> Effects {
+        match &mut self.mode {
+            Mode::Command => self.on_command(kind, payload, ctx),
+            Mode::Upload(_) => self.on_upload_frame(kind, payload, ctx),
+        }
+    }
+
+    fn on_command(&mut self, kind: u8, payload: Vec<u8>, ctx: &ConnCtx<'_>) -> Effects {
+        let mut effects = Effects::default();
+        match kind {
+            K_UPLOAD_BEGIN => effects.merge_from(self.on_upload_begin(&payload, ctx)),
+            K_SNAPSHOT => {
+                self.writer
+                    .enqueue(K_OK, ctx.state.snapshot_json().as_bytes());
+            }
+            K_STATS => {
+                let json = serde_json::to_string(&ctx.state.stats_report())
+                    .expect("stats report serializes");
+                self.writer.enqueue(K_OK, json.as_bytes());
+            }
+            K_SHUTDOWN => {
+                // Flip the flag here (ordering matters: refusals must be
+                // possible the instant the OK is queued); the loop arms
+                // the drain deadline and wakes the sibling shards.
+                if !ctx.draining.swap(true, Ordering::SeqCst) {
+                    effects.begin_drain = true;
+                }
+                self.writer.enqueue(K_OK, &[]);
+                // The drain force-closes this connection; keep serving
+                // until then.
+            }
+            _ => {
+                self.writer
+                    .enqueue(K_ERR, &err_payload(ErrorCode::Protocol, "unknown command"));
+                self.disposition = Disposition::CloseAfterFlush;
+            }
+        }
+        effects
+    }
+
+    fn on_upload_begin(&mut self, header_payload: &[u8], ctx: &ConnCtx<'_>) -> Effects {
+        let mut effects = Effects::default();
+        let header: UploadHeader =
+            match serde_json::from_str(std::str::from_utf8(header_payload).unwrap_or("")) {
+                Ok(h) => h,
+                Err(e) => {
+                    ctx.state
+                        .stats
+                        .uploads_failed
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.refuse(ErrorCode::BadHeader, &format!("header: {e:?}"));
+                    return effects;
+                }
+            };
+        // Mark in-flight BEFORE the draining check: the drain waits on
+        // this counter, so an upload that passed the check is guaranteed
+        // to complete before connections are force-closed.
+        ctx.active_uploads.fetch_add(1, Ordering::SeqCst);
+        if ctx.draining.load(Ordering::SeqCst) {
+            ctx.state
+                .stats
+                .uploads_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            self.refuse(ErrorCode::Draining, "server is draining");
+            effects.upload_resolved = release_upload(ctx);
+            return effects;
+        }
+        if header.campaign_seed != ctx.state.campaign_seed() {
+            ctx.state
+                .stats
+                .uploads_failed
+                .fetch_add(1, Ordering::Relaxed);
+            self.refuse(
+                ErrorCode::SeedMismatch,
+                &format!(
+                    "upload campaign {:#x}, server campaign {:#x}",
+                    header.campaign_seed,
+                    ctx.state.campaign_seed()
+                ),
+            );
+            effects.upload_resolved = release_upload(ctx);
+            return effects;
+        }
+        if header.lan_prefix_len > 128 {
+            ctx.state
+                .stats
+                .uploads_failed
+                .fetch_add(1, Ordering::Relaxed);
+            self.refuse(ErrorCode::BadHeader, "lan prefix length > 128");
+            effects.upload_resolved = release_upload(ctx);
+            return effects;
+        }
+        let macs: Vec<(Mac, String)> = header
+            .devices
+            .iter()
+            .map(|d| (d.mac, d.id.clone()))
+            .collect();
+        let lan = Cidr::new(header.lan_prefix, header.lan_prefix_len);
+        let mut analyzer = StreamingAnalyzer::with_passes(&macs, lan, POPULATION_PASSES);
+        analyzer.enable_metrics();
+        self.mode = Mode::Upload(Box::new(UploadState {
+            header,
+            analyzer,
+            decoder: StreamDecoder::new(),
+            total_bytes: 0,
+            started: Instant::now(),
+        }));
+        effects
+    }
+
+    fn on_upload_frame(&mut self, kind: u8, payload: Vec<u8>, ctx: &ConnCtx<'_>) -> Effects {
+        match kind {
+            K_UPLOAD_CHUNK => self.on_upload_chunk(payload, ctx),
+            K_UPLOAD_END => self.on_upload_end(ctx),
+            _ => self.fail_upload(
+                ctx,
+                ErrorCode::Protocol,
+                "expected UPLOAD_CHUNK or UPLOAD_END".to_string(),
+            ),
+        }
+    }
+
+    fn on_upload_chunk(&mut self, payload: Vec<u8>, ctx: &ConnCtx<'_>) -> Effects {
+        let up = match &mut self.mode {
+            Mode::Upload(up) => up,
+            Mode::Command => unreachable!("chunk outside upload"),
+        };
+        up.total_bytes += payload.len() as u64;
+        ctx.state
+            .stats
+            .bytes_received
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        if up.total_bytes > ctx.config.max_upload_bytes {
+            let detail = format!(
+                "upload of {} bytes exceeds {} byte limit",
+                up.total_bytes, ctx.config.max_upload_bytes
+            );
+            return self.fail_upload(ctx, ErrorCode::TooLarge, detail);
+        }
+        if up.started.elapsed() > ctx.config.max_upload_time {
+            let detail = format!("upload exceeded {:?}", ctx.config.max_upload_time);
+            return self.fail_upload(ctx, ErrorCode::Timeout, detail);
+        }
+        // Decode+analysis runs under catch_unwind, exactly like a fleet
+        // pool worker: a panic is this upload's failure, never the
+        // daemon's.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let up = match &mut self.mode {
+                Mode::Upload(up) => up,
+                Mode::Command => unreachable!(),
+            };
+            let UploadState {
+                analyzer, decoder, ..
+            } = up.as_mut();
+            decoder.feed(&payload, &mut |ts, f| analyzer.feed(ts, f))
+        }));
+        match outcome {
+            Ok(Ok(())) => Effects::default(),
+            Ok(Err(e)) => self.fail_upload(ctx, ErrorCode::BadCapture, e.to_string()),
+            Err(panic) => self.fail_upload(ctx, ErrorCode::Panic, panic_message(&panic)),
+        }
+    }
+
+    fn on_upload_end(&mut self, ctx: &ConnCtx<'_>) -> Effects {
+        {
+            let up = match &self.mode {
+                Mode::Upload(up) => up,
+                Mode::Command => unreachable!("end outside upload"),
+            };
+            if up.header.chaos_panic {
+                // The blocking server raised a real panic here and let
+                // catch_unwind turn it into this exact typed failure.
+                let detail = format!(
+                    "chaos: poisoned upload for home {} (campaign {:#x})",
+                    up.header.home_index, up.header.campaign_seed
+                );
+                return self.fail_upload(ctx, ErrorCode::Panic, detail);
+            }
+        }
+        type EndResult =
+            Result<(u64, u64, Vec<(String, PassTotals)>), v6brick_pcap::format::PcapError>;
+        let outcome = catch_unwind(AssertUnwindSafe(|| -> EndResult {
+            let up = match &mut self.mode {
+                Mode::Upload(up) => up,
+                Mode::Command => unreachable!(),
+            };
+            std::mem::replace(&mut up.decoder, StreamDecoder::new()).finish()?;
+            let frames = up.analyzer.frames_fed();
+            let parse_errors = up.analyzer.parse_errors();
+            let pass_totals: Vec<(String, PassTotals)> = up
+                .analyzer
+                .pass_metrics()
+                .into_iter()
+                .map(|(id, m)| {
+                    (
+                        id.label().to_string(),
+                        PassTotals {
+                            frames: m.frames,
+                            nanos: m.nanos,
+                        },
+                    )
+                })
+                .collect();
+            Ok((frames, parse_errors, pass_totals))
+        }));
+        match outcome {
+            Ok(Ok((frames, parse_errors, pass_totals))) => {
+                // Success: take the upload state, fold it into shared
+                // state, ack, and return to command mode.
+                let up = match std::mem::replace(&mut self.mode, Mode::Command) {
+                    Mode::Upload(up) => up,
+                    Mode::Command => unreachable!(),
+                };
+                let UploadState {
+                    header, analyzer, ..
+                } = *up;
+                let analysis = analyzer.finish();
+                let functional: BTreeMap<String, bool> = header
+                    .devices
+                    .iter()
+                    .map(|d| (d.id.clone(), d.functional))
+                    .collect();
+                ctx.state.absorb_home(
+                    header.home_index,
+                    &header.config_label,
+                    &analysis.devices,
+                    &functional,
+                    frames,
+                );
+                ctx.state.record_pass_totals(&pass_totals);
+                ctx.state.stats.uploads_ok.fetch_add(1, Ordering::Relaxed);
+                ctx.state
+                    .stats
+                    .frames_total
+                    .fetch_add(frames, Ordering::Relaxed);
+                ctx.state
+                    .stats
+                    .parse_errors
+                    .fetch_add(parse_errors, Ordering::Relaxed);
+                let ack = UploadAck {
+                    home_index: header.home_index,
+                    frames,
+                    parse_errors,
+                };
+                let json = serde_json::to_string(&ack).expect("ack serializes");
+                self.writer.enqueue(K_OK, json.as_bytes());
+                Effects {
+                    begin_drain: false,
+                    upload_resolved: release_upload(ctx),
+                }
+            }
+            Ok(Err(e)) => self.fail_upload(ctx, ErrorCode::BadCapture, e.to_string()),
+            Err(panic) => self.fail_upload(ctx, ErrorCode::Panic, panic_message(&panic)),
+        }
+    }
+
+    /// Resolve the in-flight upload as failed: counter, typed `ERR`,
+    /// close after the error has flushed.
+    fn fail_upload(&mut self, ctx: &ConnCtx<'_>, code: ErrorCode, detail: String) -> Effects {
+        self.mode = Mode::Command;
+        ctx.state
+            .stats
+            .uploads_failed
+            .fetch_add(1, Ordering::Relaxed);
+        self.refuse(code, &detail);
+        Effects {
+            begin_drain: false,
+            upload_resolved: release_upload(ctx),
+        }
+    }
+
+    /// Queue a typed `ERR` and close once it has flushed (a failed
+    /// request leaves the stream position ambiguous; a fresh connection
+    /// is cheaper than resynchronization).
+    fn refuse(&mut self, code: ErrorCode, detail: &str) {
+        self.writer.enqueue(K_ERR, &err_payload(code, detail));
+        self.disposition = Disposition::CloseAfterFlush;
+    }
+}
+
+/// Decrement the global in-flight counter; `true` when it hit zero
+/// while draining (the signal that completes a graceful drain).
+fn release_upload(ctx: &ConnCtx<'_>) -> bool {
+    let was = ctx.active_uploads.fetch_sub(1, Ordering::SeqCst);
+    was == 1 && ctx.draining.load(Ordering::SeqCst)
+}
+
+/// Render a panic payload (same shapes `fleet::pool` handles).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}

@@ -8,15 +8,25 @@
 //! [`PopulationReport`](v6brick_core::population::PopulationReport):
 //!
 //! * [`wire`] — the length-prefixed frame protocol (`UPLOAD`,
-//!   `SNAPSHOT`, `STATS`, `SHUTDOWN`) and its typed error codes;
-//! * [`server`] — the thread-per-connection daemon: each upload streams
+//!   `SNAPSHOT`, `STATS`, `SHUTDOWN`), its typed error codes, and the
+//!   resumable [`FrameReader`](wire::FrameReader) /
+//!   [`FrameWriter`](wire::FrameWriter) state machines that survive
+//!   arbitrary chunking and partial writes;
+//! * [`poll`] — a readiness poller (raw-syscall epoll on Linux) with
+//!   eventfd wakers, the substrate of the event loop;
+//! * [`conn`] — the per-connection protocol state machine;
+//! * [`server`] — the sharded event-loop daemon: a fixed pool of loop
+//!   threads drives every connection; each upload streams
 //!   chunk-by-chunk through [`v6brick_pcap::stream::StreamDecoder`]
 //!   into a [`v6brick_core::observe::StreamingAnalyzer`], so the
-//!   server never materializes a capture buffer;
+//!   server never materializes a capture buffer — and never spawns a
+//!   per-connection thread;
 //! * [`state`] — the lock-striped accumulator of mergeable per-home
 //!   reports;
-//! * [`client`] — a blocking protocol client;
-//! * [`loadgen`] — a deterministic concurrent load generator.
+//! * [`client`] — a blocking protocol client plus the non-blocking
+//!   connection driver the load generator multiplexes;
+//! * [`loadgen`] — a deterministic load generator that drives
+//!   thousands of concurrent clients from a bounded worker pool.
 //!
 //! ## The equivalence spine
 //!
@@ -30,7 +40,9 @@
 //! `crates/experiments/tests/ingest_equivalence.rs` pins it.
 
 pub mod client;
+pub mod conn;
 pub mod loadgen;
+pub mod poll;
 pub mod server;
 pub mod state;
 pub mod wire;

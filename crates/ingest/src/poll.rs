@@ -1,0 +1,645 @@
+//! A minimal readiness poller for the `v6brickd` event loop.
+//!
+//! The workspace's no-new-dependencies rule leaves no `mio`/`libc`, so
+//! this module speaks to the kernel directly: on Linux x86_64/aarch64
+//! it drives **epoll** through raw `syscall` instructions (file
+//! descriptors are owned by [`std::os::fd::OwnedFd`], so std — which
+//! already links libc — handles close-on-drop); elsewhere it degrades
+//! to a paced level-triggered scanner that reports every registered
+//! source as ready and relies on the callers' `WouldBlock` handling,
+//! which is semantically correct but burns CPU proportional to the
+//! source count. The epoll backend is the one CI exercises.
+//!
+//! The surface is deliberately tiny — register/modify/deregister a
+//! file descriptor under a `u64` token with read/write [`Interest`],
+//! [`Poller::wait`] for [`Event`]s, and a cross-thread [`Waker`]
+//! (eventfd-backed) to interrupt a wait — exactly the wake-set pattern
+//! of the `idos-nx` resident net task (SNIPPETS.md 2–3): one wake set
+//! per loop, queued write ops, readiness instead of sleep-polling.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// What readiness a registration asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or closed/errored).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Writable only.
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Readable and writable.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// One readiness notification.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// Readable (includes peer hangup and error conditions, which a
+    /// read will surface as EOF or a typed error).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod sys {
+    //! Raw-syscall epoll backend.
+
+    use super::{Event, Interest};
+    use std::fs::File;
+    use std::io::{self, Read, Write};
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[cfg(target_arch = "x86_64")]
+    mod nr {
+        pub const EPOLL_CTL: usize = 233;
+        pub const EPOLL_PWAIT: usize = 281;
+        pub const EPOLL_CREATE1: usize = 291;
+        pub const EVENTFD2: usize = 290;
+        pub const PRLIMIT64: usize = 302;
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    mod nr {
+        pub const EPOLL_CREATE1: usize = 20;
+        pub const EPOLL_CTL: usize = 21;
+        pub const EPOLL_PWAIT: usize = 22;
+        pub const EVENTFD2: usize = 19;
+        pub const PRLIMIT64: usize = 261;
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall6(
+        n: usize,
+        a: usize,
+        b: usize,
+        c: usize,
+        d: usize,
+        e: usize,
+        f: usize,
+    ) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") n as isize => ret,
+            in("rdi") a,
+            in("rsi") b,
+            in("rdx") c,
+            in("r10") d,
+            in("r8") e,
+            in("r9") f,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall6(
+        n: usize,
+        a: usize,
+        b: usize,
+        c: usize,
+        d: usize,
+        e: usize,
+        f: usize,
+    ) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "svc 0",
+            in("x8") n,
+            inlateout("x0") a => ret,
+            in("x1") b,
+            in("x2") c,
+            in("x3") d,
+            in("x4") e,
+            in("x5") f,
+            options(nostack),
+        );
+        ret
+    }
+
+    fn check(ret: isize) -> io::Result<usize> {
+        if ret < 0 {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret as usize)
+        }
+    }
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLL_CTL_ADD: usize = 1;
+    const EPOLL_CTL_DEL: usize = 2;
+    const EPOLL_CTL_MOD: usize = 3;
+    const EPOLL_CLOEXEC: usize = 0x80000;
+    const EFD_CLOEXEC: usize = 0x80000;
+    const EFD_NONBLOCK: usize = 0x800;
+
+    /// The kernel's epoll_event: packed on x86_64, natural elsewhere.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        let mut m = EPOLLRDHUP;
+        if interest.readable {
+            m |= EPOLLIN;
+        }
+        if interest.writable {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+
+    /// A level-triggered epoll instance.
+    pub struct Poller {
+        ep: OwnedFd,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let fd = check(unsafe { syscall6(nr::EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0, 0, 0) })?;
+            Ok(Poller {
+                ep: unsafe { OwnedFd::from_raw_fd(fd as RawFd) },
+            })
+        }
+
+        fn ctl(&self, op: usize, fd: RawFd, ev: Option<EpollEvent>) -> io::Result<()> {
+            let ptr = ev
+                .as_ref()
+                .map_or(0usize, |e| e as *const EpollEvent as usize);
+            check(unsafe {
+                syscall6(
+                    nr::EPOLL_CTL,
+                    self.ep.as_raw_fd() as usize,
+                    op,
+                    fd as usize,
+                    ptr,
+                    0,
+                    0,
+                )
+            })
+            .map(|_| ())
+        }
+
+        pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(
+                EPOLL_CTL_ADD,
+                fd,
+                Some(EpollEvent {
+                    events: mask(interest),
+                    data: token,
+                }),
+            )
+        }
+
+        pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(
+                EPOLL_CTL_MOD,
+                fd,
+                Some(EpollEvent {
+                    events: mask(interest),
+                    data: token,
+                }),
+            )
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, None)
+        }
+
+        pub fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            events.clear();
+            let mut raw = [EpollEvent { events: 0, data: 0 }; 256];
+            let timeout_ms: isize = match timeout {
+                None => -1,
+                Some(d) => d.as_millis().min(i32::MAX as u128) as isize,
+            };
+            let n = loop {
+                let ret = unsafe {
+                    syscall6(
+                        nr::EPOLL_PWAIT,
+                        self.ep.as_raw_fd() as usize,
+                        raw.as_mut_ptr() as usize,
+                        raw.len(),
+                        timeout_ms as usize,
+                        0,
+                        8,
+                    )
+                };
+                match check(ret) {
+                    Ok(n) => break n,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            };
+            for ev in &raw[..n] {
+                let bits = ev.events;
+                events.push(Event {
+                    token: ev.data,
+                    // Error/hangup surface as readability: the next read
+                    // reports EOF or the socket error.
+                    readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0,
+                    writable: bits & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0,
+                });
+            }
+            Ok(n)
+        }
+
+        /// Create an eventfd-backed [`Waker`] registered under `token`.
+        pub fn waker(&self, token: u64) -> io::Result<Waker> {
+            let fd = check(unsafe {
+                syscall6(nr::EVENTFD2, 0, EFD_CLOEXEC | EFD_NONBLOCK, 0, 0, 0, 0)
+            })?;
+            let file = File::from(unsafe { OwnedFd::from_raw_fd(fd as RawFd) });
+            self.register(file.as_raw_fd(), token, Interest::READ)?;
+            Ok(Waker {
+                file: Arc::new(file),
+            })
+        }
+    }
+
+    /// Wakes a [`Poller::wait`] from any thread (writes the eventfd).
+    #[derive(Clone)]
+    pub struct Waker {
+        file: Arc<File>,
+    }
+
+    impl Waker {
+        pub fn wake(&self) {
+            // EAGAIN means the counter is already non-zero — the loop is
+            // guaranteed to wake either way.
+            let _ = (&*self.file).write(&1u64.to_ne_bytes());
+        }
+
+        pub fn drain(&self) {
+            let mut buf = [0u8; 8];
+            let _ = (&*self.file).read(&mut buf);
+        }
+    }
+
+    #[repr(C)]
+    struct Rlimit64 {
+        cur: u64,
+        max: u64,
+    }
+
+    /// Raise `RLIMIT_NOFILE` toward the hard limit (capped at 2^20) so
+    /// thousands of concurrent sockets fit under the default soft limit
+    /// of 1024. Returns the resulting soft limit.
+    pub fn raise_nofile_limit() -> Option<u64> {
+        const RLIMIT_NOFILE: usize = 7;
+        let mut old = Rlimit64 { cur: 0, max: 0 };
+        check(unsafe {
+            syscall6(
+                nr::PRLIMIT64,
+                0,
+                RLIMIT_NOFILE,
+                0,
+                &mut old as *mut Rlimit64 as usize,
+                0,
+                0,
+            )
+        })
+        .ok()?;
+        let target = old.max.min(1 << 20).max(old.cur);
+        if target > old.cur {
+            let new = Rlimit64 {
+                cur: target,
+                max: old.max,
+            };
+            if check(unsafe {
+                syscall6(
+                    nr::PRLIMIT64,
+                    0,
+                    RLIMIT_NOFILE,
+                    &new as *const Rlimit64 as usize,
+                    0,
+                    0,
+                    0,
+                )
+            })
+            .is_err()
+            {
+                return Some(old.cur);
+            }
+        }
+        Some(target)
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod sys {
+    //! Portable fallback: a paced scanner. Every registered source is
+    //! reported ready on each wait (after a short pacing sleep or an
+    //! explicit wake); callers' non-blocking reads/writes turn the
+    //! false positives into `WouldBlock`. Correct, but O(sources) CPU.
+
+    use super::{Event, Interest};
+    use std::collections::BTreeMap;
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::Duration;
+
+    const PACE: Duration = Duration::from_millis(2);
+
+    #[derive(Default)]
+    struct Shared {
+        registered: Mutex<BTreeMap<RawFd, (u64, Interest)>>,
+        wake_flag: Mutex<bool>,
+        cond: Condvar,
+    }
+
+    pub struct Poller {
+        shared: Arc<Shared>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                shared: Arc::new(Shared::default()),
+            })
+        }
+
+        pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.shared
+                .registered
+                .lock()
+                .expect("poller lock")
+                .insert(fd, (token, interest));
+            Ok(())
+        }
+
+        pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.shared
+                .registered
+                .lock()
+                .expect("poller lock")
+                .insert(fd, (token, interest));
+            Ok(())
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.shared
+                .registered
+                .lock()
+                .expect("poller lock")
+                .remove(&fd);
+            Ok(())
+        }
+
+        pub fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            events.clear();
+            {
+                let mut flag = self.shared.wake_flag.lock().expect("poller lock");
+                if !*flag {
+                    let pace = timeout.map_or(PACE, |t| t.min(PACE));
+                    flag = self
+                        .shared
+                        .cond
+                        .wait_timeout(flag, pace)
+                        .expect("poller lock")
+                        .0;
+                }
+                *flag = false;
+            }
+            for (_, (token, interest)) in self.shared.registered.lock().expect("poller lock").iter()
+            {
+                events.push(Event {
+                    token: *token,
+                    readable: interest.readable,
+                    writable: interest.writable,
+                });
+            }
+            Ok(events.len())
+        }
+
+        pub fn waker(&self, _token: u64) -> io::Result<Waker> {
+            Ok(Waker {
+                shared: Arc::clone(&self.shared),
+            })
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct Waker {
+        shared: Arc<Shared>,
+    }
+
+    impl Waker {
+        pub fn wake(&self) {
+            *self.shared.wake_flag.lock().expect("poller lock") = true;
+            self.shared.cond.notify_all();
+        }
+
+        pub fn drain(&self) {}
+    }
+
+    pub fn raise_nofile_limit() -> Option<u64> {
+        None
+    }
+}
+
+/// A level-triggered readiness poller (epoll on Linux, paced scanner
+/// elsewhere). All methods are safe to call from the owning loop
+/// thread; [`Waker`]s are the only cross-thread surface.
+pub struct Poller {
+    inner: sys::Poller,
+}
+
+impl Poller {
+    /// Create a poller.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            inner: sys::Poller::new()?,
+        })
+    }
+
+    /// Register `fd` under `token` with the given interest.
+    pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.inner.register(fd, token, interest)
+    }
+
+    /// Change the interest of an already-registered `fd`.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.inner.modify(fd, token, interest)
+    }
+
+    /// Remove `fd` from the poller.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        self.inner.deregister(fd)
+    }
+
+    /// Block until at least one event, the timeout, or a wake; fills
+    /// `events` and returns the count.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        self.inner.wait(events, timeout)
+    }
+
+    /// Create a [`Waker`] that interrupts this poller's waits; wake
+    /// events surface under `token` and should be [`Waker::drain`]ed.
+    pub fn waker(&self, token: u64) -> io::Result<Waker> {
+        Ok(Waker {
+            inner: self.inner.waker(token)?,
+        })
+    }
+}
+
+/// Interrupts a [`Poller::wait`] from another thread.
+#[derive(Clone)]
+pub struct Waker {
+    inner: sys::Waker,
+}
+
+impl Waker {
+    /// Wake the poller (idempotent while un-drained).
+    pub fn wake(&self) {
+        self.inner.wake()
+    }
+
+    /// Consume a pending wake on the loop thread.
+    pub fn drain(&self) {
+        self.inner.drain()
+    }
+}
+
+/// Raise the process's open-file soft limit toward the hard limit so
+/// thousands of concurrent sockets fit (no-op outside Linux). Returns
+/// the resulting soft limit when known.
+pub fn raise_nofile_limit() -> Option<u64> {
+    sys::raise_nofile_limit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::time::Instant;
+
+    #[test]
+    fn readable_event_fires_for_pending_bytes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut tx = TcpStream::connect(addr).unwrap();
+        let (rx, _) = listener.accept().unwrap();
+        rx.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.register(rx.as_raw_fd(), 7, Interest::READ).unwrap();
+        tx.write_all(b"ping").unwrap();
+
+        let mut events = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            poller
+                .wait(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            if events.iter().any(|e| e.token == 7 && e.readable) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "no readable event within 5s");
+        }
+        let mut buf = [0u8; 8];
+        let n = (&rx).read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"ping");
+    }
+
+    #[test]
+    fn waker_interrupts_a_wait_from_another_thread() {
+        let poller = Poller::new().unwrap();
+        let waker = poller.waker(u64::MAX).unwrap();
+        let remote = waker.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            remote.wake();
+        });
+        let mut events = Vec::new();
+        let t0 = Instant::now();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(
+            t0.elapsed() < Duration::from_secs(9),
+            "wait was not interrupted by the waker"
+        );
+        waker.drain();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn interest_modification_gates_writable_events() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let tx = TcpStream::connect(addr).unwrap();
+        let _rx = listener.accept().unwrap();
+        tx.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.register(tx.as_raw_fd(), 1, Interest::READ).unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        // An idle socket registered read-only may spuriously report in
+        // the fallback backend, but epoll reports nothing.
+        poller.modify(tx.as_raw_fd(), 1, Interest::BOTH).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            poller
+                .wait(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            if events.iter().any(|e| e.token == 1 && e.writable) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "no writable event within 5s");
+        }
+        poller.deregister(tx.as_raw_fd()).unwrap();
+    }
+}

@@ -1,11 +1,21 @@
-//! The `v6brickd` daemon: thread-per-connection TCP ingestion.
+//! The `v6brickd` daemon: sharded non-blocking event loops.
 //!
-//! One OS thread per accepted connection (std::net only — no async
-//! runtime), all folding into the lock-striped [`SharedState`]. An
-//! upload streams its capture bytes chunk-by-chunk through a
-//! [`StreamDecoder`] into a [`StreamingAnalyzer`], so the server holds
-//! `O(analyzer state + one partial record)` per connection — never the
-//! capture itself.
+//! A small fixed pool of loop threads (`loop_threads`, not one per
+//! connection) each runs a level-triggered readiness [`Poller`] over
+//! non-blocking sockets. Every shard registers the shared listener in
+//! its own poller and accepts directly — no cross-thread connection
+//! handoff, no injection queues. Each accepted connection lives in
+//! exactly one shard as a [`Conn`](crate::conn::Conn) state machine:
+//! the resumable [`FrameReader`](crate::wire::FrameReader) turns
+//! arriving bytes into frames, an upload streams its chunks through a
+//! [`StreamDecoder`](v6brick_pcap::stream::StreamDecoder) into a
+//! [`StreamingAnalyzer`](v6brick_core::observe::StreamingAnalyzer),
+//! and replies (acks, errors, SNAPSHOT payloads) queue in a
+//! [`FrameWriter`](crate::wire::FrameWriter) that survives partial
+//! writes — `EPOLLOUT` interest is registered only while bytes are
+//! actually queued. The server holds `O(analyzer state + one partial
+//! record)` per connection, never the capture itself, and serves
+//! thousands of concurrent clients from a handful of threads.
 //!
 //! ## Crash and fault isolation
 //!
@@ -19,31 +29,40 @@
 //!
 //! ## Graceful shutdown
 //!
-//! `SHUTDOWN` (or [`ServerHandle::shutdown`]) flips the draining flag:
-//! the accept loop stops taking connections, new `UPLOAD_BEGIN`s are
-//! refused with `ERR draining`, in-flight uploads run to completion,
-//! and only then are the remaining connections closed and their
-//! threads joined.
+//! `SHUTDOWN` (or [`ServerHandle::shutdown`]) flips the draining flag
+//! and wakes every shard: accepts are refused, new `UPLOAD_BEGIN`s
+//! answer `ERR draining`, in-flight uploads run to completion. The
+//! drain ends on a readiness signal — the last resolving upload wakes
+//! all shards — or at a hard deadline (`drain_deadline`), whichever
+//! comes first; remaining responses get a best-effort flush before the
+//! force-close. No sleep-polling anywhere: shards block in the poller
+//! and are woken by fd readiness or an eventfd [`Waker`].
 
-use crate::state::{PassTotals, SharedState};
-use crate::wire::{
-    err_payload, read_frame, write_frame, ErrorCode, UploadAck, UploadHeader, WireError, K_ERR,
-    K_OK, K_SHUTDOWN, K_SNAPSHOT, K_STATS, K_UPLOAD_BEGIN, K_UPLOAD_CHUNK, K_UPLOAD_END,
-};
+use crate::conn::{Conn, ConnCtx, Disposition, Effects};
+use crate::poll::{raise_nofile_limit, Interest, Poller, Waker};
+use crate::state::SharedState;
 use parking_lot::Mutex;
-use std::collections::BTreeMap;
-use std::io::BufReader;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
-use v6brick_core::observe::{DeviceObservation, StreamingAnalyzer};
-use v6brick_core::population::POPULATION_PASSES;
-use v6brick_net::ipv6::Cidr;
-use v6brick_net::Mac;
-use v6brick_pcap::stream::StreamDecoder;
+
+/// Token the shared listener is registered under in every shard.
+const TOK_LISTENER: u64 = u64::MAX - 1;
+/// Token of each shard's wake eventfd.
+const TOK_WAKER: u64 = u64::MAX;
+/// Per-connection read budget per loop iteration: bounds how long one
+/// chatty peer can monopolize its shard before others are served
+/// (level-triggered polling re-reports the remainder immediately).
+const READ_BUDGET: usize = 256 * 1024;
+/// Cap on accepts drained per listener event, for the same fairness
+/// reason.
+const ACCEPT_BURST: usize = 128;
+/// Idle-connection sweep cadence.
+const SWEEP_EVERY: Duration = Duration::from_millis(250);
 
 /// Server tunables.
 #[derive(Debug, Clone)]
@@ -59,14 +78,24 @@ pub struct ServerConfig {
     pub max_upload_bytes: u64,
     /// Per-upload wall-clock budget.
     pub max_upload_time: Duration,
-    /// Per-connection socket read timeout (a stalled peer cannot pin a
-    /// handler thread forever).
+    /// Per-connection idle budget (a stalled peer cannot pin its
+    /// connection slot forever).
     pub read_timeout: Duration,
+    /// Event-loop shard threads — the *total* thread count of the
+    /// daemon, independent of connection count.
+    pub loop_threads: usize,
+    /// Hard ceiling on a graceful drain: uploads still in flight this
+    /// long after shutdown began are cut off with the force-close.
+    pub drain_deadline: Duration,
+    /// Maximum simultaneously open connections; accepts beyond this
+    /// are refused (counted in `connections_refused`).
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
-    /// Ephemeral loopback port, 8 stripes, 256 MiB / 120 s upload
-    /// limits, 30 s read timeout.
+    /// Ephemeral loopback port, 8 stripes, 4 loop threads, 256 MiB /
+    /// 120 s upload limits, 30 s read timeout, 30 s drain deadline,
+    /// 16384 connection cap.
     fn default() -> ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
@@ -75,20 +104,39 @@ impl Default for ServerConfig {
             max_upload_bytes: 256 << 20,
             max_upload_time: Duration::from_secs(120),
             read_timeout: Duration::from_secs(30),
+            loop_threads: 4,
+            drain_deadline: Duration::from_secs(30),
+            max_connections: 16384,
         }
     }
 }
 
-/// Cross-thread control state.
+/// Cross-shard control state.
 struct Ctrl {
-    /// Set once: stop accepting, refuse new uploads, drain, exit.
+    /// Set once: refuse accepts and new uploads, drain, exit.
     draining: AtomicBool,
     /// Uploads currently between `UPLOAD_BEGIN` and their reply.
     active_uploads: AtomicU64,
-    /// One clone per live connection, for the post-drain force-close.
-    conns: Mutex<Vec<TcpStream>>,
-    /// Handler threads to join at shutdown.
-    handlers: Mutex<Vec<thread::JoinHandle<()>>>,
+    /// Connections currently open across all shards (enforces
+    /// `max_connections`).
+    conn_count: AtomicU64,
+    /// One waker per shard, to interrupt poller waits on shutdown and
+    /// on drain completion.
+    wakers: Mutex<Vec<Waker>>,
+}
+
+impl Ctrl {
+    fn wake_all(&self) {
+        for w in self.wakers.lock().iter() {
+            w.wake();
+        }
+    }
+
+    fn begin_drain(&self) {
+        if !self.draining.swap(true, Ordering::SeqCst) {
+            self.wake_all();
+        }
+    }
 }
 
 /// A running server. Dropping the handle does **not** stop the server;
@@ -98,7 +146,7 @@ pub struct ServerHandle {
     state: Arc<SharedState>,
     ctrl: Arc<Ctrl>,
     addr: SocketAddr,
-    accept_thread: Option<thread::JoinHandle<()>>,
+    shard_threads: Vec<thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -115,12 +163,12 @@ impl ServerHandle {
 
     /// Begin draining: equivalent to the wire `SHUTDOWN` command.
     pub fn shutdown(&self) {
-        self.ctrl.draining.store(true, Ordering::SeqCst);
+        self.ctrl.begin_drain();
     }
 
-    /// Wait for the drain to complete and all threads to exit.
+    /// Wait for the drain to complete and all shard threads to exit.
     pub fn join(mut self) {
-        if let Some(t) = self.accept_thread.take() {
+        for t in self.shard_threads.drain(..) {
             let _ = t.join();
         }
     }
@@ -128,387 +176,384 @@ impl ServerHandle {
 
 /// Bind and start the daemon; returns once the listener is live.
 pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    // Thousands of sockets need thousands of fds; lift the soft
+    // RLIMIT_NOFILE toward the hard limit up front.
+    let _ = raise_nofile_limit();
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let state = Arc::new(SharedState::new(config.campaign_seed, config.shards));
+    let loop_threads = config.loop_threads.max(1);
+    state
+        .stats
+        .loop_threads
+        .store(loop_threads as u64, Ordering::Relaxed);
     let ctrl = Arc::new(Ctrl {
         draining: AtomicBool::new(false),
         active_uploads: AtomicU64::new(0),
-        conns: Mutex::new(Vec::new()),
-        handlers: Mutex::new(Vec::new()),
+        conn_count: AtomicU64::new(0),
+        wakers: Mutex::new(Vec::new()),
     });
-    let accept_thread = thread::spawn({
+    // Pollers and wakers are created before any thread starts, so a
+    // shutdown() issued immediately after spawn() reaches every shard.
+    let mut shards = Vec::with_capacity(loop_threads);
+    for i in 0..loop_threads {
+        let poller = Poller::new()?;
+        let waker = poller.waker(TOK_WAKER)?;
+        let listener = if i + 1 == loop_threads {
+            // The last shard takes the original; the others get dups.
+            None
+        } else {
+            Some(listener.try_clone()?)
+        };
+        ctrl.wakers.lock().push(waker.clone());
+        shards.push((poller, waker, listener));
+    }
+    let mut shard_threads = Vec::with_capacity(loop_threads);
+    let mut original = Some(listener);
+    for (poller, waker, dup) in shards {
+        let listener = dup.unwrap_or_else(|| original.take().expect("original listener"));
         let state = Arc::clone(&state);
         let ctrl = Arc::clone(&ctrl);
-        move || accept_loop(listener, state, ctrl, config)
-    });
+        let config = config.clone();
+        shard_threads.push(thread::spawn(move || {
+            Shard {
+                poller,
+                waker,
+                listener,
+                state,
+                ctrl,
+                config,
+                slots: Vec::new(),
+                free: Vec::new(),
+            }
+            .run()
+        }));
+    }
     Ok(ServerHandle {
         state,
         ctrl,
         addr,
-        accept_thread: Some(accept_thread),
+        shard_threads,
     })
 }
 
-fn accept_loop(
+/// One connection slot in a shard's slab.
+struct Slot {
+    conn: Conn,
+    /// Interest currently registered with the poller (writable only
+    /// while the writer actually has queued bytes).
+    interest: Interest,
+    /// The refusal has flushed and our FIN is sent; the slot survives
+    /// only to drain the peer's in-flight bytes until it closes (a
+    /// hard close here could RST away the reply before the peer reads
+    /// it). The idle sweep bounds how long a peer can linger.
+    lingering: bool,
+}
+
+/// One event-loop shard: poller, shared listener, and the slab of
+/// connections it owns.
+struct Shard {
+    poller: Poller,
+    waker: Waker,
     listener: TcpListener,
     state: Arc<SharedState>,
     ctrl: Arc<Ctrl>,
     config: ServerConfig,
-) {
-    while !ctrl.draining.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                if let Ok(clone) = stream.try_clone() {
-                    ctrl.conns.lock().push(clone);
-                }
-                let handler = thread::spawn({
-                    let state = Arc::clone(&state);
-                    let ctrl = Arc::clone(&ctrl);
-                    let config = config.clone();
-                    move || handle_conn(stream, state, ctrl, config)
-                });
-                ctrl.handlers.lock().push(handler);
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                thread::sleep(Duration::from_millis(2));
-            }
-            Err(_) => thread::sleep(Duration::from_millis(2)),
+    slots: Vec<Option<Slot>>,
+    free: Vec<usize>,
+}
+
+impl Shard {
+    fn ctx(&self) -> ConnCtx<'_> {
+        ConnCtx {
+            state: &self.state,
+            draining: &self.ctrl.draining,
+            active_uploads: &self.ctrl.active_uploads,
+            config: &self.config,
         }
     }
-    // Drain: let in-flight uploads finish...
-    while ctrl.active_uploads.load(Ordering::SeqCst) > 0 {
-        thread::sleep(Duration::from_millis(2));
-    }
-    // ...then close every remaining connection and reap the threads.
-    for conn in ctrl.conns.lock().drain(..) {
-        let _ = conn.shutdown(Shutdown::Both);
-    }
-    let handlers: Vec<_> = std::mem::take(&mut *ctrl.handlers.lock());
-    for h in handlers {
-        let _ = h.join();
-    }
-    drop(listener);
-}
 
-/// RAII in-flight-upload marker (decrements even if the handler's
-/// `catch_unwind` re-raises).
-struct UploadGuard<'a>(&'a AtomicU64);
-
-impl Drop for UploadGuard<'_> {
-    fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
+    fn run(mut self) {
+        if self
+            .poller
+            .register(self.listener.as_raw_fd(), TOK_LISTENER, Interest::READ)
+            .is_err()
+        {
+            return;
+        }
+        let mut events = Vec::new();
+        let mut next_sweep = Instant::now() + SWEEP_EVERY;
+        // Armed when this shard first observes the draining flag.
+        let mut drain_deadline: Option<Instant> = None;
+        loop {
+            let draining = self.ctrl.draining.load(Ordering::SeqCst);
+            if draining {
+                if drain_deadline.is_none() {
+                    drain_deadline = Some(Instant::now() + self.config.drain_deadline);
+                }
+                // Drain completion is readiness-driven: the shard that
+                // resolves the last upload wakes everyone. The deadline
+                // is the hard stop for uploads that never finish.
+                let uploads_done = self.ctrl.active_uploads.load(Ordering::SeqCst) == 0;
+                let expired = drain_deadline.is_some_and(|d| Instant::now() >= d);
+                if uploads_done || expired {
+                    break;
+                }
+            }
+            let now = Instant::now();
+            let mut timeout = next_sweep.saturating_duration_since(now);
+            if let Some(d) = drain_deadline {
+                timeout = timeout.min(d.saturating_duration_since(now));
+            }
+            if self.poller.wait(&mut events, Some(timeout)).is_err() {
+                break;
+            }
+            let mut effects = Effects::default();
+            let batch = std::mem::take(&mut events);
+            for ev in &batch {
+                match ev.token {
+                    TOK_WAKER => self.waker.drain(),
+                    TOK_LISTENER => self.accept_burst(),
+                    token => effects.merge_from(self.on_conn_event(token as usize, ev.writable)),
+                }
+            }
+            events = batch;
+            let now = Instant::now();
+            if now >= next_sweep {
+                self.sweep(now);
+                next_sweep = now + SWEEP_EVERY;
+            }
+            if effects.begin_drain || effects.upload_resolved {
+                // Either every shard must arm its drain deadline, or the
+                // drain may now be complete — both need sibling wakeups.
+                self.ctrl.wake_all();
+            }
+        }
+        self.close_all();
     }
-}
 
-fn handle_conn(stream: TcpStream, state: Arc<SharedState>, ctrl: Arc<Ctrl>, config: ServerConfig) {
-    state
-        .stats
-        .connections_total
-        .fetch_add(1, Ordering::Relaxed);
-    state
-        .stats
-        .connections_active
-        .fetch_add(1, Ordering::Relaxed);
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(config.read_timeout));
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => {
-            state
+    /// Accept pending connections (bounded burst); while draining or at
+    /// the connection cap, accepts are refused by immediate close.
+    fn accept_burst(&mut self) {
+        for _ in 0..ACCEPT_BURST {
+            let stream = match self.listener.accept() {
+                Ok((stream, _peer)) => stream,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break, // WouldBlock (another shard won) or transient
+            };
+            if self.ctrl.draining.load(Ordering::SeqCst) {
+                drop(stream);
+                continue;
+            }
+            if self.ctrl.conn_count.load(Ordering::SeqCst) >= self.config.max_connections as u64 {
+                self.state
+                    .stats
+                    .connections_refused
+                    .fetch_add(1, Ordering::Relaxed);
+                drop(stream);
+                continue;
+            }
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            let idx = match self.free.pop() {
+                Some(idx) => idx,
+                None => {
+                    self.slots.push(None);
+                    self.slots.len() - 1
+                }
+            };
+            if self
+                .poller
+                .register(stream.as_raw_fd(), idx as u64, Interest::READ)
+                .is_err()
+            {
+                self.free.push(idx);
+                continue;
+            }
+            self.ctrl.conn_count.fetch_add(1, Ordering::SeqCst);
+            self.state
+                .stats
+                .connections_total
+                .fetch_add(1, Ordering::Relaxed);
+            self.state
+                .stats
+                .connections_active
+                .fetch_add(1, Ordering::Relaxed);
+            self.slots[idx] = Some(Slot {
+                conn: Conn::new(stream, Instant::now()),
+                interest: Interest::READ,
+                lingering: false,
+            });
+        }
+    }
+
+    /// Drive one connection on a readiness event: read up to the
+    /// budget, advance the state machine, flush queued writes, then
+    /// reconcile poller interest with the connection's verdict.
+    fn on_conn_event(&mut self, idx: usize, writable: bool) -> Effects {
+        let mut effects = Effects::default();
+        let Some(slot) = self.slots.get_mut(idx).and_then(Option::as_mut) else {
+            return effects; // destroyed earlier in this batch
+        };
+        let ctx = ConnCtx {
+            state: &self.state,
+            draining: &self.ctrl.draining,
+            active_uploads: &self.ctrl.active_uploads,
+            config: &self.config,
+        };
+        if slot.conn.disposition() != Disposition::CloseNow {
+            let mut budget = READ_BUDGET;
+            let mut buf = [0u8; 64 * 1024];
+            // Keep reading while closing-after-flush too: the peer may
+            // have sent the rest of a refused request already, and bytes
+            // left unread in the kernel buffer would turn the close into
+            // an RST that destroys the queued ERR reply in flight.
+            while budget > 0 && slot.conn.disposition() != Disposition::CloseNow {
+                match slot.conn.stream.read(&mut buf) {
+                    Ok(0) => {
+                        effects.merge_from(slot.conn.on_gone(&ctx));
+                        break;
+                    }
+                    Ok(n) => {
+                        budget = budget.saturating_sub(n);
+                        if slot.conn.disposition() == Disposition::Continue {
+                            effects.merge_from(slot.conn.on_data(&buf[..n], &ctx));
+                        }
+                        // else: discard — the reply is already queued.
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        effects.merge_from(slot.conn.on_gone(&ctx));
+                        break;
+                    }
+                }
+            }
+        }
+        if writable || slot.conn.writer.pending() > 0 {
+            let stream = slot.conn.stream.try_clone();
+            let flushed = match stream {
+                Ok(mut s) => slot.conn.writer.write_to(&mut s),
+                Err(e) => Err(e),
+            };
+            if flushed.is_err() {
+                effects.merge_from(slot.conn.on_gone(&ctx));
+            }
+        }
+        self.finalize(idx);
+        effects
+    }
+
+    /// Reconcile a connection's verdict with the poller: destroy closed
+    /// connections, keep write interest only while bytes are queued.
+    fn finalize(&mut self, idx: usize) {
+        let Some(slot) = self.slots.get_mut(idx).and_then(Option::as_mut) else {
+            return;
+        };
+        let pending = slot.conn.writer.pending() > 0;
+        let want = match slot.conn.disposition() {
+            Disposition::CloseNow => {
+                self.destroy(idx);
+                return;
+            }
+            Disposition::CloseAfterFlush if !pending => {
+                // Reply fully flushed: half-close (FIN) and linger in
+                // read-and-discard until the peer closes its end, so a
+                // straggling request segment cannot RST the reply away.
+                if !slot.lingering {
+                    slot.lingering = true;
+                    let _ = slot.conn.stream.shutdown(Shutdown::Write);
+                }
+                Interest::READ
+            }
+            // Everything is out but the peer may send the next command.
+            Disposition::Continue if !pending => Interest::READ,
+            // Queued bytes: ask for writability too. Read interest stays
+            // on even while closing-after-flush, to drain (and discard)
+            // the remainder of a refused request — see on_conn_event.
+            Disposition::Continue | Disposition::CloseAfterFlush => Interest::BOTH,
+        };
+        if want != slot.interest {
+            let fd = slot.conn.stream.as_raw_fd();
+            if self.poller.modify(fd, idx as u64, want).is_ok() {
+                slot.interest = want;
+            }
+        }
+    }
+
+    /// Remove a connection: poller, slab, and counters. Accounts a
+    /// mid-flight upload as failed via [`Conn::on_gone`].
+    fn destroy(&mut self, idx: usize) {
+        let Some(mut slot) = self.slots.get_mut(idx).and_then(Option::take) else {
+            return;
+        };
+        let ctx = self.ctx();
+        let effects = slot.conn.on_gone(&ctx);
+        if effects.upload_resolved {
+            self.ctrl.wake_all();
+        }
+        let _ = self.poller.deregister(slot.conn.stream.as_raw_fd());
+        let _ = slot.conn.stream.shutdown(Shutdown::Both);
+        self.free.push(idx);
+        self.ctrl.conn_count.fetch_sub(1, Ordering::SeqCst);
+        self.state
+            .stats
+            .connections_active
+            .fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Deadline-driven idle sweep: drop peers silent longer than the
+    /// read timeout (the event-loop equivalent of `set_read_timeout`).
+    fn sweep(&mut self, now: Instant) {
+        let timeout = self.config.read_timeout;
+        let expired: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                s.as_ref()
+                    .filter(|s| s.conn.idle_expired(now, timeout))
+                    .map(|_| i)
+            })
+            .collect();
+        for idx in expired {
+            self.destroy(idx);
+        }
+    }
+
+    /// Drain exit: best-effort flush of queued replies (acks completed
+    /// during the drain, `ERR draining` refusals), then force-close.
+    fn close_all(&mut self) {
+        for idx in 0..self.slots.len() {
+            let Some(mut slot) = self.slots.get_mut(idx).and_then(Option::take) else {
+                continue;
+            };
+            if slot.conn.writer.pending() > 0 {
+                // Briefly blocking with a short timeout: the loop is
+                // exiting, and peers waiting on these bytes (a final ack
+                // or refusal) deserve one honest flush attempt.
+                let _ = slot.conn.stream.set_nonblocking(false);
+                let _ = slot
+                    .conn
+                    .stream
+                    .set_write_timeout(Some(Duration::from_secs(2)));
+                let _ = slot.conn.writer.write_to(&mut slot.conn.stream);
+                let _ = slot.conn.stream.flush();
+            }
+            let ctx = self.ctx();
+            let _ = slot.conn.on_gone(&ctx);
+            let _ = self.poller.deregister(slot.conn.stream.as_raw_fd());
+            let _ = slot.conn.stream.shutdown(Shutdown::Both);
+            self.ctrl.conn_count.fetch_sub(1, Ordering::SeqCst);
+            self.state
                 .stats
                 .connections_active
                 .fetch_sub(1, Ordering::Relaxed);
-            return;
         }
-    };
-    let mut reader = BufReader::new(stream);
-    // Any read failure — clean close, timeout, force-close — ends the
-    // connection.
-    while let Ok(frame) = read_frame(&mut reader) {
-        let keep_going = match frame.kind {
-            K_UPLOAD_BEGIN => handle_upload(
-                &mut reader,
-                &mut writer,
-                &frame.payload,
-                &state,
-                &ctrl,
-                &config,
-            ),
-            K_SNAPSHOT => write_frame(&mut writer, K_OK, state.snapshot_json().as_bytes()).is_ok(),
-            K_STATS => {
-                let json =
-                    serde_json::to_string(&state.stats_report()).expect("stats report serializes");
-                write_frame(&mut writer, K_OK, json.as_bytes()).is_ok()
-            }
-            K_SHUTDOWN => {
-                ctrl.draining.store(true, Ordering::SeqCst);
-                let _ = write_frame(&mut writer, K_OK, &[]);
-                // The drain will force-close this connection; keep
-                // serving until then.
-                true
-            }
-            _ => {
-                let _ = write_frame(
-                    &mut writer,
-                    K_ERR,
-                    &err_payload(ErrorCode::Protocol, "unknown command"),
-                );
-                false
-            }
-        };
-        if !keep_going {
-            break;
-        }
-    }
-    state
-        .stats
-        .connections_active
-        .fetch_sub(1, Ordering::Relaxed);
-}
-
-/// What a finished upload hands back for the fold into shared state.
-struct Analyzed {
-    devices: BTreeMap<String, DeviceObservation>,
-    frames: u64,
-    parse_errors: u64,
-    pass_totals: Vec<(String, PassTotals)>,
-}
-
-/// Why an upload did not complete.
-enum UploadFail {
-    /// Typed refusal — the client gets an `ERR` frame.
-    Typed(ErrorCode, String),
-    /// The connection died mid-upload; nothing can be sent back.
-    ConnLost,
-}
-
-/// Drive one upload. Returns `true` if the connection may keep serving
-/// further commands (a failed upload closes the connection — after an
-/// error mid-stream the chunk framing is ambiguous, and a fresh
-/// connection is cheaper than resynchronization).
-fn handle_upload(
-    reader: &mut BufReader<TcpStream>,
-    writer: &mut TcpStream,
-    header_payload: &[u8],
-    state: &Arc<SharedState>,
-    ctrl: &Arc<Ctrl>,
-    config: &ServerConfig,
-) -> bool {
-    let header: UploadHeader =
-        match serde_json::from_str(std::str::from_utf8(header_payload).unwrap_or("")) {
-            Ok(h) => h,
-            Err(e) => {
-                state.stats.uploads_failed.fetch_add(1, Ordering::Relaxed);
-                let _ = write_frame(
-                    writer,
-                    K_ERR,
-                    &err_payload(ErrorCode::BadHeader, &format!("header: {e:?}")),
-                );
-                return false;
-            }
-        };
-    // Mark in-flight BEFORE the draining check: the drain waits on this
-    // counter, so an upload that passed the check is guaranteed to
-    // complete before connections are force-closed.
-    ctrl.active_uploads.fetch_add(1, Ordering::SeqCst);
-    let _guard = UploadGuard(&ctrl.active_uploads);
-    if ctrl.draining.load(Ordering::SeqCst) {
-        state.stats.uploads_rejected.fetch_add(1, Ordering::Relaxed);
-        let _ = write_frame(
-            writer,
-            K_ERR,
-            &err_payload(ErrorCode::Draining, "server is draining"),
-        );
-        return false;
-    }
-    if header.campaign_seed != state.campaign_seed() {
-        state.stats.uploads_failed.fetch_add(1, Ordering::Relaxed);
-        let _ = write_frame(
-            writer,
-            K_ERR,
-            &err_payload(
-                ErrorCode::SeedMismatch,
-                &format!(
-                    "upload campaign {:#x}, server campaign {:#x}",
-                    header.campaign_seed,
-                    state.campaign_seed()
-                ),
-            ),
-        );
-        return false;
-    }
-    if header.lan_prefix_len > 128 {
-        state.stats.uploads_failed.fetch_add(1, Ordering::Relaxed);
-        let _ = write_frame(
-            writer,
-            K_ERR,
-            &err_payload(ErrorCode::BadHeader, "lan prefix length > 128"),
-        );
-        return false;
-    }
-
-    // Everything fallible-by-content runs under catch_unwind, exactly
-    // like a fleet pool worker: a panic is this upload's failure, never
-    // the daemon's.
-    let outcome = catch_unwind(AssertUnwindSafe(|| {
-        run_upload(reader, &header, state, config)
-    }));
-    match outcome {
-        Ok(Ok(analyzed)) => {
-            let functional: BTreeMap<String, bool> = header
-                .devices
-                .iter()
-                .map(|d| (d.id.clone(), d.functional))
-                .collect();
-            state.absorb_home(
-                header.home_index,
-                &header.config_label,
-                &analyzed.devices,
-                &functional,
-                analyzed.frames,
-            );
-            state.record_pass_totals(&analyzed.pass_totals);
-            state.stats.uploads_ok.fetch_add(1, Ordering::Relaxed);
-            state
-                .stats
-                .frames_total
-                .fetch_add(analyzed.frames, Ordering::Relaxed);
-            state
-                .stats
-                .parse_errors
-                .fetch_add(analyzed.parse_errors, Ordering::Relaxed);
-            let ack = UploadAck {
-                home_index: header.home_index,
-                frames: analyzed.frames,
-                parse_errors: analyzed.parse_errors,
-            };
-            let json = serde_json::to_string(&ack).expect("ack serializes");
-            write_frame(writer, K_OK, json.as_bytes()).is_ok()
-        }
-        Ok(Err(UploadFail::Typed(code, detail))) => {
-            state.stats.uploads_failed.fetch_add(1, Ordering::Relaxed);
-            let _ = write_frame(writer, K_ERR, &err_payload(code, &detail));
-            false
-        }
-        Ok(Err(UploadFail::ConnLost)) => {
-            state.stats.uploads_failed.fetch_add(1, Ordering::Relaxed);
-            false
-        }
-        Err(panic) => {
-            state.stats.uploads_failed.fetch_add(1, Ordering::Relaxed);
-            let msg = panic_message(&panic);
-            let _ = write_frame(writer, K_ERR, &err_payload(ErrorCode::Panic, &msg));
-            false
-        }
-    }
-}
-
-/// Stream the upload's chunks through decode + analysis. Shared state
-/// is deliberately out of reach here — the fold happens in the caller,
-/// only after this returned successfully.
-fn run_upload(
-    reader: &mut BufReader<TcpStream>,
-    header: &UploadHeader,
-    state: &Arc<SharedState>,
-    config: &ServerConfig,
-) -> Result<Analyzed, UploadFail> {
-    let macs: Vec<(Mac, String)> = header
-        .devices
-        .iter()
-        .map(|d| (d.mac, d.id.clone()))
-        .collect();
-    let lan = Cidr::new(header.lan_prefix, header.lan_prefix_len);
-    let mut analyzer = StreamingAnalyzer::with_passes(&macs, lan, POPULATION_PASSES);
-    analyzer.enable_metrics();
-    let mut decoder = StreamDecoder::new();
-    let mut total_bytes = 0u64;
-    let started = Instant::now();
-    loop {
-        let frame = match read_frame(reader) {
-            Ok(f) => f,
-            Err(WireError::Oversized(n)) => {
-                return Err(UploadFail::Typed(
-                    ErrorCode::Protocol,
-                    format!("oversized frame ({n} bytes)"),
-                ))
-            }
-            Err(_) => return Err(UploadFail::ConnLost),
-        };
-        match frame.kind {
-            K_UPLOAD_CHUNK => {
-                total_bytes += frame.payload.len() as u64;
-                state
-                    .stats
-                    .bytes_received
-                    .fetch_add(frame.payload.len() as u64, Ordering::Relaxed);
-                if total_bytes > config.max_upload_bytes {
-                    return Err(UploadFail::Typed(
-                        ErrorCode::TooLarge,
-                        format!("upload exceeds {} byte limit", config.max_upload_bytes),
-                    ));
-                }
-                if started.elapsed() > config.max_upload_time {
-                    return Err(UploadFail::Typed(
-                        ErrorCode::Timeout,
-                        format!("upload exceeded {:?}", config.max_upload_time),
-                    ));
-                }
-                decoder
-                    .feed(&frame.payload, &mut |ts, f| analyzer.feed(ts, f))
-                    .map_err(|e| UploadFail::Typed(ErrorCode::BadCapture, e.to_string()))?;
-            }
-            K_UPLOAD_END => {
-                if header.chaos_panic {
-                    panic!(
-                        "chaos: poisoned upload for home {} (campaign {:#x})",
-                        header.home_index, header.campaign_seed
-                    );
-                }
-                decoder
-                    .finish()
-                    .map_err(|e| UploadFail::Typed(ErrorCode::BadCapture, e.to_string()))?;
-                let frames = analyzer.frames_fed();
-                let parse_errors = analyzer.parse_errors();
-                let pass_totals = analyzer
-                    .pass_metrics()
-                    .into_iter()
-                    .map(|(id, m)| {
-                        (
-                            id.label().to_string(),
-                            PassTotals {
-                                frames: m.frames,
-                                nanos: m.nanos,
-                            },
-                        )
-                    })
-                    .collect();
-                let analysis = analyzer.finish();
-                return Ok(Analyzed {
-                    devices: analysis.devices,
-                    frames,
-                    parse_errors,
-                    pass_totals,
-                });
-            }
-            _ => {
-                return Err(UploadFail::Typed(
-                    ErrorCode::Protocol,
-                    "expected UPLOAD_CHUNK or UPLOAD_END".to_string(),
-                ))
-            }
-        }
-    }
-}
-
-/// Render a panic payload (same shapes `fleet::pool` handles).
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&'static str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "opaque panic payload".to_string()
+        self.slots.clear();
+        self.free.clear();
     }
 }

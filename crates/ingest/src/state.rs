@@ -26,6 +26,14 @@ pub struct IngestStats {
     pub connections_total: AtomicU64,
     /// Connections currently open.
     pub connections_active: AtomicU64,
+    /// Connections refused at the `max_connections` cap.
+    pub connections_refused: AtomicU64,
+    /// Event-loop shard threads driving all connections (set once at
+    /// server spawn; the daemon's total thread count).
+    pub loop_threads: AtomicU64,
+    /// Per-connection handler threads created. The event-loop server
+    /// never creates any — this stays 0 and CI greps for it.
+    pub handler_threads: AtomicU64,
     /// Uploads folded into the population state.
     pub uploads_ok: AtomicU64,
     /// Uploads that failed (decode error, limit, disconnect, panic).
@@ -60,6 +68,13 @@ pub struct StatsReport {
     pub connections_total: u64,
     /// Connections currently open.
     pub connections_active: u64,
+    /// Connections refused at the connection cap.
+    pub connections_refused: u64,
+    /// Event-loop shard threads (the daemon's bounded thread count).
+    pub loop_threads: u64,
+    /// Per-connection handler threads ever created (0 by construction
+    /// in the event-loop server; CI fails if it ever isn't).
+    pub handler_threads: u64,
     /// Uploads folded into the population state.
     pub uploads_ok: u64,
     /// Uploads that failed.
@@ -164,6 +179,9 @@ impl SharedState {
             shards: self.shards.len() as u64,
             connections_total: s.connections_total.load(Ordering::Relaxed),
             connections_active: s.connections_active.load(Ordering::Relaxed),
+            connections_refused: s.connections_refused.load(Ordering::Relaxed),
+            loop_threads: s.loop_threads.load(Ordering::Relaxed),
+            handler_threads: s.handler_threads.load(Ordering::Relaxed),
             uploads_ok: s.uploads_ok.load(Ordering::Relaxed),
             uploads_failed: s.uploads_failed.load(Ordering::Relaxed),
             uploads_rejected: s.uploads_rejected.load(Ordering::Relaxed),

@@ -230,6 +230,147 @@ pub fn write_frame<W: Write>(w: &mut W, kind: u8, payload: &[u8]) -> io::Result<
     w.flush()
 }
 
+/// A resumable frame parser for non-blocking reads.
+///
+/// [`read_frame`] needs a blocking `Read`; the event loop instead gets
+/// bytes whenever the socket happens to be readable, in arbitrary
+/// splits. `FrameReader` accepts those bytes incrementally and yields
+/// exactly the frames [`read_frame`] would have produced on the
+/// concatenation (pinned by `tests/wire_chunking.rs` down to 1-byte
+/// feeds): a frame completes only when its full payload arrived, a
+/// partial frame simply waits for more input — the parser never spins
+/// on a stalled peer, it just returns "consumed, no frame yet".
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    head: [u8; 5],
+    head_len: usize,
+    payload: Vec<u8>,
+    payload_len: usize,
+    in_payload: bool,
+}
+
+impl FrameReader {
+    /// A parser at a frame boundary.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// True when no partial frame is buffered (a clean peer close here
+    /// is a normal connection end, mid-frame it is a protocol cut).
+    pub fn is_idle(&self) -> bool {
+        self.head_len == 0
+    }
+
+    /// Consume bytes from `input`, returning `(consumed, frame)`.
+    ///
+    /// Consumes until one frame completes or `input` is exhausted,
+    /// whichever comes first — call again with the remaining bytes to
+    /// parse further frames. A declared payload beyond
+    /// [`MAX_FRAME_BYTES`] is refused *before* any allocation, and the
+    /// error is sticky: the stream position is ambiguous afterwards, so
+    /// the connection must be dropped.
+    pub fn feed(&mut self, input: &[u8]) -> Result<(usize, Option<Frame>), WireError> {
+        let mut used = 0;
+        if !self.in_payload {
+            let take = (5 - self.head_len).min(input.len());
+            self.head[self.head_len..self.head_len + take].copy_from_slice(&input[..take]);
+            self.head_len += take;
+            used += take;
+            if self.head_len < 5 {
+                return Ok((used, None));
+            }
+            let len = u32::from_le_bytes(self.head[1..5].try_into().unwrap()) as usize;
+            if len > MAX_FRAME_BYTES {
+                // Leave head_len at 5 / in_payload false: every further
+                // feed re-detects the oversized header and re-errors.
+                return Err(WireError::Oversized(len));
+            }
+            self.payload = Vec::with_capacity(len);
+            self.payload_len = len;
+            self.in_payload = true;
+        }
+        let take = (self.payload_len - self.payload.len()).min(input.len() - used);
+        self.payload.extend_from_slice(&input[used..used + take]);
+        used += take;
+        if self.payload.len() == self.payload_len {
+            let frame = Frame {
+                kind: self.head[0],
+                payload: std::mem::take(&mut self.payload),
+            };
+            self.head_len = 0;
+            self.payload_len = 0;
+            self.in_payload = false;
+            return Ok((used, Some(frame)));
+        }
+        Ok((used, None))
+    }
+}
+
+/// A queued, resumable frame writer for non-blocking writes.
+///
+/// Replies — up to multi-hundred-KB `SNAPSHOT` payloads — are encoded
+/// into a queue and drained whenever the socket is writable; a short
+/// write parks mid-frame and resumes at the same byte on the next
+/// [`FrameWriter::write_to`]. The bytes put on the wire are exactly
+/// what sequential [`write_frame`] calls would have produced.
+#[derive(Debug, Default)]
+pub struct FrameWriter {
+    queue: std::collections::VecDeque<Vec<u8>>,
+    offset: usize,
+    queued: usize,
+}
+
+impl FrameWriter {
+    /// An empty queue.
+    pub fn new() -> FrameWriter {
+        FrameWriter::default()
+    }
+
+    /// Encode one frame onto the queue.
+    pub fn enqueue(&mut self, kind: u8, payload: &[u8]) {
+        assert!(payload.len() <= MAX_FRAME_BYTES, "oversized outgoing frame");
+        let mut buf = Vec::with_capacity(5 + payload.len());
+        buf.push(kind);
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(payload);
+        self.queued += buf.len();
+        self.queue.push_back(buf);
+    }
+
+    /// Bytes queued but not yet written.
+    pub fn pending(&self) -> usize {
+        self.queued
+    }
+
+    /// Write as much queued data as `w` accepts. Returns `Ok(true)`
+    /// when the queue fully drained, `Ok(false)` on `WouldBlock` (call
+    /// again on the next writable-readiness event).
+    pub fn write_to<W: Write>(&mut self, w: &mut W) -> io::Result<bool> {
+        while let Some(front) = self.queue.front() {
+            match w.write(&front[self.offset..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "peer accepts no bytes",
+                    ))
+                }
+                Ok(n) => {
+                    self.offset += n;
+                    self.queued -= n;
+                    if self.offset == front.len() {
+                        self.queue.pop_front();
+                        self.offset = 0;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+}
+
 /// Encode an `ERR` payload.
 pub fn err_payload(code: ErrorCode, detail: &str) -> Vec<u8> {
     let mut p = Vec::with_capacity(1 + detail.len());
@@ -309,6 +450,98 @@ mod tests {
         let (code, detail) = parse_err_payload(&err_payload(ErrorCode::Draining, "later"));
         assert_eq!(code, Some(ErrorCode::Draining));
         assert_eq!(detail, "later");
+    }
+
+    #[test]
+    fn frame_reader_resumes_across_arbitrary_splits() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, K_UPLOAD_CHUNK, &[9; 300]).unwrap();
+        write_frame(&mut buf, K_UPLOAD_END, &[]).unwrap();
+        let mut reader = FrameReader::new();
+        let mut frames = Vec::new();
+        for b in &buf {
+            let mut slice = std::slice::from_ref(b);
+            while !slice.is_empty() {
+                let (used, frame) = reader.feed(slice).unwrap();
+                slice = &slice[used..];
+                if let Some(f) = frame {
+                    frames.push(f);
+                }
+            }
+        }
+        assert!(reader.is_idle());
+        assert_eq!(frames.len(), 2);
+        assert_eq!(
+            (frames[0].kind, frames[0].payload.len()),
+            (K_UPLOAD_CHUNK, 300)
+        );
+        assert_eq!((frames[1].kind, frames[1].payload.len()), (K_UPLOAD_END, 0));
+        // An empty feed on an idle reader neither spins nor fabricates.
+        assert!(matches!(reader.feed(&[]), Ok((0, None))));
+    }
+
+    #[test]
+    fn frame_reader_oversized_error_is_sticky_and_allocation_free() {
+        let mut head = vec![K_UPLOAD_CHUNK];
+        head.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut reader = FrameReader::new();
+        assert!(matches!(
+            reader.feed(&head),
+            Err(WireError::Oversized(n)) if n == u32::MAX as usize
+        ));
+        // Sticky: more input re-errors instead of desynchronizing.
+        assert!(matches!(
+            reader.feed(&[1, 2, 3]),
+            Err(WireError::Oversized(_))
+        ));
+    }
+
+    /// A sink that accepts at most `cap` bytes per call and interleaves
+    /// `WouldBlock`s, mimicking a congested non-blocking socket.
+    struct Throttled {
+        out: Vec<u8>,
+        cap: usize,
+        block_next: bool,
+    }
+
+    impl Write for Throttled {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.block_next {
+                self.block_next = false;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "later"));
+            }
+            self.block_next = true;
+            let n = buf.len().min(self.cap);
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn frame_writer_resumes_partial_writes_byte_identically() {
+        let mut expect = Vec::new();
+        write_frame(&mut expect, K_OK, b"hello").unwrap();
+        write_frame(&mut expect, K_ERR, &err_payload(ErrorCode::TooLarge, "big")).unwrap();
+
+        let mut writer = FrameWriter::new();
+        writer.enqueue(K_OK, b"hello");
+        writer.enqueue(K_ERR, &err_payload(ErrorCode::TooLarge, "big"));
+        assert_eq!(writer.pending(), expect.len());
+        let mut sink = Throttled {
+            out: Vec::new(),
+            cap: 3,
+            block_next: false,
+        };
+        let mut rounds = 0;
+        while !writer.write_to(&mut sink).unwrap() {
+            rounds += 1;
+            assert!(rounds < 100, "writer never drained");
+        }
+        assert_eq!(sink.out, expect);
+        assert_eq!(writer.pending(), 0);
     }
 
     #[test]

@@ -11,8 +11,8 @@ use v6brick_ingest::wire::{
     read_frame, write_frame, K_OK, K_UPLOAD_BEGIN, K_UPLOAD_CHUNK, K_UPLOAD_END,
 };
 use v6brick_ingest::{
-    loadgen, spawn, Client, DeviceEntry, ErrorCode, ServerConfig, ServerHandle, UploadBundle,
-    UploadHeader,
+    loadgen, spawn, Client, ClientError, DeviceEntry, ErrorCode, ServerConfig, ServerHandle,
+    UploadBundle, UploadHeader,
 };
 use v6brick_net::ethernet::{EtherType, Repr as EthRepr};
 use v6brick_net::Mac;
@@ -141,6 +141,25 @@ fn oversized_upload_is_rejected_at_the_limit() {
     let mut client = Client::connect(handle.addr()).unwrap();
     let err = client.upload_bundle(&big, 256).unwrap_err();
     assert_eq!(err.server_code(), Some(ErrorCode::TooLarge));
+    // The refusal names both the configured limit and the observed
+    // size, so an operator can tell "limit too low" from "device gone
+    // rogue" without server logs.
+    let ClientError::Server { detail, .. } = &err else {
+        panic!("expected a typed server refusal, got {err}");
+    };
+    assert!(
+        detail.contains("exceeds 1024 byte limit"),
+        "detail must name the configured limit: {detail}"
+    );
+    let observed: u64 = detail
+        .strip_prefix("upload of ")
+        .and_then(|rest| rest.split(' ').next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("detail must lead with the observed size: {detail}"));
+    assert!(
+        observed > 1024,
+        "observed size {observed} must exceed the limit"
+    );
     assert_eq!(
         handle.state().stats.uploads_failed.load(Ordering::Relaxed),
         1
@@ -300,6 +319,99 @@ fn sixteen_clients_uploading_concurrently_corrupt_nothing() {
     concurrent.join();
     // The drained listener no longer accepts connections.
     assert!(TcpStream::connect(&*addr).is_err());
+}
+
+#[test]
+fn drain_deadline_force_closes_a_stalled_upload() {
+    let handle = spawn_server(ServerConfig {
+        campaign_seed: SEED,
+        drain_deadline: Duration::from_millis(200),
+        ..Default::default()
+    });
+    let clean = handle.state().snapshot_json();
+
+    // An upload that will never finish: BEGIN + half the capture, then
+    // the client goes silent (but keeps the socket open).
+    let mut stalled = TcpStream::connect(handle.addr()).unwrap();
+    let header = serde_json::to_string(&header_for(0, false)).unwrap();
+    write_frame(&mut stalled, K_UPLOAD_BEGIN, header.as_bytes()).unwrap();
+    let pcap = synth_pcap(10, mac_for(0));
+    write_frame(&mut stalled, K_UPLOAD_CHUNK, &pcap[..pcap.len() / 2]).unwrap();
+    let state = handle.state().clone();
+    wait_for(
+        "bytes_received",
+        move || state.stats.bytes_received.load(Ordering::Relaxed),
+        1,
+    );
+
+    // The drain must not wait forever on the stalled in-flight upload:
+    // the deadline expires and the shards force-close it.
+    handle.shutdown();
+    let state = handle.state().clone();
+    let started = Instant::now();
+    handle.join();
+    let took = started.elapsed();
+    assert!(
+        took < Duration::from_secs(5),
+        "drain deadline did not bound the join ({took:?})"
+    );
+    assert_eq!(state.stats.uploads_failed.load(Ordering::Relaxed), 1);
+    assert_eq!(state.stats.uploads_ok.load(Ordering::Relaxed), 0);
+    // The force-closed half-upload left no trace in the population.
+    assert_eq!(state.snapshot_json(), clean);
+    drop(stalled);
+}
+
+#[test]
+fn two_hundred_fifty_six_clients_run_on_a_bounded_thread_count() {
+    const HOMES: u64 = 64;
+    const FRAMES: usize = 2;
+    const CLIENTS: usize = 256;
+    let bundles: Vec<UploadBundle> = (0..HOMES).map(|h| bundle_for(h, FRAMES)).collect();
+
+    let concurrent = spawn_server(ServerConfig {
+        campaign_seed: SEED,
+        shards: 8,
+        loop_threads: 4,
+        ..Default::default()
+    });
+    let addr = concurrent.addr().to_string();
+    let load = loadgen::run(&addr, &bundles, CLIENTS, SEED).unwrap();
+    assert_eq!(load.failures(), 0);
+    assert_eq!(load.uploads(), HOMES);
+    assert_eq!(load.frames(), HOMES * FRAMES as u64);
+
+    // The C10k invariant: however many connections arrive, the server
+    // never spawns a handler thread — a fixed shard pool does all I/O.
+    let stats = concurrent.state().stats_report();
+    assert_eq!(stats.handler_threads, 0, "no per-connection threads, ever");
+    assert_eq!(stats.loop_threads, 4);
+    assert!(
+        stats.connections_total >= CLIENTS as u64,
+        "expected at least {CLIENTS} accepted connections, got {}",
+        stats.connections_total
+    );
+
+    // Concurrency is invisible in the merged population: byte-identical
+    // to a single client feeding the same bundles serially.
+    let serial = spawn_server(ServerConfig {
+        campaign_seed: SEED,
+        shards: 1,
+        loop_threads: 1,
+        ..Default::default()
+    });
+    let serial_addr = serial.addr().to_string();
+    let serial_load = loadgen::run(&serial_addr, &bundles, 1, SEED).unwrap();
+    assert_eq!(serial_load.failures(), 0);
+    assert_eq!(
+        concurrent.state().snapshot_json(),
+        serial.state().snapshot_json()
+    );
+
+    serial.shutdown();
+    serial.join();
+    concurrent.shutdown();
+    concurrent.join();
 }
 
 #[test]

@@ -1,0 +1,265 @@
+//! Adversarial-chunking properties for the resumable wire framing.
+//!
+//! The event-loop server never sees a whole frame at once: the kernel
+//! hands it whatever byte runs TCP produced. These properties pin that
+//! the resumable [`FrameReader`] is **chunking-invariant** — 1-byte
+//! drip, random splits, any request/response kind — always yielding
+//! exactly the frames the one-shot [`read_frame`] parser sees, that a
+//! stalled peer never makes it busy-loop (feeding nothing consumes
+//! nothing and returns immediately), that oversized declarations are
+//! refused before any payload allocation, and that [`FrameWriter`]
+//! under arbitrarily stingy partial writes emits the byte-identical
+//! stream of the blocking [`write_frame`].
+
+use proptest::prelude::*;
+use std::io::{self, Cursor, Write};
+use v6brick_ingest::wire::{
+    err_payload, read_frame, write_frame, ErrorCode, Frame, FrameReader, FrameWriter, WireError,
+    K_ERR, K_OK, K_SHUTDOWN, K_SNAPSHOT, K_STATS, K_UPLOAD_BEGIN, K_UPLOAD_CHUNK, K_UPLOAD_END,
+    MAX_FRAME_BYTES,
+};
+
+/// Every kind that crosses the wire in either direction.
+const ALL_KINDS: [u8; 8] = [
+    K_UPLOAD_BEGIN,
+    K_UPLOAD_CHUNK,
+    K_UPLOAD_END,
+    K_SNAPSHOT,
+    K_STATS,
+    K_SHUTDOWN,
+    K_OK,
+    K_ERR,
+];
+
+fn arb_frame() -> impl Strategy<Value = (u8, Vec<u8>)> {
+    (
+        0usize..ALL_KINDS.len(),
+        proptest::collection::vec(any::<u8>(), 0..300),
+    )
+        .prop_map(|(k, payload)| (ALL_KINDS[k], payload))
+}
+
+fn arb_stream() -> impl Strategy<Value = Vec<(u8, Vec<u8>)>> {
+    proptest::collection::vec(arb_frame(), 0..8)
+}
+
+fn encode(frames: &[(u8, Vec<u8>)]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for (kind, payload) in frames {
+        write_frame(&mut bytes, *kind, payload).unwrap();
+    }
+    bytes
+}
+
+/// Parse `bytes` with the one-shot blocking parser.
+fn oneshot(bytes: &[u8]) -> Vec<Frame> {
+    let mut cursor = Cursor::new(bytes);
+    let mut frames = Vec::new();
+    while (cursor.position() as usize) < bytes.len() {
+        frames.push(read_frame(&mut cursor).expect("valid stream"));
+    }
+    frames
+}
+
+/// Parse `bytes` with the resumable parser, split at the given points.
+fn resumable(bytes: &[u8], splits: &[usize]) -> Vec<Frame> {
+    let mut reader = FrameReader::new();
+    let mut frames = Vec::new();
+    let mut pieces: Vec<&[u8]> = Vec::new();
+    let mut last = 0;
+    let mut cuts: Vec<usize> = splits.iter().map(|s| s % (bytes.len() + 1)).collect();
+    cuts.sort_unstable();
+    for cut in cuts {
+        pieces.push(&bytes[last..cut.max(last)]);
+        last = cut.max(last);
+    }
+    pieces.push(&bytes[last..]);
+    for mut piece in pieces {
+        // A piece may hold many frames; the parser must consume it
+        // fully, frame boundaries notwithstanding.
+        while !piece.is_empty() {
+            let (used, frame) = reader.feed(piece).expect("valid stream");
+            assert!(used > 0, "non-empty input made no progress (busy loop)");
+            piece = &piece[used..];
+            if let Some(f) = frame {
+                frames.push(f);
+            }
+        }
+    }
+    frames
+}
+
+fn frames_eq(a: &[Frame], b: &[Frame]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| x.kind == y.kind && x.payload == y.payload)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Byte-at-a-time drip: the worst chunking TCP can produce.
+    #[test]
+    fn one_byte_drip_matches_oneshot(frames in arb_stream()) {
+        let bytes = encode(&frames);
+        let want = oneshot(&bytes);
+        let splits: Vec<usize> = (0..bytes.len()).collect();
+        let got = resumable(&bytes, &splits);
+        prop_assert!(frames_eq(&got, &want));
+    }
+
+    /// Random split points: arbitrary segment boundaries.
+    #[test]
+    fn random_splits_match_oneshot(
+        frames in arb_stream(),
+        splits in proptest::collection::vec(any::<usize>(), 0..32),
+    ) {
+        let bytes = encode(&frames);
+        let want = oneshot(&bytes);
+        let got = resumable(&bytes, &splits);
+        prop_assert!(frames_eq(&got, &want));
+    }
+
+    /// A stalled peer: a partial frame then silence. The reader parks
+    /// without fabricating frames, and empty feeds return immediately
+    /// with zero consumption — the no-busy-loop guarantee the event
+    /// loop relies on.
+    #[test]
+    fn stalled_peer_parks_without_spinning(
+        frame in arb_frame(),
+        cut in any::<usize>(),
+    ) {
+        let bytes = encode(std::slice::from_ref(&frame));
+        let cut = cut % bytes.len(); // strictly partial
+        let mut reader = FrameReader::new();
+        let mut fed = 0;
+        let mut produced = 0;
+        let mut piece = &bytes[..cut];
+        while !piece.is_empty() {
+            let (used, frame) = reader.feed(piece).unwrap();
+            prop_assert!(used > 0);
+            fed += used;
+            piece = &piece[used..];
+            if frame.is_some() {
+                produced += 1;
+            }
+        }
+        prop_assert_eq!(fed, cut);
+        prop_assert_eq!(produced, 0, "partial frame must not complete");
+        prop_assert_eq!(cut == 0, reader.is_idle());
+        // Silence: feeding nothing forever consumes nothing, returns
+        // nothing, and never errors — each call is O(1), no spin.
+        for _ in 0..3 {
+            prop_assert!(matches!(reader.feed(&[]), Ok((0, None))));
+        }
+        // The stream resumes exactly where it stalled.
+        let (_, done) = {
+            let mut rest = &bytes[cut..];
+            let mut done = None;
+            while !rest.is_empty() {
+                let (used, f) = reader.feed(rest).unwrap();
+                rest = &rest[used..];
+                if f.is_some() { done = f; }
+            }
+            (0, done)
+        };
+        let done = done.expect("frame completes after resume");
+        prop_assert_eq!(done.kind, frame.0);
+        prop_assert_eq!(done.payload, frame.1);
+    }
+
+    /// Oversized length declarations are refused at the header — before
+    /// any payload byte arrives or any buffer is grown — and the error
+    /// is sticky across further feeds.
+    #[test]
+    fn oversized_declarations_are_refused_and_sticky(
+        kind in any::<u8>(),
+        extra in 1usize..1024,
+        junk in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let len = (MAX_FRAME_BYTES + extra) as u32;
+        let mut head = vec![kind];
+        head.extend_from_slice(&len.to_le_bytes());
+        let mut reader = FrameReader::new();
+        prop_assert!(matches!(
+            reader.feed(&head),
+            Err(WireError::Oversized(n)) if n == MAX_FRAME_BYTES + extra
+        ));
+        prop_assert!(matches!(reader.feed(&junk), Err(WireError::Oversized(_))));
+    }
+
+    /// FrameWriter under a sink that accepts `cap` bytes per call and
+    /// interleaves WouldBlocks: the byte stream equals blocking
+    /// write_frame output, and pending() hits zero exactly at drain.
+    #[test]
+    fn partial_writes_reassemble_byte_identically(
+        frames in arb_stream(),
+        cap in 1usize..48,
+    ) {
+        let want = encode(&frames);
+        let mut writer = FrameWriter::new();
+        for (kind, payload) in &frames {
+            writer.enqueue(*kind, payload);
+        }
+        prop_assert_eq!(writer.pending(), want.len());
+        let mut sink = Stingy { out: Vec::new(), cap, block_next: false };
+        let mut spins = 0;
+        loop {
+            match writer.write_to(&mut sink) {
+                Ok(true) => break,
+                Ok(false) => {
+                    spins += 1;
+                    prop_assert!(
+                        spins < 4 * want.len() + 16,
+                        "writer failed to drain under partial writes"
+                    );
+                }
+                Err(e) => prop_assert!(false, "write error: {e}"),
+            }
+        }
+        prop_assert_eq!(sink.out, want);
+        prop_assert_eq!(writer.pending(), 0);
+    }
+}
+
+/// Accepts at most `cap` bytes per call, returning WouldBlock between
+/// accepting calls — a congested non-blocking socket in miniature.
+struct Stingy {
+    out: Vec<u8>,
+    cap: usize,
+    block_next: bool,
+}
+
+impl Write for Stingy {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.block_next {
+            self.block_next = false;
+            return Err(io::Error::new(io::ErrorKind::WouldBlock, "later"));
+        }
+        self.block_next = true;
+        let n = buf.len().min(self.cap);
+        self.out.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// An `ERR` payload survives the resumable path too (regression anchor
+/// for the typed-refusal flow: code byte + UTF-8 detail).
+#[test]
+fn err_frames_roundtrip_through_resumable_parsing() {
+    let payload = err_payload(
+        ErrorCode::TooLarge,
+        "upload of 2048 bytes exceeds 1024 byte limit",
+    );
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, K_ERR, &payload).unwrap();
+    let splits: Vec<usize> = (0..bytes.len()).collect();
+    let frames = resumable(&bytes, &splits);
+    assert_eq!(frames.len(), 1);
+    assert_eq!(frames[0].kind, K_ERR);
+    assert_eq!(frames[0].payload, payload);
+}
