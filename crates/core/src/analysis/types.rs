@@ -8,14 +8,18 @@
 //! *monotone* — disabling a pass leaves its fields at their defaults and
 //! every other field byte-identical to the full run.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::{IpAddr, Ipv6Addr};
 use v6brick_net::dns::Name;
 use v6brick_net::ipv6::{AddressKind, Ipv6AddrExt};
 
 /// Everything the pipeline measured about one device.
-#[derive(Debug, Clone, Default, Serialize)]
+///
+/// `Deserialize` exists for the ingest write-ahead log: a WAL record
+/// carries the already-analyzed observations so crash recovery can
+/// re-absorb them without re-decoding the capture.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct DeviceObservation {
     /// Did the device emit any NDP traffic (RS/RA/NS/NA)?
     pub ndp_traffic: bool,

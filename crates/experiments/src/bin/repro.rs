@@ -9,8 +9,13 @@
 //! repro dad                 # §5.2.1 DAD compliance
 //! repro fleet 256 [--workers 8] [--seed 42] [--json]
 //!                [--max-failures N] [--chaos-home IDX]...
+//!                [--checkpoint PATH] [--resume] [--checkpoint-every N]
+//!                [--stop-after N]
 //!                           # parallel multi-home campaign; exits
-//!                           # nonzero only when more than N homes fail
+//!                           # nonzero only when more than N homes fail.
+//!                           # With --checkpoint, progress persists every
+//!                           # N homes and --resume continues a stopped
+//!                           # run byte-identically
 //! repro --scenario broken-v6 [--seed S]
 //!                           # fault-injection preset (broken-v6,
 //!                           # tunnel-flap, ra-suppress, dns-servfail):
@@ -25,8 +30,15 @@
 //!                           # frames/sec, suite serial vs parallel,
 //!                           # fleet homes/sec); schema in EXPERIMENTS.md
 //! repro serve [--addr HOST:PORT] [--seed N] [--shards N] [--loop-threads N]
+//!             [--data-dir PATH] [--snapshot-every N]
 //!                           # run the v6brickd ingestion daemon until a
-//!                           # wire SHUTDOWN drains it
+//!                           # wire SHUTDOWN (or SIGTERM/SIGINT) drains
+//!                           # it; --data-dir write-ahead-logs every
+//!                           # upload and recovers state on restart
+//! repro stats [--addr HOST:PORT]
+//!                           # print a running daemon's STATS JSON
+//!                           # (wal_records, recovered_from, ...) — the
+//!                           # CI crash-recovery smoke polls this
 //! repro upload N [--addr HOST:PORT] [--clients N] [--seed N]
 //!                [--duration S] [--workers N] [--dev-min N] [--dev-max N]
 //!                [--chaos-home IDX]... [--verify] [--shutdown] [--json]
@@ -91,6 +103,10 @@ fn main() {
     }
     if what == "upload" {
         run_upload(&args[1..]);
+        return;
+    }
+    if what == "stats" {
+        run_stats(&args[1..]);
         return;
     }
     const KNOWN: &[&str] = &[
@@ -211,7 +227,7 @@ fn usage_hint() -> String {
     format!(
         "subcommands: all, table2..table13, figure2..figure5, portscan, dad, variants, \
          tracking, enterprise, reachability, json, fleet, wanscan, bench-json, serve, \
-         upload, --scenario <preset>; scenario presets: {}",
+         upload, stats, --scenario <preset>; scenario presets: {}",
         broken::PRESETS.join(", ")
     )
 }
@@ -340,6 +356,10 @@ fn run_fleet(args: &[String]) {
     };
     let mut json = false;
     let mut max_failures: u64 = 0;
+    let mut checkpoint: Option<String> = None;
+    let mut checkpoint_every: u64 = 10_000;
+    let mut resume = false;
+    let mut stop_after: Option<u64> = None;
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -364,6 +384,19 @@ fn run_fleet(args: &[String]) {
                 let idx = value("--chaos-home");
                 spec.chaos_panic_homes.push(idx);
             }
+            "--checkpoint" => {
+                checkpoint = Some(
+                    it.next()
+                        .unwrap_or_else(|| {
+                            eprintln!("--checkpoint needs a value");
+                            std::process::exit(2);
+                        })
+                        .clone(),
+                )
+            }
+            "--checkpoint-every" => checkpoint_every = value("--checkpoint-every"),
+            "--resume" => resume = true,
+            "--stop-after" => stop_after = Some(value("--stop-after")),
             "--json" => json = true,
             other if !other.starts_with('-') => positional.push(other.to_string()),
             other => {
@@ -378,13 +411,51 @@ fn run_fleet(args: &[String]) {
             std::process::exit(2);
         });
     }
+    if (resume || stop_after.is_some()) && checkpoint.is_none() {
+        eprintln!("fleet: --resume/--stop-after need --checkpoint PATH");
+        std::process::exit(2);
+    }
 
     eprintln!(
         "Simulating {} homes ({} workers, seed {:#x}, {} s windows)...",
         spec.homes, spec.workers, spec.seed, spec.duration_s
     );
     let t0 = std::time::Instant::now();
-    let report = fleet::run(&spec);
+    let report = match &checkpoint {
+        None => fleet::run(&spec),
+        Some(path) => {
+            let leg = fleet::run_checkpointed(
+                &spec,
+                std::path::Path::new(path),
+                checkpoint_every,
+                resume,
+                stop_after,
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("fleet: {e}");
+                std::process::exit(2);
+            });
+            if let Some(from) = leg.resumed_from {
+                eprintln!("   resumed from checkpoint at home {from}");
+            }
+            match leg.report {
+                Some(report) => report,
+                None => {
+                    // Paused with homes remaining: the checkpoint holds
+                    // the progress, a later --resume leg finishes it.
+                    // Exit 0 with no stdout report — stdout bytes belong
+                    // to complete campaigns only.
+                    eprintln!(
+                        "   paused at home {}/{} after {} chunk(s); resume with \
+                         --checkpoint {path} --resume",
+                        leg.next_index, spec.homes, leg.chunks_run
+                    );
+                    eprintln!("peak_rss_bytes={}", peak_rss_bytes().unwrap_or(0));
+                    return;
+                }
+            }
+        }
+    };
     let elapsed = t0.elapsed();
     eprintln!(
         "   done in {:.1?} — {:.1} homes/sec ({} devices simulated, {} homes failed)",
@@ -400,10 +471,9 @@ fn run_fleet(args: &[String]) {
         );
     }
     // Machine-parseable memory line (stderr only — the stdout JSON stays
-    // byte-identical for a given spec no matter where it runs).
-    if let Some(rss) = peak_rss_bytes() {
-        eprintln!("peak_rss_bytes={rss}");
-    }
+    // byte-identical for a given spec no matter where it runs). Degrades
+    // to 0 off Linux / without procfs so consumers always find the line.
+    eprintln!("peak_rss_bytes={}", peak_rss_bytes().unwrap_or(0));
     if json {
         // `report.failures` is `#[serde(skip)]` so the population
         // aggregates stay byte-identical with or without crashed homes;
@@ -594,16 +664,37 @@ fn run_serve(args: &[String]) {
             "--seed" => config.campaign_seed = value("--seed"),
             "--shards" => config.shards = value("--shards") as usize,
             "--loop-threads" => config.loop_threads = value("--loop-threads") as usize,
+            "--data-dir" => {
+                config.data_dir = Some(
+                    it.next()
+                        .unwrap_or_else(|| {
+                            eprintln!("--data-dir needs a value");
+                            std::process::exit(2);
+                        })
+                        .into(),
+                )
+            }
+            "--snapshot-every" => config.snapshot_every = value("--snapshot-every"),
             other => {
                 eprintln!("unknown serve flag {other:?}");
                 std::process::exit(2);
             }
         }
     }
+    // Same ordering as the v6brickd binary: block the signals before any
+    // server thread exists so the whole process inherits the mask.
+    let term = v6brick_ingest::signal::TermSignals::block();
     let handle = v6brick_ingest::spawn(config.clone()).unwrap_or_else(|e| {
-        eprintln!("serve: bind {}: {e}", config.addr);
+        eprintln!("serve: start on {}: {e}", config.addr);
         std::process::exit(1);
     });
+    if let Ok(term) = term {
+        let shutdown = handle.shutdown_handle();
+        term.watch(move |sig| {
+            eprintln!("serve: caught signal {sig}, draining");
+            shutdown.shutdown();
+        });
+    }
     println!(
         "v6brickd listening on {} (campaign seed {:#x}, {} shards)",
         handle.addr(),
@@ -617,6 +708,43 @@ fn run_serve(args: &[String]) {
         "{}",
         serde_json::to_string(&state.stats_report()).expect("stats serialize")
     );
+}
+
+/// `repro stats [--addr HOST:PORT]` — fetch a running daemon's STATS
+/// JSON over the wire and print it. One line, CI-greppable: the
+/// crash-recovery smoke polls `uploads_ok` with it and asserts on
+/// `recovered_from` after a restart.
+fn run_stats(args: &[String]) {
+    let mut addr = "127.0.0.1:6468".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                addr = it
+                    .next()
+                    .unwrap_or_else(|| {
+                        eprintln!("--addr needs a value");
+                        std::process::exit(2);
+                    })
+                    .clone()
+            }
+            other => {
+                eprintln!("unknown stats flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut client =
+        v6brick_ingest::Client::connect_retry(&*addr, 50, std::time::Duration::from_millis(20))
+            .unwrap_or_else(|e| {
+                eprintln!("stats: connect {addr}: {e}");
+                std::process::exit(1);
+            });
+    let stats = client.stats().unwrap_or_else(|e| {
+        eprintln!("stats: {e}");
+        std::process::exit(1);
+    });
+    println!("{stats}");
 }
 
 /// `repro upload N ...` — replay an N-home campaign at a `v6brickd`
@@ -1077,6 +1205,110 @@ fn run_bench_json(args: &[String]) {
         c10k_runs.push(run);
     }
 
+    // --- 4c. Durability: WAL overhead, crash recovery, checkpoint resume ---
+    // WAL overhead first: the same 16-home replay with and without a
+    // data dir, best of 3 each. Every WAL-on run gets a FRESH directory
+    // — reusing one would let the exactly-once dedupe skip the absorb
+    // (and most of the WAL write) on reruns and flatter the number.
+    let bench_tmp = |tag: &str, n: u32| -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("v6brick-bench-{tag}-{}-{n}", std::process::id()))
+    };
+    let time_replay = |data_dir: Option<std::path::PathBuf>| -> (f64, u64, u64) {
+        let handle = v6brick_ingest::spawn(v6brick_ingest::ServerConfig {
+            campaign_seed: ingest_spec.seed,
+            shards: 8,
+            data_dir,
+            ..Default::default()
+        })
+        .expect("v6brickd binds an ephemeral port");
+        let addr = handle.addr().to_string();
+        let t0 = Instant::now();
+        let load = v6brick_ingest::loadgen::run(&addr, &bundles, 4, ingest_spec.seed)
+            .expect("load generator runs");
+        let secs = t0.elapsed().as_secs_f64();
+        assert_eq!(load.failures(), 0, "WAL-overhead replay had failed uploads");
+        let stats = handle.state().stats_report();
+        handle.shutdown();
+        handle.join();
+        (
+            load.uploads() as f64 / secs.max(1e-9),
+            stats.wal_records,
+            stats.wal_bytes,
+        )
+    };
+    eprintln!("bench-json: WAL overhead, 16-home replay without a data dir (3 runs)...");
+    let mut wal_off_rate = 0.0f64;
+    for _ in 0..3 {
+        wal_off_rate = wal_off_rate.max(time_replay(None).0);
+    }
+    eprintln!("bench-json: WAL overhead, same replay write-ahead-logged (3 runs)...");
+    let mut wal_on_rate = 0.0f64;
+    let (mut wal_records, mut wal_bytes) = (0u64, 0u64);
+    for i in 0..3 {
+        let dir = bench_tmp("wal", i);
+        let (rate, records, bytes) = time_replay(Some(dir.clone()));
+        wal_on_rate = wal_on_rate.max(rate);
+        (wal_records, wal_bytes) = (records, bytes);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let wal_overhead_pct = 100.0 * (1.0 - wal_on_rate / wal_off_rate.max(1e-9));
+    let wal_efficient = wal_on_rate >= 0.8 * wal_off_rate;
+
+    // Crash recovery: replay the whole 4096-home campaign into a durable
+    // daemon in pure-WAL mode (snapshot_every = 0), drain it, then time
+    // the recovery path over the resulting 4096-record WAL tail. The
+    // recovered report must be byte-identical to the offline oracle —
+    // recovery speed without correctness is meaningless.
+    eprintln!("bench-json: recovery probe — building a 4096-home WAL tail...");
+    let recovery_dir = bench_tmp("recover", 0);
+    {
+        let handle = v6brick_ingest::spawn(v6brick_ingest::ServerConfig {
+            campaign_seed: c10k_spec.seed,
+            shards: 8,
+            data_dir: Some(recovery_dir.clone()),
+            snapshot_every: 0,
+            ..Default::default()
+        })
+        .expect("v6brickd binds an ephemeral port");
+        let addr = handle.addr().to_string();
+        let load = v6brick_ingest::loadgen::run(&addr, &c10k_bundles, 256, c10k_spec.seed)
+            .expect("load generator runs");
+        assert_eq!(
+            load.failures(),
+            0,
+            "recovery-probe replay had failed uploads"
+        );
+        handle.shutdown();
+        handle.join();
+    }
+    eprintln!("bench-json: recovery probe — replaying the WAL tail...");
+    let t0 = Instant::now();
+    let recovered =
+        v6brick_ingest::recover(&recovery_dir, c10k_spec.seed).expect("recover the WAL tail");
+    let recovery_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let recovery_replayed = recovered.replayed;
+    let recovered_identical =
+        serde_json::to_string(&recovered.report).expect("serializable") == c10k_offline;
+    let _ = std::fs::remove_dir_all(&recovery_dir);
+
+    // Checkpoint/resume: the 16-home campaign run as stop-after-1-chunk
+    // legs (5 homes per chunk) must reassemble to the exact bytes of the
+    // uninterrupted offline report.
+    eprintln!("bench-json: checkpoint/resume probe over the 16-home campaign...");
+    let ck_path = bench_tmp("ckpt", 0);
+    let mut checkpoint_legs = 0u64;
+    let ck_report = loop {
+        let leg = fleet::run_checkpointed(&ingest_spec, &ck_path, 5, checkpoint_legs > 0, Some(1))
+            .expect("checkpointed campaign leg");
+        checkpoint_legs += 1;
+        if let Some(report) = leg.report {
+            break report;
+        }
+    };
+    let checkpoint_identical =
+        serde_json::to_string(&ck_report).expect("serializable") == ingest_offline;
+    let _ = std::fs::remove_file(&ck_path);
+
     // --- 5. WAN exposure scan: homes/sec + cross-worker byte-identity ---
     // A small campaign over all three firewall policies; the report must
     // serialize byte-identically at 1 worker and at full parallelism, and
@@ -1118,7 +1350,7 @@ fn run_bench_json(args: &[String]) {
     let memory_flat = rss_ratio <= 2.0;
 
     let out = serde_json::json!({
-        "schema": "v6brick-bench-pipeline/6",
+        "schema": "v6brick-bench-pipeline/7",
         "streaming_analyzer": serde_json::json!({
             "frames": frames,
             "bytes": bytes,
@@ -1176,6 +1408,22 @@ fn run_bench_json(args: &[String]) {
             "snapshot_identical": c10k_identical,
             "c10k_uploads_per_sec": c10k_uploads_per_sec,
         }),
+        "durability": serde_json::json!({
+            "wal_homes": ingest_spec.homes,
+            "wal_off_uploads_per_sec": wal_off_rate,
+            "wal_on_uploads_per_sec": wal_on_rate,
+            "wal_overhead_pct": wal_overhead_pct,
+            "wal_efficient": wal_efficient,
+            "wal_records": wal_records,
+            "wal_bytes": wal_bytes,
+            "recovery_homes": c10k_spec.homes,
+            "recovery_replayed": recovery_replayed,
+            "recovery_ms": recovery_ms,
+            "recovered_identical": recovered_identical,
+            "checkpoint_homes": ingest_spec.homes,
+            "checkpoint_legs": checkpoint_legs,
+            "checkpoint_identical": checkpoint_identical,
+        }),
         "wanscan": serde_json::json!({
             "homes": wan_report.homes,
             "devices": wan_report.devices,
@@ -1229,6 +1477,27 @@ fn run_bench_json(args: &[String]) {
         eprintln!(
             "bench-json: a 100k-home campaign peaked at {rss_ratio:.2}x the RSS of a \
              1k-home campaign — campaign memory is no longer flat in homes"
+        );
+        std::process::exit(1);
+    }
+    if !wal_efficient {
+        eprintln!(
+            "bench-json: write-ahead logging costs {wal_overhead_pct:.1}% of upload \
+             throughput (>20% budget) — the WAL append path regressed"
+        );
+        std::process::exit(1);
+    }
+    if !recovered_identical {
+        eprintln!(
+            "bench-json: the report recovered from the WAL tail DIVERGED from the \
+             offline oracle — crash recovery is broken"
+        );
+        std::process::exit(1);
+    }
+    if !checkpoint_identical {
+        eprintln!(
+            "bench-json: the checkpointed-and-resumed fleet report DIVERGED from the \
+             uninterrupted run — checkpoint/resume is broken"
         );
         std::process::exit(1);
     }

@@ -24,10 +24,12 @@
 use crate::config::NetworkConfig;
 use crate::scenario::{self, ZoneCache};
 use std::collections::BTreeMap;
+use std::path::Path;
 use v6brick_core::analysis::PassId;
 use v6brick_core::observe::DeviceObservation;
 use v6brick_core::population::{HomeFailure, PopulationReport};
-use v6brick_fleet::{plan_home, plan_homes_iter, run_partials, HomeSpec};
+use v6brick_fleet::seed::fold_bytes;
+use v6brick_fleet::{plan_home, run_partials, Checkpoint, CheckpointError, Fingerprint, HomeSpec};
 use v6brick_sim::SimTime;
 
 /// Re-export of [`v6brick_core::population::POPULATION_PASSES`] (which
@@ -130,11 +132,27 @@ fn simulate_home(
 /// the serialized aggregates over the surviving homes. Their seed and
 /// config label are re-derived from the failed index alone.
 pub fn run(spec: &CampaignSpec) -> PopulationReport {
+    let (mut report, failures) = run_range(spec, 0, spec.homes);
+    for f in failures {
+        report.absorb_failure(f);
+    }
+    report
+}
+
+/// Simulate homes `start..end` of the campaign and return the merged
+/// partial report over that range plus the failures inside it.
+///
+/// This is the shared engine under [`run`] (one range covering the
+/// whole campaign) and [`run_checkpointed`] (one range per checkpoint
+/// chunk). Failure indices are globalized (the pool enumerates items
+/// from zero within each range) and their metadata re-derived from the
+/// index alone — no `O(homes)` map, same as before the refactor.
+fn run_range(spec: &CampaignSpec, start: u64, end: u64) -> (PopulationReport, Vec<HomeFailure>) {
     let (dev_min, dev_max) = spec.device_range;
     let duration = SimTime::from_secs(spec.duration_s);
     let chaos = &spec.chaos_panic_homes;
-    let (partials, failures) = run_partials(
-        plan_homes_iter(spec.seed, spec.homes, &spec.mix, dev_min..=dev_max),
+    let (partials, panics) = run_partials(
+        (start..end).map(|i| plan_home(spec.seed, i, &spec.mix, dev_min..=dev_max)),
         spec.workers,
         ZoneCache::new,
         move |scratch, home: HomeSpec<NetworkConfig>| {
@@ -160,18 +178,134 @@ pub fn run(spec: &CampaignSpec) -> PopulationReport {
     for partial in &partials {
         report.merge(partial);
     }
-    for f in failures {
-        // No O(homes) metadata map: the failed home's spec derives from
-        // its index exactly as the planner derived it the first time.
-        let home = plan_home(spec.seed, f.index, &spec.mix, dev_min..=dev_max);
-        report.absorb_failure(HomeFailure {
-            index: f.index,
-            seed: home.seed,
-            config_label: home.config.label().to_string(),
-            panic_msg: f.message,
-        });
+    let failures = panics
+        .into_iter()
+        .map(|p| {
+            // The pool enumerates the range's items from zero; globalize
+            // before re-deriving the failed home's spec from its index
+            // exactly as the planner derived it the first time.
+            let index = start + p.index;
+            let home = plan_home(spec.seed, index, &spec.mix, dev_min..=dev_max);
+            HomeFailure {
+                index,
+                seed: home.seed,
+                config_label: home.config.label().to_string(),
+                panic_msg: p.message,
+            }
+        })
+        .collect();
+    (report, failures)
+}
+
+/// Campaign identity for checkpoint validation: seed and home count
+/// directly, everything else that shapes the result bytes folded into
+/// `spec_hash`. Worker count is deliberately excluded — the report is
+/// byte-identical across worker counts, so resuming a 1-worker run
+/// with 8 workers is sound (and pinned by `tests/checkpoint_resume.rs`).
+pub fn fingerprint(spec: &CampaignSpec) -> Fingerprint {
+    use std::fmt::Write;
+    let mut desc = String::new();
+    let _ = write!(
+        desc,
+        "dev={}..={};dur={};",
+        spec.device_range.0, spec.device_range.1, spec.duration_s
+    );
+    for (config, weight) in &spec.mix {
+        let _ = write!(desc, "mix={}*{weight};", config.label());
     }
-    report
+    for pass in &spec.passes {
+        let _ = write!(desc, "pass={pass:?};");
+    }
+    for home in &spec.chaos_panic_homes {
+        let _ = write!(desc, "chaos={home};");
+    }
+    Fingerprint {
+        campaign_seed: spec.seed,
+        homes: spec.homes,
+        spec_hash: fold_bytes(0xf1e7_c4a9, desc.as_bytes()),
+    }
+}
+
+/// Outcome of one [`run_checkpointed`] leg.
+pub struct CheckpointedRun {
+    /// The complete campaign report — `None` when the leg paused at
+    /// `stop_after` chunks with homes still remaining.
+    pub report: Option<PopulationReport>,
+    /// First home index not yet simulated (`spec.homes` when complete).
+    pub next_index: u64,
+    /// Home index the leg resumed from, when a checkpoint was loaded.
+    pub resumed_from: Option<u64>,
+    /// Checkpoint chunks executed by this leg.
+    pub chunks_run: u64,
+}
+
+/// Execute a campaign in checkpointed chunks of `every` homes,
+/// persisting progress to `path` after each chunk.
+///
+/// With `resume`, a checkpoint at `path` (validated against the spec's
+/// [`fingerprint`]) restarts the campaign from its `next_index`; a
+/// missing file starts from zero. `stop_after` bounds how many chunks
+/// this leg runs before pausing (used by `--stop-after` and the resume
+/// determinism tests); `None` runs to completion.
+///
+/// Because [`PopulationReport::merge`] is associative and commutative
+/// and every home derives from `(campaign_seed, index)` alone, a
+/// campaign split across any number of pause/resume legs serializes
+/// byte-identically to an uninterrupted [`run`].
+pub fn run_checkpointed(
+    spec: &CampaignSpec,
+    path: &Path,
+    every: u64,
+    resume: bool,
+    stop_after: Option<u64>,
+) -> Result<CheckpointedRun, CheckpointError> {
+    let fp = fingerprint(spec);
+    let every = every.max(1);
+    let (mut report, mut failures, mut next, resumed_from) = match resume {
+        true => match Checkpoint::load(path, fp)? {
+            Some(ck) => (ck.report, ck.failures, ck.next_index, Some(ck.next_index)),
+            None => (PopulationReport::new(spec.seed), Vec::new(), 0, None),
+        },
+        false => (PopulationReport::new(spec.seed), Vec::new(), 0, None),
+    };
+    let mut chunks_run = 0u64;
+    while next < spec.homes {
+        if let Some(limit) = stop_after {
+            if chunks_run >= limit {
+                return Ok(CheckpointedRun {
+                    report: None,
+                    next_index: next,
+                    resumed_from,
+                    chunks_run,
+                });
+            }
+        }
+        let end = (next + every).min(spec.homes);
+        let (chunk_report, chunk_failures) = run_range(spec, next, end);
+        report.merge(&chunk_report);
+        failures.extend(chunk_failures);
+        next = end;
+        chunks_run += 1;
+        Checkpoint {
+            fingerprint: fp,
+            next_index: next,
+            report: report.clone(),
+            failures: failures.clone(),
+        }
+        .save(path)?;
+    }
+    // Failures live outside the checkpointed report (the field is
+    // `serde(skip)`) and are absorbed only on completion, exactly as
+    // `run` does at its end.
+    for f in failures {
+        report.absorb_failure(f);
+    }
+    Ok(CheckpointedRun {
+        report: Some(report),
+        next_index: next,
+        resumed_from,
+        chunks_run,
+    })
 }
 
 /// Human-readable campaign summary (the non-`--json` CLI output).

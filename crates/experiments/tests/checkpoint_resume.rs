@@ -1,0 +1,152 @@
+//! Checkpoint/resume determinism, pinned at every boundary.
+//!
+//! A fleet campaign interrupted after *any* chunk and resumed — even
+//! with a different worker count — must serialize byte-identically to
+//! the uninterrupted run. This holds because every home is a pure
+//! function of `(campaign_seed, index)` and the report merge is a
+//! commutative monoid, so the checkpoint only ever stores a prefix sum
+//! the resumed suffix completes. Mismatched specs are typed errors,
+//! and chaos-injected failures ride through pause/resume unchanged.
+
+use std::path::{Path, PathBuf};
+use v6brick_experiments::fleet::{self, CampaignSpec};
+use v6brick_fleet::CheckpointError;
+
+const EVERY: u64 = 6;
+
+fn spec(workers: usize) -> CampaignSpec {
+    CampaignSpec {
+        homes: 20,
+        seed: 0xc4ec,
+        workers,
+        device_range: (2, 3),
+        duration_s: 45,
+        ..Default::default()
+    }
+}
+
+fn temp_path(tag: &str, n: u64) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "v6brick-ckresume-{tag}-{}-{n}.bin",
+        std::process::id()
+    ))
+}
+
+fn json(report: &v6brick_core::population::PopulationReport) -> String {
+    serde_json::to_string(report).expect("report serializes")
+}
+
+/// Run the campaign as pause/resume legs, interrupting after every
+/// chunk boundary, and return the completed report's JSON.
+fn run_interrupted(spec: &CampaignSpec, path: &Path) -> String {
+    let mut legs = 0u64;
+    let report = loop {
+        let leg = fleet::run_checkpointed(spec, path, EVERY, legs > 0, Some(1))
+            .expect("checkpointed leg");
+        legs += 1;
+        assert!(legs <= spec.homes / EVERY + 2, "leg runaway");
+        if let Some(report) = leg.report {
+            break report;
+        }
+    };
+    // 20 homes at 6 per chunk: 4 chunks, each its own leg.
+    assert_eq!(legs, spec.homes.div_ceil(EVERY));
+    json(&report)
+}
+
+/// The acceptance matrix: interrupted-at-every-boundary equals
+/// uninterrupted, at 1, 2, and 8 workers — and across them.
+#[test]
+fn interrupted_runs_match_uninterrupted_at_every_worker_count() {
+    let baseline = json(&fleet::run(&spec(1)));
+    for (n, workers) in [1usize, 2, 8].into_iter().enumerate() {
+        let spec = spec(workers);
+        let uninterrupted = json(&fleet::run(&spec));
+        assert_eq!(
+            uninterrupted, baseline,
+            "{workers} workers diverged before checkpointing was even involved"
+        );
+        let path = temp_path("matrix", n as u64);
+        let resumed = run_interrupted(&spec, &path);
+        assert_eq!(
+            resumed, baseline,
+            "pause/resume at {workers} workers changed the report bytes"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+/// A checkpoint written by a 1-worker leg finishes under 8 workers (and
+/// vice versa) — worker count is execution detail, not campaign
+/// identity, so it is deliberately outside the fingerprint.
+#[test]
+fn resume_across_worker_counts_is_byte_identical() {
+    let baseline = json(&fleet::run(&spec(1)));
+    let path = temp_path("xworkers", 0);
+    let paused =
+        fleet::run_checkpointed(&spec(1), &path, EVERY, false, Some(2)).expect("paused leg");
+    assert!(paused.report.is_none());
+    assert_eq!(paused.next_index, 2 * EVERY);
+    let finished =
+        fleet::run_checkpointed(&spec(8), &path, EVERY, true, None).expect("resumed leg");
+    assert_eq!(finished.resumed_from, Some(2 * EVERY));
+    assert_eq!(json(&finished.report.expect("complete")), baseline);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Resuming under a different campaign is a typed `Mismatch`, never a
+/// silently wrong merge.
+#[test]
+fn mismatched_spec_is_a_typed_error() {
+    let path = temp_path("mismatch", 0);
+    let paused =
+        fleet::run_checkpointed(&spec(2), &path, EVERY, false, Some(1)).expect("paused leg");
+    assert!(paused.report.is_none());
+    for wrong in [
+        CampaignSpec {
+            seed: 0xbad,
+            ..spec(2)
+        },
+        CampaignSpec {
+            homes: 21,
+            ..spec(2)
+        },
+        CampaignSpec {
+            duration_s: 46,
+            ..spec(2)
+        },
+    ] {
+        assert!(
+            matches!(
+                fleet::run_checkpointed(&wrong, &path, EVERY, true, None),
+                Err(CheckpointError::Mismatch { .. })
+            ),
+            "a different campaign resumed someone else's checkpoint"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Chaos-panicked homes survive the pause/resume boundary: the failure
+/// recorded in one leg is still in the completed report, and the
+/// serialized aggregates still match the uninterrupted chaos run.
+#[test]
+fn chaos_failures_ride_through_pause_and_resume() {
+    let chaos_spec = CampaignSpec {
+        chaos_panic_homes: vec![3],
+        ..spec(2)
+    };
+    let uninterrupted = fleet::run(&chaos_spec);
+    assert_eq!(uninterrupted.failures.len(), 1);
+    let path = temp_path("chaos", 0);
+    let resumed = run_interrupted(&chaos_spec, &path);
+    assert_eq!(resumed, json(&uninterrupted));
+    // And the failure metadata itself survives the checkpoint file.
+    let complete = fleet::run_checkpointed(&chaos_spec, &path, EVERY, false, None)
+        .expect("complete run")
+        .report
+        .expect("complete");
+    assert_eq!(complete.failures.len(), 1);
+    assert_eq!(complete.failures[0].index, 3);
+    let _ = std::fs::remove_file(&path);
+}

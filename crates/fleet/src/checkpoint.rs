@@ -1,0 +1,263 @@
+//! Campaign checkpoint/resume persistence.
+//!
+//! Because every home is a pure function of `(campaign_seed, index)`
+//! ([`crate::plan::plan_home`]), a campaign's full progress state is
+//! tiny: the merged [`PopulationReport`] so far, the per-home failures
+//! (kept separately — the report's `failures` field is `serde(skip)`),
+//! and the next home index. Resume re-derives everything else, so a
+//! checkpointed-and-resumed run is **byte-identical** to an
+//! uninterrupted one — the same merge-commutativity argument as the
+//! ingest equivalence spine.
+//!
+//! A [`Fingerprint`] of the campaign parameters is stored alongside so
+//! resuming under a different spec (changed mix, worker-visible knobs,
+//! home count, seed) is a typed error, never a silently wrong merge.
+//!
+//! ## On-disk format
+//!
+//! ```text
+//! "V6BKCKP1" (8 bytes) | len u64 LE | payload (len bytes, JSON)
+//! | check u64 LE
+//! ```
+//!
+//! with `check = fold_bytes(len, payload)` (the shared splitmix64
+//! fold), written atomically via tmp + rename.
+
+use crate::seed::fold_bytes;
+use serde::{Deserialize, Serialize};
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::Path;
+use v6brick_core::population::{HomeFailure, PopulationReport};
+
+/// Magic bytes opening every checkpoint file (format version 1).
+pub const CHECKPOINT_MAGIC: [u8; 8] = *b"V6BKCKP1";
+
+/// Identity of a campaign configuration; two runs may share progress
+/// only when their fingerprints match exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fingerprint {
+    /// Campaign seed.
+    pub campaign_seed: u64,
+    /// Total homes in the campaign.
+    pub homes: u64,
+    /// Hash of every other result-affecting parameter (config mix,
+    /// device range, duration, pass selection, ...), computed by the
+    /// campaign harness.
+    pub spec_hash: u64,
+}
+
+/// A saved campaign prefix: everything needed to continue from
+/// `next_index` as if the run had never stopped.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// The campaign this progress belongs to.
+    pub fingerprint: Fingerprint,
+    /// First home index not yet simulated.
+    pub next_index: u64,
+    /// Merged report over homes `0..next_index` (failures excluded —
+    /// the field is `serde(skip)`; see [`Checkpoint::failures`]).
+    pub report: PopulationReport,
+    /// Failures among homes `0..next_index`, in index order.
+    pub failures: Vec<HomeFailure>,
+}
+
+/// Typed checkpoint failures.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// The file does not start with [`CHECKPOINT_MAGIC`].
+    BadMagic,
+    /// Checksum mismatch, truncation, or undecodable payload.
+    Corrupt(String),
+    /// The checkpoint was written by a different campaign
+    /// configuration.
+    Mismatch {
+        /// Fingerprint in the file.
+        found: Fingerprint,
+        /// Fingerprint of the requested campaign.
+        expected: Fingerprint,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io: {e}"),
+            CheckpointError::BadMagic => {
+                write!(f, "checkpoint: bad magic (not a V6BKCKP1 file)")
+            }
+            CheckpointError::Corrupt(why) => write!(f, "checkpoint: corrupt: {why}"),
+            CheckpointError::Mismatch { found, expected } => write!(
+                f,
+                "checkpoint: campaign mismatch (file seed {:#x}/{} homes/hash {:#x}, \
+                 expected seed {:#x}/{} homes/hash {:#x})",
+                found.campaign_seed,
+                found.homes,
+                found.spec_hash,
+                expected.campaign_seed,
+                expected.homes,
+                expected.spec_hash,
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl Checkpoint {
+    /// Atomically persist the checkpoint to `path` (tmp + rename).
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let payload = serde_json::to_string(self)
+            .map_err(io::Error::other)?
+            .into_bytes();
+        let mut bytes = Vec::with_capacity(payload.len() + 24);
+        bytes.extend_from_slice(&CHECKPOINT_MAGIC);
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&fold_bytes(payload.len() as u64, &payload).to_le_bytes());
+
+        let tmp = path.with_extension("tmp");
+        let mut file = File::create(&tmp)?;
+        file.write_all(&bytes)?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Load a checkpoint from `path`, validating it against `expected`.
+    ///
+    /// Missing file → `Ok(None)` (a resume of a run that never got far
+    /// enough to checkpoint starts from zero). Damage and fingerprint
+    /// mismatches are typed hard errors.
+    pub fn load(path: &Path, expected: Fingerprint) -> Result<Option<Checkpoint>, CheckpointError> {
+        let mut file = match File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(CheckpointError::Io(e)),
+        };
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        if bytes.len() < 16 || bytes[..8] != CHECKPOINT_MAGIC {
+            return Err(if bytes.len() >= 8 && bytes[..8] == CHECKPOINT_MAGIC {
+                CheckpointError::Corrupt("truncated header".to_string())
+            } else {
+                CheckpointError::BadMagic
+            });
+        }
+        let len = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+        let expected_total = 16usize.checked_add(len).and_then(|n| n.checked_add(8));
+        if expected_total != Some(bytes.len()) {
+            return Err(CheckpointError::Corrupt(format!(
+                "length {len} inconsistent with file of {} bytes",
+                bytes.len()
+            )));
+        }
+        let payload = &bytes[16..16 + len];
+        let check = u64::from_le_bytes(bytes[16 + len..].try_into().unwrap());
+        if check != fold_bytes(len as u64, payload) {
+            return Err(CheckpointError::Corrupt("checksum mismatch".to_string()));
+        }
+        let text = std::str::from_utf8(payload)
+            .map_err(|e| CheckpointError::Corrupt(format!("payload: {e}")))?;
+        let decoded: Checkpoint = serde_json::from_str(text)
+            .map_err(|e| CheckpointError::Corrupt(format!("payload: {e}")))?;
+        if decoded.fingerprint != expected {
+            return Err(CheckpointError::Mismatch {
+                found: decoded.fingerprint,
+                expected,
+            });
+        }
+        Ok(Some(decoded))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        static N: AtomicU32 = AtomicU32::new(0);
+        std::env::temp_dir().join(format!(
+            "v6brick-ckpt-{tag}-{}-{}.bin",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn fp(seed: u64) -> Fingerprint {
+        Fingerprint {
+            campaign_seed: seed,
+            homes: 100,
+            spec_hash: 0xabcd,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let path = temp_path("roundtrip");
+        let mut report = PopulationReport::new(11);
+        report.absorb_home("native", &Default::default(), &Default::default(), 2);
+        let ck = Checkpoint {
+            fingerprint: fp(11),
+            next_index: 40,
+            report,
+            failures: vec![HomeFailure {
+                index: 17,
+                seed: 0x1234,
+                config_label: "native".to_string(),
+                panic_msg: "boom".to_string(),
+            }],
+        };
+        ck.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path, fp(11)).unwrap().unwrap();
+        assert_eq!(loaded.next_index, 40);
+        assert_eq!(loaded.failures.len(), 1);
+        assert_eq!(loaded.failures[0].index, 17);
+        assert_eq!(
+            serde_json::to_string(&loaded.report).unwrap(),
+            serde_json::to_string(&ck.report).unwrap()
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_is_none_mismatch_and_damage_are_typed() {
+        let path = temp_path("typed");
+        assert!(Checkpoint::load(&path, fp(1)).unwrap().is_none());
+        let ck = Checkpoint {
+            fingerprint: fp(1),
+            next_index: 10,
+            report: PopulationReport::new(1),
+            failures: Vec::new(),
+        };
+        ck.save(&path).unwrap();
+        assert!(matches!(
+            Checkpoint::load(&path, fp(2)),
+            Err(CheckpointError::Mismatch { .. })
+        ));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x08;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Checkpoint::load(&path, fp(1)),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        std::fs::write(&path, b"junk").unwrap();
+        assert!(matches!(
+            Checkpoint::load(&path, fp(1)),
+            Err(CheckpointError::BadMagic)
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

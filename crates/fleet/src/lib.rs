@@ -28,10 +28,12 @@
 //! per-home runner (build → simulate → analyze → drop capture) and the
 //! `repro fleet` CLI on top.
 
+pub mod checkpoint;
 pub mod plan;
 pub mod pool;
 pub mod seed;
 
+pub use checkpoint::{Checkpoint, CheckpointError, Fingerprint};
 pub use plan::{plan_home, plan_homes, plan_homes_iter, HomeSpec};
 pub use pool::{run_indexed, run_indexed_outcomes, run_indexed_with, run_partials, ItemPanic};
 pub use seed::home_seed;

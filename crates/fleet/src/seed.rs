@@ -11,10 +11,32 @@
 const GOLDEN_GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
 
 /// The splitmix64 finalizer: a bijective avalanche mix on `u64`.
-fn mix(mut z: u64) -> u64 {
+///
+/// Public because the durability layer (WAL records, snapshot files,
+/// campaign checkpoints) folds it into a cheap content checksum via
+/// [`fold_bytes`] — one mixing primitive shared by seeding and
+/// integrity checking keeps the on-disk formats dependency-free.
+pub fn mix(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
+}
+
+/// Checksum-fold `bytes` under `seed` with the splitmix64 finalizer.
+///
+/// Avalanches every little-endian 8-byte word (the final partial word
+/// zero-padded) and folds the length in last, so truncations, bit
+/// flips, and trailing-zero extensions all change the digest. This is
+/// an integrity check against torn or corrupt on-disk records, not a
+/// cryptographic MAC.
+pub fn fold_bytes(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = mix(seed ^ GOLDEN_GAMMA);
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        h = mix(h ^ u64::from_le_bytes(word));
+    }
+    mix(h ^ bytes.len() as u64)
 }
 
 /// The simulation seed for home `home_index` of a campaign.

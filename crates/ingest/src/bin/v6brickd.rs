@@ -5,23 +5,31 @@
 //!          [--max-upload-mb N] [--upload-timeout-ms N]
 //!          [--read-timeout-ms N] [--loop-threads N]
 //!          [--drain-deadline-ms N] [--max-conns N]
+//!          [--data-dir PATH] [--snapshot-every N]
 //! ```
 //!
 //! Binds, prints the listen address on stdout, and serves until a wire
-//! `SHUTDOWN` command drains it; exits 0 after a clean drain and prints
-//! the final STATS JSON on stdout. The STATS line self-reports the
-//! daemon's threading (`loop_threads`, `handler_threads`) — CI greps it
-//! to prove no per-connection threads were ever created.
+//! `SHUTDOWN` command — or SIGTERM/SIGINT, which trigger the same
+//! deadline-driven drain — stops it; exits 0 after a clean drain and
+//! prints the final STATS JSON on stdout. The STATS line self-reports
+//! the daemon's threading (`loop_threads`, `handler_threads`) — CI
+//! greps it to prove no per-connection threads were ever created — and
+//! its durability state (`wal_records`, `snapshots_written`,
+//! `recovered_from`). With `--data-dir` the daemon write-ahead-logs
+//! every absorbed upload before acking it and recovers the population
+//! on restart.
 
 use std::process::ExitCode;
 use std::time::Duration;
+use v6brick_ingest::signal::TermSignals;
 use v6brick_ingest::{spawn, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: v6brickd [--addr HOST:PORT] [--seed N] [--shards N] \
          [--max-upload-mb N] [--upload-timeout-ms N] [--read-timeout-ms N] \
-         [--loop-threads N] [--drain-deadline-ms N] [--max-conns N]"
+         [--loop-threads N] [--drain-deadline-ms N] [--max-conns N] \
+         [--data-dir PATH] [--snapshot-every N]"
     );
     std::process::exit(2);
 }
@@ -71,6 +79,13 @@ fn main() -> ExitCode {
             "--max-conns" => {
                 config.max_connections = parse_u64(args.next(), "--max-conns") as usize
             }
+            "--data-dir" => match args.next() {
+                Some(d) => config.data_dir = Some(d.into()),
+                None => usage(),
+            },
+            "--snapshot-every" => {
+                config.snapshot_every = parse_u64(args.next(), "--snapshot-every")
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("v6brickd: unknown flag {other}");
@@ -78,13 +93,24 @@ fn main() -> ExitCode {
             }
         }
     }
+    // Block SIGINT/SIGTERM *before* any server thread exists so every
+    // thread inherits the mask; unsupported platforms just run without
+    // signal-triggered drain.
+    let term = TermSignals::block();
     let handle = match spawn(config.clone()) {
         Ok(h) => h,
         Err(e) => {
-            eprintln!("v6brickd: bind {}: {e}", config.addr);
+            eprintln!("v6brickd: start on {}: {e}", config.addr);
             return ExitCode::FAILURE;
         }
     };
+    if let Ok(term) = term {
+        let shutdown = handle.shutdown_handle();
+        term.watch(move |sig| {
+            eprintln!("v6brickd: caught signal {sig}, draining");
+            shutdown.shutdown();
+        });
+    }
     println!(
         "v6brickd listening on {} (campaign seed {:#x}, {} shards, {} loop threads)",
         handle.addr(),

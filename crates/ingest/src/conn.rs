@@ -18,7 +18,7 @@
 //! has flushed).
 
 use crate::server::ServerConfig;
-use crate::state::{PassTotals, SharedState};
+use crate::state::{AbsorbOutcome, PassTotals, SharedState};
 use crate::wire::{
     err_payload, ErrorCode, FrameReader, FrameWriter, UploadAck, UploadHeader, WireError, K_ERR,
     K_OK, K_SHUTDOWN, K_SNAPSHOT, K_STATS, K_UPLOAD_BEGIN, K_UPLOAD_CHUNK, K_UPLOAD_END,
@@ -423,23 +423,40 @@ impl Conn {
                     .iter()
                     .map(|d| (d.id.clone(), d.functional))
                     .collect();
-                ctx.state.absorb_home(
+                // Durability contract: the WAL record is on disk
+                // before the OK ack is enqueued; a WAL failure means
+                // the ack promise can't be kept, so the upload fails
+                // typed instead. A `Duplicate` still acks — the
+                // client's retry lost its ack to a crash — but must
+                // not re-count.
+                let absorbed = match ctx.state.absorb_upload(
                     header.home_index,
                     &header.config_label,
                     &analysis.devices,
                     &functional,
                     frames,
-                );
-                ctx.state.record_pass_totals(&pass_totals);
-                ctx.state.stats.uploads_ok.fetch_add(1, Ordering::Relaxed);
-                ctx.state
-                    .stats
-                    .frames_total
-                    .fetch_add(frames, Ordering::Relaxed);
-                ctx.state
-                    .stats
-                    .parse_errors
-                    .fetch_add(parse_errors, Ordering::Relaxed);
+                ) {
+                    Ok(outcome) => outcome == AbsorbOutcome::Absorbed,
+                    Err(e) => {
+                        return self.fail_upload(
+                            ctx,
+                            ErrorCode::Internal,
+                            format!("write-ahead log append failed: {e}"),
+                        );
+                    }
+                };
+                if absorbed {
+                    ctx.state.record_pass_totals(&pass_totals);
+                    ctx.state.stats.uploads_ok.fetch_add(1, Ordering::Relaxed);
+                    ctx.state
+                        .stats
+                        .frames_total
+                        .fetch_add(frames, Ordering::Relaxed);
+                    ctx.state
+                        .stats
+                        .parse_errors
+                        .fetch_add(parse_errors, Ordering::Relaxed);
+                }
                 let ack = UploadAck {
                     home_index: header.home_index,
                     frames,

@@ -23,6 +23,13 @@
 //!   per-connection thread;
 //! * [`state`] — the lock-striped accumulator of mergeable per-home
 //!   reports;
+//! * [`wal`] / [`snapshot`] / [`mod@recover`] — the durability layer:
+//!   write-ahead-logged absorbs (logged before the ack), atomic
+//!   periodic snapshots, and a startup path that restores the exact
+//!   population a crashed daemon had acked — byte-identical to a
+//!   never-crashed one;
+//! * [`signal`] — SIGTERM/SIGINT → the same deadline-driven drain as
+//!   the wire `SHUTDOWN` command, via raw-syscall signalfd;
 //! * [`client`] — a blocking protocol client plus the non-blocking
 //!   connection driver the load generator multiplexes;
 //! * [`loadgen`] — a deterministic load generator that drives
@@ -43,11 +50,16 @@ pub mod client;
 pub mod conn;
 pub mod loadgen;
 pub mod poll;
+pub mod recover;
 pub mod server;
+pub mod signal;
+pub mod snapshot;
 pub mod state;
+pub mod wal;
 pub mod wire;
 
 pub use client::{Client, ClientError};
-pub use server::{spawn, ServerConfig, ServerHandle};
-pub use state::{SharedState, StatsReport};
+pub use recover::{recover, RecoverOrigin, Recovered};
+pub use server::{spawn, ServerConfig, ServerHandle, ShutdownHandle};
+pub use state::{AbsorbOutcome, SharedState, StatsReport};
 pub use wire::{DeviceEntry, ErrorCode, UploadAck, UploadBundle, UploadHeader};

@@ -1,0 +1,366 @@
+//! Startup recovery: latest valid snapshot + WAL tail replay.
+//!
+//! The invariant this module exists to uphold is **byte-identity**:
+//! the SNAPSHOT a recovered daemon serves must equal, byte for byte,
+//! the SNAPSHOT of a daemon that never crashed — the same discipline
+//! `ingest_equivalence` pins for order/concurrency/sharding, extended
+//! across process death. It holds because a WAL record carries exactly
+//! the arguments of the `absorb_home` call it logged, and the merge
+//! algebra is commutative: replay in log order into one report equals
+//! any live interleaving across shards.
+//!
+//! Recovery also rebuilds the exactly-once dedupe set, which closes
+//! the crash windows on both sides of a snapshot: a record that is in
+//! the snapshot *and* still in the WAL (crash between snapshot rename
+//! and WAL truncation) replays as a no-op, and an upload whose ack was
+//! lost to the crash re-uploads as a no-op.
+
+use crate::snapshot::{self, SnapshotError};
+use crate::wal::{self, WalError, WalTail, WAL_FILE};
+use std::collections::BTreeSet;
+use std::io;
+use std::path::Path;
+use v6brick_core::population::PopulationReport;
+
+/// Where the recovered population came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoverOrigin {
+    /// No prior state on disk (first boot in this data dir).
+    Fresh,
+    /// Snapshot only (WAL empty or absent).
+    Snapshot,
+    /// WAL replay only (no snapshot yet).
+    Wal,
+    /// Snapshot plus WAL-tail replay.
+    SnapshotWal,
+}
+
+impl RecoverOrigin {
+    /// Stable label for STATS (`recovered_from`).
+    pub fn label(self) -> &'static str {
+        match self {
+            RecoverOrigin::Fresh => "fresh",
+            RecoverOrigin::Snapshot => "snapshot",
+            RecoverOrigin::Wal => "wal",
+            RecoverOrigin::SnapshotWal => "snapshot+wal",
+        }
+    }
+}
+
+/// Typed recovery failures.
+#[derive(Debug)]
+pub enum RecoverError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// The snapshot file is damaged or from another campaign.
+    Snapshot(SnapshotError),
+    /// The WAL header is damaged or from another campaign.
+    Wal(WalError),
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::Io(e) => write!(f, "recover: {e}"),
+            RecoverError::Snapshot(e) => write!(f, "recover: {e}"),
+            RecoverError::Wal(e) => write!(f, "recover: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+impl From<io::Error> for RecoverError {
+    fn from(e: io::Error) -> Self {
+        RecoverError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for RecoverError {
+    fn from(e: SnapshotError) -> Self {
+        RecoverError::Snapshot(e)
+    }
+}
+
+impl From<WalError> for RecoverError {
+    fn from(e: WalError) -> Self {
+        RecoverError::Wal(e)
+    }
+}
+
+/// The state a recovered daemon starts from.
+pub struct Recovered {
+    /// The merged population (empty on a fresh boot).
+    pub report: PopulationReport,
+    /// Home indices already absorbed (the exactly-once set).
+    pub absorbed: BTreeSet<u64>,
+    /// Last WAL sequence number in use (resume appends after this).
+    pub last_seq: u64,
+    /// Whether a WAL file exists on disk.
+    pub wal_exists: bool,
+    /// File length of the valid WAL prefix (truncate-to point).
+    pub wal_valid_len: u64,
+    /// Valid records currently in the WAL file.
+    pub wal_records: u64,
+    /// Records replayed on top of the snapshot (dedupe-skipped ones
+    /// excluded).
+    pub replayed: u64,
+    /// What the WAL's valid region ended in.
+    pub tail: WalTail,
+    /// Where the state came from.
+    pub origin: RecoverOrigin,
+}
+
+/// Recover the population state from `dir` for `campaign_seed`.
+///
+/// Loads the snapshot (if any), scans the WAL (if any), replays every
+/// record with a sequence number beyond the snapshot's — skipping
+/// homes the snapshot already absorbed — and tolerates a torn or
+/// corrupt WAL *tail* by cutting the log at the last valid record.
+/// Structural damage anywhere else (bad magic, wrong campaign, a
+/// corrupt snapshot) is a typed hard error: silently starting fresh
+/// over damaged state would violate byte-identity undetectably.
+pub fn recover(dir: &Path, campaign_seed: u64) -> Result<Recovered, RecoverError> {
+    let snap = snapshot::load(dir, campaign_seed)?;
+    let scan = wal::scan(&dir.join(WAL_FILE), campaign_seed)?;
+
+    let (mut report, mut absorbed, snap_seq, had_snapshot) = match snap {
+        Some(s) => (s.report, s.absorbed, s.wal_seq, true),
+        None => (
+            PopulationReport::new(campaign_seed),
+            BTreeSet::new(),
+            0,
+            false,
+        ),
+    };
+
+    let mut replayed = 0u64;
+    let (last_seq, wal_valid_len, wal_records, tail, wal_exists) = match scan {
+        Some(scan) => {
+            let mut seq = snap_seq;
+            let mut replay_seq = snap_seq;
+            // Records are appended with strictly increasing sequence
+            // numbers; anything at or below the snapshot's is already
+            // merged. The absorbed-set check additionally covers the
+            // snapshot-rename-then-crash window where both files hold
+            // the same record under different sequence numbering.
+            let base = scan.last_seq.saturating_sub(scan.records.len() as u64);
+            for (i, record) in scan.records.iter().enumerate() {
+                let record_seq = base + 1 + i as u64;
+                seq = seq.max(record_seq);
+                if record_seq <= replay_seq {
+                    continue;
+                }
+                replay_seq = record_seq;
+                if !absorbed.insert(record.home_index) {
+                    continue;
+                }
+                report.absorb_home(
+                    &record.config_label,
+                    &record.observations,
+                    &record.functional,
+                    record.frames,
+                );
+                replayed += 1;
+            }
+            (
+                seq.max(scan.last_seq),
+                scan.valid_len,
+                scan.records.len() as u64,
+                scan.tail,
+                true,
+            )
+        }
+        None => (snap_seq, 0, 0, WalTail::Clean, false),
+    };
+
+    let origin = match (had_snapshot, replayed > 0) {
+        (false, false) => RecoverOrigin::Fresh,
+        (true, false) => RecoverOrigin::Snapshot,
+        (false, true) => RecoverOrigin::Wal,
+        (true, true) => RecoverOrigin::SnapshotWal,
+    };
+
+    Ok(Recovered {
+        report,
+        absorbed,
+        last_seq,
+        wal_exists,
+        wal_valid_len,
+        wal_records,
+        replayed,
+        tail,
+        origin,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::{WalRecord, WalWriter};
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use v6brick_core::analysis::DeviceObservation;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        static N: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "v6brick-recover-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn record(i: u64) -> WalRecord {
+        let mut observations = BTreeMap::new();
+        observations.insert(
+            "cam".to_string(),
+            DeviceObservation {
+                ndp_traffic: true,
+                v6_internet_bytes: 10 * i,
+                ..Default::default()
+            },
+        );
+        let mut functional = BTreeMap::new();
+        functional.insert("cam".to_string(), true);
+        WalRecord {
+            home_index: i,
+            config_label: "native".to_string(),
+            frames: i,
+            observations,
+            functional,
+        }
+    }
+
+    fn oracle(seed: u64, indices: &[u64]) -> String {
+        let mut r = PopulationReport::new(seed);
+        for &i in indices {
+            let rec = record(i);
+            r.absorb_home(
+                &rec.config_label,
+                &rec.observations,
+                &rec.functional,
+                rec.frames,
+            );
+        }
+        serde_json::to_string(&r).unwrap()
+    }
+
+    #[test]
+    fn fresh_dir_recovers_empty() {
+        let dir = temp_dir("fresh");
+        let rec = recover(&dir, 5).unwrap();
+        assert_eq!(rec.origin, RecoverOrigin::Fresh);
+        assert_eq!(rec.last_seq, 0);
+        assert!(!rec.wal_exists);
+        assert_eq!(
+            serde_json::to_string(&rec.report).unwrap(),
+            serde_json::to_string(&PopulationReport::new(5)).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_only_replay_matches_oracle() {
+        let dir = temp_dir("walonly");
+        let mut w = WalWriter::create(&dir.join(WAL_FILE), 5).unwrap();
+        for i in 0..4 {
+            w.append(&record(i)).unwrap();
+        }
+        drop(w);
+        let rec = recover(&dir, 5).unwrap();
+        assert_eq!(rec.origin, RecoverOrigin::Wal);
+        assert_eq!(rec.replayed, 4);
+        assert_eq!(rec.last_seq, 4);
+        assert_eq!(rec.tail, WalTail::Clean);
+        assert_eq!(
+            serde_json::to_string(&rec.report).unwrap(),
+            oracle(5, &[0, 1, 2, 3])
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_plus_wal_tail_skips_overlap() {
+        let dir = temp_dir("overlap");
+        // Snapshot covers homes 0..2 at wal_seq 2; the WAL still holds
+        // records 1..=4 (homes 0..4) as if the daemon crashed between
+        // the snapshot rename and the WAL truncation.
+        let mut snap_report = PopulationReport::new(5);
+        let mut absorbed = BTreeSet::new();
+        for i in 0..2 {
+            let r = record(i);
+            snap_report.absorb_home(&r.config_label, &r.observations, &r.functional, r.frames);
+            absorbed.insert(i);
+        }
+        snapshot::save(&dir, 2, 5, &absorbed, &snap_report).unwrap();
+        let mut w = WalWriter::create(&dir.join(WAL_FILE), 5).unwrap();
+        for i in 0..4 {
+            w.append(&record(i)).unwrap();
+        }
+        drop(w);
+        let rec = recover(&dir, 5).unwrap();
+        assert_eq!(rec.origin, RecoverOrigin::SnapshotWal);
+        assert_eq!(rec.replayed, 2, "only homes 2 and 3 replay");
+        assert_eq!(
+            serde_json::to_string(&rec.report).unwrap(),
+            oracle(5, &[0, 1, 2, 3])
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_cut_and_replay_survives() {
+        let dir = temp_dir("torn");
+        let mut w = WalWriter::create(&dir.join(WAL_FILE), 5).unwrap();
+        for i in 0..3 {
+            w.append(&record(i)).unwrap();
+        }
+        let clean_len = w.bytes();
+        drop(w);
+        // Simulate a crash mid-append: half a record of garbage.
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join(WAL_FILE))
+            .unwrap();
+        f.write_all(&[0x17; 9]).unwrap();
+        drop(f);
+        let rec = recover(&dir, 5).unwrap();
+        assert_eq!(rec.replayed, 3);
+        assert_eq!(rec.wal_valid_len, clean_len);
+        assert!(matches!(rec.tail, WalTail::Torn { .. }));
+        assert_eq!(
+            serde_json::to_string(&rec.report).unwrap(),
+            oracle(5, &[0, 1, 2])
+        );
+        // The writer can resume on the cut log and recovery still works.
+        let mut w = WalWriter::resume(
+            &dir.join(WAL_FILE),
+            rec.last_seq,
+            rec.wal_valid_len,
+            rec.wal_records,
+        )
+        .unwrap();
+        w.append(&record(7)).unwrap();
+        drop(w);
+        let rec2 = recover(&dir, 5).unwrap();
+        assert_eq!(rec2.replayed, 4);
+        assert_eq!(rec2.tail, WalTail::Clean);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wrong_campaign_is_a_hard_error() {
+        let dir = temp_dir("wrongseed");
+        let w = WalWriter::create(&dir.join(WAL_FILE), 5).unwrap();
+        drop(w);
+        assert!(matches!(
+            recover(&dir, 6),
+            Err(RecoverError::Wal(WalError::SeedMismatch { .. }))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

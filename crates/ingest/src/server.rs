@@ -5,7 +5,7 @@
 //! non-blocking sockets. Every shard registers the shared listener in
 //! its own poller and accepts directly — no cross-thread connection
 //! handoff, no injection queues. Each accepted connection lives in
-//! exactly one shard as a [`Conn`](crate::conn::Conn) state machine:
+//! exactly one shard as a [`Conn`] state machine:
 //! the resumable [`FrameReader`](crate::wire::FrameReader) turns
 //! arriving bytes into frames, an upload streams its chunks through a
 //! [`StreamDecoder`](v6brick_pcap::stream::StreamDecoder) into a
@@ -45,6 +45,7 @@ use parking_lot::Mutex;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener};
 use std::os::fd::AsRawFd;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -90,6 +91,14 @@ pub struct ServerConfig {
     /// Maximum simultaneously open connections; accepts beyond this
     /// are refused (counted in `connections_refused`).
     pub max_connections: usize,
+    /// Durability directory: when set, absorbed uploads are
+    /// write-ahead-logged before their ack, snapshots persist
+    /// periodically, and startup recovers previous state from it.
+    pub data_dir: Option<PathBuf>,
+    /// Absorbs between persisted snapshots (`0` = snapshot only at
+    /// graceful shutdown, leaving the campaign in the WAL). Ignored
+    /// without `data_dir`.
+    pub snapshot_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -107,6 +116,8 @@ impl Default for ServerConfig {
             loop_threads: 4,
             drain_deadline: Duration::from_secs(30),
             max_connections: 16384,
+            data_dir: None,
+            snapshot_every: 256,
         }
     }
 }
@@ -166,11 +177,37 @@ impl ServerHandle {
         self.ctrl.begin_drain();
     }
 
-    /// Wait for the drain to complete and all shard threads to exit.
+    /// A cloneable handle that can trigger the drain from anywhere —
+    /// the signal watcher thread holds one.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            ctrl: Arc::clone(&self.ctrl),
+        }
+    }
+
+    /// Wait for the drain to complete and all shard threads to exit,
+    /// then finalize durability: persist a final snapshot (when
+    /// snapshotting is on) and fsync the WAL before returning.
     pub fn join(mut self) {
         for t in self.shard_threads.drain(..) {
             let _ = t.join();
         }
+        if let Err(e) = self.state.finalize_durability() {
+            eprintln!("v6brickd: finalizing durability failed: {e}");
+        }
+    }
+}
+
+/// Detached drain trigger (see [`ServerHandle::shutdown_handle`]).
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    ctrl: Arc<Ctrl>,
+}
+
+impl ShutdownHandle {
+    /// Begin draining: equivalent to the wire `SHUTDOWN` command.
+    pub fn shutdown(&self) {
+        self.ctrl.begin_drain();
     }
 }
 
@@ -182,7 +219,15 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
-    let state = Arc::new(SharedState::new(config.campaign_seed, config.shards));
+    let state = Arc::new(match &config.data_dir {
+        Some(dir) => SharedState::durable(
+            config.campaign_seed,
+            config.shards,
+            dir,
+            config.snapshot_every,
+        )?,
+        None => SharedState::new(config.campaign_seed, config.shards),
+    });
     let loop_threads = config.loop_threads.max(1);
     state
         .stats

@@ -1,0 +1,219 @@
+//! SIGTERM/SIGINT handling for `v6brickd` without a libc dependency.
+//!
+//! `systemctl stop`, `docker stop`, and Ctrl-C all deliver signals,
+//! not SHUTDOWN frames — until now only the wire protocol could stop
+//! the daemon cleanly. The scheme is the classic signalfd one, done
+//! with raw syscalls in the same style as [`crate::poll`]:
+//!
+//! 1. [`TermSignals::block`] — called on the main thread **before**
+//!    any server thread spawns — blocks SIGINT/SIGTERM via
+//!    `rt_sigprocmask` (the mask is inherited by every later thread,
+//!    so no thread gets default-killed) and opens a `signalfd4` that
+//!    queues them instead.
+//! 2. [`TermSignals::watch`] parks a tiny thread in a blocking read on
+//!    that fd; when a signal arrives it invokes the callback (which
+//!    triggers the same deadline-driven drain as a SHUTDOWN frame).
+//!
+//! On non-Linux (or non-x86_64/aarch64) targets [`TermSignals::block`]
+//! returns [`io::ErrorKind::Unsupported`] and the daemon simply runs
+//! without signal-triggered drain, as before.
+
+use std::io;
+
+/// SIGINT signal number.
+pub const SIGINT: i32 = 2;
+/// SIGTERM signal number.
+pub const SIGTERM: i32 = 15;
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod sys {
+    use super::{SIGINT, SIGTERM};
+    use std::io;
+    use std::os::fd::{FromRawFd, OwnedFd};
+
+    #[cfg(target_arch = "x86_64")]
+    mod nr {
+        pub const RT_SIGPROCMASK: usize = 14;
+        pub const SIGNALFD4: usize = 289;
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    mod nr {
+        pub const RT_SIGPROCMASK: usize = 135;
+        pub const SIGNALFD4: usize = 74;
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall4(n: usize, a: usize, b: usize, c: usize, d: usize) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") n as isize => ret,
+            in("rdi") a,
+            in("rsi") b,
+            in("rdx") c,
+            in("r10") d,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall4(n: usize, a: usize, b: usize, c: usize, d: usize) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "svc 0",
+            in("x8") n,
+            inlateout("x0") a => ret,
+            in("x1") b,
+            in("x2") c,
+            in("x3") d,
+            options(nostack),
+        );
+        ret
+    }
+
+    fn check(ret: isize) -> io::Result<usize> {
+        if ret < 0 {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret as usize)
+        }
+    }
+
+    const SIG_BLOCK: usize = 0;
+    const SFD_CLOEXEC: usize = 0x80000;
+    /// Kernel sigset size in bytes (64 signals).
+    const SIGSET_BYTES: usize = 8;
+
+    fn term_mask() -> u64 {
+        (1u64 << (SIGINT - 1)) | (1u64 << (SIGTERM - 1))
+    }
+
+    /// Block SIGINT/SIGTERM for this thread (and all threads it later
+    /// spawns) and open a signalfd that receives them instead.
+    pub fn block_and_open() -> io::Result<OwnedFd> {
+        let mask = term_mask();
+        check(unsafe {
+            syscall4(
+                nr::RT_SIGPROCMASK,
+                SIG_BLOCK,
+                &mask as *const u64 as usize,
+                0,
+                SIGSET_BYTES,
+            )
+        })?;
+        let fd = check(unsafe {
+            syscall4(
+                nr::SIGNALFD4,
+                usize::MAX, // -1: new fd
+                &mask as *const u64 as usize,
+                SIGSET_BYTES,
+                SFD_CLOEXEC,
+            )
+        })?;
+        Ok(unsafe { OwnedFd::from_raw_fd(fd as i32) })
+    }
+
+    /// Block until one of the masked signals arrives; returns its number.
+    pub fn wait(fd: &OwnedFd) -> io::Result<i32> {
+        use std::io::Read;
+        use std::os::fd::AsRawFd;
+        // signalfd hands out 128-byte signalfd_siginfo structs; the
+        // signal number is the leading u32.
+        let mut info = [0u8; 128];
+        let mut file =
+            std::mem::ManuallyDrop::new(unsafe { std::fs::File::from_raw_fd(fd.as_raw_fd()) });
+        loop {
+            match file.read(&mut info) {
+                Ok(n) if n >= 4 => {
+                    return Ok(i32::from_le_bytes(info[..4].try_into().unwrap()));
+                }
+                Ok(_) => return Err(io::Error::other("short signalfd read")),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+use std::os::fd::OwnedFd;
+
+/// Blocked-and-redirected termination signals (see the module docs).
+pub struct TermSignals {
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    fd: OwnedFd,
+}
+
+impl TermSignals {
+    /// Block SIGINT/SIGTERM and route them to a signalfd.
+    ///
+    /// Must run on the main thread before any server thread spawns —
+    /// the signal mask is per-thread and inherited at spawn, so this
+    /// ordering is what protects every thread in the process.
+    pub fn block() -> io::Result<TermSignals> {
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        {
+            Ok(TermSignals {
+                fd: sys::block_and_open()?,
+            })
+        }
+        #[cfg(not(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        )))]
+        {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "signalfd-based handling requires Linux on x86_64/aarch64",
+            ))
+        }
+    }
+
+    /// Spawn the watcher thread: block until SIGINT or SIGTERM
+    /// arrives, then invoke `on_signal` with the signal number.
+    ///
+    /// The thread is detached by design — it parks in a blocking read
+    /// for the whole life of the process and simply dies with it if no
+    /// signal ever arrives.
+    pub fn watch<F>(self, on_signal: F)
+    where
+        F: FnOnce(i32) + Send + 'static,
+    {
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        {
+            std::thread::Builder::new()
+                .name("v6brickd-signal".to_string())
+                .spawn(move || match sys::wait(&self.fd) {
+                    Ok(sig) => on_signal(sig),
+                    Err(e) => eprintln!("v6brickd: signalfd read failed: {e}"),
+                })
+                .expect("spawn signal watcher");
+        }
+        #[cfg(not(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        )))]
+        {
+            let _ = on_signal;
+        }
+    }
+}

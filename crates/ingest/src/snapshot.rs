@@ -1,0 +1,245 @@
+//! Periodic snapshot persistence for the ingested population.
+//!
+//! A snapshot is the merged [`PopulationReport`] plus the exactly-once
+//! dedupe set, stamped with the WAL sequence number it covers: replay
+//! resumes from records *after* that sequence. Writes are atomic
+//! (tmp + rename + best-effort directory fsync), so the file on disk
+//! is always a complete snapshot — a crash mid-write leaves the old
+//! one untouched. Because rename is the commit point, a snapshot that
+//! fails its checksum is real damage, not a torn write, and loading it
+//! is a hard typed error rather than a silent fallback.
+//!
+//! ## On-disk format
+//!
+//! ```text
+//! "V6BKSNP1" (8 bytes) | wal_seq u64 LE | len u64 LE
+//! | payload (len bytes, JSON) | check u64 LE
+//! ```
+//!
+//! where `check = fold_bytes(wal_seq, payload)` (same splitmix64 fold
+//! as WAL records) and the payload is
+//! `{"campaign_seed", "absorbed", "report"}`.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::Path;
+use v6brick_core::population::PopulationReport;
+use v6brick_fleet::seed::fold_bytes;
+
+/// File name of the snapshot inside a data directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.v6b";
+
+/// Temporary file the snapshot is staged in before rename.
+pub const SNAPSHOT_TMP_FILE: &str = "snapshot.v6b.tmp";
+
+/// Magic bytes opening every snapshot file (format version 1).
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"V6BKSNP1";
+
+#[derive(Serialize, Deserialize)]
+struct Payload {
+    campaign_seed: u64,
+    absorbed: Vec<u64>,
+    report: PopulationReport,
+}
+
+/// A loaded snapshot.
+pub struct Snapshot {
+    /// WAL sequence number the snapshot covers: replay records with
+    /// sequence numbers strictly greater.
+    pub wal_seq: u64,
+    /// Campaign the population belongs to.
+    pub campaign_seed: u64,
+    /// Home indices absorbed at snapshot time (the exactly-once set).
+    pub absorbed: BTreeSet<u64>,
+    /// The merged population at snapshot time.
+    pub report: PopulationReport,
+}
+
+/// Typed snapshot failures.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// The file does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// Checksum mismatch, truncation, or undecodable payload.
+    Corrupt(String),
+    /// The snapshot belongs to a different campaign.
+    SeedMismatch {
+        /// Seed recorded in the snapshot payload.
+        found: u64,
+        /// Seed the daemon was started with.
+        expected: u64,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io: {e}"),
+            SnapshotError::BadMagic => write!(f, "snapshot: bad magic (not a V6BKSNP1 file)"),
+            SnapshotError::Corrupt(why) => write!(f, "snapshot: corrupt: {why}"),
+            SnapshotError::SeedMismatch { found, expected } => write!(
+                f,
+                "snapshot: campaign seed mismatch (file {found:#x}, expected {expected:#x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Atomically persist a snapshot into `dir`.
+pub fn save(
+    dir: &Path,
+    wal_seq: u64,
+    campaign_seed: u64,
+    absorbed: &BTreeSet<u64>,
+    report: &PopulationReport,
+) -> io::Result<()> {
+    let payload = serde_json::to_string(&Payload {
+        campaign_seed,
+        absorbed: absorbed.iter().copied().collect(),
+        report: report.clone(),
+    })
+    .map_err(io::Error::other)?
+    .into_bytes();
+    let mut bytes = Vec::with_capacity(payload.len() + 32);
+    bytes.extend_from_slice(&SNAPSHOT_MAGIC);
+    bytes.extend_from_slice(&wal_seq.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+    bytes.extend_from_slice(&fold_bytes(wal_seq, &payload).to_le_bytes());
+
+    let tmp = dir.join(SNAPSHOT_TMP_FILE);
+    let dst = dir.join(SNAPSHOT_FILE);
+    let mut file = File::create(&tmp)?;
+    file.write_all(&bytes)?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, &dst)?;
+    // Persist the rename itself; not all filesystems allow fsyncing a
+    // directory handle, so this is best-effort.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Load the snapshot from `dir`, if one exists.
+///
+/// Missing file → `Ok(None)`. Any structural damage is a typed hard
+/// error (see the module docs for why corruption is never skipped).
+pub fn load(dir: &Path, expected_seed: u64) -> Result<Option<Snapshot>, SnapshotError> {
+    let mut file = match File::open(dir.join(SNAPSHOT_FILE)) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(SnapshotError::Io(e)),
+    };
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    if bytes.len() < 24 || bytes[..8] != SNAPSHOT_MAGIC {
+        return Err(if bytes.len() >= 8 && bytes[..8] == SNAPSHOT_MAGIC {
+            SnapshotError::Corrupt("truncated header".to_string())
+        } else {
+            SnapshotError::BadMagic
+        });
+    }
+    let wal_seq = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let len = u64::from_le_bytes(bytes[16..24].try_into().unwrap()) as usize;
+    let expected_total = 24usize.checked_add(len).and_then(|n| n.checked_add(8));
+    if expected_total != Some(bytes.len()) {
+        return Err(SnapshotError::Corrupt(format!(
+            "length {len} inconsistent with file of {} bytes",
+            bytes.len()
+        )));
+    }
+    let payload = &bytes[24..24 + len];
+    let check = u64::from_le_bytes(bytes[24 + len..].try_into().unwrap());
+    if check != fold_bytes(wal_seq, payload) {
+        return Err(SnapshotError::Corrupt("checksum mismatch".to_string()));
+    }
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| SnapshotError::Corrupt(format!("payload: {e}")))?;
+    let decoded: Payload =
+        serde_json::from_str(text).map_err(|e| SnapshotError::Corrupt(format!("payload: {e}")))?;
+    if decoded.campaign_seed != expected_seed {
+        return Err(SnapshotError::SeedMismatch {
+            found: decoded.campaign_seed,
+            expected: expected_seed,
+        });
+    }
+    Ok(Some(Snapshot {
+        wal_seq,
+        campaign_seed: decoded.campaign_seed,
+        absorbed: decoded.absorbed.into_iter().collect(),
+        report: decoded.report,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        static N: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "v6brick-snap-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn roundtrip() {
+        let dir = temp_dir("roundtrip");
+        let mut report = PopulationReport::new(9);
+        report.absorb_home("label", &Default::default(), &Default::default(), 3);
+        let absorbed: BTreeSet<u64> = [1, 5, 9].into_iter().collect();
+        save(&dir, 42, 9, &absorbed, &report).unwrap();
+        let snap = load(&dir, 9).unwrap().unwrap();
+        assert_eq!(snap.wal_seq, 42);
+        assert_eq!(snap.absorbed, absorbed);
+        assert_eq!(
+            serde_json::to_string(&snap.report).unwrap(),
+            serde_json::to_string(&report).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_is_none_and_damage_is_typed() {
+        let dir = temp_dir("damage");
+        assert!(load(&dir, 1).unwrap().is_none());
+        let report = PopulationReport::new(1);
+        save(&dir, 7, 1, &BTreeSet::new(), &report).unwrap();
+        assert!(matches!(
+            load(&dir, 2),
+            Err(SnapshotError::SeedMismatch {
+                found: 1,
+                expected: 2
+            })
+        ));
+        // Flip one payload byte: checksum must catch it.
+        let path = dir.join(SNAPSHOT_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = 24 + (bytes.len() - 32) / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load(&dir, 1), Err(SnapshotError::Corrupt(_))));
+        std::fs::write(&path, b"garbagegarbagegarbagegarbage").unwrap();
+        assert!(matches!(load(&dir, 1), Err(SnapshotError::BadMagic)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -11,9 +11,21 @@
 //! which connections, in which order, at which concurrency, fed the
 //! shards — the server==fleet equivalence spine of this subsystem.
 
-use parking_lot::Mutex;
+//!
+//! With a data directory attached the state is also **durable**: every
+//! absorb appends a WAL record before the ack ([`crate::wal`]), a
+//! snapshot persists periodically ([`crate::snapshot`]), and startup
+//! recovers the previous population ([`mod@crate::recover`]) — with an
+//! absorbed-home set making re-uploads after a lost ack exactly-once.
+
+use crate::recover::{self, RecoverOrigin};
+use crate::snapshot;
+use crate::wal::{WalRecordRef, WalWriter, WAL_FILE, WAL_HEADER_BYTES};
+use parking_lot::{Mutex, RwLock};
 use serde::Serialize;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use v6brick_core::observe::DeviceObservation;
 use v6brick_core::population::PopulationReport;
@@ -46,6 +58,15 @@ pub struct IngestStats {
     pub parse_errors: AtomicU64,
     /// Raw capture bytes received in upload chunks.
     pub bytes_received: AtomicU64,
+    /// Uploads skipped as exactly-once duplicates (home already
+    /// absorbed, typically a client retry after a crash ate the ack).
+    pub uploads_duplicate: AtomicU64,
+    /// Valid records currently in the write-ahead log.
+    pub wal_records: AtomicU64,
+    /// Bytes currently in the write-ahead log (header included).
+    pub wal_bytes: AtomicU64,
+    /// Snapshots persisted since startup.
+    pub snapshots_written: AtomicU64,
 }
 
 /// Per-analyzer-pass execution totals across all uploads.
@@ -87,8 +108,50 @@ pub struct StatsReport {
     pub parse_errors: u64,
     /// Raw upload bytes received.
     pub bytes_received: u64,
+    /// Uploads skipped as exactly-once duplicates.
+    pub uploads_duplicate: u64,
+    /// Valid records currently in the write-ahead log (0 when the
+    /// daemon runs without a data directory).
+    pub wal_records: u64,
+    /// Bytes currently in the write-ahead log, header included.
+    pub wal_bytes: u64,
+    /// Snapshots persisted since startup.
+    pub snapshots_written: u64,
+    /// Where startup state came from: `"none"` (not durable),
+    /// `"fresh"`, `"snapshot"`, `"wal"`, or `"snapshot+wal"`.
+    pub recovered_from: String,
     /// Per-pass frame/nano totals, keyed by pass label.
     pub passes: BTreeMap<String, PassTotals>,
+}
+
+/// Whether an upload changed the population or was already absorbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsorbOutcome {
+    /// The home folded into the population (and, when durable, its
+    /// WAL record is written).
+    Absorbed,
+    /// The home was already absorbed — exactly-once dedupe. The caller
+    /// still acks (the client's retry deserves the answer it lost) but
+    /// must not re-count the upload.
+    Duplicate,
+}
+
+/// Durability attachments: WAL, snapshot cadence, and the
+/// exactly-once set. Lives behind `Option` so the non-durable path
+/// pays nothing.
+struct Durable {
+    dir: PathBuf,
+    /// Consistency gate between absorbs and snapshots: every absorb
+    /// holds `read` across (dedupe-insert + WAL append + shard fold),
+    /// a snapshot holds `write`, so a snapshot never cuts between a
+    /// WAL record and its shard fold. Lock order within is always
+    /// absorbed → wal.
+    gate: RwLock<()>,
+    wal: Mutex<WalWriter>,
+    absorbed: Mutex<BTreeSet<u64>>,
+    /// Absorbs between snapshots (0 = snapshot only at shutdown).
+    snapshot_every: u64,
+    since_snapshot: AtomicU64,
 }
 
 /// The live accumulator shared by every connection handler.
@@ -100,6 +163,8 @@ pub struct SharedState {
     pass_totals: Mutex<BTreeMap<String, PassTotals>>,
     /// Lock-free counters.
     pub stats: IngestStats,
+    durable: Option<Durable>,
+    recovered_from: &'static str,
 }
 
 impl SharedState {
@@ -113,7 +178,65 @@ impl SharedState {
                 .collect(),
             pass_totals: Mutex::new(BTreeMap::new()),
             stats: IngestStats::default(),
+            durable: None,
+            recovered_from: "none",
         }
+    }
+
+    /// Durable state backed by `dir`: recover whatever a previous
+    /// process left there (snapshot + WAL tail, tolerating a torn or
+    /// corrupt trailing record), then arm the WAL for new absorbs.
+    ///
+    /// `snapshot_every` is the absorb count between persisted
+    /// snapshots; `0` snapshots only at graceful shutdown, leaving the
+    /// whole campaign in the WAL (what the recovery bench measures).
+    pub fn durable(
+        campaign_seed: u64,
+        shards: usize,
+        dir: &Path,
+        snapshot_every: u64,
+    ) -> io::Result<SharedState> {
+        std::fs::create_dir_all(dir)?;
+        let recovered =
+            recover::recover(dir, campaign_seed).map_err(|e| io::Error::other(e.to_string()))?;
+        let wal_path = dir.join(WAL_FILE);
+        let wal = if recovered.wal_exists {
+            WalWriter::resume(
+                &wal_path,
+                recovered.last_seq,
+                recovered.wal_valid_len,
+                recovered.wal_records,
+            )?
+        } else {
+            WalWriter::create(&wal_path, campaign_seed)?
+        };
+        let mut state = SharedState::new(campaign_seed, shards);
+        // Merge commutativity makes "everything in stripe 0" the same
+        // snapshot as any live distribution of the same homes.
+        *state.shards[0].get_mut() = recovered.report;
+        state
+            .stats
+            .wal_records
+            .store(wal.records(), Ordering::Relaxed);
+        state.stats.wal_bytes.store(wal.bytes(), Ordering::Relaxed);
+        state.recovered_from = recovered.origin.label();
+        if recovered.origin != RecoverOrigin::Fresh {
+            eprintln!(
+                "v6brickd: recovered {} homes from {} ({} WAL records replayed)",
+                recovered.absorbed.len(),
+                recovered.origin.label(),
+                recovered.replayed,
+            );
+        }
+        state.durable = Some(Durable {
+            dir: dir.to_path_buf(),
+            gate: RwLock::new(()),
+            wal: Mutex::new(wal),
+            absorbed: Mutex::new(recovered.absorbed),
+            snapshot_every,
+            since_snapshot: AtomicU64::new(0),
+        });
+        Ok(state)
     }
 
     /// The campaign this server accumulates.
@@ -141,6 +264,107 @@ impl SharedState {
         self.shards[shard]
             .lock()
             .absorb_home(config_label, observations, functional, frames);
+    }
+
+    /// Absorb one upload with durability and exactly-once semantics.
+    ///
+    /// Non-durable state: a plain [`Self::absorb_home`], always
+    /// `Absorbed`. Durable state: claim the home in the absorbed set,
+    /// append the WAL record, then fold the shard — all under the read
+    /// gate so a concurrent snapshot sees a consistent cut — and
+    /// trigger a snapshot when the cadence comes due. A WAL I/O error
+    /// unclaims the home and surfaces as `Err`: the upload must NOT be
+    /// acked, because an ack promises recoverability.
+    pub fn absorb_upload(
+        &self,
+        home_index: u64,
+        config_label: &str,
+        observations: &BTreeMap<String, DeviceObservation>,
+        functional: &BTreeMap<String, bool>,
+        frames: u64,
+    ) -> io::Result<AbsorbOutcome> {
+        let Some(d) = &self.durable else {
+            self.absorb_home(home_index, config_label, observations, functional, frames);
+            return Ok(AbsorbOutcome::Absorbed);
+        };
+        {
+            let _gate = d.gate.read();
+            if !d.absorbed.lock().insert(home_index) {
+                self.stats.uploads_duplicate.fetch_add(1, Ordering::Relaxed);
+                return Ok(AbsorbOutcome::Duplicate);
+            }
+            let record = WalRecordRef {
+                home_index,
+                config_label,
+                frames,
+                observations,
+                functional,
+            };
+            let appended = d.wal.lock().append(&record);
+            let bytes = match appended {
+                Ok(b) => b,
+                Err(e) => {
+                    d.absorbed.lock().remove(&home_index);
+                    return Err(e);
+                }
+            };
+            self.stats.wal_records.fetch_add(1, Ordering::Relaxed);
+            self.stats.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+            self.absorb_home(home_index, config_label, observations, functional, frames);
+        }
+        if d.snapshot_every > 0
+            && d.since_snapshot.fetch_add(1, Ordering::SeqCst) + 1 == d.snapshot_every
+        {
+            // Exactly one absorb crosses the boundary; a failed
+            // snapshot is logged and absorbed uploads stay protected
+            // by the (longer) WAL.
+            if let Err(e) = self.persist_snapshot() {
+                eprintln!("v6brickd: snapshot failed (WAL still covers state): {e}");
+            }
+        }
+        Ok(AbsorbOutcome::Absorbed)
+    }
+
+    /// Persist a snapshot now and truncate the WAL it covers.
+    ///
+    /// Returns `Ok(false)` when the state has no data directory.
+    pub fn persist_snapshot(&self) -> io::Result<bool> {
+        let Some(d) = &self.durable else {
+            return Ok(false);
+        };
+        let _gate = d.gate.write();
+        let report = self.snapshot();
+        let absorbed = d.absorbed.lock();
+        let mut wal = d.wal.lock();
+        snapshot::save(&d.dir, wal.seq(), self.campaign_seed, &absorbed, &report)?;
+        // The WAL is redundant below the snapshot's sequence number;
+        // truncation syncs, so the durable pair commits atomically
+        // enough: a crash in between just replays no-op records.
+        wal.truncate_to_empty()?;
+        self.stats.snapshots_written.fetch_add(1, Ordering::Relaxed);
+        self.stats.wal_records.store(0, Ordering::Relaxed);
+        self.stats
+            .wal_bytes
+            .store(WAL_HEADER_BYTES, Ordering::Relaxed);
+        d.since_snapshot.store(0, Ordering::SeqCst);
+        Ok(true)
+    }
+
+    /// Shutdown-path durability: final snapshot (unless running in
+    /// WAL-only mode) and fsync the WAL before the process exits.
+    pub fn finalize_durability(&self) -> io::Result<()> {
+        let Some(d) = &self.durable else {
+            return Ok(());
+        };
+        if d.snapshot_every > 0 {
+            self.persist_snapshot()?;
+        }
+        d.wal.lock().sync()
+    }
+
+    /// Where this state's contents came from at startup.
+    pub fn recovered_from(&self) -> &'static str {
+        self.recovered_from
     }
 
     /// Add one upload's per-pass metrics to the running totals.
@@ -188,6 +412,11 @@ impl SharedState {
             frames_total: s.frames_total.load(Ordering::Relaxed),
             parse_errors: s.parse_errors.load(Ordering::Relaxed),
             bytes_received: s.bytes_received.load(Ordering::Relaxed),
+            uploads_duplicate: s.uploads_duplicate.load(Ordering::Relaxed),
+            wal_records: s.wal_records.load(Ordering::Relaxed),
+            wal_bytes: s.wal_bytes.load(Ordering::Relaxed),
+            snapshots_written: s.snapshots_written.load(Ordering::Relaxed),
+            recovered_from: self.recovered_from.to_string(),
             passes: self.pass_totals.lock().clone(),
         }
     }
@@ -259,5 +488,62 @@ mod tests {
         assert_eq!(r.passes["dns"].nanos, 1000);
         // The report serializes (the STATS payload path).
         assert!(serde_json::to_string(&r).unwrap().contains("\"dns\""));
+        assert!(serde_json::to_string(&r)
+            .unwrap()
+            .contains("\"recovered_from\":\"none\""));
+    }
+
+    #[test]
+    fn durable_state_survives_reopen_and_dedupes() {
+        let dir =
+            std::env::temp_dir().join(format!("v6brick-state-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let homes: Vec<_> = (0..5u64).map(|i| (i, one_home(2))).collect();
+        let mut reference = PopulationReport::new(77);
+        for (_, (obs, func)) in &homes {
+            reference.absorb_home("Dual-stack", obs, func, 9);
+        }
+        let want = serde_json::to_string(&reference).unwrap();
+
+        // First life: absorb everything, snapshot every 2 absorbs, die
+        // without finalize (as a SIGKILL would).
+        {
+            let state = SharedState::durable(77, 4, &dir, 2).unwrap();
+            assert_eq!(state.recovered_from(), "fresh");
+            for (index, (obs, func)) in &homes {
+                let out = state
+                    .absorb_upload(*index, "Dual-stack", obs, func, 9)
+                    .unwrap();
+                assert_eq!(out, AbsorbOutcome::Absorbed);
+            }
+            // A duplicate is detected, not re-absorbed.
+            let (obs, func) = &homes[0].1;
+            assert_eq!(
+                state.absorb_upload(0, "Dual-stack", obs, func, 9).unwrap(),
+                AbsorbOutcome::Duplicate
+            );
+            assert_eq!(state.snapshot_json(), want);
+            assert!(state.stats.snapshots_written.load(Ordering::Relaxed) >= 1);
+        }
+
+        // Second life: recovery restores the identical snapshot and
+        // every re-upload is a duplicate.
+        {
+            let state = SharedState::durable(77, 2, &dir, 2).unwrap();
+            assert_ne!(state.recovered_from(), "fresh");
+            assert_eq!(state.snapshot_json(), want, "recovered bytes differ");
+            for (index, (obs, func)) in &homes {
+                assert_eq!(
+                    state
+                        .absorb_upload(*index, "Dual-stack", obs, func, 9)
+                        .unwrap(),
+                    AbsorbOutcome::Duplicate
+                );
+            }
+            assert_eq!(state.snapshot_json(), want);
+            state.finalize_durability().unwrap();
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,0 +1,706 @@
+//! Write-ahead log for absorbed uploads.
+//!
+//! Every upload the daemon successfully absorbs is appended here
+//! **before** the `OK` ack goes back to the client, so an acked upload
+//! is always recoverable after a crash. The failure model is process
+//! death (SIGKILL, OOM-kill, panic-abort): each record is a single
+//! `write(2)` of a fully assembled buffer — the kernel page cache
+//! survives the process, so no user-space buffering is allowed on this
+//! path — and `fsync` happens only at snapshot boundaries and graceful
+//! shutdown (see DESIGN.md for the ack-after-write decision).
+//!
+//! ## On-disk format
+//!
+//! ```text
+//! header:  "V6BKWAL1" (8 bytes) | campaign_seed u64 LE
+//! record:  len u32 LE | seq u64 LE | payload (len bytes, JSON) | check u64 LE
+//! ```
+//!
+//! `check` is the splitmix64 fold [`v6brick_fleet::seed::fold_bytes`]
+//! of the payload seeded with `seq`, so a record can neither be
+//! corrupted in place nor transplanted to a different position without
+//! detection. A torn final record (crash mid-`write`) is expected and
+//! is reported as a tail condition, not an error; anything invalid
+//! *before* the tail is corruption.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use v6brick_core::analysis::DeviceObservation;
+use v6brick_fleet::seed::fold_bytes;
+
+/// File name of the write-ahead log inside a data directory.
+pub const WAL_FILE: &str = "ingest.wal";
+
+/// Magic bytes opening every WAL file (format version 1).
+pub const WAL_MAGIC: [u8; 8] = *b"V6BKWAL1";
+
+/// Bytes of the file header: magic plus campaign seed.
+pub const WAL_HEADER_BYTES: u64 = 16;
+
+/// Fixed bytes around every record payload: `len` + `seq` + `check`.
+pub const RECORD_OVERHEAD_BYTES: u64 = 20;
+
+/// Upper bound on a declared record payload. Far above any real record
+/// (uploads are capped well below this); a larger declaration is
+/// treated as corruption, never allocated.
+pub const MAX_RECORD_BYTES: usize = 1 << 28;
+
+/// One absorbed upload, exactly as the population state consumed it.
+///
+/// The record stores the *analyzed* observations, not the raw capture:
+/// replay re-runs `PopulationReport::absorb_home` — the same collision
+/// the live path used — so recovery is byte-identical by construction
+/// and never needs the pcap decoder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WalRecord {
+    /// Campaign-global home index (also the exactly-once dedupe key).
+    pub home_index: u64,
+    /// Network-config label of the home.
+    pub config_label: String,
+    /// Frames decoded from the upload.
+    pub frames: u64,
+    /// Per-device analyzed observations.
+    pub observations: BTreeMap<String, DeviceObservation>,
+    /// Per-device functional verdicts.
+    pub functional: BTreeMap<String, bool>,
+}
+
+/// Borrowed view of a [`WalRecord`] for serialization without cloning
+/// the (large) observation maps on the absorb hot path. Field names
+/// and order must match `WalRecord` exactly — pinned by a unit test.
+pub struct WalRecordRef<'a> {
+    /// See [`WalRecord::home_index`].
+    pub home_index: u64,
+    /// See [`WalRecord::config_label`].
+    pub config_label: &'a str,
+    /// See [`WalRecord::frames`].
+    pub frames: u64,
+    /// See [`WalRecord::observations`].
+    pub observations: &'a BTreeMap<String, DeviceObservation>,
+    /// See [`WalRecord::functional`].
+    pub functional: &'a BTreeMap<String, bool>,
+}
+
+// Manual impl (the derive does not cover lifetime-generic structs);
+// mirrors the derived `WalRecord` object field-for-field.
+impl Serialize for WalRecordRef<'_> {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("home_index".to_string(), self.home_index.to_value()),
+            ("config_label".to_string(), self.config_label.to_value()),
+            ("frames".to_string(), self.frames.to_value()),
+            ("observations".to_string(), self.observations.to_value()),
+            ("functional".to_string(), self.functional.to_value()),
+        ])
+    }
+}
+
+/// Typed WAL failures.
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// The file does not start with [`WAL_MAGIC`].
+    BadMagic,
+    /// The file header names a different campaign.
+    SeedMismatch {
+        /// Seed recorded in the file header.
+        found: u64,
+        /// Seed the daemon was started with.
+        expected: u64,
+    },
+    /// A non-tail record failed its checksum or could not be decoded.
+    Corrupt {
+        /// Sequence number the record declared (if the header was readable).
+        seq: Option<u64>,
+        /// Byte offset of the record start, relative to the record region.
+        offset: u64,
+    },
+    /// A record declared a payload above [`MAX_RECORD_BYTES`].
+    Oversized {
+        /// Declared payload length.
+        declared: usize,
+        /// Byte offset of the record start, relative to the record region.
+        offset: u64,
+    },
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal io: {e}"),
+            WalError::BadMagic => write!(f, "wal: bad magic (not a V6BKWAL1 file)"),
+            WalError::SeedMismatch { found, expected } => write!(
+                f,
+                "wal: campaign seed mismatch (file {found:#x}, expected {expected:#x})"
+            ),
+            WalError::Corrupt { seq, offset } => match seq {
+                Some(seq) => write!(f, "wal: corrupt record seq {seq} at offset {offset}"),
+                None => write!(f, "wal: corrupt record at offset {offset}"),
+            },
+            WalError::Oversized { declared, offset } => write!(
+                f,
+                "wal: record at offset {offset} declares {declared} bytes (cap {MAX_RECORD_BYTES})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<io::Error> for WalError {
+    fn from(e: io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// Checksum of a record payload at sequence number `seq`.
+pub fn record_check(seq: u64, payload: &[u8]) -> u64 {
+    fold_bytes(seq, payload)
+}
+
+/// Encode one record (`len | seq | payload | check`) into a buffer.
+pub fn encode_record(seq: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + RECORD_OVERHEAD_BYTES as usize);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&record_check(seq, payload).to_le_bytes());
+    out
+}
+
+/// What the valid region of a scanned WAL ends in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalTail {
+    /// The file ends exactly at a record boundary.
+    Clean,
+    /// The file ends inside a record — the expected signature of a
+    /// crash mid-append. Bytes from `offset` on are garbage.
+    Torn {
+        /// Record-region offset where the torn record starts.
+        offset: u64,
+    },
+    /// A trailing record failed its checksum (or declared an absurd
+    /// length, or carried undecodable JSON). Bytes from `offset` on
+    /// are dropped.
+    Corrupt {
+        /// Record-region offset where the corrupt record starts.
+        offset: u64,
+    },
+}
+
+/// Decode state for one in-flight record.
+enum Stage {
+    /// Collecting the 12-byte `len | seq` head.
+    Head,
+    /// Collecting `payload.capacity()` payload bytes for `seq`.
+    Payload { seq: u64 },
+    /// Collecting the 8-byte trailing check for `seq`.
+    Check { seq: u64 },
+    /// A checksum or length failure was observed; sticky.
+    Failed {
+        seq: Option<u64>,
+        oversized: Option<usize>,
+    },
+}
+
+/// Incremental record-region parser, chunking-invariant like the wire
+/// [`FrameReader`](crate::wire::FrameReader): feed it whatever byte
+/// runs arrive and it yields `(seq, payload)` pairs at exactly the
+/// same places a one-shot parse would.
+pub struct RecordReader {
+    stage: Stage,
+    head: [u8; 12],
+    head_len: usize,
+    payload: Vec<u8>,
+    check: [u8; 8],
+    check_len: usize,
+    /// Bytes consumed so far (record-region relative).
+    offset: u64,
+    /// Offset of the start of the record currently being parsed.
+    record_start: u64,
+    /// Offset just past the last fully validated record.
+    valid_len: u64,
+    last_seq: Option<u64>,
+}
+
+impl Default for RecordReader {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RecordReader {
+    /// A reader positioned at the start of the record region.
+    pub fn new() -> Self {
+        RecordReader {
+            stage: Stage::Head,
+            head: [0; 12],
+            head_len: 0,
+            payload: Vec::new(),
+            check: [0; 8],
+            check_len: 0,
+            offset: 0,
+            record_start: 0,
+            valid_len: 0,
+            last_seq: None,
+        }
+    }
+
+    /// Consume bytes from `input`; returns `(consumed, record)`.
+    ///
+    /// At most one record completes per call (feed the remainder back
+    /// in). Checksum failures and oversized declarations error and are
+    /// sticky; a *torn* tail is not an error — the caller detects it
+    /// by [`Self::is_idle`] being false once input is exhausted.
+    #[allow(clippy::type_complexity)]
+    pub fn feed(&mut self, input: &[u8]) -> Result<(usize, Option<(u64, Vec<u8>)>), WalError> {
+        let mut used = 0;
+        loop {
+            match &mut self.stage {
+                Stage::Failed { seq, oversized } => {
+                    return Err(match oversized {
+                        Some(declared) => WalError::Oversized {
+                            declared: *declared,
+                            offset: self.record_start,
+                        },
+                        None => WalError::Corrupt {
+                            seq: *seq,
+                            offset: self.record_start,
+                        },
+                    });
+                }
+                Stage::Head => {
+                    let want = 12 - self.head_len;
+                    let take = want.min(input.len() - used);
+                    self.head[self.head_len..self.head_len + take]
+                        .copy_from_slice(&input[used..used + take]);
+                    self.head_len += take;
+                    used += take;
+                    self.offset += take as u64;
+                    if self.head_len < 12 {
+                        return Ok((used, None));
+                    }
+                    let len = u32::from_le_bytes(self.head[0..4].try_into().unwrap()) as usize;
+                    let seq = u64::from_le_bytes(self.head[4..12].try_into().unwrap());
+                    if len > MAX_RECORD_BYTES {
+                        self.stage = Stage::Failed {
+                            seq: Some(seq),
+                            oversized: Some(len),
+                        };
+                        continue;
+                    }
+                    self.payload = Vec::with_capacity(len);
+                    self.stage = Stage::Payload { seq };
+                }
+                Stage::Payload { seq } => {
+                    let seq = *seq;
+                    let want = self.payload.capacity() - self.payload.len();
+                    let take = want.min(input.len() - used);
+                    self.payload.extend_from_slice(&input[used..used + take]);
+                    used += take;
+                    self.offset += take as u64;
+                    if self.payload.len() < self.payload.capacity() {
+                        return Ok((used, None));
+                    }
+                    self.check_len = 0;
+                    self.stage = Stage::Check { seq };
+                }
+                Stage::Check { seq } => {
+                    let seq = *seq;
+                    let want = 8 - self.check_len;
+                    let take = want.min(input.len() - used);
+                    self.check[self.check_len..self.check_len + take]
+                        .copy_from_slice(&input[used..used + take]);
+                    self.check_len += take;
+                    used += take;
+                    self.offset += take as u64;
+                    if self.check_len < 8 {
+                        return Ok((used, None));
+                    }
+                    let declared = u64::from_le_bytes(self.check);
+                    if declared != record_check(seq, &self.payload) {
+                        self.stage = Stage::Failed {
+                            seq: Some(seq),
+                            oversized: None,
+                        };
+                        continue;
+                    }
+                    let payload = std::mem::take(&mut self.payload);
+                    self.head_len = 0;
+                    self.stage = Stage::Head;
+                    self.valid_len = self.offset;
+                    self.record_start = self.offset;
+                    self.last_seq = Some(seq);
+                    return Ok((used, Some((seq, payload))));
+                }
+            }
+        }
+    }
+
+    /// True when positioned exactly at a record boundary (a clean tail).
+    pub fn is_idle(&self) -> bool {
+        matches!(self.stage, Stage::Head) && self.head_len == 0
+    }
+
+    /// Record-region offset just past the last fully validated record.
+    pub fn valid_len(&self) -> u64 {
+        self.valid_len
+    }
+
+    /// Record-region offset where the current (incomplete or failed)
+    /// record started.
+    pub fn record_start(&self) -> u64 {
+        self.record_start
+    }
+
+    /// Sequence number of the last validated record.
+    pub fn last_seq(&self) -> Option<u64> {
+        self.last_seq
+    }
+}
+
+/// Result of scanning a WAL file from disk.
+pub struct WalScan {
+    /// Campaign seed from the file header.
+    pub campaign_seed: u64,
+    /// Every valid record in order, decoded.
+    pub records: Vec<WalRecord>,
+    /// Sequence number of the last valid record (0 if none).
+    pub last_seq: u64,
+    /// Absolute file offset just past the last valid record (i.e. the
+    /// length [`WalWriter::resume`] should truncate to).
+    pub valid_len: u64,
+    /// How the file ends.
+    pub tail: WalTail,
+}
+
+/// Scan `path`, validating the header against `expected_seed` and
+/// decoding every record up to the first torn/corrupt one.
+///
+/// Missing file → `Ok(None)`. Header-level failures (bad magic, wrong
+/// campaign) are hard errors — that is the wrong file, not a torn one.
+/// Record-level failures end the valid region and are reported in
+/// [`WalScan::tail`]; everything before them is returned.
+pub fn scan(path: &Path, expected_seed: u64) -> Result<Option<WalScan>, WalError> {
+    let mut file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(WalError::Io(e)),
+    };
+    let mut header = [0u8; WAL_HEADER_BYTES as usize];
+    let mut got = 0;
+    while got < header.len() {
+        match file.read(&mut header[got..]) {
+            Ok(0) => return Err(WalError::BadMagic),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WalError::Io(e)),
+        }
+    }
+    if header[..8] != WAL_MAGIC {
+        return Err(WalError::BadMagic);
+    }
+    let campaign_seed = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    if campaign_seed != expected_seed {
+        return Err(WalError::SeedMismatch {
+            found: campaign_seed,
+            expected: expected_seed,
+        });
+    }
+
+    let mut reader = RecordReader::new();
+    let mut records = Vec::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    // Track the last *decodable* record independently of the reader's
+    // checksum-level notion of validity: a checksum-valid record whose
+    // JSON fails to parse is corruption too and cuts the tail before
+    // itself.
+    let mut last_seq = 0u64;
+    let mut valid_region = 0u64;
+    let mut tail = WalTail::Clean;
+    'read: loop {
+        let n = match file.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WalError::Io(e)),
+        };
+        let mut piece = &buf[..n];
+        while !piece.is_empty() {
+            match reader.feed(piece) {
+                Ok((used, rec)) => {
+                    piece = &piece[used..];
+                    if let Some((seq, payload)) = rec {
+                        match std::str::from_utf8(&payload)
+                            .ok()
+                            .and_then(|text| serde_json::from_str::<WalRecord>(text).ok())
+                        {
+                            Some(r) => {
+                                records.push(r);
+                                last_seq = seq;
+                                valid_region = reader.valid_len();
+                            }
+                            None => {
+                                tail = WalTail::Corrupt {
+                                    offset: valid_region,
+                                };
+                                break 'read;
+                            }
+                        }
+                    }
+                }
+                Err(WalError::Corrupt { .. }) | Err(WalError::Oversized { .. }) => {
+                    tail = WalTail::Corrupt {
+                        offset: reader.record_start(),
+                    };
+                    break 'read;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    if matches!(tail, WalTail::Clean) && !reader.is_idle() {
+        tail = WalTail::Torn {
+            offset: reader.record_start(),
+        };
+    }
+    Ok(Some(WalScan {
+        campaign_seed,
+        records,
+        last_seq,
+        valid_len: WAL_HEADER_BYTES + valid_region,
+        tail,
+    }))
+}
+
+/// Appender over an open WAL file.
+///
+/// Deliberately **unbuffered**: each [`Self::append`] is one
+/// `write_all` of a pre-assembled record so a SIGKILL can tear at most
+/// the final record — never lose a whole user-space buffer.
+pub struct WalWriter {
+    file: File,
+    seq: u64,
+    records: u64,
+    bytes: u64,
+}
+
+impl WalWriter {
+    /// Create (or truncate) the WAL at `path` and write the header.
+    pub fn create(path: &Path, campaign_seed: u64) -> io::Result<WalWriter> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut header = [0u8; WAL_HEADER_BYTES as usize];
+        header[..8].copy_from_slice(&WAL_MAGIC);
+        header[8..].copy_from_slice(&campaign_seed.to_le_bytes());
+        file.write_all(&header)?;
+        Ok(WalWriter {
+            file,
+            seq: 0,
+            records: 0,
+            bytes: WAL_HEADER_BYTES,
+        })
+    }
+
+    /// Reopen an existing WAL after recovery: truncate away any
+    /// torn/corrupt tail (`valid_len` from [`scan`]) and continue the
+    /// sequence from `last_seq`.
+    pub fn resume(
+        path: &Path,
+        last_seq: u64,
+        valid_len: u64,
+        records: u64,
+    ) -> io::Result<WalWriter> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(valid_len)?;
+        file.seek(SeekFrom::Start(valid_len))?;
+        Ok(WalWriter {
+            file,
+            seq: last_seq,
+            records,
+            bytes: valid_len,
+        })
+    }
+
+    /// Append one record; returns the bytes written. The record is on
+    /// its way to the page cache when this returns — not necessarily
+    /// on stable storage (see the module docs for why that is enough).
+    pub fn append<T: Serialize>(&mut self, record: &T) -> io::Result<u64> {
+        let payload = serde_json::to_string(record)
+            .map_err(io::Error::other)?
+            .into_bytes();
+        if payload.len() > MAX_RECORD_BYTES {
+            return Err(io::Error::other(format!(
+                "wal record of {} bytes exceeds cap {MAX_RECORD_BYTES}",
+                payload.len()
+            )));
+        }
+        let seq = self.seq + 1;
+        let encoded = encode_record(seq, &payload);
+        self.file.write_all(&encoded)?;
+        self.seq = seq;
+        self.records += 1;
+        self.bytes += encoded.len() as u64;
+        Ok(encoded.len() as u64)
+    }
+
+    /// Sequence number of the last appended record.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Records currently in the file.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// File length in bytes (header included).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Flush the file to stable storage.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_all()
+    }
+
+    /// Drop every record (after a snapshot made them redundant),
+    /// keeping the header and the sequence counter. Syncs first so the
+    /// snapshot + empty-WAL state is the one that persists.
+    pub fn truncate_to_empty(&mut self) -> io::Result<()> {
+        self.file.set_len(WAL_HEADER_BYTES)?;
+        self.file.seek(SeekFrom::Start(WAL_HEADER_BYTES))?;
+        self.file.sync_all()?;
+        self.records = 0;
+        self.bytes = WAL_HEADER_BYTES;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        static N: AtomicU32 = AtomicU32::new(0);
+        std::env::temp_dir().join(format!(
+            "v6brick-wal-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn sample_record(i: u64) -> WalRecord {
+        let mut observations = BTreeMap::new();
+        observations.insert(
+            format!("dev-{i}"),
+            DeviceObservation {
+                ndp_traffic: true,
+                v6_internet_bytes: 40 + i,
+                ..Default::default()
+            },
+        );
+        let mut functional = BTreeMap::new();
+        functional.insert(format!("dev-{i}"), i.is_multiple_of(2));
+        WalRecord {
+            home_index: i,
+            config_label: format!("cfg-{}", i % 3),
+            frames: 100 + i,
+            observations,
+            functional,
+        }
+    }
+
+    #[test]
+    fn writer_roundtrips_through_scan() {
+        let path = temp_path("roundtrip");
+        let mut w = WalWriter::create(&path, 0xfeed).unwrap();
+        let records: Vec<WalRecord> = (0..5).map(sample_record).collect();
+        for r in &records {
+            w.append(r).unwrap();
+        }
+        assert_eq!(w.seq(), 5);
+        assert_eq!(w.records(), 5);
+        let scan = scan(&path, 0xfeed).unwrap().unwrap();
+        assert_eq!(scan.records, records);
+        assert_eq!(scan.last_seq, 5);
+        assert_eq!(scan.tail, WalTail::Clean);
+        assert_eq!(scan.valid_len, w.bytes());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resume_continues_the_sequence() {
+        let path = temp_path("resume");
+        let mut w = WalWriter::create(&path, 1).unwrap();
+        w.append(&sample_record(0)).unwrap();
+        drop(w);
+        let scan1 = scan(&path, 1).unwrap().unwrap();
+        let mut w = WalWriter::resume(&path, scan1.last_seq, scan1.valid_len, 1).unwrap();
+        w.append(&sample_record(1)).unwrap();
+        drop(w);
+        let scan2 = scan(&path, 1).unwrap().unwrap();
+        assert_eq!(scan2.last_seq, 2);
+        assert_eq!(scan2.records.len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn seed_mismatch_and_bad_magic_are_hard_errors() {
+        let path = temp_path("header");
+        let w = WalWriter::create(&path, 7).unwrap();
+        drop(w);
+        assert!(matches!(
+            scan(&path, 8),
+            Err(WalError::SeedMismatch {
+                found: 7,
+                expected: 8
+            })
+        ));
+        std::fs::write(&path, b"NOTAWALFILE-....").unwrap();
+        assert!(matches!(scan(&path, 7), Err(WalError::BadMagic)));
+        std::fs::remove_file(&path).unwrap();
+        assert!(scan(&path, 7).unwrap().is_none());
+    }
+
+    #[test]
+    fn borrowed_and_owned_records_serialize_identically() {
+        let owned = sample_record(3);
+        let borrowed = WalRecordRef {
+            home_index: owned.home_index,
+            config_label: &owned.config_label,
+            frames: owned.frames,
+            observations: &owned.observations,
+            functional: &owned.functional,
+        };
+        assert_eq!(
+            serde_json::to_string(&owned).unwrap(),
+            serde_json::to_string(&borrowed).unwrap()
+        );
+    }
+
+    #[test]
+    fn truncate_to_empty_keeps_seq_monotonic() {
+        let path = temp_path("truncate");
+        let mut w = WalWriter::create(&path, 2).unwrap();
+        w.append(&sample_record(0)).unwrap();
+        w.truncate_to_empty().unwrap();
+        assert_eq!(w.records(), 0);
+        assert_eq!(w.bytes(), WAL_HEADER_BYTES);
+        w.append(&sample_record(1)).unwrap();
+        assert_eq!(w.seq(), 2, "sequence survives truncation");
+        let scan = scan(&path, 2).unwrap().unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.last_seq, 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

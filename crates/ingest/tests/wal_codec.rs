@@ -1,0 +1,213 @@
+//! Adversarial-chunking properties for the WAL record codec.
+//!
+//! Crash recovery reads the WAL in whatever chunks the filesystem
+//! returns, and the file itself ends however the crash left it. These
+//! properties pin that the incremental [`RecordReader`] is
+//! **chunking-invariant** — 1-byte drip, random splits — always
+//! yielding exactly the `(seq, payload)` pairs a one-shot parse sees;
+//! that a torn final record (the signature of SIGKILL mid-append)
+//! completes nothing, leaving `valid_len` cut at the last whole record;
+//! and that a corrupt checksum is a typed, sticky error that likewise
+//! pins the clean prefix. The mirror of `wire_chunking.rs`, one layer
+//! down the durability stack.
+
+use proptest::prelude::*;
+use v6brick_ingest::wal::{encode_record, RecordReader, WalError, RECORD_OVERHEAD_BYTES};
+
+fn arb_payloads() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..200), 1..8)
+}
+
+/// Encode payloads as records with sequence numbers `1..=n`, returning
+/// the record-region bytes plus each record's start offset.
+fn encode(payloads: &[Vec<u8>]) -> (Vec<u8>, Vec<u64>) {
+    let mut bytes = Vec::new();
+    let mut starts = Vec::new();
+    for (i, payload) in payloads.iter().enumerate() {
+        starts.push(bytes.len() as u64);
+        bytes.extend_from_slice(&encode_record(i as u64 + 1, payload));
+    }
+    (bytes, starts)
+}
+
+/// Feed the whole region in one call-per-record loop: the reference
+/// parse every chunked parse must reproduce.
+fn oneshot(bytes: &[u8]) -> Vec<(u64, Vec<u8>)> {
+    let mut reader = RecordReader::new();
+    let mut records = Vec::new();
+    let mut rest = bytes;
+    while !rest.is_empty() {
+        let (used, record) = reader.feed(rest).expect("valid region");
+        assert!(used > 0, "non-empty input made no progress");
+        rest = &rest[used..];
+        if let Some(r) = record {
+            records.push(r);
+        }
+    }
+    assert!(reader.is_idle(), "clean region must end at a boundary");
+    records
+}
+
+/// Parse `bytes` split at the given points (mod length, like the wire
+/// chunking test).
+fn resumable(bytes: &[u8], splits: &[usize]) -> Vec<(u64, Vec<u8>)> {
+    let mut reader = RecordReader::new();
+    let mut records = Vec::new();
+    let mut cuts: Vec<usize> = splits.iter().map(|s| s % (bytes.len() + 1)).collect();
+    cuts.sort_unstable();
+    let mut pieces: Vec<&[u8]> = Vec::new();
+    let mut last = 0;
+    for cut in cuts {
+        pieces.push(&bytes[last..cut.max(last)]);
+        last = cut.max(last);
+    }
+    pieces.push(&bytes[last..]);
+    for mut piece in pieces {
+        while !piece.is_empty() {
+            let (used, record) = reader.feed(piece).expect("valid region");
+            assert!(used > 0, "non-empty input made no progress (busy loop)");
+            piece = &piece[used..];
+            if let Some(r) = record {
+                records.push(r);
+            }
+        }
+    }
+    records
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Byte-at-a-time drip: the worst read pattern recovery can face.
+    #[test]
+    fn one_byte_drip_matches_oneshot(payloads in arb_payloads()) {
+        let (bytes, _) = encode(&payloads);
+        let want = oneshot(&bytes);
+        let splits: Vec<usize> = (0..bytes.len()).collect();
+        prop_assert_eq!(resumable(&bytes, &splits), want);
+    }
+
+    /// Random split points: arbitrary chunk boundaries.
+    #[test]
+    fn random_splits_match_oneshot(
+        payloads in arb_payloads(),
+        splits in proptest::collection::vec(any::<usize>(), 0..32),
+    ) {
+        let (bytes, _) = encode(&payloads);
+        let want = oneshot(&bytes);
+        prop_assert_eq!(resumable(&bytes, &splits), want);
+        // Every record round-trips with its own sequence number.
+        for (i, (seq, payload)) in want.iter().enumerate() {
+            prop_assert_eq!(*seq, i as u64 + 1);
+            prop_assert_eq!(payload, &payloads[i]);
+        }
+    }
+
+    /// SIGKILL mid-append: the file ends inside the final record. Every
+    /// whole record still parses, the torn one never completes, and
+    /// `valid_len`/`record_start` pin the truncation point recovery
+    /// cuts the file back to.
+    #[test]
+    fn torn_final_record_is_detected_and_truncated(
+        payloads in arb_payloads(),
+        cut_in in any::<u64>(),
+    ) {
+        let (bytes, starts) = encode(&payloads);
+        let last_start = *starts.last().unwrap();
+        let last_len = bytes.len() as u64 - last_start;
+        // Strictly inside the final record: at least one byte fed, at
+        // least one byte missing.
+        let cut = last_start + 1 + cut_in % (last_len - 1);
+        let torn = &bytes[..cut as usize];
+
+        let mut reader = RecordReader::new();
+        let mut records = Vec::new();
+        let mut rest = torn;
+        while !rest.is_empty() {
+            let (used, record) = reader.feed(rest).expect("prefix is valid");
+            prop_assert!(used > 0);
+            rest = &rest[used..];
+            if let Some(r) = record {
+                records.push(r);
+            }
+        }
+        prop_assert_eq!(records.len(), payloads.len() - 1);
+        prop_assert!(!reader.is_idle(), "a torn record leaves the reader mid-record");
+        prop_assert_eq!(reader.valid_len(), last_start);
+        prop_assert_eq!(reader.record_start(), last_start);
+        prop_assert_eq!(
+            reader.last_seq(),
+            (payloads.len() > 1).then(|| payloads.len() as u64 - 1)
+        );
+    }
+
+    /// Bit rot in a record's trailing checksum: a typed `Corrupt` error
+    /// carrying the record's offset and declared seq, sticky across
+    /// further feeds, with the clean prefix still fully parsed.
+    #[test]
+    fn corrupt_checksum_is_typed_sticky_and_cuts_the_tail(
+        payloads in arb_payloads(),
+        victim in any::<usize>(),
+        flip in 1u8..=255,
+        junk in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let (mut bytes, starts) = encode(&payloads);
+        let victim = victim % payloads.len();
+        let start = starts[victim];
+        // Last byte of the victim's 8-byte check trailer.
+        let check_end = start as usize
+            + RECORD_OVERHEAD_BYTES as usize
+            + payloads[victim].len()
+            - 1;
+        bytes[check_end] ^= flip;
+
+        let mut reader = RecordReader::new();
+        let mut records = 0usize;
+        let mut rest = &bytes[..];
+        let err = loop {
+            match reader.feed(rest) {
+                Ok((used, record)) => {
+                    prop_assert!(used > 0, "no progress before the corrupt record");
+                    rest = &rest[used..];
+                    records += record.is_some() as usize;
+                }
+                Err(e) => break e,
+            }
+        };
+        prop_assert_eq!(records, victim);
+        prop_assert!(
+            matches!(err, WalError::Corrupt { seq: Some(s), offset }
+                if s == victim as u64 + 1 && offset == start),
+            "unexpected error: {}", err
+        );
+        // The clean prefix is intact and the error is sticky.
+        prop_assert_eq!(reader.valid_len(), start);
+        prop_assert!(matches!(
+            reader.feed(&junk),
+            Err(WalError::Corrupt { .. })
+        ));
+    }
+}
+
+/// A record written by `WalWriter` parses back via `encode_record`'s
+/// layout exactly (regression anchor tying the writer and the codec
+/// to the same bytes).
+#[test]
+fn writer_bytes_equal_encode_record() {
+    use v6brick_ingest::wal::{WalWriter, WAL_HEADER_BYTES};
+    let dir = std::env::temp_dir().join(format!("v6brick-walcodec-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ingest.wal");
+    let mut writer = WalWriter::create(&path, 7).unwrap();
+    writer.append(&"hello".to_string()).unwrap();
+    drop(writer);
+    let bytes = std::fs::read(&path).unwrap();
+    let payload = serde_json::to_string(&"hello".to_string())
+        .unwrap()
+        .into_bytes();
+    assert_eq!(
+        &bytes[WAL_HEADER_BYTES as usize..],
+        encode_record(1, &payload).as_slice()
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
