@@ -21,6 +21,7 @@ pub mod addressing;
 pub mod dns;
 pub mod eui64;
 pub mod flows;
+pub mod mesh;
 pub mod ndp_dad;
 pub mod traffic;
 pub mod types;
@@ -385,6 +386,10 @@ pub struct PassSet {
     devices: Vec<(Mac, String)>,
     lan_prefix: Cidr,
     mac_index: HashMap<Mac, usize>,
+    /// IPv6 address → device index, consulted only when MAC attribution
+    /// fails — the mesh case, where every leaf frame carries the border
+    /// router's MAC. Empty (and therefore free) for Ethernet-only homes.
+    mesh_bindings: HashMap<Ipv6Addr, usize>,
     state: SharedState,
     passes: Vec<PassEntry>,
     frames: u64,
@@ -430,6 +435,7 @@ impl PassSet {
                 .enumerate()
                 .map(|(i, (m, _))| (*m, i))
                 .collect(),
+            mesh_bindings: HashMap::new(),
             state: SharedState {
                 obs: vec![DeviceObservation::default(); devices.len()],
                 ip_to_name: BTreeMap::new(),
@@ -464,6 +470,29 @@ impl PassSet {
         self.passes.iter().map(|e| (e.id, e.metrics)).collect()
     }
 
+    /// Bind an IPv6 address to the device owning `mac`, for frames whose
+    /// link-layer identity was erased by a border router. Returns `false`
+    /// (and binds nothing) when `mac` is not a registered device — the
+    /// border router's own mesh-local address lands here.
+    ///
+    /// Bindings only ever *add* attribution: they are consulted after MAC
+    /// lookup fails, so Ethernet-attributed frames are untouched and an
+    /// empty binding table reproduces pre-mesh behaviour exactly.
+    pub fn add_mesh_binding(&mut self, addr: Ipv6Addr, mac: Mac) -> bool {
+        match self.mac_index.get(&mac) {
+            Some(&idx) => {
+                self.mesh_bindings.insert(addr, idx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of mesh address bindings installed.
+    pub fn mesh_binding_count(&self) -> usize {
+        self.mesh_bindings.len()
+    }
+
     /// Frames handed to [`PassSet::feed`] so far (parseable or not) — the
     /// equivalent of the buffered pipeline's capture length.
     pub fn frames_fed(&self) -> u64 {
@@ -489,8 +518,18 @@ impl PassSet {
     /// Consume one already-parsed frame.
     pub fn feed_parsed(&mut self, ts: u64, p: &ParsedPacket) {
         self.frames += 1;
-        let from = self.mac_index.get(&p.eth.src).copied();
-        let to = self.mac_index.get(&p.eth.dst).copied();
+        let mut from = self.mac_index.get(&p.eth.src).copied();
+        let mut to = self.mac_index.get(&p.eth.dst).copied();
+        if !self.mesh_bindings.is_empty() {
+            if let Net::Ipv6(ip) = &p.net {
+                if from.is_none() {
+                    from = self.mesh_bindings.get(&ip.src).copied();
+                }
+                if to.is_none() && !ip.dst.is_multicast() {
+                    to = self.mesh_bindings.get(&ip.dst).copied();
+                }
+            }
+        }
         if from.is_none() && to.is_none() {
             self.unattributed += 1;
         }

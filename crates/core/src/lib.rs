@@ -41,6 +41,7 @@ pub mod population;
 pub mod ports;
 pub mod transitions;
 
+pub use analysis::mesh::{bindings_from_mesh_capture, MeshBindings};
 pub use analysis::{AnalyzerPass, PassId, PassMetrics, PassSet};
 pub use exposure::{ExposureReport, HomeScanOutcome};
 pub use observe::{analyze, DeviceObservation, ExperimentAnalysis, StreamingAnalyzer};

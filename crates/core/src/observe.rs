@@ -77,6 +77,19 @@ impl StreamingAnalyzer {
         self.set.enabled()
     }
 
+    /// Bind an IPv6 address to the device owning `mac`, for mesh homes
+    /// where a border router erased the leaf's link-layer identity (see
+    /// [`PassSet::add_mesh_binding`]). Returns `false` when `mac` is not
+    /// a registered device.
+    pub fn add_mesh_binding(&mut self, addr: std::net::Ipv6Addr, mac: Mac) -> bool {
+        self.set.add_mesh_binding(addr, mac)
+    }
+
+    /// Number of mesh address bindings installed.
+    pub fn mesh_binding_count(&self) -> usize {
+        self.set.mesh_binding_count()
+    }
+
     /// Collect per-pass wall-clock timings from now on (off by default).
     pub fn enable_metrics(&mut self) {
         self.set.enable_metrics();
@@ -396,6 +409,36 @@ mod tests {
         assert_eq!(a.parse_errors, 1);
         assert_eq!(a.frames, 1, "only the parseable frame is analyzed");
         assert_eq!(a.unattributed_frames, 0);
+    }
+
+    #[test]
+    fn mesh_bindings_attribute_br_forwarded_frames() {
+        let dev: Ipv6Addr = "2001:db8:10:1::10".parse().unwrap();
+        let internet: Ipv6Addr = "2001:db8:ffff::99".parse().unwrap();
+        // A border router's MAC: not in the device list.
+        let br = Mac::new(2, 0x52, 0x54, 0, 0xb0, 1);
+        let frame = eth(
+            br,
+            Mac::new(2, 0, 0, 0, 0, 0xfe),
+            &v6_udp(dev, internet, 5000, 9999, vec![0; 100]),
+        );
+        // Without bindings the forwarded frame can't be attributed…
+        let mut plain = StreamingAnalyzer::new(&labels(), lan());
+        plain.feed(0, &frame);
+        let plain = plain.finish();
+        assert_eq!(plain.unattributed_frames, 1);
+        assert_eq!(plain.device("dev").unwrap().v6_internet_bytes, 0);
+        // …with one it credits the leaf, not the border router.
+        let mut mesh = StreamingAnalyzer::new(&labels(), lan());
+        assert!(mesh.add_mesh_binding(dev, dev_mac()));
+        assert!(!mesh.add_mesh_binding(dev, br), "unknown MAC binds nothing");
+        assert_eq!(mesh.mesh_binding_count(), 1);
+        mesh.feed(0, &frame);
+        let mesh = mesh.finish();
+        assert_eq!(mesh.unattributed_frames, 0);
+        let o = mesh.device("dev").unwrap();
+        assert_eq!(o.v6_internet_bytes, 100);
+        assert!(o.active_v6.contains(&dev));
     }
 
     #[test]

@@ -10,18 +10,25 @@
 //! repro fleet 256 [--workers 8] [--seed 42] [--json]
 //!                [--max-failures N] [--chaos-home IDX]...
 //!                [--checkpoint PATH] [--resume] [--checkpoint-every N]
-//!                [--stop-after N]
+//!                [--stop-after N] [--mesh-per-mille N]
 //!                           # parallel multi-home campaign; exits
 //!                           # nonzero only when more than N homes fail.
 //!                           # With --checkpoint, progress persists every
 //!                           # N homes and --resume continues a stopped
-//!                           # run byte-identically
+//!                           # run byte-identically. --mesh-per-mille
+//!                           # puts N‰ of homes behind a 6LoWPAN border
+//!                           # router
+//! repro mesh [--seed S] [--duration SECS] [--json]
+//!                           # Table 3 across link layers: the same
+//!                           # devices on Ethernet vs behind a 6LoWPAN
+//!                           # border router; JSON is byte-deterministic
+//!                           # per (seed, duration)
 //! repro --scenario broken-v6 [--seed S]
 //!                           # fault-injection preset (broken-v6,
 //!                           # tunnel-flap, ra-suppress, dns-servfail):
 //!                           # Table 9-style switching report as JSON
 //! repro wanscan [HOMES] [--seed S] [--workers N] [--settle SECS]
-//!               [--policy LABEL] [--json] [--verify]
+//!               [--policy LABEL] [--mesh-per-mille N] [--json] [--verify]
 //!                           # WAN-side exposure scan across firewall
 //!                           # policies; --verify reruns at other worker
 //!                           # counts and byte-diffs the report
@@ -56,8 +63,8 @@ use v6brick_experiments::portscan::{scan, ScanPlan};
 use v6brick_experiments::render::TextTable;
 use v6brick_experiments::suite::ExperimentSuite;
 use v6brick_experiments::{
-    active_dns, broken, config, enterprise, figures, fleet, reachability, scenario, serve, tables,
-    tracking, wanscan,
+    active_dns, broken, config, enterprise, figures, fleet, mesh, reachability, scenario, serve,
+    tables, tracking, wanscan,
 };
 
 fn main() {
@@ -83,6 +90,10 @@ fn main() {
     }
     if what == "fleet" {
         run_fleet(&args[1..]);
+        return;
+    }
+    if what == "mesh" {
+        run_mesh(&args[1..]);
         return;
     }
     if what == "--scenario" || what == "scenario" {
@@ -226,7 +237,7 @@ fn main() {
 fn usage_hint() -> String {
     format!(
         "subcommands: all, table2..table13, figure2..figure5, portscan, dad, variants, \
-         tracking, enterprise, reachability, json, fleet, wanscan, bench-json, serve, \
+         tracking, enterprise, reachability, json, fleet, mesh, wanscan, bench-json, serve, \
          upload, stats, --scenario <preset>; scenario presets: {}",
         broken::PRESETS.join(", ")
     )
@@ -349,6 +360,58 @@ fn peak_rss_bytes() -> Option<u64> {
     Some(kb * 1024)
 }
 
+/// `repro mesh [--seed S] [--duration SECS] [--json]` — the link-layer
+/// readiness comparison: [`mesh::CONFIGS`] over [`mesh::DEVICE_IDS`],
+/// each run once on the Ethernet LAN and once behind a 6LoWPAN border
+/// router. Human tables on stdout by default; `--json` emits the
+/// byte-deterministic report CI reruns and diffs.
+fn run_mesh(args: &[String]) {
+    let mut spec = mesh::MeshSpec::default();
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} needs a value");
+                    std::process::exit(2);
+                })
+                .parse::<u64>()
+                .unwrap_or_else(|e| {
+                    eprintln!("bad value for {flag}: {e}");
+                    std::process::exit(2);
+                })
+        };
+        match arg.as_str() {
+            "--seed" => spec.seed = value("--seed"),
+            "--duration" => spec.duration_s = value("--duration"),
+            "--json" => json = true,
+            other => {
+                eprintln!("unknown mesh flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!(
+        "Comparing {} devices x {} configs across link layers (seed {:#x}, {} s windows)...",
+        mesh::DEVICE_IDS.len(),
+        mesh::CONFIGS.len(),
+        spec.seed,
+        spec.duration_s
+    );
+    let t0 = std::time::Instant::now();
+    let report = mesh::run(&spec);
+    eprintln!("   done in {:.1?}", t0.elapsed());
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("serializable")
+        );
+    } else {
+        println!("{}", mesh::render(&report));
+    }
+}
+
 fn run_fleet(args: &[String]) {
     let mut spec = fleet::CampaignSpec {
         workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
@@ -395,6 +458,14 @@ fn run_fleet(args: &[String]) {
                 )
             }
             "--checkpoint-every" => checkpoint_every = value("--checkpoint-every"),
+            "--mesh-per-mille" => {
+                let n = value("--mesh-per-mille");
+                if n > 1000 {
+                    eprintln!("--mesh-per-mille is a 0..=1000 fraction, got {n}");
+                    std::process::exit(2);
+                }
+                spec.mesh_per_mille = n as u32;
+            }
             "--resume" => resume = true,
             "--stop-after" => stop_after = Some(value("--stop-after")),
             "--json" => json = true,
@@ -534,6 +605,14 @@ fn run_wanscan(args: &[String]) {
             "--seed" => spec.seed = value("--seed"),
             "--workers" => spec.workers = (value("--workers") as usize).max(1),
             "--settle" => spec.settle_s = value("--settle"),
+            "--mesh-per-mille" => {
+                let n = value("--mesh-per-mille");
+                if n > 1000 {
+                    eprintln!("--mesh-per-mille is a 0..=1000 fraction, got {n}");
+                    std::process::exit(2);
+                }
+                spec.mesh_per_mille = n as u32;
+            }
             "--policy" => {
                 let label = it.next().unwrap_or_else(|| {
                     eprintln!("--policy needs a value");
@@ -1336,7 +1415,47 @@ fn run_bench_json(args: &[String]) {
     let wanscan_monotonic =
         wan_report.monotonic_violations().is_empty() && wan_report.failures.is_empty();
 
-    // --- 6. Memory-flat scale probe: 1k vs 100k homes ---
+    // --- 6. Mesh homes: link-layer campaign throughput + determinism ---
+    // A mesh-heavy campaign (half the homes behind a 6LoWPAN border
+    // router) timed at full parallelism, then rerun serially. The mesh
+    // path costs a second analysis phase per home (decompress the
+    // 802.15.4 capture for attribution bindings), so its homes/sec is
+    // tracked separately — and the report must serialize byte-identically
+    // across worker counts, or the mesh axis broke campaign determinism.
+    let mesh_fleet_spec = fleet::CampaignSpec {
+        homes: 8,
+        seed: 0x6e5a,
+        workers,
+        device_range: (2, 4),
+        duration_s: 60,
+        mesh_per_mille: 500,
+        ..Default::default()
+    };
+    eprintln!("bench-json: mesh fleet, 8 homes (500 per mille meshed) on {workers} workers...");
+    let t0 = Instant::now();
+    let mesh_report = fleet::run(&mesh_fleet_spec);
+    let mesh_secs = t0.elapsed().as_secs_f64();
+    eprintln!("bench-json: same mesh fleet, serial...");
+    let mesh_serial = fleet::run(&fleet::CampaignSpec {
+        workers: 1,
+        ..mesh_fleet_spec.clone()
+    });
+    let mesh_identical = serde_json::to_string(&mesh_report).expect("serializable")
+        == serde_json::to_string(&mesh_serial).expect("serializable");
+    // The campaign must actually have exercised both link layers: a
+    // population report keyed only by Ethernet labels means the per-mille
+    // draw silently stopped selecting mesh homes.
+    let mesh_mixed = {
+        let labels: Vec<&str> = mesh_report
+            .homes_by_config
+            .keys()
+            .map(String::as_str)
+            .collect();
+        labels.iter().any(|l| l.ends_with("+ mesh"))
+            && labels.iter().any(|l| !l.ends_with("+ mesh"))
+    };
+
+    // --- 7. Memory-flat scale probe: 1k vs 100k homes ---
     // Campaign memory is O(workers), so a 100x bigger campaign must not
     // cost meaningfully more peak RSS. Each campaign runs in its own
     // `repro fleet` child (VmHWM is per-process and monotonic) at short
@@ -1350,7 +1469,7 @@ fn run_bench_json(args: &[String]) {
     let memory_flat = rss_ratio <= 2.0;
 
     let out = serde_json::json!({
-        "schema": "v6brick-bench-pipeline/7",
+        "schema": "v6brick-bench-pipeline/8",
         "streaming_analyzer": serde_json::json!({
             "frames": frames,
             "bytes": bytes,
@@ -1424,6 +1543,16 @@ fn run_bench_json(args: &[String]) {
             "checkpoint_legs": checkpoint_legs,
             "checkpoint_identical": checkpoint_identical,
         }),
+        "mesh": serde_json::json!({
+            "homes": mesh_report.homes,
+            "devices": mesh_report.devices,
+            "mesh_per_mille": mesh_fleet_spec.mesh_per_mille,
+            "workers": workers,
+            "secs": mesh_secs,
+            "homes_per_sec": mesh_report.homes as f64 / mesh_secs.max(1e-9),
+            "report_identical": mesh_identical,
+            "mixed_link_layers": mesh_mixed,
+        }),
         "wanscan": serde_json::json!({
             "homes": wan_report.homes,
             "devices": wan_report.devices,
@@ -1464,6 +1593,20 @@ fn run_bench_json(args: &[String]) {
     }
     if !wanscan_identical {
         eprintln!("bench-json: the WAN exposure report DIVERGED between serial and parallel runs");
+        std::process::exit(1);
+    }
+    if !mesh_identical {
+        eprintln!(
+            "bench-json: the mesh fleet report DIVERGED between serial and parallel runs — \
+             the mesh axis broke campaign determinism"
+        );
+        std::process::exit(1);
+    }
+    if !mesh_mixed {
+        eprintln!(
+            "bench-json: the mesh campaign did not produce both Ethernet and mesh homes — \
+             the per-mille draw is broken"
+        );
         std::process::exit(1);
     }
     if !wanscan_monotonic {

@@ -81,6 +81,22 @@ impl NetworkConfig {
         }
     }
 
+    /// The row label for a home running this configuration with its IoT
+    /// devices behind a 6LoWPAN border router. Static so population
+    /// reports can key mesh homes separately from Ethernet homes without
+    /// allocating per home.
+    pub fn mesh_label(self) -> &'static str {
+        match self {
+            NetworkConfig::Ipv4Only => "IPv4-only + mesh",
+            NetworkConfig::Ipv6Only => "IPv6-only + mesh",
+            NetworkConfig::Ipv6OnlyRdnssOnly => "IPv6-only (RDNSS-only) + mesh",
+            NetworkConfig::Ipv6OnlyStateful => "IPv6-only (stateful) + mesh",
+            NetworkConfig::DualStack => "Dual-stack + mesh",
+            NetworkConfig::DualStackStateful => "Dual-stack (stateful) + mesh",
+            NetworkConfig::Ipv6OnlyEnterprise => "IPv6-only (enterprise, no SLAAC) + mesh",
+        }
+    }
+
     /// A convenient alias used throughout the examples.
     pub fn ipv6_only() -> NetworkConfig {
         NetworkConfig::Ipv6Only

@@ -58,6 +58,12 @@ pub struct CampaignSpec {
     /// Analyzer passes each home runs (dependencies are added
     /// automatically). Defaults to [`POPULATION_PASSES`].
     pub passes: Vec<PassId>,
+    /// Per-mille of homes whose IoT devices sit behind a 6LoWPAN border
+    /// router instead of directly on Ethernet (0 = the pre-mesh,
+    /// Ethernet-only population; 1000 = every home meshed). The draw
+    /// uses each home's own seed, so home `i`'s topology is independent
+    /// of campaign size and worker count.
+    pub mesh_per_mille: u32,
     /// Chaos injection: home indices whose runner deliberately panics
     /// before simulating, exercising the pool's crash isolation. Empty
     /// in every real campaign; populated by `--chaos-home` and the
@@ -78,9 +84,17 @@ impl Default for CampaignSpec {
             mix: NetworkConfig::ALL.iter().map(|c| (*c, 1)).collect(),
             duration_s: 420,
             passes: POPULATION_PASSES.to_vec(),
+            mesh_per_mille: 0,
             chaos_panic_homes: Vec::new(),
         }
     }
+}
+
+/// Does home `home_seed` of a campaign run the mesh topology? The draw
+/// step (4) is disjoint from the planner's config/count/subsample draws
+/// (1–3), so adding the mesh axis moves no existing draw.
+pub fn home_is_mesh(home_seed: u64, mesh_per_mille: u32) -> bool {
+    v6brick_fleet::seed::home_seed(home_seed, 4) % 1000 < u64::from(mesh_per_mille)
 }
 
 /// What survives of a home once its simulation ends: the per-device
@@ -98,7 +112,24 @@ fn simulate_home(
     home: HomeSpec<NetworkConfig>,
     duration: SimTime,
     passes: &[PassId],
+    mesh_per_mille: u32,
 ) -> HomeResult {
+    if home_is_mesh(home.seed, mesh_per_mille) {
+        let mesh = scenario::run_mesh_home(
+            scratch,
+            home.config,
+            &home.profiles,
+            home.seed,
+            duration,
+            passes,
+        );
+        return HomeResult {
+            config_label: mesh.run.config.mesh_label(),
+            devices: mesh.run.analysis.devices,
+            functional: mesh.run.functional,
+            frames: mesh.run.frames,
+        };
+    }
     let run = scenario::run_home(
         scratch,
         home.config,
@@ -162,7 +193,7 @@ fn run_range(spec: &CampaignSpec, start: u64, end: u64) -> (PopulationReport, Ve
                 home.index,
                 home.seed
             );
-            simulate_home(scratch, home, duration, &spec.passes)
+            simulate_home(scratch, home, duration, &spec.passes, spec.mesh_per_mille)
         },
         || PopulationReport::new(spec.seed),
         |partial, _index, home| {
@@ -215,6 +246,11 @@ pub fn fingerprint(spec: &CampaignSpec) -> Fingerprint {
     }
     for pass in &spec.passes {
         let _ = write!(desc, "pass={pass:?};");
+    }
+    // Appended only when set, so pre-mesh checkpoints stay resumable:
+    // an Ethernet-only spec hashes exactly as it did before the axis.
+    if spec.mesh_per_mille > 0 {
+        let _ = write!(desc, "mesh={};", spec.mesh_per_mille);
     }
     for home in &spec.chaos_panic_homes {
         let _ = write!(desc, "chaos={home};");
@@ -420,7 +456,7 @@ mod tests {
         let mut clean = PopulationReport::new(spec.seed);
         let mut scratch = ZoneCache::new();
         for home in plans.into_iter().filter(|h| h.index != 2) {
-            let r = simulate_home(&mut scratch, home, duration, &spec.passes);
+            let r = simulate_home(&mut scratch, home, duration, &spec.passes, 0);
             clean.absorb_home(r.config_label, &r.devices, &r.functional, r.frames);
         }
         assert_eq!(

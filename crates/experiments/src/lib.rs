@@ -19,6 +19,7 @@ pub mod config;
 pub mod enterprise;
 pub mod figures;
 pub mod fleet;
+pub mod mesh;
 pub mod portscan;
 pub mod reachability;
 pub mod render;

@@ -27,7 +27,7 @@ use v6brick_net::ipv6::Cidr;
 use v6brick_net::Mac;
 use v6brick_sim::event::SimTime;
 use v6brick_sim::internet::{DomainProfile, Internet, ZoneDb};
-use v6brick_sim::{addrs, FaultPlan, Router, SimulationBuilder};
+use v6brick_sim::{addrs, BorderRouter, FaultPlan, Host, Router, SimulationBuilder};
 
 /// How long each connectivity experiment runs (virtual time). Long enough
 /// for boot, addressing, resolution, rendezvous, and several telemetry
@@ -285,6 +285,194 @@ pub fn run_captured<P: Borrow<DeviceProfile>>(
     }
 }
 
+/// The outcome of one mesh-home experiment: the ordinary run (attributed
+/// to leaf devices via the mesh capture) plus the border-router
+/// accounting the Ethernet topology never produces.
+pub struct MeshRun {
+    /// The ordinary experiment outcome.
+    pub run: ExperimentRun,
+    /// 802.15.4 frames the border router put on the air.
+    pub mesh_frames: u64,
+    /// Leaf IPv4/ARP frames refused transit by the v6-only mesh.
+    pub dropped_v4_frames: u64,
+    /// IPv6 packets forwarded mesh → Ethernet.
+    pub forwarded_up: u64,
+    /// IPv6 packets forwarded Ethernet → mesh.
+    pub forwarded_down: u64,
+    /// Ethernet→mesh unicasts with no learned leaf route.
+    pub no_route_drops: u64,
+    /// IPv6 → leaf-MAC bindings recovered from the mesh capture.
+    pub mesh_bindings: u64,
+    /// Mesh frames/datagrams any decode stage dropped.
+    pub mesh_decode_errors: u64,
+    /// The mesh-side 802.15.4 capture, when the caller kept it.
+    pub mesh_capture: Option<v6brick_pcap::Capture>,
+}
+
+/// Run one experiment with every IoT device behind a 6LoWPAN border
+/// router instead of directly on the Ethernet LAN — the second
+/// link-layer scenario family. Full duration, all passes, mesh capture
+/// retained (for pcap export and interop tests).
+pub fn run_mesh<P: Borrow<DeviceProfile>>(
+    config: NetworkConfig,
+    profiles: &[P],
+    base_seed: u64,
+) -> MeshRun {
+    execute_mesh(
+        config,
+        profiles,
+        base_seed,
+        EXPERIMENT_DURATION,
+        &PassId::ALL,
+        true,
+        None,
+    )
+}
+
+/// The fleet pool's mesh-home runner: like [`run_home`] but with the
+/// devices behind a border router. The mesh capture is walked for
+/// attribution bindings and then dropped — nothing `O(frames)` outlives
+/// the home.
+pub fn run_mesh_home<P: Borrow<DeviceProfile>>(
+    cache: &mut ZoneCache,
+    config: NetworkConfig,
+    profiles: &[P],
+    base_seed: u64,
+    duration: SimTime,
+    passes: &[PassId],
+) -> MeshRun {
+    execute_mesh(
+        config,
+        profiles,
+        base_seed,
+        duration,
+        passes,
+        false,
+        Some(cache),
+    )
+}
+
+/// The mesh twin of [`execute`]. Unlike the Ethernet path this one runs
+/// in two phases — simulate with a buffered LAN capture, then analyze —
+/// because the attribution bindings come from *decoding the mesh
+/// capture* (802.15.4 framing → RFC 4944 reassembly → IPHC), and the
+/// analyzer needs them installed before it sees the first frame. The
+/// Ethernet path keeps its streaming analyzer and is byte-identical to
+/// before the mesh family existed.
+fn execute_mesh<P: Borrow<DeviceProfile>>(
+    config: NetworkConfig,
+    profiles: &[P],
+    base_seed: u64,
+    duration: SimTime,
+    passes: &[PassId],
+    keep_mesh_capture: bool,
+    zone_cache: Option<&mut ZoneCache>,
+) -> MeshRun {
+    let zones = match zone_cache {
+        Some(cache) => cache.zones_for(profiles),
+        None => build_zones(profiles),
+    };
+    let internet = Internet::new(zones);
+    let router = Router::new(config.router_config());
+    let mut b = SimulationBuilder::new(router, internet);
+
+    let sim_seed = base_seed ^ config as u64;
+    let mut leaves: Vec<Box<dyn Host>> = Vec::with_capacity(profiles.len());
+    let mut device_ids = Vec::with_capacity(profiles.len());
+    for p in profiles {
+        let p = p.borrow();
+        leaves.push(Box::new(IotDevice::new(p.clone())));
+        device_ids.push((p.id.clone(), p.mac));
+    }
+    let br_id = b.add_host(Box::new(BorderRouter::new(sim_seed, leaves)));
+    let pixel = b.add_host(Box::new(Phone::pixel7()));
+    let iphone = b.add_host(Box::new(Phone::iphone_x()));
+
+    let mut sim = b.seed(sim_seed).capture(true).build();
+    sim.run_until(duration);
+    let lan_capture = sim.take_capture();
+
+    // Phase 2: recover leaf identity from the mesh air, then walk the
+    // LAN capture with the bindings installed.
+    let br = sim
+        .host_mut(br_id)
+        .as_any_mut()
+        .downcast_mut::<BorderRouter>()
+        .expect("host is the border router");
+    let mesh_capture = br.take_mesh_capture();
+    let (mesh_frames, dropped_v4, fwd_up, fwd_down, no_route) = (
+        br.mesh_frames,
+        br.dropped_v4_frames,
+        br.forwarded_up,
+        br.forwarded_down,
+        br.no_route_drops,
+    );
+    let mut functional = BTreeMap::new();
+    for (idx, (id, _)) in device_ids.iter().enumerate() {
+        let dev = br
+            .leaf(idx)
+            .as_any()
+            .downcast_ref::<IotDevice>()
+            .expect("leaf is a device");
+        functional.insert(id.clone(), dev.is_functional());
+    }
+
+    let bindings = v6brick_core::bindings_from_mesh_capture(&mesh_capture, &lan_prefix());
+    let macs: Vec<(Mac, String)> = device_ids
+        .iter()
+        .map(|(id, mac)| (*mac, id.clone()))
+        .collect();
+    let mut analyzer = StreamingAnalyzer::with_passes(&macs, lan_prefix(), passes);
+    for (addr, mac) in &bindings.by_addr {
+        // The border router's own mesh-local address resolves to no
+        // device and binds nothing — exactly what we want.
+        analyzer.add_mesh_binding(*addr, *mac);
+    }
+    for pkt in lan_capture.iter() {
+        analyzer.feed(pkt.timestamp_us, &pkt.data);
+    }
+    let frames = analyzer.frames_fed();
+    let analysis = analyzer.finish();
+
+    let phones_ok = [pixel, iphone].iter().all(|h| {
+        sim.host(*h)
+            .as_any()
+            .downcast_ref::<Phone>()
+            .map(|p| p.network_ok())
+            .unwrap_or(false)
+    });
+    let neighbors_v6 = sim.router().neighbor_table_v6();
+
+    MeshRun {
+        run: ExperimentRun {
+            config,
+            analysis,
+            functional,
+            phones_ok,
+            neighbors_v6,
+            frames,
+        },
+        mesh_frames,
+        dropped_v4_frames: dropped_v4,
+        forwarded_up: fwd_up,
+        forwarded_down: fwd_down,
+        no_route_drops: no_route,
+        mesh_bindings: analyzer_bindings(&bindings),
+        mesh_decode_errors: bindings.decode_errors,
+        mesh_capture: keep_mesh_capture.then_some(mesh_capture),
+    }
+}
+
+/// How many of the recovered bindings name an actual leaf (the border
+/// router's own addresses are excluded by the analyzer, so count them
+/// the same way here).
+fn analyzer_bindings(b: &v6brick_core::MeshBindings) -> u64 {
+    b.by_addr
+        .values()
+        .filter(|m| **m != addrs::BORDER_ROUTER_MAC)
+        .count() as u64
+}
+
 /// [`run_scoped`] under an injected [`FaultPlan`]: the same build and
 /// measurement path, plus the devices' family-switch logs and the
 /// engine's fault counters for Table 9-style outage reporting.
@@ -479,6 +667,41 @@ mod tests {
         // But in IPv4-only it works.
         let run4 = run_with_profiles(NetworkConfig::Ipv4Only, &profiles(&["wyze_cam"]));
         assert_eq!(run4.functional.get("wyze_cam"), Some(&true));
+    }
+
+    #[test]
+    fn mesh_home_attributes_leaves_and_v6_device_works() {
+        let mesh = run_mesh(
+            NetworkConfig::Ipv6Only,
+            &profiles(&["google_home_mini"]),
+            0x6b1c_0000,
+        );
+        assert!(mesh.run.phones_ok, "phones live on Ethernet, unaffected");
+        assert_eq!(mesh.run.functional.get("google_home_mini"), Some(&true));
+        assert!(mesh.mesh_frames > 0, "traffic crossed the mesh air");
+        assert!(mesh.mesh_bindings >= 1, "leaf addresses recovered");
+        assert_eq!(mesh.mesh_decode_errors, 0);
+        assert!(mesh.forwarded_up > 0 && mesh.forwarded_down > 0);
+        let o = mesh.run.analysis.device("google_home_mini").unwrap();
+        assert!(o.dns_over_v6(), "DNS attributed to the leaf, not the BR");
+        assert!(o.v6_internet_data(), "data attributed to the leaf");
+        let cap = mesh.mesh_capture.expect("run_mesh keeps the mesh capture");
+        assert!(!cap.is_empty());
+    }
+
+    #[test]
+    fn v4_dependent_device_bricks_behind_the_mesh() {
+        // On Ethernet this device works over IPv4; the v6-only mesh
+        // refuses its DHCPv4/ARP frames at the border, so it bricks even
+        // with IPv4 service on the router — the readiness delta the mesh
+        // family measures.
+        let mesh = run_mesh(
+            NetworkConfig::Ipv4Only,
+            &profiles(&["wyze_cam"]),
+            0x6b1c_0000,
+        );
+        assert_eq!(mesh.run.functional.get("wyze_cam"), Some(&false));
+        assert!(mesh.dropped_v4_frames > 0);
     }
 
     #[test]

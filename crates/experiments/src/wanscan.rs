@@ -41,7 +41,8 @@ use v6brick_net::ipv4::{self, Protocol};
 use v6brick_net::udp::PseudoHeader;
 use v6brick_net::{icmpv6, ipv6, tcp, udp};
 use v6brick_sim::{
-    addrs, FirewallPolicy, Internet, Router, SimTime, Simulation, SimulationBuilder,
+    addrs, BorderRouter, FirewallPolicy, Host, Internet, Router, SimTime, Simulation,
+    SimulationBuilder,
 };
 
 /// The scanner's source address: a documentation-range GUA well outside
@@ -83,6 +84,15 @@ pub struct WanScanSpec {
     pub plan: ScanPlan,
     /// Virtual seconds the home runs before the scan starts.
     pub settle_s: u64,
+    /// Per-mille of homes whose devices sit behind a 6LoWPAN border
+    /// router instead of directly on the Ethernet LAN. Meshed leaves
+    /// still SLAAC GUAs out of the LAN /64 (the border router forwards
+    /// the RAs), so the passive observations — and therefore the hitlist
+    /// — gain BR-derived mesh addresses, and inbound probes measure
+    /// whether the firewall *and* the border router let a scanner reach
+    /// them. `0` (the default) reproduces the pre-mesh campaign byte for
+    /// byte.
+    pub mesh_per_mille: u32,
 }
 
 impl Default for WanScanSpec {
@@ -103,6 +113,7 @@ impl Default for WanScanSpec {
             policies: FirewallPolicy::ALL.to_vec(),
             plan: ScanPlan::wan(),
             settle_s: 90,
+            mesh_per_mille: 0,
         }
     }
 }
@@ -237,22 +248,38 @@ fn probe_wave(sim: &mut Simulation, probes: Vec<Vec<u8>>, until: SimTime, replie
 }
 
 /// Scan one home under one firewall policy, folding target rows and
-/// hitlist stats into `out`.
+/// hitlist stats into `out`. With `mesh` set, every device sits behind
+/// a 6LoWPAN border router: the scanner's passive observations, hitlist
+/// extrapolation, and probes all see leaf GUAs that only exist on the
+/// Ethernet side because the border router decompressed and forwarded
+/// them.
 fn scan_policy(
     home: &HomeSpec<NetworkConfig>,
     policy: FirewallPolicy,
     plan: &ScanPlan,
     settle: SimTime,
+    mesh: bool,
     out: &mut HomeScanOutcome,
 ) {
     let router = Router::new(home.config.router_config_with(policy));
     let internet = Internet::new(scenario::build_zones(&home.profiles));
     let mut b = SimulationBuilder::new(router, internet);
+    let sim_seed = home.seed ^ home.config as u64;
     let mut hosts = Vec::with_capacity(home.profiles.len());
-    for p in &home.profiles {
-        hosts.push(b.add_host(Box::new(IotDevice::new((*p).clone()))));
+    let mut br_host = None;
+    if mesh {
+        let leaves: Vec<Box<dyn Host>> = home
+            .profiles
+            .iter()
+            .map(|p| Box::new(IotDevice::new((*p).clone())) as Box<dyn Host>)
+            .collect();
+        br_host = Some(b.add_host(Box::new(BorderRouter::new(sim_seed, leaves))));
+    } else {
+        for p in &home.profiles {
+            hosts.push(b.add_host(Box::new(IotDevice::new((*p).clone()))));
+        }
     }
-    let mut sim = b.seed(home.seed ^ home.config as u64).build();
+    let mut sim = b.seed(sim_seed).build();
     sim.internet_mut().attach_scanner(scanner_addr());
 
     // Phase 1: the home lives its normal life while the internet side
@@ -262,15 +289,34 @@ fn scan_policy(
     // Ground truth (never shown to the scanner): every global address a
     // device holds, with its category and addressing mode.
     let mut truth: BTreeMap<Ipv6Addr, (String, String)> = BTreeMap::new();
-    for &h in &hosts {
-        let dev = sim
-            .host(h)
-            .as_any()
-            .downcast_ref::<IotDevice>()
-            .expect("host is a device");
+    let absorb_truth = |dev: &IotDevice, truth: &mut BTreeMap<Ipv6Addr, (String, String)>| {
         let category = dev.profile().category.label();
         for (addr, mode) in dev.gua_inventory() {
             truth.insert(addr, (category.to_string(), mode.to_string()));
+        }
+    };
+    if let Some(br_id) = br_host {
+        let br = sim
+            .host(br_id)
+            .as_any()
+            .downcast_ref::<BorderRouter>()
+            .expect("host is the border router");
+        for idx in 0..br.leaf_count() {
+            let dev = br
+                .leaf(idx)
+                .as_any()
+                .downcast_ref::<IotDevice>()
+                .expect("leaf is a device");
+            absorb_truth(dev, &mut truth);
+        }
+    } else {
+        for &h in &hosts {
+            let dev = sim
+                .host(h)
+                .as_any()
+                .downcast_ref::<IotDevice>()
+                .expect("host is a device");
+            absorb_truth(dev, &mut truth);
         }
     }
 
@@ -359,13 +405,14 @@ pub fn scan_home(
     policies: &[FirewallPolicy],
     plan: &ScanPlan,
     settle: SimTime,
+    mesh: bool,
 ) -> HomeScanOutcome {
     let mut out = HomeScanOutcome {
         devices: home.profiles.len() as u64,
         ..Default::default()
     };
     for &policy in policies {
-        scan_policy(home, policy, plan, settle, &mut out);
+        scan_policy(home, policy, plan, settle, mesh, &mut out);
     }
     out
 }
@@ -380,10 +427,14 @@ pub fn run(spec: &WanScanSpec) -> ExposureReport {
     let policies = spec.policies.clone();
     let plan = spec.plan.clone();
     let settle = SimTime::from_secs(spec.settle_s);
+    let mesh_per_mille = spec.mesh_per_mille;
     let (mut report, failures) = run_indexed_outcomes(
         plans,
         spec.workers,
-        move |home| scan_home(&home, &policies, &plan, settle),
+        move |home| {
+            let mesh = crate::fleet::home_is_mesh(home.seed, mesh_per_mille);
+            scan_home(&home, &policies, &plan, settle, mesh)
+        },
         ExposureReport::new(spec.seed),
         |report, _index, outcome| report.absorb_home(&outcome),
     );
@@ -485,6 +536,7 @@ mod tests {
             &FirewallPolicy::ALL,
             &ScanPlan::wan(),
             SimTime::from_secs(45),
+            false,
         );
         assert_eq!(outcome.devices, 2);
 
@@ -525,6 +577,7 @@ mod tests {
             &FirewallPolicy::ALL,
             &ScanPlan::wan(),
             SimTime::from_secs(45),
+            false,
         );
         let stats: BTreeMap<&str, &HitlistStats> = outcome
             .hitlist
@@ -540,5 +593,44 @@ mod tests {
         // But the firewall decides who answers.
         assert_eq!(deny.responsive, 0);
         assert!(open.truth_addrs > 0);
+    }
+
+    #[test]
+    fn meshed_home_exposes_leaf_guas_through_the_border_router() {
+        // Devices that actually move Internet traffic over IPv6 — the
+        // passive tap has to see them for the hitlist to have anything
+        // to extrapolate from.
+        let home = one_home(
+            &["google_home_mini", "echo_show_5"],
+            NetworkConfig::Ipv6Only,
+        );
+        let meshed = scan_home(
+            &home,
+            &FirewallPolicy::ALL,
+            &ScanPlan::wan(),
+            SimTime::from_secs(90),
+            true,
+        );
+        let stats: BTreeMap<&str, &HitlistStats> = meshed
+            .hitlist
+            .iter()
+            .map(|(p, h)| (p.as_str(), h))
+            .collect();
+        let open = stats["open"];
+        // Leaf GUAs are real ground truth even though the leaves only
+        // touch the Ethernet through the border router's forwarding...
+        assert!(open.truth_addrs > 0, "meshed leaves still hold GUAs");
+        // ...the scanner's passive tap observed them (the BR forwarded
+        // their flows), so the hitlist extrapolation covers them...
+        assert!(open.covered > 0, "hitlist must cover BR-derived GUAs");
+        // ...and under the open policy a WAN probe crosses the tunnel,
+        // the LAN, *and* the mesh, and comes back.
+        assert!(
+            open.responsive > 0,
+            "leaves behind the border router must answer WAN probes under the open policy"
+        );
+        // Default-deny still blocks everything — the border router is a
+        // transit, not a firewall bypass.
+        assert_eq!(stats["default-deny"].responsive, 0);
     }
 }

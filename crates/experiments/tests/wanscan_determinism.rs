@@ -45,7 +45,7 @@ fn merged_shards_equal_one_campaign() {
             homes,
             2,
             |home: v6brick_fleet::HomeSpec<_>| {
-                wanscan::scan_home(&home, &s.policies, &s.plan, settle)
+                wanscan::scan_home(&home, &s.policies, &s.plan, settle, false)
             },
             ExposureReport::new(s.seed),
             |report, _i, outcome| report.absorb_home(&outcome),
@@ -73,5 +73,40 @@ fn policy_lattice_holds_per_cell() {
         report.monotonic_violations(),
         Vec::<String>::new(),
         "a stricter firewall policy may never expose more than a looser one"
+    );
+}
+
+/// The mesh axis keeps every determinism and lattice guarantee: a
+/// campaign where some homes sit behind 6LoWPAN border routers must
+/// serialize byte-identically across worker counts and reruns, and the
+/// firewall lattice must hold through the extra transit hop.
+#[test]
+fn mesh_campaign_is_deterministic_and_lattice_clean() {
+    let mesh_spec = |workers: usize| WanScanSpec {
+        mesh_per_mille: 500,
+        ..spec(workers)
+    };
+    let serial = wanscan::run(&mesh_spec(1));
+    let parallel = wanscan::run(&mesh_spec(3));
+    assert_eq!(
+        serde_json::to_string(&serial).unwrap(),
+        serde_json::to_string(&parallel).unwrap(),
+        "mesh report must not depend on worker count"
+    );
+    assert!(serial.failures.is_empty(), "no meshed home may crash");
+    assert_eq!(serial.monotonic_violations(), Vec::<String>::new());
+
+    // And the axis is real: an all-mesh campaign diverges from the
+    // all-Ethernet one (the border router refuses v4 and re-times v6),
+    // while per_mille=0 reproduces the pre-mesh bytes exactly.
+    let ethernet = wanscan::run(&spec(2));
+    let zero = wanscan::run(&WanScanSpec {
+        mesh_per_mille: 0,
+        ..spec(2)
+    });
+    assert_eq!(
+        serde_json::to_string(&ethernet).unwrap(),
+        serde_json::to_string(&zero).unwrap(),
+        "mesh_per_mille=0 must be byte-identical to the pre-mesh campaign"
     );
 }

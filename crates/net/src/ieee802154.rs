@@ -1,0 +1,219 @@
+//! IEEE 802.15.4 data frames, as used by the 6LoWPAN mesh sub-network.
+//!
+//! The mesh scenario family only ever exchanges one frame shape: a data
+//! frame with PAN-ID compression and extended (64-bit) addressing on both
+//! ends, captured without the trailing FCS (pcapng
+//! `LINKTYPE_IEEE802_15_4_NOFCS`). That pins the header at a fixed 21
+//! bytes — FCF (2) + sequence (1) + destination PAN id (2) + destination
+//! extended address (8) + source extended address (8) — and leaves
+//! [`MAX_PAYLOAD`] bytes of the 127-byte PHY MTU for the 6LoWPAN payload.
+//!
+//! One deliberate simplification, shared with [`crate::sixlowpan`]: the
+//! extended address we put on the air *is* the modified EUI-64 interface
+//! identifier ([`Mac::to_eui64`], U/L bit already flipped), not the raw
+//! EUI-64 that RFC 4944 would flip during IID derivation. This keeps the
+//! elided-address mapping an exact byte match in both directions and lets
+//! the analyzer recover the leaf MAC with [`Mac::from_eui64`].
+
+use crate::error::{Error, Result};
+use crate::mac::Mac;
+
+/// Fixed header length of the one frame shape we emit (see module docs).
+pub const HEADER_LEN: usize = 21;
+
+/// IEEE 802.15.4 PHY-layer MTU.
+pub const MTU: usize = 127;
+
+/// Payload budget left by the fixed header; 6LoWPAN fragments to this.
+pub const MAX_PAYLOAD: usize = MTU - HEADER_LEN;
+
+/// The broadcast extended address (link-local multicast on the mesh).
+pub const BROADCAST: [u8; 8] = [0xff; 8];
+
+/// Frame control field for our fixed shape: data frame, security off,
+/// PAN-ID compression, extended addressing both ends, frame version 1.
+const FCF: u16 = 0b001           // frame type: data
+    | 1 << 6                     // PAN-ID compression
+    | 0b11 << 10                 // destination addressing: extended
+    | 0b01 << 12                 // frame version: IEEE 802.15.4-2006
+    | 0b11 << 14; // source addressing: extended
+
+/// A view over an 802.15.4 data frame.
+#[derive(Debug)]
+pub struct Frame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Frame<T> {
+    /// Wrap a buffer after validating length and the frame control field.
+    pub fn new_checked(buffer: T) -> Result<Frame<T>> {
+        let b = buffer.as_ref();
+        if b.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        if b.len() > MTU {
+            return Err(Error::Malformed);
+        }
+        if u16::from_le_bytes([b[0], b[1]]) != FCF {
+            // Anything but our one fixed shape (beacon/ack/command frames,
+            // short addressing, security headers) is out of model.
+            return Err(Error::Unsupported);
+        }
+        Ok(Frame { buffer })
+    }
+
+    /// Sequence number.
+    pub fn seq(&self) -> u8 {
+        self.buffer.as_ref()[2]
+    }
+
+    /// Destination PAN identifier.
+    pub fn pan_id(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_le_bytes([b[3], b[4]])
+    }
+
+    /// Destination extended address, in EUI-64 byte order.
+    pub fn dst(&self) -> [u8; 8] {
+        addr_at(self.buffer.as_ref(), 5)
+    }
+
+    /// Source extended address, in EUI-64 byte order.
+    pub fn src(&self) -> [u8; 8] {
+        addr_at(self.buffer.as_ref(), 13)
+    }
+
+    /// MAC payload (the 6LoWPAN bytes).
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..]
+    }
+}
+
+/// 802.15.4 transmits addresses least-significant byte first; we keep the
+/// EUI-64 order everywhere else, so reverse at the wire boundary.
+fn addr_at(b: &[u8], off: usize) -> [u8; 8] {
+    let mut a = [0u8; 8];
+    for (i, byte) in a.iter_mut().enumerate() {
+        *byte = b[off + 7 - i];
+    }
+    a
+}
+
+/// Owned representation of a data frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    /// Sequence number.
+    pub seq: u8,
+    /// Destination PAN identifier.
+    pub pan_id: u16,
+    /// Destination extended address (EUI-64 order; `BROADCAST` floods).
+    pub dst: [u8; 8],
+    /// Source extended address (EUI-64 order).
+    pub src: [u8; 8],
+}
+
+impl Repr {
+    /// Parse from a checked view.
+    pub fn parse<T: AsRef<[u8]>>(frame: &Frame<T>) -> Repr {
+        Repr {
+            seq: frame.seq(),
+            pan_id: frame.pan_id(),
+            dst: frame.dst(),
+            src: frame.src(),
+        }
+    }
+
+    /// Parse straight from bytes.
+    pub fn parse_bytes(bytes: &[u8]) -> Result<Repr> {
+        Ok(Repr::parse(&Frame::new_checked(bytes)?))
+    }
+
+    /// Serialize header + payload. The caller is responsible for having
+    /// fragmented `payload` down to [`MAX_PAYLOAD`] bytes.
+    pub fn build(&self, payload: &[u8]) -> Vec<u8> {
+        debug_assert!(payload.len() <= MAX_PAYLOAD);
+        let mut b = Vec::with_capacity(HEADER_LEN + payload.len());
+        b.extend_from_slice(&FCF.to_le_bytes());
+        b.push(self.seq);
+        b.extend_from_slice(&self.pan_id.to_le_bytes());
+        b.extend(self.dst.iter().rev());
+        b.extend(self.src.iter().rev());
+        b.extend_from_slice(payload);
+        b
+    }
+
+    /// The leaf MAC behind a mesh extended address, if it is an EUI-64.
+    pub fn src_mac(&self) -> Option<Mac> {
+        Mac::from_eui64(&self.src)
+    }
+
+    /// Is the destination the mesh broadcast address?
+    pub fn is_broadcast(&self) -> bool {
+        self.dst == BROADCAST
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let r = Repr {
+            seq: 7,
+            pan_id: 0xb1c0,
+            dst: [1, 2, 3, 4, 5, 6, 7, 8],
+            src: Mac::new(2, 0x52, 0x54, 0, 0xaa, 1).to_eui64(),
+        };
+        let bytes = r.build(b"lowpan payload");
+        let f = Frame::new_checked(&bytes[..]).unwrap();
+        assert_eq!(Repr::parse(&f), r);
+        assert_eq!(f.payload(), b"lowpan payload");
+        assert_eq!(
+            r.src_mac().unwrap(),
+            Mac::new(2, 0x52, 0x54, 0, 0xaa, 1),
+            "extended address must invert back to the leaf MAC"
+        );
+    }
+
+    #[test]
+    fn wire_addresses_are_little_endian() {
+        // The reversal is load-bearing: real dissectors expect LSB-first.
+        let r = Repr {
+            seq: 0,
+            pan_id: 0,
+            dst: [0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88],
+            src: BROADCAST,
+        };
+        let bytes = r.build(&[]);
+        assert_eq!(
+            &bytes[5..13],
+            &[0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11]
+        );
+    }
+
+    #[test]
+    fn rejects_truncation_and_foreign_shapes() {
+        assert_eq!(
+            Frame::new_checked(&[0u8; 20][..]).unwrap_err(),
+            Error::Truncated
+        );
+        let mut bytes = Repr {
+            seq: 1,
+            pan_id: 2,
+            dst: BROADCAST,
+            src: BROADCAST,
+        }
+        .build(&[]);
+        bytes[0] = 0; // beacon-ish FCF
+        assert_eq!(
+            Frame::new_checked(&bytes[..]).unwrap_err(),
+            Error::Unsupported
+        );
+        let oversized = [0u8; MTU + 1];
+        assert_eq!(
+            Frame::new_checked(&oversized[..]).unwrap_err(),
+            Error::Malformed
+        );
+    }
+}

@@ -4,7 +4,9 @@
 //! Typed, checked packet views and owned representations for every protocol
 //! the IMC'24 smart-home testbed exchanges on the wire:
 //!
-//! * Layer 2: Ethernet II ([`ethernet`]), ARP ([`arp`])
+//! * Layer 2: Ethernet II ([`ethernet`]), ARP ([`arp`]), IEEE 802.15.4
+//!   data frames ([`ieee802154`]) with the 6LoWPAN adaptation layer
+//!   ([`sixlowpan`]: RFC 6282 IPHC/NHC compression, RFC 4944 fragmentation)
 //! * Layer 3: IPv4 ([`ipv4`]), IPv6 ([`ipv6`]) with the full address
 //!   taxonomy the paper relies on (GUA / ULA / LLA, EUI-64 detection)
 //! * Layer 4: UDP ([`udp`]), TCP ([`tcp`])
@@ -39,11 +41,13 @@ pub mod error;
 pub mod ethernet;
 pub mod icmpv4;
 pub mod icmpv6;
+pub mod ieee802154;
 pub mod ipv4;
 pub mod ipv6;
 pub mod mac;
 pub mod ndp;
 pub mod parse;
+pub mod sixlowpan;
 pub mod tcp;
 pub mod tls;
 pub mod udp;

@@ -1,0 +1,741 @@
+//! 6LoWPAN adaptation layer: RFC 6282 IPHC header compression (with NHC
+//! for UDP) and RFC 4944 FRAG1/FRAGN fragmentation + reassembly.
+//!
+//! This is the second frame format of the pipeline. A mesh leaf's IPv6
+//! packet is compressed into an IPHC payload, fragmented to the 802.15.4
+//! payload budget, and carried in [`crate::ieee802154`] data frames; the
+//! border router (and the analyzer's attribution pass) reassembles and
+//! decompresses to recover the exact [`ipv6::Repr`] + payload.
+//!
+//! Scope and simplifications, all deliberate and documented:
+//!
+//! * **TF always elided.** Our [`ipv6::Repr`] carries no traffic class or
+//!   flow label, so the compressor always emits `TF = 11`; the
+//!   decompressor still consumes (and discards) inline TF bytes so
+//!   foreign inputs stay typed rather than panicking.
+//! * **One compression context.** Context ID 0 holds the home's routed
+//!   /64 (the LAN prefix mesh leaves SLAAC into); `CID` is never set.
+//! * **IID = link-layer address.** The 802.15.4 extended address is the
+//!   modified EUI-64 itself (see [`crate::ieee802154`] module docs), so
+//!   fully-elided addresses are an exact byte match against it.
+//! * **UDP checksum carried inline.** NHC's checksum-elision bit stays
+//!   0 — the analysis pipeline verifies end-to-end checksums, so the
+//!   compressor never discards them.
+//! * **Fragmentation counts compressed bytes.** RFC 4944's
+//!   `datagram_size` names the *uncompressed* IPv6 datagram; we fragment
+//!   the compressed IPHC stream and size/offset over those bytes. Both
+//!   ends of the simulation (and the analyzer) share this framing, and it
+//!   keeps reassembly a pure byte-level concern below the decompressor.
+
+use crate::error::{Error, Result};
+use crate::ipv6::{self, Cidr};
+use crate::udp;
+use std::collections::HashMap;
+use std::net::Ipv6Addr;
+
+/// Reassembly gives up on a partial datagram after this long (RFC 4944
+/// allows up to 60 s; the mesh round-trips are milliseconds).
+pub const REASSEMBLY_TIMEOUT_US: u64 = 15_000_000;
+
+/// Largest datagram the 11-bit FRAG size field can describe.
+pub const MAX_DATAGRAM: usize = 2047;
+
+const DISPATCH_IPHC: u8 = 0b0110_0000;
+const DISPATCH_FRAG1: u8 = 0b1100_0000;
+const DISPATCH_FRAGN: u8 = 0b1110_0000;
+const DISPATCH_NHC_UDP: u8 = 0b1111_0000;
+
+const LINK_LOCAL: [u8; 8] = [0xfe, 0x80, 0, 0, 0, 0, 0, 0];
+
+/// Does this payload start an IPHC-compressed datagram?
+pub fn is_iphc(payload: &[u8]) -> bool {
+    payload
+        .first()
+        .is_some_and(|b| b & 0b1110_0000 == DISPATCH_IPHC)
+}
+
+/// Does this payload start a FRAG1/FRAGN fragment?
+pub fn is_fragment(payload: &[u8]) -> bool {
+    payload
+        .first()
+        .is_some_and(|b| b & 0b1111_1000 == DISPATCH_FRAG1 || b & 0b1111_1000 == DISPATCH_FRAGN)
+}
+
+// ---------------------------------------------------------------------------
+// IPHC compression
+// ---------------------------------------------------------------------------
+
+fn iid_matches(addr: Ipv6Addr, ll: &[u8; 8]) -> bool {
+    addr.octets()[8..16] == ll[..]
+}
+
+fn is_16bit_iid(addr: Ipv6Addr) -> bool {
+    addr.octets()[8..14] == [0, 0, 0, 0xff, 0xfe, 0]
+}
+
+/// Pick the (AC, AM, inline bytes) encoding for a unicast address.
+fn compress_unicast(addr: Ipv6Addr, ll: &[u8; 8], ctx: Option<&Cidr>) -> (u8, u8, Vec<u8>) {
+    let o = addr.octets();
+    let stateless = o[..8] == LINK_LOCAL;
+    let stateful = ctx.is_some_and(|c| c.prefix_len == 64 && c.contains(addr));
+    let ac = if stateless {
+        0u8
+    } else if stateful {
+        1u8
+    } else {
+        return (0, 0b00, o.to_vec()); // full 128 bits inline
+    };
+    if iid_matches(addr, ll) {
+        (ac, 0b11, Vec::new())
+    } else if is_16bit_iid(addr) {
+        (ac, 0b10, o[14..16].to_vec())
+    } else {
+        (ac, 0b01, o[8..16].to_vec())
+    }
+}
+
+/// Pick the (DAM, inline bytes) encoding for a multicast destination.
+fn compress_multicast(addr: Ipv6Addr) -> (u8, Vec<u8>) {
+    let o = addr.octets();
+    if o[1] == 0x02 && o[2..15] == [0u8; 13] {
+        (0b11, vec![o[15]])
+    } else if o[2..13] == [0u8; 11] {
+        (0b10, vec![o[1], o[13], o[14], o[15]])
+    } else if o[2..11] == [0u8; 9] {
+        (0b01, vec![o[1], o[11], o[12], o[13], o[14], o[15]])
+    } else {
+        (0b00, o.to_vec())
+    }
+}
+
+/// Compress an IPv6 packet into an IPHC payload.
+///
+/// `payload` is the IPv6 payload (e.g. a full UDP datagram, an ICMPv6
+/// body); `ll_src`/`ll_dst` are the 802.15.4 extended addresses the frame
+/// will travel between; `ctx` is compression context 0 (the home /64).
+/// The returned bytes are what rides inside 802.15.4 frames, possibly
+/// after [`fragment`]ing.
+pub fn compress(
+    ip: &ipv6::Repr,
+    payload: &[u8],
+    ll_src: &[u8; 8],
+    ll_dst: &[u8; 8],
+    ctx: Option<&Cidr>,
+) -> Vec<u8> {
+    // NHC-UDP applies when the payload is exactly one well-formed UDP
+    // datagram (length field == byte count, so decompression is identity).
+    let nhc_udp = ip.next_header == crate::ipv4::Protocol::Udp
+        && udp::Packet::new_checked(payload)
+            .map(|u| usize::from(u.len()) == payload.len())
+            .unwrap_or(false);
+
+    let (hlim, hlim_inline) = match ip.hop_limit {
+        1 => (0b01, None),
+        64 => (0b10, None),
+        255 => (0b11, None),
+        h => (0b00, Some(h)),
+    };
+
+    let (sac, sam, src_inline) = if ip.src.is_unspecified() {
+        (1, 0b00, Vec::new())
+    } else {
+        compress_unicast(ip.src, ll_src, ctx)
+    };
+    let (m, dac, dam, dst_inline) = if ip.dst.is_multicast() {
+        let (dam, inline) = compress_multicast(ip.dst);
+        (1u8, 0u8, dam, inline)
+    } else {
+        let (dac, dam, inline) = compress_unicast(ip.dst, ll_dst, ctx);
+        (0, dac, dam, inline)
+    };
+
+    let byte1 = DISPATCH_IPHC | 0b11 << 3 | u8::from(nhc_udp) << 2 | hlim;
+    let byte2 = sac << 6 | sam << 4 | m << 3 | dac << 2 | dam;
+
+    let mut out = Vec::with_capacity(4 + src_inline.len() + dst_inline.len() + payload.len());
+    out.push(byte1);
+    out.push(byte2);
+    if !nhc_udp {
+        out.push(ip.next_header.into());
+    }
+    if let Some(h) = hlim_inline {
+        out.push(h);
+    }
+    out.extend_from_slice(&src_inline);
+    out.extend_from_slice(&dst_inline);
+
+    if nhc_udp {
+        // Infallible: nhc_udp was gated on new_checked above.
+        let u = udp::Packet::new_checked(payload).expect("gated above");
+        let (p, ports): (u8, Vec<u8>) = match (u.src_port(), u.dst_port()) {
+            (s, d) if s & 0xfff0 == 0xf0b0 && d & 0xfff0 == 0xf0b0 => {
+                (0b11, vec![((s as u8) & 0x0f) << 4 | (d as u8) & 0x0f])
+            }
+            (s, d) if s & 0xff00 == 0xf000 => {
+                let mut v = vec![s as u8];
+                v.extend_from_slice(&d.to_be_bytes());
+                (0b10, v)
+            }
+            (s, d) if d & 0xff00 == 0xf000 => {
+                let mut v = s.to_be_bytes().to_vec();
+                v.push(d as u8);
+                (0b01, v)
+            }
+            (s, d) => {
+                let mut v = s.to_be_bytes().to_vec();
+                v.extend_from_slice(&d.to_be_bytes());
+                (0b00, v)
+            }
+        };
+        out.push(DISPATCH_NHC_UDP | p); // C bit 0: checksum inline
+        out.extend_from_slice(&ports);
+        out.extend_from_slice(&u.checksum().to_be_bytes());
+        out.extend_from_slice(u.payload());
+    } else {
+        out.extend_from_slice(payload);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// IPHC decompression
+// ---------------------------------------------------------------------------
+
+struct Reader<'a> {
+    b: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.b.len() < n {
+            return Err(Error::Truncated);
+        }
+        let (head, rest) = self.b.split_at(n);
+        self.b = rest;
+        Ok(head)
+    }
+
+    fn byte(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+}
+
+fn decompress_unicast(
+    r: &mut Reader<'_>,
+    ac: u8,
+    am: u8,
+    ll: &[u8; 8],
+    ctx: Option<&Cidr>,
+) -> Result<Ipv6Addr> {
+    if am == 0b00 {
+        return if ac == 0 {
+            let mut o = [0u8; 16];
+            o.copy_from_slice(r.take(16)?);
+            Ok(Ipv6Addr::from(o))
+        } else {
+            // SAC=1 SAM=00 is the unspecified address; DAC=1 DAM=00 is
+            // reserved — the caller special-cases the former.
+            Err(Error::Malformed)
+        };
+    }
+    let mut o = [0u8; 16];
+    if ac == 0 {
+        o[..8].copy_from_slice(&LINK_LOCAL);
+    } else {
+        let ctx = ctx.ok_or(Error::Unsupported)?;
+        o[..8].copy_from_slice(&ctx.address.octets()[..8]);
+    }
+    match am {
+        0b01 => o[8..16].copy_from_slice(r.take(8)?),
+        0b10 => {
+            o[11] = 0xff;
+            o[12] = 0xfe;
+            o[14..16].copy_from_slice(r.take(2)?);
+        }
+        _ => o[8..16].copy_from_slice(ll),
+    }
+    Ok(Ipv6Addr::from(o))
+}
+
+fn decompress_multicast(r: &mut Reader<'_>, dam: u8) -> Result<Ipv6Addr> {
+    let mut o = [0u8; 16];
+    o[0] = 0xff;
+    match dam {
+        0b00 => o.copy_from_slice(r.take(16)?),
+        0b01 => {
+            let i = r.take(6)?;
+            o[1] = i[0];
+            o[11..16].copy_from_slice(&i[1..6]);
+        }
+        0b10 => {
+            let i = r.take(4)?;
+            o[1] = i[0];
+            o[13..16].copy_from_slice(&i[1..4]);
+        }
+        _ => {
+            o[1] = 0x02;
+            o[15] = r.byte()?;
+        }
+    }
+    Ok(Ipv6Addr::from(o))
+}
+
+/// Decompress an IPHC payload back into the IPv6 header + payload bytes.
+///
+/// The inverse of [`compress`] given the same link-layer addresses and
+/// context. For NHC-UDP the full 8-byte UDP header is reconstructed, so
+/// the result always satisfies `ip.payload_len == payload.len()` and
+/// `ipv6::Repr::build(payload)` reproduces the original packet.
+pub fn decompress(
+    bytes: &[u8],
+    ll_src: &[u8; 8],
+    ll_dst: &[u8; 8],
+    ctx: Option<&Cidr>,
+) -> Result<(ipv6::Repr, Vec<u8>)> {
+    let mut r = Reader { b: bytes };
+    let byte1 = r.byte()?;
+    if byte1 & 0b1110_0000 != DISPATCH_IPHC {
+        return Err(Error::Unsupported);
+    }
+    let byte2 = r.byte()?;
+    if byte2 & 0x80 != 0 {
+        // CID extension byte: we never emit contexts beyond 0, and a
+        // nonzero context is undecodable here.
+        let cid = r.byte()?;
+        if cid != 0 {
+            return Err(Error::Unsupported);
+        }
+    }
+    let tf = (byte1 >> 3) & 0b11;
+    let nh_compressed = byte1 & 0b100 != 0;
+    let hlim = byte1 & 0b11;
+    let sac = (byte2 >> 6) & 1;
+    let sam = (byte2 >> 4) & 0b11;
+    let m = (byte2 >> 3) & 1;
+    let dac = (byte2 >> 2) & 1;
+    let dam = byte2 & 0b11;
+
+    // We never emit inline TF, but consume it so foreign captures type
+    // as Truncated/Malformed instead of desyncing the field walk.
+    match tf {
+        0b00 => drop(r.take(4)?),
+        0b01 => drop(r.take(3)?),
+        0b10 => drop(r.take(1)?),
+        _ => {}
+    }
+    let next_header_inline = if nh_compressed { None } else { Some(r.byte()?) };
+    let hop_limit = match hlim {
+        0b00 => r.byte()?,
+        0b01 => 1,
+        0b10 => 64,
+        _ => 255,
+    };
+    let src = if sac == 1 && sam == 0b00 {
+        Ipv6Addr::UNSPECIFIED
+    } else {
+        decompress_unicast(&mut r, sac, sam, ll_src, ctx)?
+    };
+    let dst = if m == 1 {
+        if dac == 1 {
+            return Err(Error::Unsupported); // stateful multicast: not emitted
+        }
+        decompress_multicast(&mut r, dam)?
+    } else {
+        decompress_unicast(&mut r, dac, dam, ll_dst, ctx)?
+    };
+
+    let (next_header, payload) = if nh_compressed {
+        let nhc = r.byte()?;
+        if nhc & 0b1111_1000 != DISPATCH_NHC_UDP {
+            return Err(Error::Unsupported); // only NHC-UDP is emitted
+        }
+        let checksum_elided = nhc & 0b100 != 0;
+        let (src_port, dst_port) = match nhc & 0b11 {
+            0b11 => {
+                let b = r.byte()?;
+                (0xf0b0 | u16::from(b >> 4), 0xf0b0 | u16::from(b & 0x0f))
+            }
+            0b10 => {
+                let s = r.byte()?;
+                let d = r.take(2)?;
+                (0xf000 | u16::from(s), u16::from_be_bytes([d[0], d[1]]))
+            }
+            0b01 => {
+                let s = r.take(2)?;
+                let sp = u16::from_be_bytes([s[0], s[1]]);
+                (sp, 0xf000 | u16::from(r.byte()?))
+            }
+            _ => {
+                let b = r.take(4)?;
+                (
+                    u16::from_be_bytes([b[0], b[1]]),
+                    u16::from_be_bytes([b[2], b[3]]),
+                )
+            }
+        };
+        if checksum_elided {
+            // We always carry checksums; an elided one cannot be
+            // reconstructed without recomputing, which would launder
+            // corruption. Refuse.
+            return Err(Error::Unsupported);
+        }
+        let csum = r.take(2)?;
+        let checksum = u16::from_be_bytes([csum[0], csum[1]]);
+        let body = r.b;
+        let len = udp::HEADER_LEN + body.len();
+        if len > usize::from(u16::MAX) {
+            return Err(Error::Malformed);
+        }
+        let mut datagram = Vec::with_capacity(len);
+        datagram.extend_from_slice(&src_port.to_be_bytes());
+        datagram.extend_from_slice(&dst_port.to_be_bytes());
+        datagram.extend_from_slice(&(len as u16).to_be_bytes());
+        datagram.extend_from_slice(&checksum.to_be_bytes());
+        datagram.extend_from_slice(body);
+        (crate::ipv4::Protocol::Udp, datagram)
+    } else {
+        (
+            crate::ipv4::Protocol::from(next_header_inline.unwrap_or(59)),
+            r.b.to_vec(),
+        )
+    };
+
+    Ok((
+        ipv6::Repr {
+            src,
+            dst,
+            next_header,
+            hop_limit,
+            payload_len: payload.len(),
+        },
+        payload,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// RFC 4944 fragmentation
+// ---------------------------------------------------------------------------
+
+const FRAG1_HEADER: usize = 4;
+const FRAGN_HEADER: usize = 5;
+
+/// Split a compressed datagram into link-payload chunks, each at most
+/// `budget` bytes including its fragment header. A datagram that fits in
+/// one frame is returned unfragmented (no header). Fragment boundaries
+/// land on 8-byte multiples as RFC 4944 requires.
+///
+/// Returns `Err(Malformed)` when the datagram exceeds [`MAX_DATAGRAM`] or
+/// the budget cannot fit a single 8-byte unit.
+pub fn fragment(datagram: &[u8], tag: u16, budget: usize) -> Result<Vec<Vec<u8>>> {
+    if datagram.len() <= budget {
+        return Ok(vec![datagram.to_vec()]);
+    }
+    if datagram.len() > MAX_DATAGRAM {
+        return Err(Error::Malformed);
+    }
+    let first_room = budget
+        .checked_sub(FRAG1_HEADER)
+        .map(|r| r / 8 * 8)
+        .unwrap_or(0);
+    let next_room = budget
+        .checked_sub(FRAGN_HEADER)
+        .map(|r| r / 8 * 8)
+        .unwrap_or(0);
+    if first_room == 0 || next_room == 0 {
+        return Err(Error::Malformed);
+    }
+    let size = datagram.len() as u16;
+    let mut out = Vec::new();
+    let mut off = 0usize;
+    while off < datagram.len() {
+        let first = off == 0;
+        let room = if first { first_room } else { next_room };
+        let take = room.min(datagram.len() - off);
+        let mut f = Vec::with_capacity(FRAGN_HEADER + take);
+        let dispatch = if first {
+            DISPATCH_FRAG1
+        } else {
+            DISPATCH_FRAGN
+        };
+        f.push(dispatch | (size >> 8) as u8);
+        f.push(size as u8);
+        f.extend_from_slice(&tag.to_be_bytes());
+        if !first {
+            f.push((off / 8) as u8);
+        }
+        f.extend_from_slice(&datagram[off..off + take]);
+        out.push(f);
+        off += take;
+    }
+    Ok(out)
+}
+
+/// A parsed FRAG1/FRAGN header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FragHeader {
+    size: u16,
+    tag: u16,
+    /// Byte offset of this fragment's payload within the datagram.
+    offset: usize,
+    header_len: usize,
+}
+
+fn parse_frag_header(b: &[u8]) -> Result<FragHeader> {
+    let first = *b.first().ok_or(Error::Truncated)?;
+    let (is_first, header_len) = match first & 0b1111_1000 {
+        DISPATCH_FRAG1 => (true, FRAG1_HEADER),
+        DISPATCH_FRAGN => (false, FRAGN_HEADER),
+        _ => return Err(Error::Unsupported),
+    };
+    if b.len() < header_len {
+        return Err(Error::Truncated);
+    }
+    let size = u16::from(first & 0b111) << 8 | u16::from(b[1]);
+    let tag = u16::from_be_bytes([b[2], b[3]]);
+    let offset = if is_first { 0 } else { usize::from(b[4]) * 8 };
+    Ok(FragHeader {
+        size,
+        tag,
+        offset,
+        header_len,
+    })
+}
+
+#[derive(Debug)]
+struct Pending {
+    buf: Vec<u8>,
+    /// Coverage bitmap, one flag per 8-byte unit of the datagram.
+    covered: Vec<bool>,
+    received: usize,
+    created_us: u64,
+}
+
+/// Reassembles FRAG1/FRAGN streams per (src, dst, tag, size) tuple, with
+/// lazy timeout eviction and hard overlap rejection.
+#[derive(Debug, Default)]
+pub struct Reassembler {
+    pending: HashMap<([u8; 8], [u8; 8], u16, u16), Pending>,
+    /// Datagrams dropped by timeout — observable so the analyzer can
+    /// report mesh loss instead of silently shrinking counts.
+    expired: u64,
+}
+
+impl Reassembler {
+    /// New, empty.
+    pub fn new() -> Reassembler {
+        Reassembler::default()
+    }
+
+    /// Datagrams abandoned by the reassembly timeout so far.
+    pub fn expired(&self) -> u64 {
+        self.expired
+    }
+
+    /// Partial datagrams currently buffered.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Feed one link payload. Returns the complete datagram when this
+    /// fragment finishes one, `None` while more fragments are needed.
+    /// An unfragmented payload is returned as-is. Overlapping fragments
+    /// abandon the whole datagram and type as `Malformed`.
+    pub fn push(
+        &mut self,
+        now_us: u64,
+        src: [u8; 8],
+        dst: [u8; 8],
+        payload: &[u8],
+    ) -> Result<Option<Vec<u8>>> {
+        self.evict(now_us);
+        if !is_fragment(payload) {
+            return Ok(Some(payload.to_vec()));
+        }
+        let h = parse_frag_header(payload)?;
+        let body = &payload[h.header_len..];
+        let size = usize::from(h.size);
+        if h.offset + body.len() > size || body.is_empty() {
+            return Err(Error::Malformed);
+        }
+        // Every fragment except the one completing the tail must sit on
+        // an 8-byte boundary; FRAG1 offsets are 0 by construction.
+        if h.offset % 8 != 0 {
+            return Err(Error::Malformed);
+        }
+        let key = (src, dst, h.tag, h.size);
+        let units = size.div_ceil(8);
+        let entry = self.pending.entry(key).or_insert_with(|| Pending {
+            buf: vec![0u8; size],
+            covered: vec![false; units],
+            received: 0,
+            created_us: now_us,
+        });
+        let unit_lo = h.offset / 8;
+        let unit_hi = (h.offset + body.len()).div_ceil(8);
+        if entry.covered[unit_lo..unit_hi].iter().any(|c| *c) {
+            // Overlap: a retransmission or a forged fragment. Drop the
+            // whole datagram rather than guess which bytes to trust.
+            self.pending.remove(&key);
+            return Err(Error::Malformed);
+        }
+        entry.buf[h.offset..h.offset + body.len()].copy_from_slice(body);
+        for c in &mut entry.covered[unit_lo..unit_hi] {
+            *c = true;
+        }
+        entry.received += body.len();
+        if entry.received == size {
+            let done = self.pending.remove(&key).expect("entry just touched");
+            return Ok(Some(done.buf));
+        }
+        Ok(None)
+    }
+
+    fn evict(&mut self, now_us: u64) {
+        let before = self.pending.len();
+        self.pending
+            .retain(|_, p| now_us.saturating_sub(p.created_us) < REASSEMBLY_TIMEOUT_US);
+        self.expired += (before - self.pending.len()) as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipv4::Protocol;
+    use crate::mac::Mac;
+    use crate::udp::PseudoHeader;
+
+    fn ll(n: u8) -> [u8; 8] {
+        Mac::new(2, 0x52, 0x54, 0, 0xaa, n).to_eui64()
+    }
+
+    fn ctx() -> Cidr {
+        Cidr::new("2001:db8:10:1::".parse().unwrap(), 64)
+    }
+
+    fn roundtrip(ip: ipv6::Repr, payload: &[u8]) {
+        let c = compress(&ip, payload, &ll(1), &ll(2), Some(&ctx()));
+        let (rip, rp) = decompress(&c, &ll(1), &ll(2), Some(&ctx())).unwrap();
+        assert_eq!(rip.src, ip.src);
+        assert_eq!(rip.dst, ip.dst);
+        assert_eq!(rip.next_header, ip.next_header);
+        assert_eq!(rip.hop_limit, ip.hop_limit);
+        assert_eq!(rp, payload);
+    }
+
+    #[test]
+    fn elided_addresses_roundtrip_and_compress_hard() {
+        let src = Ipv6Addr::from({
+            let mut o = [0u8; 16];
+            o[..8].copy_from_slice(&LINK_LOCAL);
+            o[8..].copy_from_slice(&ll(1));
+            o
+        });
+        let ip = ipv6::Repr {
+            src,
+            dst: "ff02::1".parse().unwrap(),
+            next_header: Protocol::Icmpv6,
+            hop_limit: 255,
+            payload_len: 4,
+        };
+        let c = compress(&ip, &[1, 2, 3, 4], &ll(1), &ll(2), Some(&ctx()));
+        // 2 IPHC bytes + 1 next-header byte + 1 multicast byte + payload:
+        // both addresses and the hop limit vanish entirely.
+        assert_eq!(c.len(), 2 + 1 + 1 + 4);
+        roundtrip(ip, &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn context_addresses_roundtrip() {
+        let mut o = ctx().address.octets();
+        o[8..].copy_from_slice(&ll(1));
+        let src = Ipv6Addr::from(o);
+        let ip = ipv6::Repr {
+            src,
+            dst: "2001:db8:10:1::ff:fe00:1234".parse().unwrap(),
+            next_header: Protocol::Tcp,
+            hop_limit: 64,
+            payload_len: 3,
+        };
+        roundtrip(ip, b"tcp");
+    }
+
+    #[test]
+    fn nhc_udp_roundtrips_with_checksum() {
+        let src: Ipv6Addr = "2001:db8:10:1::1".parse().unwrap();
+        let dst: Ipv6Addr = "2001:db8:2::53".parse().unwrap();
+        let datagram = udp::Repr {
+            src_port: 0xf0b3,
+            dst_port: 0xf0b7,
+            payload: b"dns?".to_vec(),
+        }
+        .build(PseudoHeader::V6 { src, dst });
+        let ip = ipv6::Repr {
+            src,
+            dst,
+            next_header: Protocol::Udp,
+            hop_limit: 17,
+            payload_len: datagram.len(),
+        };
+        let c = compress(&ip, &datagram, &ll(1), &ll(2), Some(&ctx()));
+        let (rip, rp) = decompress(&c, &ll(1), &ll(2), Some(&ctx())).unwrap();
+        assert_eq!(rp, datagram, "UDP header must reconstruct byte-exactly");
+        assert_eq!(rip.payload_len, datagram.len());
+        let u = udp::Packet::new_checked(&rp[..]).unwrap();
+        assert!(u.verify_checksum_v6(src, dst));
+    }
+
+    #[test]
+    fn fragmentation_roundtrips() {
+        let datagram: Vec<u8> = (0..500u16).map(|i| i as u8).collect();
+        let frags = fragment(&datagram, 0xbeef, 106).unwrap();
+        assert!(frags.len() > 1);
+        assert!(frags.iter().all(|f| f.len() <= 106));
+        let mut r = Reassembler::new();
+        let mut done = None;
+        for f in &frags {
+            if let Some(d) = r.push(0, ll(1), ll(2), f).unwrap() {
+                done = Some(d);
+            }
+        }
+        assert_eq!(done.unwrap(), datagram);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn overlap_rejected_and_datagram_abandoned() {
+        let datagram = vec![7u8; 300];
+        let frags = fragment(&datagram, 1, 106).unwrap();
+        let mut r = Reassembler::new();
+        assert!(r.push(0, ll(1), ll(2), &frags[0]).unwrap().is_none());
+        assert_eq!(
+            r.push(0, ll(1), ll(2), &frags[0]).unwrap_err(),
+            Error::Malformed
+        );
+        assert_eq!(r.pending(), 0, "overlap abandons the whole datagram");
+    }
+
+    #[test]
+    fn timeout_expires_partials() {
+        let datagram = vec![0u8; 300];
+        let frags = fragment(&datagram, 2, 106).unwrap();
+        let mut r = Reassembler::new();
+        assert!(r.push(0, ll(1), ll(2), &frags[0]).unwrap().is_none());
+        // A fresh complete datagram far in the future evicts the stale one.
+        assert!(r
+            .push(REASSEMBLY_TIMEOUT_US + 1, ll(1), ll(2), &[0x60, 0, 59, 64])
+            .is_ok());
+        assert_eq!(r.pending(), 0);
+        assert_eq!(r.expired(), 1);
+    }
+
+    #[test]
+    fn garbage_is_typed() {
+        for len in 0..32 {
+            let junk = vec![0xA5u8; len];
+            let _ = decompress(&junk, &ll(1), &ll(2), Some(&ctx()));
+            let mut r = Reassembler::new();
+            let _ = r.push(0, ll(1), ll(2), &junk);
+        }
+    }
+}

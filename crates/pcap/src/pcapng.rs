@@ -14,7 +14,13 @@ const BLOCK_SHB: u32 = 0x0A0D_0D0A;
 const BLOCK_IDB: u32 = 0x0000_0001;
 pub(crate) const BLOCK_EPB: u32 = 0x0000_0006;
 const BYTE_ORDER_MAGIC: u32 = 0x1A2B_3C4D;
-const LINKTYPE_ETHERNET: u16 = 1;
+
+/// IDB linktype for Ethernet II frames (the default everywhere).
+pub const LINKTYPE_ETHERNET: u16 = 1;
+
+/// IDB linktype for IEEE 802.15.4 frames captured without the trailing
+/// FCS — what the mesh sub-network capture writes.
+pub const LINKTYPE_IEEE802_15_4_NOFCS: u16 = 230;
 
 fn pad4(n: usize) -> usize {
     (4 - n % 4) % 4
@@ -29,8 +35,16 @@ fn push_block(out: &mut Vec<u8>, block_type: u32, body: &[u8]) {
     out.extend_from_slice(&(total as u32).to_le_bytes());
 }
 
-/// Serialize a capture as a pcapng stream.
+/// Serialize a capture as a pcapng stream with an Ethernet interface.
 pub fn to_bytes(capture: &Capture) -> Vec<u8> {
+    to_bytes_with_linktype(capture, LINKTYPE_ETHERNET)
+}
+
+/// Serialize a capture as a pcapng stream whose single interface carries
+/// the given linktype (e.g. [`LINKTYPE_IEEE802_15_4_NOFCS`] for mesh
+/// captures). Readers in this crate are linktype-agnostic — the IDB is
+/// informational for external dissectors.
+pub fn to_bytes_with_linktype(capture: &Capture, linktype: u16) -> Vec<u8> {
     let mut out = Vec::with_capacity(64 + capture.len() * 96);
 
     // Section Header Block.
@@ -41,9 +55,9 @@ pub fn to_bytes(capture: &Capture) -> Vec<u8> {
     shb.extend_from_slice(&(-1i64).to_le_bytes()); // section length: unknown
     push_block(&mut out, BLOCK_SHB, &shb);
 
-    // Interface Description Block: Ethernet, default (µs) resolution.
+    // Interface Description Block: default (µs) resolution.
     let mut idb = Vec::with_capacity(8);
-    idb.extend_from_slice(&LINKTYPE_ETHERNET.to_le_bytes());
+    idb.extend_from_slice(&linktype.to_le_bytes());
     idb.extend_from_slice(&0u16.to_le_bytes()); // reserved
     idb.extend_from_slice(&262_144u32.to_le_bytes()); // snaplen
     push_block(&mut out, BLOCK_IDB, &idb);

@@ -19,6 +19,7 @@ pub mod event;
 pub mod faults;
 pub mod host;
 pub mod internet;
+pub mod mesh;
 pub mod router;
 pub mod wire;
 
@@ -27,4 +28,5 @@ pub use event::SimTime;
 pub use faults::{Direction, DnsFaultMode, FaultKind, FaultPlan, FaultWindow};
 pub use host::{Effects, Host, HostId};
 pub use internet::{DomainProfile, Internet, ZoneDb};
+pub use mesh::BorderRouter;
 pub use router::{FirewallPolicy, Router, RouterConfig};
